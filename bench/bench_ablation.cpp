@@ -1,0 +1,106 @@
+// Ablation bench (not a paper figure): isolates the contribution of each
+// SAFELOC design choice that DESIGN.md calls out.
+//
+//   * saliency aggregation mode: convex (default) vs scaled-literal Eq. 8
+//     vs paper-literal Eq. 9 (demonstrates the divergence of the literal
+//     rule) vs plain FedAvg (saliency off)
+//   * detector off (τ = ∞: no RCE gating / de-noising)
+//   * strictly tied decoder vs mirrored-warm-start decoder
+//   * encoder frozen vs unfrozen w.r.t. the reconstruction loss
+//
+// Each variant faces a label-flip and an FGSM scenario on Building 2.
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <memory>
+
+#include "bench/bench_common.h"
+#include "src/core/safeloc.h"
+#include "src/eval/experiment.h"
+#include "src/util/csv.h"
+#include "src/util/table.h"
+
+namespace {
+
+using namespace safeloc;
+
+struct Variant {
+  std::string label;
+  core::SafeLocConfig config;
+};
+
+std::vector<Variant> make_variants() {
+  std::vector<Variant> variants;
+
+  core::SafeLocConfig base;
+  variants.push_back({"full SAFELOC (convex saliency)", base});
+
+  core::SafeLocConfig scaled = base;
+  scaled.saliency.mode = fl::SaliencyMode::kScaledLiteral;
+  variants.push_back({"Eq.8 literal (S*W_LM, blended)", scaled});
+
+  core::SafeLocConfig literal = base;
+  literal.saliency.mode = fl::SaliencyMode::kPaperLiteral;
+  variants.push_back({"Eq.9 literal (GM + W_adj)", literal});
+
+  core::SafeLocConfig no_saliency = base;
+  no_saliency.saliency.beta = 0.0;  // S == 1 for every weight -> plain blend
+  variants.push_back({"saliency off (uniform blend)", no_saliency});
+
+  core::SafeLocConfig no_detector = base;
+  no_detector.tau = std::numeric_limits<double>::infinity();
+  variants.push_back({"detector off (tau = inf)", no_detector});
+
+  core::SafeLocConfig tied = base;
+  tied.tied_decoder = true;
+  variants.push_back({"strictly tied decoder", tied});
+
+  core::SafeLocConfig frozen = base;
+  frozen.freeze_encoder_on_recon = true;
+  variants.push_back({"encoder frozen on recon (paper literal)", frozen});
+
+  return variants;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_scale_banner("Ablation: SAFELOC design choices");
+  const util::RunScale& scale = util::run_scale();
+  const int building = 2;
+
+  const std::vector<std::pair<std::string, attack::AttackConfig>> scenarios = {
+      {"label-flip", bench::make_attack(attack::AttackKind::kLabelFlip, 1.0)},
+      {"FGSM", bench::make_attack(attack::AttackKind::kFgsm, 0.5)},
+  };
+
+  const eval::Experiment experiment(building);
+  util::CsvWriter csv("ablation.csv");
+  csv.write_row({"variant", "scenario", "mean_m", "worst_m", "params"});
+  util::AsciiTable table({"variant", "scenario", "mean (m)", "worst (m)",
+                          "params"});
+
+  for (const auto& variant : make_variants()) {
+    core::SafeLocFramework framework(variant.config);
+    experiment.pretrain(framework, scale.server_epochs);
+    for (const auto& [label, attack_config] : scenarios) {
+      const auto outcome =
+          experiment.run_attack(framework, attack_config, scale.fl_rounds);
+      const double worst =
+          std::isfinite(outcome.stats.worst_m) ? outcome.stats.worst_m : -1.0;
+      table.add_row({variant.label, label,
+                     util::AsciiTable::num(outcome.stats.mean_m),
+                     util::AsciiTable::num(worst),
+                     std::to_string(framework.parameter_count())});
+      csv.write_row({variant.label, label,
+                     util::CsvWriter::cell(outcome.stats.mean_m),
+                     util::CsvWriter::cell(worst),
+                     util::CsvWriter::cell(framework.parameter_count())});
+    }
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("series written to ablation.csv; expectation: convex saliency "
+              "defends label flips, detector off leaves backdoors "
+              "unmitigated at the client, Eq.9-literal diverges\n");
+  return 0;
+}

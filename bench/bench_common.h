@@ -1,0 +1,44 @@
+// Shared helpers for the figure-reproduction bench binaries.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/attack/attack.h"
+#include "src/util/config.h"
+
+namespace safeloc::bench {
+
+/// Buildings a bench sweeps. The paper aggregates across all five; the fast
+/// profile defaults to a representative subset to keep the suite snappy.
+/// Override with SAFELOC_BUILDINGS=<count 1..5>.
+inline std::vector<int> bench_buildings() {
+  const util::RunScale& scale = util::run_scale();
+  const int wanted =
+      util::env_int("SAFELOC_BUILDINGS", scale.fast ? 1 : 5);
+  std::vector<int> ids;
+  for (int b = 1; b <= 5 && static_cast<int>(ids.size()) < wanted; ++b) {
+    ids.push_back(b);
+  }
+  return ids;
+}
+
+inline attack::AttackConfig make_attack(attack::AttackKind kind,
+                                        double epsilon) {
+  attack::AttackConfig config;
+  config.kind = kind;
+  config.epsilon = epsilon;
+  return config;
+}
+
+inline void print_scale_banner(const char* bench_name) {
+  const util::RunScale& scale = util::run_scale();
+  std::printf(
+      "%s — profile: %s (epochs=%d rounds=%d buildings=%zu); "
+      "SAFELOC_FAST=0 for paper-scale budgets\n",
+      bench_name, scale.fast ? "fast" : "paper", scale.server_epochs,
+      scale.fl_rounds, bench_buildings().size());
+}
+
+}  // namespace safeloc::bench

@@ -1,0 +1,71 @@
+// Fig. 5: SAFELOC mean localization error as a heatmap of attack type x
+// perturbation magnitude ε.
+//
+// Paper reference: stable mean error for every attack up to ε < 0.1; still
+// stable for backdoors at ε > 0.1 (detection + de-noising + saliency), with
+// label flipping drifting up from ε ≈ 0.2 to ~4.38 m at ε = 1.0 (clean
+// inputs evade the detector; the saliency map absorbs most but not all of
+// the damage).
+#include <memory>
+
+#include "bench/bench_common.h"
+#include "src/core/safeloc.h"
+#include "src/eval/experiment.h"
+#include "src/util/csv.h"
+#include "src/util/stats.h"
+#include "src/util/table.h"
+
+int main() {
+  using namespace safeloc;
+  bench::print_scale_banner("Fig. 5: attack strength sweep (heatmap)");
+  const util::RunScale& scale = util::run_scale();
+
+  // Low range 0.01..0.09, high range 0.1..1.0 (paper's grid; the fast
+  // profile thins the low range).
+  std::vector<double> epsilons;
+  if (scale.fast) {
+    epsilons = {0.01, 0.05, 0.1, 0.3, 0.6, 1.0};
+  } else {
+    for (int i = 1; i <= 9; ++i) epsilons.push_back(0.01 * i);
+    for (int i = 1; i <= 10; ++i) epsilons.push_back(0.1 * i);
+  }
+
+  const auto buildings = bench::bench_buildings();
+  util::CsvWriter csv("fig5.csv");
+  csv.write_row({"attack", "epsilon", "mean_error_m"});
+
+  std::vector<std::string> header = {"attack \\ eps"};
+  for (const double e : epsilons) header.push_back(util::AsciiTable::num(e));
+  util::AsciiTable table(std::move(header));
+
+  // Pretrain once per building, reuse across the whole grid.
+  std::vector<std::unique_ptr<eval::Experiment>> experiments;
+  std::vector<std::unique_ptr<core::SafeLocFramework>> frameworks;
+  for (const int building : buildings) {
+    experiments.push_back(std::make_unique<eval::Experiment>(building));
+    auto fw = std::make_unique<core::SafeLocFramework>();
+    experiments.back()->pretrain(*fw, scale.server_epochs);
+    frameworks.push_back(std::move(fw));
+  }
+
+  for (const auto kind : attack::all_attacks()) {
+    std::vector<std::string> row = {attack::to_string(kind)};
+    for (const double epsilon : epsilons) {
+      util::RunningStats stats;
+      for (std::size_t i = 0; i < buildings.size(); ++i) {
+        const auto outcome = experiments[i]->run_attack(
+            *frameworks[i], bench::make_attack(kind, epsilon),
+            scale.fl_rounds);
+        for (const double e : outcome.errors_m) stats.add(e);
+      }
+      row.push_back(util::AsciiTable::num(stats.mean()));
+      csv.write_row({attack::to_string(kind), util::CsvWriter::cell(epsilon),
+                     util::CsvWriter::cell(stats.mean())});
+    }
+    table.add_row(std::move(row));
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("series written to fig5.csv; paper: flat rows for backdoors, "
+              "label-flip rising from eps ~0.2 to ~4.4 m at eps = 1.0\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Table I: model inference latency and total parameters for all six
+// frameworks.
+//
+// The google-benchmark section microbenchmarks a single-fingerprint
+// predict() call per framework (the paper's "Model Inference Latency"); the
+// paper-style summary table is printed afterwards. Absolute microseconds on
+// this host differ from the paper's phone-measured milliseconds, but the
+// ordering and the SAFELOC speedup factor are the comparable shape.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "src/baselines/frameworks.h"
+#include "src/eval/experiment.h"
+#include "src/eval/timing.h"
+#include "src/util/table.h"
+
+namespace {
+
+using namespace safeloc;
+
+struct PreparedFramework {
+  baselines::FrameworkId id;
+  std::unique_ptr<fl::FederatedFramework> framework;
+};
+
+/// Frameworks pretrained just enough to exercise the real inference path
+/// (latency does not depend on training quality).
+std::vector<PreparedFramework>& prepared() {
+  static std::vector<PreparedFramework> instances = [] {
+    const eval::Experiment experiment(/*building_id=*/1);
+    std::vector<PreparedFramework> out;
+    for (const auto id : baselines::all_frameworks()) {
+      PreparedFramework p{id, baselines::make_framework(id)};
+      experiment.pretrain(*p.framework, /*epochs=*/3);
+      out.push_back(std::move(p));
+    }
+    return out;
+  }();
+  return instances;
+}
+
+const nn::Matrix& sample_fingerprint() {
+  static const nn::Matrix sample = [] {
+    const eval::Experiment experiment(/*building_id=*/1);
+    return experiment.training_set().x.slice_rows(0, 1);
+  }();
+  return sample;
+}
+
+void run_inference(benchmark::State& state, fl::FederatedFramework& fw) {
+  const nn::Matrix& x = sample_fingerprint();
+  for (auto _ : state) {
+    auto labels = fw.predict(x);
+    benchmark::DoNotOptimize(labels);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (auto& p : prepared()) {
+    benchmark::RegisterBenchmark(
+        ("inference/" + baselines::to_string(p.id)).c_str(),
+        [&p](benchmark::State& state) { run_inference(state, *p.framework); });
+  }
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  // Paper-style Table I.
+  std::printf("\nTABLE I: MODEL LATENCY AND PARAMETERS COMPARISON\n");
+  util::AsciiTable table(
+      {"Framework", "Inference Latency (us)", "Total Parameters"});
+  for (auto& p : prepared()) {
+    const auto latency =
+        eval::measure_inference_latency(*p.framework, sample_fingerprint());
+    table.add_row({baselines::to_string(p.id),
+                   util::AsciiTable::num(latency.mean_us, 1),
+                   std::to_string(p.framework->parameter_count())});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "paper reference (ms / params): SAFELOC 64/41094, ONLAD 87/130185, "
+      "FEDHIL 84/97341, FEDCC 67/42993, FEDLS 103/282676, FEDLOC 135/137801\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Deployment cycle: persist a trained SAFELOC global model to disk and
+// bring a fresh server instance back up from the snapshot — the operational
+// path a real deployment uses between federated sessions.
+//
+//   1. pretrain on building 2, run a short benign federation
+//   2. save the GM (versioned binary state-dict) to safeloc_gm.bin
+//   3. boot a brand-new SafeLocFramework, load the snapshot
+//   4. verify both instances predict identically, then resume federation
+//      on the restored instance under a PGD attack
+//
+// Usage: deployment_cycle [path=safeloc_gm.bin]
+#include <cstdio>
+#include <fstream>
+
+#include "src/attack/attack.h"
+#include "src/core/safeloc.h"
+#include "src/eval/experiment.h"
+#include "src/util/config.h"
+
+int main(int argc, char** argv) {
+  using namespace safeloc;
+  const std::string path = argc > 1 ? argv[1] : "safeloc_gm.bin";
+  const util::RunScale& scale = util::run_scale();
+  const eval::Experiment experiment(/*building_id=*/2);
+
+  // 1. Train and federate.
+  core::SafeLocFramework server;
+  experiment.pretrain(server, scale.server_epochs);
+  attack::AttackConfig benign;
+  const auto clean = experiment.run_attack(server, benign, scale.fl_rounds);
+  std::printf("trained GM: mean error %.2f m over 5 test devices\n",
+              clean.stats.mean_m);
+
+  // 2. Persist.
+  {
+    std::ofstream out(path, std::ios::binary);
+    server.snapshot().save(out);
+  }
+  std::printf("saved GM snapshot to %s\n", path.c_str());
+
+  // 3. Cold-start a new server from the snapshot. pretrain(…, 1 epoch)
+  // builds the architecture for this building; restore() then overwrites
+  // every tensor with the persisted weights.
+  core::SafeLocFramework restored;
+  experiment.pretrain(restored, /*epochs=*/1);
+  {
+    std::ifstream in(path, std::ios::binary);
+    restored.restore(nn::StateDict::load(in));
+  }
+
+  // 4. Verify equivalence, then resume federation under attack.
+  const nn::Matrix probe = experiment.training_set().x.slice_rows(0, 32);
+  const bool identical = server.predict(probe) == restored.predict(probe);
+  std::printf("restored server predicts identically: %s\n",
+              identical ? "yes" : "NO — snapshot mismatch");
+
+  attack::AttackConfig pgd;
+  pgd.kind = attack::AttackKind::kPgd;
+  pgd.epsilon = 0.5;
+  const auto attacked = experiment.run_attack(restored, pgd, scale.fl_rounds);
+  std::printf(
+      "resumed federation under PGD eps=0.5: mean error %.2f m "
+      "(benign was %.2f m)\n",
+      attacked.stats.mean_m, clean.stats.mean_m);
+  return identical ? 0 : 1;
+}

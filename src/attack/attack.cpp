@@ -1,0 +1,209 @@
+#include "src/attack/attack.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "src/util/rng.h"
+
+namespace safeloc::attack {
+namespace {
+
+constexpr float kFeatureLo = 0.0f;
+constexpr float kFeatureHi = 1.0f;
+
+void clamp_features(nn::Matrix& x) {
+  for (float& v : x.flat()) v = std::clamp(v, kFeatureLo, kFeatureHi);
+}
+
+/// Projects each row of `delta` onto the L2 ball of radius
+/// ε·sqrt(feature_dim). That radius equals the L2 norm of an FGSM
+/// perturbation of per-feature magnitude ε, keeping ε comparable in
+/// strength across all backdoor rows of Fig. 5.
+void project_rows_l2(nn::Matrix& delta, double epsilon) {
+  const double radius =
+      epsilon * std::sqrt(static_cast<double>(delta.cols()));
+  for (std::size_t i = 0; i < delta.rows(); ++i) {
+    auto row = delta.row(i);
+    double norm_sq = 0.0;
+    for (const float v : row) norm_sq += static_cast<double>(v) * v;
+    const double norm = std::sqrt(norm_sq);
+    if (norm > radius && norm > 0.0) {
+      const float scale = static_cast<float>(radius / norm);
+      for (float& v : row) v *= scale;
+    }
+  }
+}
+
+nn::Matrix require_gradient(const GradientOracle& oracle, const nn::Matrix& x,
+                            std::span<const int> labels) {
+  if (!oracle) {
+    throw std::invalid_argument("backdoor attack requires a gradient oracle");
+  }
+  nn::Matrix g = oracle(x, labels);
+  if (g.rows() != x.rows() || g.cols() != x.cols()) {
+    throw std::logic_error("gradient oracle returned wrong shape");
+  }
+  return g;
+}
+
+/// Eq. (1): X_CLB = X + ε · δ(∇J). The mask δ selects, per sample, the
+/// mask_fraction of features with the largest |gradient| and perturbs them
+/// in the gradient-sign direction; labels stay clean.
+PoisonResult clean_label_backdoor(const AttackConfig& cfg, const nn::Matrix& x,
+                                  std::span<const int> labels,
+                                  const GradientOracle& oracle) {
+  const nn::Matrix grad = require_gradient(oracle, x, labels);
+  PoisonResult out{x, {labels.begin(), labels.end()}};
+  const auto k = static_cast<std::size_t>(
+      std::clamp(cfg.mask_fraction, 0.0, 1.0) * static_cast<double>(x.cols()));
+  if (k == 0) return out;
+
+  std::vector<std::size_t> order(x.cols());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    const auto grow = grad.row(i);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::nth_element(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                     order.end(), [&](std::size_t a, std::size_t b) {
+                       return std::abs(grow[a]) > std::abs(grow[b]);
+                     });
+    auto xrow = out.x.row(i);
+    for (std::size_t j = 0; j < k; ++j) {
+      const std::size_t f = order[j];
+      const float direction = grow[f] > 0.0f ? 1.0f : (grow[f] < 0.0f ? -1.0f : 0.0f);
+      xrow[f] += static_cast<float>(cfg.epsilon) * direction;
+    }
+  }
+  clamp_features(out.x);
+  return out;
+}
+
+/// Eq. (2): X_FGSM = X + ε · sign(∇J).
+PoisonResult fgsm(const AttackConfig& cfg, const nn::Matrix& x,
+                  std::span<const int> labels, const GradientOracle& oracle) {
+  const nn::Matrix grad = require_gradient(oracle, x, labels);
+  PoisonResult out{x, {labels.begin(), labels.end()}};
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const float g = grad.data()[i];
+    const float direction = g > 0.0f ? 1.0f : (g < 0.0f ? -1.0f : 0.0f);
+    out.x.data()[i] += static_cast<float>(cfg.epsilon) * direction;
+  }
+  clamp_features(out.x);
+  return out;
+}
+
+/// Eq. (3)/(4): iterative normalized-gradient ascent with projection onto
+/// the ε-ball around X. MIM additionally carries momentum across steps.
+PoisonResult iterative_gradient(const AttackConfig& cfg, const nn::Matrix& x,
+                                std::span<const int> labels,
+                                const GradientOracle& oracle,
+                                bool with_momentum) {
+  PoisonResult out{x, {labels.begin(), labels.end()}};
+  const int iters = std::max(cfg.iterations, 1);
+  const double step = cfg.epsilon * cfg.step_scale;
+  nn::Matrix velocity(x.rows(), x.cols());
+
+  for (int t = 0; t < iters; ++t) {
+    nn::Matrix grad = require_gradient(oracle, out.x, labels);
+    // Per-sample L2 normalization (the ∇J / L|∇J|₂ term of Eqs. 3-4).
+    for (std::size_t i = 0; i < grad.rows(); ++i) {
+      auto row = grad.row(i);
+      double norm_sq = 0.0;
+      for (const float v : row) norm_sq += static_cast<double>(v) * v;
+      const double norm = std::sqrt(std::max(norm_sq, 1e-24));
+      for (float& v : row) v = static_cast<float>(v / norm);
+    }
+    if (with_momentum) {
+      scale(velocity, static_cast<float>(cfg.momentum));
+      axpy(1.0f, grad, velocity);
+      grad = velocity;
+    }
+    axpy(static_cast<float>(step * std::sqrt(static_cast<double>(x.cols()))),
+         grad, out.x);
+
+    // Project the running perturbation back onto the ε-ball around X.
+    nn::Matrix delta = sub(out.x, x);
+    project_rows_l2(delta, cfg.epsilon);
+    out.x = add(x, delta);
+    clamp_features(out.x);
+  }
+  return out;
+}
+
+/// Eq. (5): flip the labels of an ε-fraction of samples to a random wrong
+/// class; fingerprints stay clean.
+PoisonResult label_flip(const AttackConfig& cfg, const nn::Matrix& x,
+                        std::span<const int> labels, std::size_t num_classes) {
+  if (num_classes < 2) {
+    throw std::invalid_argument("label_flip: need at least two classes");
+  }
+  PoisonResult out{x, {labels.begin(), labels.end()}};
+  util::Rng rng(cfg.seed);
+  const double fraction = std::clamp(cfg.epsilon, 0.0, 1.0);
+  const auto n_flip = static_cast<std::size_t>(
+      std::lround(fraction * static_cast<double>(labels.size())));
+  const auto victims = rng.sample_indices(labels.size(), n_flip);
+  for (const std::size_t i : victims) {
+    const auto offset =
+        1 + static_cast<int>(rng.below(static_cast<std::uint64_t>(num_classes - 1)));
+    out.labels[i] =
+        (out.labels[i] + offset) % static_cast<int>(num_classes);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_string(AttackKind kind) {
+  switch (kind) {
+    case AttackKind::kNone: return "none";
+    case AttackKind::kCleanLabelBackdoor: return "CLB";
+    case AttackKind::kFgsm: return "FGSM";
+    case AttackKind::kPgd: return "PGD";
+    case AttackKind::kMim: return "MIM";
+    case AttackKind::kLabelFlip: return "LabelFlip";
+  }
+  return "unknown";
+}
+
+std::span<const AttackKind> backdoor_attacks() {
+  static const AttackKind kinds[] = {
+      AttackKind::kCleanLabelBackdoor, AttackKind::kFgsm, AttackKind::kPgd,
+      AttackKind::kMim};
+  return kinds;
+}
+
+std::span<const AttackKind> all_attacks() {
+  static const AttackKind kinds[] = {
+      AttackKind::kCleanLabelBackdoor, AttackKind::kFgsm, AttackKind::kPgd,
+      AttackKind::kMim, AttackKind::kLabelFlip};
+  return kinds;
+}
+
+PoisonResult apply_attack(const AttackConfig& config, const nn::Matrix& x,
+                          std::span<const int> labels, std::size_t num_classes,
+                          const GradientOracle& oracle) {
+  if (labels.size() != x.rows()) {
+    throw std::invalid_argument("apply_attack: label count != batch rows");
+  }
+  switch (config.kind) {
+    case AttackKind::kNone:
+      return {x, {labels.begin(), labels.end()}};
+    case AttackKind::kCleanLabelBackdoor:
+      return clean_label_backdoor(config, x, labels, oracle);
+    case AttackKind::kFgsm:
+      return fgsm(config, x, labels, oracle);
+    case AttackKind::kPgd:
+      return iterative_gradient(config, x, labels, oracle,
+                                /*with_momentum=*/false);
+    case AttackKind::kMim:
+      return iterative_gradient(config, x, labels, oracle,
+                                /*with_momentum=*/true);
+    case AttackKind::kLabelFlip:
+      return label_flip(config, x, labels, num_classes);
+  }
+  throw std::invalid_argument("apply_attack: unknown attack kind");
+}
+
+}  // namespace safeloc::attack

@@ -1,0 +1,83 @@
+// Data poisoning attacks on FL indoor localization (paper §III).
+//
+// Four backdoor generators perturb the local RSS fingerprints using the
+// gradient of the global model's classification loss — Clean-Label Backdoor
+// (Eq. 1), FGSM (Eq. 2), PGD (Eq. 3), MIM (Eq. 4) — and the label-flipping
+// attack (Eq. 5) leaves fingerprints intact but corrupts labels.
+//
+// All backdoors operate in the standardized feature space [0, 1]; the
+// perturbation magnitude ε is therefore directly a fraction of full signal
+// range (ε = 0.1 ⇔ "10%" in the paper's figures). For label flipping, ε is
+// the fraction of the client's samples whose labels are flipped.
+//
+// The gradient of the victim's loss is supplied by a GradientOracle so the
+// attack code is independent of the concrete model architecture (the paper's
+// attacker holds a copy of the distributed global model — white-box).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/nn/matrix.h"
+
+namespace safeloc::attack {
+
+enum class AttackKind {
+  kNone,
+  kCleanLabelBackdoor,
+  kFgsm,
+  kPgd,
+  kMim,
+  kLabelFlip,
+};
+
+[[nodiscard]] std::string to_string(AttackKind kind);
+
+/// The four backdoor methods, in the paper's order.
+[[nodiscard]] std::span<const AttackKind> backdoor_attacks();
+
+/// All five attacks (backdoors + label flipping).
+[[nodiscard]] std::span<const AttackKind> all_attacks();
+
+[[nodiscard]] constexpr bool is_backdoor(AttackKind kind) noexcept {
+  return kind == AttackKind::kCleanLabelBackdoor || kind == AttackKind::kFgsm ||
+         kind == AttackKind::kPgd || kind == AttackKind::kMim;
+}
+
+/// ∇_X J(X, Y) of the victim model's classification loss for a batch.
+using GradientOracle = std::function<nn::Matrix(
+    const nn::Matrix& x, std::span<const int> labels)>;
+
+struct AttackConfig {
+  AttackKind kind = AttackKind::kNone;
+  /// Perturbation magnitude (backdoors) / flipped fraction (label flip).
+  double epsilon = 0.1;
+  /// PGD / MIM iteration count.
+  int iterations = 10;
+  /// Per-iteration step size as a fraction of ε (PGD / MIM).
+  double step_scale = 0.25;
+  /// MIM momentum (the paper's α).
+  double momentum = 0.9;
+  /// CLB: fraction of the highest-|gradient| features that the mask δ
+  /// selects per sample.
+  double mask_fraction = 0.25;
+  std::uint64_t seed = 1;
+};
+
+struct PoisonResult {
+  nn::Matrix x;
+  std::vector<int> labels;
+};
+
+/// Applies the configured attack to a labelled batch. Backdoors require a
+/// non-null oracle; kLabelFlip and kNone ignore it. Throws on misuse.
+[[nodiscard]] PoisonResult apply_attack(const AttackConfig& config,
+                                        const nn::Matrix& x,
+                                        std::span<const int> labels,
+                                        std::size_t num_classes,
+                                        const GradientOracle& oracle);
+
+}  // namespace safeloc::attack

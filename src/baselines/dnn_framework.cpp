@@ -1,0 +1,125 @@
+#include "src/baselines/dnn_framework.h"
+
+#include <stdexcept>
+
+#include "src/fl/trainer.h"
+#include "src/nn/activations.h"
+#include "src/nn/dense.h"
+#include "src/nn/loss.h"
+#include "src/util/rng.h"
+
+namespace safeloc::baselines {
+
+nn::Sequential build_mlp(const DnnArch& arch, std::size_t num_classes,
+                         std::uint64_t seed) {
+  if (num_classes == 0) throw std::invalid_argument("build_mlp: no classes");
+  util::Rng rng(seed);
+  nn::Sequential model;
+  std::size_t width = arch.input_dim;
+  for (const std::size_t h : arch.hidden) {
+    model.emplace<nn::Dense>(width, h, rng);
+    model.emplace<nn::ReLU>();
+    width = h;
+  }
+  model.emplace<nn::Dense>(width, num_classes, rng,
+                           nn::InitScheme::kXavierUniform);
+  return model;
+}
+
+std::size_t mlp_parameter_count(const DnnArch& arch, std::size_t num_classes) {
+  std::size_t total = 0;
+  std::size_t width = arch.input_dim;
+  for (const std::size_t h : arch.hidden) {
+    total += width * h + h;
+    width = h;
+  }
+  total += width * num_classes + num_classes;
+  return total;
+}
+
+DnnFramework::DnnFramework(std::string name, DnnArch arch,
+                           std::unique_ptr<fl::Aggregator> aggregator,
+                           double server_lr, std::size_t batch_size)
+    : name_(std::move(name)),
+      arch_(std::move(arch)),
+      aggregator_(std::move(aggregator)),
+      server_lr_(server_lr),
+      batch_size_(batch_size) {
+  if (aggregator_ == nullptr) {
+    throw std::invalid_argument("DnnFramework: aggregator required");
+  }
+}
+
+nn::Sequential& DnnFramework::require_model() {
+  if (!model_.has_value()) {
+    throw std::logic_error(name_ + ": pretrain() has not run");
+  }
+  return *model_;
+}
+
+nn::Sequential& DnnFramework::model() { return require_model(); }
+
+void DnnFramework::pretrain(const nn::Matrix& x, std::span<const int> labels,
+                            std::size_t num_classes, int epochs,
+                            std::uint64_t seed) {
+  num_classes_ = num_classes;
+  seed_ = seed;
+  model_.emplace(build_mlp(arch_, num_classes, seed));
+
+  fl::TrainOpts opts;
+  opts.epochs = epochs;
+  opts.learning_rate = server_lr_;
+  opts.batch_size = batch_size_;
+  opts.seed = seed;
+  (void)fl::train_classifier(*model_, x, labels, opts);
+}
+
+std::vector<int> DnnFramework::predict(const nn::Matrix& x) {
+  return nn::argmax_rows(require_model().forward(x, /*train=*/false));
+}
+
+nn::Matrix DnnFramework::input_gradient(const nn::Matrix& x,
+                                        std::span<const int> labels) {
+  nn::Sequential& net = require_model();
+  const nn::Matrix logits = net.forward(x, /*train=*/true);
+  const auto ce = nn::softmax_cross_entropy(logits, labels);
+  return net.backward(ce.grad);
+}
+
+fl::ClientUpdate DnnFramework::local_update(const nn::Matrix& x,
+                                            std::span<const int> labels,
+                                            const fl::LocalTrainOpts& opts) {
+  nn::Sequential local = require_model();  // deep copy
+  fl::TrainOpts train;
+  train.epochs = opts.epochs;
+  train.learning_rate = opts.learning_rate;
+  train.batch_size = opts.batch_size;
+  train.seed = opts.seed;
+  (void)fl::train_classifier(local, x, labels, train);
+
+  fl::ClientUpdate update;
+  update.state = nn::StateDict::from_module(local);
+  update.num_samples = x.rows();
+  return update;
+}
+
+void DnnFramework::aggregate(std::span<const fl::ClientUpdate> updates) {
+  nn::Sequential& net = require_model();
+  const nn::StateDict global = nn::StateDict::from_module(net);
+  const nn::StateDict next = aggregator_->aggregate(global, updates);
+  next.load_into(net);
+}
+
+std::size_t DnnFramework::parameter_count() {
+  return require_model().parameter_count();
+}
+
+nn::StateDict DnnFramework::snapshot() {
+  return nn::StateDict::from_module(require_model());
+}
+
+void DnnFramework::restore(const nn::StateDict& state) {
+  state.load_into(require_model());
+}
+
+}  // namespace safeloc::baselines

@@ -1,0 +1,83 @@
+// DnnFramework — shared implementation for the baseline frameworks, all of
+// which localize with a plain fully connected DNN and differ in aggregation
+// strategy and (for ONLAD / FEDLS) an auxiliary detector model.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/fl/aggregator.h"
+#include "src/fl/framework.h"
+#include "src/nn/sequential.h"
+
+namespace safeloc::baselines {
+
+/// Hidden-layer widths of the localization DNN (input and output widths are
+/// decided by the data: kFeatureDim in, num_classes out).
+struct DnnArch {
+  std::vector<std::size_t> hidden;
+  std::size_t input_dim = 128;
+};
+
+class DnnFramework : public fl::FederatedFramework {
+ public:
+  DnnFramework(std::string name, DnnArch arch,
+               std::unique_ptr<fl::Aggregator> aggregator,
+               double server_lr = 1e-3, std::size_t batch_size = 32);
+
+  [[nodiscard]] std::string name() const override { return name_; }
+
+  void pretrain(const nn::Matrix& x, std::span<const int> labels,
+                std::size_t num_classes, int epochs,
+                std::uint64_t seed) override;
+
+  [[nodiscard]] std::vector<int> predict(const nn::Matrix& x) override;
+
+  [[nodiscard]] nn::Matrix input_gradient(
+      const nn::Matrix& x, std::span<const int> labels) override;
+
+  [[nodiscard]] fl::ClientUpdate local_update(
+      const nn::Matrix& x, std::span<const int> labels,
+      const fl::LocalTrainOpts& opts) override;
+
+  void aggregate(std::span<const fl::ClientUpdate> updates) override;
+
+  [[nodiscard]] std::size_t parameter_count() override;
+  [[nodiscard]] std::size_t num_classes() const override { return num_classes_; }
+
+  [[nodiscard]] nn::StateDict snapshot() override;
+  void restore(const nn::StateDict& state) override;
+
+  [[nodiscard]] fl::Aggregator& aggregator() { return *aggregator_; }
+  [[nodiscard]] nn::Sequential& model();
+
+ protected:
+  [[nodiscard]] nn::Sequential& require_model();
+  [[nodiscard]] const DnnArch& arch() const noexcept { return arch_; }
+  [[nodiscard]] std::uint64_t pretrain_seed() const noexcept { return seed_; }
+
+ private:
+  std::string name_;
+  DnnArch arch_;
+  std::unique_ptr<fl::Aggregator> aggregator_;
+  double server_lr_;
+  std::size_t batch_size_;
+  std::optional<nn::Sequential> model_;
+  std::size_t num_classes_ = 0;
+  std::uint64_t seed_ = 0;
+};
+
+/// Builds an MLP: input -> hidden... -> num_classes with ReLU between.
+[[nodiscard]] nn::Sequential build_mlp(const DnnArch& arch,
+                                       std::size_t num_classes,
+                                       std::uint64_t seed);
+
+/// Trainable-parameter count of build_mlp's result, computed arithmetically.
+[[nodiscard]] std::size_t mlp_parameter_count(const DnnArch& arch,
+                                              std::size_t num_classes);
+
+}  // namespace safeloc::baselines

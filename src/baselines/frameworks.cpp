@@ -1,0 +1,228 @@
+#include "src/baselines/frameworks.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/core/safeloc.h"
+#include "src/fl/trainer.h"
+#include "src/nn/activations.h"
+#include "src/nn/dense.h"
+#include "src/util/rng.h"
+
+namespace safeloc::baselines {
+namespace {
+
+constexpr std::uint64_t kDetectorSeed = 0x0a1adULL;
+
+/// ONLAD's on-device detector: AE 128 -> 96 -> 64 -> 96 -> 128.
+nn::Sequential build_onlad_detector(std::size_t input_dim) {
+  util::Rng rng(kDetectorSeed);
+  nn::Sequential ae;
+  ae.emplace<nn::Dense>(input_dim, 96, rng);
+  ae.emplace<nn::ReLU>();
+  ae.emplace<nn::Dense>(96, 64, rng);
+  ae.emplace<nn::ReLU>();
+  ae.emplace<nn::Dense>(64, 96, rng);
+  ae.emplace<nn::ReLU>();
+  ae.emplace<nn::Dense>(96, input_dim, rng, nn::InitScheme::kXavierUniform);
+  return ae;
+}
+
+std::vector<float> rms_reconstruction_error(nn::Sequential& ae,
+                                            const nn::Matrix& x) {
+  const nn::Matrix recon = ae.forward(x, /*train=*/false);
+  std::vector<float> rce = row_mse(x, recon);
+  for (float& v : rce) v = std::sqrt(v);
+  return rce;
+}
+
+}  // namespace
+
+std::unique_ptr<DnnFramework> make_fedloc() {
+  return std::make_unique<DnnFramework>(
+      "FEDLOC", DnnArch{{256, 256, 128}},
+      std::make_unique<fl::FedAvgAggregator>());
+}
+
+std::unique_ptr<DnnFramework> make_fedhil() {
+  return std::make_unique<DnnFramework>(
+      "FEDHIL", DnnArch{{224, 224, 64}},
+      std::make_unique<fl::SelectiveAggregator>());
+}
+
+std::unique_ptr<DnnFramework> make_fedcc() {
+  return std::make_unique<DnnFramework>(
+      "FEDCC", DnnArch{{192, 128}}, std::make_unique<fl::FedCcAggregator>());
+}
+
+FedLsFramework::FedLsFramework()
+    : DnnFramework("FEDLS", DnnArch{{384, 224}},
+                   std::make_unique<fl::FedLsAggregator>(fl::FedLsOptions{
+                       .seed = 0x1edf5ULL,
+                       .z_threshold = 1.5,
+                       .projection_dim = 512,
+                       .hidden = 112,
+                       .latent = 56,
+                   })),
+      detector_options_{.seed = 0x1edf5ULL,
+                        .z_threshold = 1.5,
+                        .projection_dim = 512,
+                        .hidden = 112,
+                        .latent = 56} {}
+
+void FedLsFramework::pretrain(const nn::Matrix& x, std::span<const int> labels,
+                              std::size_t num_classes, int epochs,
+                              std::uint64_t seed) {
+  DnnFramework::pretrain(x, labels, num_classes, epochs, seed);
+  // Server-held probe set: a slice of the pretraining fingerprints on which
+  // each uploaded LM's behaviour is compared against the GM.
+  probes_ = x.slice_rows(0, std::min<std::size_t>(64, x.rows()));
+  if (!feature_fn_installed_) {
+    auto* detector = dynamic_cast<fl::FedLsAggregator*>(&aggregator());
+    if (detector == nullptr) {
+      throw std::logic_error("FEDLS: aggregator is not FedLsAggregator");
+    }
+    detector->set_feature_fn(
+        [this](const nn::StateDict& global, const nn::StateDict& update) {
+          return probe_features(global, update);
+        },
+        detector_options_.projection_dim);
+    feature_fn_installed_ = true;
+  }
+}
+
+std::vector<float> FedLsFramework::probe_features(const nn::StateDict& global,
+                                                  const nn::StateDict& update) {
+  nn::Sequential scratch = model();  // copy of the localizer architecture
+  update.load_into(scratch);
+  const nn::Matrix update_logits = scratch.forward(probes_, /*train=*/false);
+  global.load_into(scratch);
+  const nn::Matrix global_logits = scratch.forward(probes_, /*train=*/false);
+
+  std::vector<float> delta;
+  delta.reserve(update_logits.size());
+  for (std::size_t i = 0; i < update_logits.size(); ++i) {
+    delta.push_back(update_logits.data()[i] - global_logits.data()[i]);
+  }
+  return fl::sign_hash_projection(delta, detector_options_.projection_dim,
+                                  detector_options_.seed,
+                                  /*squash_scale=*/1.0);
+}
+
+std::size_t FedLsFramework::parameter_count() {
+  // Localizer + the server-side latent-space detector (the paper's Table I
+  // counts both models of the two-model frameworks).
+  return DnnFramework::parameter_count() +
+         fl::FedLsAggregator::detector_parameter_count(
+             detector_options_, detector_options_.projection_dim);
+}
+
+OnladFramework::OnladFramework()
+    : DnnFramework("ONLAD", DnnArch{{256, 192}},
+                   std::make_unique<fl::FedAvgAggregator>()) {}
+
+void OnladFramework::pretrain(const nn::Matrix& x, std::span<const int> labels,
+                              std::size_t num_classes, int epochs,
+                              std::uint64_t seed) {
+  DnnFramework::pretrain(x, labels, num_classes, epochs, seed);
+
+  // Train the on-device anomaly detector on the same clean reference data
+  // (semi-supervised: normal data only), then calibrate its threshold.
+  detector_ = build_onlad_detector(arch().input_dim);
+  fl::TrainOpts opts;
+  opts.epochs = epochs;
+  opts.learning_rate = 1e-3;
+  opts.batch_size = 32;
+  opts.seed = seed ^ kDetectorSeed;
+  (void)fl::train_autoencoder(detector_, x, opts);
+  detector_ready_ = true;
+
+  const std::vector<float> rce = rms_reconstruction_error(detector_, x);
+  double mu = 0.0;
+  for (const float r : rce) mu += r;
+  mu /= static_cast<double>(rce.size());
+  double var = 0.0;
+  for (const float r : rce) var += (r - mu) * (r - mu);
+  threshold_ = mu + 2.0 * std::sqrt(var / static_cast<double>(rce.size()));
+}
+
+fl::SanitizeResult OnladFramework::client_sanitize(const nn::Matrix& x,
+                                                   std::vector<int> labels) {
+  if (!detector_ready_) {
+    throw std::logic_error("ONLAD: pretrain() has not run");
+  }
+  const std::vector<float> rce = rms_reconstruction_error(detector_, x);
+
+  std::vector<std::size_t> keep;
+  keep.reserve(x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    if (static_cast<double>(rce[i]) <= threshold_) keep.push_back(i);
+  }
+
+  fl::SanitizeResult out;
+  out.dropped = x.rows() - keep.size();
+  out.flagged = out.dropped;
+  out.x = nn::Matrix(keep.size(), x.cols());
+  out.labels.reserve(keep.size());
+  for (std::size_t i = 0; i < keep.size(); ++i) {
+    const auto src = x.row(keep[i]);
+    auto dst = out.x.row(i);
+    for (std::size_t j = 0; j < src.size(); ++j) dst[j] = src[j];
+    out.labels.push_back(labels[keep[i]]);
+  }
+  return out;
+}
+
+std::size_t OnladFramework::parameter_count() {
+  std::size_t detector_params = 0;
+  if (detector_ready_) {
+    detector_params = detector_.parameter_count();
+  } else {
+    // input->96->64->96->input AE, arithmetically.
+    const std::size_t d = arch().input_dim;
+    detector_params = (d * 96 + 96) + (96 * 64 + 64) + (64 * 96 + 96) +
+                      (96 * d + d);
+  }
+  return DnnFramework::parameter_count() + detector_params;
+}
+
+std::span<const FrameworkId> all_frameworks() {
+  static const FrameworkId ids[] = {
+      FrameworkId::kSafeLoc, FrameworkId::kOnlad,  FrameworkId::kFedHil,
+      FrameworkId::kFedCc,   FrameworkId::kFedLs,  FrameworkId::kFedLoc,
+  };
+  return ids;
+}
+
+std::string to_string(FrameworkId id) {
+  switch (id) {
+    case FrameworkId::kSafeLoc: return "SAFELOC";
+    case FrameworkId::kOnlad: return "ONLAD";
+    case FrameworkId::kFedHil: return "FEDHIL";
+    case FrameworkId::kFedCc: return "FEDCC";
+    case FrameworkId::kFedLs: return "FEDLS";
+    case FrameworkId::kFedLoc: return "FEDLOC";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<fl::FederatedFramework> make_framework(FrameworkId id) {
+  switch (id) {
+    case FrameworkId::kSafeLoc:
+      return std::make_unique<core::SafeLocFramework>();
+    case FrameworkId::kOnlad:
+      return std::make_unique<OnladFramework>();
+    case FrameworkId::kFedHil:
+      return make_fedhil();
+    case FrameworkId::kFedCc:
+      return make_fedcc();
+    case FrameworkId::kFedLs:
+      return std::make_unique<FedLsFramework>();
+    case FrameworkId::kFedLoc:
+      return make_fedloc();
+  }
+  throw std::invalid_argument("make_framework: unknown id");
+}
+
+}  // namespace safeloc::baselines

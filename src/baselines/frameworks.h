@@ -1,0 +1,105 @@
+// The five state-of-the-art baselines the paper compares against (§II, §V),
+// plus a factory covering SAFELOC itself so experiments can iterate over
+// every framework uniformly.
+//
+// Architectures are calibrated so the parameter budgets track Table I's
+// ordering (SAFELOC smallest, FEDCC within ~5% of it, FEDLS largest):
+//   SAFELOC ~54k < FEDCC ~57k < FEDHIL ~98k < ONLAD ~131k < FEDLOC ~139k
+//   < FEDLS ~277k     (at 128 inputs / 60 classes)
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/baselines/dnn_framework.h"
+#include "src/nn/sequential.h"
+
+namespace safeloc::baselines {
+
+/// FEDLOC (Yin et al.): three-hidden-layer DNN + plain FedAvg. No defense —
+/// the paper's most vulnerable baseline.
+[[nodiscard]] std::unique_ptr<DnnFramework> make_fedloc();
+
+/// FEDHIL (Gufran et al.): DNN + selective per-tensor aggregation, built to
+/// resist heterogeneity bias; partially resists poisoning as a side effect.
+[[nodiscard]] std::unique_ptr<DnnFramework> make_fedhil();
+
+/// FEDCC (Jeong et al.): DNN + update-similarity clustering; the majority
+/// cluster is aggregated, the minority excluded.
+[[nodiscard]] std::unique_ptr<DnnFramework> make_fedcc();
+
+/// FEDLS (Luong et al.): DNN + server-side autoencoder over a latent
+/// embedding of client updates; anomalous updates are excluded.
+///
+/// The embedding is behavioural: each LM's *logit change on a server-held
+/// probe set* relative to the GM, sign-hash-projected to the detector's
+/// input width. Label flipping wrenches probe logits and is caught;
+/// backdoor training (perturbed inputs, clean labels) changes clean-probe
+/// logits only gradually per round and accumulates under the detector's
+/// radar — the backdoor weakness the SAFELOC paper reports for FEDLS.
+class FedLsFramework final : public DnnFramework {
+ public:
+  FedLsFramework();
+
+  void pretrain(const nn::Matrix& x, std::span<const int> labels,
+                std::size_t num_classes, int epochs,
+                std::uint64_t seed) override;
+
+  [[nodiscard]] std::size_t parameter_count() override;
+
+ private:
+  [[nodiscard]] std::vector<float> probe_features(
+      const nn::StateDict& global, const nn::StateDict& update);
+
+  fl::FedLsOptions detector_options_;
+  nn::Matrix probes_;
+  bool feature_fn_installed_ = false;
+};
+
+/// ONLAD (Tsukada et al.): two separate models — an on-device semi-
+/// supervised autoencoder that drops anomalous fingerprints before local
+/// training, and a DNN localizer aggregated with FedAvg. Strong against
+/// backdoors, weaker against label flipping (clean inputs pass the filter).
+class OnladFramework final : public DnnFramework {
+ public:
+  OnladFramework();
+
+  void pretrain(const nn::Matrix& x, std::span<const int> labels,
+                std::size_t num_classes, int epochs,
+                std::uint64_t seed) override;
+
+  [[nodiscard]] fl::SanitizeResult client_sanitize(
+      const nn::Matrix& x, std::vector<int> labels) override;
+
+  [[nodiscard]] std::size_t parameter_count() override;
+
+  /// Anomaly threshold calibrated on clean training data (mean + 2·stddev
+  /// of RMS reconstruction error).
+  [[nodiscard]] double anomaly_threshold() const noexcept { return threshold_; }
+
+ private:
+  nn::Sequential detector_;
+  bool detector_ready_ = false;
+  double threshold_ = 0.0;
+};
+
+/// Every framework in the paper's comparison (Fig. 6 / Table I).
+enum class FrameworkId {
+  kSafeLoc,
+  kOnlad,
+  kFedHil,
+  kFedCc,
+  kFedLs,
+  kFedLoc,
+};
+
+[[nodiscard]] std::span<const FrameworkId> all_frameworks();
+[[nodiscard]] std::string to_string(FrameworkId id);
+
+/// Builds a fresh framework instance (not yet pretrained).
+[[nodiscard]] std::unique_ptr<fl::FederatedFramework> make_framework(
+    FrameworkId id);
+
+}  // namespace safeloc::baselines

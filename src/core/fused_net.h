@@ -1,0 +1,137 @@
+// SAFELOC's fused neural network (paper §IV.A, Fig. 3).
+//
+// One model, three roles:
+//   * encoder  (Dense 128 -> 89 -> 62, ReLU)   shared feature extractor
+//   * decoder  (62 -> 89 -> 128, ReLU)          poison detection + de-noising
+//   * classifier (62 -> num_classes logits)     location prediction
+//
+// Decoder mirroring. The paper mirrors decoder layers onto encoder layers
+// and "freezes the gradients from the encoder and propagates them to their
+// corresponding layers in the decoder". We realize this as:
+//   * decoder layers mirror the encoder shape and are *initialized from the
+//     transposed encoder weights* (the encoder's learned patterns seed the
+//     corresponding decoder layers), then train on the reconstruction loss;
+//   * the reconstruction-loss gradient is *stopped at the bottleneck*: it
+//     never flows back through the encoder forward path, so it cannot
+//     distort the latent geometry the classifier depends on (the frozen
+//     encoder).
+// A strictly-tied mode (decoder weights share storage with the transposed
+// encoder) exists for the ablation bench; it is smaller but reconstructs
+// poorly, because the shared weights are dominated by the classification
+// objective.
+//
+// Reconstruction error (RCE). Per sample we report the root-mean-square
+// reconstruction error in the standardized [0, 1] feature space, so a
+// perturbation of per-feature magnitude ε maps to an RCE of roughly ε and
+// the paper's τ axis (0..0.5, "5%..50% tolerance") keeps its meaning.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/nn/activations.h"
+#include "src/nn/dense.h"
+#include "src/nn/layer.h"
+#include "src/nn/matrix.h"
+#include "src/util/rng.h"
+
+namespace safeloc::core {
+
+class FusedNet final : public nn::Module {
+ public:
+  struct Config {
+    /// Input fingerprint width. Must equal `enc1` so the two-layer decoder
+    /// (89 -> 128) lands exactly on the input dimension, as in the paper.
+    std::size_t input_dim = 128;
+    std::size_t enc1 = 128;
+    std::size_t enc2 = 89;
+    std::size_t enc3 = 62;  // bottleneck / latent width
+    std::size_t num_classes = 0;
+    /// Strictly tie decoder weights to (transposed) encoder weights.
+    /// Default off: decoder is warm-started from the transposes but owns
+    /// its weights (see file comment).
+    bool tied_decoder = false;
+    /// Stop the reconstruction-loss gradient at the bottleneck. Default
+    /// off — see SafeLocConfig::freeze_encoder_on_recon.
+    bool freeze_encoder_on_recon = false;
+  };
+
+  FusedNet(const Config& config, std::uint64_t seed);
+
+  // Copy and move both rebuild the decoder's weight ties against this
+  // object's own encoder layers.
+  FusedNet(const FusedNet& other);
+  FusedNet& operator=(const FusedNet& other);
+  FusedNet(FusedNet&& other) noexcept;
+  FusedNet& operator=(FusedNet&& other) noexcept;
+
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+  struct ForwardResult {
+    nn::Matrix latent;  // (n x enc3)
+    nn::Matrix recon;   // (n x input_dim)
+    nn::Matrix logits;  // (n x num_classes)
+  };
+
+  /// Full forward pass through all three heads.
+  [[nodiscard]] ForwardResult forward(const nn::Matrix& x, bool train = false);
+
+  struct StepLosses {
+    double classification = 0.0;
+    double reconstruction = 0.0;
+  };
+
+  /// Accumulates gradients of CE(logits, labels) + recon_weight · MSE(recon, x)
+  /// for a batch previously passed through forward(x, /*train=*/true).
+  StepLosses backward(const nn::Matrix& x, const ForwardResult& fwd,
+                      std::span<const int> labels, double recon_weight);
+
+  /// ∇_x CE(logits(x), labels) — classification loss only (attacker oracle
+  /// and saliency analyses).
+  [[nodiscard]] nn::Matrix input_gradient(const nn::Matrix& x,
+                                          std::span<const int> labels);
+
+  /// Per-sample RMS reconstruction error in [0, 1] feature units.
+  [[nodiscard]] std::vector<float> reconstruction_error(const nn::Matrix& x);
+
+  /// Decoder output — the de-noised fingerprints.
+  [[nodiscard]] nn::Matrix denoise(const nn::Matrix& x);
+
+  /// Plain classification (no detection): argmax of logits.
+  [[nodiscard]] std::vector<int> classify(const nn::Matrix& x);
+
+  /// SAFELOC inference path: samples with RCE <= tau classify from their
+  /// latent; flagged samples are de-noised, re-encoded, and classified from
+  /// the new latent (paper §IV.A). `flagged_out`, if non-null, receives the
+  /// number of flagged samples.
+  [[nodiscard]] std::vector<int> classify_with_denoise(
+      const nn::Matrix& x, double tau, std::size_t* flagged_out = nullptr);
+
+  /// Per-sample poison verdicts at threshold tau.
+  [[nodiscard]] std::vector<bool> detect_poisoned(const nn::Matrix& x,
+                                                  double tau);
+
+  [[nodiscard]] std::vector<nn::ParamRef> parameters() override;
+
+ private:
+  void rebuild_decoder_ties();
+
+  Config config_;
+  /// Weight-init stream. Declared before the layers: member initialization
+  /// order feeds each layer from this generator in sequence.
+  util::Rng init_rng_;
+  nn::Dense enc1_, enc2_, enc3_, cls_;
+  // Note: the reconstruction output layer is linear. The paper applies ReLU
+  // to all layers, but a ReLU'd output layer has zero gradient wherever its
+  // pre-activation is negative — about half the features at init — which
+  // permanently kills those reconstruction outputs and pins the RCE near
+  // the input RMS. The hidden decoder layer keeps its ReLU.
+  nn::ReLU relu1_, relu2_, relu3_, relu_d1_;
+  // Exactly one decoder pair is active, per config_.tied_decoder.
+  std::unique_ptr<nn::TiedDense> tied_dec1_, tied_dec2_;
+  std::unique_ptr<nn::Dense> untied_dec1_, untied_dec2_;
+};
+
+}  // namespace safeloc::core

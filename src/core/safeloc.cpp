@@ -1,0 +1,230 @@
+#include "src/core/safeloc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/nn/loss.h"
+#include "src/nn/optimizer.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+
+namespace safeloc::core {
+
+double train_fused_net(FusedNet& net, const nn::Matrix& x,
+                       std::span<const int> labels, const fl::TrainOpts& opts,
+                       double recon_weight, double denoise_noise_std,
+                       bool device_augment) {
+  if (labels.size() != x.rows() || x.rows() == 0) {
+    throw std::invalid_argument("train_fused_net: bad batch");
+  }
+  nn::Adam optimizer(opts.learning_rate);
+  const auto params = net.parameters();
+
+  util::Rng rng(opts.seed ^ 0xf05edULL);
+  std::vector<std::size_t> order(x.rows());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  const std::size_t batch = std::max<std::size_t>(1, opts.batch_size);
+
+  double last_epoch_loss = 0.0;
+  for (int epoch = 0; epoch < opts.epochs; ++epoch) {
+    rng.shuffle(order);
+    double epoch_loss = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t start = 0; start < order.size(); start += batch) {
+      const std::size_t end = std::min(start + batch, order.size());
+      nn::Matrix bx_clean(end - start, x.cols());
+      std::vector<int> by(end - start);
+      for (std::size_t i = start; i < end; ++i) {
+        const auto src = x.row(order[i]);
+        auto dst = bx_clean.row(i - start);
+        for (std::size_t j = 0; j < src.size(); ++j) dst[j] = src[j];
+        by[i - start] = labels[order[i]];
+      }
+
+      // Device-heterogeneity augmentation: a random per-scan affine
+      // distortion spanning the device spread (gain 0.9-1.1 on dBm and
+      // offsets map to affine transforms of the standardized features).
+      // The affine version is the *reconstruction target*: the decoder must
+      // reproduce whatever device flavour it is given — so clean scans from
+      // unseen devices score a low RCE — while the corruption below is what
+      // it must remove.
+      nn::Matrix bx_target = bx_clean;
+      if (device_augment) {
+        for (std::size_t r = 0; r < bx_target.rows(); ++r) {
+          const float gain = rng.uniform_f(0.90f, 1.10f);
+          const float offset = rng.uniform_f(-0.10f, 0.10f);
+          for (float& v : bx_target.row(r)) {
+            if (v > 0.0f) {
+              v = std::clamp(gain * v + offset, 0.0f, 1.0f);
+            }
+          }
+        }
+      }
+
+      // Denoising-AE corruption: the network sees the noisy input; the
+      // reconstruction target is the uncorrupted (device-flavoured) scan.
+      nn::Matrix bx = bx_target;
+      if (denoise_noise_std > 0.0) {
+        for (float& v : bx.flat()) {
+          v = std::clamp(
+              v + static_cast<float>(rng.gaussian(0.0, denoise_noise_std)),
+              0.0f, 1.0f);
+        }
+      }
+
+      net.zero_grad();
+      const auto fwd = net.forward(bx, /*train=*/true);
+      const auto losses = net.backward(bx_target, fwd, by, recon_weight);
+      optimizer.step(params);
+      epoch_loss += losses.classification;
+      ++batches;
+    }
+    last_epoch_loss = epoch_loss / static_cast<double>(batches);
+  }
+  return last_epoch_loss;
+}
+
+SafeLocFramework::SafeLocFramework(SafeLocConfig config)
+    : config_(config), aggregator_(config.saliency) {}
+
+FusedNet& SafeLocFramework::require_network() {
+  if (!net_.has_value()) {
+    throw std::logic_error("SafeLocFramework: pretrain() has not run");
+  }
+  return *net_;
+}
+
+FusedNet& SafeLocFramework::network() { return require_network(); }
+
+void SafeLocFramework::pretrain(const nn::Matrix& x,
+                                std::span<const int> labels,
+                                std::size_t num_classes, int epochs,
+                                std::uint64_t seed) {
+  num_classes_ = num_classes;
+  FusedNet::Config net_config;
+  net_config.input_dim = config_.input_dim;
+  net_config.enc1 = config_.enc1;
+  net_config.enc2 = config_.enc2;
+  net_config.enc3 = config_.enc3;
+  net_config.num_classes = num_classes;
+  net_config.tied_decoder = config_.tied_decoder;
+  net_config.freeze_encoder_on_recon = config_.freeze_encoder_on_recon;
+  net_.emplace(net_config, seed);
+
+  fl::TrainOpts opts;
+  opts.epochs = epochs;
+  opts.learning_rate = config_.server_lr;
+  opts.batch_size = config_.batch_size;
+  opts.seed = seed;
+  (void)train_fused_net(*net_, x, labels, opts, config_.recon_weight,
+                        config_.denoise_train_noise, config_.device_augment);
+}
+
+std::vector<int> SafeLocFramework::predict(const nn::Matrix& x) {
+  return require_network().classify_with_denoise(x, config_.tau);
+}
+
+nn::Matrix SafeLocFramework::input_gradient(const nn::Matrix& x,
+                                            std::span<const int> labels) {
+  return require_network().input_gradient(x, labels);
+}
+
+fl::SanitizeResult SafeLocFramework::client_sanitize(const nn::Matrix& x,
+                                                     std::vector<int> labels) {
+  FusedNet& net = require_network();
+  const auto fwd = net.forward(x, /*train=*/false);
+  std::vector<float> rce = row_mse(x, fwd.recon);
+
+  fl::SanitizeResult out{x, std::move(labels), 0, 0};
+  std::vector<std::size_t> flagged_rows;
+  for (std::size_t i = 0; i < rce.size(); ++i) {
+    if (std::sqrt(static_cast<double>(rce[i])) > config_.tau) {
+      flagged_rows.push_back(i);
+    }
+  }
+  if (flagged_rows.empty()) return out;
+
+  // De-noise the flagged fingerprints: the LM trains on reconstructions
+  // with the backdoor perturbation stripped (paper §IV.A). As at inference,
+  // replacement is confidence-gated: a flagged-but-clean scan — device
+  // heterogeneity can trip the threshold — keeps its original fingerprint,
+  // because its direct prediction is the more confident one; a genuinely
+  // poisoned scan takes the reconstruction.
+  const nn::Matrix direct_probs = nn::softmax(fwd.logits);
+  const std::vector<int> direct_labels = nn::argmax_rows(fwd.logits);
+
+  nn::Matrix suspicious(flagged_rows.size(), x.cols());
+  for (std::size_t i = 0; i < flagged_rows.size(); ++i) {
+    const auto src = fwd.recon.row(flagged_rows[i]);
+    auto dst = suspicious.row(i);
+    for (std::size_t j = 0; j < src.size(); ++j) dst[j] = src[j];
+  }
+  const nn::Matrix denoised_logits =
+      net.forward(suspicious, /*train=*/false).logits;
+  const nn::Matrix denoised_probs = nn::softmax(denoised_logits);
+  const std::vector<int> denoised_labels = nn::argmax_rows(denoised_logits);
+
+  std::size_t replaced = 0;
+  for (std::size_t i = 0; i < flagged_rows.size(); ++i) {
+    const std::size_t row = flagged_rows[i];
+    const float direct_conf =
+        direct_probs(row, static_cast<std::size_t>(direct_labels[row]));
+    const float denoised_conf =
+        denoised_probs(i, static_cast<std::size_t>(denoised_labels[i]));
+    if (denoised_conf > direct_conf) {
+      const auto src = suspicious.row(i);
+      auto dst = out.x.row(row);
+      for (std::size_t j = 0; j < src.size(); ++j) dst[j] = src[j];
+      ++replaced;
+    }
+  }
+  out.flagged = replaced;
+  return out;
+}
+
+fl::ClientUpdate SafeLocFramework::local_update(const nn::Matrix& x,
+                                                std::span<const int> labels,
+                                                const fl::LocalTrainOpts& opts) {
+  FusedNet local = require_network();  // deep copy; ties rebuilt internally
+  fl::TrainOpts train;
+  train.epochs = opts.epochs;
+  train.learning_rate = opts.learning_rate;
+  train.batch_size = opts.batch_size;
+  train.seed = opts.seed;
+  (void)train_fused_net(local, x, labels, train, config_.client_recon_weight);
+
+  fl::ClientUpdate update;
+  update.state = nn::StateDict::from_module(local);
+  update.num_samples = x.rows();
+  return update;
+}
+
+void SafeLocFramework::aggregate(std::span<const fl::ClientUpdate> updates) {
+  FusedNet& net = require_network();
+  const nn::StateDict global = nn::StateDict::from_module(net);
+  const nn::StateDict next = aggregator_.aggregate(global, updates);
+  next.load_into(net);
+}
+
+std::size_t SafeLocFramework::parameter_count() {
+  return require_network().parameter_count();
+}
+
+nn::StateDict SafeLocFramework::snapshot() {
+  return nn::StateDict::from_module(require_network());
+}
+
+void SafeLocFramework::restore(const nn::StateDict& state) {
+  state.load_into(require_network());
+}
+
+double SafeLocFramework::calibrate_tau(const nn::Matrix& clean_x,
+                                       double percentile, double margin) {
+  const std::vector<float> rce = require_network().reconstruction_error(clean_x);
+  std::vector<double> values(rce.begin(), rce.end());
+  config_.tau = util::percentile(std::move(values), percentile) + margin;
+  return config_.tau;
+}
+
+}  // namespace safeloc::core

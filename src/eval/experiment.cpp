@@ -1,0 +1,79 @@
+#include "src/eval/experiment.h"
+
+#include "src/util/config.h"
+#include "src/util/logging.h"
+
+namespace safeloc::eval {
+
+Experiment::Experiment(int building_id, std::uint64_t seed)
+    : building_(rss::paper_building(building_id)),
+      generator_(building_, seed),
+      train_(generator_.training_set()),
+      seed_(seed) {
+  const auto& devices = rss::paper_devices();
+  test_sets_.reserve(devices.size() - 1);
+  for (std::size_t d = 0; d < devices.size(); ++d) {
+    if (d == rss::reference_device_index()) continue;
+    test_sets_.push_back(generator_.test_set(devices[d]));
+  }
+}
+
+void Experiment::pretrain(fl::FederatedFramework& framework, int epochs) const {
+  framework.pretrain(train_.x, train_.labels, num_classes(), epochs, seed_);
+  util::log_debug(framework.name(), ": pretrained on ",
+                  building_.spec().name, " (", train_.size(), " samples)");
+}
+
+std::vector<double> Experiment::evaluate(
+    fl::FederatedFramework& framework) const {
+  std::vector<double> errors;
+  for (const auto& test : test_sets_) {
+    const std::vector<int> predicted = framework.predict(test.x);
+    const std::vector<double> device_errors =
+        localization_errors(building_, predicted, test.labels);
+    errors.insert(errors.end(), device_errors.begin(), device_errors.end());
+  }
+  return errors;
+}
+
+AttackOutcome Experiment::run_scenario(fl::FederatedFramework& framework,
+                                       const fl::FlScenario& scenario) const {
+  const nn::StateDict pristine = framework.snapshot();
+  AttackOutcome outcome;
+  outcome.fl_diagnostics = fl::run_federated(framework, generator_, scenario);
+  outcome.errors_m = evaluate(framework);
+  outcome.stats = error_stats(outcome.errors_m);
+  framework.restore(pristine);
+  return outcome;
+}
+
+fl::LocalTrainOpts Experiment::default_local_opts() {
+  const util::RunScale& scale = util::run_scale();
+  fl::LocalTrainOpts opts;
+  opts.epochs = scale.client_epochs;
+  opts.learning_rate = scale.client_lr;
+  return opts;
+}
+
+AttackOutcome Experiment::run_attack(fl::FederatedFramework& framework,
+                                     const attack::AttackConfig& attack,
+                                     int rounds) const {
+  fl::FlScenario scenario;
+  scenario.rounds = rounds;
+  scenario.local = default_local_opts();
+  scenario.clients = fl::paper_clients(attack);
+  scenario.seed = seed_;
+  return run_scenario(framework, scenario);
+}
+
+AttackOutcome run_full_experiment(fl::FederatedFramework& framework,
+                                  int building_id,
+                                  const attack::AttackConfig& attack,
+                                  int server_epochs, int rounds,
+                                  std::uint64_t seed) {
+  const Experiment experiment(building_id, seed);
+  experiment.pretrain(framework, server_epochs);
+  return experiment.run_attack(framework, attack, rounds);
+}
+
+}  // namespace safeloc::eval

@@ -1,0 +1,35 @@
+#include "src/eval/metrics.h"
+
+#include <stdexcept>
+
+#include "src/util/stats.h"
+
+namespace safeloc::eval {
+
+ErrorStats error_stats(std::span<const double> errors) {
+  ErrorStats stats;
+  if (errors.empty()) return stats;
+  util::RunningStats acc;
+  for (const double e : errors) acc.add(e);
+  stats.mean_m = acc.mean();
+  stats.best_m = acc.min();
+  stats.worst_m = acc.max();
+  stats.count = acc.count();
+  return stats;
+}
+
+std::vector<double> localization_errors(const rss::Building& building,
+                                        std::span<const int> predicted,
+                                        std::span<const int> truth) {
+  if (predicted.size() != truth.size()) {
+    throw std::invalid_argument("localization_errors: size mismatch");
+  }
+  std::vector<double> errors(predicted.size());
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    errors[i] = building.rp_distance_m(static_cast<std::size_t>(predicted[i]),
+                                       static_cast<std::size_t>(truth[i]));
+  }
+  return errors;
+}
+
+}  // namespace safeloc::eval

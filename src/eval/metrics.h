@@ -1,0 +1,29 @@
+// Localization-error metrics (the y-axis of every figure in the paper).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/rss/building.h"
+
+namespace safeloc::eval {
+
+/// Best- / mean- / worst-case statistics of a set of localization errors —
+/// the lower whisker, centre bar, and upper whisker of the paper's
+/// box-and-whisker plots.
+struct ErrorStats {
+  double mean_m = 0.0;
+  double best_m = 0.0;
+  double worst_m = 0.0;
+  std::size_t count = 0;
+};
+
+[[nodiscard]] ErrorStats error_stats(std::span<const double> errors);
+
+/// Per-sample localization error in metres: Euclidean distance between the
+/// predicted RP's position and the true RP's position.
+[[nodiscard]] std::vector<double> localization_errors(
+    const rss::Building& building, std::span<const int> predicted,
+    std::span<const int> truth);
+
+}  // namespace safeloc::eval

@@ -1,0 +1,40 @@
+#include "src/eval/timing.h"
+
+#include <chrono>
+#include <stdexcept>
+
+namespace safeloc::eval {
+
+LatencyResult measure_inference_latency(fl::FederatedFramework& framework,
+                                        const nn::Matrix& sample,
+                                        std::size_t iterations) {
+  if (sample.rows() != 1) {
+    throw std::invalid_argument(
+        "measure_inference_latency: pass a single fingerprint");
+  }
+  if (iterations == 0) {
+    throw std::invalid_argument("measure_inference_latency: iterations == 0");
+  }
+
+  // Warm-up (page in weights, stabilize caches). The sink keeps the
+  // optimizer from eliding predict() calls.
+  int accumulated = 0;
+  for (int w = 0; w < 10; ++w) accumulated += framework.predict(sample)[0];
+
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < iterations; ++i) {
+    accumulated += framework.predict(sample)[0];
+  }
+  const auto stop = std::chrono::steady_clock::now();
+  volatile int sink = accumulated;
+  (void)sink;
+
+  LatencyResult result;
+  result.iterations = iterations;
+  result.mean_us =
+      std::chrono::duration<double, std::micro>(stop - start).count() /
+      static_cast<double>(iterations);
+  return result;
+}
+
+}  // namespace safeloc::eval

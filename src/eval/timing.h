@@ -1,0 +1,22 @@
+// Wall-clock inference-latency measurement (Table I's "Model Inference
+// Latency" column). The precise microbenchmark lives in bench_table1 (google
+// benchmark); this helper provides the same number for examples and reports.
+#pragma once
+
+#include <cstddef>
+
+#include "src/fl/framework.h"
+
+namespace safeloc::eval {
+
+struct LatencyResult {
+  /// Mean latency of a single-fingerprint predict() call, microseconds.
+  double mean_us = 0.0;
+  std::size_t iterations = 0;
+};
+
+[[nodiscard]] LatencyResult measure_inference_latency(
+    fl::FederatedFramework& framework, const nn::Matrix& sample,
+    std::size_t iterations = 200);
+
+}  // namespace safeloc::eval

@@ -1,0 +1,435 @@
+#include "src/fl/aggregator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "src/fl/trainer.h"
+#include "src/nn/activations.h"
+#include "src/nn/dense.h"
+#include "src/nn/loss.h"
+#include "src/util/rng.h"
+
+namespace safeloc::fl {
+namespace {
+
+/// Sample-weighted mean of the given subset of updates.
+nn::StateDict weighted_mean(std::span<const ClientUpdate> updates,
+                            std::span<const std::size_t> included) {
+  double total = 0.0;
+  for (const std::size_t i : included) {
+    total += static_cast<double>(std::max<std::size_t>(updates[i].num_samples, 1));
+  }
+  nn::StateDict mean = updates[included.front()].state;
+  mean.scale_all(0.0f);
+  for (const std::size_t i : included) {
+    const double w =
+        static_cast<double>(std::max<std::size_t>(updates[i].num_samples, 1)) /
+        total;
+    mean.axpy_from(static_cast<float>(w), updates[i].state);
+  }
+  return mean;
+}
+
+std::vector<std::size_t> all_indices(std::size_t n) {
+  std::vector<std::size_t> out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = i;
+  return out;
+}
+
+}  // namespace
+
+std::vector<float> sign_hash_projection(std::span<const float> values,
+                                        std::size_t output_dim,
+                                        std::uint64_t seed,
+                                        double squash_scale) {
+  if (output_dim == 0) {
+    throw std::invalid_argument("sign_hash_projection: output_dim == 0");
+  }
+  std::vector<double> projected(output_dim, 0.0);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const double v = values[i];
+    if (v == 0.0) continue;
+    std::uint64_t h = seed ^ (i * 0x9e3779b97f4a7c15ULL);
+    for (int rep = 0; rep < 4; ++rep) {
+      h = util::splitmix64(h);
+      const std::size_t j = h % output_dim;
+      const double sign = (h >> 63) != 0 ? 1.0 : -1.0;
+      projected[j] += sign * v;
+    }
+  }
+  std::vector<float> out(output_dim);
+  for (std::size_t j = 0; j < output_dim; ++j) {
+    out[j] = static_cast<float>(std::tanh(projected[j] * squash_scale));
+  }
+  return out;
+}
+
+void require_compatible(const nn::StateDict& global,
+                        std::span<const ClientUpdate> updates) {
+  if (updates.empty()) {
+    throw std::invalid_argument("aggregate: no client updates");
+  }
+  for (const auto& u : updates) {
+    if (!u.state.same_schema(global)) {
+      throw std::invalid_argument("aggregate: client " +
+                                  std::to_string(u.client_id) +
+                                  " schema mismatch");
+    }
+  }
+}
+
+nn::StateDict FedAvgAggregator::aggregate(const nn::StateDict& global,
+                                          std::span<const ClientUpdate> updates) {
+  require_compatible(global, updates);
+  const auto included = all_indices(updates.size());
+  return weighted_mean(updates, included);
+}
+
+nn::StateDict SelectiveAggregator::aggregate(
+    const nn::StateDict& global, std::span<const ClientUpdate> updates) {
+  require_compatible(global, updates);
+  const std::size_t n = updates.size();
+  const std::size_t keep = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::ceil(selection_fraction_ * static_cast<double>(n))));
+
+  nn::StateDict next = global;
+  std::vector<std::size_t> order(n);
+  for (std::size_t t = 0; t < global.tensor_count(); ++t) {
+    std::vector<double> deviation(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      deviation[k] = std::sqrt(squared_distance(
+          updates[k].state.tensor(t).value, global.tensor(t).value));
+    }
+    // Biggest movers first — the tensors FedHIL considers informative.
+    for (std::size_t k = 0; k < n; ++k) order[k] = k;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return deviation[a] > deviation[b];
+                     });
+    nn::Matrix& dst = next.tensor(t).value;
+    dst.zero();
+    const float w = 1.0f / static_cast<float>(keep);
+    for (std::size_t j = 0; j < keep; ++j) {
+      axpy(w, updates[order[j]].state.tensor(t).value, dst);
+    }
+  }
+  return next;
+}
+
+nn::StateDict KrumAggregator::aggregate(const nn::StateDict& global,
+                                        std::span<const ClientUpdate> updates) {
+  require_compatible(global, updates);
+  excluded_.clear();
+  const std::size_t n = updates.size();
+  if (n == 1) return updates[0].state;
+
+  std::vector<std::vector<float>> flats(n);
+  for (std::size_t i = 0; i < n; ++i) flats[i] = updates[i].state.flatten();
+
+  // Krum score: sum of squared distances to the n - f - 2 closest peers.
+  const std::size_t neighbours =
+      n > f_ + 2 ? n - f_ - 2 : std::size_t{1};
+  double best_score = std::numeric_limits<double>::infinity();
+  std::size_t best = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> dists;
+    dists.reserve(n - 1);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      double acc = 0.0;
+      for (std::size_t e = 0; e < flats[i].size(); ++e) {
+        const double d = static_cast<double>(flats[i][e]) - flats[j][e];
+        acc += d * d;
+      }
+      dists.push_back(acc);
+    }
+    std::sort(dists.begin(), dists.end());
+    double score = 0.0;
+    for (std::size_t j = 0; j < std::min(neighbours, dists.size()); ++j) {
+      score += dists[j];
+    }
+    if (score < best_score) {
+      best_score = score;
+      best = i;
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i != best) excluded_.push_back(updates[i].client_id);
+  }
+  return updates[best].state;
+}
+
+nn::StateDict FedCcAggregator::aggregate(const nn::StateDict& global,
+                                         std::span<const ClientUpdate> updates) {
+  require_compatible(global, updates);
+  excluded_.clear();
+  const std::size_t n = updates.size();
+  if (n <= 2) return weighted_mean(updates, all_indices(n));
+
+  // Cosine similarity of update deltas (LM − GM) over the trailing "head"
+  // tensors only — FedCC's penultimate-layer clustering (see header).
+  const std::size_t first_tensor =
+      global.tensor_count() > head_tensors_
+          ? global.tensor_count() - head_tensors_
+          : 0;
+  std::vector<std::vector<float>> deltas(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t t = first_tensor; t < global.tensor_count(); ++t) {
+      const nn::Matrix& g = global.tensor(t).value;
+      const nn::Matrix& u = updates[i].state.tensor(t).value;
+      for (std::size_t e = 0; e < g.size(); ++e) {
+        deltas[i].push_back(u.data()[e] - g.data()[e]);
+      }
+    }
+  }
+
+  std::vector<double> mean_sim(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      mean_sim[i] += nn::cosine_similarity(deltas[i], deltas[j]);
+    }
+    mean_sim[i] /= static_cast<double>(n - 1);
+  }
+
+  double mu = 0.0;
+  for (const double s : mean_sim) mu += s;
+  mu /= static_cast<double>(n);
+  double var = 0.0;
+  for (const double s : mean_sim) var += (s - mu) * (s - mu);
+  const double sigma = std::sqrt(var / static_cast<double>(n));
+
+  // A homogeneous cohort (all similarities bunched together) has no
+  // minority cluster to exclude; without this floor the z-score would
+  // excommunicate whoever is marginally lowest in an all-benign round.
+  if (sigma < 0.02) return weighted_mean(updates, all_indices(n));
+
+  // Majority cluster = clients whose similarity to the cohort is not an
+  // outlier on the low side. Heterogeneous-but-honest clients can fall
+  // below the bound too — the false-positive weakness the paper notes.
+  std::vector<std::size_t> included;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (mean_sim[i] >= mu - z_ * sigma - 1e-12) {
+      included.push_back(i);
+    } else {
+      excluded_.push_back(updates[i].client_id);
+    }
+  }
+  if (included.empty()) included = all_indices(n);
+  return weighted_mean(updates, included);
+}
+
+FedLsAggregator::FedLsAggregator(FedLsOptions options) : options_(options) {}
+
+void FedLsAggregator::set_feature_fn(UpdateFeatureFn fn,
+                                     std::size_t feature_dim) {
+  if (detector_ != nullptr) {
+    throw std::logic_error(
+        "FedLsAggregator::set_feature_fn: detector already built");
+  }
+  feature_fn_ = std::move(fn);
+  feature_fn_dim_ = feature_dim;
+}
+
+std::size_t FedLsAggregator::feature_dim(const nn::StateDict& global) const {
+  if (feature_fn_) return feature_fn_dim_;
+  return options_.projection_dim > 0 ? options_.projection_dim
+                                     : global.tensor_count() * 3;
+}
+
+std::size_t FedLsAggregator::detector_parameter_count(
+    const FedLsOptions& options, std::size_t feature_dim) {
+  const std::size_t h =
+      options.hidden > 0 ? options.hidden : std::max<std::size_t>(feature_dim / 2, 2);
+  const std::size_t l =
+      options.latent > 0 ? options.latent : std::max<std::size_t>(feature_dim / 4, 2);
+  return (feature_dim * h + h) + (h * l + l) + (l * h + h) +
+         (h * feature_dim + feature_dim);
+}
+
+void FedLsAggregator::ensure_detector(std::size_t feat_dim) {
+  if (detector_ != nullptr) return;
+  util::Rng rng(options_.seed);
+  const std::size_t hidden = options_.hidden > 0
+                                 ? options_.hidden
+                                 : std::max<std::size_t>(feat_dim / 2, 2);
+  const std::size_t latent = options_.latent > 0
+                                 ? options_.latent
+                                 : std::max<std::size_t>(feat_dim / 4, 2);
+  auto ae = std::make_unique<nn::Sequential>();
+  ae->emplace<nn::Dense>(feat_dim, hidden, rng);
+  ae->emplace<nn::ReLU>();
+  ae->emplace<nn::Dense>(hidden, latent, rng);
+  ae->emplace<nn::ReLU>();
+  ae->emplace<nn::Dense>(latent, hidden, rng);
+  ae->emplace<nn::ReLU>();
+  ae->emplace<nn::Dense>(hidden, feat_dim, rng, nn::InitScheme::kXavierUniform);
+  detector_ = std::move(ae);
+}
+
+std::vector<float> FedLsAggregator::update_features(
+    const nn::StateDict& global, const nn::StateDict& update) const {
+  if (feature_fn_) {
+    std::vector<float> features = feature_fn_(global, update);
+    if (features.size() != feature_fn_dim_) {
+      throw std::logic_error("FedLsAggregator: feature_fn dimension mismatch");
+    }
+    return features;
+  }
+  if (options_.projection_dim > 0) {
+    std::vector<float> delta;
+    delta.reserve(global.element_count());
+    for (std::size_t t = 0; t < global.tensor_count(); ++t) {
+      const nn::Matrix& g = global.tensor(t).value;
+      const nn::Matrix& u = update.tensor(t).value;
+      for (std::size_t e = 0; e < g.size(); ++e) {
+        delta.push_back(u.data()[e] - g.data()[e]);
+      }
+    }
+    return sign_hash_projection(delta, options_.projection_dim, options_.seed,
+                                /*squash_scale=*/30.0);
+  }
+
+  // Summary mode — per tensor: mean, stddev, and norm of the delta.
+  std::vector<float> features;
+  features.reserve(global.tensor_count() * 3);
+  for (std::size_t t = 0; t < global.tensor_count(); ++t) {
+    const nn::Matrix delta =
+        sub(update.tensor(t).value, global.tensor(t).value);
+    double mean = 0.0;
+    for (const float v : delta.flat()) mean += v;
+    mean /= static_cast<double>(delta.size());
+    double var = 0.0;
+    for (const float v : delta.flat()) var += (v - mean) * (v - mean);
+    var /= static_cast<double>(delta.size());
+    // Scale into a range the autoencoder likes; deltas are ~1e-4..1e-1.
+    features.push_back(static_cast<float>(std::tanh(mean * 100.0)));
+    features.push_back(static_cast<float>(std::tanh(std::sqrt(var) * 100.0)));
+    features.push_back(static_cast<float>(
+        std::tanh(frobenius_norm(delta) * 10.0)));
+  }
+  return features;
+}
+
+nn::StateDict FedLsAggregator::aggregate(const nn::StateDict& global,
+                                         std::span<const ClientUpdate> updates) {
+  require_compatible(global, updates);
+  excluded_.clear();
+  const std::size_t n = updates.size();
+
+  const std::size_t feat_dim = feature_dim(global);
+  ensure_detector(feat_dim);
+
+  nn::Matrix batch(n, feat_dim);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto f = update_features(global, updates[i].state);
+    auto row = batch.row(i);
+    for (std::size_t j = 0; j < feat_dim; ++j) row[j] = f[j];
+  }
+
+  // Online training: the AE keeps learning what typical updates look like.
+  TrainOpts opts;
+  opts.epochs = 5;
+  opts.learning_rate = 1e-2;
+  opts.batch_size = n;
+  opts.seed = options_.seed;
+  (void)train_autoencoder(*detector_, batch, opts);
+
+  const nn::Matrix recon = detector_->forward(batch, /*train=*/false);
+  const std::vector<float> rce = row_mse(batch, recon);
+
+  double mu = 0.0;
+  for (const float r : rce) mu += r;
+  mu /= static_cast<double>(n);
+  double var = 0.0;
+  for (const float r : rce) var += (r - mu) * (r - mu);
+  const double sigma = std::sqrt(var / static_cast<double>(n));
+
+  std::vector<std::size_t> included;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (static_cast<double>(rce[i]) <= mu + options_.z_threshold * sigma + 1e-12) {
+      included.push_back(i);
+    } else {
+      excluded_.push_back(updates[i].client_id);
+    }
+  }
+  if (included.empty()) included = all_indices(n);
+  return weighted_mean(updates, included);
+}
+
+nn::StateDict SaliencyAggregator::aggregate(const nn::StateDict& global,
+                                            std::span<const ClientUpdate> updates) {
+  require_compatible(global, updates);
+  const std::size_t n = updates.size();
+
+  // Accumulator for mean_k(W_adj,k).
+  nn::StateDict adj_mean = global;
+  adj_mean.scale_all(0.0f);
+  const float inv_n = 1.0f / static_cast<float>(n);
+
+  std::vector<float> deviations(n);  // per-element scratch across clients
+  std::vector<float> scratch(n);     // reused median workspace
+  for (std::size_t t = 0; t < global.tensor_count(); ++t) {
+    const nn::Matrix& gm = global.tensor(t).value;
+    nn::Matrix& out = adj_mean.tensor(t).value;
+    const std::size_t elems = gm.size();
+
+    for (std::size_t e = 0; e < elems; ++e) {
+      // Eq. 6: per-element absolute deviation, per client.
+      for (std::size_t k = 0; k < n; ++k) {
+        deviations[k] =
+            std::abs(updates[k].state.tensor(t).value.data()[e] - gm.data()[e]);
+      }
+      // Normalizer: the *lower-quartile* deviation across clients. The
+      // benign cohort defines the typical update scale; using the lower
+      // quartile (rather than the median) keeps the normalizer
+      // benign-dominated even when up to half the clients are poisoned
+      // (the Fig. 7 scalability regime), so attacker deviations map to
+      // large ΔW/scale ratios regardless of learning rate.
+      scratch.assign(deviations.begin(), deviations.end());
+      const std::size_t quartile = scratch.size() / 4;
+      std::nth_element(scratch.begin(),
+                       scratch.begin() + static_cast<std::ptrdiff_t>(quartile),
+                       scratch.end());
+      const double med = std::max(static_cast<double>(scratch[quartile]), 1e-12);
+
+      for (std::size_t k = 0; k < n; ++k) {
+        const double lm = updates[k].state.tensor(t).value.data()[e];
+        const double ratio = static_cast<double>(deviations[k]) / med;
+        // Eq. 7 (normalized): saliency in (0, 1].
+        const double s = 1.0 / (1.0 + options_.beta * ratio);
+        double adjusted = 0.0;
+        switch (options_.mode) {
+          case SaliencyMode::kConvex:
+            adjusted = s * lm + (1.0 - s) * gm.data()[e];
+            break;
+          case SaliencyMode::kScaledLiteral:
+          case SaliencyMode::kPaperLiteral:
+            adjusted = s * lm;  // Eq. 8 literally
+            break;
+        }
+        out.data()[e] += static_cast<float>(adjusted) * inv_n;
+      }
+    }
+  }
+
+  nn::StateDict next = global;
+  switch (options_.mode) {
+    case SaliencyMode::kConvex:
+    case SaliencyMode::kScaledLiteral: {
+      next.scale_all(static_cast<float>(1.0 - options_.lambda));
+      next.axpy_from(static_cast<float>(options_.lambda), adj_mean);
+      break;
+    }
+    case SaliencyMode::kPaperLiteral: {
+      next.axpy_from(1.0f, adj_mean);  // Eq. 9 literally: GM + W_adj
+      break;
+    }
+  }
+  return next;
+}
+
+}  // namespace safeloc::fl

@@ -1,0 +1,254 @@
+// Server-side aggregation strategies.
+//
+// Every framework in the paper's comparison differs chiefly in how the
+// server folds client LMs into the GM:
+//   FEDLOC  — plain FedAvg                                   [11]
+//   FEDHIL  — selective per-tensor aggregation               [9]
+//   KRUM    — single least-deviating update                  [22]
+//   FEDCC   — similarity clustering, majority cluster only   [23]
+//   FEDLS   — autoencoder latent-space anomaly filter        [24]
+//   SAFELOC — saliency-map weighted aggregation (Eqs. 6-9)
+//
+// All aggregators consume (global state, client updates) and produce a new
+// global state; they never touch raw data, matching the FL privacy model.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/fl/model_state.h"
+#include "src/nn/sequential.h"
+
+namespace safeloc::fl {
+
+class Aggregator {
+ public:
+  virtual ~Aggregator() = default;
+
+  /// Produces the next global state. Throws std::invalid_argument when
+  /// updates are empty or schema-mismatched.
+  [[nodiscard]] virtual nn::StateDict aggregate(
+      const nn::StateDict& global, std::span<const ClientUpdate> updates) = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Clients excluded by the most recent aggregate() call (defense
+  /// diagnostics; empty for non-filtering aggregators).
+  [[nodiscard]] virtual const std::vector<int>& last_excluded() const {
+    static const std::vector<int> kNone;
+    return kNone;
+  }
+};
+
+/// Sample-weighted federated averaging (McMahan et al.).
+class FedAvgAggregator final : public Aggregator {
+ public:
+  [[nodiscard]] nn::StateDict aggregate(
+      const nn::StateDict& global,
+      std::span<const ClientUpdate> updates) override;
+  [[nodiscard]] std::string name() const override { return "fedavg"; }
+};
+
+/// FedHIL-style selective aggregation. FedHIL selects, per weight tensor,
+/// the client tensors that moved the *most* relative to the GM — in a
+/// benign heterogeneous deployment the big movers carry the adaptation
+/// signal, and ignoring near-stationary updates "mitigates bias from
+/// individual clients". The flip side (which the SAFELOC paper calls out:
+/// "FEDHIL's selective weight aggregation aggregates large tensor changes
+/// caused by attacks") is that a poisoned LM is reliably among the biggest
+/// movers, so the attacker is over-weighted — FedHIL degrades *more* than
+/// plain FedAvg under label flipping.
+class SelectiveAggregator final : public Aggregator {
+ public:
+  /// `selection_fraction` — the fraction of clients (by descending tensor
+  /// deviation) whose tensor is averaged, per tensor.
+  explicit SelectiveAggregator(double selection_fraction = 0.5)
+      : selection_fraction_(selection_fraction) {}
+  [[nodiscard]] nn::StateDict aggregate(
+      const nn::StateDict& global,
+      std::span<const ClientUpdate> updates) override;
+  [[nodiscard]] std::string name() const override { return "fedhil-selective"; }
+
+ private:
+  double selection_fraction_;
+};
+
+/// Krum: selects the single update with the smallest sum of squared
+/// distances to its n−f−2 nearest neighbours (f = tolerated byzantine
+/// count). The global model is replaced by the selected LM.
+class KrumAggregator final : public Aggregator {
+ public:
+  explicit KrumAggregator(std::size_t byzantine_f = 1) : f_(byzantine_f) {}
+  [[nodiscard]] nn::StateDict aggregate(
+      const nn::StateDict& global,
+      std::span<const ClientUpdate> updates) override;
+  [[nodiscard]] std::string name() const override { return "krum"; }
+  [[nodiscard]] const std::vector<int>& last_excluded() const override {
+    return excluded_;
+  }
+
+ private:
+  std::size_t f_;
+  std::vector<int> excluded_;
+};
+
+/// FedCC-style defense: clusters client update *deltas* by cosine
+/// similarity and keeps only the majority cluster for FedAvg. Clients whose
+/// mean similarity to the rest falls below (mean − z·stddev) form the
+/// excluded minority.
+///
+/// Faithful to FedCC, the similarity is computed over the *final
+/// (penultimate-onward) layers only* — FedCC clusters penultimate-layer
+/// representations. That makes it sharp against label flipping (which
+/// wrenches the classifier head) but structurally blind to backdoor
+/// poisoning, whose weight changes concentrate in the early feature layers
+/// — the weakness the SAFELOC paper reports.
+class FedCcAggregator final : public Aggregator {
+ public:
+  /// `head_tensors` — how many trailing tensors participate in the
+  /// similarity (default 2: the final layer's weight and bias).
+  explicit FedCcAggregator(double z_threshold = 1.0,
+                           std::size_t head_tensors = 2)
+      : z_(z_threshold), head_tensors_(head_tensors) {}
+  [[nodiscard]] nn::StateDict aggregate(
+      const nn::StateDict& global,
+      std::span<const ClientUpdate> updates) override;
+  [[nodiscard]] std::string name() const override { return "fedcc-cluster"; }
+  [[nodiscard]] const std::vector<int>& last_excluded() const override {
+    return excluded_;
+  }
+
+ private:
+  double z_;
+  std::size_t head_tensors_;
+  std::vector<int> excluded_;
+};
+
+struct FedLsOptions {
+  std::uint64_t seed = 0x1edf5ULL;
+  /// Exclusion threshold: clients with RCE > mean + z·stddev are dropped.
+  double z_threshold = 1.5;
+  /// 0: embed updates as per-tensor summary statistics (mean/std/norm).
+  /// >0: embed the flattened update delta through a sparse sign-hash random
+  /// projection of this many dimensions (FedLS's heavier latent space; the
+  /// FEDLS baseline uses 512 to match the paper's parameter budget).
+  std::size_t projection_dim = 0;
+  /// Autoencoder widths; 0 = derived from the feature dimension.
+  std::size_t hidden = 0;
+  std::size_t latent = 0;
+};
+
+/// Custom update-embedding hook: maps (global, update) to a feature vector
+/// of fixed dimension. The FEDLS framework injects a probe-logit embedder
+/// here (see baselines/frameworks.h); when unset, the aggregator embeds the
+/// raw weight delta per FedLsOptions.
+using UpdateFeatureFn = std::function<std::vector<float>(
+    const nn::StateDict& global, const nn::StateDict& update)>;
+
+/// FedLS-style defense: an autoencoder over an embedding of each client's
+/// update delta; clients whose reconstruction error is an outlier are
+/// excluded and the rest are FedAvg'd. The autoencoder persists across
+/// rounds (trained online), mirroring FedLS's learned latent space of
+/// benign updates.
+class FedLsAggregator final : public Aggregator {
+ public:
+  explicit FedLsAggregator(FedLsOptions options = {});
+
+  /// Installs a custom embedder; `feature_dim` must match its output size
+  /// and fixes the autoencoder input width.
+  void set_feature_fn(UpdateFeatureFn fn, std::size_t feature_dim);
+  [[nodiscard]] nn::StateDict aggregate(
+      const nn::StateDict& global,
+      std::span<const ClientUpdate> updates) override;
+  [[nodiscard]] std::string name() const override { return "fedls-latent"; }
+  [[nodiscard]] const std::vector<int>& last_excluded() const override {
+    return excluded_;
+  }
+
+  /// Trainable parameters of the detector autoencoder for a given feature
+  /// dimension (Table I accounting). For projection mode the feature
+  /// dimension is options.projection_dim; for summary mode it is
+  /// 3 x tensor_count.
+  [[nodiscard]] static std::size_t detector_parameter_count(
+      const FedLsOptions& options, std::size_t feature_dim);
+
+ private:
+  [[nodiscard]] std::size_t feature_dim(const nn::StateDict& global) const;
+  [[nodiscard]] std::vector<float> update_features(
+      const nn::StateDict& global, const nn::StateDict& update) const;
+  void ensure_detector(std::size_t feat_dim);
+
+  FedLsOptions options_;
+  UpdateFeatureFn feature_fn_;
+  std::size_t feature_fn_dim_ = 0;
+  std::unique_ptr<nn::Sequential> detector_;
+  std::vector<int> excluded_;
+};
+
+/// How the saliency-adjusted client tensors are folded into the GM. The
+/// paper's Eq. 9 (W'_GM = W_GM + W_adj) diverges as written — a benign LM
+/// equal to the GM would double every weight — so the library defaults to
+/// the evident intent and keeps the literal rule available for the ablation
+/// bench (bench_ablation demonstrates the divergence).
+enum class SaliencyMode {
+  /// W_adj = S ⊙ W_LM + (1−S) ⊙ W_GM, GM' = (1−λ)GM + λ·mean(W_adj).
+  /// Low-saliency (deviant) weights fall back to the GM value. Default.
+  kConvex,
+  /// W_adj = S ⊙ W_LM (Eq. 8 literally), GM' = (1−λ)GM + λ·mean(W_adj).
+  kScaledLiteral,
+  /// GM' = GM + mean(W_adj) — Eq. 9 literally. Divergent; ablation only.
+  kPaperLiteral,
+};
+
+struct SaliencyOptions {
+  /// Deviation sharpness: S = 1 / (1 + beta · ΔW / med(ΔW)). The paper's
+  /// Eq. 7 uses raw ΔW whose scale depends on the local learning rate; we
+  /// normalize by the per-weight median deviation across clients so benign
+  /// updates sit at S ≈ 1/(1+beta·1) regardless of scale. beta = 0.5 keeps
+  /// roughly 2/3 of the benign update while suppressing a 20x-deviant
+  /// poisoned weight to under 10%.
+  double beta = 0.5;
+  /// Server blending rate λ for the convex modes. λ = 1 means the GM is
+  /// replaced by the mean of the saliency-adjusted LMs (low-saliency
+  /// weights fall back to the GM value through the convex adjustment).
+  double lambda = 1.0;
+  SaliencyMode mode = SaliencyMode::kConvex;
+};
+
+/// SAFELOC's saliency-map aggregation (paper §IV.B):
+///   ΔW_i = |W_LM,i − W_GM,i|          (Eq. 6, per weight element)
+///   S_i  = 1 / (1 + ΔW_i)             (Eq. 7, normalized — see beta)
+///   W_adj= S_i ∗ W_LM,i               (Eq. 8)
+///   GM'  = blend(GM, mean_k W_adj,k)  (Eq. 9, see SaliencyMode)
+class SaliencyAggregator final : public Aggregator {
+ public:
+  explicit SaliencyAggregator(SaliencyOptions options = {})
+      : options_(options) {}
+  [[nodiscard]] nn::StateDict aggregate(
+      const nn::StateDict& global,
+      std::span<const ClientUpdate> updates) override;
+  [[nodiscard]] std::string name() const override { return "safeloc-saliency"; }
+  [[nodiscard]] const SaliencyOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  SaliencyOptions options_;
+};
+
+/// Schema sanity check shared by all aggregators; throws on violation.
+void require_compatible(const nn::StateDict& global,
+                        std::span<const ClientUpdate> updates);
+
+/// Sparse sign-hash random projection: each input element scatters into
+/// four hashed output coordinates with hashed signs (equivalent in
+/// expectation to a dense Gaussian projection, with no stored matrix), then
+/// the output is squashed by tanh(x · squash_scale).
+[[nodiscard]] std::vector<float> sign_hash_projection(
+    std::span<const float> values, std::size_t output_dim, std::uint64_t seed,
+    double squash_scale);
+
+}  // namespace safeloc::fl

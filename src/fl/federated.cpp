@@ -1,0 +1,113 @@
+#include "src/fl/federated.h"
+
+#include <stdexcept>
+
+#include "src/util/logging.h"
+
+namespace safeloc::fl {
+
+std::vector<ClientSpec> paper_clients(const attack::AttackConfig& attack) {
+  std::vector<ClientSpec> clients;
+  clients.reserve(rss::paper_devices().size());
+  for (std::size_t d = 0; d < rss::paper_devices().size(); ++d) {
+    ClientSpec spec;
+    spec.device_index = d;
+    if (d == rss::attacker_device_index() &&
+        attack.kind != attack::AttackKind::kNone) {
+      spec.malicious = true;
+      spec.attack = attack;
+    }
+    clients.push_back(spec);
+  }
+  return clients;
+}
+
+std::vector<ClientSpec> scaled_clients(std::size_t total, std::size_t poisoned,
+                                       const attack::AttackConfig& attack) {
+  if (poisoned > total) {
+    throw std::invalid_argument("scaled_clients: poisoned > total");
+  }
+  std::vector<ClientSpec> clients(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    clients[i].device_index = i % rss::paper_devices().size();
+    if (i < poisoned) {
+      clients[i].malicious = true;
+      clients[i].attack = attack;
+      clients[i].attack.seed = attack.seed + i;  // independent streams
+    }
+  }
+  return clients;
+}
+
+FlRunResult run_federated(FederatedFramework& framework,
+                          const rss::FingerprintGenerator& generator,
+                          const FlScenario& scenario) {
+  if (scenario.clients.empty()) {
+    throw std::invalid_argument("run_federated: no clients");
+  }
+
+  // Each client's collected scans — generated once, as a user walking the
+  // path would have collected them, then reused every round.
+  std::vector<rss::Dataset> client_data;
+  client_data.reserve(scenario.clients.size());
+  for (std::size_t c = 0; c < scenario.clients.size(); ++c) {
+    const auto& spec = scenario.clients[c];
+    client_data.push_back(generator.generate(
+        rss::paper_devices()[spec.device_index], spec.fps_per_rp,
+        /*salt=*/scenario.seed ^ (0xc11e27ULL + c * 0x9e37ULL)));
+  }
+
+  const std::size_t num_classes = framework.num_classes();
+  const attack::GradientOracle oracle =
+      [&framework](const nn::Matrix& x, std::span<const int> y) {
+        return framework.input_gradient(x, y);
+      };
+
+  FlRunResult result;
+  for (int round = 0; round < scenario.rounds; ++round) {
+    RoundDiagnostics diag;
+    diag.round = round;
+
+    std::vector<ClientUpdate> updates;
+    updates.reserve(scenario.clients.size());
+    for (std::size_t c = 0; c < scenario.clients.size(); ++c) {
+      const auto& spec = scenario.clients[c];
+      const rss::Dataset& data = client_data[c];
+
+      // Self-labelling: the client predicts its locations with the current
+      // GM and re-trains on those predictions (paper §III).
+      std::vector<int> labels = framework.predict(data.x);
+
+      // A malicious client then poisons before local training. Backdoors
+      // (Eqs. 1-4) pair the perturbed fingerprints with the *original*
+      // labels — that mislabelled association is what corrupts the LM;
+      // label flipping (Eq. 5) keeps the fingerprints and flips the labels.
+      nn::Matrix x = data.x;
+      if (spec.malicious) {
+        auto poisoned =
+            attack::apply_attack(spec.attack, x, labels, num_classes, oracle);
+        x = std::move(poisoned.x);
+        labels = std::move(poisoned.labels);
+      }
+
+      SanitizeResult clean = framework.client_sanitize(x, std::move(labels));
+      diag.samples_flagged += clean.flagged;
+      diag.samples_dropped += clean.dropped;
+      if (clean.x.rows() == 0) continue;  // defense dropped everything
+
+      LocalTrainOpts opts = scenario.local;
+      opts.seed = scenario.seed ^ (round * 1000003ULL + c * 7919ULL);
+      ClientUpdate update = framework.local_update(clean.x, clean.labels, opts);
+      update.client_id = static_cast<int>(c);
+      updates.push_back(std::move(update));
+    }
+
+    if (!updates.empty()) framework.aggregate(updates);
+    result.rounds.push_back(std::move(diag));
+    util::log_debug(framework.name(), ": round ", round, " done (",
+                    updates.size(), " updates)");
+  }
+  return result;
+}
+
+}  // namespace safeloc::fl

@@ -1,0 +1,61 @@
+// The federated simulation loop (paper Fig. 2): broadcast, local training on
+// every client (with optional data poisoning on malicious clients), and
+// server aggregation, repeated for a configured number of rounds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/attack/attack.h"
+#include "src/fl/framework.h"
+#include "src/rss/dataset.h"
+
+namespace safeloc::fl {
+
+/// One participating mobile device.
+struct ClientSpec {
+  /// Index into rss::paper_devices() — which phone this client carries.
+  std::size_t device_index = 0;
+  bool malicious = false;
+  attack::AttackConfig attack{};
+  /// Scans the client collects per RP for its local dataset.
+  std::size_t fps_per_rp = 2;
+};
+
+struct FlScenario {
+  int rounds = 8;
+  LocalTrainOpts local{};
+  std::vector<ClientSpec> clients;
+  std::uint64_t seed = 0x5afe;
+};
+
+/// Builds the paper's default population: six clients, one per device, with
+/// the HTC U11 client malicious iff `attack.kind != kNone`.
+[[nodiscard]] std::vector<ClientSpec> paper_clients(
+    const attack::AttackConfig& attack);
+
+/// Builds a scaled population of `total` clients cycling over the six
+/// devices, the first `poisoned` of which mount `attack` (Fig. 7).
+[[nodiscard]] std::vector<ClientSpec> scaled_clients(
+    std::size_t total, std::size_t poisoned, const attack::AttackConfig& attack);
+
+/// Per-round defense telemetry.
+struct RoundDiagnostics {
+  int round = 0;
+  std::size_t samples_flagged = 0;
+  std::size_t samples_dropped = 0;
+  std::vector<int> clients_excluded;  // not populated by every framework
+};
+
+struct FlRunResult {
+  std::vector<RoundDiagnostics> rounds;
+};
+
+/// Runs the full federated schedule against `framework`, whose GM must
+/// already be pretrained. Client data is generated once (each client's
+/// collected scans) and reused across rounds.
+FlRunResult run_federated(FederatedFramework& framework,
+                          const rss::FingerprintGenerator& generator,
+                          const FlScenario& scenario);
+
+}  // namespace safeloc::fl

@@ -1,0 +1,85 @@
+// FederatedFramework — the contract every compared localization framework
+// (SAFELOC and the five baselines) implements so the same federated loop,
+// attack machinery, and evaluation harness drive all of them.
+//
+// Lifecycle (matches the paper's Fig. 2):
+//   1. pretrain()        server trains the GM on reference-device data
+//   2. per round, per client:
+//        predict()           client self-labels its local scans with the GM
+//        [attack]            a malicious client poisons data and/or labels
+//        client_sanitize()   on-device defense (SAFELOC RCE check, ONLAD
+//                            anomaly filter; identity for the others)
+//        local_update()      5-epoch local fine-tune of a GM copy -> LM
+//   3. aggregate()       server folds LMs into the GM (framework-specific)
+//   4. predict()         evaluation on held-out heterogeneous-device scans
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/fl/model_state.h"
+#include "src/nn/matrix.h"
+
+namespace safeloc::fl {
+
+/// Result of a client-side defense pass over local data.
+struct SanitizeResult {
+  nn::Matrix x;
+  std::vector<int> labels;
+  /// Samples the defense flagged as poisoned (denoised or dropped).
+  std::size_t flagged = 0;
+  /// Samples removed outright (ONLAD-style filtering).
+  std::size_t dropped = 0;
+};
+
+class FederatedFramework {
+ public:
+  virtual ~FederatedFramework() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Builds the global model and trains it server-side on labelled
+  /// reference-device fingerprints.
+  virtual void pretrain(const nn::Matrix& x, std::span<const int> labels,
+                        std::size_t num_classes, int epochs,
+                        std::uint64_t seed) = 0;
+
+  /// Global-model inference, including any inference-time defense
+  /// (SAFELOC de-noises flagged inputs before classifying).
+  [[nodiscard]] virtual std::vector<int> predict(const nn::Matrix& x) = 0;
+
+  /// ∇_X of the GM's classification loss — the white-box attacker oracle.
+  [[nodiscard]] virtual nn::Matrix input_gradient(
+      const nn::Matrix& x, std::span<const int> labels) = 0;
+
+  /// Client-side defense over local data before LM training.
+  /// Default: identity (no client-side defense).
+  [[nodiscard]] virtual SanitizeResult client_sanitize(const nn::Matrix& x,
+                                                       std::vector<int> labels);
+
+  /// Trains a copy of the GM on (x, labels) and returns the LM update.
+  /// Must not mutate the GM.
+  [[nodiscard]] virtual ClientUpdate local_update(const nn::Matrix& x,
+                                                  std::span<const int> labels,
+                                                  const LocalTrainOpts& opts) = 0;
+
+  /// Applies the framework's aggregation strategy to the GM.
+  virtual void aggregate(std::span<const ClientUpdate> updates) = 0;
+
+  /// The paper's "Total Parameters" (all trainable tensors; for two-model
+  /// frameworks like ONLAD/FEDLS this includes the detector).
+  [[nodiscard]] virtual std::size_t parameter_count() = 0;
+
+  [[nodiscard]] virtual std::size_t num_classes() const = 0;
+
+  /// Snapshot / restore of the *global model* weights. Experiment drivers
+  /// use this to pretrain once and evaluate many attack scenarios from the
+  /// same starting point. Auxiliary server state (e.g. FEDLS's online
+  /// detector) is not part of the snapshot.
+  [[nodiscard]] virtual nn::StateDict snapshot() = 0;
+  virtual void restore(const nn::StateDict& state) = 0;
+};
+
+}  // namespace safeloc::fl

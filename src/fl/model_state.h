@@ -1,0 +1,27 @@
+// Types exchanged between FL clients and the server.
+#pragma once
+
+#include <cstddef>
+
+#include "src/nn/state_dict.h"
+
+namespace safeloc::fl {
+
+/// One client's uploaded local model (LM) after local training.
+struct ClientUpdate {
+  nn::StateDict state;
+  /// Local sample count — weighting for sample-weighted aggregation.
+  std::size_t num_samples = 0;
+  int client_id = 0;
+};
+
+/// Knobs for one client-side local training pass (paper §V.A: lr 1e-4,
+/// 5 epochs for lightweight on-device fine-tuning).
+struct LocalTrainOpts {
+  int epochs = 5;
+  double learning_rate = 1e-4;
+  std::size_t batch_size = 32;
+  std::uint64_t seed = 0;
+};
+
+}  // namespace safeloc::fl

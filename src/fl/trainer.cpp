@@ -1,0 +1,93 @@
+#include "src/fl/trainer.h"
+
+#include <stdexcept>
+#include <vector>
+
+#include "src/nn/loss.h"
+#include "src/nn/optimizer.h"
+#include "src/util/rng.h"
+
+namespace safeloc::fl {
+namespace {
+
+/// Iterates shuffled mini-batches, calling step(batch_x, batch_rows) and
+/// accumulating the returned losses. Returns the mean loss of the last epoch.
+template <typename StepFn>
+double run_epochs(const nn::Matrix& x, const TrainOpts& opts, StepFn step) {
+  if (x.rows() == 0) throw std::invalid_argument("training on empty batch");
+  util::Rng rng(opts.seed ^ 0x7ea12aa1ULL);
+  std::vector<std::size_t> order(x.rows());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  const std::size_t batch = std::max<std::size_t>(1, opts.batch_size);
+  double last_epoch_loss = 0.0;
+  for (int epoch = 0; epoch < opts.epochs; ++epoch) {
+    rng.shuffle(order);
+    double epoch_loss = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t start = 0; start < order.size(); start += batch) {
+      const std::size_t end = std::min(start + batch, order.size());
+      nn::Matrix bx(end - start, x.cols());
+      for (std::size_t i = start; i < end; ++i) {
+        const auto src = x.row(order[i]);
+        auto dst = bx.row(i - start);
+        for (std::size_t j = 0; j < src.size(); ++j) dst[j] = src[j];
+      }
+      epoch_loss += step(bx, std::span<const std::size_t>(order).subspan(
+                                 start, end - start));
+      ++batches;
+    }
+    last_epoch_loss = epoch_loss / static_cast<double>(batches);
+  }
+  return last_epoch_loss;
+}
+
+}  // namespace
+
+double train_classifier(nn::Sequential& model, const nn::Matrix& x,
+                        std::span<const int> labels, const TrainOpts& opts) {
+  if (labels.size() != x.rows()) {
+    throw std::invalid_argument("train_classifier: label count mismatch");
+  }
+  nn::Adam optimizer(opts.learning_rate);
+  const auto params = model.parameters();
+  return run_epochs(x, opts, [&](const nn::Matrix& bx,
+                                 std::span<const std::size_t> rows) {
+    std::vector<int> by(rows.size());
+    for (std::size_t i = 0; i < rows.size(); ++i) by[i] = labels[rows[i]];
+    model.zero_grad();
+    const nn::Matrix logits = model.forward(bx, /*train=*/true);
+    const auto lg = nn::softmax_cross_entropy(logits, by);
+    (void)model.backward(lg.grad);
+    optimizer.step(params);
+    return lg.loss;
+  });
+}
+
+double train_autoencoder(nn::Sequential& model, const nn::Matrix& x,
+                         const TrainOpts& opts) {
+  nn::Adam optimizer(opts.learning_rate);
+  const auto params = model.parameters();
+  return run_epochs(x, opts,
+                    [&](const nn::Matrix& bx, std::span<const std::size_t>) {
+                      model.zero_grad();
+                      const nn::Matrix recon = model.forward(bx, /*train=*/true);
+                      const auto lg = nn::mse_loss(recon, bx);
+                      (void)model.backward(lg.grad);
+                      optimizer.step(params);
+                      return lg.loss;
+                    });
+}
+
+double accuracy(nn::Sequential& model, const nn::Matrix& x,
+                std::span<const int> labels) {
+  if (labels.size() != x.rows() || labels.empty()) return 0.0;
+  const auto predicted = nn::argmax_rows(model.forward(x, /*train=*/false));
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (predicted[i] == labels[i]) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(labels.size());
+}
+
+}  // namespace safeloc::fl

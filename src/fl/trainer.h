@@ -1,0 +1,34 @@
+// Mini-batch training loops shared by server pre-training and client-side
+// local fine-tuning.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "src/nn/matrix.h"
+#include "src/nn/sequential.h"
+
+namespace safeloc::fl {
+
+struct TrainOpts {
+  int epochs = 10;
+  double learning_rate = 1e-3;
+  std::size_t batch_size = 32;
+  std::uint64_t seed = 0;
+};
+
+/// Trains a classifier with Adam + sparse softmax cross-entropy.
+/// Returns the final epoch's mean loss.
+double train_classifier(nn::Sequential& model, const nn::Matrix& x,
+                        std::span<const int> labels, const TrainOpts& opts);
+
+/// Trains an autoencoder with Adam + MSE against its own input.
+/// Returns the final epoch's mean loss.
+double train_autoencoder(nn::Sequential& model, const nn::Matrix& x,
+                         const TrainOpts& opts);
+
+/// Classification accuracy in [0, 1].
+[[nodiscard]] double accuracy(nn::Sequential& model, const nn::Matrix& x,
+                              std::span<const int> labels);
+
+}  // namespace safeloc::fl

@@ -1,0 +1,101 @@
+#include "src/nn/activations.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace safeloc::nn {
+
+Matrix ReLU::forward(const Matrix& x, bool train) {
+  Matrix y = x;
+  if (train) mask_.reshape_discard(x.rows(), x.cols());
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    if (y.data()[i] > 0.0f) {
+      if (train) mask_.data()[i] = 1.0f;
+    } else {
+      y.data()[i] = 0.0f;
+    }
+  }
+  return y;
+}
+
+Matrix ReLU::backward(const Matrix& grad_out) {
+  if (mask_.empty()) throw std::logic_error("ReLU::backward without forward");
+  return hadamard(grad_out, mask_);
+}
+
+std::unique_ptr<Layer> ReLU::clone() const { return std::make_unique<ReLU>(*this); }
+
+Matrix Sigmoid::forward(const Matrix& x, bool train) {
+  Matrix y = x;
+  for (float& v : y.flat()) v = 1.0f / (1.0f + std::exp(-v));
+  if (train) y_cache_ = y;
+  return y;
+}
+
+Matrix Sigmoid::backward(const Matrix& grad_out) {
+  if (y_cache_.empty()) throw std::logic_error("Sigmoid::backward without forward");
+  Matrix g = grad_out;
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    const float y = y_cache_.data()[i];
+    g.data()[i] *= y * (1.0f - y);
+  }
+  return g;
+}
+
+std::unique_ptr<Layer> Sigmoid::clone() const {
+  return std::make_unique<Sigmoid>(*this);
+}
+
+Matrix Tanh::forward(const Matrix& x, bool train) {
+  Matrix y = x;
+  for (float& v : y.flat()) v = std::tanh(v);
+  if (train) y_cache_ = y;
+  return y;
+}
+
+Matrix Tanh::backward(const Matrix& grad_out) {
+  if (y_cache_.empty()) throw std::logic_error("Tanh::backward without forward");
+  Matrix g = grad_out;
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    const float y = y_cache_.data()[i];
+    g.data()[i] *= 1.0f - y * y;
+  }
+  return g;
+}
+
+std::unique_ptr<Layer> Tanh::clone() const { return std::make_unique<Tanh>(*this); }
+
+Dropout::Dropout(double p, std::uint64_t seed) : p_(p), rng_(seed) {
+  if (p < 0.0 || p >= 1.0) throw std::invalid_argument("Dropout: p in [0,1)");
+}
+
+Matrix Dropout::forward(const Matrix& x, bool train) {
+  if (!train || p_ == 0.0) return x;
+  mask_.reshape_discard(x.rows(), x.cols());
+  const float keep_scale = static_cast<float>(1.0 / (1.0 - p_));
+  Matrix y = x;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    if (rng_.bernoulli(p_)) {
+      y.data()[i] = 0.0f;
+    } else {
+      mask_.data()[i] = keep_scale;
+      y.data()[i] *= keep_scale;
+    }
+  }
+  return y;
+}
+
+Matrix Dropout::backward(const Matrix& grad_out) {
+  if (mask_.empty()) return grad_out;  // eval-mode forward: identity
+  return hadamard(grad_out, mask_);
+}
+
+std::unique_ptr<Layer> Dropout::clone() const {
+  return std::make_unique<Dropout>(*this);
+}
+
+std::string Dropout::kind() const {
+  return "dropout(p=" + std::to_string(p_) + ")";
+}
+
+}  // namespace safeloc::nn

@@ -1,0 +1,61 @@
+// Stateless / lightweight activation layers.
+#pragma once
+
+#include <memory>
+
+#include "src/nn/layer.h"
+#include "src/util/rng.h"
+
+namespace safeloc::nn {
+
+class ReLU final : public Layer {
+ public:
+  [[nodiscard]] Matrix forward(const Matrix& x, bool train) override;
+  [[nodiscard]] Matrix backward(const Matrix& grad_out) override;
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override;
+  [[nodiscard]] std::string kind() const override { return "relu"; }
+
+ private:
+  Matrix mask_;  // 1 where x > 0
+};
+
+class Sigmoid final : public Layer {
+ public:
+  [[nodiscard]] Matrix forward(const Matrix& x, bool train) override;
+  [[nodiscard]] Matrix backward(const Matrix& grad_out) override;
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override;
+  [[nodiscard]] std::string kind() const override { return "sigmoid"; }
+
+ private:
+  Matrix y_cache_;
+};
+
+class Tanh final : public Layer {
+ public:
+  [[nodiscard]] Matrix forward(const Matrix& x, bool train) override;
+  [[nodiscard]] Matrix backward(const Matrix& grad_out) override;
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override;
+  [[nodiscard]] std::string kind() const override { return "tanh"; }
+
+ private:
+  Matrix y_cache_;
+};
+
+/// Inverted dropout: scales kept activations by 1/(1-p) at train time so
+/// inference needs no rescaling. Deterministic given the seed.
+class Dropout final : public Layer {
+ public:
+  explicit Dropout(double p, std::uint64_t seed);
+
+  [[nodiscard]] Matrix forward(const Matrix& x, bool train) override;
+  [[nodiscard]] Matrix backward(const Matrix& grad_out) override;
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override;
+  [[nodiscard]] std::string kind() const override;
+
+ private:
+  double p_;
+  util::Rng rng_;
+  Matrix mask_;
+};
+
+}  // namespace safeloc::nn

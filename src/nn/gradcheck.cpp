@@ -1,0 +1,60 @@
+#include "src/nn/gradcheck.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace safeloc::nn {
+namespace {
+
+GradCheckResult compare(double numeric, double analytic, GradCheckResult acc,
+                        double tolerance) {
+  const double abs_err = std::abs(numeric - analytic);
+  const double denom = std::max({std::abs(numeric), std::abs(analytic), 1e-8});
+  acc.max_abs_error = std::max(acc.max_abs_error, abs_err);
+  acc.max_rel_error = std::max(acc.max_rel_error, abs_err / denom);
+  acc.ok = acc.max_abs_error < tolerance || acc.max_rel_error < tolerance;
+  return acc;
+}
+
+}  // namespace
+
+GradCheckResult check_input_gradient(
+    const std::function<double(const Matrix&)>& scalar_fn, const Matrix& x,
+    const Matrix& analytic, double epsilon, double tolerance) {
+  GradCheckResult result;
+  result.ok = true;
+  Matrix probe = x;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const float original = probe.data()[i];
+    probe.data()[i] = original + static_cast<float>(epsilon);
+    const double up = scalar_fn(probe);
+    probe.data()[i] = original - static_cast<float>(epsilon);
+    const double down = scalar_fn(probe);
+    probe.data()[i] = original;
+    const double numeric = (up - down) / (2.0 * epsilon);
+    result = compare(numeric, analytic.data()[i], result, tolerance);
+    if (!result.ok) return result;
+  }
+  return result;
+}
+
+GradCheckResult check_param_gradient(const std::function<double()>& scalar_fn,
+                                     Matrix& param, const Matrix& analytic,
+                                     double epsilon, double tolerance) {
+  GradCheckResult result;
+  result.ok = true;
+  for (std::size_t i = 0; i < param.size(); ++i) {
+    const float original = param.data()[i];
+    param.data()[i] = original + static_cast<float>(epsilon);
+    const double up = scalar_fn();
+    param.data()[i] = original - static_cast<float>(epsilon);
+    const double down = scalar_fn();
+    param.data()[i] = original;
+    const double numeric = (up - down) / (2.0 * epsilon);
+    result = compare(numeric, analytic.data()[i], result, tolerance);
+    if (!result.ok) return result;
+  }
+  return result;
+}
+
+}  // namespace safeloc::nn

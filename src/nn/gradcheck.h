@@ -1,0 +1,32 @@
+// Finite-difference gradient checking — used by the property-test suite to
+// verify every layer/loss backward implementation against numeric gradients.
+#pragma once
+
+#include <functional>
+
+#include "src/nn/layer.h"
+#include "src/nn/matrix.h"
+
+namespace safeloc::nn {
+
+struct GradCheckResult {
+  double max_abs_error = 0.0;
+  double max_rel_error = 0.0;
+  bool ok = false;
+};
+
+/// Checks d(scalar_fn)/d(x) against `analytic` using central differences.
+/// `scalar_fn` must be a pure function of x (no internal state mutation
+/// between calls). `tolerance` bounds max(abs_err, rel_err).
+[[nodiscard]] GradCheckResult check_input_gradient(
+    const std::function<double(const Matrix&)>& scalar_fn, const Matrix& x,
+    const Matrix& analytic, double epsilon = 1e-3, double tolerance = 2e-2);
+
+/// Checks the accumulated gradient of one parameter tensor against central
+/// differences of `scalar_fn` (which re-runs forward+loss with the current
+/// parameter values).
+[[nodiscard]] GradCheckResult check_param_gradient(
+    const std::function<double()>& scalar_fn, Matrix& param,
+    const Matrix& analytic, double epsilon = 1e-3, double tolerance = 2e-2);
+
+}  // namespace safeloc::nn

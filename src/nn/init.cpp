@@ -1,0 +1,21 @@
+#include "src/nn/init.h"
+
+#include <cmath>
+
+namespace safeloc::nn {
+
+void init_he_normal(Matrix& w, util::Rng& rng) {
+  const double fan_in = static_cast<double>(w.rows());
+  const double stddev = std::sqrt(2.0 / fan_in);
+  for (float& v : w.flat()) v = static_cast<float>(rng.gaussian(0.0, stddev));
+}
+
+void init_xavier_uniform(Matrix& w, util::Rng& rng) {
+  const double fan_in = static_cast<double>(w.rows());
+  const double fan_out = static_cast<double>(w.cols());
+  const double limit = std::sqrt(6.0 / (fan_in + fan_out));
+  for (float& v : w.flat()) v = rng.uniform_f(static_cast<float>(-limit),
+                                              static_cast<float>(limit));
+}
+
+}  // namespace safeloc::nn

@@ -1,0 +1,16 @@
+// Weight initialization schemes.
+#pragma once
+
+#include "src/nn/matrix.h"
+#include "src/util/rng.h"
+
+namespace safeloc::nn {
+
+/// He-normal init (std = sqrt(2 / fan_in)) — used for ReLU layers.
+void init_he_normal(Matrix& w, util::Rng& rng);
+
+/// Xavier/Glorot-uniform init (limit = sqrt(6 / (fan_in + fan_out))) — used
+/// for linear / sigmoid output layers.
+void init_xavier_uniform(Matrix& w, util::Rng& rng);
+
+}  // namespace safeloc::nn

@@ -1,0 +1,75 @@
+// Layer and Module abstractions.
+//
+// Layers follow the classic cached-forward / backward contract:
+//   y = layer.forward(x, train);   // caches whatever backward needs
+//   dx = layer.backward(dy);       // accumulates parameter gradients
+//
+// Modules own layers and expose their trainable parameters as ParamRefs —
+// the hook through which optimizers step and through which the federated
+// layer snapshots/loads model weights (see state_dict.h).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/nn/matrix.h"
+
+namespace safeloc::nn {
+
+/// Mutable view of one trainable tensor and its gradient accumulator.
+/// Names are stable across clones of the same architecture, which is what
+/// lets the FL aggregators match tensors between local and global models.
+struct ParamRef {
+  std::string name;
+  Matrix* value = nullptr;
+  Matrix* grad = nullptr;
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Forward pass. `train` enables train-only behaviour (e.g. dropout) and
+  /// activation caching for backward.
+  [[nodiscard]] virtual Matrix forward(const Matrix& x, bool train) = 0;
+
+  /// Backward pass: consumes dL/dy, accumulates parameter grads, and returns
+  /// dL/dx. Must be preceded by forward(x, /*train=*/true).
+  [[nodiscard]] virtual Matrix backward(const Matrix& grad_out) = 0;
+
+  /// Trainable parameters (empty for stateless layers). `prefix` is
+  /// prepended to parameter names for stable addressing inside modules.
+  [[nodiscard]] virtual std::vector<ParamRef> parameters(const std::string& prefix) {
+    (void)prefix;
+    return {};
+  }
+
+  [[nodiscard]] virtual std::unique_ptr<Layer> clone() const = 0;
+
+  /// Layer kind for diagnostics, e.g. "dense(128->89)".
+  [[nodiscard]] virtual std::string kind() const = 0;
+};
+
+/// Base for trainable models. Concrete models (Sequential, FusedNet) expose
+/// their parameters; everything else (state dicts, optimizers, counting)
+/// is generic.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  [[nodiscard]] virtual std::vector<ParamRef> parameters() = 0;
+
+  /// Sum of parameter element counts (the paper's "Total Parameters").
+  [[nodiscard]] std::size_t parameter_count() {
+    std::size_t total = 0;
+    for (const auto& p : parameters()) total += p.value->size();
+    return total;
+  }
+
+  void zero_grad() {
+    for (const auto& p : parameters()) p.grad->zero();
+  }
+};
+
+}  // namespace safeloc::nn

@@ -1,0 +1,81 @@
+#include "src/nn/loss.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace safeloc::nn {
+
+LossGrad mse_loss(const Matrix& pred, const Matrix& target) {
+  if (pred.rows() != target.rows() || pred.cols() != target.cols()) {
+    throw std::invalid_argument("mse_loss: shape mismatch");
+  }
+  LossGrad out;
+  out.grad = Matrix(pred.rows(), pred.cols());
+  const double inv_n = 1.0 / static_cast<double>(pred.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const double d = static_cast<double>(pred.data()[i]) - target.data()[i];
+    acc += d * d;
+    out.grad.data()[i] = static_cast<float>(2.0 * d * inv_n);
+  }
+  out.loss = acc * inv_n;
+  return out;
+}
+
+Matrix softmax(const Matrix& logits) {
+  Matrix probs(logits.rows(), logits.cols());
+  for (std::size_t i = 0; i < logits.rows(); ++i) {
+    const float* in = logits.data() + i * logits.cols();
+    float* out = probs.data() + i * logits.cols();
+    float mx = in[0];
+    for (std::size_t j = 1; j < logits.cols(); ++j) mx = std::max(mx, in[j]);
+    double sum = 0.0;
+    for (std::size_t j = 0; j < logits.cols(); ++j) {
+      out[j] = std::exp(in[j] - mx);
+      sum += out[j];
+    }
+    const float inv = static_cast<float>(1.0 / sum);
+    for (std::size_t j = 0; j < logits.cols(); ++j) out[j] *= inv;
+  }
+  return probs;
+}
+
+LossGrad softmax_cross_entropy(const Matrix& logits,
+                               std::span<const int> labels) {
+  if (labels.size() != logits.rows()) {
+    throw std::invalid_argument("softmax_cross_entropy: label count mismatch");
+  }
+  LossGrad out;
+  out.grad = softmax(logits);
+  const double inv_batch = 1.0 / static_cast<double>(logits.rows());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < logits.rows(); ++i) {
+    const int y = labels[i];
+    if (y < 0 || static_cast<std::size_t>(y) >= logits.cols()) {
+      throw std::invalid_argument("softmax_cross_entropy: label out of range");
+    }
+    float* grow = out.grad.data() + i * logits.cols();
+    const double p = std::max(static_cast<double>(grow[y]), 1e-12);
+    acc -= std::log(p);
+    grow[y] -= 1.0f;
+  }
+  scale(out.grad, static_cast<float>(inv_batch));
+  out.loss = acc * inv_batch;
+  return out;
+}
+
+std::vector<int> argmax_rows(const Matrix& scores) {
+  std::vector<int> out(scores.rows(), 0);
+  for (std::size_t i = 0; i < scores.rows(); ++i) {
+    const float* row = scores.data() + i * scores.cols();
+    std::size_t best = 0;
+    for (std::size_t j = 1; j < scores.cols(); ++j) {
+      if (row[j] > row[best]) best = j;
+    }
+    out[i] = static_cast<int>(best);
+  }
+  return out;
+}
+
+}  // namespace safeloc::nn

@@ -1,0 +1,31 @@
+// Loss functions. Each returns the scalar loss and the gradient with respect
+// to the predictions, ready to feed into Layer::backward chains.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/nn/matrix.h"
+
+namespace safeloc::nn {
+
+struct LossGrad {
+  double loss = 0.0;
+  Matrix grad;  // dL/dpred, same shape as predictions
+};
+
+/// Mean squared error averaged over all entries (batch x features).
+[[nodiscard]] LossGrad mse_loss(const Matrix& pred, const Matrix& target);
+
+/// Numerically stable row-wise softmax.
+[[nodiscard]] Matrix softmax(const Matrix& logits);
+
+/// Sparse categorical cross-entropy on logits (labels are class indices).
+/// Loss is averaged over the batch; grad = (softmax - onehot) / batch.
+[[nodiscard]] LossGrad softmax_cross_entropy(const Matrix& logits,
+                                             std::span<const int> labels);
+
+/// Row-wise argmax — the predicted class per sample.
+[[nodiscard]] std::vector<int> argmax_rows(const Matrix& scores);
+
+}  // namespace safeloc::nn

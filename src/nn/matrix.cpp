@@ -1,0 +1,193 @@
+#include "src/nn/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace safeloc::nn {
+namespace {
+
+void require(bool ok, const char* what) {
+  if (!ok) throw std::invalid_argument(what);
+}
+
+}  // namespace
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {}
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, std::vector<float> data)
+    : rows_(rows), cols_(cols), data_(std::move(data)) {
+  require(data_.size() == rows_ * cols_, "Matrix: data size != rows*cols");
+}
+
+void Matrix::fill(float value) noexcept {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Matrix::reshape_discard(std::size_t rows, std::size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.assign(rows * cols, 0.0f);
+}
+
+Matrix Matrix::slice_rows(std::size_t begin, std::size_t end) const {
+  require(begin <= end && end <= rows_, "slice_rows: bad range");
+  Matrix out(end - begin, cols_);
+  std::copy(data_.begin() + static_cast<std::ptrdiff_t>(begin * cols_),
+            data_.begin() + static_cast<std::ptrdiff_t>(end * cols_),
+            out.data());
+  return out;
+}
+
+std::string Matrix::shape_string() const {
+  return "(" + std::to_string(rows_) + "x" + std::to_string(cols_) + ")";
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  require(a.cols() == b.rows(), "matmul: inner dims mismatch");
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  Matrix c(m, n);
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = a.data() + i * k;
+    float* crow = c.data() + i * n;
+    for (std::size_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b.data() + p * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix matmul_at_b(const Matrix& a, const Matrix& b) {
+  require(a.rows() == b.rows(), "matmul_at_b: outer dims mismatch");
+  const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
+  Matrix c(m, n);
+  for (std::size_t p = 0; p < k; ++p) {
+    const float* arow = a.data() + p * m;
+    const float* brow = b.data() + p * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = c.data() + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix matmul_a_bt(const Matrix& a, const Matrix& b) {
+  require(a.cols() == b.cols(), "matmul_a_bt: inner dims mismatch");
+  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+  Matrix c(m, n);
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = a.data() + i * k;
+    float* crow = c.data() + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* brow = b.data() + j * k;
+      float acc = 0.0f;
+      for (std::size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      crow[j] = acc;
+    }
+  }
+  return c;
+}
+
+Matrix transpose(const Matrix& a) {
+  Matrix out(a.cols(), a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) out(j, i) = a(i, j);
+  }
+  return out;
+}
+
+void axpy(float alpha, const Matrix& x, Matrix& out) {
+  require(x.rows() == out.rows() && x.cols() == out.cols(),
+          "axpy: shape mismatch");
+  float* o = out.data();
+  const float* xd = x.data();
+  for (std::size_t i = 0; i < x.size(); ++i) o[i] += alpha * xd[i];
+}
+
+Matrix add(const Matrix& a, const Matrix& b) {
+  require(a.rows() == b.rows() && a.cols() == b.cols(), "add: shape mismatch");
+  Matrix c = a;
+  axpy(1.0f, b, c);
+  return c;
+}
+
+Matrix sub(const Matrix& a, const Matrix& b) {
+  require(a.rows() == b.rows() && a.cols() == b.cols(), "sub: shape mismatch");
+  Matrix c = a;
+  axpy(-1.0f, b, c);
+  return c;
+}
+
+Matrix hadamard(const Matrix& a, const Matrix& b) {
+  require(a.rows() == b.rows() && a.cols() == b.cols(),
+          "hadamard: shape mismatch");
+  Matrix c(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.size(); ++i) c.data()[i] = a.data()[i] * b.data()[i];
+  return c;
+}
+
+void scale(Matrix& a, float alpha) noexcept {
+  for (float& v : a.flat()) v *= alpha;
+}
+
+void add_row_broadcast(Matrix& a, const Matrix& bias_row) {
+  require(bias_row.rows() == 1 && bias_row.cols() == a.cols(),
+          "add_row_broadcast: bias must be (1 x cols)");
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    float* arow = a.data() + i * a.cols();
+    const float* b = bias_row.data();
+    for (std::size_t j = 0; j < a.cols(); ++j) arow[j] += b[j];
+  }
+}
+
+Matrix column_sums(const Matrix& a) {
+  Matrix out(1, a.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const float* arow = a.data() + i * a.cols();
+    for (std::size_t j = 0; j < a.cols(); ++j) out.data()[j] += arow[j];
+  }
+  return out;
+}
+
+double frobenius_norm(const Matrix& a) noexcept {
+  double acc = 0.0;
+  for (const float v : a.flat()) acc += static_cast<double>(v) * v;
+  return std::sqrt(acc);
+}
+
+double squared_distance(const Matrix& a, const Matrix& b) {
+  require(a.rows() == b.rows() && a.cols() == b.cols(),
+          "squared_distance: shape mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a.data()[i]) - b.data()[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+std::vector<float> row_mse(const Matrix& a, const Matrix& b) {
+  require(a.rows() == b.rows() && a.cols() == b.cols(),
+          "row_mse: shape mismatch");
+  std::vector<float> out(a.rows(), 0.0f);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const float* ar = a.data() + i * a.cols();
+    const float* br = b.data() + i * a.cols();
+    double acc = 0.0;
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      const double d = static_cast<double>(ar[j]) - br[j];
+      acc += d * d;
+    }
+    out[i] = static_cast<float>(acc / static_cast<double>(a.cols()));
+  }
+  return out;
+}
+
+}  // namespace safeloc::nn

@@ -1,0 +1,113 @@
+// Dense row-major float32 matrix — the single tensor type used throughout
+// the library. Fingerprint batches are (samples x features), layer weights
+// are (fan_in x fan_out), biases are (1 x fan_out).
+//
+// The workloads in this repo are small (feature widths of ~128, batches of a
+// few hundred), so a cache-friendly ikj GEMM is all the performance the
+// experiment grid needs; no BLAS dependency.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace safeloc::nn {
+
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// Creates a rows x cols matrix, zero-initialized.
+  Matrix(std::size_t rows, std::size_t cols);
+
+  /// Creates from explicit data (row-major); throws if sizes disagree.
+  Matrix(std::size_t rows, std::size_t cols, std::vector<float> data);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  [[nodiscard]] float& operator()(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] float operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] float* data() noexcept { return data_.data(); }
+  [[nodiscard]] const float* data() const noexcept { return data_.data(); }
+
+  [[nodiscard]] std::span<float> row(std::size_t r) noexcept {
+    return {data_.data() + r * cols_, cols_};
+  }
+  [[nodiscard]] std::span<const float> row(std::size_t r) const noexcept {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  [[nodiscard]] std::span<float> flat() noexcept { return data_; }
+  [[nodiscard]] std::span<const float> flat() const noexcept { return data_; }
+
+  void fill(float value) noexcept;
+  void zero() noexcept { fill(0.0f); }
+
+  /// Resizes to rows x cols, discarding contents (zero-filled).
+  void reshape_discard(std::size_t rows, std::size_t cols);
+
+  /// Extracts a copy of rows [begin, end).
+  [[nodiscard]] Matrix slice_rows(std::size_t begin, std::size_t end) const;
+
+  [[nodiscard]] std::string shape_string() const;
+
+  friend bool operator==(const Matrix& a, const Matrix& b) noexcept {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+// ---- BLAS-like free functions -------------------------------------------
+// All check shapes and throw std::invalid_argument on mismatch.
+
+/// C = A * B.  A: (m,k)  B: (k,n)  C: (m,n)
+[[nodiscard]] Matrix matmul(const Matrix& a, const Matrix& b);
+
+/// C = A^T * B.  A: (k,m)  B: (k,n)  C: (m,n)   (no explicit transpose)
+[[nodiscard]] Matrix matmul_at_b(const Matrix& a, const Matrix& b);
+
+/// C = A * B^T.  A: (m,k)  B: (n,k)  C: (m,n)
+[[nodiscard]] Matrix matmul_a_bt(const Matrix& a, const Matrix& b);
+
+[[nodiscard]] Matrix transpose(const Matrix& a);
+
+/// out += alpha * x (same shape).
+void axpy(float alpha, const Matrix& x, Matrix& out);
+
+/// Element-wise sum / difference / product.
+[[nodiscard]] Matrix add(const Matrix& a, const Matrix& b);
+[[nodiscard]] Matrix sub(const Matrix& a, const Matrix& b);
+[[nodiscard]] Matrix hadamard(const Matrix& a, const Matrix& b);
+
+/// In-place scale.
+void scale(Matrix& a, float alpha) noexcept;
+
+/// Adds a (1 x n) bias row to every row of a (m x n) matrix, in place.
+void add_row_broadcast(Matrix& a, const Matrix& bias_row);
+
+/// Returns (1 x n) column sums of a (m x n) matrix.
+[[nodiscard]] Matrix column_sums(const Matrix& a);
+
+/// Frobenius / L2 norm of all entries.
+[[nodiscard]] double frobenius_norm(const Matrix& a) noexcept;
+
+/// Sum of squared differences over all entries.
+[[nodiscard]] double squared_distance(const Matrix& a, const Matrix& b);
+
+/// Per-row mean squared error between two equally-shaped matrices.
+[[nodiscard]] std::vector<float> row_mse(const Matrix& a, const Matrix& b);
+
+}  // namespace safeloc::nn

@@ -1,0 +1,59 @@
+#include "src/nn/optimizer.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace safeloc::nn {
+
+void Sgd::step(std::span<const ParamRef> params) {
+  for (const auto& p : params) {
+    axpy(static_cast<float>(-lr_), *p.grad, *p.value);
+  }
+}
+
+Adam::Adam(double lr, double beta1, double beta2, double eps)
+    : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {}
+
+void Adam::reset() {
+  t_ = 0;
+  m_.clear();
+  v_.clear();
+}
+
+void Adam::step(std::span<const ParamRef> params) {
+  if (m_.empty()) {
+    m_.resize(params.size());
+    v_.resize(params.size());
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      m_[i].assign(params[i].value->size(), 0.0f);
+      v_[i].assign(params[i].value->size(), 0.0f);
+    }
+  }
+  if (m_.size() != params.size()) {
+    throw std::logic_error("Adam::step: parameter list changed size");
+  }
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  const double alpha = lr_ * std::sqrt(bc2) / bc1;
+
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    Matrix& value = *params[i].value;
+    const Matrix& grad = *params[i].grad;
+    if (m_[i].size() != value.size()) {
+      throw std::logic_error("Adam::step: parameter shape changed");
+    }
+    float* mv = m_[i].data();
+    float* vv = v_[i].data();
+    const float* g = grad.data();
+    float* w = value.data();
+    for (std::size_t j = 0; j < value.size(); ++j) {
+      mv[j] = static_cast<float>(beta1_ * mv[j] + (1.0 - beta1_) * g[j]);
+      vv[j] = static_cast<float>(beta2_ * vv[j] +
+                                 (1.0 - beta2_) * static_cast<double>(g[j]) * g[j]);
+      w[j] -= static_cast<float>(alpha * mv[j] / (std::sqrt(vv[j]) + eps_));
+    }
+  }
+}
+
+}  // namespace safeloc::nn

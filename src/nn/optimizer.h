@@ -1,0 +1,48 @@
+// First-order optimizers stepping over ParamRef lists.
+//
+// State is keyed by position in the parameter list, which is stable for the
+// fixed-architecture models in this library. The paper trains with Adam
+// (lr 1e-3 server-side, 1e-4 client-side).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/nn/layer.h"
+
+namespace safeloc::nn {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  virtual void step(std::span<const ParamRef> params) = 0;
+  virtual void reset() = 0;
+};
+
+class Sgd final : public Optimizer {
+ public:
+  explicit Sgd(double lr) : lr_(lr) {}
+  void step(std::span<const ParamRef> params) override;
+  void reset() override {}
+
+ private:
+  double lr_;
+};
+
+class Adam final : public Optimizer {
+ public:
+  explicit Adam(double lr, double beta1 = 0.9, double beta2 = 0.999,
+                double eps = 1e-8);
+  void step(std::span<const ParamRef> params) override;
+  void reset() override;
+
+  [[nodiscard]] double learning_rate() const noexcept { return lr_; }
+  void set_learning_rate(double lr) noexcept { lr_ = lr; }
+
+ private:
+  double lr_, beta1_, beta2_, eps_;
+  long t_ = 0;
+  std::vector<std::vector<float>> m_, v_;  // per-param moment buffers
+};
+
+}  // namespace safeloc::nn

@@ -1,0 +1,54 @@
+#include "src/nn/sequential.h"
+
+namespace safeloc::nn {
+
+Sequential::Sequential(const Sequential& other) {
+  layers_.reserve(other.layers_.size());
+  for (const auto& l : other.layers_) layers_.push_back(l->clone());
+}
+
+Sequential& Sequential::operator=(const Sequential& other) {
+  if (this == &other) return *this;
+  Sequential copy(other);
+  layers_ = std::move(copy.layers_);
+  return *this;
+}
+
+Sequential& Sequential::add(std::unique_ptr<Layer> layer) {
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+Matrix Sequential::forward(const Matrix& x, bool train) {
+  Matrix h = x;
+  for (const auto& l : layers_) h = l->forward(h, train);
+  return h;
+}
+
+Matrix Sequential::backward(const Matrix& grad_out) {
+  Matrix g = grad_out;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->backward(g);
+  }
+  return g;
+}
+
+std::vector<ParamRef> Sequential::parameters() {
+  std::vector<ParamRef> out;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    auto layer_params = layers_[i]->parameters("layer" + std::to_string(i));
+    out.insert(out.end(), layer_params.begin(), layer_params.end());
+  }
+  return out;
+}
+
+std::string Sequential::architecture_string() const {
+  std::string out;
+  for (const auto& l : layers_) {
+    if (!out.empty()) out += " -> ";
+    out += l->kind();
+  }
+  return out;
+}
+
+}  // namespace safeloc::nn

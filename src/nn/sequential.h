@@ -1,0 +1,45 @@
+// Sequential container — the model type used by the baseline frameworks'
+// DNNs and by standalone autoencoders (FedLS / ONLAD detectors).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/nn/layer.h"
+
+namespace safeloc::nn {
+
+class Sequential final : public Module {
+ public:
+  Sequential() = default;
+  Sequential(const Sequential& other);
+  Sequential& operator=(const Sequential& other);
+  Sequential(Sequential&&) = default;
+  Sequential& operator=(Sequential&&) = default;
+
+  /// Appends a layer; returns *this for chaining.
+  Sequential& add(std::unique_ptr<Layer> layer);
+
+  template <typename L, typename... Args>
+  Sequential& emplace(Args&&... args) {
+    return add(std::make_unique<L>(std::forward<Args>(args)...));
+  }
+
+  [[nodiscard]] Matrix forward(const Matrix& x, bool train = false);
+
+  /// Backward through all layers; returns dL/dinput (used by attacks).
+  [[nodiscard]] Matrix backward(const Matrix& grad_out);
+
+  [[nodiscard]] std::vector<ParamRef> parameters() override;
+
+  [[nodiscard]] std::size_t layer_count() const noexcept { return layers_.size(); }
+  [[nodiscard]] Layer& layer(std::size_t i) { return *layers_.at(i); }
+
+  [[nodiscard]] std::string architecture_string() const;
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace safeloc::nn

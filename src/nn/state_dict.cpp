@@ -1,0 +1,182 @@
+#include "src/nn/state_dict.h"
+
+#include <cmath>
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace safeloc::nn {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x53464c43;  // "SFLC"
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw std::runtime_error("StateDict::load: truncated stream");
+  return value;
+}
+
+}  // namespace
+
+StateDict StateDict::from_module(Module& module) {
+  StateDict dict;
+  for (const auto& p : module.parameters()) {
+    dict.add(p.name, *p.value);
+  }
+  return dict;
+}
+
+void StateDict::load_into(Module& module) const {
+  const auto params = module.parameters();
+  if (params.size() != items_.size()) {
+    throw std::invalid_argument("StateDict::load_into: tensor count mismatch");
+  }
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (params[i].name != items_[i].name ||
+        params[i].value->rows() != items_[i].value.rows() ||
+        params[i].value->cols() != items_[i].value.cols()) {
+      throw std::invalid_argument("StateDict::load_into: schema mismatch at " +
+                                  items_[i].name);
+    }
+    *params[i].value = items_[i].value;
+  }
+}
+
+void StateDict::add(std::string name, Matrix value) {
+  items_.push_back({std::move(name), std::move(value)});
+}
+
+const Matrix* StateDict::find(const std::string& name) const {
+  for (const auto& item : items_) {
+    if (item.name == name) return &item.value;
+  }
+  return nullptr;
+}
+
+std::size_t StateDict::element_count() const noexcept {
+  std::size_t total = 0;
+  for (const auto& item : items_) total += item.value.size();
+  return total;
+}
+
+std::vector<float> StateDict::flatten() const {
+  std::vector<float> out;
+  out.reserve(element_count());
+  for (const auto& item : items_) {
+    const auto flat = item.value.flat();
+    out.insert(out.end(), flat.begin(), flat.end());
+  }
+  return out;
+}
+
+void StateDict::load_flat(std::span<const float> flat) {
+  if (flat.size() != element_count()) {
+    throw std::invalid_argument("StateDict::load_flat: size mismatch");
+  }
+  std::size_t offset = 0;
+  for (auto& item : items_) {
+    auto dst = item.value.flat();
+    for (std::size_t i = 0; i < dst.size(); ++i) dst[i] = flat[offset + i];
+    offset += dst.size();
+  }
+}
+
+bool StateDict::same_schema(const StateDict& other) const noexcept {
+  if (items_.size() != other.items_.size()) return false;
+  for (std::size_t i = 0; i < items_.size(); ++i) {
+    if (items_[i].name != other.items_[i].name ||
+        items_[i].value.rows() != other.items_[i].value.rows() ||
+        items_[i].value.cols() != other.items_[i].value.cols()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void StateDict::axpy_from(float alpha, const StateDict& other) {
+  if (!same_schema(other)) {
+    throw std::invalid_argument("StateDict::axpy_from: schema mismatch");
+  }
+  for (std::size_t i = 0; i < items_.size(); ++i) {
+    axpy(alpha, other.items_[i].value, items_[i].value);
+  }
+}
+
+void StateDict::scale_all(float alpha) noexcept {
+  for (auto& item : items_) scale(item.value, alpha);
+}
+
+double StateDict::l2_distance(const StateDict& other) const {
+  if (!same_schema(other)) {
+    throw std::invalid_argument("StateDict::l2_distance: schema mismatch");
+  }
+  double acc = 0.0;
+  for (std::size_t i = 0; i < items_.size(); ++i) {
+    acc += squared_distance(items_[i].value, other.items_[i].value);
+  }
+  return std::sqrt(acc);
+}
+
+void StateDict::save(std::ostream& out) const {
+  write_pod(out, kMagic);
+  write_pod(out, kVersion);
+  write_pod(out, static_cast<std::uint64_t>(items_.size()));
+  for (const auto& item : items_) {
+    write_pod(out, static_cast<std::uint32_t>(item.name.size()));
+    out.write(item.name.data(), static_cast<std::streamsize>(item.name.size()));
+    write_pod(out, static_cast<std::uint64_t>(item.value.rows()));
+    write_pod(out, static_cast<std::uint64_t>(item.value.cols()));
+    out.write(reinterpret_cast<const char*>(item.value.data()),
+              static_cast<std::streamsize>(item.value.size() * sizeof(float)));
+  }
+  if (!out) throw std::runtime_error("StateDict::save: write failure");
+}
+
+StateDict StateDict::load(std::istream& in) {
+  if (read_pod<std::uint32_t>(in) != kMagic) {
+    throw std::runtime_error("StateDict::load: bad magic");
+  }
+  if (read_pod<std::uint32_t>(in) != kVersion) {
+    throw std::runtime_error("StateDict::load: unsupported version");
+  }
+  const auto count = read_pod<std::uint64_t>(in);
+  StateDict dict;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto name_len = read_pod<std::uint32_t>(in);
+    std::string name(name_len, '\0');
+    in.read(name.data(), name_len);
+    const auto rows = read_pod<std::uint64_t>(in);
+    const auto cols = read_pod<std::uint64_t>(in);
+    Matrix value(static_cast<std::size_t>(rows), static_cast<std::size_t>(cols));
+    in.read(reinterpret_cast<char*>(value.data()),
+            static_cast<std::streamsize>(value.size() * sizeof(float)));
+    if (!in) throw std::runtime_error("StateDict::load: truncated tensor");
+    dict.add(std::move(name), std::move(value));
+  }
+  return dict;
+}
+
+double cosine_similarity(std::span<const float> a, std::span<const float> b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("cosine_similarity: size mismatch");
+  }
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    dot += static_cast<double>(a[i]) * b[i];
+    na += static_cast<double>(a[i]) * a[i];
+    nb += static_cast<double>(b[i]) * b[i];
+  }
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+}  // namespace safeloc::nn

@@ -1,0 +1,78 @@
+// StateDict: an ordered, named snapshot of a model's trainable tensors.
+//
+// This is the currency of the federated layer: clients upload StateDicts,
+// aggregators blend them tensor-by-tensor (FedAvg, FedHIL selective,
+// SAFELOC saliency, ...), and the server loads the result back into the
+// global model. Order and names are architecture-stable, so tensors match
+// positionally across clones of the same model.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/nn/layer.h"
+#include "src/nn/matrix.h"
+
+namespace safeloc::nn {
+
+struct NamedTensor {
+  std::string name;
+  Matrix value;
+};
+
+class StateDict {
+ public:
+  StateDict() = default;
+
+  /// Snapshot of a module's current parameter values.
+  static StateDict from_module(Module& module);
+
+  /// Writes values back into the module; throws if shapes/names disagree.
+  void load_into(Module& module) const;
+
+  void add(std::string name, Matrix value);
+
+  [[nodiscard]] std::size_t tensor_count() const noexcept { return items_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return items_.empty(); }
+  [[nodiscard]] const NamedTensor& tensor(std::size_t i) const { return items_.at(i); }
+  [[nodiscard]] NamedTensor& tensor(std::size_t i) { return items_.at(i); }
+
+  /// Finds a tensor by name; nullptr if absent.
+  [[nodiscard]] const Matrix* find(const std::string& name) const;
+
+  /// Total element count across all tensors.
+  [[nodiscard]] std::size_t element_count() const noexcept;
+
+  /// Concatenated copy of all tensor elements (for distance computations).
+  [[nodiscard]] std::vector<float> flatten() const;
+
+  /// Writes `flat` back into the tensors; throws on size mismatch.
+  void load_flat(std::span<const float> flat);
+
+  /// True when both dicts have the same names and shapes in the same order.
+  [[nodiscard]] bool same_schema(const StateDict& other) const noexcept;
+
+  // --- arithmetic used by aggregators (schema-checked) ---
+  void axpy_from(float alpha, const StateDict& other);
+  void scale_all(float alpha) noexcept;
+  [[nodiscard]] double l2_distance(const StateDict& other) const;
+
+  /// Binary serialization (little-endian, versioned header).
+  void save(std::ostream& out) const;
+  static StateDict load(std::istream& in);
+
+  [[nodiscard]] auto begin() const noexcept { return items_.begin(); }
+  [[nodiscard]] auto end() const noexcept { return items_.end(); }
+
+ private:
+  std::vector<NamedTensor> items_;
+};
+
+/// Cosine similarity between two flattened weight vectors (FedCC-style
+/// update clustering). Returns 0 for zero-norm inputs.
+[[nodiscard]] double cosine_similarity(std::span<const float> a,
+                                       std::span<const float> b);
+
+}  // namespace safeloc::nn

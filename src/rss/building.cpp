@@ -1,0 +1,111 @@
+#include "src/rss/building.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/util/rng.h"
+
+namespace safeloc::rss {
+
+double euclidean(Point a, Point b) noexcept {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+const std::array<BuildingSpec, 5>& paper_buildings() {
+  static const std::array<BuildingSpec, 5> buildings = {{
+      {1, "Building-1", 60, 203, 10, 3.0, 6.0, 0x5afe10c001ULL},
+      {2, "Building-2", 48, 201, 8, 2.8, 5.5, 0x5afe10c002ULL},
+      {3, "Building-3", 70, 187, 10, 3.2, 6.5, 0x5afe10c003ULL},
+      {4, "Building-4", 80, 135, 10, 3.0, 5.0, 0x5afe10c004ULL},
+      {5, "Building-5", 90, 78, 9, 3.4, 7.0, 0x5afe10c005ULL},
+  }};
+  return buildings;
+}
+
+const BuildingSpec& paper_building(int id) {
+  for (const auto& b : paper_buildings()) {
+    if (b.id == id) return b;
+  }
+  throw std::out_of_range("paper_building: id must be 1..5");
+}
+
+Building::Building(BuildingSpec spec) : spec_(std::move(spec)) {
+  if (spec_.num_rps == 0 || spec_.num_aps == 0 || spec_.rps_per_row == 0) {
+    throw std::invalid_argument("Building: counts must be positive");
+  }
+
+  // Serpentine walking path: RPs 1 m apart along rows, rows 1 m apart,
+  // alternating direction (matches the paper's 1 m RP granularity).
+  rp_positions_.reserve(spec_.num_rps);
+  for (std::size_t i = 0; i < spec_.num_rps; ++i) {
+    const std::size_t row = i / spec_.rps_per_row;
+    const std::size_t col = i % spec_.rps_per_row;
+    const double x = (row % 2 == 0)
+                         ? static_cast<double>(col)
+                         : static_cast<double>(spec_.rps_per_row - 1 - col);
+    rp_positions_.push_back({x, static_cast<double>(row)});
+  }
+
+  const double path_w = static_cast<double>(spec_.rps_per_row - 1);
+  const double path_h =
+      static_cast<double>((spec_.num_rps + spec_.rps_per_row - 1) /
+                          spec_.rps_per_row - 1);
+
+  // APs scattered in a margin around the walking path: in-building APs plus
+  // neighbouring infrastructure. Margin grows with AP count so dense
+  // deployments (200+ visible APs) spread over a campus-scale area.
+  util::Rng rng(spec_.seed);
+  const double margin = 8.0 + 0.08 * static_cast<double>(spec_.num_aps);
+  ap_positions_.reserve(spec_.num_aps);
+  for (std::size_t a = 0; a < spec_.num_aps; ++a) {
+    ap_positions_.push_back({rng.uniform(-margin, path_w + margin),
+                             rng.uniform(-margin, path_h + margin)});
+  }
+
+  // Static shadowing: smooth over nearby RPs so fingerprints vary gradually
+  // along the path (spatial correlation), realized as a low-frequency random
+  // field per AP: s(ap, rp) = A*sin(k·p + phase) + independent residual.
+  shadowing_db_.resize(spec_.num_aps * spec_.num_rps);
+  for (std::size_t a = 0; a < spec_.num_aps; ++a) {
+    const double kx = rng.uniform(0.15, 0.7);
+    const double ky = rng.uniform(0.15, 0.7);
+    const double phase = rng.uniform(0.0, 6.283185307179586);
+    const double amp = spec_.shadowing_sigma_db * 0.8;
+    const double resid = spec_.shadowing_sigma_db * 0.6;
+    for (std::size_t r = 0; r < spec_.num_rps; ++r) {
+      const Point p = rp_positions_[r];
+      shadowing_db_[a * spec_.num_rps + r] =
+          amp * std::sin(kx * p.x + ky * p.y + phase) +
+          rng.gaussian(0.0, resid);
+    }
+  }
+}
+
+Point Building::rp_position(std::size_t rp) const {
+  if (rp >= rp_positions_.size()) {
+    throw std::out_of_range("Building::rp_position: bad RP index");
+  }
+  return rp_positions_[rp];
+}
+
+Point Building::ap_position(std::size_t ap) const {
+  if (ap >= ap_positions_.size()) {
+    throw std::out_of_range("Building::ap_position: bad AP index");
+  }
+  return ap_positions_[ap];
+}
+
+double Building::rp_distance_m(std::size_t rp_a, std::size_t rp_b) const {
+  return euclidean(rp_position(rp_a), rp_position(rp_b));
+}
+
+double Building::static_shadowing_db(std::size_t ap, std::size_t rp) const {
+  if (ap >= spec_.num_aps || rp >= spec_.num_rps) {
+    throw std::out_of_range("Building::static_shadowing_db: bad index");
+  }
+  return shadowing_db_[ap * spec_.num_rps + rp];
+}
+
+}  // namespace safeloc::rss

@@ -1,0 +1,78 @@
+// Synthetic building floorplans.
+//
+// The paper collects Wi-Fi RSS fingerprints in five campus buildings whose
+// reference-point (RP) and access-point (AP) counts it reports exactly
+// (60/203, 48/201, 70/187, 80/135, 90/78), with RPs on a 1 m grid along
+// walking paths. The raw data is not public, so this module synthesizes
+// geometrically equivalent floorplans: RPs on a serpentine walking path with
+// 1 m granularity, and APs scattered in and around the building (campus
+// deployments see many neighbouring-building APs, which is how 60 RPs can
+// observe 203 APs).
+//
+// Each (AP, RP) pair also carries a *static* shadowing term — the
+// environment-dependent multipath/wall attenuation that is stable across
+// scans. This is what gives fingerprints their location signature beyond
+// pure distance, and it is deterministic per building seed.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace safeloc::rss {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+[[nodiscard]] double euclidean(Point a, Point b) noexcept;
+
+struct BuildingSpec {
+  int id = 0;
+  std::string name;
+  std::size_t num_rps = 0;
+  std::size_t num_aps = 0;
+  /// RPs per serpentine row; rows are stacked 1 m apart.
+  std::size_t rps_per_row = 10;
+  /// Log-distance path-loss exponent (indoor: ~2.5-3.5).
+  double path_loss_exponent = 3.0;
+  /// Std-dev of the static per-(AP,RP) shadowing term, dB.
+  double shadowing_sigma_db = 6.0;
+  /// Seed controlling AP placement and shadowing.
+  std::uint64_t seed = 0;
+};
+
+/// The five buildings of the paper's evaluation (Section V.A).
+[[nodiscard]] const std::array<BuildingSpec, 5>& paper_buildings();
+
+/// Looks up a paper building by 1-based id; throws on bad id.
+[[nodiscard]] const BuildingSpec& paper_building(int id);
+
+class Building {
+ public:
+  explicit Building(BuildingSpec spec);
+
+  [[nodiscard]] const BuildingSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] std::size_t num_rps() const noexcept { return spec_.num_rps; }
+  [[nodiscard]] std::size_t num_aps() const noexcept { return spec_.num_aps; }
+
+  [[nodiscard]] Point rp_position(std::size_t rp) const;
+  [[nodiscard]] Point ap_position(std::size_t ap) const;
+
+  /// Ground-truth distance in metres between two RPs — the localization
+  /// error metric when one is predicted and the other is the truth.
+  [[nodiscard]] double rp_distance_m(std::size_t rp_a, std::size_t rp_b) const;
+
+  /// Static environment shadowing for an (AP, RP) pair, dB.
+  [[nodiscard]] double static_shadowing_db(std::size_t ap, std::size_t rp) const;
+
+ private:
+  BuildingSpec spec_;
+  std::vector<Point> rp_positions_;
+  std::vector<Point> ap_positions_;
+  std::vector<double> shadowing_db_;  // num_aps x num_rps, row-major by AP
+};
+
+}  // namespace safeloc::rss

@@ -1,0 +1,104 @@
+#include "src/rss/dataset.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace safeloc::rss {
+
+float standardize_dbm(double rss_dbm) noexcept {
+  const double clamped = std::clamp(rss_dbm, -100.0, 0.0);
+  return static_cast<float>((clamped + 100.0) / 100.0);
+}
+
+double destandardize(float value) noexcept {
+  return static_cast<double>(value) * 100.0 - 100.0;
+}
+
+Dataset Dataset::concat(const Dataset& a, const Dataset& b) {
+  if (a.empty()) return b;
+  if (b.empty()) return a;
+  if (a.building_id != b.building_id || a.x.cols() != b.x.cols()) {
+    throw std::invalid_argument("Dataset::concat: incompatible datasets");
+  }
+  Dataset out;
+  out.building_id = a.building_id;
+  out.x = nn::Matrix(a.x.rows() + b.x.rows(), a.x.cols());
+  std::copy(a.x.data(), a.x.data() + a.x.size(), out.x.data());
+  std::copy(b.x.data(), b.x.data() + b.x.size(), out.x.data() + a.x.size());
+  out.labels = a.labels;
+  out.labels.insert(out.labels.end(), b.labels.begin(), b.labels.end());
+  return out;
+}
+
+FingerprintGenerator::FingerprintGenerator(const Building& building,
+                                           std::uint64_t seed,
+                                           RadioParams radio_params)
+    : building_(&building), radio_(radio_params), seed_(seed) {
+  // Rank APs by mean noiseless RSS along the walking path; keep the
+  // strongest kFeatureDim. This is canonical per building: every device and
+  // every collection uses the same AP order, as a deployed system would.
+  const std::size_t n_aps = building.num_aps();
+  std::vector<double> mean_rss(n_aps, 0.0);
+  for (std::size_t a = 0; a < n_aps; ++a) {
+    double acc = 0.0;
+    for (std::size_t r = 0; r < building.num_rps(); ++r) {
+      acc += radio_.mean_rss_dbm(building, a, r);
+    }
+    mean_rss[a] = acc / static_cast<double>(building.num_rps());
+  }
+  std::vector<std::size_t> order(n_aps);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return mean_rss[a] > mean_rss[b];
+  });
+  order.resize(std::min(kFeatureDim, n_aps));
+  selected_aps_ = std::move(order);
+}
+
+Dataset FingerprintGenerator::generate(const DeviceProfile& device,
+                                       std::size_t fps_per_rp,
+                                       std::uint64_t salt) const {
+  const std::size_t n_rps = building_->num_rps();
+  Dataset out;
+  out.building_id = building_->spec().id;
+  out.x = nn::Matrix(n_rps * fps_per_rp, kFeatureDim);
+  out.labels.reserve(n_rps * fps_per_rp);
+
+  util::Rng rng(seed_ ^ (device.seed_tag * 0x9e3779b97f4a7c15ULL) ^ salt);
+
+  std::size_t row = 0;
+  for (std::size_t rp = 0; rp < n_rps; ++rp) {
+    for (std::size_t scan = 0; scan < fps_per_rp; ++scan, ++row) {
+      float* features = out.x.data() + row * kFeatureDim;
+      for (std::size_t f = 0; f < selected_aps_.size(); ++f) {
+        const std::size_t ap = selected_aps_[f];
+        const double true_rss = radio_.sample_rss_dbm(
+            *building_, ap, rp, /*noise_sigma_db=*/1.0, rng);
+        // Device distortion chain: affine gain/offset, device noise,
+        // sensitivity floor, random scan dropout.
+        double observed = device.gain * true_rss + device.offset_db +
+                          rng.gaussian(0.0, device.noise_sigma_db);
+        const bool detected = true_rss > device.sensitivity_dbm &&
+                              !rng.bernoulli(device.drop_prob);
+        if (!detected) observed = -100.0;
+        features[f] = standardize_dbm(observed);
+      }
+      // Remaining feature slots (buildings with < kFeatureDim APs) stay at
+      // 0.0 == "no signal" by construction.
+      out.labels.push_back(static_cast<int>(rp));
+    }
+  }
+  return out;
+}
+
+Dataset FingerprintGenerator::training_set() const {
+  return generate(paper_devices()[reference_device_index()],
+                  /*fps_per_rp=*/5, /*salt=*/0x7121a1ULL);
+}
+
+Dataset FingerprintGenerator::test_set(const DeviceProfile& device) const {
+  return generate(device, /*fps_per_rp=*/1, /*salt=*/0x7e57ULL);
+}
+
+}  // namespace safeloc::rss

@@ -1,0 +1,79 @@
+// Fingerprint dataset generation.
+//
+// A fingerprint is the vector of RSS readings a device observes at one RP,
+// standardized from [−100, 0] dBm into [0, 1] (paper §V.A). All models in
+// the library consume a fixed feature width of kFeatureDim = 128: the 128
+// APs with the strongest mean signal along the walking path are selected
+// per building (deterministically); buildings with fewer visible APs
+// (Building 5 has 78) are zero-padded at the "no signal" level.
+//
+// Protocol from the paper: the global model trains on five fingerprints per
+// RP collected on the reference device (Motorola Z2); testing uses one
+// fingerprint per RP on each of the remaining five devices.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/nn/matrix.h"
+#include "src/rss/building.h"
+#include "src/rss/device.h"
+#include "src/rss/radio.h"
+
+namespace safeloc::rss {
+
+/// Fixed model input width (see file comment).
+inline constexpr std::size_t kFeatureDim = 128;
+
+/// Standardizes a clamped dBm value into [0, 1] (−100 dBm -> 0, 0 dBm -> 1).
+[[nodiscard]] float standardize_dbm(double rss_dbm) noexcept;
+
+/// Inverse of standardize_dbm.
+[[nodiscard]] double destandardize(float value) noexcept;
+
+/// A labelled fingerprint batch: x is (n x kFeatureDim) in [0, 1], labels
+/// are RP indices.
+struct Dataset {
+  nn::Matrix x;
+  std::vector<int> labels;
+  int building_id = 0;
+
+  [[nodiscard]] std::size_t size() const noexcept { return labels.size(); }
+  [[nodiscard]] bool empty() const noexcept { return labels.empty(); }
+
+  /// Concatenates two datasets from the same building.
+  static Dataset concat(const Dataset& a, const Dataset& b);
+};
+
+class FingerprintGenerator {
+ public:
+  /// Builds the AP selection for `building`. `seed` controls only the scan
+  /// noise streams, not the selection (which is noiseless and canonical).
+  FingerprintGenerator(const Building& building, std::uint64_t seed,
+                       RadioParams radio_params = {});
+
+  /// Generates `fps_per_rp` fingerprints at every RP as seen by `device`.
+  /// `salt` separates independent collections (train vs test vs client).
+  [[nodiscard]] Dataset generate(const DeviceProfile& device,
+                                 std::size_t fps_per_rp,
+                                 std::uint64_t salt) const;
+
+  /// Paper protocol: 5 fps/RP on the reference device.
+  [[nodiscard]] Dataset training_set() const;
+
+  /// Paper protocol: 1 fp/RP on the given (non-reference) device.
+  [[nodiscard]] Dataset test_set(const DeviceProfile& device) const;
+
+  [[nodiscard]] const Building& building() const noexcept { return *building_; }
+  [[nodiscard]] const std::vector<std::size_t>& selected_aps() const noexcept {
+    return selected_aps_;
+  }
+
+ private:
+  const Building* building_;  // non-owning; must outlive the generator
+  RadioModel radio_;
+  std::uint64_t seed_;
+  std::vector<std::size_t> selected_aps_;
+};
+
+}  // namespace safeloc::rss

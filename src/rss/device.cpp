@@ -1,0 +1,21 @@
+#include "src/rss/device.h"
+
+namespace safeloc::rss {
+
+const std::array<DeviceProfile, 6>& paper_devices() {
+  static const std::array<DeviceProfile, 6> devices = {{
+      {"Samsung Galaxy S7", 1.06, +2.5, 1.4, -94.0, 0.03, 0xd0e01},
+      {"OnePlus 3", 0.94, -3.0, 1.6, -92.0, 0.04, 0xd0e02},
+      {"Motorola Z2", 1.00, 0.0, 1.0, -96.0, 0.01, 0xd0e03},
+      {"LG V20", 1.08, -1.5, 1.5, -93.0, 0.03, 0xd0e04},
+      {"BLU Vivo 8", 0.93, +3.0, 1.6, -90.0, 0.06, 0xd0e05},
+      {"HTC U11", 1.04, +1.0, 1.4, -94.0, 0.02, 0xd0e06},
+  }};
+  return devices;
+}
+
+const DeviceProfile& device(DeviceId id) {
+  return paper_devices()[static_cast<std::size_t>(id)];
+}
+
+}  // namespace safeloc::rss

@@ -1,0 +1,62 @@
+// Heterogeneous mobile-device profiles.
+//
+// Device heterogeneity — differing Wi-Fi chipsets, antennas, and firmware —
+// distorts the RSS a phone reports for the same radio environment. Following
+// the characterization used across the indoor-localization literature (and
+// this paper's predecessor FedHIL), each device applies an affine distortion
+// (gain · dBm + offset), adds its own measurement noise, has a sensitivity
+// floor below which APs go unreported, and occasionally misses APs entirely.
+//
+// The six profiles correspond to the paper's phones. Motorola Z2 is the
+// reference device: the global model is trained on its data, and the other
+// five are test devices. HTC U11 is the device the paper compromises in the
+// poisoning experiments.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace safeloc::rss {
+
+struct DeviceProfile {
+  std::string name;
+  /// Multiplicative distortion applied to the dBm reading.
+  double gain = 1.0;
+  /// Additive offset, dB.
+  double offset_db = 0.0;
+  /// Per-measurement noise the device adds on top of environment noise, dB.
+  double noise_sigma_db = 2.0;
+  /// APs with true RSS below this are not reported by the device.
+  double sensitivity_dbm = -95.0;
+  /// Probability that a visible AP is missing from a given scan.
+  double drop_prob = 0.02;
+  /// Per-device RNG stream tag.
+  std::uint64_t seed_tag = 0;
+};
+
+/// The paper's six phones. Index with DeviceId for readability.
+[[nodiscard]] const std::array<DeviceProfile, 6>& paper_devices();
+
+enum class DeviceId : std::size_t {
+  kGalaxyS7 = 0,
+  kOnePlus3 = 1,
+  kMotorolaZ2 = 2,  // reference / training device
+  kLgV20 = 3,
+  kBluVivo8 = 4,
+  kHtcU11 = 5,  // attacker device in the paper's experiments
+};
+
+[[nodiscard]] const DeviceProfile& device(DeviceId id);
+
+/// The device whose data trains the global model (Motorola Z2).
+[[nodiscard]] constexpr std::size_t reference_device_index() noexcept {
+  return static_cast<std::size_t>(DeviceId::kMotorolaZ2);
+}
+
+/// The device the paper designates as malicious (HTC U11).
+[[nodiscard]] constexpr std::size_t attacker_device_index() noexcept {
+  return static_cast<std::size_t>(DeviceId::kHtcU11);
+}
+
+}  // namespace safeloc::rss

@@ -1,0 +1,30 @@
+#include "src/rss/radio.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace safeloc::rss {
+
+double RadioModel::clamp_dbm(double rss_dbm) const noexcept {
+  return std::clamp(rss_dbm, params_.min_rss_dbm, params_.max_rss_dbm);
+}
+
+double RadioModel::mean_rss_dbm(const Building& building, std::size_t ap,
+                                std::size_t rp) const {
+  const double d = std::max(
+      euclidean(building.ap_position(ap), building.rp_position(rp)),
+      params_.ref_distance_m);
+  const double path_loss = 10.0 * building.spec().path_loss_exponent *
+                           std::log10(d / params_.ref_distance_m);
+  return clamp_dbm(params_.ref_power_dbm - path_loss +
+                   building.static_shadowing_db(ap, rp));
+}
+
+double RadioModel::sample_rss_dbm(const Building& building, std::size_t ap,
+                                  std::size_t rp, double noise_sigma_db,
+                                  util::Rng& rng) const {
+  return clamp_dbm(mean_rss_dbm(building, ap, rp) +
+                   rng.gaussian(0.0, noise_sigma_db));
+}
+
+}  // namespace safeloc::rss

@@ -1,0 +1,47 @@
+// Log-distance path-loss radio model.
+//
+// mean RSS(ap, rp) = P_ref − 10·n·log10(max(d, d0) / d0) + shadow(ap, rp)
+//
+// where n is the building's path-loss exponent and shadow is the building's
+// static per-(AP,RP) environment term. Per-scan measurement noise is added
+// on top by the fingerprint generator (device-dependent). Values are clamped
+// to the paper's standardized range [−100 dBm, 0 dBm].
+#pragma once
+
+#include "src/rss/building.h"
+#include "src/util/rng.h"
+
+namespace safeloc::rss {
+
+struct RadioParams {
+  /// Received power at the reference distance (typ. AP tx power minus
+  /// first-metre loss).
+  double ref_power_dbm = -30.0;
+  double ref_distance_m = 1.0;
+  /// Floor / ceiling of reportable RSS.
+  double min_rss_dbm = -100.0;
+  double max_rss_dbm = 0.0;
+};
+
+class RadioModel {
+ public:
+  explicit RadioModel(RadioParams params = {}) : params_(params) {}
+
+  [[nodiscard]] const RadioParams& params() const noexcept { return params_; }
+
+  /// Noiseless mean RSS for an (AP, RP) pair, clamped to the valid range.
+  [[nodiscard]] double mean_rss_dbm(const Building& building, std::size_t ap,
+                                    std::size_t rp) const;
+
+  /// One scan sample: mean RSS + zero-mean Gaussian measurement noise.
+  [[nodiscard]] double sample_rss_dbm(const Building& building, std::size_t ap,
+                                      std::size_t rp, double noise_sigma_db,
+                                      util::Rng& rng) const;
+
+  [[nodiscard]] double clamp_dbm(double rss_dbm) const noexcept;
+
+ private:
+  RadioParams params_;
+};
+
+}  // namespace safeloc::rss

@@ -1,0 +1,40 @@
+#include "src/util/config.h"
+
+#include <cstdlib>
+
+namespace safeloc::util {
+
+int env_int(const std::string& name, int fallback) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr || *raw == '\0') return fallback;
+  return std::atoi(raw);
+}
+
+double env_double(const std::string& name, double fallback) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr || *raw == '\0') return fallback;
+  return std::atof(raw);
+}
+
+const RunScale& run_scale() {
+  static const RunScale scale = [] {
+    RunScale s;
+    const bool fast = env_int("SAFELOC_FAST", 1) != 0;
+    if (!fast) {
+      s.server_epochs = 700;  // paper-scale
+      s.client_lr = 1e-4;     // paper-stated client learning rate...
+      s.fl_rounds = 80;       // ...over a long federated deployment
+      s.repeats = 3;
+      s.fast = false;
+    }
+    s.server_epochs = env_int("SAFELOC_EPOCHS", s.server_epochs);
+    s.client_epochs = env_int("SAFELOC_CLIENT_EPOCHS", s.client_epochs);
+    s.client_lr = env_double("SAFELOC_CLIENT_LR", s.client_lr);
+    s.fl_rounds = env_int("SAFELOC_ROUNDS", s.fl_rounds);
+    s.repeats = env_int("SAFELOC_REPEATS", s.repeats);
+    return s;
+  }();
+  return scale;
+}
+
+}  // namespace safeloc::util

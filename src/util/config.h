@@ -1,0 +1,44 @@
+// Run-scale knobs shared by benches and examples.
+//
+// The paper trains the global model for 700 epochs and runs full federated
+// schedules; that is hours of compute for the complete figure grid. The
+// default "fast" profile shrinks epoch/round budgets so the whole suite runs
+// in minutes while preserving every qualitative shape. Set SAFELOC_FAST=0 to
+// restore paper-scale budgets.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace safeloc::util {
+
+struct RunScale {
+  /// Server-side pre-training epochs for the global model.
+  int server_epochs = 120;
+  /// Client-side local fine-tuning epochs (paper: 5).
+  int client_epochs = 5;
+  /// Client-side learning rate. The paper uses 1e-4 over a long deployment
+  /// of federated rounds; the fast profile compresses that schedule into
+  /// few rounds, so it raises the client step size to keep the *total*
+  /// update volume (lr x epochs x rounds) comparable:
+  /// 1e-3 x 5 x 8 ~ 1e-4 x 5 x 80.
+  double client_lr = 1e-3;
+  /// Federated rounds per scenario.
+  int fl_rounds = 8;
+  /// Repetitions (seeds) averaged per measured cell.
+  int repeats = 1;
+  /// True when the reduced profile is active.
+  bool fast = true;
+};
+
+/// Reads SAFELOC_FAST (default 1) once and returns the matching profile.
+/// SAFELOC_FAST=0 selects paper-scale budgets (700 epochs, 20 rounds, 3 seeds).
+[[nodiscard]] const RunScale& run_scale();
+
+/// Integer env knob with default (e.g. SAFELOC_ROUNDS).
+[[nodiscard]] int env_int(const std::string& name, int fallback);
+
+/// Float env knob with default.
+[[nodiscard]] double env_double(const std::string& name, double fallback);
+
+}  // namespace safeloc::util

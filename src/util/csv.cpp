@@ -1,0 +1,55 @@
+#include "src/util/csv.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace safeloc::util {
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+}
+
+void CsvWriter::write_escaped(std::string_view cell) {
+  const bool needs_quotes =
+      cell.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) {
+    out_ << cell;
+    return;
+  }
+  out_ << '"';
+  for (const char c : cell) {
+    if (c == '"') out_ << '"';
+    out_ << c;
+  }
+  out_ << '"';
+}
+
+void CsvWriter::write_row(std::initializer_list<std::string_view> cells) {
+  bool first = true;
+  for (const auto& c : cells) {
+    if (!first) out_ << ',';
+    write_escaped(c);
+    first = false;
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  bool first = true;
+  for (const auto& c : cells) {
+    if (!first) out_ << ',';
+    write_escaped(c);
+    first = false;
+  }
+  out_ << '\n';
+}
+
+std::string CsvWriter::cell(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return buf;
+}
+
+std::string CsvWriter::cell(std::size_t value) { return std::to_string(value); }
+
+}  // namespace safeloc::util

@@ -1,0 +1,38 @@
+// CSV writer used by benches to dump the raw series behind every figure so
+// the plots can be regenerated outside the harness.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace safeloc::util {
+
+/// Writes RFC-4180-ish CSV (quotes fields containing separators/quotes).
+/// The writer owns the stream; rows are flushed on destruction.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing. Throws std::runtime_error on failure.
+  explicit CsvWriter(const std::string& path);
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+  CsvWriter(CsvWriter&&) = default;
+  CsvWriter& operator=(CsvWriter&&) = default;
+  ~CsvWriter() = default;
+
+  void write_row(std::initializer_list<std::string_view> cells);
+  void write_row(const std::vector<std::string>& cells);
+
+  /// Convenience: format doubles with 6 significant digits.
+  static std::string cell(double value);
+  static std::string cell(std::size_t value);
+
+ private:
+  void write_escaped(std::string_view cell);
+  std::ofstream out_;
+};
+
+}  // namespace safeloc::util

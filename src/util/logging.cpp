@@ -1,0 +1,55 @@
+#include "src/util/logging.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace safeloc::util {
+namespace {
+
+LogLevel parse_level(const char* text) {
+  const std::string_view s = text == nullptr ? "" : text;
+  if (s == "debug") return LogLevel::kDebug;
+  if (s == "info") return LogLevel::kInfo;
+  if (s == "warn") return LogLevel::kWarn;
+  if (s == "error") return LogLevel::kError;
+  if (s == "off") return LogLevel::kOff;
+  return LogLevel::kInfo;
+}
+
+LogLevel& threshold_storage() {
+  static LogLevel level = parse_level(std::getenv("SAFELOC_LOG"));
+  return level;
+}
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?????";
+}
+
+std::mutex& log_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+}  // namespace
+
+LogLevel log_threshold() { return threshold_storage(); }
+
+void set_log_threshold(LogLevel level) { threshold_storage() = level; }
+
+void log_message(LogLevel level, std::string_view message) {
+  if (static_cast<int>(level) < static_cast<int>(log_threshold())) return;
+  const std::scoped_lock lock(log_mutex());
+  std::fprintf(stderr, "[%s] %.*s\n", level_tag(level),
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace safeloc::util

@@ -1,0 +1,47 @@
+// Minimal leveled logger. Experiments print their primary output through the
+// report/table helpers; the logger is for progress and diagnostics only.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace safeloc::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level. Defaults to kInfo; SAFELOC_LOG=debug|info|warn|error|off
+/// overrides it (read once at startup).
+[[nodiscard]] LogLevel log_threshold();
+void set_log_threshold(LogLevel level);
+
+void log_message(LogLevel level, std::string_view message);
+
+namespace detail {
+template <typename... Args>
+void log_fmt(LogLevel level, const Args&... args) {
+  if (static_cast<int>(level) < static_cast<int>(log_threshold())) return;
+  std::ostringstream os;
+  (os << ... << args);
+  log_message(level, os.str());
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(const Args&... args) {
+  detail::log_fmt(LogLevel::kDebug, args...);
+}
+template <typename... Args>
+void log_info(const Args&... args) {
+  detail::log_fmt(LogLevel::kInfo, args...);
+}
+template <typename... Args>
+void log_warn(const Args&... args) {
+  detail::log_fmt(LogLevel::kWarn, args...);
+}
+template <typename... Args>
+void log_error(const Args&... args) {
+  detail::log_fmt(LogLevel::kError, args...);
+}
+
+}  // namespace safeloc::util

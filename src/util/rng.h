@@ -1,0 +1,152 @@
+// Deterministic random number generation for reproducible experiments.
+//
+// Every stochastic component in the library (weight init, radio shadowing,
+// device noise, attack label selection, client sampling, ...) takes an
+// explicit seed and derives its own Rng, so experiment results are
+// bit-for-bit reproducible across runs and platforms.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+#include <span>
+#include <vector>
+
+namespace safeloc::util {
+
+/// SplitMix64 — used to expand a single 64-bit seed into a full generator
+/// state. Recommended seeding procedure for xoshiro-family generators.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** generator. Small, fast, and high quality; independent of the
+/// standard library's unspecified distribution implementations so that the
+/// streams are identical on every platform.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5a17ebabe5eedULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+    gauss_valid_ = false;
+  }
+
+  /// Derive an independent child generator. Used to give each client /
+  /// building / device its own stream so that adding one component does not
+  /// perturb the randomness seen by the others.
+  [[nodiscard]] Rng fork(std::uint64_t stream_tag) noexcept {
+    std::uint64_t mix = next() ^ (0x9e3779b97f4a7c15ULL * (stream_tag + 1));
+    return Rng{mix};
+  }
+
+  [[nodiscard]] result_type operator()() noexcept { return next(); }
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform float in [lo, hi).
+  [[nodiscard]] float uniform_f(float lo, float hi) noexcept {
+    return static_cast<float>(uniform(lo, hi));
+  }
+
+  /// Uniform integer in [0, n). Unbiased via rejection.
+  [[nodiscard]] std::uint64_t below(std::uint64_t n) noexcept {
+    if (n == 0) return 0;
+    const std::uint64_t threshold = (~n + 1) % n;  // (2^64 - n) mod n
+    for (;;) {
+      const std::uint64_t r = next();
+      if (r >= threshold) return r % n;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t integer(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Standard normal via Box-Muller (cached second value).
+  [[nodiscard]] double gaussian() noexcept {
+    if (gauss_valid_) {
+      gauss_valid_ = false;
+      return gauss_cache_;
+    }
+    double u1 = 0.0;
+    while (u1 <= 1e-300) u1 = uniform();
+    const double u2 = uniform();
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    gauss_cache_ = mag * std::sin(2.0 * std::numbers::pi * u2);
+    gauss_valid_ = true;
+    return mag * std::cos(2.0 * std::numbers::pi * u2);
+  }
+
+  [[nodiscard]] double gaussian(double mean, double stddev) noexcept {
+    return mean + stddev * gaussian();
+  }
+
+  [[nodiscard]] bool bernoulli(double p) noexcept { return uniform() < p; }
+
+  template <typename T>
+  void shuffle(std::span<T> values) noexcept {
+    for (std::size_t i = values.size(); i > 1; --i) {
+      const std::size_t j = below(i);
+      std::swap(values[i - 1], values[j]);
+    }
+  }
+
+  template <typename T>
+  void shuffle(std::vector<T>& values) noexcept {
+    shuffle(std::span<T>(values));
+  }
+
+  /// Choose k distinct indices from [0, n) (k <= n), in random order.
+  [[nodiscard]] std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k) {
+    std::vector<std::size_t> all(n);
+    for (std::size_t i = 0; i < n; ++i) all[i] = i;
+    shuffle(all);
+    all.resize(std::min(k, n));
+    return all;
+  }
+
+ private:
+  [[nodiscard]] static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+  double gauss_cache_ = 0.0;
+  bool gauss_valid_ = false;
+};
+
+}  // namespace safeloc::util

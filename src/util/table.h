@@ -1,0 +1,28 @@
+// ASCII table rendering for bench/example output. Benches print the same
+// rows/series the paper's tables and figures report; this keeps that output
+// aligned and diff-friendly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace safeloc::util {
+
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with column alignment. Numeric-looking cells are right-aligned.
+  [[nodiscard]] std::string render() const;
+
+  /// Convenience formatting helpers.
+  static std::string num(double value, int precision = 2);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace safeloc::util

@@ -1,0 +1,296 @@
+// Aggregation strategies: fixed points, robustness invariants, exclusion
+// behaviour, and the saliency-map math (Eqs. 6-9).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/fl/aggregator.h"
+#include "src/util/rng.h"
+
+namespace safeloc::fl {
+namespace {
+
+nn::StateDict make_state(std::initializer_list<float> values) {
+  nn::StateDict dict;
+  std::vector<float> data(values);
+  dict.add("w", nn::Matrix(1, data.size(), data));
+  return dict;
+}
+
+nn::StateDict perturbed(const nn::StateDict& base, float delta,
+                        std::uint64_t seed) {
+  nn::StateDict out = base;
+  util::Rng rng(seed);
+  for (std::size_t t = 0; t < out.tensor_count(); ++t) {
+    for (float& v : out.tensor(t).value.flat()) {
+      v += delta * rng.uniform_f(-1.0f, 1.0f);
+    }
+  }
+  return out;
+}
+
+std::vector<ClientUpdate> updates_from(std::vector<nn::StateDict> states) {
+  std::vector<ClientUpdate> out;
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    out.push_back({std::move(states[i]), /*num_samples=*/100,
+                   /*client_id=*/static_cast<int>(i)});
+  }
+  return out;
+}
+
+TEST(FedAvg, AveragesEqualWeights) {
+  const nn::StateDict global = make_state({0.0f, 0.0f});
+  auto updates = updates_from({make_state({2.0f, 4.0f}),
+                               make_state({4.0f, 8.0f})});
+  FedAvgAggregator agg;
+  const auto next = agg.aggregate(global, updates);
+  EXPECT_FLOAT_EQ(next.tensor(0).value(0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(next.tensor(0).value(0, 1), 6.0f);
+}
+
+TEST(FedAvg, WeighsBySampleCount) {
+  const nn::StateDict global = make_state({0.0f});
+  std::vector<ClientUpdate> updates;
+  updates.push_back({make_state({0.0f}), 300, 0});
+  updates.push_back({make_state({4.0f}), 100, 1});
+  FedAvgAggregator agg;
+  const auto next = agg.aggregate(global, updates);
+  EXPECT_FLOAT_EQ(next.tensor(0).value(0, 0), 1.0f);
+}
+
+TEST(FedAvg, RejectsEmptyAndMismatched) {
+  FedAvgAggregator agg;
+  const nn::StateDict global = make_state({1.0f});
+  EXPECT_THROW((void)agg.aggregate(global, {}), std::invalid_argument);
+  auto updates = updates_from({make_state({1.0f, 2.0f})});
+  EXPECT_THROW((void)agg.aggregate(global, updates), std::invalid_argument);
+}
+
+TEST(Selective, AveragesOnlyBiggestMovers) {
+  const nn::StateDict global = make_state({0.0f});
+  // Movers: 10 (big), 0.1 and 0.2 (small). Top half (2 of 3) = {10, 0.2}.
+  auto updates = updates_from({make_state({10.0f}), make_state({0.1f}),
+                               make_state({0.2f})});
+  SelectiveAggregator agg(/*selection_fraction=*/0.5);
+  const auto next = agg.aggregate(global, updates);
+  EXPECT_FLOAT_EQ(next.tensor(0).value(0, 0), 5.1f);
+}
+
+TEST(Selective, AmplifiesTheOutlierRelativeToFedAvg) {
+  // The FedHIL weakness the paper calls out: a poisoned (big) update gets
+  // over-weighted relative to plain averaging.
+  const nn::StateDict global = make_state({0.0f});
+  auto updates = updates_from({make_state({12.0f}), make_state({0.3f}),
+                               make_state({0.2f}), make_state({0.25f}),
+                               make_state({0.35f}), make_state({0.3f})});
+  FedAvgAggregator fedavg;
+  SelectiveAggregator selective;
+  const float avg = fedavg.aggregate(global, updates).tensor(0).value(0, 0);
+  const float sel = selective.aggregate(global, updates).tensor(0).value(0, 0);
+  EXPECT_GT(sel, avg);
+}
+
+TEST(Krum, PicksTheMajorityConsensusUpdate) {
+  const nn::StateDict global = make_state({0.0f, 0.0f});
+  auto updates = updates_from({
+      make_state({1.0f, 1.0f}),
+      make_state({1.1f, 0.9f}),
+      make_state({0.9f, 1.1f}),
+      make_state({50.0f, -50.0f}),  // attacker
+  });
+  KrumAggregator agg(/*byzantine_f=*/1);
+  const auto next = agg.aggregate(global, updates);
+  EXPECT_LT(next.tensor(0).value(0, 0), 2.0f);   // a benign update won
+  EXPECT_EQ(agg.last_excluded().size(), 3u);     // everyone else unused
+  for (const int id : agg.last_excluded()) EXPECT_NE(id, -1);
+}
+
+TEST(Krum, SingleClientPassesThrough) {
+  const nn::StateDict global = make_state({0.0f});
+  auto updates = updates_from({make_state({7.0f})});
+  KrumAggregator agg;
+  EXPECT_FLOAT_EQ(agg.aggregate(global, updates).tensor(0).value(0, 0), 7.0f);
+}
+
+/// Three tensors; FedCC's head window (trailing two) sees head.w / head.b
+/// but never body.w.
+nn::StateDict two_tensor_state(float head_value, float body_value,
+                               std::uint64_t seed) {
+  nn::StateDict dict;
+  util::Rng rng(seed);
+  nn::Matrix body(1, 8);
+  for (float& v : body.flat()) v = body_value + rng.uniform_f(-0.01f, 0.01f);
+  nn::Matrix head(1, 4);
+  for (float& v : head.flat()) v = head_value + rng.uniform_f(-0.3f, 0.3f);
+  nn::Matrix head_bias(1, 4);
+  for (float& v : head_bias.flat()) {
+    v = head_value + rng.uniform_f(-0.3f, 0.3f);
+  }
+  dict.add("body.w", std::move(body));
+  dict.add("head.w", std::move(head));
+  dict.add("head.b", std::move(head_bias));
+  return dict;
+}
+
+TEST(FedCc, ExcludesHeadSpaceOutlier) {
+  // Five benign clients move the head coherently; the attacker moves it
+  // the other way (label-flip signature).
+  const nn::StateDict global = two_tensor_state(0.0f, 0.0f, 1);
+  std::vector<nn::StateDict> states;
+  for (int i = 0; i < 5; ++i) {
+    states.push_back(two_tensor_state(0.5f, 0.1f, 10 + i));
+  }
+  states.push_back(two_tensor_state(-3.0f, 0.1f, 99));  // attacker
+  auto updates = updates_from(std::move(states));
+  FedCcAggregator agg;
+  (void)agg.aggregate(global, updates);
+  ASSERT_EQ(agg.last_excluded().size(), 1u);
+  EXPECT_EQ(agg.last_excluded()[0], 5);
+}
+
+TEST(FedCc, BlindToBodyOnlyChanges) {
+  // Backdoor signature: huge body (feature-layer) changes, benign-looking
+  // head. FedCC's penultimate-layer clustering must NOT exclude it.
+  const nn::StateDict global = two_tensor_state(0.0f, 0.0f, 1);
+  std::vector<nn::StateDict> states;
+  for (int i = 0; i < 5; ++i) {
+    states.push_back(two_tensor_state(0.5f, 0.1f, 20 + i));
+  }
+  states.push_back(two_tensor_state(0.5f, 25.0f, 77));  // body-space attacker
+  auto updates = updates_from(std::move(states));
+  FedCcAggregator agg;
+  (void)agg.aggregate(global, updates);
+  EXPECT_TRUE(agg.last_excluded().empty());
+}
+
+TEST(FedLs, LearnsToFlagTheOddUpdate) {
+  const nn::StateDict global = make_state({0, 0, 0, 0, 0, 0, 0, 0});
+  FedLsOptions options;
+  options.z_threshold = 1.0;
+  FedLsAggregator agg(options);
+  // Several rounds of benign-looking cohorts with one gross outlier; the
+  // online AE should converge to excluding the outlier.
+  bool flagged_attacker = false;
+  for (int round = 0; round < 6; ++round) {
+    std::vector<nn::StateDict> states;
+    for (int i = 0; i < 5; ++i) {
+      states.push_back(
+          perturbed(global, 0.01f, static_cast<std::uint64_t>(round * 10 + i)));
+    }
+    states.push_back(perturbed(global, 5.0f, 777 + round));
+    auto updates = updates_from(std::move(states));
+    (void)agg.aggregate(global, updates);
+    for (const int id : agg.last_excluded()) flagged_attacker |= (id == 5);
+  }
+  EXPECT_TRUE(flagged_attacker);
+}
+
+TEST(FedLs, DetectorParameterCountArithmetic) {
+  FedLsOptions options;
+  options.projection_dim = 512;
+  options.hidden = 112;
+  options.latent = 56;
+  const std::size_t params =
+      FedLsAggregator::detector_parameter_count(options, 512);
+  // 512*112+112 + 112*56+56 + 56*112+112 + 112*512+512
+  EXPECT_EQ(params, std::size_t{57456 + 6328 + 6384 + 57856});
+}
+
+TEST(SignHashProjection, DeterministicAndSized) {
+  const std::vector<float> values = {1.0f, -2.0f, 0.5f, 0.0f, 3.0f};
+  const auto a = sign_hash_projection(values, 16, 42, 1.0);
+  const auto b = sign_hash_projection(values, 16, 42, 1.0);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), 16u);
+  const auto c = sign_hash_projection(values, 16, 43, 1.0);
+  EXPECT_NE(a, c);
+  for (const float v : a) {
+    EXPECT_GE(v, -1.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+  EXPECT_THROW((void)sign_hash_projection(values, 0, 1, 1.0),
+               std::invalid_argument);
+}
+
+// ---- Saliency aggregation (Eqs. 6-9) -------------------------------------
+
+TEST(Saliency, IdenticalUpdatesAreAFixedPointInConvexMode) {
+  const nn::StateDict global = make_state({0.5f, -1.5f, 2.0f});
+  auto updates = updates_from({global, global, global});
+  SaliencyAggregator agg;  // convex defaults
+  const auto next = agg.aggregate(global, updates);
+  EXPECT_NEAR(next.l2_distance(global), 0.0, 1e-5);
+}
+
+TEST(Saliency, SuppressesTheDeviantClient) {
+  const nn::StateDict global = make_state({1.0f});
+  // Five benign clients nudge the weight by ~+0.01; the attacker yanks it.
+  auto updates = updates_from({
+      make_state({1.01f}), make_state({1.012f}), make_state({1.008f}),
+      make_state({1.011f}), make_state({1.009f}), make_state({9.0f})});
+  SaliencyAggregator agg;
+  const auto next = agg.aggregate(global, updates);
+  const float result = next.tensor(0).value(0, 0);
+  // FedAvg would land at ~2.34; saliency must stay near the benign update.
+  EXPECT_LT(result, 1.1f);
+  EXPECT_GT(result, 1.0f);
+}
+
+TEST(Saliency, ConvexOutputIsWithinClientAndGlobalHull) {
+  const nn::StateDict global = make_state({0.0f, 1.0f});
+  auto updates = updates_from({make_state({0.2f, 0.8f}),
+                               make_state({0.4f, 0.6f}),
+                               make_state({0.3f, 0.7f})});
+  SaliencyAggregator agg;
+  const auto next = agg.aggregate(global, updates);
+  EXPECT_GE(next.tensor(0).value(0, 0), 0.0f);
+  EXPECT_LE(next.tensor(0).value(0, 0), 0.4f);
+  EXPECT_GE(next.tensor(0).value(0, 1), 0.6f);
+  EXPECT_LE(next.tensor(0).value(0, 1), 1.0f);
+}
+
+TEST(Saliency, BetaZeroDegeneratesToPlainMean) {
+  const nn::StateDict global = make_state({0.0f});
+  auto updates = updates_from({make_state({1.0f}), make_state({3.0f})});
+  SaliencyOptions options;
+  options.beta = 0.0;  // S == 1 everywhere
+  options.lambda = 1.0;
+  SaliencyAggregator agg(options);
+  const auto next = agg.aggregate(global, updates);
+  EXPECT_FLOAT_EQ(next.tensor(0).value(0, 0), 2.0f);
+}
+
+TEST(Saliency, PaperLiteralModeGrowsWeights) {
+  // Eq. 9 taken literally: GM' = GM + W_adj. With benign LM == GM the
+  // weights inflate every round — the divergence DESIGN.md documents.
+  const nn::StateDict global = make_state({1.0f});
+  auto updates = updates_from({make_state({1.0f})});
+  SaliencyOptions options;
+  options.mode = SaliencyMode::kPaperLiteral;
+  SaliencyAggregator agg(options);
+  nn::StateDict state = global;
+  for (int round = 0; round < 3; ++round) {
+    auto u = updates_from({state});
+    state = agg.aggregate(state, u);
+  }
+  EXPECT_GT(state.tensor(0).value(0, 0), 4.0f);  // ~doubles per round
+}
+
+TEST(Saliency, ScaledLiteralShrinksTowardZeroForDeviants) {
+  const nn::StateDict global = make_state({2.0f});
+  auto updates = updates_from({make_state({2.001f}), make_state({2.002f}),
+                               make_state({40.0f})});
+  SaliencyOptions options;
+  options.mode = SaliencyMode::kScaledLiteral;
+  SaliencyAggregator agg(options);
+  const auto next = agg.aggregate(global, updates);
+  // Attacker's Eq.8-literal contribution S*W_LM is near zero; the benign
+  // contributions are S*W_LM ~ 0.67..0.8 * 2 — the mean lands well below
+  // the GM value of 2 (the shrink-toward-zero behaviour of the literal
+  // rule) but stays positive.
+  EXPECT_LT(next.tensor(0).value(0, 0), 1.5f);
+  EXPECT_GT(next.tensor(0).value(0, 0), 0.5f);
+}
+
+}  // namespace
+}  // namespace safeloc::fl

@@ -1,0 +1,260 @@
+// Poisoning attacks: perturbation-budget invariants, label handling, and a
+// TEST_P sweep checking that every backdoor actually raises the victim's
+// loss.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/attack/attack.h"
+#include "src/baselines/dnn_framework.h"
+#include "src/fl/trainer.h"
+#include "src/nn/loss.h"
+#include "src/util/rng.h"
+
+namespace safeloc::attack {
+namespace {
+
+nn::Matrix random_batch(std::size_t rows, std::size_t cols,
+                        std::uint64_t seed) {
+  util::Rng rng(seed);
+  nn::Matrix m(rows, cols);
+  for (float& v : m.flat()) v = rng.uniform_f(0.1f, 0.9f);
+  return m;
+}
+
+/// A trained victim so gradients are meaningful.
+struct Victim {
+  nn::Sequential net;
+  std::vector<int> labels;
+  nn::Matrix x;
+
+  explicit Victim(std::uint64_t seed = 3) {
+    baselines::DnnArch arch;
+    arch.input_dim = 16;
+    arch.hidden = {12};
+    net = baselines::build_mlp(arch, /*num_classes=*/4, seed);
+    x = random_batch(20, 16, seed + 1);
+    util::Rng rng(seed + 2);
+    labels.resize(20);
+    for (auto& l : labels) l = static_cast<int>(rng.below(4));
+    fl::TrainOpts opts;
+    opts.epochs = 60;
+    opts.learning_rate = 5e-3;
+    opts.seed = seed;
+    (void)fl::train_classifier(net, x, labels, opts);
+  }
+
+  [[nodiscard]] GradientOracle oracle() {
+    return [this](const nn::Matrix& batch, std::span<const int> y) {
+      const nn::Matrix logits = net.forward(batch, /*train=*/true);
+      const auto lg = nn::softmax_cross_entropy(logits, y);
+      return net.backward(lg.grad);
+    };
+  }
+
+  [[nodiscard]] double loss(const nn::Matrix& batch) {
+    const nn::Matrix logits = net.forward(batch, /*train=*/false);
+    return nn::softmax_cross_entropy(logits, labels).loss;
+  }
+};
+
+TEST(Attack, NoneIsIdentity) {
+  const nn::Matrix x = random_batch(5, 8, 1);
+  const std::vector<int> labels = {0, 1, 2, 0, 1};
+  AttackConfig config;  // kind = kNone
+  const auto result = apply_attack(config, x, labels, 3, nullptr);
+  EXPECT_EQ(result.x, x);
+  EXPECT_EQ(result.labels, labels);
+}
+
+TEST(Attack, BackdoorRequiresOracle) {
+  const nn::Matrix x = random_batch(3, 8, 2);
+  const std::vector<int> labels = {0, 1, 2};
+  AttackConfig config;
+  config.kind = AttackKind::kFgsm;
+  EXPECT_THROW((void)apply_attack(config, x, labels, 3, nullptr),
+               std::invalid_argument);
+}
+
+TEST(Attack, LabelCountMismatchThrows) {
+  const nn::Matrix x = random_batch(3, 8, 2);
+  const std::vector<int> labels = {0, 1};
+  AttackConfig config;
+  EXPECT_THROW((void)apply_attack(config, x, labels, 3, nullptr),
+               std::invalid_argument);
+}
+
+TEST(Fgsm, PerturbationBoundedByEpsilonAndClamped) {
+  Victim victim;
+  AttackConfig config;
+  config.kind = AttackKind::kFgsm;
+  config.epsilon = 0.2;
+  const auto result =
+      apply_attack(config, victim.x, victim.labels, 4, victim.oracle());
+  for (std::size_t i = 0; i < victim.x.size(); ++i) {
+    EXPECT_LE(std::abs(result.x.data()[i] - victim.x.data()[i]),
+              0.2f + 1e-6f);
+    EXPECT_GE(result.x.data()[i], 0.0f);
+    EXPECT_LE(result.x.data()[i], 1.0f);
+  }
+  EXPECT_EQ(result.labels, victim.labels);  // backdoor keeps labels
+}
+
+TEST(Clb, PerturbsOnlyMaskedFractionOfFeatures) {
+  Victim victim;
+  AttackConfig config;
+  config.kind = AttackKind::kCleanLabelBackdoor;
+  config.epsilon = 0.3;
+  config.mask_fraction = 0.25;
+  const auto result =
+      apply_attack(config, victim.x, victim.labels, 4, victim.oracle());
+  const auto k = static_cast<std::size_t>(0.25 * 16);
+  for (std::size_t r = 0; r < victim.x.rows(); ++r) {
+    std::size_t changed = 0;
+    for (std::size_t c = 0; c < victim.x.cols(); ++c) {
+      if (result.x(r, c) != victim.x(r, c)) ++changed;
+    }
+    EXPECT_LE(changed, k);  // clamping can reduce the visible count
+    EXPECT_GE(changed, 1u);
+  }
+  EXPECT_EQ(result.labels, victim.labels);
+}
+
+TEST(Pgd, PerturbationRespectsL2Ball) {
+  Victim victim;
+  AttackConfig config;
+  config.kind = AttackKind::kPgd;
+  config.epsilon = 0.15;
+  config.iterations = 8;
+  const auto result =
+      apply_attack(config, victim.x, victim.labels, 4, victim.oracle());
+  const double radius = 0.15 * std::sqrt(16.0) + 1e-5;
+  for (std::size_t r = 0; r < victim.x.rows(); ++r) {
+    double norm_sq = 0.0;
+    for (std::size_t c = 0; c < victim.x.cols(); ++c) {
+      const double d = result.x(r, c) - victim.x(r, c);
+      norm_sq += d * d;
+    }
+    EXPECT_LE(std::sqrt(norm_sq), radius);
+  }
+}
+
+class BackdoorSweep : public ::testing::TestWithParam<AttackKind> {};
+
+TEST_P(BackdoorSweep, RaisesVictimLoss) {
+  Victim victim;
+  const double clean_loss = victim.loss(victim.x);
+  AttackConfig config;
+  config.kind = GetParam();
+  config.epsilon = 0.3;
+  const auto result =
+      apply_attack(config, victim.x, victim.labels, 4, victim.oracle());
+  EXPECT_GT(victim.loss(result.x), clean_loss);
+}
+
+TEST_P(BackdoorSweep, ZeroEpsilonIsNearIdentity) {
+  Victim victim;
+  AttackConfig config;
+  config.kind = GetParam();
+  config.epsilon = 0.0;
+  const auto result =
+      apply_attack(config, victim.x, victim.labels, 4, victim.oracle());
+  double max_shift = 0.0;
+  for (std::size_t i = 0; i < victim.x.size(); ++i) {
+    max_shift = std::max(
+        max_shift,
+        std::abs(static_cast<double>(result.x.data()[i]) - victim.x.data()[i]));
+  }
+  EXPECT_LT(max_shift, 1e-6);
+}
+
+TEST_P(BackdoorSweep, StrongerEpsilonPerturbsMore) {
+  Victim victim;
+  AttackConfig weak, strong;
+  weak.kind = strong.kind = GetParam();
+  weak.epsilon = 0.05;
+  strong.epsilon = 0.5;
+  const auto weak_result =
+      apply_attack(weak, victim.x, victim.labels, 4, victim.oracle());
+  const auto strong_result =
+      apply_attack(strong, victim.x, victim.labels, 4, victim.oracle());
+  EXPECT_GT(squared_distance(strong_result.x, victim.x),
+            squared_distance(weak_result.x, victim.x));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackdoors, BackdoorSweep,
+    ::testing::Values(AttackKind::kCleanLabelBackdoor, AttackKind::kFgsm,
+                      AttackKind::kPgd, AttackKind::kMim),
+    [](const ::testing::TestParamInfo<AttackKind>& info) {
+      return to_string(info.param);
+    });
+
+TEST(LabelFlip, FlipsExactlyEpsilonFraction) {
+  const nn::Matrix x = random_batch(100, 8, 5);
+  std::vector<int> labels(100);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    labels[i] = static_cast<int>(i % 10);
+  }
+  AttackConfig config;
+  config.kind = AttackKind::kLabelFlip;
+  config.epsilon = 0.4;
+  const auto result = apply_attack(config, x, labels, 10, nullptr);
+  EXPECT_EQ(result.x, x);  // fingerprints untouched
+  std::size_t flipped = 0;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (result.labels[i] != labels[i]) ++flipped;
+  }
+  EXPECT_EQ(flipped, 40u);
+  for (const int l : result.labels) {
+    EXPECT_GE(l, 0);
+    EXPECT_LT(l, 10);
+  }
+}
+
+TEST(LabelFlip, FullFlipChangesEveryLabel) {
+  const nn::Matrix x = random_batch(30, 4, 6);
+  std::vector<int> labels(30, 2);
+  AttackConfig config;
+  config.kind = AttackKind::kLabelFlip;
+  config.epsilon = 1.0;
+  const auto result = apply_attack(config, x, labels, 5, nullptr);
+  for (const int l : result.labels) EXPECT_NE(l, 2);
+}
+
+TEST(LabelFlip, RequiresTwoClasses) {
+  const nn::Matrix x = random_batch(3, 4, 7);
+  const std::vector<int> labels = {0, 0, 0};
+  AttackConfig config;
+  config.kind = AttackKind::kLabelFlip;
+  EXPECT_THROW((void)apply_attack(config, x, labels, 1, nullptr),
+               std::invalid_argument);
+}
+
+TEST(LabelFlip, DeterministicPerSeed) {
+  const nn::Matrix x = random_batch(50, 4, 8);
+  std::vector<int> labels(50, 1);
+  AttackConfig config;
+  config.kind = AttackKind::kLabelFlip;
+  config.epsilon = 0.5;
+  config.seed = 99;
+  const auto a = apply_attack(config, x, labels, 6, nullptr);
+  const auto b = apply_attack(config, x, labels, 6, nullptr);
+  EXPECT_EQ(a.labels, b.labels);
+  config.seed = 100;
+  const auto c = apply_attack(config, x, labels, 6, nullptr);
+  EXPECT_NE(a.labels, c.labels);
+}
+
+TEST(AttackNames, RoundTripStrings) {
+  EXPECT_EQ(to_string(AttackKind::kCleanLabelBackdoor), "CLB");
+  EXPECT_EQ(to_string(AttackKind::kLabelFlip), "LabelFlip");
+  EXPECT_EQ(backdoor_attacks().size(), 4u);
+  EXPECT_EQ(all_attacks().size(), 5u);
+  EXPECT_TRUE(is_backdoor(AttackKind::kMim));
+  EXPECT_FALSE(is_backdoor(AttackKind::kLabelFlip));
+  EXPECT_FALSE(is_backdoor(AttackKind::kNone));
+}
+
+}  // namespace
+}  // namespace safeloc::attack

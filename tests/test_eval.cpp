@@ -1,0 +1,99 @@
+// Evaluation harness: metrics, experiment setup, latency measurement.
+#include <gtest/gtest.h>
+
+#include "src/core/safeloc.h"
+#include "src/eval/experiment.h"
+#include "src/eval/metrics.h"
+#include "src/eval/timing.h"
+#include "src/util/config.h"
+
+namespace safeloc::eval {
+namespace {
+
+TEST(ErrorStats, EmptyInputIsZeroes) {
+  const ErrorStats stats = error_stats({});
+  EXPECT_EQ(stats.count, 0u);
+  EXPECT_DOUBLE_EQ(stats.mean_m, 0.0);
+}
+
+TEST(ErrorStats, BestMeanWorst) {
+  const std::vector<double> errors = {0.0, 1.0, 2.0, 9.0};
+  const ErrorStats stats = error_stats(errors);
+  EXPECT_DOUBLE_EQ(stats.best_m, 0.0);
+  EXPECT_DOUBLE_EQ(stats.worst_m, 9.0);
+  EXPECT_DOUBLE_EQ(stats.mean_m, 3.0);
+  EXPECT_EQ(stats.count, 4u);
+}
+
+TEST(LocalizationErrors, ZeroForPerfectPrediction) {
+  const rss::Building building{rss::paper_building(1)};
+  const std::vector<int> truth = {0, 5, 17};
+  const auto errors = localization_errors(building, truth, truth);
+  for (const double e : errors) EXPECT_DOUBLE_EQ(e, 0.0);
+}
+
+TEST(LocalizationErrors, AdjacentRpIsOneMetre) {
+  const rss::Building building{rss::paper_building(1)};
+  const std::vector<int> predicted = {1};
+  const std::vector<int> truth = {0};
+  EXPECT_NEAR(localization_errors(building, predicted, truth)[0], 1.0, 1e-9);
+}
+
+TEST(LocalizationErrors, SizeMismatchThrows) {
+  const rss::Building building{rss::paper_building(1)};
+  const std::vector<int> predicted = {0, 1};
+  const std::vector<int> truth = {0};
+  EXPECT_THROW((void)localization_errors(building, predicted, truth),
+               std::invalid_argument);
+}
+
+TEST(Experiment, SetsUpPaperProtocolDatasets) {
+  const Experiment experiment(4);
+  EXPECT_EQ(experiment.num_classes(), 80u);
+  EXPECT_EQ(experiment.training_set().size(), 80u * 5u);  // 5 scans/RP on Z2
+}
+
+TEST(Experiment, RejectsUnknownBuilding) {
+  EXPECT_THROW(Experiment(0), std::out_of_range);
+  EXPECT_THROW(Experiment(9), std::out_of_range);
+}
+
+TEST(Experiment, EvaluatePoolsFiveTestDevices) {
+  const Experiment experiment(2);
+  core::SafeLocFramework framework;
+  experiment.pretrain(framework, 5);
+  const auto errors = experiment.evaluate(framework);
+  // 5 non-reference devices x 48 RPs x 1 scan.
+  EXPECT_EQ(errors.size(), 5u * 48u);
+}
+
+TEST(Experiment, DefaultLocalOptsMatchRunScale) {
+  const auto opts = Experiment::default_local_opts();
+  EXPECT_EQ(opts.epochs, util::run_scale().client_epochs);
+  EXPECT_DOUBLE_EQ(opts.learning_rate, util::run_scale().client_lr);
+}
+
+TEST(Timing, MeasuresSingleFingerprintLatency) {
+  const Experiment experiment(2);
+  core::SafeLocFramework framework;
+  experiment.pretrain(framework, 3);
+  const nn::Matrix sample = experiment.training_set().x.slice_rows(0, 1);
+  const auto result = measure_inference_latency(framework, sample, 50);
+  EXPECT_EQ(result.iterations, 50u);
+  EXPECT_GT(result.mean_us, 0.0);
+  EXPECT_LT(result.mean_us, 1e6);  // sanity: far below a second
+}
+
+TEST(Timing, RejectsBatchInput) {
+  const Experiment experiment(2);
+  core::SafeLocFramework framework;
+  experiment.pretrain(framework, 3);
+  EXPECT_THROW((void)measure_inference_latency(framework, nn::Matrix(2, 128)),
+               std::invalid_argument);
+  const nn::Matrix sample = experiment.training_set().x.slice_rows(0, 1);
+  EXPECT_THROW((void)measure_inference_latency(framework, sample, 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace safeloc::eval

@@ -1,0 +1,179 @@
+// Federated loop integration tests: end-to-end miniature experiments with
+// clean and poisoned populations.
+#include <gtest/gtest.h>
+
+#include "src/baselines/frameworks.h"
+#include "src/core/safeloc.h"
+#include "src/eval/experiment.h"
+#include "src/fl/federated.h"
+
+namespace safeloc {
+namespace {
+
+// Enough pretraining that the detector/decoder are functional — an
+// undertrained autoencoder flags everything and the defenses misfire.
+constexpr int kEpochs = 120;
+constexpr int kRounds = 3;
+
+eval::Experiment& shared_experiment() {
+  static eval::Experiment experiment(2);  // building 2: smallest (48 RPs)
+  return experiment;
+}
+
+fl::FlScenario scenario_with(const attack::AttackConfig& attack, int rounds) {
+  fl::FlScenario scenario;
+  scenario.rounds = rounds;
+  scenario.clients = fl::paper_clients(attack);
+  scenario.local.epochs = 2;
+  scenario.local.learning_rate = 1e-3;
+  return scenario;
+}
+
+TEST(PaperClients, SixClientsHtcMaliciousUnderAttack) {
+  attack::AttackConfig fgsm;
+  fgsm.kind = attack::AttackKind::kFgsm;
+  const auto clients = fl::paper_clients(fgsm);
+  ASSERT_EQ(clients.size(), 6u);
+  std::size_t malicious = 0;
+  for (const auto& c : clients) {
+    if (c.malicious) {
+      ++malicious;
+      EXPECT_EQ(c.device_index, rss::attacker_device_index());
+    }
+  }
+  EXPECT_EQ(malicious, 1u);
+
+  attack::AttackConfig none;
+  for (const auto& c : fl::paper_clients(none)) EXPECT_FALSE(c.malicious);
+}
+
+TEST(ScaledClients, PopulationAndPoisonCounts) {
+  attack::AttackConfig lf;
+  lf.kind = attack::AttackKind::kLabelFlip;
+  const auto clients = fl::scaled_clients(24, 12, lf);
+  ASSERT_EQ(clients.size(), 24u);
+  std::size_t malicious = 0;
+  for (const auto& c : clients) malicious += c.malicious ? 1 : 0;
+  EXPECT_EQ(malicious, 12u);
+  // Devices cycle through the paper's six phones.
+  EXPECT_EQ(clients[0].device_index, 0u);
+  EXPECT_EQ(clients[6].device_index, 0u);
+  EXPECT_EQ(clients[11].device_index, 5u);
+  EXPECT_THROW((void)fl::scaled_clients(4, 5, lf), std::invalid_argument);
+}
+
+TEST(RunFederated, RejectsEmptyClientList) {
+  core::SafeLocFramework framework;
+  shared_experiment().pretrain(framework, kEpochs);
+  fl::FlScenario scenario;
+  scenario.rounds = 1;
+  EXPECT_THROW(
+      (void)fl::run_federated(framework, shared_experiment().generator(),
+                              scenario),
+      std::invalid_argument);
+}
+
+TEST(RunFederated, ProducesDiagnosticsPerRound) {
+  core::SafeLocFramework framework;
+  shared_experiment().pretrain(framework, kEpochs);
+  attack::AttackConfig none;
+  const auto result = fl::run_federated(
+      framework, shared_experiment().generator(), scenario_with(none, kRounds));
+  ASSERT_EQ(result.rounds.size(), static_cast<std::size_t>(kRounds));
+  for (int r = 0; r < kRounds; ++r) {
+    EXPECT_EQ(result.rounds[static_cast<std::size_t>(r)].round, r);
+  }
+}
+
+TEST(RunFederated, BenignRoundsKeepAccuracyStable) {
+  core::SafeLocFramework framework;
+  const auto& experiment = shared_experiment();
+  experiment.pretrain(framework, kEpochs);
+  const auto before = eval::error_stats(experiment.evaluate(framework));
+  attack::AttackConfig none;
+  (void)fl::run_federated(framework, experiment.generator(),
+                          scenario_with(none, kRounds));
+  const auto after = eval::error_stats(experiment.evaluate(framework));
+  // Benign FL must not wreck the model (allow mild drift either way).
+  EXPECT_LT(after.mean_m, before.mean_m + 1.0);
+}
+
+TEST(RunFederated, SafelocFlagsBackdoorTraffic) {
+  core::SafeLocFramework framework;
+  const auto& experiment = shared_experiment();
+  experiment.pretrain(framework, kEpochs);
+  attack::AttackConfig fgsm;
+  fgsm.kind = attack::AttackKind::kFgsm;
+  fgsm.epsilon = 0.5;
+  const auto result = fl::run_federated(
+      framework, experiment.generator(), scenario_with(fgsm, kRounds));
+  std::size_t flagged = 0;
+  for (const auto& round : result.rounds) flagged += round.samples_flagged;
+  EXPECT_GT(flagged, 0u);
+}
+
+TEST(RunFederated, FedlocDegradesMoreThanSafelocUnderBackdoor) {
+  // The robust claim is about *degradation relative to each framework's own
+  // clean run*: SAFELOC's defenses keep its attacked/clean ratio near 1,
+  // FEDLOC's FedAvg lets the poison through.
+  const auto& experiment = shared_experiment();
+  attack::AttackConfig fgsm;
+  fgsm.kind = attack::AttackKind::kFgsm;
+  fgsm.epsilon = 0.8;
+  attack::AttackConfig none;
+  const int rounds = 6;
+
+  core::SafeLocFramework safeloc_fw;
+  experiment.pretrain(safeloc_fw, kEpochs);
+  const double safeloc_clean =
+      experiment.run_attack(safeloc_fw, none, rounds).stats.mean_m;
+  const double safeloc_attacked =
+      experiment.run_attack(safeloc_fw, fgsm, rounds).stats.mean_m;
+
+  auto fedloc = baselines::make_fedloc();
+  experiment.pretrain(*fedloc, kEpochs);
+  const double fedloc_clean =
+      experiment.run_attack(*fedloc, none, rounds).stats.mean_m;
+  const double fedloc_attacked =
+      experiment.run_attack(*fedloc, fgsm, rounds).stats.mean_m;
+
+  EXPECT_LT(safeloc_attacked / safeloc_clean,
+            fedloc_attacked / fedloc_clean);
+}
+
+TEST(RunFederated, RunScenarioRestoresPretrainedState) {
+  const auto& experiment = shared_experiment();
+  core::SafeLocFramework framework;
+  experiment.pretrain(framework, kEpochs);
+  const nn::StateDict before = framework.snapshot();
+
+  attack::AttackConfig lf;
+  lf.kind = attack::AttackKind::kLabelFlip;
+  lf.epsilon = 1.0;
+  (void)experiment.run_attack(framework, lf, kRounds);
+
+  EXPECT_NEAR(before.l2_distance(framework.snapshot()), 0.0, 1e-9);
+}
+
+TEST(RunFederated, DeterministicForSameSeed) {
+  const auto& experiment = shared_experiment();
+  attack::AttackConfig lf;
+  lf.kind = attack::AttackKind::kLabelFlip;
+  lf.epsilon = 0.8;
+
+  core::SafeLocFramework a;
+  experiment.pretrain(a, kEpochs);
+  const auto out_a = experiment.run_attack(a, lf, kRounds);
+
+  core::SafeLocFramework b;
+  experiment.pretrain(b, kEpochs);
+  const auto out_b = experiment.run_attack(b, lf, kRounds);
+
+  ASSERT_EQ(out_a.errors_m.size(), out_b.errors_m.size());
+  for (std::size_t i = 0; i < out_a.errors_m.size(); ++i) {
+    EXPECT_DOUBLE_EQ(out_a.errors_m[i], out_b.errors_m[i]);
+  }
+}
+
+}  // namespace
+}  // namespace safeloc

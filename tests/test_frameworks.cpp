@@ -1,0 +1,207 @@
+// Framework-level tests: factory, parameter budgets (Table I ordering),
+// sanitize hooks, snapshot/restore.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/baselines/frameworks.h"
+#include "src/core/safeloc.h"
+#include "src/eval/experiment.h"
+
+namespace safeloc {
+namespace {
+
+/// Small pretraining budget — these tests exercise plumbing, not accuracy.
+constexpr int kEpochs = 5;
+
+eval::Experiment& shared_experiment() {
+  static eval::Experiment experiment(1);
+  return experiment;
+}
+
+TEST(Frameworks, FactoryCoversAllIds) {
+  for (const auto id : baselines::all_frameworks()) {
+    const auto framework = baselines::make_framework(id);
+    ASSERT_NE(framework, nullptr);
+    EXPECT_EQ(framework->name(), baselines::to_string(id));
+  }
+}
+
+TEST(Frameworks, ParameterBudgetsFollowTableOneOrdering) {
+  const auto& experiment = shared_experiment();
+  std::map<std::string, std::size_t> params;
+  for (const auto id : baselines::all_frameworks()) {
+    auto framework = baselines::make_framework(id);
+    experiment.pretrain(*framework, kEpochs);
+    params[framework->name()] = framework->parameter_count();
+  }
+  // Table I ordering: SAFELOC < FEDCC < FEDHIL < ONLAD < FEDLOC < FEDLS.
+  EXPECT_LT(params["SAFELOC"], params["FEDCC"]);
+  EXPECT_LT(params["FEDCC"], params["FEDHIL"]);
+  EXPECT_LT(params["FEDHIL"], params["ONLAD"]);
+  EXPECT_LT(params["ONLAD"], params["FEDLOC"]);
+  EXPECT_LT(params["FEDLOC"], params["FEDLS"]);
+  // FEDCC sits within ~10% of SAFELOC, as in the paper (42,993 vs 41,094).
+  EXPECT_LT(static_cast<double>(params["FEDCC"]),
+            1.15 * static_cast<double>(params["SAFELOC"]));
+}
+
+TEST(Frameworks, PredictBeforePretrainThrows) {
+  for (const auto id : baselines::all_frameworks()) {
+    auto framework = baselines::make_framework(id);
+    EXPECT_THROW((void)framework->predict(nn::Matrix(1, 128)),
+                 std::logic_error)
+        << framework->name();
+  }
+}
+
+TEST(Frameworks, PredictReturnsValidClasses) {
+  const auto& experiment = shared_experiment();
+  const auto& test = experiment.training_set();
+  for (const auto id : baselines::all_frameworks()) {
+    auto framework = baselines::make_framework(id);
+    experiment.pretrain(*framework, kEpochs);
+    const auto predicted = framework->predict(test.x.slice_rows(0, 10));
+    ASSERT_EQ(predicted.size(), 10u);
+    for (const int label : predicted) {
+      EXPECT_GE(label, 0);
+      EXPECT_LT(label, static_cast<int>(experiment.num_classes()));
+    }
+  }
+}
+
+TEST(Frameworks, InputGradientShapeMatchesBatch) {
+  const auto& experiment = shared_experiment();
+  const auto batch = experiment.training_set().x.slice_rows(0, 4);
+  const std::vector<int> labels = {0, 1, 2, 3};
+  for (const auto id : baselines::all_frameworks()) {
+    auto framework = baselines::make_framework(id);
+    experiment.pretrain(*framework, kEpochs);
+    const nn::Matrix grad = framework->input_gradient(batch, labels);
+    EXPECT_EQ(grad.rows(), batch.rows());
+    EXPECT_EQ(grad.cols(), batch.cols());
+    EXPECT_GT(frobenius_norm(grad), 0.0) << framework->name();
+  }
+}
+
+TEST(Frameworks, SnapshotRestoreRoundTrips) {
+  const auto& experiment = shared_experiment();
+  const auto batch = experiment.training_set().x.slice_rows(0, 8);
+  for (const auto id : baselines::all_frameworks()) {
+    auto framework = baselines::make_framework(id);
+    experiment.pretrain(*framework, kEpochs);
+    const auto before = framework->predict(batch);
+    const nn::StateDict snapshot = framework->snapshot();
+
+    // Perturb the GM through an aggregation step with a shifted update.
+    nn::StateDict shifted = snapshot;
+    shifted.scale_all(0.5f);
+    std::vector<fl::ClientUpdate> updates;
+    updates.push_back({shifted, 10, 0});
+    framework->aggregate(updates);
+
+    framework->restore(snapshot);
+    EXPECT_EQ(framework->predict(batch), before) << framework->name();
+  }
+}
+
+TEST(Frameworks, LocalUpdateDoesNotMutateGlobalModel) {
+  const auto& experiment = shared_experiment();
+  const auto& train = experiment.training_set();
+  for (const auto id : baselines::all_frameworks()) {
+    auto framework = baselines::make_framework(id);
+    experiment.pretrain(*framework, kEpochs);
+    const nn::StateDict before = framework->snapshot();
+    fl::LocalTrainOpts opts;
+    opts.epochs = 2;
+    const auto update = framework->local_update(
+        train.x.slice_rows(0, 32),
+        std::span<const int>(train.labels).subspan(0, 32), opts);
+    EXPECT_EQ(update.num_samples, 32u);
+    EXPECT_NEAR(before.l2_distance(framework->snapshot()), 0.0, 1e-9)
+        << framework->name();
+    // The LM itself must have moved.
+    EXPECT_GT(update.state.l2_distance(before), 0.0) << framework->name();
+  }
+}
+
+TEST(Onlad, SanitizeDropsGrossOutliers) {
+  const auto& experiment = shared_experiment();
+  baselines::OnladFramework onlad;
+  experiment.pretrain(onlad, 40);
+
+  nn::Matrix x = experiment.training_set().x.slice_rows(0, 20);
+  std::vector<int> labels(experiment.training_set().labels.begin(),
+                          experiment.training_set().labels.begin() + 20);
+  // Rows 0-4 become garbage.
+  for (std::size_t r = 0; r < 5; ++r) {
+    for (float& v : x.row(r)) v = (v > 0.5f) ? 0.0f : 1.0f;
+  }
+  const auto result = onlad.client_sanitize(x, labels);
+  EXPECT_GT(result.dropped, 0u);
+  EXPECT_EQ(result.x.rows() + result.dropped, 20u);
+  EXPECT_EQ(result.labels.size(), result.x.rows());
+  EXPECT_GT(onlad.anomaly_threshold(), 0.0);
+}
+
+TEST(SafeLoc, SanitizeReplacesPoisonedRowsInPlace) {
+  const auto& experiment = shared_experiment();
+  core::SafeLocFramework framework;
+  experiment.pretrain(framework, 40);
+
+  nn::Matrix x = experiment.training_set().x.slice_rows(0, 20);
+  std::vector<int> labels(experiment.training_set().labels.begin(),
+                          experiment.training_set().labels.begin() + 20);
+  for (std::size_t r = 0; r < 5; ++r) {
+    for (float& v : x.row(r)) v = (v > 0.5f) ? 0.0f : 1.0f;
+  }
+  const auto result = framework.client_sanitize(x, labels);
+  // SAFELOC de-noises rather than drops: row count is preserved.
+  EXPECT_EQ(result.x.rows(), 20u);
+  EXPECT_EQ(result.dropped, 0u);
+  EXPECT_GT(result.flagged, 0u);
+  // Flagged rows were replaced by their reconstructions.
+  bool any_changed = false;
+  for (std::size_t r = 0; r < 5; ++r) {
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      any_changed |= (result.x(r, c) != x(r, c));
+    }
+  }
+  EXPECT_TRUE(any_changed);
+}
+
+TEST(SafeLoc, CalibrateTauTracksCleanDistribution) {
+  const auto& experiment = shared_experiment();
+  core::SafeLocFramework framework;
+  experiment.pretrain(framework, 40);
+  const double tau =
+      framework.calibrate_tau(experiment.training_set().x, 99.0, 0.02);
+  EXPECT_GT(tau, 0.02);
+  EXPECT_LT(tau, 0.5);
+  EXPECT_DOUBLE_EQ(framework.tau(), tau);
+}
+
+TEST(SafeLoc, DetectsStrongBackdoorSamples) {
+  const auto& experiment = shared_experiment();
+  core::SafeLocFramework framework;
+  experiment.pretrain(framework, 60);
+
+  nn::Matrix x = experiment.training_set().x.slice_rows(0, 30);
+  util::Rng rng(5);
+  nn::Matrix poisoned = x;
+  for (float& v : poisoned.flat()) {
+    v = std::clamp(v + (rng.bernoulli(0.5) ? 0.5f : -0.5f), 0.0f, 1.0f);
+  }
+  const auto clean_verdicts =
+      framework.network().detect_poisoned(x, framework.tau());
+  const auto poison_verdicts =
+      framework.network().detect_poisoned(poisoned, framework.tau());
+  std::size_t clean_flags = 0, poison_flags = 0;
+  for (const bool v : clean_verdicts) clean_flags += v ? 1 : 0;
+  for (const bool v : poison_verdicts) poison_flags += v ? 1 : 0;
+  EXPECT_GT(poison_flags, 25u);   // nearly all poisoned rows caught
+  EXPECT_LT(clean_flags, 10u);    // low false-positive pressure
+}
+
+}  // namespace
+}  // namespace safeloc

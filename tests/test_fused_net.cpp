@@ -1,0 +1,320 @@
+// FusedNet: architecture, parameter accounting, gradcheck, detection and
+// de-noising paths, copy semantics with decoder ties.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/fused_net.h"
+#include "src/nn/gradcheck.h"
+#include "src/nn/loss.h"
+#include "src/nn/optimizer.h"
+#include "src/util/rng.h"
+
+namespace safeloc::core {
+namespace {
+
+FusedNet::Config small_config(std::size_t classes = 4) {
+  FusedNet::Config config;
+  config.input_dim = 16;
+  config.enc1 = 16;
+  config.enc2 = 10;
+  config.enc3 = 6;
+  config.num_classes = classes;
+  return config;
+}
+
+nn::Matrix random_batch(std::size_t rows, std::size_t cols,
+                        std::uint64_t seed) {
+  util::Rng rng(seed);
+  nn::Matrix m(rows, cols);
+  for (float& v : m.flat()) v = rng.uniform_f(0.0f, 1.0f);
+  return m;
+}
+
+TEST(FusedNet, RejectsBadConfig) {
+  FusedNet::Config config = small_config();
+  config.num_classes = 0;
+  EXPECT_THROW(FusedNet(config, 1), std::invalid_argument);
+  config = small_config();
+  config.input_dim = 20;  // != enc1
+  EXPECT_THROW(FusedNet(config, 1), std::invalid_argument);
+}
+
+TEST(FusedNet, ForwardShapes) {
+  FusedNet net(small_config(), 7);
+  const nn::Matrix x = random_batch(5, 16, 2);
+  const auto fwd = net.forward(x);
+  EXPECT_EQ(fwd.latent.rows(), 5u);
+  EXPECT_EQ(fwd.latent.cols(), 6u);
+  EXPECT_EQ(fwd.recon.rows(), 5u);
+  EXPECT_EQ(fwd.recon.cols(), 16u);
+  EXPECT_EQ(fwd.logits.cols(), 4u);
+}
+
+TEST(FusedNet, PaperArchitectureParameterCount) {
+  FusedNet::Config config;  // paper widths: 128-89-62, untied decoder
+  config.num_classes = 60;
+  FusedNet net(config, 3);
+  // enc: 128*128+128 + 128*89+89 + 89*62+62 = 33,573
+  // dec: 62*89+89 + 89*128+128 = 17,127
+  // cls: 62*60+60 = 3,780
+  EXPECT_EQ(net.parameter_count(), std::size_t{33573 + 17127 + 3780});
+}
+
+TEST(FusedNet, TiedDecoderSharesEncoderWeights) {
+  FusedNet::Config config;
+  config.num_classes = 60;
+  config.tied_decoder = true;
+  FusedNet net(config, 3);
+  // Decoder contributes only biases (89 + 128).
+  EXPECT_EQ(net.parameter_count(), std::size_t{33573 + 89 + 128 + 3780});
+}
+
+TEST(FusedNet, ParameterGradientsMatchFiniteDifferences) {
+  FusedNet net(small_config(), 5);
+  const nn::Matrix x = random_batch(3, 16, 4);
+  const std::vector<int> labels = {0, 2, 3};
+  const double recon_weight = 0.7;
+
+  net.zero_grad();
+  const auto fwd = net.forward(x, /*train=*/true);
+  (void)net.backward(x, fwd, labels, recon_weight);
+
+  auto scalar_loss = [&]() {
+    FusedNet& mutable_net = net;
+    const auto f = mutable_net.forward(x, false);
+    const auto ce = nn::softmax_cross_entropy(f.logits, labels);
+    const auto mse = nn::mse_loss(f.recon, x);
+    return ce.loss + recon_weight * mse.loss;
+  };
+
+  for (const auto& p : net.parameters()) {
+    const auto result = nn::check_param_gradient(scalar_loss, *p.value,
+                                                 *p.grad, 1e-2, 3e-2);
+    EXPECT_TRUE(result.ok) << p.name << ": abs " << result.max_abs_error
+                           << " rel " << result.max_rel_error;
+  }
+}
+
+TEST(FusedNet, FrozenEncoderBlocksReconGradientAtBottleneck) {
+  FusedNet::Config config = small_config();
+  config.freeze_encoder_on_recon = true;
+  FusedNet net(config, 6);
+  const nn::Matrix x = random_batch(4, 16, 5);
+  const std::vector<int> labels = {0, 1, 2, 3};
+
+  // Pure reconstruction training (recon_weight only, no CE contribution is
+  // impossible through backward(); instead compare encoder grads with CE
+  // gradient zeroed out by construction: use identical logits loss both
+  // times and vary recon weight).
+  net.zero_grad();
+  auto fwd = net.forward(x, true);
+  (void)net.backward(x, fwd, labels, /*recon_weight=*/0.0);
+  std::vector<float> enc_grad_without;
+  for (const auto& p : net.parameters()) {
+    if (p.name.rfind("enc", 0) == 0) {
+      const auto flat = p.grad->flat();
+      enc_grad_without.insert(enc_grad_without.end(), flat.begin(), flat.end());
+    }
+  }
+
+  net.zero_grad();
+  fwd = net.forward(x, true);
+  (void)net.backward(x, fwd, labels, /*recon_weight=*/5.0);
+  std::vector<float> enc_grad_with;
+  for (const auto& p : net.parameters()) {
+    if (p.name.rfind("enc", 0) == 0) {
+      const auto flat = p.grad->flat();
+      enc_grad_with.insert(enc_grad_with.end(), flat.begin(), flat.end());
+    }
+  }
+
+  // With the encoder frozen w.r.t. reconstruction, encoder gradients are
+  // the classification gradients only — identical for both recon weights.
+  ASSERT_EQ(enc_grad_without.size(), enc_grad_with.size());
+  for (std::size_t i = 0; i < enc_grad_with.size(); ++i) {
+    EXPECT_NEAR(enc_grad_without[i], enc_grad_with[i], 1e-6f);
+  }
+}
+
+TEST(FusedNet, UnfrozenEncoderReceivesReconGradient) {
+  FusedNet::Config config = small_config();
+  config.freeze_encoder_on_recon = false;
+  FusedNet net(config, 6);
+  const nn::Matrix x = random_batch(4, 16, 5);
+  const std::vector<int> labels = {0, 1, 2, 3};
+
+  net.zero_grad();
+  auto fwd = net.forward(x, true);
+  (void)net.backward(x, fwd, labels, 0.0);
+  double norm_without = 0.0;
+  for (const auto& p : net.parameters()) {
+    if (p.name.rfind("enc", 0) == 0) norm_without += squared_distance(
+        *p.grad, nn::Matrix(p.grad->rows(), p.grad->cols()));
+  }
+
+  net.zero_grad();
+  fwd = net.forward(x, true);
+  (void)net.backward(x, fwd, labels, 5.0);
+  double norm_with = 0.0;
+  for (const auto& p : net.parameters()) {
+    if (p.name.rfind("enc", 0) == 0) norm_with += squared_distance(
+        *p.grad, nn::Matrix(p.grad->rows(), p.grad->cols()));
+  }
+  EXPECT_NE(norm_without, norm_with);
+}
+
+TEST(FusedNet, InputGradientMatchesFiniteDifferences) {
+  FusedNet net(small_config(), 8);
+  const nn::Matrix x = random_batch(2, 16, 6);
+  const std::vector<int> labels = {1, 3};
+  const nn::Matrix grad = net.input_gradient(x, labels);
+  const auto result = nn::check_input_gradient(
+      [&net, &labels](const nn::Matrix& probe) {
+        FusedNet& mutable_net = const_cast<FusedNet&>(net);
+        const auto fwd = mutable_net.forward(probe, false);
+        return nn::softmax_cross_entropy(fwd.logits, labels).loss;
+      },
+      x, grad, 1e-2, 3e-2);
+  EXPECT_TRUE(result.ok) << result.max_abs_error;
+}
+
+/// Trains a small fused net until it reconstructs and classifies.
+FusedNet trained_net(bool tied = false) {
+  FusedNet::Config config = small_config(/*classes=*/3);
+  config.tied_decoder = tied;
+  FusedNet net(config, 11);
+  util::Rng rng(12);
+  // Three well-separated clusters.
+  nn::Matrix x(90, 16);
+  std::vector<int> labels(90);
+  for (std::size_t i = 0; i < 90; ++i) {
+    const int c = static_cast<int>(i % 3);
+    labels[i] = c;
+    for (std::size_t f = 0; f < 16; ++f) {
+      const float base = (f % 3 == static_cast<std::size_t>(c)) ? 0.8f : 0.2f;
+      x(i, f) = base + rng.uniform_f(-0.05f, 0.05f);
+    }
+  }
+  nn::Adam adam(3e-3);
+  const auto params = net.parameters();
+  for (int epoch = 0; epoch < 300; ++epoch) {
+    net.zero_grad();
+    const auto fwd = net.forward(x, true);
+    (void)net.backward(x, fwd, labels, 1.0);
+    adam.step(params);
+  }
+  return net;
+}
+
+TEST(FusedNet, TrainedReconstructionHasLowRce) {
+  FusedNet net = trained_net();
+  util::Rng rng(13);
+  nn::Matrix x(30, 16);
+  std::vector<int> labels(30);
+  for (std::size_t i = 0; i < 30; ++i) {
+    const int c = static_cast<int>(i % 3);
+    labels[i] = c;
+    for (std::size_t f = 0; f < 16; ++f) {
+      x(i, f) = ((f % 3 == static_cast<std::size_t>(c)) ? 0.8f : 0.2f) +
+                rng.uniform_f(-0.05f, 0.05f);
+    }
+  }
+  const auto rce = net.reconstruction_error(x);
+  for (const float r : rce) EXPECT_LT(r, 0.1f);
+  const auto predicted = net.classify(x);
+  EXPECT_EQ(predicted, labels);
+}
+
+TEST(FusedNet, PerturbedInputsRaiseRceAndGetDetected) {
+  FusedNet net = trained_net();
+  util::Rng rng(14);
+  nn::Matrix clean(10, 16);
+  for (std::size_t i = 0; i < 10; ++i) {
+    for (std::size_t f = 0; f < 16; ++f) {
+      clean(i, f) = ((f % 3 == i % 3) ? 0.8f : 0.2f) +
+                    rng.uniform_f(-0.05f, 0.05f);
+    }
+  }
+  nn::Matrix poisoned = clean;
+  for (float& v : poisoned.flat()) {
+    v = std::clamp(v + (rng.bernoulli(0.5) ? 0.4f : -0.4f), 0.0f, 1.0f);
+  }
+  const auto clean_rce = net.reconstruction_error(clean);
+  const auto poison_rce = net.reconstruction_error(poisoned);
+  double clean_mean = 0.0, poison_mean = 0.0;
+  for (const float r : clean_rce) clean_mean += r;
+  for (const float r : poison_rce) poison_mean += r;
+  EXPECT_GT(poison_mean / 10.0, 2.0 * (clean_mean / 10.0));
+
+  const auto verdicts = net.detect_poisoned(poisoned, 0.15);
+  std::size_t caught = 0;
+  for (const bool v : verdicts) caught += v ? 1 : 0;
+  EXPECT_GE(caught, 8u);
+}
+
+TEST(FusedNet, ClassifyWithDenoiseRepairsPoisonedPredictions) {
+  FusedNet net = trained_net();
+  util::Rng rng(15);
+  nn::Matrix clean(30, 16);
+  std::vector<int> labels(30);
+  for (std::size_t i = 0; i < 30; ++i) {
+    const int c = static_cast<int>(i % 3);
+    labels[i] = c;
+    for (std::size_t f = 0; f < 16; ++f) {
+      clean(i, f) = ((f % 3 == static_cast<std::size_t>(c)) ? 0.8f : 0.2f) +
+                    rng.uniform_f(-0.03f, 0.03f);
+    }
+  }
+  // Heavy signed perturbation that pushes features toward the wrong
+  // cluster pattern.
+  nn::Matrix poisoned = clean;
+  for (float& v : poisoned.flat()) {
+    v = std::clamp(v + (v > 0.5f ? -0.5f : 0.5f), 0.0f, 1.0f);
+  }
+  std::size_t flagged = 0;
+  const auto gated = net.classify_with_denoise(poisoned, 0.15, &flagged);
+  const auto raw = net.classify(poisoned);
+  std::size_t gated_hits = 0, raw_hits = 0;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    gated_hits += (gated[i] == labels[i]) ? 1 : 0;
+    raw_hits += (raw[i] == labels[i]) ? 1 : 0;
+  }
+  EXPECT_GT(flagged, 0u);
+  // De-noising must not do worse than the raw path on poisoned inputs
+  // (equality allowed: the confidence gate can keep direct predictions).
+  EXPECT_GE(gated_hits + 1, raw_hits);
+}
+
+TEST(FusedNet, CopyIsDeepAndTiesAreRebuilt) {
+  FusedNet original = trained_net(/*tied=*/true);
+  FusedNet copy(original);
+
+  const nn::Matrix x = random_batch(3, 16, 16);
+  const auto before = original.forward(x).logits;
+  const auto copied = copy.forward(x).logits;
+  EXPECT_EQ(before, copied);
+
+  // Mutating the copy must not change the original (deep copy, own ties).
+  for (const auto& p : copy.parameters()) p.value->fill(0.0f);
+  const auto after = original.forward(x).logits;
+  EXPECT_EQ(before, after);
+
+  // And the zeroed copy's decoder follows its own (zeroed) encoder — if the
+  // tie still pointed at the original, the recon would be nonzero.
+  const auto zeroed = copy.forward(x);
+  EXPECT_EQ(frobenius_norm(zeroed.recon), 0.0);
+}
+
+TEST(FusedNet, AssignmentRebindsTies) {
+  FusedNet a = trained_net(/*tied=*/true);
+  FusedNet::Config config = small_config(3);
+  config.tied_decoder = true;
+  FusedNet b(config, 99);
+  b = a;
+  const nn::Matrix x = random_batch(2, 16, 17);
+  EXPECT_EQ(a.forward(x).logits, b.forward(x).logits);
+}
+
+}  // namespace
+}  // namespace safeloc::core

@@ -1,0 +1,128 @@
+// Loss functions: values, gradients (vs finite differences), and invariants.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/nn/gradcheck.h"
+#include "src/nn/loss.h"
+#include "src/util/rng.h"
+
+namespace safeloc::nn {
+namespace {
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Matrix m(rows, cols);
+  for (float& v : m.flat()) v = rng.uniform_f(-2.0f, 2.0f);
+  return m;
+}
+
+TEST(MseLoss, ZeroForIdenticalInputs) {
+  const Matrix a = random_matrix(3, 4, 1);
+  const auto lg = mse_loss(a, a);
+  EXPECT_DOUBLE_EQ(lg.loss, 0.0);
+  EXPECT_EQ(frobenius_norm(lg.grad), 0.0);
+}
+
+TEST(MseLoss, KnownValue) {
+  const Matrix pred(1, 2, {1.0f, 3.0f});
+  const Matrix target(1, 2, {0.0f, 1.0f});
+  const auto lg = mse_loss(pred, target);
+  EXPECT_DOUBLE_EQ(lg.loss, (1.0 + 4.0) / 2.0);
+}
+
+TEST(MseLoss, GradientMatchesFiniteDifferences) {
+  const Matrix pred = random_matrix(2, 5, 2);
+  const Matrix target = random_matrix(2, 5, 3);
+  const auto lg = mse_loss(pred, target);
+  const auto result = check_input_gradient(
+      [&target](const Matrix& probe) { return mse_loss(probe, target).loss; },
+      pred, lg.grad, /*epsilon=*/1e-3, /*tolerance=*/1e-2);
+  EXPECT_TRUE(result.ok) << result.max_abs_error;
+}
+
+TEST(MseLoss, ShapeMismatchThrows) {
+  EXPECT_THROW((void)mse_loss(Matrix(1, 2), Matrix(2, 1)),
+               std::invalid_argument);
+}
+
+TEST(Softmax, RowsSumToOne) {
+  const Matrix logits = random_matrix(4, 7, 4);
+  const Matrix probs = softmax(logits);
+  for (std::size_t i = 0; i < probs.rows(); ++i) {
+    double sum = 0.0;
+    for (const float p : probs.row(i)) {
+      EXPECT_GE(p, 0.0f);
+      sum += p;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+TEST(Softmax, InvariantToRowShift) {
+  Matrix logits = random_matrix(1, 5, 5);
+  const Matrix p1 = softmax(logits);
+  for (float& v : logits.flat()) v += 100.0f;  // numerical-stability check
+  const Matrix p2 = softmax(logits);
+  for (std::size_t i = 0; i < p1.size(); ++i) {
+    EXPECT_NEAR(p1.data()[i], p2.data()[i], 1e-5f);
+  }
+}
+
+TEST(SoftmaxCrossEntropy, PerfectPredictionHasLowLoss) {
+  Matrix logits(1, 3);
+  logits(0, 1) = 50.0f;
+  const int labels[] = {1};
+  const auto lg = softmax_cross_entropy(logits, labels);
+  EXPECT_LT(lg.loss, 1e-5);
+}
+
+TEST(SoftmaxCrossEntropy, UniformLogitsGiveLogC) {
+  const Matrix logits(2, 4);  // all zeros
+  const int labels[] = {0, 3};
+  const auto lg = softmax_cross_entropy(logits, labels);
+  EXPECT_NEAR(lg.loss, std::log(4.0), 1e-5);
+}
+
+TEST(SoftmaxCrossEntropy, GradientMatchesFiniteDifferences) {
+  const Matrix logits = random_matrix(3, 5, 6);
+  const std::vector<int> labels = {0, 2, 4};
+  const auto lg = softmax_cross_entropy(logits, labels);
+  const auto result = check_input_gradient(
+      [&labels](const Matrix& probe) {
+        return softmax_cross_entropy(probe, labels).loss;
+      },
+      logits, lg.grad, /*epsilon=*/1e-2, /*tolerance=*/1e-2);
+  EXPECT_TRUE(result.ok) << result.max_abs_error;
+}
+
+TEST(SoftmaxCrossEntropy, GradientRowsSumToZero) {
+  const Matrix logits = random_matrix(3, 6, 7);
+  const std::vector<int> labels = {5, 0, 2};
+  const auto lg = softmax_cross_entropy(logits, labels);
+  for (std::size_t i = 0; i < lg.grad.rows(); ++i) {
+    double sum = 0.0;
+    for (const float g : lg.grad.row(i)) sum += g;
+    EXPECT_NEAR(sum, 0.0, 1e-6);
+  }
+}
+
+TEST(SoftmaxCrossEntropy, RejectsBadLabels) {
+  const Matrix logits(2, 3);
+  const std::vector<int> too_few = {0};
+  EXPECT_THROW((void)softmax_cross_entropy(logits, too_few),
+               std::invalid_argument);
+  const std::vector<int> out_of_range = {0, 3};
+  EXPECT_THROW((void)softmax_cross_entropy(logits, out_of_range),
+               std::invalid_argument);
+}
+
+TEST(ArgmaxRows, PicksLargestPerRow) {
+  const Matrix scores(2, 3, {0.1f, 0.9f, 0.3f, 5.0f, -1.0f, 2.0f});
+  const auto labels = argmax_rows(scores);
+  EXPECT_EQ(labels[0], 1);
+  EXPECT_EQ(labels[1], 0);
+}
+
+}  // namespace
+}  // namespace safeloc::nn

@@ -1,0 +1,118 @@
+// Optimizers and weight initialization.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/nn/activations.h"
+#include "src/nn/dense.h"
+#include "src/nn/init.h"
+#include "src/nn/loss.h"
+#include "src/nn/optimizer.h"
+#include "src/nn/sequential.h"
+#include "src/util/rng.h"
+
+namespace safeloc::nn {
+namespace {
+
+TEST(Sgd, StepsAgainstGradient) {
+  Matrix w(1, 2, {1.0f, -1.0f});
+  Matrix g(1, 2, {0.5f, -0.5f});
+  const ParamRef ref{"w", &w, &g};
+  Sgd sgd(0.1);
+  sgd.step({&ref, 1});
+  EXPECT_FLOAT_EQ(w(0, 0), 0.95f);
+  EXPECT_FLOAT_EQ(w(0, 1), -0.95f);
+}
+
+TEST(Adam, FirstStepMovesByApproximatelyLearningRate) {
+  Matrix w(1, 1, {0.0f});
+  Matrix g(1, 1, {3.0f});
+  const ParamRef ref{"w", &w, &g};
+  Adam adam(0.01);
+  adam.step({&ref, 1});
+  // Bias-corrected Adam's first step is ~lr regardless of gradient scale.
+  EXPECT_NEAR(w(0, 0), -0.01f, 1e-4f);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  // minimize f(w) = (w - 3)^2; grad = 2(w - 3)
+  Matrix w(1, 1, {0.0f});
+  Matrix g(1, 1);
+  const ParamRef ref{"w", &w, &g};
+  Adam adam(0.1);
+  for (int i = 0; i < 400; ++i) {
+    g(0, 0) = 2.0f * (w(0, 0) - 3.0f);
+    adam.step({&ref, 1});
+  }
+  EXPECT_NEAR(w(0, 0), 3.0f, 0.05f);
+}
+
+TEST(Adam, ResetClearsMoments) {
+  Matrix w(1, 1, {0.0f});
+  Matrix g(1, 1, {1.0f});
+  const ParamRef ref{"w", &w, &g};
+  Adam adam(0.01);
+  adam.step({&ref, 1});
+  const float after_first = w(0, 0);
+  adam.reset();
+  w(0, 0) = 0.0f;
+  adam.step({&ref, 1});
+  EXPECT_FLOAT_EQ(w(0, 0), after_first);  // identical first-step behaviour
+}
+
+TEST(Adam, DetectsParameterListChange) {
+  Matrix w1(1, 1), g1(1, 1), w2(1, 1), g2(1, 1);
+  const ParamRef a{"a", &w1, &g1};
+  const ParamRef b{"b", &w2, &g2};
+  Adam adam(0.01);
+  const ParamRef one[] = {a};
+  adam.step(one);
+  const ParamRef two[] = {a, b};
+  EXPECT_THROW(adam.step(two), std::logic_error);
+}
+
+TEST(Adam, TrainsXorMlp) {
+  // End-to-end sanity: a 2-8-2 MLP learns XOR.
+  util::Rng rng(99);
+  Sequential net;
+  net.emplace<Dense>(2, 8, rng);
+  net.emplace<ReLU>();
+  net.emplace<Dense>(8, 2, rng);
+
+  const Matrix x(4, 2, {0, 0, 0, 1, 1, 0, 1, 1});
+  const std::vector<int> y = {0, 1, 1, 0};
+  Adam adam(0.05);
+  const auto params = net.parameters();
+  for (int epoch = 0; epoch < 300; ++epoch) {
+    net.zero_grad();
+    const Matrix logits = net.forward(x, true);
+    const auto lg = softmax_cross_entropy(logits, y);
+    (void)net.backward(lg.grad);
+    adam.step(params);
+  }
+  const auto predicted = argmax_rows(net.forward(x, false));
+  EXPECT_EQ(predicted, y);
+}
+
+TEST(Init, HeNormalHasExpectedScale) {
+  util::Rng rng(5);
+  Matrix w(256, 64);
+  init_he_normal(w, rng);
+  double acc = 0.0;
+  for (const float v : w.flat()) acc += static_cast<double>(v) * v;
+  const double stddev = std::sqrt(acc / static_cast<double>(w.size()));
+  EXPECT_NEAR(stddev, std::sqrt(2.0 / 256.0), 0.01);
+}
+
+TEST(Init, XavierUniformStaysInLimit) {
+  util::Rng rng(6);
+  Matrix w(100, 50);
+  init_xavier_uniform(w, rng);
+  const double limit = std::sqrt(6.0 / 150.0);
+  for (const float v : w.flat()) {
+    EXPECT_LE(std::abs(v), limit + 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace safeloc::nn

@@ -1,0 +1,195 @@
+// RSS simulator: buildings, radio model, device profiles, datasets.
+// Includes TEST_P sweeps over all five paper buildings.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "src/rss/building.h"
+#include "src/rss/dataset.h"
+#include "src/rss/device.h"
+#include "src/rss/radio.h"
+#include "src/util/stats.h"
+
+namespace safeloc::rss {
+namespace {
+
+TEST(BuildingSpec, PaperCountsMatchSectionVA) {
+  const auto& buildings = paper_buildings();
+  ASSERT_EQ(buildings.size(), 5u);
+  EXPECT_EQ(buildings[0].num_rps, 60u);
+  EXPECT_EQ(buildings[0].num_aps, 203u);
+  EXPECT_EQ(buildings[1].num_rps, 48u);
+  EXPECT_EQ(buildings[1].num_aps, 201u);
+  EXPECT_EQ(buildings[2].num_rps, 70u);
+  EXPECT_EQ(buildings[2].num_aps, 187u);
+  EXPECT_EQ(buildings[3].num_rps, 80u);
+  EXPECT_EQ(buildings[3].num_aps, 135u);
+  EXPECT_EQ(buildings[4].num_rps, 90u);
+  EXPECT_EQ(buildings[4].num_aps, 78u);
+}
+
+TEST(BuildingSpec, LookupByIdAndBadId) {
+  EXPECT_EQ(paper_building(3).num_rps, 70u);
+  EXPECT_THROW((void)paper_building(0), std::out_of_range);
+  EXPECT_THROW((void)paper_building(6), std::out_of_range);
+}
+
+TEST(Devices, PaperPhonesPresent) {
+  const auto& devices = paper_devices();
+  ASSERT_EQ(devices.size(), 6u);
+  EXPECT_EQ(devices[reference_device_index()].name, "Motorola Z2");
+  EXPECT_EQ(devices[attacker_device_index()].name, "HTC U11");
+  EXPECT_DOUBLE_EQ(devices[reference_device_index()].gain, 1.0);
+  EXPECT_DOUBLE_EQ(devices[reference_device_index()].offset_db, 0.0);
+}
+
+class BuildingSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BuildingSweep, RpGridHasOneMetreGranularity) {
+  const Building building{paper_building(GetParam())};
+  // Consecutive RPs along the serpentine walking path are exactly 1 m apart.
+  for (std::size_t rp = 0; rp + 1 < building.num_rps(); ++rp) {
+    EXPECT_NEAR(building.rp_distance_m(rp, rp + 1), 1.0, 1e-9);
+  }
+  // Distinct RPs never coincide.
+  for (std::size_t a = 0; a < building.num_rps(); a += 7) {
+    for (std::size_t b = a + 1; b < building.num_rps(); b += 7) {
+      EXPECT_GT(building.rp_distance_m(a, b), 0.0);
+    }
+  }
+}
+
+TEST_P(BuildingSweep, ShadowingIsDeterministicAndBounded) {
+  const Building b1{paper_building(GetParam())};
+  const Building b2{paper_building(GetParam())};
+  util::RunningStats stats;
+  for (std::size_t ap = 0; ap < b1.num_aps(); ap += 5) {
+    for (std::size_t rp = 0; rp < b1.num_rps(); rp += 3) {
+      EXPECT_DOUBLE_EQ(b1.static_shadowing_db(ap, rp),
+                       b2.static_shadowing_db(ap, rp));
+      stats.add(b1.static_shadowing_db(ap, rp));
+    }
+  }
+  // Roughly zero-mean, with spread on the order of the configured sigma.
+  EXPECT_LT(std::abs(stats.mean()), 2.0);
+  EXPECT_GT(stats.stddev(), 1.0);
+  EXPECT_LT(stats.stddev(), 3.0 * paper_building(GetParam()).shadowing_sigma_db);
+}
+
+TEST_P(BuildingSweep, RadioAttenuatesWithDistance) {
+  const Building building{paper_building(GetParam())};
+  const RadioModel radio;
+  // For each of a few APs, the closest RP hears it at least as loudly as
+  // the farthest one on average (shadowing can invert single pairs).
+  util::RunningStats near_rss, far_rss;
+  for (std::size_t ap = 0; ap < building.num_aps(); ap += 3) {
+    double best_d = 1e18, worst_d = 0.0;
+    std::size_t best_rp = 0, worst_rp = 0;
+    for (std::size_t rp = 0; rp < building.num_rps(); ++rp) {
+      const double d =
+          euclidean(building.ap_position(ap), building.rp_position(rp));
+      if (d < best_d) { best_d = d; best_rp = rp; }
+      if (d > worst_d) { worst_d = d; worst_rp = rp; }
+    }
+    near_rss.add(radio.mean_rss_dbm(building, ap, best_rp));
+    far_rss.add(radio.mean_rss_dbm(building, ap, worst_rp));
+  }
+  EXPECT_GT(near_rss.mean(), far_rss.mean() + 3.0);
+}
+
+TEST_P(BuildingSweep, DatasetsFollowPaperProtocol) {
+  const Building building{paper_building(GetParam())};
+  const FingerprintGenerator generator(building, 77);
+
+  const Dataset train = generator.training_set();
+  EXPECT_EQ(train.size(), building.num_rps() * 5);  // 5 scans per RP
+  EXPECT_EQ(train.x.cols(), kFeatureDim);
+
+  const Dataset test = generator.test_set(device(DeviceId::kHtcU11));
+  EXPECT_EQ(test.size(), building.num_rps());  // 1 scan per RP
+
+  // Labels cover every RP.
+  std::set<int> labels(test.labels.begin(), test.labels.end());
+  EXPECT_EQ(labels.size(), building.num_rps());
+
+  // Features live in the standardized range.
+  for (const float v : train.x.flat()) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+}
+
+TEST_P(BuildingSweep, ApSelectionKeepsStrongestUpTo128) {
+  const Building building{paper_building(GetParam())};
+  const FingerprintGenerator generator(building, 77);
+  const auto& selected = generator.selected_aps();
+  EXPECT_EQ(selected.size(), std::min(kFeatureDim, building.num_aps()));
+  std::set<std::size_t> unique(selected.begin(), selected.end());
+  EXPECT_EQ(unique.size(), selected.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPaperBuildings, BuildingSweep,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(Standardize, MapsPaperRange) {
+  EXPECT_FLOAT_EQ(standardize_dbm(-100.0), 0.0f);
+  EXPECT_FLOAT_EQ(standardize_dbm(0.0), 1.0f);
+  EXPECT_FLOAT_EQ(standardize_dbm(-50.0), 0.5f);
+  EXPECT_FLOAT_EQ(standardize_dbm(-150.0), 0.0f);  // clamped
+  EXPECT_FLOAT_EQ(standardize_dbm(10.0), 1.0f);    // clamped
+  EXPECT_NEAR(destandardize(standardize_dbm(-63.0)), -63.0, 1e-4);
+}
+
+TEST(Dataset, GenerationIsDeterministicPerSeedAndSalt) {
+  const Building building{paper_building(1)};
+  const FingerprintGenerator g1(building, 42), g2(building, 42);
+  const Dataset a = g1.generate(device(DeviceId::kLgV20), 2, 7);
+  const Dataset b = g2.generate(device(DeviceId::kLgV20), 2, 7);
+  EXPECT_EQ(a.x, b.x);
+  const Dataset c = g1.generate(device(DeviceId::kLgV20), 2, 8);
+  EXPECT_FALSE(a.x == c.x);  // different salt -> different scans
+}
+
+TEST(Dataset, DeviceHeterogeneityShiftsFingerprints) {
+  const Building building{paper_building(1)};
+  const FingerprintGenerator generator(building, 42);
+  const Dataset ref = generator.generate(
+      paper_devices()[reference_device_index()], 1, 99);
+  const Dataset blu = generator.generate(device(DeviceId::kBluVivo8), 1, 99);
+  // Same RPs, same salt — but a different phone reports different values.
+  double mean_abs_shift = 0.0;
+  for (std::size_t i = 0; i < ref.x.size(); ++i) {
+    mean_abs_shift += std::abs(ref.x.data()[i] - blu.x.data()[i]);
+  }
+  mean_abs_shift /= static_cast<double>(ref.x.size());
+  EXPECT_GT(mean_abs_shift, 0.01);
+}
+
+TEST(Dataset, ConcatChecksCompatibility) {
+  const Building building{paper_building(1)};
+  const FingerprintGenerator generator(building, 42);
+  const Dataset a = generator.test_set(device(DeviceId::kLgV20));
+  const Dataset b = generator.test_set(device(DeviceId::kOnePlus3));
+  const Dataset joined = Dataset::concat(a, b);
+  EXPECT_EQ(joined.size(), a.size() + b.size());
+
+  Dataset other = b;
+  other.building_id = 99;
+  EXPECT_THROW((void)Dataset::concat(a, other), std::invalid_argument);
+}
+
+TEST(Dataset, PaddedFeatureSlotsStayZeroForSmallBuilding) {
+  // Building 5 has 78 APs < 128 features; the tail must be "no signal".
+  const Building building{paper_building(5)};
+  const FingerprintGenerator generator(building, 42);
+  const Dataset train = generator.training_set();
+  for (std::size_t row = 0; row < train.size(); ++row) {
+    for (std::size_t f = building.num_aps(); f < kFeatureDim; ++f) {
+      EXPECT_EQ(train.x(row, f), 0.0f);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace safeloc::rss

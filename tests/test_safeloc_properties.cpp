@@ -1,0 +1,119 @@
+// Cross-building property sweeps (TEST_P) for the SAFELOC core: detection
+// ordering, parameter accounting, calibration, and save/restore — each
+// invariant checked on every paper floorplan.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "src/core/safeloc.h"
+#include "src/eval/experiment.h"
+#include "src/util/rng.h"
+
+namespace safeloc::core {
+namespace {
+
+constexpr int kEpochs = 80;
+
+/// One pretrained framework per building, shared across the suite's tests.
+struct BuildingFixture {
+  explicit BuildingFixture(int id) : experiment(id) {
+    experiment.pretrain(framework, kEpochs);
+  }
+  eval::Experiment experiment;
+  SafeLocFramework framework;
+};
+
+BuildingFixture& fixture_for(int building_id) {
+  static std::map<int, std::unique_ptr<BuildingFixture>> cache;
+  auto& slot = cache[building_id];
+  if (slot == nullptr) slot = std::make_unique<BuildingFixture>(building_id);
+  return *slot;
+}
+
+class SafeLocBuildingSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SafeLocBuildingSweep, CleanRceSitsBelowPoisonedRce) {
+  auto& fx = fixture_for(GetParam());
+  const nn::Matrix clean = fx.experiment.training_set().x.slice_rows(0, 40);
+  util::Rng rng(GetParam());
+  nn::Matrix poisoned = clean;
+  for (float& v : poisoned.flat()) {
+    v = std::clamp(v + (rng.bernoulli(0.5) ? 0.4f : -0.4f), 0.0f, 1.0f);
+  }
+  const auto clean_rce = fx.framework.network().reconstruction_error(clean);
+  const auto poison_rce =
+      fx.framework.network().reconstruction_error(poisoned);
+  double clean_mean = 0.0, poison_mean = 0.0;
+  for (const float r : clean_rce) clean_mean += r;
+  for (const float r : poison_rce) poison_mean += r;
+  EXPECT_GT(poison_mean, 2.5 * clean_mean);
+}
+
+TEST_P(SafeLocBuildingSweep, ParameterCountFormulaHolds) {
+  auto& fx = fixture_for(GetParam());
+  const std::size_t classes = fx.experiment.num_classes();
+  // enc 33,573 + dec 17,127 + head 63*classes (62 weights + 1 bias each).
+  EXPECT_EQ(fx.framework.parameter_count(),
+            std::size_t{33573 + 17127} + 63 * classes);
+}
+
+TEST_P(SafeLocBuildingSweep, CalibratedTauAdmitsCleanData) {
+  auto& fx = fixture_for(GetParam());
+  SafeLocFramework calibrated;  // fresh instance so the shared τ is untouched
+  fx.experiment.pretrain(calibrated, kEpochs);
+  const double tau =
+      calibrated.calibrate_tau(fx.experiment.training_set().x, 99.0, 0.02);
+  const auto verdicts = calibrated.network().detect_poisoned(
+      fx.experiment.training_set().x, tau);
+  std::size_t flagged = 0;
+  for (const bool v : verdicts) flagged += v ? 1 : 0;
+  // At the 99th percentile + margin, ~1% of clean data may trip.
+  EXPECT_LE(flagged, verdicts.size() / 20);
+}
+
+TEST_P(SafeLocBuildingSweep, SnapshotSurvivesSerializationRoundTrip) {
+  auto& fx = fixture_for(GetParam());
+  const nn::StateDict snapshot = fx.framework.snapshot();
+  std::stringstream stream;
+  snapshot.save(stream);
+  const nn::StateDict loaded = nn::StateDict::load(stream);
+
+  SafeLocFramework restored;
+  fx.experiment.pretrain(restored, 1);  // build architecture, then overwrite
+  restored.restore(loaded);
+
+  const nn::Matrix probe = fx.experiment.training_set().x.slice_rows(0, 16);
+  EXPECT_EQ(fx.framework.predict(probe), restored.predict(probe));
+}
+
+TEST_P(SafeLocBuildingSweep, PredictionsCoverValidClassRange) {
+  auto& fx = fixture_for(GetParam());
+  const auto errors = fx.experiment.evaluate(fx.framework);
+  // Five test devices, one scan per RP each.
+  EXPECT_EQ(errors.size(), 5 * fx.experiment.num_classes());
+  for (const double e : errors) {
+    EXPECT_GE(e, 0.0);
+    EXPECT_LT(e, 100.0);  // bounded by building diameter
+  }
+}
+
+TEST_P(SafeLocBuildingSweep, InputGradientIsFiniteAndNonzero) {
+  auto& fx = fixture_for(GetParam());
+  const nn::Matrix batch = fx.experiment.training_set().x.slice_rows(0, 8);
+  std::vector<int> labels(fx.experiment.training_set().labels.begin(),
+                          fx.experiment.training_set().labels.begin() + 8);
+  const nn::Matrix grad = fx.framework.input_gradient(batch, labels);
+  double norm = 0.0;
+  for (const float g : grad.flat()) {
+    ASSERT_TRUE(std::isfinite(g));
+    norm += static_cast<double>(g) * g;
+  }
+  EXPECT_GT(norm, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPaperBuildings, SafeLocBuildingSweep,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace safeloc::core

@@ -1,0 +1,131 @@
+// StateDict: snapshot/restore, arithmetic, flatten, serialization.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/nn/activations.h"
+#include "src/nn/dense.h"
+#include "src/nn/sequential.h"
+#include "src/nn/state_dict.h"
+#include "src/util/rng.h"
+
+namespace safeloc::nn {
+namespace {
+
+Sequential make_net(std::uint64_t seed) {
+  util::Rng rng(seed);
+  Sequential net;
+  net.emplace<Dense>(4, 6, rng);
+  net.emplace<ReLU>();
+  net.emplace<Dense>(6, 3, rng);
+  return net;
+}
+
+TEST(StateDict, SnapshotRoundTrip) {
+  Sequential a = make_net(1);
+  Sequential b = make_net(2);
+  const StateDict snapshot = StateDict::from_module(a);
+  snapshot.load_into(b);
+  const auto pa = a.parameters();
+  const auto pb = b.parameters();
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_EQ(*pa[i].value, *pb[i].value) << pa[i].name;
+  }
+}
+
+TEST(StateDict, LoadIntoRejectsDifferentArchitecture) {
+  Sequential a = make_net(1);
+  util::Rng rng(3);
+  Sequential other;
+  other.emplace<Dense>(4, 5, rng);
+  const StateDict snapshot = StateDict::from_module(a);
+  EXPECT_THROW(snapshot.load_into(other), std::invalid_argument);
+}
+
+TEST(StateDict, FindByName) {
+  Sequential a = make_net(1);
+  const StateDict snapshot = StateDict::from_module(a);
+  EXPECT_NE(snapshot.find("layer0.w"), nullptr);
+  EXPECT_NE(snapshot.find("layer2.b"), nullptr);
+  EXPECT_EQ(snapshot.find("nope"), nullptr);
+}
+
+TEST(StateDict, FlattenAndLoadFlatRoundTrip) {
+  Sequential a = make_net(4);
+  StateDict snapshot = StateDict::from_module(a);
+  std::vector<float> flat = snapshot.flatten();
+  EXPECT_EQ(flat.size(), snapshot.element_count());
+  for (float& v : flat) v += 1.0f;
+  snapshot.load_flat(flat);
+  const auto flat2 = snapshot.flatten();
+  EXPECT_EQ(flat, flat2);
+  flat.pop_back();
+  EXPECT_THROW(snapshot.load_flat(flat), std::invalid_argument);
+}
+
+TEST(StateDict, SameSchemaDetectsNameAndShape) {
+  Sequential a = make_net(1);
+  Sequential b = make_net(9);
+  EXPECT_TRUE(StateDict::from_module(a).same_schema(StateDict::from_module(b)));
+  StateDict custom;
+  custom.add("x", Matrix(2, 2));
+  EXPECT_FALSE(StateDict::from_module(a).same_schema(custom));
+}
+
+TEST(StateDict, AxpyAndScale) {
+  StateDict a, b;
+  a.add("t", Matrix(1, 2, {1.0f, 2.0f}));
+  b.add("t", Matrix(1, 2, {10.0f, 20.0f}));
+  a.axpy_from(0.5f, b);
+  EXPECT_FLOAT_EQ(a.tensor(0).value(0, 0), 6.0f);
+  EXPECT_FLOAT_EQ(a.tensor(0).value(0, 1), 12.0f);
+  a.scale_all(2.0f);
+  EXPECT_FLOAT_EQ(a.tensor(0).value(0, 1), 24.0f);
+}
+
+TEST(StateDict, L2Distance) {
+  StateDict a, b;
+  a.add("t", Matrix(1, 2, {0.0f, 0.0f}));
+  b.add("t", Matrix(1, 2, {3.0f, 4.0f}));
+  EXPECT_DOUBLE_EQ(a.l2_distance(b), 5.0);
+}
+
+TEST(StateDict, BinarySerializationRoundTrip) {
+  Sequential a = make_net(7);
+  const StateDict original = StateDict::from_module(a);
+  std::stringstream stream;
+  original.save(stream);
+  const StateDict loaded = StateDict::load(stream);
+  ASSERT_TRUE(original.same_schema(loaded));
+  EXPECT_DOUBLE_EQ(original.l2_distance(loaded), 0.0);
+}
+
+TEST(StateDict, LoadRejectsGarbage) {
+  std::stringstream stream("definitely not a state dict");
+  EXPECT_THROW((void)StateDict::load(stream), std::runtime_error);
+}
+
+TEST(StateDict, LoadRejectsTruncatedStream) {
+  Sequential a = make_net(7);
+  std::stringstream stream;
+  StateDict::from_module(a).save(stream);
+  std::string bytes = stream.str();
+  bytes.resize(bytes.size() / 2);
+  std::stringstream truncated(bytes);
+  EXPECT_THROW((void)StateDict::load(truncated), std::runtime_error);
+}
+
+TEST(CosineSimilarity, BasicProperties) {
+  const std::vector<float> a = {1.0f, 0.0f};
+  const std::vector<float> b = {0.0f, 1.0f};
+  const std::vector<float> c = {2.0f, 0.0f};
+  const std::vector<float> zero = {0.0f, 0.0f};
+  EXPECT_NEAR(cosine_similarity(a, b), 0.0, 1e-9);
+  EXPECT_NEAR(cosine_similarity(a, c), 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(cosine_similarity(a, zero), 0.0);
+  const std::vector<float> short_vec = {1.0f};
+  EXPECT_THROW((void)cosine_similarity(a, short_vec), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace safeloc::nn

@@ -1,0 +1,172 @@
+// Utility substrate: deterministic RNG, statistics, tables, CSV.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "src/util/csv.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+#include "src/util/table.h"
+
+namespace safeloc::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  bool any_different = false;
+  for (int i = 0; i < 10; ++i) any_different |= (a() != b());
+  EXPECT_TRUE(any_different);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const double v = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, BelowIsUnbiasedAcrossSmallRange) {
+  Rng rng(11);
+  std::vector<int> counts(5, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[rng.below(5)];
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / 50000.0, 0.2, 0.02);
+  }
+}
+
+TEST(Rng, IntegerCoversInclusiveRange) {
+  Rng rng(13);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.integer(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= (v == -2);
+    saw_hi |= (v == 2);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, GaussianMomentsRoughlyStandard) {
+  Rng rng(17);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) stats.add(rng.gaussian());
+  EXPECT_NEAR(stats.mean(), 0.0, 0.03);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.03);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(19);
+  std::vector<int> values = {1, 2, 3, 4, 5, 6, 7};
+  auto shuffled = values;
+  rng.shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, values);
+}
+
+TEST(Rng, SampleIndicesDistinct) {
+  Rng rng(23);
+  const auto sample = rng.sample_indices(10, 4);
+  ASSERT_EQ(sample.size(), 4u);
+  for (std::size_t i = 0; i < sample.size(); ++i) {
+    EXPECT_LT(sample[i], 10u);
+    for (std::size_t j = i + 1; j < sample.size(); ++j) {
+      EXPECT_NE(sample[i], sample[j]);
+    }
+  }
+  EXPECT_EQ(rng.sample_indices(3, 99).size(), 3u);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(5);
+  Rng child = a.fork(1);
+  Rng a2(5);
+  Rng child2 = a2.fork(1);
+  EXPECT_EQ(child(), child2());  // deterministic
+  EXPECT_NE(child(), a());       // but distinct from parent stream
+}
+
+TEST(RunningStats, TracksMinMeanMaxVariance) {
+  RunningStats stats;
+  for (const double x : {2.0, 4.0, 6.0, 8.0}) stats.add(x);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 8.0);
+  EXPECT_NEAR(stats.variance(), 20.0 / 3.0, 1e-9);
+}
+
+TEST(RunningStats, MergeMatchesPooled) {
+  RunningStats a, b, pooled;
+  for (int i = 0; i < 10; ++i) {
+    a.add(i);
+    pooled.add(i);
+  }
+  for (int i = 10; i < 25; ++i) {
+    b.add(i * 0.5);
+    pooled.add(i * 0.5);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), pooled.count());
+  EXPECT_NEAR(a.mean(), pooled.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), pooled.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.max(), pooled.max());
+}
+
+TEST(Percentile, InterpolatesLinearly) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 2.5);
+  EXPECT_THROW((void)percentile({}, 50.0), std::invalid_argument);
+}
+
+TEST(AsciiTable, RendersAlignedColumns) {
+  AsciiTable table({"name", "value"});
+  table.add_row({"alpha", "1.25"});
+  table.add_row({"b", "300"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("| alpha |"), std::string::npos);
+  EXPECT_NE(out.find("|  1.25 |"), std::string::npos);  // right-aligned number
+  EXPECT_NE(out.find("+-------+"), std::string::npos);
+}
+
+TEST(AsciiTable, NumFormatsPrecision) {
+  EXPECT_EQ(AsciiTable::num(1.23456, 2), "1.23");
+  EXPECT_EQ(AsciiTable::num(2.0, 0), "2");
+}
+
+TEST(CsvWriter, WritesAndEscapes) {
+  const std::string path = "test_csv_writer_tmp.csv";
+  {
+    CsvWriter csv(path);
+    csv.write_row({"a", "b,c", "d\"e"});
+    csv.write_row({CsvWriter::cell(1.5), CsvWriter::cell(std::size_t{42})});
+  }
+  std::ifstream in(path);
+  std::string line1, line2;
+  std::getline(in, line1);
+  std::getline(in, line2);
+  EXPECT_EQ(line1, "a,\"b,c\",\"d\"\"e\"");
+  EXPECT_EQ(line2, "1.5,42");
+  std::filesystem::remove(path);
+}
+
+TEST(CsvWriter, ThrowsOnUnwritablePath) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir/x.csv"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace safeloc::util
