@@ -1,11 +1,18 @@
 // Shared helpers for the figure-reproduction bench binaries.
+//
+// Every bench builds a declarative engine::ScenarioGrid, executes it on the
+// ScenarioEngine thread pool (SAFELOC_THREADS workers), and emits a
+// machine-readable BENCH_<name>.json run report next to the paper-style
+// ASCII table.
 #pragma once
 
 #include <cstdio>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "src/attack/attack.h"
+#include "src/engine/engine.h"
 #include "src/util/config.h"
 
 namespace safeloc::bench {
@@ -35,10 +42,34 @@ inline attack::AttackConfig make_attack(attack::AttackKind kind,
 inline void print_scale_banner(const char* bench_name) {
   const util::RunScale& scale = util::run_scale();
   std::printf(
-      "%s — profile: %s (epochs=%d rounds=%d buildings=%zu); "
+      "%s — profile: %s (epochs=%d rounds=%d buildings=%zu threads=%d); "
       "SAFELOC_FAST=0 for paper-scale budgets\n",
       bench_name, scale.fast ? "fast" : "paper", scale.server_epochs,
-      scale.fl_rounds, bench_buildings().size());
+      scale.fl_rounds, bench_buildings().size(),
+      engine::default_thread_count());
+}
+
+/// Executes the grid on the shared engine with SAFELOC_THREADS workers and
+/// writes the structured trajectory report to BENCH_<name>.json.
+inline engine::RunReport run_grid(const engine::ScenarioGrid& grid,
+                                  const std::string& name) {
+  const engine::ScenarioEngine eng;
+  engine::RunReport report = eng.run(grid, engine::default_thread_count());
+  report.write_json("BENCH_" + name + ".json");
+  return report;
+}
+
+/// Pools every cell's raw errors by (framework, attack label) — the
+/// cross-building aggregation behind the paper's bar/box figures.
+inline std::map<std::string, std::map<std::string, std::vector<double>>>
+pool_by_framework_and_attack(const engine::RunReport& report) {
+  std::map<std::string, std::map<std::string, std::vector<double>>> pooled;
+  for (const engine::CellResult& cell : report.cells) {
+    auto& sink =
+        pooled[cell.spec.framework][cell.spec.resolved_attack_label()];
+    sink.insert(sink.end(), cell.errors_m.begin(), cell.errors_m.end());
+  }
+  return pooled;
 }
 
 }  // namespace safeloc::bench

@@ -6,46 +6,26 @@
 // Paper reference points: under label flipping FEDLOC's mean error rises
 // ~3.5x and FEDHIL's ~3.9x over clean; under backdoor attacks FEDLOC rises
 // ~6.5x and FEDHIL ~3.25x.
-#include <map>
-#include <memory>
-
 #include "bench/bench_common.h"
-#include "src/baselines/frameworks.h"
-#include "src/eval/experiment.h"
 #include "src/util/csv.h"
-#include "src/util/stats.h"
 #include "src/util/table.h"
 
 int main() {
   using namespace safeloc;
   bench::print_scale_banner("Fig. 1: baseline degradation under poisoning");
-  const util::RunScale& scale = util::run_scale();
 
   const std::vector<std::pair<std::string, attack::AttackConfig>> scenarios = {
       {"clean", bench::make_attack(attack::AttackKind::kNone, 0.0)},
       {"label-flip", bench::make_attack(attack::AttackKind::kLabelFlip, 1.0)},
       {"backdoor-FGSM", bench::make_attack(attack::AttackKind::kFgsm, 0.5)},
   };
-  const baselines::FrameworkId frameworks[] = {
-      baselines::FrameworkId::kFedLoc, baselines::FrameworkId::kFedHil};
 
-  // framework -> scenario -> pooled errors over buildings.
-  std::map<std::string, std::map<std::string, std::vector<double>>> pooled;
-
-  for (const int building : bench::bench_buildings()) {
-    const eval::Experiment experiment(building);
-    for (const auto id : frameworks) {
-      auto framework = baselines::make_framework(id);
-      experiment.pretrain(*framework, scale.server_epochs);
-      for (const auto& [label, attack_config] : scenarios) {
-        const auto outcome =
-            experiment.run_attack(*framework, attack_config, scale.fl_rounds);
-        auto& sink = pooled[framework->name()][label];
-        sink.insert(sink.end(), outcome.errors_m.begin(),
-                    outcome.errors_m.end());
-      }
-    }
-  }
+  engine::ScenarioGrid grid;
+  grid.frameworks({"FEDLOC", "FEDHIL"})
+      .buildings(bench::bench_buildings())
+      .attacks(scenarios);
+  const engine::RunReport report = bench::run_grid(grid, "fig1");
+  const auto pooled = bench::pool_by_framework_and_attack(report);
 
   util::AsciiTable table({"framework", "scenario", "best (m)", "mean (m)",
                           "worst (m)", "mean vs clean"});
@@ -66,7 +46,8 @@ int main() {
     }
   }
   std::printf("%s", table.render().c_str());
-  std::printf("series written to fig1.csv; paper: label-flip ~3.5x (FEDLOC) "
-              "/ ~3.9x (FEDHIL), backdoor ~6.5x (FEDLOC) / ~3.25x (FEDHIL)\n");
+  std::printf("series written to fig1.csv + BENCH_fig1.json; paper: "
+              "label-flip ~3.5x (FEDLOC) / ~3.9x (FEDHIL), backdoor ~6.5x "
+              "(FEDLOC) / ~3.25x (FEDHIL)\n");
   return 0;
 }

@@ -3,23 +3,20 @@
 // For each framework and each scenario (clean + CLB/FGSM/PGD/MIM backdoors
 // at ε=0.5 + full label flipping), reports best/mean/worst localization
 // error pooled across buildings — the paper's box-and-whisker content — and
-// SAFELOC's improvement factors.
+// SAFELOC's improvement factors. Also surfaces each filtering framework's
+// attacker-exclusion precision/recall from the engine diagnostics.
 //
 // Paper reference: SAFELOC achieves 1.2-2.11x lower mean error (label flip)
 // and 1.33-5.9x (backdoors); ONLAD ranks second; FEDLOC is worst.
-#include <map>
-#include <memory>
+#include <algorithm>
 
 #include "bench/bench_common.h"
-#include "src/baselines/frameworks.h"
-#include "src/eval/experiment.h"
 #include "src/util/csv.h"
 #include "src/util/table.h"
 
 int main() {
   using namespace safeloc;
   bench::print_scale_banner("Fig. 6: comparison with the state of the art");
-  const util::RunScale& scale = util::run_scale();
 
   const std::vector<std::pair<std::string, attack::AttackConfig>> scenarios = {
       {"clean", bench::make_attack(attack::AttackKind::kNone, 0.0)},
@@ -29,24 +26,15 @@ int main() {
       {"PGD", bench::make_attack(attack::AttackKind::kPgd, 0.5)},
       {"MIM", bench::make_attack(attack::AttackKind::kMim, 0.5)},
   };
+  const std::vector<std::string> frameworks = {"SAFELOC", "ONLAD", "FEDHIL",
+                                               "FEDCC",   "FEDLS", "FEDLOC"};
 
-  // framework -> scenario -> pooled errors.
-  std::map<std::string, std::map<std::string, std::vector<double>>> pooled;
-
-  for (const int building : bench::bench_buildings()) {
-    const eval::Experiment experiment(building);
-    for (const auto id : baselines::all_frameworks()) {
-      auto framework = baselines::make_framework(id);
-      experiment.pretrain(*framework, scale.server_epochs);
-      for (const auto& [label, attack_config] : scenarios) {
-        const auto outcome =
-            experiment.run_attack(*framework, attack_config, scale.fl_rounds);
-        auto& sink = pooled[framework->name()][label];
-        sink.insert(sink.end(), outcome.errors_m.begin(),
-                    outcome.errors_m.end());
-      }
-    }
-  }
+  engine::ScenarioGrid grid;
+  grid.frameworks(frameworks)
+      .buildings(bench::bench_buildings())
+      .attacks(scenarios);
+  const engine::RunReport report = bench::run_grid(grid, "fig6");
+  const auto pooled = bench::pool_by_framework_and_attack(report);
 
   util::CsvWriter csv("fig6.csv");
   csv.write_row({"framework", "scenario", "best_m", "mean_m", "worst_m"});
@@ -55,8 +43,7 @@ int main() {
        "SAFELOC mean adv.", "SAFELOC worst adv."});
   for (const auto& [label, _] : scenarios) {
     const auto safeloc_stats = eval::error_stats(pooled.at("SAFELOC").at(label));
-    for (const auto id : baselines::all_frameworks()) {
-      const std::string name = baselines::to_string(id);
+    for (const std::string& name : frameworks) {
       const auto stats = eval::error_stats(pooled.at(name).at(label));
       csv.write_row({name, label, util::CsvWriter::cell(stats.best_m),
                      util::CsvWriter::cell(stats.mean_m),
@@ -78,8 +65,32 @@ int main() {
     }
   }
   std::printf("%s", table.render().c_str());
+
+  // Exclusion quality of the filtering frameworks under attack (pooled over
+  // buildings and attack scenarios).
+  util::AsciiTable excl({"framework", "excl. precision", "excl. recall"});
+  for (const std::string& name : frameworks) {
+    engine::ExclusionStats pooled_excl;
+    bool filtering = false;
+    for (const engine::CellResult& cell : report.cells) {
+      if (cell.spec.framework != name) continue;
+      if (cell.spec.attack.kind == attack::AttackKind::kNone) continue;
+      pooled_excl.true_positives += cell.exclusion.true_positives;
+      pooled_excl.false_positives += cell.exclusion.false_positives;
+      pooled_excl.false_negatives += cell.exclusion.false_negatives;
+      for (const auto& round : cell.fl.rounds) {
+        filtering |= !round.clients_excluded.empty();
+      }
+    }
+    if (!filtering) continue;
+    excl.add_row({name, util::AsciiTable::num(pooled_excl.precision(), 2),
+                  util::AsciiTable::num(pooled_excl.recall(), 2)});
+  }
+  std::printf("\nattacker-exclusion quality (filtering frameworks):\n%s",
+              excl.render().c_str());
   std::printf(
-      "series written to fig6.csv; paper: SAFELOC 1.2-2.11x lower mean error "
-      "(label flip), 1.33-5.9x (backdoors); ONLAD second-best overall\n");
+      "series written to fig6.csv + BENCH_fig6.json; paper: SAFELOC 1.2-2.11x "
+      "lower mean error (label flip), 1.33-5.9x (backdoors); ONLAD "
+      "second-best overall\n");
   return 0;
 }

@@ -2,76 +2,68 @@
 // from 6 to 24 clients with the poisoned contingent growing from 1 to 12,
 // for SAFELOC vs. the two strongest baselines (ONLAD, FEDHIL).
 //
+// Poisoned clients alternate label flipping and FGSM backdoors
+// (ScenarioSpec::attack_mix); the engine pretrains each framework once and
+// runs every population from the same snapshot.
+//
 // Paper reference: FEDHIL's error climbs steadily with more poisoned
 // clients; ONLAD and SAFELOC stay stable, SAFELOC lowest throughout.
-#include <memory>
+#include <map>
 
 #include "bench/bench_common.h"
-#include "src/baselines/frameworks.h"
-#include "src/eval/experiment.h"
 #include "src/util/csv.h"
 #include "src/util/table.h"
 
 int main() {
   using namespace safeloc;
   bench::print_scale_banner("Fig. 7: scalability with client count");
-  const util::RunScale& scale = util::run_scale();
 
   // (total clients, poisoned clients) — 6/1 to 24/12 as in the paper.
   const std::vector<std::pair<std::size_t, std::size_t>> populations = {
       {6, 1}, {12, 4}, {18, 8}, {24, 12}};
-  const baselines::FrameworkId frameworks[] = {
-      baselines::FrameworkId::kSafeLoc, baselines::FrameworkId::kOnlad,
-      baselines::FrameworkId::kFedHil};
+  const std::vector<std::string> frameworks = {"SAFELOC", "ONLAD", "FEDHIL"};
+
+  engine::ScenarioGrid grid;
   // The paper's scalability experiment is on Building 3.
-  const int building = 3;
+  grid.base().building = 3;
+  grid.base().attack = bench::make_attack(attack::AttackKind::kFgsm, 0.5);
+  grid.base().attack_mix = {
+      bench::make_attack(attack::AttackKind::kLabelFlip, 1.0),
+      bench::make_attack(attack::AttackKind::kFgsm, 0.5)};
+  grid.base().attack_label = "mixed-poison";
+  grid.frameworks(frameworks).populations(populations);
+  const engine::RunReport report = bench::run_grid(grid, "fig7");
 
-  // Poisoned clients alternate label flipping and FGSM backdoors.
-  auto make_scenario = [&](std::size_t total, std::size_t poisoned) {
-    fl::FlScenario scenario;
-    scenario.rounds = scale.fl_rounds;
-    scenario.local = eval::Experiment::default_local_opts();
-    scenario.clients = fl::scaled_clients(
-        total, poisoned, bench::make_attack(attack::AttackKind::kFgsm, 0.5));
-    for (std::size_t i = 0; i < poisoned; i += 2) {
-      scenario.clients[i].attack =
-          bench::make_attack(attack::AttackKind::kLabelFlip, 1.0);
-      scenario.clients[i].attack.seed += i;
-    }
-    return scenario;
-  };
+  // (framework, total clients) -> cell.
+  std::map<std::pair<std::string, std::size_t>, const engine::CellResult*>
+      by_cell;
+  for (const engine::CellResult& cell : report.cells) {
+    by_cell[{cell.spec.framework, cell.spec.total_clients}] = &cell;
+  }
 
-  const eval::Experiment experiment(building);
   util::CsvWriter csv("fig7.csv");
   csv.write_row({"framework", "total_clients", "poisoned_clients",
                  "mean_error_m", "worst_error_m"});
   std::vector<std::string> header = {"(total, poisoned)"};
-  for (const auto id : frameworks) header.push_back(baselines::to_string(id));
+  for (const std::string& name : frameworks) header.push_back(name);
   util::AsciiTable table(std::move(header));
-
-  // Pretrain each framework once; every population starts from the snapshot.
-  std::vector<std::unique_ptr<fl::FederatedFramework>> instances;
-  for (const auto id : frameworks) {
-    instances.push_back(baselines::make_framework(id));
-    experiment.pretrain(*instances.back(), scale.server_epochs);
-  }
 
   for (const auto& [total, poisoned] : populations) {
     std::vector<std::string> row = {"(" + std::to_string(total) + ", " +
                                     std::to_string(poisoned) + ")"};
-    for (std::size_t f = 0; f < instances.size(); ++f) {
-      const auto outcome = experiment.run_scenario(
-          *instances[f], make_scenario(total, poisoned));
-      row.push_back(util::AsciiTable::num(outcome.stats.mean_m));
-      csv.write_row({instances[f]->name(), util::CsvWriter::cell(total),
+    for (const std::string& name : frameworks) {
+      const engine::CellResult& cell = *by_cell.at({name, total});
+      row.push_back(util::AsciiTable::num(cell.stats.mean_m));
+      csv.write_row({name, util::CsvWriter::cell(total),
                      util::CsvWriter::cell(poisoned),
-                     util::CsvWriter::cell(outcome.stats.mean_m),
-                     util::CsvWriter::cell(outcome.stats.worst_m)});
+                     util::CsvWriter::cell(cell.stats.mean_m),
+                     util::CsvWriter::cell(cell.stats.worst_m)});
     }
     table.add_row(std::move(row));
   }
   std::printf("%s", table.render().c_str());
-  std::printf("mean error (m); series written to fig7.csv; paper: FEDHIL "
-              "climbs with poisoned clients, ONLAD/SAFELOC stay stable\n");
+  std::printf("mean error (m); series written to fig7.csv + BENCH_fig7.json; "
+              "paper: FEDHIL climbs with poisoned clients, ONLAD/SAFELOC "
+              "stay stable\n");
   return 0;
 }

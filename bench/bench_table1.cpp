@@ -1,18 +1,22 @@
-// Table I: model inference latency and total parameters for all six
-// frameworks.
+// Table I: model inference latency and total parameters for every
+// registered framework.
 //
 // The google-benchmark section microbenchmarks a single-fingerprint
 // predict() call per framework (the paper's "Model Inference Latency"); the
 // paper-style summary table is printed afterwards. Absolute microseconds on
 // this host differ from the paper's phone-measured milliseconds, but the
 // ordering and the SAFELOC speedup factor are the comparable shape.
+//
+// Frameworks come from the FrameworkRegistry, so a newly registered
+// strategy shows up here with no bench edits (KRUM is the registry-only
+// extra beyond the paper's six).
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
 #include <memory>
 #include <vector>
 
-#include "src/baselines/frameworks.h"
+#include "src/engine/registry.h"
 #include "src/eval/experiment.h"
 #include "src/eval/timing.h"
 #include "src/util/table.h"
@@ -22,7 +26,7 @@ namespace {
 using namespace safeloc;
 
 struct PreparedFramework {
-  baselines::FrameworkId id;
+  std::string id;
   std::unique_ptr<fl::FederatedFramework> framework;
 };
 
@@ -31,9 +35,10 @@ struct PreparedFramework {
 std::vector<PreparedFramework>& prepared() {
   static std::vector<PreparedFramework> instances = [] {
     const eval::Experiment experiment(/*building_id=*/1);
+    const auto& registry = engine::FrameworkRegistry::global();
     std::vector<PreparedFramework> out;
-    for (const auto id : baselines::all_frameworks()) {
-      PreparedFramework p{id, baselines::make_framework(id)};
+    for (const std::string& id : registry.ids()) {
+      PreparedFramework p{id, registry.create(id)};
       experiment.pretrain(*p.framework, /*epochs=*/3);
       out.push_back(std::move(p));
     }
@@ -63,7 +68,7 @@ void run_inference(benchmark::State& state, fl::FederatedFramework& fw) {
 int main(int argc, char** argv) {
   for (auto& p : prepared()) {
     benchmark::RegisterBenchmark(
-        ("inference/" + baselines::to_string(p.id)).c_str(),
+        ("inference/" + p.id).c_str(),
         [&p](benchmark::State& state) { run_inference(state, *p.framework); });
   }
 
@@ -78,8 +83,7 @@ int main(int argc, char** argv) {
   for (auto& p : prepared()) {
     const auto latency =
         eval::measure_inference_latency(*p.framework, sample_fingerprint());
-    table.add_row({baselines::to_string(p.id),
-                   util::AsciiTable::num(latency.mean_us, 1),
+    table.add_row({p.id, util::AsciiTable::num(latency.mean_us, 1),
                    std::to_string(p.framework->parameter_count())});
   }
   std::printf("%s", table.render().c_str());

@@ -16,6 +16,7 @@
 
 #include "src/attack/attack.h"
 #include "src/core/safeloc.h"
+#include "src/engine/registry.h"
 #include "src/eval/experiment.h"
 #include "src/rss/device.h"
 #include "src/util/config.h"
@@ -50,7 +51,11 @@ int main(int argc, char** argv) {
   const util::RunScale& scale = util::run_scale();
 
   const eval::Experiment experiment(building_id);
-  core::SafeLocFramework framework;
+  // Construct through the registry like every experiment driver; the
+  // anatomy below needs SAFELOC's concrete type for detector internals.
+  const auto framework_ptr =
+      engine::FrameworkRegistry::global().create("SAFELOC");
+  auto& framework = dynamic_cast<core::SafeLocFramework&>(*framework_ptr);
   experiment.pretrain(framework, scale.server_epochs);
   core::FusedNet& net = framework.network();
 

@@ -13,7 +13,7 @@
 #include <fstream>
 
 #include "src/attack/attack.h"
-#include "src/core/safeloc.h"
+#include "src/engine/registry.h"
 #include "src/eval/experiment.h"
 #include "src/util/config.h"
 
@@ -23,8 +23,10 @@ int main(int argc, char** argv) {
   const util::RunScale& scale = util::run_scale();
   const eval::Experiment experiment(/*building_id=*/2);
 
-  // 1. Train and federate.
-  core::SafeLocFramework server;
+  // 1. Train and federate (framework construction via the registry).
+  const auto& registry = engine::FrameworkRegistry::global();
+  const auto server_ptr = registry.create("SAFELOC");
+  fl::FederatedFramework& server = *server_ptr;
   experiment.pretrain(server, scale.server_epochs);
   attack::AttackConfig benign;
   const auto clean = experiment.run_attack(server, benign, scale.fl_rounds);
@@ -41,7 +43,8 @@ int main(int argc, char** argv) {
   // 3. Cold-start a new server from the snapshot. pretrain(…, 1 epoch)
   // builds the architecture for this building; restore() then overwrites
   // every tensor with the persisted weights.
-  core::SafeLocFramework restored;
+  const auto restored_ptr = registry.create("SAFELOC");
+  fl::FederatedFramework& restored = *restored_ptr;
   experiment.pretrain(restored, /*epochs=*/1);
   {
     std::ifstream in(path, std::ios::binary);

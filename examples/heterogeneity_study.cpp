@@ -12,6 +12,7 @@
 #include <cstdlib>
 
 #include "src/core/safeloc.h"
+#include "src/engine/registry.h"
 #include "src/eval/experiment.h"
 #include "src/eval/metrics.h"
 #include "src/rss/device.h"
@@ -30,7 +31,9 @@ int main(int argc, char** argv) {
               building_id, experiment.building().num_rps(),
               experiment.building().num_aps(), train.size());
 
-  core::SafeLocFramework framework;
+  const auto framework_ptr =
+      engine::FrameworkRegistry::global().create("SAFELOC");
+  auto& framework = dynamic_cast<core::SafeLocFramework&>(*framework_ptr);
   experiment.pretrain(framework, scale.server_epochs);
   core::FusedNet& net = framework.network();
 

@@ -1,17 +1,16 @@
-// Quickstart: the smallest end-to-end SAFELOC run.
+// Quickstart: the smallest end-to-end SAFELOC run, on the ScenarioEngine.
 //
-//   1. Synthesize Building 1 and its fingerprint datasets.
-//   2. Pretrain SAFELOC's fused network server-side.
-//   3. Run a federated schedule with the HTC U11 client mounting an FGSM
-//      backdoor attack.
-//   4. Report localization error with and without the attack.
+//   1. Declare a two-cell ScenarioGrid: SAFELOC on Building 1, once benign
+//      and once with the HTC U11 client mounting an FGSM backdoor.
+//   2. Engine::run pretrains the fused network once (the cells share one
+//      (framework, building) snapshot) and executes both cells.
+//   3. Report localization error with and without the attack from the
+//      structured RunReport, and dump it as quickstart_report.json.
 //
 // Usage: quickstart            (fast profile; SAFELOC_FAST=0 for paper scale)
 #include <cstdio>
 
-#include "src/attack/attack.h"
-#include "src/core/safeloc.h"
-#include "src/eval/experiment.h"
+#include "src/engine/engine.h"
 #include "src/util/config.h"
 #include "src/util/table.h"
 
@@ -22,38 +21,41 @@ int main() {
   std::printf("SAFELOC quickstart — building 1, %d pretrain epochs, %d rounds\n",
               scale.server_epochs, scale.fl_rounds);
 
-  // 1-2. Building setup and server-side pretraining.
-  const eval::Experiment experiment(/*building_id=*/1);
-  core::SafeLocFramework safeloc_fw;
-  experiment.pretrain(safeloc_fw, scale.server_epochs);
-  std::printf("pretrained fused network: %zu parameters, tau = %.2f\n",
-              safeloc_fw.parameter_count(), safeloc_fw.tau());
+  // 1. The declarative grid: framework id resolved by the FrameworkRegistry,
+  // attack axis labelled for the report. Every other knob (rounds, epochs,
+  // population, participation) keeps its run-scale default.
+  engine::ScenarioGrid grid;
+  grid.base().framework = "SAFELOC";
+  grid.base().building = 1;
+  grid.attacks({{"benign FL", attack::AttackConfig{}},
+                {"FGSM eps=0.5",
+                 attack::AttackConfig{.kind = attack::AttackKind::kFgsm,
+                                      .epsilon = 0.5}}});
 
-  // 3. Benign federation vs. FGSM backdoor federation.
-  attack::AttackConfig benign;  // kind = kNone
-  attack::AttackConfig fgsm;
-  fgsm.kind = attack::AttackKind::kFgsm;
-  fgsm.epsilon = 0.5;
+  // 2. Execute. Both cells belong to one pretrain group, so this trains the
+  // fused network once and snapshots/restores around each cell.
+  const engine::ScenarioEngine engine;
+  const engine::RunReport report = engine.run(grid, /*n_threads=*/1);
 
-  const eval::AttackOutcome clean =
-      experiment.run_attack(safeloc_fw, benign, scale.fl_rounds);
-  const eval::AttackOutcome attacked =
-      experiment.run_attack(safeloc_fw, fgsm, scale.fl_rounds);
-
-  // 4. Report.
+  // 3. Report: per-cell error stats straight from the structured results.
   util::AsciiTable table({"scenario", "mean error (m)", "best (m)", "worst (m)"});
-  table.add_row({"benign FL", util::AsciiTable::num(clean.stats.mean_m),
-                 util::AsciiTable::num(clean.stats.best_m),
-                 util::AsciiTable::num(clean.stats.worst_m)});
-  table.add_row({"FGSM eps=0.5", util::AsciiTable::num(attacked.stats.mean_m),
-                 util::AsciiTable::num(attacked.stats.best_m),
-                 util::AsciiTable::num(attacked.stats.worst_m)});
+  for (const engine::CellResult& cell : report.cells) {
+    table.add_row({cell.spec.attack_label,
+                   util::AsciiTable::num(cell.stats.mean_m),
+                   util::AsciiTable::num(cell.stats.best_m),
+                   util::AsciiTable::num(cell.stats.worst_m)});
+  }
   std::printf("%s", table.render().c_str());
 
+  // The per-round trajectory lives in the same report: count how many
+  // fingerprints SAFELOC's detector flagged & de-noised while under attack.
   std::size_t flagged = 0;
-  for (const auto& round : attacked.fl_diagnostics.rounds) {
+  for (const auto& round : report.cells.back().fl.rounds) {
     flagged += round.samples_flagged;
   }
   std::printf("fingerprints flagged & de-noised during attack: %zu\n", flagged);
+
+  report.write_json("quickstart_report.json");
+  std::printf("structured report written to quickstart_report.json\n");
   return 0;
 }

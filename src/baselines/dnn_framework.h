@@ -46,6 +46,12 @@ class DnnFramework : public fl::FederatedFramework {
 
   void aggregate(std::span<const fl::ClientUpdate> updates) override;
 
+  /// Forwards the aggregator's exclusion diagnostics (client ids dropped by
+  /// the most recent aggregate() call).
+  [[nodiscard]] std::vector<int> last_excluded_clients() const override {
+    return aggregator_->last_excluded();
+  }
+
   [[nodiscard]] std::size_t parameter_count() override;
   [[nodiscard]] std::size_t num_classes() const override { return num_classes_; }
 

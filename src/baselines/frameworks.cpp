@@ -45,15 +45,23 @@ std::unique_ptr<DnnFramework> make_fedloc() {
       std::make_unique<fl::FedAvgAggregator>());
 }
 
-std::unique_ptr<DnnFramework> make_fedhil() {
+std::unique_ptr<DnnFramework> make_fedhil(double selection_fraction) {
   return std::make_unique<DnnFramework>(
       "FEDHIL", DnnArch{{224, 224, 64}},
-      std::make_unique<fl::SelectiveAggregator>());
+      std::make_unique<fl::SelectiveAggregator>(selection_fraction));
 }
 
-std::unique_ptr<DnnFramework> make_fedcc() {
+std::unique_ptr<DnnFramework> make_fedcc(double z_threshold,
+                                         std::size_t head_tensors) {
   return std::make_unique<DnnFramework>(
-      "FEDCC", DnnArch{{192, 128}}, std::make_unique<fl::FedCcAggregator>());
+      "FEDCC", DnnArch{{192, 128}},
+      std::make_unique<fl::FedCcAggregator>(z_threshold, head_tensors));
+}
+
+std::unique_ptr<DnnFramework> make_krum(std::size_t byzantine_f) {
+  return std::make_unique<DnnFramework>(
+      "KRUM", DnnArch{{256, 256, 128}},
+      std::make_unique<fl::KrumAggregator>(byzantine_f));
 }
 
 FedLsFramework::FedLsFramework()

@@ -24,11 +24,21 @@ namespace safeloc::baselines {
 
 /// FEDHIL (Gufran et al.): DNN + selective per-tensor aggregation, built to
 /// resist heterogeneity bias; partially resists poisoning as a side effect.
-[[nodiscard]] std::unique_ptr<DnnFramework> make_fedhil();
+/// `selection_fraction` — fraction of clients aggregated per tensor.
+[[nodiscard]] std::unique_ptr<DnnFramework> make_fedhil(
+    double selection_fraction = 0.5);
 
 /// FEDCC (Jeong et al.): DNN + update-similarity clustering; the majority
 /// cluster is aggregated, the minority excluded.
-[[nodiscard]] std::unique_ptr<DnnFramework> make_fedcc();
+[[nodiscard]] std::unique_ptr<DnnFramework> make_fedcc(
+    double z_threshold = 1.0, std::size_t head_tensors = 2);
+
+/// KRUM (Blanchard et al.): FEDLOC's localizer DNN with Krum aggregation —
+/// the classical byzantine-robust rule, kept as a registry-selectable
+/// strategy (not part of the paper's Table I). `byzantine_f` — tolerated
+/// byzantine client count.
+[[nodiscard]] std::unique_ptr<DnnFramework> make_krum(
+    std::size_t byzantine_f = 1);
 
 /// FEDLS (Luong et al.): DNN + server-side autoencoder over a latent
 /// embedding of client updates; anomalous updates are excluded.

@@ -1,0 +1,136 @@
+#include "src/engine/engine.h"
+
+#include <atomic>
+#include <cmath>
+#include <exception>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "src/core/safeloc.h"
+#include "src/eval/experiment.h"
+#include "src/util/config.h"
+#include "src/util/logging.h"
+
+namespace safeloc::engine {
+namespace {
+
+/// Cells sharing one pretrained framework instance, in grid order.
+struct PretrainGroup {
+  ScenarioSpec prototype;
+  std::vector<std::size_t> cell_indices;
+};
+
+std::vector<PretrainGroup> group_cells(const std::vector<ScenarioSpec>& grid) {
+  std::map<std::string, std::size_t> index_by_key;
+  std::vector<PretrainGroup> groups;
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const ScenarioSpec& spec = grid[i];
+    const std::string key = spec.framework + '|' +
+                            std::to_string(spec.building) + '|' +
+                            std::to_string(spec.seed) + '|' +
+                            std::to_string(spec.resolved_server_epochs()) +
+                            '|' + spec.options.key();
+    const auto it = index_by_key.find(key);
+    if (it == index_by_key.end()) {
+      index_by_key.emplace(key, groups.size());
+      groups.push_back({spec, {i}});
+    } else {
+      groups[it->second].cell_indices.push_back(i);
+    }
+  }
+  return groups;
+}
+
+}  // namespace
+
+int default_thread_count() {
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  return util::env_int("SAFELOC_THREADS", hw > 0 ? hw : 1);
+}
+
+RunReport ScenarioEngine::run(const ScenarioGrid& grid, int n_threads) const {
+  return run(grid.expand(), n_threads);
+}
+
+RunReport ScenarioEngine::run(const std::vector<ScenarioSpec>& grid,
+                              int n_threads) const {
+  RunReport report;
+  report.cells.resize(grid.size());
+  if (grid.empty()) return report;
+
+  const std::vector<PretrainGroup> groups = group_cells(grid);
+
+  std::atomic<std::size_t> next_group{0};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t g = next_group.fetch_add(1);
+      if (g >= groups.size()) return;
+      {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (first_error) return;  // fail fast; remaining groups abandoned
+      }
+      const PretrainGroup& group = groups[g];
+      try {
+        const ScenarioSpec& proto = group.prototype;
+        const eval::Experiment experiment(proto.building, proto.seed);
+        auto framework = registry_->create(proto.framework, proto.options);
+        experiment.pretrain(*framework, proto.resolved_server_epochs());
+
+        // τ is a per-cell override on a shared instance: remember the
+        // configured value so NaN-τ cells are not contaminated by a τ an
+        // earlier cell of this group set.
+        auto* safeloc_fw =
+            dynamic_cast<core::SafeLocFramework*>(framework.get());
+        const double configured_tau =
+            safeloc_fw != nullptr ? safeloc_fw->tau() : 0.0;
+
+        for (const std::size_t cell_index : group.cell_indices) {
+          const ScenarioSpec& spec = grid[cell_index];
+          if (safeloc_fw != nullptr) {
+            safeloc_fw->set_tau(std::isnan(spec.tau) ? configured_tau
+                                                     : spec.tau);
+          } else if (!std::isnan(spec.tau)) {
+            throw std::invalid_argument(
+                "ScenarioSpec::tau set for non-SAFELOC framework " +
+                spec.framework);
+          }
+          const eval::AttackOutcome outcome =
+              experiment.run_scenario(*framework, spec.fl_scenario());
+          CellResult& cell = report.cells[cell_index];
+          cell.spec = spec;
+          cell.stats = outcome.stats;
+          cell.errors_m = outcome.errors_m;
+          cell.fl = outcome.fl_diagnostics;
+          cell.exclusion = exclusion_stats(spec, cell.fl);
+          util::log_debug("engine: cell ", cell_index + 1, "/", grid.size(),
+                          " done (", spec.framework, ", ",
+                          spec.resolved_attack_label(), ")");
+        }
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        return;
+      }
+    }
+  };
+
+  const int thread_count = std::max(
+      1, std::min<int>(n_threads, static_cast<int>(groups.size())));
+  if (thread_count == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(thread_count));
+    for (int t = 0; t < thread_count; ++t) threads.emplace_back(worker);
+    for (std::thread& thread : threads) thread.join();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  return report;
+}
+
+}  // namespace safeloc::engine

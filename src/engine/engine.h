@@ -1,0 +1,51 @@
+// ScenarioEngine — executes a grid of ScenarioSpecs and returns a
+// structured RunReport.
+//
+// Execution model: cells are grouped by pretrain identity — (framework id,
+// construction options, building, seed, server epochs). Each group
+// constructs its framework once, pretrains once, and then runs its cells
+// sequentially in grid order from that shared snapshot (run_scenario's
+// snapshot/restore contract guarantees every cell starts from the same
+// pretrained GM). Groups are fully independent — their own Experiment,
+// framework instance, and RNG streams — and are dispatched to a pool of
+// n_threads workers.
+//
+// Determinism: because cells within a group execute in grid order on a
+// single worker and groups share no mutable state, Engine::run produces
+// bit-identical results for any n_threads. (This is also why the group —
+// not the cell — is the unit of parallelism: frameworks with online server
+// state, e.g. FEDLS's persistent detector, make cell order within a group
+// observable.)
+#pragma once
+
+#include <vector>
+
+#include "src/engine/registry.h"
+#include "src/engine/report.h"
+#include "src/engine/scenario.h"
+
+namespace safeloc::engine {
+
+class ScenarioEngine {
+ public:
+  explicit ScenarioEngine(
+      const FrameworkRegistry& registry = FrameworkRegistry::global())
+      : registry_(&registry) {}
+
+  /// Executes every cell and returns results in grid order. n_threads < 1
+  /// is clamped to 1; threads beyond the number of pretrain groups idle.
+  /// Worker exceptions are rethrown on the calling thread.
+  [[nodiscard]] RunReport run(const std::vector<ScenarioSpec>& grid,
+                              int n_threads = 1) const;
+  [[nodiscard]] RunReport run(const ScenarioGrid& grid,
+                              int n_threads = 1) const;
+
+ private:
+  const FrameworkRegistry* registry_;
+};
+
+/// Thread count for benches: SAFELOC_THREADS env var, default
+/// hardware_concurrency (at least 1).
+[[nodiscard]] int default_thread_count();
+
+}  // namespace safeloc::engine

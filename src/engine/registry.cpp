@@ -1,0 +1,108 @@
+#include "src/engine/registry.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "src/baselines/frameworks.h"
+
+namespace safeloc::engine {
+namespace {
+
+void append_num(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.10g,", v);
+  out += buf;
+}
+
+}  // namespace
+
+// key() must fingerprint every behavioural knob: a field missing here would
+// silently merge behaviourally different configs into one shared pretrain
+// group. This assert trips when SafeLocConfig grows (or shrinks) so the
+// author is pointed at the field list below; update both, then the size.
+static_assert(sizeof(std::size_t) != 8 || sizeof(core::SafeLocConfig) == 120,
+              "SafeLocConfig changed — update FrameworkOptions::key() to "
+              "cover the new field set, then refresh this size (checked on "
+              "LP64 targets only)");
+
+std::string FrameworkOptions::key() const {
+  std::string key;
+  key.reserve(160);
+  const core::SafeLocConfig& s = safeloc;
+  append_num(key, s.tau);
+  append_num(key, s.saliency.beta);
+  append_num(key, s.saliency.lambda);
+  append_num(key, static_cast<double>(s.saliency.mode));
+  append_num(key, static_cast<double>(s.input_dim));
+  append_num(key, static_cast<double>(s.enc1));
+  append_num(key, static_cast<double>(s.enc2));
+  append_num(key, static_cast<double>(s.enc3));
+  append_num(key, s.tied_decoder ? 1 : 0);
+  append_num(key, s.freeze_encoder_on_recon ? 1 : 0);
+  append_num(key, s.recon_weight);
+  append_num(key, s.client_recon_weight);
+  append_num(key, s.denoise_train_noise);
+  append_num(key, s.device_augment ? 1 : 0);
+  append_num(key, s.server_lr);
+  append_num(key, static_cast<double>(s.batch_size));
+  append_num(key, fedhil_selection_fraction);
+  append_num(key, static_cast<double>(krum_byzantine_f));
+  append_num(key, fedcc_z_threshold);
+  append_num(key, static_cast<double>(fedcc_head_tensors));
+  return key;
+}
+
+FrameworkRegistry& FrameworkRegistry::global() {
+  static FrameworkRegistry registry = [] {
+    FrameworkRegistry r;
+    r.register_framework("SAFELOC", [](const FrameworkOptions& o) {
+      return std::make_unique<core::SafeLocFramework>(o.safeloc);
+    });
+    r.register_framework("FEDCC", [](const FrameworkOptions& o) {
+      return baselines::make_fedcc(o.fedcc_z_threshold, o.fedcc_head_tensors);
+    });
+    r.register_framework("FEDHIL", [](const FrameworkOptions& o) {
+      return baselines::make_fedhil(o.fedhil_selection_fraction);
+    });
+    r.register_framework("ONLAD", [](const FrameworkOptions&) {
+      return std::make_unique<baselines::OnladFramework>();
+    });
+    r.register_framework("FEDLOC", [](const FrameworkOptions&) {
+      return baselines::make_fedloc();
+    });
+    r.register_framework("FEDLS", [](const FrameworkOptions&) {
+      return std::make_unique<baselines::FedLsFramework>();
+    });
+    r.register_framework("KRUM", [](const FrameworkOptions& o) {
+      return baselines::make_krum(o.krum_byzantine_f);
+    });
+    return r;
+  }();
+  return registry;
+}
+
+void FrameworkRegistry::register_framework(std::string id, Factory factory) {
+  if (factories_.find(id) == factories_.end()) order_.push_back(id);
+  factories_[std::move(id)] = std::move(factory);
+}
+
+bool FrameworkRegistry::contains(std::string_view id) const {
+  return factories_.find(id) != factories_.end();
+}
+
+std::unique_ptr<fl::FederatedFramework> FrameworkRegistry::create(
+    std::string_view id, const FrameworkOptions& options) const {
+  const auto it = factories_.find(id);
+  if (it == factories_.end()) {
+    std::string known;
+    for (const auto& name : order_) {
+      if (!known.empty()) known += ", ";
+      known += name;
+    }
+    throw std::invalid_argument("FrameworkRegistry: unknown framework id \"" +
+                                std::string(id) + "\" (known: " + known + ")");
+  }
+  return it->second(options);
+}
+
+}  // namespace safeloc::engine

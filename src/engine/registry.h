@@ -1,0 +1,71 @@
+// FrameworkRegistry — the single place framework string ids resolve to
+// construction code. Benches, examples, and the ScenarioEngine all create
+// frameworks through here, so adding a defense strategy (FedLS-style,
+// FedCC-style, or anything new) is one register_framework() call instead of
+// edits to every experiment binary.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/core/safeloc.h"
+#include "src/fl/framework.h"
+
+namespace safeloc::engine {
+
+/// Per-framework construction knobs. Only the members matching the id being
+/// constructed are consulted; the defaults reproduce the paper's
+/// configurations, so `FrameworkOptions{}` is always valid.
+struct FrameworkOptions {
+  /// SAFELOC: full system config (τ, saliency mode, fused-net widths, ...).
+  core::SafeLocConfig safeloc{};
+  /// FEDHIL: fraction of clients aggregated per tensor.
+  double fedhil_selection_fraction = 0.5;
+  /// KRUM: tolerated byzantine client count f.
+  std::size_t krum_byzantine_f = 1;
+  /// FEDCC: z-score exclusion threshold and trailing-tensor count used for
+  /// the update-similarity clustering.
+  double fedcc_z_threshold = 1.0;
+  std::size_t fedcc_head_tensors = 2;
+
+  /// Stable fingerprint of every knob. Two options with equal keys build
+  /// behaviourally identical frameworks — the ScenarioEngine uses this to
+  /// share one pretrained snapshot across grid cells.
+  [[nodiscard]] std::string key() const;
+};
+
+class FrameworkRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<fl::FederatedFramework>(
+      const FrameworkOptions&)>;
+
+  /// The process-wide registry, pre-populated with the built-in ids in the
+  /// paper's Table I parameter-budget order — "SAFELOC", "FEDCC", "FEDHIL",
+  /// "ONLAD", "FEDLOC", "FEDLS" — plus "KRUM" (registry-only strategy).
+  [[nodiscard]] static FrameworkRegistry& global();
+
+  /// Registers (or replaces) a factory under `id`. New ids append to ids().
+  void register_framework(std::string id, Factory factory);
+
+  [[nodiscard]] bool contains(std::string_view id) const;
+
+  /// Builds a fresh, not-yet-pretrained framework. Throws
+  /// std::invalid_argument (naming the known ids) for an unknown id.
+  [[nodiscard]] std::unique_ptr<fl::FederatedFramework> create(
+      std::string_view id, const FrameworkOptions& options = {}) const;
+
+  /// Registered ids in registration order.
+  [[nodiscard]] const std::vector<std::string>& ids() const noexcept {
+    return order_;
+  }
+
+ private:
+  std::vector<std::string> order_;
+  std::map<std::string, Factory, std::less<>> factories_;
+};
+
+}  // namespace safeloc::engine

@@ -1,0 +1,204 @@
+#include "src/engine/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+#include "src/util/csv.h"
+
+namespace safeloc::engine {
+namespace {
+
+std::string json_num(double v) {
+  if (!std::isfinite(v)) return "null";  // JSON has no inf/nan
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+std::string json_str(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string json_int_array(const std::vector<int>& values) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ',';
+    out += std::to_string(values[i]);
+  }
+  out += ']';
+  return out;
+}
+
+void append_cell(std::string& out, const CellResult& cell) {
+  const ScenarioSpec& spec = cell.spec;
+  out += '{';
+  out += "\"framework\":" + json_str(spec.framework) + ',';
+  out += "\"building\":" + std::to_string(spec.building) + ',';
+  out += "\"seed\":" + std::to_string(spec.seed) + ',';
+  out += "\"rounds\":" + std::to_string(spec.resolved_rounds()) + ',';
+  out += "\"server_epochs\":" + std::to_string(spec.resolved_server_epochs()) +
+         ',';
+  out += "\"attack\":{";
+  out += "\"label\":" + json_str(spec.resolved_attack_label()) + ',';
+  out += "\"kind\":" + json_str(attack::to_string(spec.attack.kind)) + ',';
+  out += "\"epsilon\":" + json_num(spec.attack.epsilon) + ',';
+  out += "\"start\":" + std::to_string(spec.attack_start) + ',';
+  out += "\"duration\":" + std::to_string(spec.attack_duration);
+  out += "},";
+  out += "\"population\":{";
+  out += "\"total\":" + std::to_string(spec.total_clients) + ',';
+  out += "\"poisoned\":" + std::to_string(spec.poisoned_clients) + ',';
+  out += "\"participation\":" + json_num(spec.participation) + ',';
+  out += "\"dropout\":" + json_num(spec.dropout);
+  out += "},";
+  if (!std::isnan(spec.tau)) out += "\"tau\":" + json_num(spec.tau) + ',';
+  out += "\"errors\":{";
+  out += "\"mean_m\":" + json_num(cell.stats.mean_m) + ',';
+  out += "\"best_m\":" + json_num(cell.stats.best_m) + ',';
+  out += "\"worst_m\":" + json_num(cell.stats.worst_m) + ',';
+  out += "\"count\":" + std::to_string(cell.stats.count);
+  out += "},";
+  out += "\"exclusion\":{";
+  out += "\"tp\":" + std::to_string(cell.exclusion.true_positives) + ',';
+  out += "\"fp\":" + std::to_string(cell.exclusion.false_positives) + ',';
+  out += "\"fn\":" + std::to_string(cell.exclusion.false_negatives) + ',';
+  out += "\"precision\":" + json_num(cell.exclusion.precision()) + ',';
+  out += "\"recall\":" + json_num(cell.exclusion.recall());
+  out += "},";
+  out += "\"rounds_diag\":[";
+  for (std::size_t r = 0; r < cell.fl.rounds.size(); ++r) {
+    const fl::RoundDiagnostics& diag = cell.fl.rounds[r];
+    if (r > 0) out += ',';
+    out += "{\"round\":" + std::to_string(diag.round) + ',';
+    out += "\"flagged\":" + std::to_string(diag.samples_flagged) + ',';
+    out += "\"dropped\":" + std::to_string(diag.samples_dropped) + ',';
+    out += std::string("\"attack_active\":") +
+           (diag.attack_active ? "true" : "false") + ',';
+    out += "\"participants\":" + json_int_array(diag.clients_participating) +
+           ',';
+    out += "\"excluded\":" + json_int_array(diag.clients_excluded);
+    out += '}';
+  }
+  out += "]}";
+}
+
+}  // namespace
+
+double ExclusionStats::precision() const noexcept {
+  const std::size_t flagged = true_positives + false_positives;
+  return flagged == 0
+             ? 1.0
+             : static_cast<double>(true_positives) /
+                   static_cast<double>(flagged);
+}
+
+double ExclusionStats::recall() const noexcept {
+  const std::size_t actual = true_positives + false_negatives;
+  return actual == 0
+             ? 1.0
+             : static_cast<double>(true_positives) /
+                   static_cast<double>(actual);
+}
+
+std::string RunReport::to_json() const {
+  std::string out = "{\"schema\":\"";
+  out += kSchema;
+  out += "\",\"cells\":[";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out += ',';
+    append_cell(out, cells[i]);
+  }
+  out += "]}\n";
+  return out;
+}
+
+void RunReport::write_json(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("RunReport: cannot open " + path);
+  const std::string json = to_json();
+  out.write(json.data(), static_cast<std::streamsize>(json.size()));
+}
+
+void RunReport::write_csv(const std::string& path) const {
+  util::CsvWriter csv(path);
+  csv.write_row({"framework", "building", "seed", "attack", "epsilon",
+                 "attack_start", "attack_duration", "rounds", "server_epochs",
+                 "total_clients", "poisoned_clients", "participation",
+                 "dropout", "tau", "mean_m", "best_m", "worst_m", "count",
+                 "excl_precision", "excl_recall"});
+  for (const CellResult& cell : cells) {
+    const ScenarioSpec& spec = cell.spec;
+    csv.write_row({spec.framework, std::to_string(spec.building),
+                   std::to_string(spec.seed), spec.resolved_attack_label(),
+                   util::CsvWriter::cell(spec.attack.epsilon),
+                   std::to_string(spec.attack_start),
+                   std::to_string(spec.attack_duration),
+                   std::to_string(spec.resolved_rounds()),
+                   std::to_string(spec.resolved_server_epochs()),
+                   util::CsvWriter::cell(spec.total_clients),
+                   util::CsvWriter::cell(spec.poisoned_clients),
+                   util::CsvWriter::cell(spec.participation),
+                   util::CsvWriter::cell(spec.dropout),
+                   std::isnan(spec.tau) ? std::string()
+                                        : util::CsvWriter::cell(spec.tau),
+                   util::CsvWriter::cell(cell.stats.mean_m),
+                   util::CsvWriter::cell(cell.stats.best_m),
+                   util::CsvWriter::cell(cell.stats.worst_m),
+                   util::CsvWriter::cell(cell.stats.count),
+                   util::CsvWriter::cell(cell.exclusion.precision()),
+                   util::CsvWriter::cell(cell.exclusion.recall())});
+  }
+}
+
+ExclusionStats exclusion_stats(const ScenarioSpec& spec,
+                               const fl::FlRunResult& fl) {
+  const std::vector<int> malicious = spec.malicious_clients();
+  auto is_malicious = [&](int id) {
+    return std::find(malicious.begin(), malicious.end(), id) !=
+           malicious.end();
+  };
+  ExclusionStats stats;
+  for (const fl::RoundDiagnostics& diag : fl.rounds) {
+    for (const int id : diag.clients_excluded) {
+      if (diag.attack_active && is_malicious(id)) {
+        ++stats.true_positives;
+      } else {
+        ++stats.false_positives;
+      }
+    }
+    if (!diag.attack_active) continue;
+    for (const int id : diag.clients_participating) {
+      if (!is_malicious(id)) continue;
+      const bool caught =
+          std::find(diag.clients_excluded.begin(), diag.clients_excluded.end(),
+                    id) != diag.clients_excluded.end();
+      if (!caught) ++stats.false_negatives;
+    }
+  }
+  return stats;
+}
+
+}  // namespace safeloc::engine

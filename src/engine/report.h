@@ -1,0 +1,62 @@
+// Structured run reports: one CellResult per executed ScenarioSpec, with
+// machine-readable JSON ("safeloc.run_report/v1") and CSV writers so
+// benches emit regenerable trajectories instead of free-form tables.
+//
+// Serialization is fully deterministic (fixed key order, fixed "%.10g"
+// number formatting, cells in grid order), so a parallel Engine::run
+// produces byte-identical files to a serial one.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/engine/scenario.h"
+#include "src/eval/metrics.h"
+#include "src/fl/federated.h"
+
+namespace safeloc::engine {
+
+/// Defense exclusion quality over a cell's rounds: an exclusion is a true
+/// positive when the dropped client was malicious with its attack window
+/// active, otherwise a false positive; a malicious client that participated
+/// in an attack-active round without being excluded is a false negative.
+struct ExclusionStats {
+  std::size_t true_positives = 0;
+  std::size_t false_positives = 0;
+  std::size_t false_negatives = 0;
+
+  /// TP / (TP + FP); 1.0 when the framework excluded nobody.
+  [[nodiscard]] double precision() const noexcept;
+  /// TP / (TP + FN); 1.0 when there was nothing to catch.
+  [[nodiscard]] double recall() const noexcept;
+};
+
+/// Outcome of one grid cell.
+struct CellResult {
+  ScenarioSpec spec;
+  eval::ErrorStats stats;
+  /// Raw pooled per-sample errors (kept in memory for cross-cell pooling;
+  /// not serialized).
+  std::vector<double> errors_m;
+  /// Per-round defense trajectory.
+  fl::FlRunResult fl;
+  ExclusionStats exclusion;
+};
+
+struct RunReport {
+  static constexpr const char* kSchema = "safeloc.run_report/v1";
+
+  std::vector<CellResult> cells;
+
+  [[nodiscard]] std::string to_json() const;
+  /// Writes to_json() to `path`. Throws std::runtime_error on I/O failure.
+  void write_json(const std::string& path) const;
+  /// One row per cell (spec axes + error stats + exclusion quality).
+  void write_csv(const std::string& path) const;
+};
+
+/// Computes exclusion precision/recall bookkeeping for one executed cell.
+[[nodiscard]] ExclusionStats exclusion_stats(const ScenarioSpec& spec,
+                                             const fl::FlRunResult& fl);
+
+}  // namespace safeloc::engine

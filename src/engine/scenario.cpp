@@ -1,0 +1,166 @@
+#include "src/engine/scenario.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "src/eval/experiment.h"
+#include "src/util/config.h"
+
+namespace safeloc::engine {
+
+int ScenarioSpec::resolved_rounds() const {
+  return rounds >= 0 ? rounds : util::run_scale().fl_rounds;
+}
+
+int ScenarioSpec::resolved_server_epochs() const {
+  return server_epochs >= 0 ? server_epochs : util::run_scale().server_epochs;
+}
+
+std::string ScenarioSpec::resolved_attack_label() const {
+  if (!attack_label.empty()) return attack_label;
+  if (attack.kind == attack::AttackKind::kNone && attack_mix.empty()) {
+    return "none";
+  }
+  std::string label = attack::to_string(attack.kind);
+  char eps[24];
+  std::snprintf(eps, sizeof(eps), "@%g", attack.epsilon);
+  label += eps;
+  if (!attack_mix.empty()) label = "mix(" + label + ",...)";
+  return label;
+}
+
+fl::FlScenario ScenarioSpec::fl_scenario() const {
+  fl::FlScenario scenario;
+  scenario.rounds = resolved_rounds();
+  scenario.local = eval::Experiment::default_local_opts();
+  scenario.seed = seed;
+  scenario.participation = participation;
+  scenario.attack_start = attack_start;
+  scenario.attack_duration = attack_duration;
+  scenario.dropout = dropout;
+
+  if (total_clients == 0) {
+    if (!attack_mix.empty()) {
+      throw std::invalid_argument(
+          "ScenarioSpec: attack_mix requires a scaled population "
+          "(total_clients > 0); the paper population has a single attacker");
+    }
+    scenario.clients = fl::paper_clients(attack);
+  } else {
+    const std::size_t poisoned =
+        (attack.kind == attack::AttackKind::kNone && attack_mix.empty())
+            ? 0
+            : std::min(poisoned_clients, total_clients);
+    scenario.clients = fl::scaled_clients(total_clients, poisoned, attack);
+    if (!attack_mix.empty()) {
+      for (std::size_t i = 0; i < poisoned; ++i) {
+        scenario.clients[i].attack = attack_mix[i % attack_mix.size()];
+        scenario.clients[i].attack.seed += i;  // independent streams
+      }
+    }
+  }
+  return scenario;
+}
+
+std::vector<int> ScenarioSpec::malicious_clients() const {
+  const fl::FlScenario scenario = fl_scenario();
+  std::vector<int> malicious;
+  for (std::size_t c = 0; c < scenario.clients.size(); ++c) {
+    if (scenario.clients[c].malicious) malicious.push_back(static_cast<int>(c));
+  }
+  return malicious;
+}
+
+ScenarioGrid& ScenarioGrid::frameworks(std::vector<std::string> ids) {
+  frameworks_ = std::move(ids);
+  return *this;
+}
+
+ScenarioGrid& ScenarioGrid::buildings(std::vector<int> ids) {
+  buildings_ = std::move(ids);
+  return *this;
+}
+
+ScenarioGrid& ScenarioGrid::seeds(std::vector<std::uint64_t> seeds) {
+  seeds_ = std::move(seeds);
+  return *this;
+}
+
+ScenarioGrid& ScenarioGrid::taus(std::vector<double> taus) {
+  taus_ = std::move(taus);
+  return *this;
+}
+
+ScenarioGrid& ScenarioGrid::populations(
+    std::vector<std::pair<std::size_t, std::size_t>> populations) {
+  populations_ = std::move(populations);
+  return *this;
+}
+
+ScenarioGrid& ScenarioGrid::attacks(std::vector<attack::AttackConfig> attacks) {
+  attacks_.clear();
+  attacks_.reserve(attacks.size());
+  for (const auto& config : attacks) {
+    attacks_.emplace_back(std::string(), config);
+  }
+  return *this;
+}
+
+ScenarioGrid& ScenarioGrid::attacks(
+    std::vector<std::pair<std::string, attack::AttackConfig>> attacks) {
+  attacks_ = std::move(attacks);
+  return *this;
+}
+
+ScenarioGrid& ScenarioGrid::epsilons(std::vector<double> epsilons) {
+  epsilons_ = std::move(epsilons);
+  return *this;
+}
+
+std::size_t ScenarioGrid::size() const {
+  auto axis = [](std::size_t n) { return n == 0 ? std::size_t{1} : n; };
+  return axis(frameworks_.size()) * axis(buildings_.size()) *
+         axis(seeds_.size()) * axis(taus_.size()) *
+         axis(populations_.size()) * axis(attacks_.size()) *
+         axis(epsilons_.size());
+}
+
+std::vector<ScenarioSpec> ScenarioGrid::expand() const {
+  std::vector<ScenarioSpec> cells;
+  cells.reserve(size());
+
+  // Unset axes iterate exactly once with the base value.
+  auto once = [](std::size_t n) { return n == 0 ? std::size_t{1} : n; };
+  for (std::size_t f = 0; f < once(frameworks_.size()); ++f) {
+    for (std::size_t b = 0; b < once(buildings_.size()); ++b) {
+      for (std::size_t s = 0; s < once(seeds_.size()); ++s) {
+        for (std::size_t t = 0; t < once(taus_.size()); ++t) {
+          for (std::size_t p = 0; p < once(populations_.size()); ++p) {
+            for (std::size_t a = 0; a < once(attacks_.size()); ++a) {
+              for (std::size_t e = 0; e < once(epsilons_.size()); ++e) {
+                ScenarioSpec spec = base_;
+                if (!frameworks_.empty()) spec.framework = frameworks_[f];
+                if (!buildings_.empty()) spec.building = buildings_[b];
+                if (!seeds_.empty()) spec.seed = seeds_[s];
+                if (!taus_.empty()) spec.tau = taus_[t];
+                if (!populations_.empty()) {
+                  spec.total_clients = populations_[p].first;
+                  spec.poisoned_clients = populations_[p].second;
+                }
+                if (!attacks_.empty()) {
+                  spec.attack = attacks_[a].second;
+                  spec.attack_label = attacks_[a].first;
+                }
+                if (!epsilons_.empty()) spec.attack.epsilon = epsilons_[e];
+                cells.push_back(std::move(spec));
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return cells;
+}
+
+}  // namespace safeloc::engine

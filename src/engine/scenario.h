@@ -1,0 +1,122 @@
+// Declarative scenario descriptions for the ScenarioEngine.
+//
+// A ScenarioSpec names everything one experiment cell needs — framework id,
+// building, attack, budgets, population shape, and the schedule axes the
+// paper's fixed protocol doesn't vary (per-round participation, attack
+// onset/duration, client dropout). A ScenarioGrid expands cross-products of
+// those axes (framework × building × attack × ε × seed × ...) into a flat
+// cell list the engine executes.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/attack/attack.h"
+#include "src/engine/registry.h"
+#include "src/fl/federated.h"
+
+namespace safeloc::engine {
+
+/// One fully specified experiment cell.
+struct ScenarioSpec {
+  /// FrameworkRegistry id ("SAFELOC", "FEDLOC", ...).
+  std::string framework = "SAFELOC";
+  /// Construction knobs passed to the registry factory.
+  FrameworkOptions options{};
+  /// Paper building 1..5.
+  int building = 1;
+  /// The attack every poisoned client mounts (kNone = benign cell) unless
+  /// attack_mix overrides it.
+  attack::AttackConfig attack{};
+  /// Scaled populations only: poisoned client i mounts
+  /// attack_mix[i % size()] instead of `attack` (Fig. 7's mixed cohort).
+  std::vector<attack::AttackConfig> attack_mix;
+  /// Display tag for the attack axis carried into reports ("clean",
+  /// "label-flip", ...). Auto-derived from the attack when empty.
+  std::string attack_label;
+
+  /// Federated rounds; negative = util::run_scale().fl_rounds.
+  int rounds = -1;
+  /// Server pretraining epochs; negative = util::run_scale().server_epochs.
+  int server_epochs = -1;
+  /// Seed for dataset synthesis, pretraining, and the federated schedule.
+  std::uint64_t seed = 0x5afe10cULL;
+
+  /// 0 = the paper's six-device population (HTC U11 attacker); otherwise a
+  /// scaled population of this many clients, the first `poisoned_clients`
+  /// of which are malicious.
+  std::size_t total_clients = 0;
+  std::size_t poisoned_clients = 1;
+
+  // --- schedule axes (see fl::FlScenario) --------------------------------
+  double participation = 1.0;
+  int attack_start = 0;
+  int attack_duration = -1;
+  double dropout = 0.0;
+
+  /// SAFELOC only: overrides the detection threshold τ after pretraining
+  /// (τ does not affect pretraining, so a τ sweep reuses one snapshot).
+  /// NaN = keep the configured τ.
+  double tau = std::nan("");
+
+  [[nodiscard]] int resolved_rounds() const;
+  [[nodiscard]] int resolved_server_epochs() const;
+
+  /// The attack tag used in reports: attack_label when set, otherwise
+  /// "none" / "FGSM@0.5"-style derived from the attack config.
+  [[nodiscard]] std::string resolved_attack_label() const;
+
+  /// Expands the population + schedule into the fl layer's scenario.
+  [[nodiscard]] fl::FlScenario fl_scenario() const;
+
+  /// Client indices that are malicious under this spec (for exclusion
+  /// precision/recall accounting).
+  [[nodiscard]] std::vector<int> malicious_clients() const;
+};
+
+/// Cross-product builder. Every axis left unset contributes the base spec's
+/// value; expand() order is deterministic: frameworks ▸ buildings ▸ seeds ▸
+/// taus ▸ populations ▸ attacks ▸ epsilons, last axis fastest.
+class ScenarioGrid {
+ public:
+  ScenarioGrid() = default;
+  explicit ScenarioGrid(ScenarioSpec base) : base_(std::move(base)) {}
+
+  ScenarioGrid& frameworks(std::vector<std::string> ids);
+  ScenarioGrid& buildings(std::vector<int> ids);
+  ScenarioGrid& seeds(std::vector<std::uint64_t> seeds);
+  /// SAFELOC τ sweep (applied post-pretrain; see ScenarioSpec::tau).
+  ScenarioGrid& taus(std::vector<double> taus);
+  /// (total_clients, poisoned_clients) pairs.
+  ScenarioGrid& populations(
+      std::vector<std::pair<std::size_t, std::size_t>> populations);
+  ScenarioGrid& attacks(std::vector<attack::AttackConfig> attacks);
+  /// Labelled attack axis — labels flow into RunReport rows.
+  ScenarioGrid& attacks(
+      std::vector<std::pair<std::string, attack::AttackConfig>> attacks);
+  /// ε sweep crossed with the attack axis (overrides each attack's epsilon).
+  ScenarioGrid& epsilons(std::vector<double> epsilons);
+
+  [[nodiscard]] const ScenarioSpec& base() const noexcept { return base_; }
+  [[nodiscard]] ScenarioSpec& base() noexcept { return base_; }
+
+  /// Number of cells expand() will produce (product of non-empty axes).
+  [[nodiscard]] std::size_t size() const;
+
+  [[nodiscard]] std::vector<ScenarioSpec> expand() const;
+
+ private:
+  ScenarioSpec base_{};
+  std::vector<std::string> frameworks_;
+  std::vector<int> buildings_;
+  std::vector<std::uint64_t> seeds_;
+  std::vector<double> taus_;
+  std::vector<std::pair<std::size_t, std::size_t>> populations_;
+  std::vector<std::pair<std::string, attack::AttackConfig>> attacks_;
+  std::vector<double> epsilons_;
+};
+
+}  // namespace safeloc::engine

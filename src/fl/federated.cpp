@@ -1,8 +1,11 @@
 #include "src/fl/federated.h"
 
+#include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "src/util/logging.h"
+#include "src/util/rng.h"
 
 namespace safeloc::fl {
 
@@ -63,14 +66,49 @@ FlRunResult run_federated(FederatedFramework& framework,
         return framework.input_gradient(x, y);
       };
 
+  const bool full_cohort =
+      scenario.participation >= 1.0 && scenario.dropout <= 0.0;
+
   FlRunResult result;
   for (int round = 0; round < scenario.rounds; ++round) {
     RoundDiagnostics diag;
     diag.round = round;
+    diag.attack_active = scenario.attack_active(round);
+
+    // Round cohort: every client under the paper's protocol; a sampled,
+    // churn-thinned subset when the participation / dropout axes are in
+    // play. The cohort RNG stream depends only on (seed, round) so other
+    // per-round streams (local-training seeds, attack streams) are
+    // untouched by these axes.
+    std::vector<std::size_t> cohort;
+    if (full_cohort) {
+      cohort.resize(scenario.clients.size());
+      for (std::size_t c = 0; c < cohort.size(); ++c) cohort[c] = c;
+    } else {
+      util::Rng cohort_rng(scenario.seed ^
+                           (0xc0450ULL + static_cast<std::uint64_t>(round) *
+                                             0x51f35d1ULL));
+      const double fraction = std::clamp(scenario.participation, 0.0, 1.0);
+      const auto target = static_cast<std::size_t>(std::lround(
+          fraction * static_cast<double>(scenario.clients.size())));
+      const std::size_t sampled = std::clamp<std::size_t>(
+          target, 1, scenario.clients.size());
+      cohort = cohort_rng.sample_indices(scenario.clients.size(), sampled);
+      if (scenario.dropout > 0.0) {
+        std::erase_if(cohort, [&](std::size_t) {
+          return cohort_rng.bernoulli(scenario.dropout);
+        });
+      }
+      std::sort(cohort.begin(), cohort.end());
+    }
+    diag.clients_participating.reserve(cohort.size());
+    for (const std::size_t c : cohort) {
+      diag.clients_participating.push_back(static_cast<int>(c));
+    }
 
     std::vector<ClientUpdate> updates;
-    updates.reserve(scenario.clients.size());
-    for (std::size_t c = 0; c < scenario.clients.size(); ++c) {
+    updates.reserve(cohort.size());
+    for (const std::size_t c : cohort) {
       const auto& spec = scenario.clients[c];
       const rss::Dataset& data = client_data[c];
 
@@ -83,7 +121,7 @@ FlRunResult run_federated(FederatedFramework& framework,
       // labels — that mislabelled association is what corrupts the LM;
       // label flipping (Eq. 5) keeps the fingerprints and flips the labels.
       nn::Matrix x = data.x;
-      if (spec.malicious) {
+      if (spec.malicious && diag.attack_active) {
         auto poisoned =
             attack::apply_attack(spec.attack, x, labels, num_classes, oracle);
         x = std::move(poisoned.x);
@@ -102,7 +140,10 @@ FlRunResult run_federated(FederatedFramework& framework,
       updates.push_back(std::move(update));
     }
 
-    if (!updates.empty()) framework.aggregate(updates);
+    if (!updates.empty()) {
+      framework.aggregate(updates);
+      diag.clients_excluded = framework.last_excluded_clients();
+    }
     result.rounds.push_back(std::move(diag));
     util::log_debug(framework.name(), ": round ", round, " done (",
                     updates.size(), " updates)");

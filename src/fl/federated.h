@@ -27,6 +27,26 @@ struct FlScenario {
   LocalTrainOpts local{};
   std::vector<ClientSpec> clients;
   std::uint64_t seed = 0x5afe;
+
+  // --- schedule axes beyond the paper's fixed protocol -------------------
+  /// Fraction of clients sampled (uniformly, without replacement) each
+  /// round. 1.0 selects everyone; at least one client always participates.
+  double participation = 1.0;
+  /// Round index at which malicious clients begin poisoning (0 = from the
+  /// start). Outside the active window they behave like benign clients.
+  int attack_start = 0;
+  /// Rounds the attack stays active once started; negative = until the
+  /// schedule ends.
+  int attack_duration = -1;
+  /// Per-round probability that a sampled client drops out before
+  /// uploading its LM (device churn).
+  double dropout = 0.0;
+
+  /// True when the attack window covers `round`.
+  [[nodiscard]] bool attack_active(int round) const noexcept {
+    return round >= attack_start &&
+           (attack_duration < 0 || round < attack_start + attack_duration);
+  }
 };
 
 /// Builds the paper's default population: six clients, one per device, with
@@ -44,7 +64,14 @@ struct RoundDiagnostics {
   int round = 0;
   std::size_t samples_flagged = 0;
   std::size_t samples_dropped = 0;
-  std::vector<int> clients_excluded;  // not populated by every framework
+  /// Whether the scenario's attack window covered this round.
+  bool attack_active = false;
+  /// Clients sampled for this round (after participation + dropout).
+  std::vector<int> clients_participating;
+  /// Clients the aggregation-layer defense excluded this round
+  /// (FederatedFramework::last_excluded_clients; empty for re-weighting
+  /// frameworks such as SAFELOC and plain FedAvg).
+  std::vector<int> clients_excluded;
 };
 
 struct FlRunResult {

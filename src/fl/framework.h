@@ -68,6 +68,14 @@ class FederatedFramework {
   /// Applies the framework's aggregation strategy to the GM.
   virtual void aggregate(std::span<const ClientUpdate> updates) = 0;
 
+  /// Client ids excluded by the most recent aggregate() call (defense
+  /// diagnostics). Filtering frameworks (KRUM / FEDCC / FEDLS) report the
+  /// clients their aggregator rejected; frameworks that re-weight rather
+  /// than exclude (SAFELOC's saliency map, plain FedAvg) return empty.
+  [[nodiscard]] virtual std::vector<int> last_excluded_clients() const {
+    return {};
+  }
+
   /// The paper's "Total Parameters" (all trainable tensors; for two-model
   /// frameworks like ONLAD/FEDLS this includes the detector).
   [[nodiscard]] virtual std::size_t parameter_count() = 0;

@@ -1,0 +1,445 @@
+// ScenarioEngine API tests: registry round-trip, grid expansion,
+// parallel-vs-serial determinism, report schema, and the new federated
+// schedule axes (participation, attack windows, dropout).
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <stdexcept>
+
+#include "src/baselines/frameworks.h"
+#include "src/engine/engine.h"
+#include "src/engine/registry.h"
+#include "src/engine/report.h"
+#include "src/engine/scenario.h"
+#include "src/eval/experiment.h"
+#include "src/util/rng.h"
+
+namespace safeloc {
+namespace {
+
+attack::AttackConfig attack_of(attack::AttackKind kind, double epsilon) {
+  attack::AttackConfig config;
+  config.kind = kind;
+  config.epsilon = epsilon;
+  return config;
+}
+
+// ---------------------------------------------------------------------------
+// FrameworkRegistry
+// ---------------------------------------------------------------------------
+
+TEST(FrameworkRegistry, EveryBuiltinIdConstructsAndNamesMatch) {
+  const auto& registry = engine::FrameworkRegistry::global();
+  const std::vector<std::string> expected = {
+      "SAFELOC", "FEDCC", "FEDHIL", "ONLAD", "FEDLOC", "FEDLS", "KRUM"};
+  ASSERT_EQ(registry.ids(), expected);
+  for (const std::string& id : registry.ids()) {
+    EXPECT_TRUE(registry.contains(id));
+    const auto framework = registry.create(id);
+    ASSERT_NE(framework, nullptr);
+    EXPECT_EQ(framework->name(), id) << id;
+  }
+}
+
+TEST(FrameworkRegistry, UnknownIdThrowsNamingKnownIds) {
+  const auto& registry = engine::FrameworkRegistry::global();
+  EXPECT_FALSE(registry.contains("FEDNOPE"));
+  try {
+    (void)registry.create("FEDNOPE");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("FEDNOPE"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("SAFELOC"), std::string::npos);
+  }
+}
+
+TEST(FrameworkRegistry, ParameterBudgetsPreserveTableIOrdering) {
+  // Table I (frameworks.h): SAFELOC < FEDCC < FEDHIL < ONLAD < FEDLOC <
+  // FEDLS at 128 inputs / 60 classes. A minimal pretrain builds each model.
+  const std::size_t num_classes = 60;
+  util::Rng rng(0x7ab1e1ULL);
+  nn::Matrix x(8, 128);
+  for (float& v : x.flat()) v = rng.uniform_f(0.0f, 1.0f);
+  std::vector<int> labels;
+  for (int i = 0; i < 8; ++i) labels.push_back(i * 7 % 60);
+
+  const auto& registry = engine::FrameworkRegistry::global();
+  auto params = [&](const std::string& id) {
+    auto framework = registry.create(id);
+    framework->pretrain(x, labels, num_classes, /*epochs=*/1, /*seed=*/1);
+    return framework->parameter_count();
+  };
+  const std::size_t safeloc = params("SAFELOC");
+  const std::size_t fedcc = params("FEDCC");
+  const std::size_t fedhil = params("FEDHIL");
+  const std::size_t onlad = params("ONLAD");
+  const std::size_t fedloc = params("FEDLOC");
+  const std::size_t fedls = params("FEDLS");
+  EXPECT_LT(safeloc, fedcc);
+  EXPECT_LT(fedcc, fedhil);
+  EXPECT_LT(fedhil, onlad);
+  EXPECT_LT(onlad, fedloc);
+  EXPECT_LT(fedloc, fedls);
+}
+
+TEST(FrameworkRegistry, OptionsReachTheFactories) {
+  engine::FrameworkOptions options;
+  options.safeloc.tau = 0.42;
+  const auto framework =
+      engine::FrameworkRegistry::global().create("SAFELOC", options);
+  const auto* safeloc_fw =
+      dynamic_cast<const core::SafeLocFramework*>(framework.get());
+  ASSERT_NE(safeloc_fw, nullptr);
+  EXPECT_DOUBLE_EQ(safeloc_fw->tau(), 0.42);
+
+  engine::FrameworkOptions defaults;
+  EXPECT_NE(options.key(), defaults.key());
+  EXPECT_EQ(options.key(), options.key());
+}
+
+TEST(FrameworkRegistry, CustomRegistrationAppends) {
+  engine::FrameworkRegistry registry;
+  registry.register_framework("MYFED", [](const engine::FrameworkOptions&) {
+    return baselines::make_fedloc();
+  });
+  EXPECT_TRUE(registry.contains("MYFED"));
+  EXPECT_EQ(registry.ids().size(), 1u);
+  EXPECT_EQ(registry.create("MYFED")->name(), "FEDLOC");
+}
+
+// ---------------------------------------------------------------------------
+// ScenarioGrid
+// ---------------------------------------------------------------------------
+
+TEST(ScenarioGrid, ExpansionCountIsAxisProduct) {
+  engine::ScenarioGrid grid;
+  grid.frameworks({"SAFELOC", "FEDLOC"})
+      .buildings({1, 2, 3})
+      .attacks({attack_of(attack::AttackKind::kNone, 0.0),
+                attack_of(attack::AttackKind::kFgsm, 0.5)})
+      .epsilons({0.1, 0.5, 1.0})
+      .seeds({1, 2});
+  EXPECT_EQ(grid.size(), 2u * 3u * 2u * 3u * 2u);
+  EXPECT_EQ(grid.expand().size(), grid.size());
+}
+
+TEST(ScenarioGrid, UnsetAxesUseBaseValues) {
+  engine::ScenarioSpec base;
+  base.framework = "FEDCC";
+  base.building = 4;
+  base.seed = 99;
+  engine::ScenarioGrid grid(base);
+  grid.attacks({attack_of(attack::AttackKind::kLabelFlip, 1.0)});
+  const auto cells = grid.expand();
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0].framework, "FEDCC");
+  EXPECT_EQ(cells[0].building, 4);
+  EXPECT_EQ(cells[0].seed, 99u);
+  EXPECT_EQ(cells[0].attack.kind, attack::AttackKind::kLabelFlip);
+}
+
+TEST(ScenarioGrid, EpsilonAxisOverridesAttackEpsilonAndLabelsFlow) {
+  engine::ScenarioGrid grid;
+  grid.attacks({{"fgsm-cell", attack_of(attack::AttackKind::kFgsm, 0.0)}})
+      .epsilons({0.25, 0.75});
+  const auto cells = grid.expand();
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_DOUBLE_EQ(cells[0].attack.epsilon, 0.25);
+  EXPECT_DOUBLE_EQ(cells[1].attack.epsilon, 0.75);
+  EXPECT_EQ(cells[0].resolved_attack_label(), "fgsm-cell");
+  // Last axis varies fastest: the epsilon pair is contiguous.
+  EXPECT_EQ(cells[0].attack.kind, attack::AttackKind::kFgsm);
+}
+
+TEST(ScenarioSpec, PopulationExpansion) {
+  engine::ScenarioSpec spec;
+  spec.attack = attack_of(attack::AttackKind::kFgsm, 0.5);
+  spec.total_clients = 12;
+  spec.poisoned_clients = 4;
+  spec.attack_mix = {attack_of(attack::AttackKind::kLabelFlip, 1.0),
+                     attack_of(attack::AttackKind::kFgsm, 0.5)};
+  const fl::FlScenario scenario = spec.fl_scenario();
+  ASSERT_EQ(scenario.clients.size(), 12u);
+  EXPECT_EQ(spec.malicious_clients(), (std::vector<int>{0, 1, 2, 3}));
+  // Poisoned clients cycle through the mix.
+  EXPECT_EQ(scenario.clients[0].attack.kind, attack::AttackKind::kLabelFlip);
+  EXPECT_EQ(scenario.clients[1].attack.kind, attack::AttackKind::kFgsm);
+  EXPECT_EQ(scenario.clients[2].attack.kind, attack::AttackKind::kLabelFlip);
+
+  // A benign spec with a scaled population poisons nobody.
+  engine::ScenarioSpec benign;
+  benign.total_clients = 8;
+  benign.attack_mix.clear();
+  EXPECT_TRUE(benign.malicious_clients().empty());
+
+  // attack_mix needs a scaled population — the paper population has a
+  // single attacker, so a mix there would be silently dropped.
+  engine::ScenarioSpec bad;
+  bad.attack_mix = {attack_of(attack::AttackKind::kFgsm, 0.5)};
+  EXPECT_THROW((void)bad.fl_scenario(), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Federated schedule axes
+// ---------------------------------------------------------------------------
+
+TEST(FlScenario, AttackWindow) {
+  fl::FlScenario scenario;
+  scenario.attack_start = 2;
+  scenario.attack_duration = 3;
+  EXPECT_FALSE(scenario.attack_active(0));
+  EXPECT_FALSE(scenario.attack_active(1));
+  EXPECT_TRUE(scenario.attack_active(2));
+  EXPECT_TRUE(scenario.attack_active(4));
+  EXPECT_FALSE(scenario.attack_active(5));
+
+  scenario.attack_duration = -1;
+  EXPECT_TRUE(scenario.attack_active(1000));
+}
+
+class EngineFixture : public ::testing::Test {
+ protected:
+  static eval::Experiment& experiment() {
+    static eval::Experiment instance(2);  // building 2: smallest (48 RPs)
+    return instance;
+  }
+
+  static fl::FederatedFramework& fedloc() {
+    static auto framework = [] {
+      auto fw = baselines::make_fedloc();
+      experiment().pretrain(*fw, /*epochs=*/3);
+      return fw;
+    }();
+    return *framework;
+  }
+};
+
+TEST_F(EngineFixture, ParticipationAndDropoutThinTheCohort) {
+  fl::FlScenario scenario;
+  scenario.rounds = 3;
+  scenario.clients = fl::paper_clients(attack::AttackConfig{});
+  scenario.local.epochs = 1;
+  scenario.participation = 0.5;
+  const auto result =
+      fl::run_federated(fedloc(), experiment().generator(), scenario);
+  ASSERT_EQ(result.rounds.size(), 3u);
+  for (const auto& diag : result.rounds) {
+    EXPECT_EQ(diag.clients_participating.size(), 3u);  // 6 clients * 0.5
+    // Sorted, distinct, in range.
+    for (std::size_t i = 1; i < diag.clients_participating.size(); ++i) {
+      EXPECT_LT(diag.clients_participating[i - 1],
+                diag.clients_participating[i]);
+    }
+  }
+  // Different rounds sample different cohorts (with overwhelming
+  // probability for this seed).
+  EXPECT_NE(result.rounds[0].clients_participating,
+            result.rounds[1].clients_participating);
+
+  scenario.participation = 1.0;
+  scenario.dropout = 1.0;  // everyone sampled, everyone drops
+  const auto dropped =
+      fl::run_federated(fedloc(), experiment().generator(), scenario);
+  for (const auto& diag : dropped.rounds) {
+    EXPECT_TRUE(diag.clients_participating.empty());
+  }
+}
+
+TEST_F(EngineFixture, FullCohortDefaultsMatchPaperProtocol) {
+  fl::FlScenario scenario;
+  scenario.rounds = 1;
+  scenario.clients = fl::paper_clients(attack::AttackConfig{});
+  scenario.local.epochs = 1;
+  const auto result =
+      fl::run_federated(fedloc(), experiment().generator(), scenario);
+  ASSERT_EQ(result.rounds.size(), 1u);
+  EXPECT_EQ(result.rounds[0].clients_participating,
+            (std::vector<int>{0, 1, 2, 3, 4, 5}));
+  EXPECT_TRUE(result.rounds[0].attack_active);
+}
+
+// ---------------------------------------------------------------------------
+// Exclusion diagnostics
+// ---------------------------------------------------------------------------
+
+TEST(ExclusionStats, PrecisionRecallBookkeeping) {
+  engine::ScenarioSpec spec;
+  spec.attack = attack_of(attack::AttackKind::kLabelFlip, 1.0);
+  spec.total_clients = 4;
+  spec.poisoned_clients = 2;  // malicious: {0, 1}
+  fl::FlRunResult fl;
+  fl::RoundDiagnostics round;
+  round.attack_active = true;
+  round.clients_participating = {0, 1, 2, 3};
+  round.clients_excluded = {0, 2};  // catches 0, misses 1, smears 2
+  fl.rounds.push_back(round);
+
+  const engine::ExclusionStats stats = engine::exclusion_stats(spec, fl);
+  EXPECT_EQ(stats.true_positives, 1u);
+  EXPECT_EQ(stats.false_positives, 1u);
+  EXPECT_EQ(stats.false_negatives, 1u);
+  EXPECT_DOUBLE_EQ(stats.precision(), 0.5);
+  EXPECT_DOUBLE_EQ(stats.recall(), 0.5);
+
+  // Outside the attack window every exclusion is a false positive and
+  // nothing counts as missed.
+  fl.rounds[0].attack_active = false;
+  const engine::ExclusionStats benign = engine::exclusion_stats(spec, fl);
+  EXPECT_EQ(benign.true_positives, 0u);
+  EXPECT_EQ(benign.false_positives, 2u);
+  EXPECT_EQ(benign.false_negatives, 0u);
+  EXPECT_DOUBLE_EQ(benign.recall(), 1.0);
+}
+
+TEST(ExclusionStats, EmptyIsPerfect) {
+  const engine::ExclusionStats stats;
+  EXPECT_DOUBLE_EQ(stats.precision(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.recall(), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Engine execution
+// ---------------------------------------------------------------------------
+
+TEST(ScenarioEngine, ParallelMatchesSerialBitwiseOnTwoByTwoGrid) {
+  engine::ScenarioGrid grid;
+  grid.base().building = 2;
+  grid.base().rounds = 2;
+  grid.base().server_epochs = 2;
+  grid.frameworks({"FEDLOC", "KRUM"})
+      .attacks({{"clean", attack_of(attack::AttackKind::kNone, 0.0)},
+                {"label-flip", attack_of(attack::AttackKind::kLabelFlip, 1.0)}});
+  ASSERT_EQ(grid.size(), 4u);
+
+  const engine::ScenarioEngine eng;
+  const engine::RunReport serial = eng.run(grid, /*n_threads=*/1);
+  const engine::RunReport parallel = eng.run(grid, /*n_threads=*/4);
+
+  ASSERT_EQ(serial.cells.size(), 4u);
+  ASSERT_EQ(parallel.cells.size(), 4u);
+  // Results arrive in grid order regardless of scheduling.
+  EXPECT_EQ(serial.cells[0].spec.framework, "FEDLOC");
+  EXPECT_EQ(serial.cells[2].spec.framework, "KRUM");
+  EXPECT_GT(serial.cells[0].stats.count, 0u);
+  EXPECT_EQ(serial.to_json(), parallel.to_json());
+
+  // KRUM keeps a single update per round, so its cells carry exclusion
+  // diagnostics end to end (aggregator -> run_federated -> report).
+  const engine::CellResult& krum_flip = serial.cells[3];
+  ASSERT_EQ(krum_flip.spec.attack_label, "label-flip");
+  bool excluded_any = false;
+  for (const auto& round : krum_flip.fl.rounds) {
+    excluded_any |= !round.clients_excluded.empty();
+  }
+  EXPECT_TRUE(excluded_any);
+  EXPECT_GT(krum_flip.exclusion.true_positives +
+                krum_flip.exclusion.false_positives +
+                krum_flip.exclusion.false_negatives,
+            0u);
+}
+
+TEST(ScenarioEngine, TauOverrideDoesNotLeakAcrossCellsInAGroup) {
+  // Both cells share one pretrain group; the first overrides τ, the second
+  // (NaN) must run at the *configured* τ, not the first cell's override.
+  engine::ScenarioSpec base;
+  base.framework = "SAFELOC";
+  base.building = 2;
+  base.rounds = 1;
+  base.server_epochs = 1;
+
+  engine::ScenarioSpec overridden = base;
+  overridden.tau = 5.0;  // effectively detector-off
+  engine::ScenarioSpec configured = base;  // tau = NaN
+
+  const engine::ScenarioEngine eng;
+  const engine::RunReport paired =
+      eng.run(std::vector<engine::ScenarioSpec>{overridden, configured}, 1);
+  const engine::RunReport solo =
+      eng.run(std::vector<engine::ScenarioSpec>{configured}, 1);
+
+  ASSERT_EQ(paired.cells.size(), 2u);
+  EXPECT_EQ(paired.cells[1].stats.mean_m, solo.cells[0].stats.mean_m);
+  EXPECT_EQ(paired.cells[1].fl.rounds[0].samples_flagged,
+            solo.cells[0].fl.rounds[0].samples_flagged);
+  // And the override cell genuinely behaved differently (τ=5 flags ~nothing
+  // on an undertrained detector, configured τ flags plenty).
+  EXPECT_NE(paired.cells[0].fl.rounds[0].samples_flagged,
+            paired.cells[1].fl.rounds[0].samples_flagged);
+}
+
+TEST(ScenarioEngine, UnknownFrameworkRejectedFromWorker) {
+  engine::ScenarioSpec spec;
+  spec.framework = "NOPE";
+  spec.rounds = 1;
+  spec.server_epochs = 1;
+  const engine::ScenarioEngine eng;
+  EXPECT_THROW((void)eng.run(std::vector<engine::ScenarioSpec>{spec}, 2),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Report serialization
+// ---------------------------------------------------------------------------
+
+TEST(RunReport, JsonSchemaGolden) {
+  engine::CellResult cell;
+  cell.spec.framework = "SAFELOC";
+  cell.spec.building = 1;
+  cell.spec.seed = 7;
+  cell.spec.rounds = 2;
+  cell.spec.server_epochs = 3;
+  cell.spec.attack = attack_of(attack::AttackKind::kFgsm, 0.5);
+  cell.spec.attack_label = "FGSM";
+  cell.stats = {.mean_m = 1.5, .best_m = 0.5, .worst_m = 3.25, .count = 4};
+  cell.exclusion = {.true_positives = 1,
+                    .false_positives = 1,
+                    .false_negatives = 1};
+  fl::RoundDiagnostics round;
+  round.round = 0;
+  round.samples_flagged = 2;
+  round.samples_dropped = 1;
+  round.attack_active = true;
+  round.clients_participating = {0, 1};
+  round.clients_excluded = {1};
+  cell.fl.rounds.push_back(round);
+
+  engine::RunReport report;
+  report.cells.push_back(cell);
+
+  const std::string expected =
+      "{\"schema\":\"safeloc.run_report/v1\",\"cells\":["
+      "{\"framework\":\"SAFELOC\",\"building\":1,\"seed\":7,\"rounds\":2,"
+      "\"server_epochs\":3,"
+      "\"attack\":{\"label\":\"FGSM\",\"kind\":\"FGSM\",\"epsilon\":0.5,"
+      "\"start\":0,\"duration\":-1},"
+      "\"population\":{\"total\":0,\"poisoned\":1,\"participation\":1,"
+      "\"dropout\":0},"
+      "\"errors\":{\"mean_m\":1.5,\"best_m\":0.5,\"worst_m\":3.25,"
+      "\"count\":4},"
+      "\"exclusion\":{\"tp\":1,\"fp\":1,\"fn\":1,\"precision\":0.5,"
+      "\"recall\":0.5},"
+      "\"rounds_diag\":[{\"round\":0,\"flagged\":2,\"dropped\":1,"
+      "\"attack_active\":true,\"participants\":[0,1],\"excluded\":[1]}]}"
+      "]}\n";
+  EXPECT_EQ(report.to_json(), expected);
+}
+
+TEST(RunReport, WritersProduceFiles) {
+  engine::RunReport report;
+  engine::CellResult cell;
+  cell.spec.rounds = 1;
+  cell.spec.server_epochs = 1;
+  report.cells.push_back(cell);
+  const std::string json_path = ::testing::TempDir() + "/report.json";
+  const std::string csv_path = ::testing::TempDir() + "/report.csv";
+  report.write_json(json_path);
+  report.write_csv(csv_path);
+  std::ifstream json_in(json_path);
+  ASSERT_TRUE(json_in.good());
+  std::string first_line;
+  std::getline(json_in, first_line);
+  EXPECT_NE(first_line.find(engine::RunReport::kSchema), std::string::npos);
+}
+
+}  // namespace
+}  // namespace safeloc
