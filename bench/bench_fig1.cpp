@@ -23,7 +23,8 @@ int main() {
   engine::ScenarioGrid grid;
   grid.frameworks({"FEDLOC", "FEDHIL"})
       .buildings(bench::bench_buildings())
-      .attacks(scenarios);
+      .attacks(scenarios)
+      .repeats();  // run_scale().repeats seeds per cell (3 at paper scale)
   const engine::RunReport report = bench::run_grid(grid, "fig1");
   const auto pooled = bench::pool_by_framework_and_attack(report);
 
@@ -46,6 +47,21 @@ int main() {
     }
   }
   std::printf("%s", table.render().c_str());
+
+  // Multi-seed runs: per-cell mean ± std across the repeats axis.
+  if (util::run_scale().repeats > 1) {
+    util::AsciiTable spread({"framework", "building", "scenario", "mean (m)",
+                             "std (m)", "seeds"});
+    for (const engine::RepeatSummary& summary : report.repeat_summaries()) {
+      spread.add_row({summary.spec.framework,
+                      std::to_string(summary.spec.building),
+                      summary.spec.resolved_attack_label(),
+                      util::AsciiTable::num(summary.mean_m),
+                      util::AsciiTable::num(summary.std_m),
+                      std::to_string(summary.repeats)});
+    }
+    std::printf("seed spread (repeats axis):\n%s", spread.render().c_str());
+  }
   std::printf("series written to fig1.csv + BENCH_fig1.json; paper: "
               "label-flip ~3.5x (FEDLOC) / ~3.9x (FEDHIL), backdoor ~6.5x "
               "(FEDLOC) / ~3.25x (FEDHIL)\n");

@@ -1,0 +1,194 @@
+// Serving-layer load bench: throughput and latency of the QueryEngine
+// across micro-batch caps and worker counts, against device-realistic
+// Poisson traffic.
+//
+// Pipeline: train a SAFELOC global model through the ScenarioEngine
+// (benign cell, capture_final_gm), publish it to a ModelStore, then for
+// every (workers x batch) grid cell deploy into a fresh QueryEngine and
+// replay a pre-materialized TrafficGenerator stream closed-loop (producers
+// submit as fast as the bounded queue admits). Reports queries/sec and
+// p50/p99/mean submit-to-completion latency per cell, written to
+// BENCH_serve.json ("safeloc.serve_bench/v1").
+//
+// Knobs:
+//   SAFELOC_SERVE_SMOKE=1 (or --smoke)  tiny 1-cell grid, ~1 s total (CI)
+//   SAFELOC_SERVE_QUERIES=<n>           queries per grid cell
+//   SAFELOC_EPOCHS / SAFELOC_FAST       training budget (quality is
+//                                       irrelevant to serving throughput,
+//                                       so the default stays small)
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/engine/engine.h"
+#include "src/serve/model_store.h"
+#include "src/serve/query_engine.h"
+#include "src/serve/traffic.h"
+#include "src/util/config.h"
+#include "src/util/stats.h"
+#include "src/util/table.h"
+
+namespace {
+
+using namespace safeloc;
+
+std::string num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+struct CellMeasurement {
+  int workers = 0;
+  std::size_t batch = 0;
+  std::size_t queries = 0;
+  double wall_s = 0.0;
+  double qps = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double mean_us = 0.0;
+  double mean_batch_fill = 0.0;
+};
+
+CellMeasurement run_cell(const serve::ModelRecord& record,
+                         const std::vector<serve::TimedQuery>& stream,
+                         int workers, std::size_t batch) {
+  serve::QueryEngineConfig config;
+  config.workers = workers;
+  config.max_batch = batch;
+  config.batch_window = std::chrono::microseconds(100);
+  // Closed-loop with bounded outstanding work: enough backlog to keep every
+  // worker's batches full, shallow enough that the latency columns measure
+  // batching + service time instead of raw backlog depth.
+  config.queue_capacity =
+      std::max<std::size_t>(static_cast<std::size_t>(workers) * batch * 2, 256);
+  serve::QueryEngine engine(config);
+  engine.deploy(record);
+
+  std::vector<double> latencies_us(stream.size(), 0.0);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    // Closed loop: the bounded queue applies backpressure, so submission
+    // runs at whatever rate the workers sustain.
+    engine.submit(stream[i].building, stream[i].x,
+                  [&latencies_us, i](serve::QueryResult result) {
+                    latencies_us[i] = result.latency_us;
+                  });
+  }
+  engine.drain();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  CellMeasurement cell;
+  cell.workers = workers;
+  cell.batch = batch;
+  cell.queries = stream.size();
+  cell.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  cell.qps = static_cast<double>(stream.size()) / cell.wall_s;
+  cell.p50_us = util::percentile(latencies_us, 50.0);
+  cell.p99_us = util::percentile(latencies_us, 99.0);
+  cell.mean_us = util::mean_of(latencies_us);
+  cell.mean_batch_fill = engine.stats().mean_batch_fill();
+  return cell;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = util::env_int("SAFELOC_SERVE_SMOKE", 0) != 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  const std::vector<int> worker_axis = smoke ? std::vector<int>{2}
+                                             : std::vector<int>{1, 2, 4, 8};
+  const std::vector<std::size_t> batch_axis =
+      smoke ? std::vector<std::size_t>{64}
+            : std::vector<std::size_t>{1, 16, 64, 256};
+  const std::size_t queries_per_cell = static_cast<std::size_t>(
+      util::env_int("SAFELOC_SERVE_QUERIES", smoke ? 20'000 : 200'000));
+
+  // Train and publish the served model. Serving throughput does not depend
+  // on model quality, so the training budget stays deliberately small.
+  engine::ScenarioSpec spec;
+  spec.framework = "SAFELOC";
+  spec.building = 1;
+  spec.rounds = 0;
+  spec.server_epochs = util::env_int("SAFELOC_EPOCHS", smoke ? 2 : 8);
+  std::printf("bench_serve — training %s on building %d (%d epochs)...\n",
+              spec.framework.c_str(), spec.building, spec.server_epochs);
+  const engine::ScenarioEngine trainer;
+  const engine::RunReport trained =
+      trainer.run(std::vector<engine::ScenarioSpec>{spec}, 1,
+                  /*capture_final_gm=*/true);
+  serve::ModelStore store;
+  store.publish(trained.cells.front());
+  const serve::ModelRecord& record =
+      store.latest(serve::default_model_name(spec));
+
+  serve::TrafficConfig traffic_config;
+  traffic_config.buildings = {spec.building};
+  traffic_config.mean_qps = 200'000.0;
+  serve::TrafficGenerator traffic(traffic_config);
+  const std::vector<serve::TimedQuery> stream =
+      traffic.generate(queries_per_cell);
+  std::printf("replaying %zu device-realistic queries per cell (%zu-cell "
+              "grid)%s\n",
+              stream.size(), worker_axis.size() * batch_axis.size(),
+              smoke ? " [smoke]" : "");
+
+  util::AsciiTable table({"workers", "batch", "queries/s", "p50 (us)",
+                          "p99 (us)", "mean (us)", "batch fill"});
+  std::vector<CellMeasurement> cells;
+  for (const int workers : worker_axis) {
+    for (const std::size_t batch : batch_axis) {
+      const CellMeasurement cell = run_cell(record, stream, workers, batch);
+      cells.push_back(cell);
+      table.add_row({std::to_string(cell.workers), std::to_string(cell.batch),
+                     util::AsciiTable::num(cell.qps, 0),
+                     util::AsciiTable::num(cell.p50_us, 1),
+                     util::AsciiTable::num(cell.p99_us, 1),
+                     util::AsciiTable::num(cell.mean_us, 1),
+                     util::AsciiTable::num(cell.mean_batch_fill, 1)});
+    }
+  }
+  std::printf("%s", table.render().c_str());
+
+  std::string json = "{\"schema\":\"safeloc.serve_bench/v1\",";
+  json += "\"model\":{\"name\":\"" + record.name + "\",";
+  json += "\"framework\":\"" + record.provenance.framework + "\",";
+  json += "\"building\":" + std::to_string(record.provenance.building) + ",";
+  json += "\"version\":" + std::to_string(record.version) + ",";
+  json += "\"num_classes\":" +
+          std::to_string(record.provenance.num_classes) + "},";
+  json += "\"queries_per_cell\":" + std::to_string(queries_per_cell) + ",";
+  json += "\"cells\":[";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const CellMeasurement& cell = cells[i];
+    if (i > 0) json += ',';
+    json += "{\"workers\":" + std::to_string(cell.workers) + ",";
+    json += "\"batch\":" + std::to_string(cell.batch) + ",";
+    json += "\"queries\":" + std::to_string(cell.queries) + ",";
+    json += "\"wall_s\":" + num(cell.wall_s) + ",";
+    json += "\"qps\":" + num(cell.qps) + ",";
+    json += "\"latency_us\":{\"p50\":" + num(cell.p50_us) +
+            ",\"p99\":" + num(cell.p99_us) +
+            ",\"mean\":" + num(cell.mean_us) + "},";
+    json += "\"mean_batch_fill\":" + num(cell.mean_batch_fill) + "}";
+  }
+  json += "]}\n";
+  std::ofstream out("BENCH_serve.json", std::ios::binary);
+  out.write(json.data(), static_cast<std::streamsize>(json.size()));
+  std::printf("report written to BENCH_serve.json\n");
+
+  // Headline: best sustained throughput at batch >= 64.
+  double best_qps = 0.0;
+  for (const CellMeasurement& cell : cells) {
+    if (cell.batch >= 64 && cell.qps > best_qps) best_qps = cell.qps;
+  }
+  std::printf("peak batched throughput: %.0f queries/sec\n", best_qps);
+  return 0;
+}

@@ -64,17 +64,17 @@ std::unique_ptr<DnnFramework> make_krum(std::size_t byzantine_f) {
       std::make_unique<fl::KrumAggregator>(byzantine_f));
 }
 
-FedLsFramework::FedLsFramework()
-    : DnnFramework("FEDLS", DnnArch{{384, 224}},
+FedLsFramework::FedLsFramework(std::string name, double z_threshold)
+    : DnnFramework(std::move(name), DnnArch{{384, 224}},
                    std::make_unique<fl::FedLsAggregator>(fl::FedLsOptions{
                        .seed = 0x1edf5ULL,
-                       .z_threshold = 1.5,
+                       .z_threshold = z_threshold,
                        .projection_dim = 512,
                        .hidden = 112,
                        .latent = 56,
                    })),
       detector_options_{.seed = 0x1edf5ULL,
-                        .z_threshold = 1.5,
+                        .z_threshold = z_threshold,
                         .projection_dim = 512,
                         .hidden = 112,
                         .latent = 56} {}

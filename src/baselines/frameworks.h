@@ -51,13 +51,23 @@ namespace safeloc::baselines {
 /// radar — the backdoor weakness the SAFELOC paper reports for FEDLS.
 class FedLsFramework final : public DnnFramework {
  public:
-  FedLsFramework();
+  /// `z_threshold` — latent-space exclusion threshold (clients whose probe
+  /// embedding reconstructs worse than mean + z·stddev are dropped). The
+  /// paper baseline runs at 1.5; the registry's FEDLS_STRICT variant
+  /// tightens it (more exclusions, lower precision under heterogeneity).
+  explicit FedLsFramework(std::string name = "FEDLS",
+                          double z_threshold = 1.5);
 
   void pretrain(const nn::Matrix& x, std::span<const int> labels,
                 std::size_t num_classes, int epochs,
                 std::uint64_t seed) override;
 
   [[nodiscard]] std::size_t parameter_count() override;
+
+  /// The configured latent-space exclusion threshold.
+  [[nodiscard]] double z_threshold() const noexcept {
+    return detector_options_.z_threshold;
+  }
 
  private:
   [[nodiscard]] std::vector<float> probe_features(

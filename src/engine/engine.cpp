@@ -47,15 +47,16 @@ std::vector<PretrainGroup> group_cells(const std::vector<ScenarioSpec>& grid) {
 
 int default_thread_count() {
   const int hw = static_cast<int>(std::thread::hardware_concurrency());
-  return util::env_int("SAFELOC_THREADS", hw > 0 ? hw : 1);
+  return util::env_int_strict("SAFELOC_THREADS", hw > 0 ? hw : 1);
 }
 
-RunReport ScenarioEngine::run(const ScenarioGrid& grid, int n_threads) const {
-  return run(grid.expand(), n_threads);
+RunReport ScenarioEngine::run(const ScenarioGrid& grid, int n_threads,
+                              bool capture_final_gm) const {
+  return run(grid.expand(), n_threads, capture_final_gm);
 }
 
 RunReport ScenarioEngine::run(const std::vector<ScenarioSpec>& grid,
-                              int n_threads) const {
+                              int n_threads, bool capture_final_gm) const {
   RunReport report;
   report.cells.resize(grid.size());
   if (grid.empty()) return report;
@@ -99,14 +100,15 @@ RunReport ScenarioEngine::run(const std::vector<ScenarioSpec>& grid,
                 "ScenarioSpec::tau set for non-SAFELOC framework " +
                 spec.framework);
           }
-          const eval::AttackOutcome outcome =
-              experiment.run_scenario(*framework, spec.fl_scenario());
+          eval::AttackOutcome outcome = experiment.run_scenario(
+              *framework, spec.fl_scenario(), capture_final_gm);
           CellResult& cell = report.cells[cell_index];
           cell.spec = spec;
           cell.stats = outcome.stats;
-          cell.errors_m = outcome.errors_m;
-          cell.fl = outcome.fl_diagnostics;
+          cell.errors_m = std::move(outcome.errors_m);
+          cell.fl = std::move(outcome.fl_diagnostics);
           cell.exclusion = exclusion_stats(spec, cell.fl);
+          cell.final_gm = std::move(outcome.final_gm);
           util::log_debug("engine: cell ", cell_index + 1, "/", grid.size(),
                           " done (", spec.framework, ", ",
                           spec.resolved_attack_label(), ")");

@@ -34,18 +34,24 @@ class ScenarioEngine {
 
   /// Executes every cell and returns results in grid order. n_threads < 1
   /// is clamped to 1; threads beyond the number of pretrain groups idle.
-  /// Worker exceptions are rethrown on the calling thread.
+  /// Worker exceptions are rethrown on the calling thread. With
+  /// capture_final_gm, every cell's post-rounds global model is snapshotted
+  /// into CellResult::final_gm — the publish hook the serving layer's
+  /// ModelStore consumes (costs one extra GM copy per cell; leave off for
+  /// large measurement grids).
   [[nodiscard]] RunReport run(const std::vector<ScenarioSpec>& grid,
-                              int n_threads = 1) const;
-  [[nodiscard]] RunReport run(const ScenarioGrid& grid,
-                              int n_threads = 1) const;
+                              int n_threads = 1,
+                              bool capture_final_gm = false) const;
+  [[nodiscard]] RunReport run(const ScenarioGrid& grid, int n_threads = 1,
+                              bool capture_final_gm = false) const;
 
  private:
   const FrameworkRegistry* registry_;
 };
 
 /// Thread count for benches: SAFELOC_THREADS env var, default
-/// hardware_concurrency (at least 1).
+/// hardware_concurrency (at least 1). A set-but-non-numeric SAFELOC_THREADS
+/// throws std::invalid_argument instead of silently falling back.
 [[nodiscard]] int default_thread_count();
 
 }  // namespace safeloc::engine

@@ -49,6 +49,7 @@ std::string FrameworkOptions::key() const {
   append_num(key, static_cast<double>(krum_byzantine_f));
   append_num(key, fedcc_z_threshold);
   append_num(key, static_cast<double>(fedcc_head_tensors));
+  append_num(key, fedls_z_threshold);
   return key;
 }
 
@@ -70,11 +71,15 @@ FrameworkRegistry& FrameworkRegistry::global() {
     r.register_framework("FEDLOC", [](const FrameworkOptions&) {
       return baselines::make_fedloc();
     });
-    r.register_framework("FEDLS", [](const FrameworkOptions&) {
-      return std::make_unique<baselines::FedLsFramework>();
+    r.register_framework("FEDLS", [](const FrameworkOptions& o) {
+      return std::make_unique<baselines::FedLsFramework>("FEDLS",
+                                                         o.fedls_z_threshold);
     });
     r.register_framework("KRUM", [](const FrameworkOptions& o) {
       return baselines::make_krum(o.krum_byzantine_f);
+    });
+    r.register_framework("FEDLS_STRICT", [](const FrameworkOptions&) {
+      return std::make_unique<baselines::FedLsFramework>("FEDLS_STRICT", 1.0);
     });
     return r;
   }();

@@ -31,6 +31,9 @@ struct FrameworkOptions {
   /// the update-similarity clustering.
   double fedcc_z_threshold = 1.0;
   std::size_t fedcc_head_tensors = 2;
+  /// FEDLS: latent-space exclusion threshold (the FEDLS_STRICT registry
+  /// entry ignores this and pins its own tighter value).
+  double fedls_z_threshold = 1.5;
 
   /// Stable fingerprint of every knob. Two options with equal keys build
   /// behaviourally identical frameworks — the ScenarioEngine uses this to
@@ -45,7 +48,8 @@ class FrameworkRegistry {
 
   /// The process-wide registry, pre-populated with the built-in ids in the
   /// paper's Table I parameter-budget order — "SAFELOC", "FEDCC", "FEDHIL",
-  /// "ONLAD", "FEDLOC", "FEDLS" — plus "KRUM" (registry-only strategy).
+  /// "ONLAD", "FEDLOC", "FEDLS" — plus the registry-only strategies "KRUM"
+  /// and "FEDLS_STRICT" (FedLS at a tighter latent-space threshold).
   [[nodiscard]] static FrameworkRegistry& global();
 
   /// Registers (or replaces) a factory under `id`. New ids append to ids().

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "src/util/csv.h"
+#include "src/util/stats.h"
 
 namespace safeloc::engine {
 namespace {
@@ -58,6 +59,9 @@ void append_cell(std::string& out, const CellResult& cell) {
   out += "\"framework\":" + json_str(spec.framework) + ',';
   out += "\"building\":" + std::to_string(spec.building) + ',';
   out += "\"seed\":" + std::to_string(spec.seed) + ',';
+  // Emitted only for repeats-axis replicas, like tau: repeat-free reports
+  // keep the exact v1 byte layout.
+  if (spec.repeat > 0) out += "\"repeat\":" + std::to_string(spec.repeat) + ',';
   out += "\"rounds\":" + std::to_string(spec.resolved_rounds()) + ',';
   out += "\"server_epochs\":" + std::to_string(spec.resolved_server_epochs()) +
          ',';
@@ -144,15 +148,16 @@ void RunReport::write_json(const std::string& path) const {
 
 void RunReport::write_csv(const std::string& path) const {
   util::CsvWriter csv(path);
-  csv.write_row({"framework", "building", "seed", "attack", "epsilon",
-                 "attack_start", "attack_duration", "rounds", "server_epochs",
-                 "total_clients", "poisoned_clients", "participation",
-                 "dropout", "tau", "mean_m", "best_m", "worst_m", "count",
-                 "excl_precision", "excl_recall"});
+  csv.write_row({"framework", "building", "seed", "repeat", "attack",
+                 "epsilon", "attack_start", "attack_duration", "rounds",
+                 "server_epochs", "total_clients", "poisoned_clients",
+                 "participation", "dropout", "tau", "mean_m", "best_m",
+                 "worst_m", "count", "excl_precision", "excl_recall"});
   for (const CellResult& cell : cells) {
     const ScenarioSpec& spec = cell.spec;
     csv.write_row({spec.framework, std::to_string(spec.building),
-                   std::to_string(spec.seed), spec.resolved_attack_label(),
+                   std::to_string(spec.seed), std::to_string(spec.repeat),
+                   spec.resolved_attack_label(),
                    util::CsvWriter::cell(spec.attack.epsilon),
                    std::to_string(spec.attack_start),
                    std::to_string(spec.attack_duration),
@@ -171,6 +176,60 @@ void RunReport::write_csv(const std::string& path) const {
                    util::CsvWriter::cell(cell.exclusion.precision()),
                    util::CsvWriter::cell(cell.exclusion.recall())});
   }
+}
+
+std::vector<RepeatSummary> RunReport::repeat_summaries() const {
+  // Group key: every cell axis except (seed, repeat). attack_mix must be
+  // spelled out entry by entry — resolved_attack_label() elides everything
+  // after the first mix element.
+  auto group_key = [](const ScenarioSpec& spec) {
+    std::string mix;
+    for (const attack::AttackConfig& entry : spec.attack_mix) {
+      mix += attack::to_string(entry.kind) + '@' + json_num(entry.epsilon) +
+             ';';
+    }
+    std::string key = spec.framework + '|' + spec.options.key() + '|' +
+                      std::to_string(spec.building) + '|' +
+                      spec.resolved_attack_label() + '|' + mix + '|' +
+                      json_num(spec.attack.epsilon) + '|' +
+                      std::to_string(spec.attack_start) + '|' +
+                      std::to_string(spec.attack_duration) + '|' +
+                      std::to_string(spec.resolved_rounds()) + '|' +
+                      std::to_string(spec.resolved_server_epochs()) + '|' +
+                      std::to_string(spec.total_clients) + '|' +
+                      std::to_string(spec.poisoned_clients) + '|' +
+                      json_num(spec.participation) + '|' +
+                      json_num(spec.dropout) + '|' + json_num(spec.tau);
+    return key;
+  };
+
+  std::vector<RepeatSummary> summaries;
+  std::vector<std::string> keys;
+  std::vector<util::RunningStats> stats;
+  for (const CellResult& cell : cells) {
+    const std::string key = group_key(cell.spec);
+    std::size_t g = 0;
+    while (g < keys.size() && keys[g] != key) ++g;
+    if (g == keys.size()) {
+      keys.push_back(key);
+      RepeatSummary summary;
+      summary.spec = cell.spec;
+      summary.best_m = cell.stats.best_m;
+      summary.worst_m = cell.stats.worst_m;
+      summaries.push_back(std::move(summary));
+      stats.emplace_back();
+    }
+    RepeatSummary& summary = summaries[g];
+    summary.best_m = std::min(summary.best_m, cell.stats.best_m);
+    summary.worst_m = std::max(summary.worst_m, cell.stats.worst_m);
+    ++summary.repeats;
+    stats[g].add(cell.stats.mean_m);
+  }
+  for (std::size_t g = 0; g < summaries.size(); ++g) {
+    summaries[g].mean_m = stats[g].mean();
+    summaries[g].std_m = stats[g].stddev();
+  }
+  return summaries;
 }
 
 ExclusionStats exclusion_stats(const ScenarioSpec& spec,

@@ -13,6 +13,7 @@
 #include "src/engine/scenario.h"
 #include "src/eval/metrics.h"
 #include "src/fl/federated.h"
+#include "src/nn/state_dict.h"
 
 namespace safeloc::engine {
 
@@ -41,6 +42,25 @@ struct CellResult {
   /// Per-round defense trajectory.
   fl::FlRunResult fl;
   ExclusionStats exclusion;
+  /// The post-rounds global model, captured only when the engine ran with
+  /// capture_final_gm (in-memory only, not serialized) — the handoff point
+  /// to serve::ModelStore::publish.
+  nn::StateDict final_gm;
+};
+
+/// Mean/std aggregation of a multi-seed axis: one summary per group of
+/// cells identical up to (seed, repeat), in first-appearance order.
+struct RepeatSummary {
+  /// The group's first cell in grid order — for a repeats axis that is the
+  /// repeat-0 replica, whose seed is the grid seed.
+  ScenarioSpec spec;
+  std::size_t repeats = 0;
+  /// Mean and sample-stddev of the replicas' mean errors.
+  double mean_m = 0.0;
+  double std_m = 0.0;
+  /// Envelope over the replicas.
+  double best_m = 0.0;
+  double worst_m = 0.0;
 };
 
 struct RunReport {
@@ -53,6 +73,12 @@ struct RunReport {
   void write_json(const std::string& path) const;
   /// One row per cell (spec axes + error stats + exclusion quality).
   void write_csv(const std::string& path) const;
+
+  /// Folds multi-seed replication: cells that agree on every axis except
+  /// (seed, repeat) aggregate into one RepeatSummary — this covers both a
+  /// repeats axis and an explicit seeds axis. Reports varying neither
+  /// yield one single-replica summary per cell.
+  [[nodiscard]] std::vector<RepeatSummary> repeat_summaries() const;
 };
 
 /// Computes exclusion precision/recall bookkeeping for one executed cell.

@@ -5,6 +5,7 @@
 
 #include "src/eval/experiment.h"
 #include "src/util/config.h"
+#include "src/util/rng.h"
 
 namespace safeloc::engine {
 
@@ -117,12 +118,25 @@ ScenarioGrid& ScenarioGrid::epsilons(std::vector<double> epsilons) {
   return *this;
 }
 
+ScenarioGrid& ScenarioGrid::repeats(int n) {
+  repeats_ = n > 0 ? n : util::run_scale().repeats;
+  if (repeats_ < 1) repeats_ = 1;
+  return *this;
+}
+
+std::uint64_t repeat_seed(std::uint64_t seed, int repeat) {
+  if (repeat <= 0) return seed;
+  std::uint64_t state = seed ^ (0xa5a5a5a5a5a5a5a5ULL +
+                                static_cast<std::uint64_t>(repeat));
+  return util::splitmix64(state);
+}
+
 std::size_t ScenarioGrid::size() const {
   auto axis = [](std::size_t n) { return n == 0 ? std::size_t{1} : n; };
   return axis(frameworks_.size()) * axis(buildings_.size()) *
          axis(seeds_.size()) * axis(taus_.size()) *
          axis(populations_.size()) * axis(attacks_.size()) *
-         axis(epsilons_.size());
+         axis(epsilons_.size()) * static_cast<std::size_t>(repeats_);
 }
 
 std::vector<ScenarioSpec> ScenarioGrid::expand() const {
@@ -152,7 +166,12 @@ std::vector<ScenarioSpec> ScenarioGrid::expand() const {
                   spec.attack_label = attacks_[a].first;
                 }
                 if (!epsilons_.empty()) spec.attack.epsilon = epsilons_[e];
-                cells.push_back(std::move(spec));
+                for (int r = 0; r < repeats_; ++r) {
+                  ScenarioSpec repeated = spec;
+                  repeated.repeat = r;
+                  repeated.seed = repeat_seed(spec.seed, r);
+                  cells.push_back(std::move(repeated));
+                }
               }
             }
           }

@@ -44,6 +44,11 @@ struct ScenarioSpec {
   int server_epochs = -1;
   /// Seed for dataset synthesis, pretraining, and the federated schedule.
   std::uint64_t seed = 0x5afe10cULL;
+  /// Repeat index when the cell came from a ScenarioGrid::repeats axis:
+  /// repeat 0 runs at the grid seed, repeat r > 0 at a seed derived from it
+  /// (see repeat_seed). Purely bookkeeping for RunReport aggregation — the
+  /// engine only ever looks at `seed`.
+  int repeat = 0;
 
   /// 0 = the paper's six-device population (HTC U11 attacker); otherwise a
   /// scaled population of this many clients, the first `poisoned_clients`
@@ -79,7 +84,7 @@ struct ScenarioSpec {
 
 /// Cross-product builder. Every axis left unset contributes the base spec's
 /// value; expand() order is deterministic: frameworks ▸ buildings ▸ seeds ▸
-/// taus ▸ populations ▸ attacks ▸ epsilons, last axis fastest.
+/// taus ▸ populations ▸ attacks ▸ epsilons ▸ repeats, last axis fastest.
 class ScenarioGrid {
  public:
   ScenarioGrid() = default;
@@ -99,6 +104,12 @@ class ScenarioGrid {
       std::vector<std::pair<std::string, attack::AttackConfig>> attacks);
   /// ε sweep crossed with the attack axis (overrides each attack's epsilon).
   ScenarioGrid& epsilons(std::vector<double> epsilons);
+  /// Multi-seed repeats: every cell is replicated n times, repeat r running
+  /// at repeat_seed(cell seed, r) (r = 0 keeps the cell seed). n <= 0
+  /// resolves to util::run_scale().repeats (1 in the fast profile, 3 at
+  /// paper scale). The repeats axis is the innermost (fastest) axis;
+  /// RunReport::repeat_summaries() folds the replicas back into mean/std.
+  ScenarioGrid& repeats(int n = -1);
 
   [[nodiscard]] const ScenarioSpec& base() const noexcept { return base_; }
   [[nodiscard]] ScenarioSpec& base() noexcept { return base_; }
@@ -117,6 +128,12 @@ class ScenarioGrid {
   std::vector<std::pair<std::size_t, std::size_t>> populations_;
   std::vector<std::pair<std::string, attack::AttackConfig>> attacks_;
   std::vector<double> epsilons_;
+  int repeats_ = 1;
 };
+
+/// The seed repeat r of a repeats axis runs at: the base seed itself for
+/// r = 0, otherwise a SplitMix64-derived independent stream. Deterministic,
+/// so repeat cells land in stable pretrain groups.
+[[nodiscard]] std::uint64_t repeat_seed(std::uint64_t seed, int repeat);
 
 }  // namespace safeloc::engine

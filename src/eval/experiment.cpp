@@ -37,12 +37,14 @@ std::vector<double> Experiment::evaluate(
 }
 
 AttackOutcome Experiment::run_scenario(fl::FederatedFramework& framework,
-                                       const fl::FlScenario& scenario) const {
+                                       const fl::FlScenario& scenario,
+                                       bool capture_final_gm) const {
   const nn::StateDict pristine = framework.snapshot();
   AttackOutcome outcome;
   outcome.fl_diagnostics = fl::run_federated(framework, generator_, scenario);
   outcome.errors_m = evaluate(framework);
   outcome.stats = error_stats(outcome.errors_m);
+  if (capture_final_gm) outcome.final_gm = framework.snapshot();
   framework.restore(pristine);
   return outcome;
 }

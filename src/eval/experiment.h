@@ -26,6 +26,11 @@ struct AttackOutcome {
   std::vector<double> errors_m;
   ErrorStats stats;
   fl::FlRunResult fl_diagnostics;
+  /// The global model as it stood after the scenario's final federated
+  /// round, *before* the snapshot/restore put the pretrained GM back. Only
+  /// captured on request (run_scenario's capture_final_gm) — it is the
+  /// artifact the serving layer publishes (serve::ModelStore).
+  nn::StateDict final_gm;
 };
 
 class Experiment {
@@ -53,9 +58,12 @@ class Experiment {
 
   /// Runs one federated attack scenario from the framework's current GM,
   /// evaluates on all test devices, then restores the GM so further
-  /// scenarios start from the same pretrained state.
+  /// scenarios start from the same pretrained state. With capture_final_gm,
+  /// the post-rounds GM is snapshotted into AttackOutcome::final_gm before
+  /// the restore (one extra snapshot copy per cell).
   [[nodiscard]] AttackOutcome run_scenario(fl::FederatedFramework& framework,
-                                           const fl::FlScenario& scenario) const;
+                                           const fl::FlScenario& scenario,
+                                           bool capture_final_gm = false) const;
 
   /// Convenience: paper-default six clients with the HTC U11 mounting
   /// `attack` (kNone = benign run), `rounds` federated rounds, client

@@ -45,12 +45,22 @@ std::string Matrix::shape_string() const {
 }
 
 Matrix matmul(const Matrix& a, const Matrix& b) {
+  Matrix c;
+  matmul_into(a, b, c);
+  return c;
+}
+
+void matmul_into(const Matrix& a, const Matrix& b, Matrix& out) {
   require(a.cols() == b.rows(), "matmul: inner dims mismatch");
   const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
-  Matrix c(m, n);
+  if (out.rows() != m || out.cols() != n) {
+    out.reshape_discard(m, n);
+  } else {
+    out.zero();
+  }
   for (std::size_t i = 0; i < m; ++i) {
     const float* arow = a.data() + i * k;
-    float* crow = c.data() + i * n;
+    float* crow = out.data() + i * n;
     for (std::size_t p = 0; p < k; ++p) {
       const float av = arow[p];
       if (av == 0.0f) continue;
@@ -58,7 +68,6 @@ Matrix matmul(const Matrix& a, const Matrix& b) {
       for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
     }
   }
-  return c;
 }
 
 Matrix matmul_at_b(const Matrix& a, const Matrix& b) {

@@ -76,6 +76,12 @@ class Matrix {
 /// C = A * B.  A: (m,k)  B: (k,n)  C: (m,n)
 [[nodiscard]] Matrix matmul(const Matrix& a, const Matrix& b);
 
+/// C = A * B into a caller-owned output, resizing it as needed. Reuses the
+/// output's storage when the shape already matches, so a serving hot loop
+/// can run batched forward passes without per-tick allocation. Bit-identical
+/// to matmul() (same kernel). `out` must not alias `a` or `b`.
+void matmul_into(const Matrix& a, const Matrix& b, Matrix& out);
+
 /// C = A^T * B.  A: (k,m)  B: (k,n)  C: (m,n)   (no explicit transpose)
 [[nodiscard]] Matrix matmul_at_b(const Matrix& a, const Matrix& b);
 

@@ -2,28 +2,22 @@
 
 #include <cmath>
 #include <cstdint>
+#include <fstream>
 #include <istream>
 #include <ostream>
 #include <stdexcept>
+
+#include "src/util/binary_io.h"
 
 namespace safeloc::nn {
 namespace {
 
 constexpr std::uint32_t kMagic = 0x53464c43;  // "SFLC"
 constexpr std::uint32_t kVersion = 1;
+constexpr const char* kContext = "StateDict::load";
 
-template <typename T>
-void write_pod(std::ostream& out, const T& value) {
-  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
-}
-
-template <typename T>
-T read_pod(std::istream& in) {
-  T value{};
-  in.read(reinterpret_cast<char*>(&value), sizeof(T));
-  if (!in) throw std::runtime_error("StateDict::load: truncated stream");
-  return value;
-}
+using util::read_pod;
+using util::write_pod;
 
 }  // namespace
 
@@ -131,8 +125,7 @@ void StateDict::save(std::ostream& out) const {
   write_pod(out, kVersion);
   write_pod(out, static_cast<std::uint64_t>(items_.size()));
   for (const auto& item : items_) {
-    write_pod(out, static_cast<std::uint32_t>(item.name.size()));
-    out.write(item.name.data(), static_cast<std::streamsize>(item.name.size()));
+    util::write_string(out, item.name);
     write_pod(out, static_cast<std::uint64_t>(item.value.rows()));
     write_pod(out, static_cast<std::uint64_t>(item.value.cols()));
     out.write(reinterpret_cast<const char*>(item.value.data()),
@@ -142,20 +135,18 @@ void StateDict::save(std::ostream& out) const {
 }
 
 StateDict StateDict::load(std::istream& in) {
-  if (read_pod<std::uint32_t>(in) != kMagic) {
+  if (read_pod<std::uint32_t>(in, kContext) != kMagic) {
     throw std::runtime_error("StateDict::load: bad magic");
   }
-  if (read_pod<std::uint32_t>(in) != kVersion) {
+  if (read_pod<std::uint32_t>(in, kContext) != kVersion) {
     throw std::runtime_error("StateDict::load: unsupported version");
   }
-  const auto count = read_pod<std::uint64_t>(in);
+  const auto count = read_pod<std::uint64_t>(in, kContext);
   StateDict dict;
   for (std::uint64_t i = 0; i < count; ++i) {
-    const auto name_len = read_pod<std::uint32_t>(in);
-    std::string name(name_len, '\0');
-    in.read(name.data(), name_len);
-    const auto rows = read_pod<std::uint64_t>(in);
-    const auto cols = read_pod<std::uint64_t>(in);
+    std::string name = util::read_string(in, kContext);
+    const auto rows = read_pod<std::uint64_t>(in, kContext);
+    const auto cols = read_pod<std::uint64_t>(in, kContext);
     Matrix value(static_cast<std::size_t>(rows), static_cast<std::size_t>(cols));
     in.read(reinterpret_cast<char*>(value.data()),
             static_cast<std::streamsize>(value.size() * sizeof(float)));
@@ -163,6 +154,18 @@ StateDict StateDict::load(std::istream& in) {
     dict.add(std::move(name), std::move(value));
   }
   return dict;
+}
+
+void StateDict::save_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("StateDict::save_file: cannot open " + path);
+  save(out);
+}
+
+StateDict StateDict::load_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("StateDict::load_file: cannot open " + path);
+  return load(in);
 }
 
 double cosine_similarity(std::span<const float> a, std::span<const float> b) {

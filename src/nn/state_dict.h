@@ -63,6 +63,11 @@ class StateDict {
   void save(std::ostream& out) const;
   static StateDict load(std::istream& in);
 
+  /// File convenience wrappers around save()/load(). Throw
+  /// std::runtime_error on I/O failure, naming the path.
+  void save_file(const std::string& path) const;
+  static StateDict load_file(const std::string& path);
+
   [[nodiscard]] auto begin() const noexcept { return items_.begin(); }
   [[nodiscard]] auto end() const noexcept { return items_.end(); }
 

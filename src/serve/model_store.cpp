@@ -1,0 +1,195 @@
+#include "src/serve/model_store.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "src/rss/building.h"
+#include "src/util/binary_io.h"
+
+namespace safeloc::serve {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x53465354;  // "SFST"
+constexpr std::uint32_t kFormatVersion = 1;
+constexpr const char* kContext = "ModelStore::load";
+
+using util::write_pod;
+using util::write_string;
+
+template <typename T>
+T read_pod(std::istream& in) {
+  return util::read_pod<T>(in, kContext);
+}
+
+std::string read_string(std::istream& in) {
+  return util::read_string(in, kContext);
+}
+
+}  // namespace
+
+std::string default_model_name(const engine::ScenarioSpec& spec) {
+  return spec.framework + "/b" + std::to_string(spec.building);
+}
+
+std::uint32_t ModelStore::publish(std::string name, nn::StateDict state,
+                                  ModelProvenance provenance) {
+  if (name.empty()) {
+    throw std::invalid_argument("ModelStore::publish: empty model name");
+  }
+  if (state.empty()) {
+    throw std::invalid_argument("ModelStore::publish: empty state dict (" +
+                                name + ")");
+  }
+  std::vector<ModelRecord>& versions = models_[name];
+  ModelRecord record;
+  record.name = std::move(name);
+  record.version = static_cast<std::uint32_t>(versions.size()) + 1;
+  record.provenance = std::move(provenance);
+  record.state = std::move(state);
+  versions.push_back(std::move(record));
+  return versions.back().version;
+}
+
+std::uint32_t ModelStore::publish(const engine::CellResult& cell,
+                                  std::string name) {
+  if (cell.final_gm.empty()) {
+    throw std::invalid_argument(
+        "ModelStore::publish: cell carries no captured global model — run "
+        "the engine with capture_final_gm");
+  }
+  ModelProvenance provenance;
+  provenance.framework = cell.spec.framework;
+  provenance.building = cell.spec.building;
+  provenance.seed = cell.spec.seed;
+  provenance.repeat = cell.spec.repeat;
+  provenance.server_epochs = cell.spec.resolved_server_epochs();
+  provenance.fl_rounds = cell.spec.resolved_rounds();
+  provenance.attack_label = cell.spec.resolved_attack_label();
+  provenance.num_classes = rss::paper_building(cell.spec.building).num_rps;
+  if (name.empty()) name = default_model_name(cell.spec);
+  return publish(std::move(name), cell.final_gm, std::move(provenance));
+}
+
+std::size_t ModelStore::publish_run(const engine::RunReport& report) {
+  std::size_t published = 0;
+  for (const engine::CellResult& cell : report.cells) {
+    if (cell.final_gm.empty()) continue;
+    publish(cell);
+    ++published;
+  }
+  return published;
+}
+
+bool ModelStore::contains(const std::string& name) const {
+  return models_.find(name) != models_.end();
+}
+
+const ModelRecord& ModelStore::latest(const std::string& name) const {
+  const auto it = models_.find(name);
+  if (it == models_.end() || it->second.empty()) {
+    throw std::out_of_range("ModelStore: unknown model \"" + name + "\"");
+  }
+  return it->second.back();
+}
+
+const ModelRecord& ModelStore::at(const std::string& name,
+                                  std::uint32_t version) const {
+  const auto it = models_.find(name);
+  if (it == models_.end() || version == 0 ||
+      version > it->second.size()) {
+    throw std::out_of_range("ModelStore: no version " +
+                            std::to_string(version) + " of \"" + name + "\"");
+  }
+  return it->second[version - 1];
+}
+
+std::vector<std::string> ModelStore::names() const {
+  std::vector<std::string> out;
+  out.reserve(models_.size());
+  for (const auto& [name, versions] : models_) out.push_back(name);
+  return out;
+}
+
+std::size_t ModelStore::size() const noexcept {
+  std::size_t total = 0;
+  for (const auto& [name, versions] : models_) total += versions.size();
+  return total;
+}
+
+void ModelStore::save(std::ostream& out) const {
+  write_pod(out, kMagic);
+  write_pod(out, kFormatVersion);
+  write_pod(out, static_cast<std::uint64_t>(size()));
+  // std::map iteration gives names ascending; versions are stored ascending.
+  for (const auto& [name, versions] : models_) {
+    for (const ModelRecord& record : versions) {
+      write_string(out, record.name);
+      write_pod(out, record.version);
+      write_string(out, record.provenance.framework);
+      write_pod(out, static_cast<std::int32_t>(record.provenance.building));
+      write_pod(out, record.provenance.seed);
+      write_pod(out, static_cast<std::int32_t>(record.provenance.repeat));
+      write_pod(out,
+                static_cast<std::int32_t>(record.provenance.server_epochs));
+      write_pod(out, static_cast<std::int32_t>(record.provenance.fl_rounds));
+      write_string(out, record.provenance.attack_label);
+      write_pod(out,
+                static_cast<std::uint64_t>(record.provenance.num_classes));
+      record.state.save(out);
+    }
+  }
+  if (!out) throw std::runtime_error("ModelStore::save: write failure");
+}
+
+ModelStore ModelStore::load(std::istream& in) {
+  if (read_pod<std::uint32_t>(in) != kMagic) {
+    throw std::runtime_error("ModelStore::load: bad magic");
+  }
+  if (read_pod<std::uint32_t>(in) != kFormatVersion) {
+    throw std::runtime_error("ModelStore::load: unsupported format version");
+  }
+  const auto count = read_pod<std::uint64_t>(in);
+  ModelStore store;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    ModelRecord record;
+    record.name = read_string(in);
+    record.version = read_pod<std::uint32_t>(in);
+    record.provenance.framework = read_string(in);
+    record.provenance.building = read_pod<std::int32_t>(in);
+    record.provenance.seed = read_pod<std::uint64_t>(in);
+    record.provenance.repeat = read_pod<std::int32_t>(in);
+    record.provenance.server_epochs = read_pod<std::int32_t>(in);
+    record.provenance.fl_rounds = read_pod<std::int32_t>(in);
+    record.provenance.attack_label = read_string(in);
+    record.provenance.num_classes =
+        static_cast<std::size_t>(read_pod<std::uint64_t>(in));
+    record.state = nn::StateDict::load(in);
+    std::vector<ModelRecord>& versions = store.models_[record.name];
+    if (record.version != versions.size() + 1) {
+      throw std::runtime_error("ModelStore::load: version gap in \"" +
+                               record.name + "\"");
+    }
+    versions.push_back(std::move(record));
+  }
+  return store;
+}
+
+void ModelStore::save_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw std::runtime_error("ModelStore::save_file: cannot open " + path);
+  }
+  save(out);
+}
+
+ModelStore ModelStore::load_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("ModelStore::load_file: cannot open " + path);
+  }
+  return load(in);
+}
+
+}  // namespace safeloc::serve

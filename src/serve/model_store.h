@@ -1,0 +1,104 @@
+// ModelStore — versioned snapshots of trained global models, the bridge
+// from the experiment layer (ScenarioEngine) to the serving layer
+// (QueryEngine).
+//
+// A record couples the model weights (nn::StateDict) with the provenance
+// that makes the snapshot reproducible: framework id, building, seed,
+// training budgets, and the attack scenario the federated deployment ran
+// under. Publishing the same logical name again appends a new version
+// (monotonic, 1-based) instead of overwriting — a serving fleet can roll
+// forward and back by version.
+//
+// Serialization is deterministic: records are written sorted by
+// (name, version) with fixed-width little-endian headers, so two stores
+// holding the same records produce byte-identical files regardless of
+// publish order.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/engine/report.h"
+#include "src/nn/state_dict.h"
+
+namespace safeloc::serve {
+
+/// Where a published model came from: enough to regenerate it bit-for-bit
+/// through the ScenarioEngine.
+struct ModelProvenance {
+  std::string framework = "SAFELOC";
+  int building = 1;
+  std::uint64_t seed = 0;
+  int repeat = 0;
+  int server_epochs = 0;
+  int fl_rounds = 0;
+  /// The scenario the federated deployment ran under ("none" for benign).
+  std::string attack_label = "none";
+  /// Output width of the classifier (the building's RP count).
+  std::size_t num_classes = 0;
+
+  friend bool operator==(const ModelProvenance&,
+                         const ModelProvenance&) = default;
+};
+
+struct ModelRecord {
+  /// Logical model name; publish() defaults it to "<framework>/b<building>".
+  std::string name;
+  /// 1-based, monotonic per name.
+  std::uint32_t version = 0;
+  ModelProvenance provenance;
+  nn::StateDict state;
+};
+
+class ModelStore {
+ public:
+  ModelStore() = default;
+
+  /// Publishes a snapshot under `name`, assigning the next version.
+  /// Returns the assigned version. Throws std::invalid_argument for an
+  /// empty name or empty state.
+  std::uint32_t publish(std::string name, nn::StateDict state,
+                        ModelProvenance provenance);
+
+  /// Publishes a grid cell's captured global model (engine run with
+  /// capture_final_gm). Provenance is derived from the cell spec; `name`
+  /// defaults to "<framework>/b<building>". Throws std::invalid_argument
+  /// when the cell carries no captured model.
+  std::uint32_t publish(const engine::CellResult& cell, std::string name = "");
+
+  /// Publishes every cell of a run that carries a captured model, in grid
+  /// order (so versions are deterministic). Returns how many were published.
+  std::size_t publish_run(const engine::RunReport& report);
+
+  [[nodiscard]] bool contains(const std::string& name) const;
+  /// Newest version of `name`; throws std::out_of_range if absent.
+  [[nodiscard]] const ModelRecord& latest(const std::string& name) const;
+  /// Specific version (1-based); throws std::out_of_range if absent.
+  [[nodiscard]] const ModelRecord& at(const std::string& name,
+                                      std::uint32_t version) const;
+
+  /// Registered names, sorted.
+  [[nodiscard]] std::vector<std::string> names() const;
+  /// Total records across all names and versions.
+  [[nodiscard]] std::size_t size() const noexcept;
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+
+  /// Deterministic binary serialization (magic "SFST", versioned header).
+  void save(std::ostream& out) const;
+  static ModelStore load(std::istream& in);
+  /// File wrappers; throw std::runtime_error on I/O failure.
+  void save_file(const std::string& path) const;
+  static ModelStore load_file(const std::string& path);
+
+ private:
+  /// Versions ascending per name; map keeps names sorted for serialization.
+  std::map<std::string, std::vector<ModelRecord>> models_;
+};
+
+/// The default logical name publish() derives from a cell spec.
+[[nodiscard]] std::string default_model_name(const engine::ScenarioSpec& spec);
+
+}  // namespace safeloc::serve

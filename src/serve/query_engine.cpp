@@ -1,0 +1,253 @@
+#include "src/serve/query_engine.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace safeloc::serve {
+
+QueryEngine::QueryEngine(QueryEngineConfig config)
+    : config_(config), table_(std::make_shared<SnapshotTable>()) {
+  if (config_.workers < 1) config_.workers = 1;
+  if (config_.max_batch < 1) config_.max_batch = 1;
+  if (config_.top_k < 1) config_.top_k = 1;
+  if (config_.queue_capacity < config_.max_batch) {
+    config_.queue_capacity = config_.max_batch;
+  }
+  workers_.reserve(static_cast<std::size_t>(config_.workers));
+  for (int w = 0; w < config_.workers; ++w) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+QueryEngine::~QueryEngine() {
+  {
+    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    stop_ = true;
+  }
+  queue_cv_.notify_all();
+  space_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void QueryEngine::deploy(const ModelRecord& record) {
+  auto snapshot = std::make_shared<Snapshot>();
+  snapshot->net = ServingNet::from_state(record.state);
+  snapshot->version = record.version;
+
+  const rss::Building building(rss::paper_building(record.provenance.building));
+  if (snapshot->net.num_classes() != building.num_rps()) {
+    throw std::invalid_argument(
+        "QueryEngine::deploy: model \"" + record.name + "\" classifies " +
+        std::to_string(snapshot->net.num_classes()) + " RPs but building " +
+        std::to_string(record.provenance.building) + " has " +
+        std::to_string(building.num_rps()));
+  }
+  snapshot->rp_positions.reserve(building.num_rps());
+  for (std::size_t rp = 0; rp < building.num_rps(); ++rp) {
+    snapshot->rp_positions.push_back(building.rp_position(rp));
+  }
+
+  const std::lock_guard<std::mutex> lock(table_mutex_);
+  auto next = std::make_shared<SnapshotTable>(*table_);
+  (*next)[record.provenance.building] = std::move(snapshot);
+  table_ = std::move(next);
+}
+
+std::uint32_t QueryEngine::deployed_version(int building) const {
+  const auto snapshots = table();
+  const auto it = snapshots->find(building);
+  return it == snapshots->end() ? 0 : it->second->version;
+}
+
+std::shared_ptr<const QueryEngine::SnapshotTable> QueryEngine::table() const {
+  const std::lock_guard<std::mutex> lock(table_mutex_);
+  return table_;
+}
+
+void QueryEngine::submit(int building, std::vector<float> fingerprint,
+                         Callback done) {
+  {
+    const auto snapshots = table();
+    const auto it = snapshots->find(building);
+    if (it == snapshots->end()) {
+      throw std::invalid_argument("QueryEngine::submit: no model deployed "
+                                  "for building " +
+                                  std::to_string(building));
+    }
+    if (fingerprint.size() != it->second->net.input_dim()) {
+      throw std::invalid_argument(
+          "QueryEngine::submit: expected " +
+          std::to_string(it->second->net.input_dim()) +
+          "-dim fingerprint, got " + std::to_string(fingerprint.size()));
+    }
+  }
+  Pending pending;
+  pending.building = building;
+  pending.x = std::move(fingerprint);
+  pending.done = std::move(done);
+  pending.enqueued = std::chrono::steady_clock::now();
+  {
+    std::unique_lock<std::mutex> lock(queue_mutex_);
+    space_cv_.wait(lock, [this] {
+      return stop_ || queue_.size() < config_.queue_capacity;
+    });
+    if (stop_) {
+      throw std::runtime_error("QueryEngine::submit: engine is shut down");
+    }
+    queue_.push_back(std::move(pending));
+  }
+  queue_cv_.notify_one();
+}
+
+std::future<QueryResult> QueryEngine::submit(int building,
+                                             std::vector<float> fingerprint) {
+  auto promise = std::make_shared<std::promise<QueryResult>>();
+  std::future<QueryResult> future = promise->get_future();
+  submit(building, std::move(fingerprint),
+         [promise](QueryResult result) { promise->set_value(std::move(result)); });
+  return future;
+}
+
+void QueryEngine::drain() {
+  std::unique_lock<std::mutex> lock(queue_mutex_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+QueryEngine::Stats QueryEngine::stats() const {
+  const std::lock_guard<std::mutex> lock(queue_mutex_);
+  return {served_, batches_};
+}
+
+void QueryEngine::worker_loop() {
+  TickScratch scratch;
+  std::vector<Pending> batch;
+  for (;;) {
+    batch.clear();
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to serve
+      // Popped queries count as in-flight immediately: the fill wait below
+      // releases the lock, and drain() must not see them in neither place.
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+      ++in_flight_;
+      // Fill the micro-batch: take what is queued; wait out the batch
+      // window for stragglers only while the batch is short.
+      const auto deadline =
+          std::chrono::steady_clock::now() + config_.batch_window;
+      while (batch.size() < config_.max_batch) {
+        if (!queue_.empty()) {
+          batch.push_back(std::move(queue_.front()));
+          queue_.pop_front();
+          ++in_flight_;
+          continue;
+        }
+        if (stop_ || config_.batch_window.count() == 0) break;
+        if (queue_cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+          break;
+        }
+      }
+    }
+    space_cv_.notify_all();
+
+    // One immutable snapshot table per tick; deploys land on later ticks.
+    const auto snapshots = table();
+    process_batch(batch, *snapshots, scratch);
+
+    {
+      const std::lock_guard<std::mutex> lock(queue_mutex_);
+      in_flight_ -= batch.size();
+      served_ += batch.size();
+      ++batches_;
+      if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+void QueryEngine::process_batch(std::vector<Pending>& batch,
+                                const SnapshotTable& snapshots,
+                                TickScratch& scratch) const {
+  // Partition by building (batches are usually single-building; the scan is
+  // over at most max_batch entries).
+  std::vector<int>& buildings = scratch.buildings;
+  buildings.clear();
+  for (const Pending& pending : batch) {
+    if (std::find(buildings.begin(), buildings.end(), pending.building) ==
+        buildings.end()) {
+      buildings.push_back(pending.building);
+    }
+  }
+
+  std::vector<std::size_t>& indices = scratch.indices;
+  nn::Matrix& x = scratch.x;
+  InferenceWorkspace& ws = scratch.ws;
+  for (const int building : buildings) {
+    indices.clear();
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (batch[i].building == building) indices.push_back(i);
+    }
+    const auto it = snapshots.find(building);
+    if (it == snapshots.end()) {
+      // The building was validated at submit() and models are never
+      // undeployed, so this cannot happen; answer defensively rather than
+      // losing the callbacks.
+      for (const std::size_t i : indices) {
+        QueryResult result;
+        result.building = building;
+        if (batch[i].done) batch[i].done(std::move(result));
+      }
+      continue;
+    }
+    const Snapshot& snapshot = *it->second;
+
+    // Re-check widths against the snapshot this tick actually serves:
+    // submit() validated against the table of its time, and a hot swap in
+    // between may have changed the model's input width. Mismatched queries
+    // get a defensive empty answer instead of corrupting the batch matrix.
+    const std::size_t dim = snapshot.net.input_dim();
+    std::erase_if(indices, [&](std::size_t i) {
+      if (batch[i].x.size() == dim) return false;
+      QueryResult result;
+      result.building = building;
+      result.model_version = snapshot.version;
+      if (batch[i].done) batch[i].done(std::move(result));
+      return true;
+    });
+    if (indices.empty()) continue;
+
+    if (x.rows() != indices.size() || x.cols() != dim) {
+      x.reshape_discard(indices.size(), dim);
+    }
+    for (std::size_t row = 0; row < indices.size(); ++row) {
+      const std::vector<float>& src = batch[indices[row]].x;
+      std::copy(src.begin(), src.end(), x.data() + row * dim);
+    }
+
+    // One batched forward pass; softmax in place on the workspace logits.
+    nn::Matrix& probs = snapshot.net.logits(x, ws);
+    softmax_rows_inplace(probs);
+
+    const auto completed = std::chrono::steady_clock::now();
+    for (std::size_t row = 0; row < indices.size(); ++row) {
+      Pending& pending = batch[indices[row]];
+      QueryResult result;
+      result.building = building;
+      result.top_k = top_k_classes(probs.row(row), config_.top_k);
+      result.rp = result.top_k.empty() ? -1 : result.top_k.front().label;
+      if (result.rp >= 0) {
+        result.position =
+            snapshot.rp_positions[static_cast<std::size_t>(result.rp)];
+      }
+      result.model_version = snapshot.version;
+      result.latency_us =
+          std::chrono::duration<double, std::micro>(completed -
+                                                    pending.enqueued)
+              .count();
+      if (pending.done) pending.done(std::move(result));
+    }
+  }
+}
+
+}  // namespace safeloc::serve

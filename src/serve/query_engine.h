@@ -1,0 +1,163 @@
+// QueryEngine — the serving hot path: accepts single-fingerprint location
+// queries, micro-batches them into one batched forward pass per tick, and
+// answers with the predicted reference point, its floorplan coordinates,
+// and top-k confidences.
+//
+// Execution model:
+//   * Producers submit(building, fingerprint, callback). Submission is
+//     cheap (one queue push); a bounded queue applies backpressure by
+//     blocking producers when `queue_capacity` is reached.
+//   * N worker threads each run a tick loop: pop the first waiting query,
+//     keep filling the batch until `max_batch` queries are in hand or
+//     `batch_window` has elapsed, then run ONE ServingNet forward per
+//     building present in the batch and complete the callbacks.
+//   * Results are batching-invariant: the forward kernel computes each row
+//     independently, so a query's answer does not depend on which queries
+//     it shared a tick with.
+//
+// Hot model replacement: deployed models live in an immutable snapshot
+// table behind a shared_ptr (read-mostly copy-on-write). deploy() builds
+// the new table aside and swaps the pointer; in-flight batches finish on
+// the snapshot they started with and later ticks pick up the new version —
+// serving never pauses.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/rss/building.h"
+#include "src/serve/model_store.h"
+#include "src/serve/serving_net.h"
+
+namespace safeloc::serve {
+
+struct QueryEngineConfig {
+  /// Worker threads running batched forward passes.
+  int workers = 2;
+  /// Micro-batch cap per tick.
+  std::size_t max_batch = 64;
+  /// How long a tick waits for the batch to fill once its first query is in
+  /// hand. 0 serves whatever is queued immediately.
+  std::chrono::microseconds batch_window{200};
+  /// Ranked classes returned per query.
+  std::size_t top_k = 3;
+  /// Bounded-queue backpressure: submit() blocks above this depth.
+  std::size_t queue_capacity = 1 << 16;
+};
+
+struct QueryResult {
+  int building = 0;
+  /// Predicted reference point (argmax class).
+  int rp = -1;
+  /// Floorplan coordinates of the predicted RP, metres.
+  rss::Point position{};
+  /// Top-k RPs by softmax confidence, descending.
+  std::vector<RankedClass> top_k;
+  /// Version of the model snapshot that answered.
+  std::uint32_t model_version = 0;
+  /// Submit-to-completion latency.
+  double latency_us = 0.0;
+};
+
+class QueryEngine {
+ public:
+  using Callback = std::function<void(QueryResult)>;
+
+  explicit QueryEngine(QueryEngineConfig config = {});
+  ~QueryEngine();
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  /// Deploys (or hot-replaces) the serving model for the record's building.
+  /// Throws std::invalid_argument when the record's classifier width does
+  /// not match the building's RP count.
+  void deploy(const ModelRecord& record);
+
+  /// Version currently serving `building`; 0 when none deployed.
+  [[nodiscard]] std::uint32_t deployed_version(int building) const;
+
+  /// Enqueues one query; `done` runs on a worker thread after the batched
+  /// forward pass. Throws std::invalid_argument for an undeployed building
+  /// or a wrong-width fingerprint; blocks briefly when the queue is full.
+  void submit(int building, std::vector<float> fingerprint, Callback done);
+
+  /// Future-returning convenience wrapper.
+  [[nodiscard]] std::future<QueryResult> submit(int building,
+                                                std::vector<float> fingerprint);
+
+  /// Blocks until every submitted query has completed.
+  void drain();
+
+  struct Stats {
+    std::uint64_t queries = 0;
+    std::uint64_t batches = 0;
+    [[nodiscard]] double mean_batch_fill() const noexcept {
+      return batches == 0 ? 0.0
+                          : static_cast<double>(queries) /
+                                static_cast<double>(batches);
+    }
+  };
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  struct Snapshot {
+    ServingNet net;
+    std::vector<rss::Point> rp_positions;
+    std::uint32_t version = 0;
+  };
+  /// building id -> immutable snapshot. The table itself is immutable;
+  /// deploy() swaps the pointer.
+  using SnapshotTable = std::map<int, std::shared_ptr<const Snapshot>>;
+
+  struct Pending {
+    int building = 0;
+    std::vector<float> x;
+    Callback done;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  /// Per-worker scratch reused across ticks (keeps the hot path free of
+  /// steady-state allocation).
+  struct TickScratch {
+    InferenceWorkspace ws;
+    nn::Matrix x;
+    std::vector<int> buildings;
+    std::vector<std::size_t> indices;
+  };
+
+  void worker_loop();
+  void process_batch(std::vector<Pending>& batch,
+                     const SnapshotTable& snapshots,
+                     TickScratch& scratch) const;
+  [[nodiscard]] std::shared_ptr<const SnapshotTable> table() const;
+
+  QueryEngineConfig config_;
+
+  mutable std::mutex table_mutex_;
+  std::shared_ptr<const SnapshotTable> table_;
+
+  mutable std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;  // workers: work available / stop
+  std::condition_variable space_cv_;  // producers: capacity available
+  std::condition_variable idle_cv_;   // drain(): all work completed
+  std::deque<Pending> queue_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+  std::uint64_t served_ = 0;
+  std::uint64_t batches_ = 0;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace safeloc::serve

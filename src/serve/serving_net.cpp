@@ -1,0 +1,145 @@
+#include "src/serve/serving_net.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace safeloc::serve {
+namespace {
+
+/// "enc1.w" -> "enc1"; throws when the tensor is not a Dense ".w"/".b".
+std::string prefix_of(const std::string& name) {
+  const std::size_t dot = name.rfind('.');
+  if (dot == std::string::npos || dot == 0) {
+    throw std::invalid_argument("ServingNet: unrecognized tensor name \"" +
+                                name + "\"");
+  }
+  return name.substr(0, dot);
+}
+
+bool is_decoder(const std::string& prefix) {
+  return prefix.rfind("dec", 0) == 0;
+}
+
+}  // namespace
+
+ServingNet ServingNet::from_state(const nn::StateDict& state) {
+  ServingNet net;
+  for (std::size_t i = 0; i < state.tensor_count(); ++i) {
+    const nn::NamedTensor& tensor = state.tensor(i);
+    const std::string prefix = prefix_of(tensor.name);
+    if (is_decoder(prefix)) continue;
+    if (tensor.name != prefix + ".w") {
+      throw std::invalid_argument(
+          "ServingNet: expected a weight tensor, found \"" + tensor.name +
+          "\"");
+    }
+    if (i + 1 >= state.tensor_count() ||
+        state.tensor(i + 1).name != prefix + ".b") {
+      throw std::invalid_argument("ServingNet: weight \"" + tensor.name +
+                                  "\" has no matching bias");
+    }
+    const nn::NamedTensor& bias = state.tensor(i + 1);
+    if (bias.value.rows() != 1 || bias.value.cols() != tensor.value.cols()) {
+      throw std::invalid_argument("ServingNet: bias shape mismatch at \"" +
+                                  bias.name + "\"");
+    }
+    if (!net.layers_.empty() &&
+        net.layers_.back().w.cols() != tensor.value.rows()) {
+      throw std::invalid_argument(
+          "ServingNet: layer chain broken at \"" + tensor.name + "\" (" +
+          tensor.value.shape_string() + " after " +
+          net.layers_.back().w.shape_string() + ")");
+    }
+    net.layers_.push_back({tensor.value, bias.value, /*relu=*/true});
+    ++i;  // consumed the bias
+  }
+  if (net.layers_.empty()) {
+    throw std::invalid_argument(
+        "ServingNet: no Dense layers found in state dict");
+  }
+  net.layers_.back().relu = false;  // logits head stays linear
+  return net;
+}
+
+std::size_t ServingNet::input_dim() const {
+  if (layers_.empty()) throw std::logic_error("ServingNet: empty net");
+  return layers_.front().w.rows();
+}
+
+std::size_t ServingNet::num_classes() const {
+  if (layers_.empty()) throw std::logic_error("ServingNet: empty net");
+  return layers_.back().w.cols();
+}
+
+std::size_t ServingNet::parameter_count() const noexcept {
+  std::size_t total = 0;
+  for (const DenseStep& layer : layers_) {
+    total += layer.w.size() + layer.b.size();
+  }
+  return total;
+}
+
+nn::Matrix& ServingNet::logits(const nn::Matrix& x,
+                               InferenceWorkspace& ws) const {
+  if (layers_.empty()) throw std::logic_error("ServingNet: empty net");
+  if (x.cols() != input_dim()) {
+    throw std::invalid_argument("ServingNet: expected " +
+                                std::to_string(input_dim()) +
+                                " features, got " + x.shape_string());
+  }
+  const nn::Matrix* current = &x;
+  nn::Matrix* out = nullptr;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    const DenseStep& layer = layers_[i];
+    out = (i % 2 == 0) ? &ws.ping : &ws.pong;
+    nn::matmul_into(*current, layer.w, *out);
+    nn::add_row_broadcast(*out, layer.b);
+    if (layer.relu) {
+      for (float& v : out->flat()) v = v < 0.0f ? 0.0f : v;
+    }
+    current = out;
+  }
+  return *out;
+}
+
+nn::Matrix ServingNet::logits(const nn::Matrix& x) const {
+  InferenceWorkspace ws;
+  return logits(x, ws);
+}
+
+void softmax_rows_inplace(nn::Matrix& logits) {
+  for (std::size_t i = 0; i < logits.rows(); ++i) {
+    float* row = logits.data() + i * logits.cols();
+    float mx = row[0];
+    for (std::size_t j = 1; j < logits.cols(); ++j) mx = std::max(mx, row[j]);
+    double sum = 0.0;
+    for (std::size_t j = 0; j < logits.cols(); ++j) {
+      row[j] = std::exp(row[j] - mx);
+      sum += row[j];
+    }
+    const float inv = static_cast<float>(1.0 / sum);
+    for (std::size_t j = 0; j < logits.cols(); ++j) row[j] *= inv;
+  }
+}
+
+std::vector<RankedClass> top_k_classes(std::span<const float> probabilities,
+                                       std::size_t k) {
+  const std::size_t n = probabilities.size();
+  std::vector<RankedClass> top;
+  top.reserve(std::min(k, n));
+  for (std::size_t c = 0; c < n; ++c) {
+    const float p = probabilities[c];
+    // Insertion position: strictly-greater entries stay ahead, so equal
+    // confidences rank the lower label first.
+    std::size_t pos = top.size();
+    while (pos > 0 && top[pos - 1].confidence < p) --pos;
+    if (pos >= k) continue;
+    if (top.size() < k) top.push_back({});
+    for (std::size_t j = top.size() - 1; j > pos; --j) top[j] = top[j - 1];
+    top[pos] = {static_cast<int>(c), p};
+  }
+  return top;
+}
+
+}  // namespace safeloc::serve

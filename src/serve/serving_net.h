@@ -1,0 +1,86 @@
+// ServingNet — an immutable, inference-only classifier extracted from a
+// published StateDict.
+//
+// The training-side model types (core::FusedNet, nn::Sequential) cache
+// activations for backward() on every forward pass, so a forward call
+// mutates the module — N serving workers would need N model clones and
+// per-call allocation. ServingNet strips the model down to the
+// classification path only (Dense chain + ReLU, decoder head excluded), is
+// const over forward, and runs batched passes through caller-owned
+// ping-pong workspaces — zero allocation in steady state. Because a const
+// object is shared safely, a whole worker pool serves one snapshot through
+// a shared_ptr and hot model replacement is a pointer swap (QueryEngine).
+//
+// Numerically the extracted path is bit-identical to the source model's
+// logits: it runs the same nn::matmul kernel, bias broadcast, and ReLU in
+// the same order.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "src/nn/matrix.h"
+#include "src/nn/state_dict.h"
+
+namespace safeloc::serve {
+
+/// Per-worker scratch buffers reused across forward calls.
+struct InferenceWorkspace {
+  nn::Matrix ping;
+  nn::Matrix pong;
+};
+
+class ServingNet {
+ public:
+  ServingNet() = default;
+
+  /// Builds the classification path from a state dict: consecutive
+  /// ("<p>.w", "<p>.b") Dense pairs chained input-to-logits, with ReLU
+  /// between all but the last. Tensors whose prefix starts with "dec"
+  /// (SAFELOC's reconstruction/de-noising decoder) are skipped — they are
+  /// not on the localization path. Throws std::invalid_argument when the
+  /// remaining tensors do not form a valid chain.
+  [[nodiscard]] static ServingNet from_state(const nn::StateDict& state);
+
+  [[nodiscard]] std::size_t input_dim() const;
+  [[nodiscard]] std::size_t num_classes() const;
+  [[nodiscard]] std::size_t layer_count() const noexcept {
+    return layers_.size();
+  }
+  [[nodiscard]] std::size_t parameter_count() const noexcept;
+
+  /// Batched logits for x (n x input_dim), written into the workspace.
+  /// Returns a reference into `ws` (mutable — callers may e.g. softmax in
+  /// place) valid until the next call with that workspace. Thread-safe for
+  /// concurrent callers with distinct workspaces.
+  nn::Matrix& logits(const nn::Matrix& x, InferenceWorkspace& ws) const;
+
+  /// Allocating convenience wrapper.
+  [[nodiscard]] nn::Matrix logits(const nn::Matrix& x) const;
+
+ private:
+  struct DenseStep {
+    nn::Matrix w;  // (fan_in x fan_out)
+    nn::Matrix b;  // (1 x fan_out)
+    bool relu = false;
+  };
+  std::vector<DenseStep> layers_;
+};
+
+/// One (class, probability) entry of a top-k ranking.
+struct RankedClass {
+  int label = -1;
+  float confidence = 0.0f;
+};
+
+/// Numerically stable in-place row softmax (same math as nn::softmax,
+/// without the output allocation).
+void softmax_rows_inplace(nn::Matrix& logits);
+
+/// Top-k classes of one probability row, by descending confidence (ties
+/// break toward the lower label, deterministically).
+[[nodiscard]] std::vector<RankedClass> top_k_classes(
+    std::span<const float> probabilities, std::size_t k);
+
+}  // namespace safeloc::serve

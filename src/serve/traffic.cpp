@@ -1,0 +1,79 @@
+#include "src/serve/traffic.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/rss/building.h"
+#include "src/rss/device.h"
+
+namespace safeloc::serve {
+
+TrafficGenerator::TrafficGenerator(TrafficConfig config)
+    : config_(std::move(config)), rng_(config_.seed) {
+  if (config_.buildings.empty()) {
+    throw std::invalid_argument("TrafficGenerator: empty building mix");
+  }
+  if (!(config_.mean_qps > 0.0)) {
+    throw std::invalid_argument("TrafficGenerator: mean_qps must be > 0");
+  }
+  if (config_.fingerprints_per_rp == 0) {
+    throw std::invalid_argument(
+        "TrafficGenerator: fingerprints_per_rp must be > 0");
+  }
+  const auto& devices = rss::paper_devices();
+  pools_.reserve(config_.buildings.size());
+  for (const int id : config_.buildings) {
+    // Deduplicate: a repeated id weights the mix but shares one pool.
+    bool seen = false;
+    for (const Pool& pool : pools_) seen |= pool.building == id;
+    if (seen) continue;
+    const rss::Building building(rss::paper_building(id));
+    const rss::FingerprintGenerator generator(building, config_.seed);
+    Pool pool;
+    pool.building = id;
+    for (std::size_t d = 0; d < devices.size(); ++d) {
+      if (d == rss::reference_device_index()) continue;
+      pool.per_device.push_back(generator.generate(
+          devices[d], config_.fingerprints_per_rp,
+          /*salt=*/0x7aff1c00ULL + d));
+      pool.device_indices.push_back(d);
+    }
+    pools_.push_back(std::move(pool));
+  }
+}
+
+TimedQuery TrafficGenerator::next() {
+  // Poisson process: exponential inter-arrival at rate mean_qps.
+  double u = rng_.uniform();
+  while (u >= 1.0) u = rng_.uniform();  // guard log(0)
+  clock_s_ += -std::log1p(-u) / config_.mean_qps;
+
+  const int building_id = config_.buildings[static_cast<std::size_t>(
+      rng_.below(config_.buildings.size()))];
+  const Pool* pool = nullptr;
+  for (const Pool& candidate : pools_) {
+    if (candidate.building == building_id) pool = &candidate;
+  }
+  const std::size_t d = static_cast<std::size_t>(
+      rng_.below(pool->per_device.size()));
+  const rss::Dataset& set = pool->per_device[d];
+  const std::size_t row = static_cast<std::size_t>(rng_.below(set.size()));
+
+  TimedQuery query;
+  query.arrival_s = clock_s_;
+  query.building = building_id;
+  query.device = pool->device_indices[d];
+  query.true_rp = set.labels[row];
+  const auto src = set.x.row(row);
+  query.x.assign(src.begin(), src.end());
+  return query;
+}
+
+std::vector<TimedQuery> TrafficGenerator::generate(std::size_t n) {
+  std::vector<TimedQuery> queries;
+  queries.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) queries.push_back(next());
+  return queries;
+}
+
+}  // namespace safeloc::serve

@@ -1,0 +1,77 @@
+// TrafficGenerator — synthetic but device-realistic query streams for
+// load-testing the serving layer.
+//
+// Throughput numbers are only meaningful if the queries look like
+// production traffic, so the generator replays the same physics the
+// evaluation harness uses: fingerprints are synthesized per building
+// through rss::FingerprintGenerator as seen by the paper's five
+// heterogeneous *test* devices (each applying its own gain/offset
+// distortion, noise floor, and AP drop behaviour from rss::device).
+// Arrivals follow a Poisson process (exponential inter-arrival times at
+// `mean_qps`), and each query draws a building from the configured mix and
+// a device/RP uniformly — the "many phones walking many buildings" shape.
+//
+// Fully deterministic per seed: the same config replays the same stream,
+// so serving benchmarks are reproducible.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/rss/dataset.h"
+#include "src/util/rng.h"
+
+namespace safeloc::serve {
+
+struct TrafficConfig {
+  /// Building mix, sampled uniformly (repeat an id to weight it).
+  std::vector<int> buildings = {1};
+  /// Mean Poisson arrival rate, queries per second.
+  double mean_qps = 50'000.0;
+  /// Pool depth: fingerprints pre-synthesized per (building, device, RP).
+  std::size_t fingerprints_per_rp = 2;
+  std::uint64_t seed = 0x7aff1cULL;
+};
+
+/// One query of the stream.
+struct TimedQuery {
+  /// Poisson arrival time since stream start, seconds.
+  double arrival_s = 0.0;
+  int building = 0;
+  /// Index into rss::paper_devices() (never the reference device).
+  std::size_t device = 0;
+  /// Ground-truth RP the fingerprint was scanned at.
+  int true_rp = 0;
+  /// Standardized 128-dim fingerprint (rss::kFeatureDim).
+  std::vector<float> x;
+};
+
+class TrafficGenerator {
+ public:
+  explicit TrafficGenerator(TrafficConfig config = {});
+
+  [[nodiscard]] const TrafficConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Next query of the stream (arrival clock advances monotonically).
+  [[nodiscard]] TimedQuery next();
+
+  /// Pre-materializes the next n queries.
+  [[nodiscard]] std::vector<TimedQuery> generate(std::size_t n);
+
+ private:
+  struct Pool {
+    int building = 0;
+    /// One labelled dataset per non-reference device, in device-index order.
+    std::vector<rss::Dataset> per_device;
+    std::vector<std::size_t> device_indices;
+  };
+
+  TrafficConfig config_;
+  std::vector<Pool> pools_;
+  util::Rng rng_;
+  double clock_s_ = 0.0;
+};
+
+}  // namespace safeloc::serve

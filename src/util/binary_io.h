@@ -1,0 +1,45 @@
+// Little-endian POD / length-prefixed-string stream helpers shared by the
+// binary serializers (nn::StateDict, serve::ModelStore). `context` names
+// the caller in truncation errors ("StateDict::load", ...).
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+namespace safeloc::util {
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& in, const char* context) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) {
+    throw std::runtime_error(std::string(context) + ": truncated stream");
+  }
+  return value;
+}
+
+/// u32 length prefix + raw bytes.
+inline void write_string(std::ostream& out, const std::string& s) {
+  write_pod(out, static_cast<std::uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+inline std::string read_string(std::istream& in, const char* context) {
+  const auto length = read_pod<std::uint32_t>(in, context);
+  std::string s(length, '\0');
+  in.read(s.data(), length);
+  if (!in) {
+    throw std::runtime_error(std::string(context) + ": truncated string");
+  }
+  return s;
+}
+
+}  // namespace safeloc::util

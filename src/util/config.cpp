@@ -1,6 +1,9 @@
 #include "src/util/config.h"
 
+#include <cerrno>
+#include <climits>
 #include <cstdlib>
+#include <stdexcept>
 
 namespace safeloc::util {
 
@@ -8,6 +11,20 @@ int env_int(const std::string& name, int fallback) {
   const char* raw = std::getenv(name.c_str());
   if (raw == nullptr || *raw == '\0') return fallback;
   return std::atoi(raw);
+}
+
+int env_int_strict(const std::string& name, int fallback) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  errno = 0;
+  const long value = std::strtol(raw, &end, 10);
+  if (end == raw || *end != '\0' || errno == ERANGE || value < INT_MIN ||
+      value > INT_MAX) {
+    throw std::invalid_argument(name + ": expected an integer, got \"" +
+                                raw + "\"");
+  }
+  return static_cast<int>(value);
 }
 
 double env_double(const std::string& name, double fallback) {

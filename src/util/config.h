@@ -38,6 +38,12 @@ struct RunScale {
 /// Integer env knob with default (e.g. SAFELOC_ROUNDS).
 [[nodiscard]] int env_int(const std::string& name, int fallback);
 
+/// Like env_int, but a set-but-non-numeric value throws std::invalid_argument
+/// naming the variable and the offending text instead of silently parsing to
+/// 0. Use for knobs where a typo must not degrade into a surprising default
+/// (e.g. SAFELOC_THREADS).
+[[nodiscard]] int env_int_strict(const std::string& name, int fallback);
+
 /// Float env knob with default.
 [[nodiscard]] double env_double(const std::string& name, double fallback);
 

@@ -3,7 +3,10 @@
 // schedule axes (participation, attack windows, dropout).
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdlib>
 #include <fstream>
+#include <sstream>
 #include <stdexcept>
 
 #include "src/baselines/frameworks.h"
@@ -31,7 +34,8 @@ attack::AttackConfig attack_of(attack::AttackKind kind, double epsilon) {
 TEST(FrameworkRegistry, EveryBuiltinIdConstructsAndNamesMatch) {
   const auto& registry = engine::FrameworkRegistry::global();
   const std::vector<std::string> expected = {
-      "SAFELOC", "FEDCC", "FEDHIL", "ONLAD", "FEDLOC", "FEDLS", "KRUM"};
+      "SAFELOC", "FEDCC",  "FEDHIL", "ONLAD",
+      "FEDLOC",  "FEDLS",  "KRUM",   "FEDLS_STRICT"};
   ASSERT_EQ(registry.ids(), expected);
   for (const std::string& id : registry.ids()) {
     EXPECT_TRUE(registry.contains(id));
@@ -97,6 +101,33 @@ TEST(FrameworkRegistry, OptionsReachTheFactories) {
   EXPECT_EQ(options.key(), options.key());
 }
 
+TEST(FrameworkRegistry, FedLsStrictIsFedLsAtTighterThreshold) {
+  const auto& registry = engine::FrameworkRegistry::global();
+  const auto strict = registry.create("FEDLS_STRICT");
+  EXPECT_EQ(strict->name(), "FEDLS_STRICT");
+  const auto* strict_fedls =
+      dynamic_cast<baselines::FedLsFramework*>(strict.get());
+  ASSERT_NE(strict_fedls, nullptr);
+  EXPECT_DOUBLE_EQ(strict_fedls->z_threshold(), 1.0);
+
+  const auto baseline = registry.create("FEDLS");
+  const auto* baseline_fedls =
+      dynamic_cast<baselines::FedLsFramework*>(baseline.get());
+  ASSERT_NE(baseline_fedls, nullptr);
+  EXPECT_DOUBLE_EQ(baseline_fedls->z_threshold(), 1.5);
+  EXPECT_LT(strict_fedls->z_threshold(), baseline_fedls->z_threshold());
+
+  // The regular FEDLS entry honours the options knob (and the knob feeds
+  // the pretrain-group fingerprint).
+  engine::FrameworkOptions options;
+  options.fedls_z_threshold = 2.5;
+  const auto tuned = registry.create("FEDLS", options);
+  EXPECT_DOUBLE_EQ(
+      dynamic_cast<baselines::FedLsFramework&>(*tuned).z_threshold(), 2.5);
+  engine::FrameworkOptions defaults;
+  EXPECT_NE(options.key(), defaults.key());
+}
+
 TEST(FrameworkRegistry, CustomRegistrationAppends) {
   engine::FrameworkRegistry registry;
   registry.register_framework("MYFED", [](const engine::FrameworkOptions&) {
@@ -149,6 +180,88 @@ TEST(ScenarioGrid, EpsilonAxisOverridesAttackEpsilonAndLabelsFlow) {
   EXPECT_EQ(cells[0].resolved_attack_label(), "fgsm-cell");
   // Last axis varies fastest: the epsilon pair is contiguous.
   EXPECT_EQ(cells[0].attack.kind, attack::AttackKind::kFgsm);
+}
+
+TEST(ScenarioGrid, RepeatsAxisExpandsWithDerivedSeeds) {
+  engine::ScenarioGrid grid;
+  grid.base().seed = 42;
+  grid.attacks({attack_of(attack::AttackKind::kNone, 0.0),
+                attack_of(attack::AttackKind::kLabelFlip, 1.0)})
+      .repeats(3);
+  EXPECT_EQ(grid.size(), 2u * 3u);
+  const auto cells = grid.expand();
+  ASSERT_EQ(cells.size(), 6u);
+  // Repeats are the innermost axis: the first three cells are the clean
+  // attack's replicas.
+  for (int r = 0; r < 3; ++r) {
+    EXPECT_EQ(cells[static_cast<std::size_t>(r)].repeat, r);
+    EXPECT_EQ(cells[static_cast<std::size_t>(r)].attack.kind,
+              attack::AttackKind::kNone);
+  }
+  // Repeat 0 keeps the grid seed; later repeats derive distinct seeds,
+  // deterministically.
+  EXPECT_EQ(cells[0].seed, 42u);
+  EXPECT_NE(cells[1].seed, cells[0].seed);
+  EXPECT_NE(cells[2].seed, cells[1].seed);
+  EXPECT_EQ(cells[1].seed, engine::repeat_seed(42, 1));
+  // The two attacks' replica r share a seed (paired across the grid).
+  EXPECT_EQ(cells[1].seed, cells[4].seed);
+}
+
+TEST(RunReport, RepeatSummariesFoldReplicasIntoMeanStd) {
+  engine::RunReport report;
+  auto make_cell = [](attack::AttackKind kind, int repeat, double mean_m,
+                      double best_m, double worst_m) {
+    engine::CellResult cell;
+    cell.spec.attack = attack_of(kind, kind == attack::AttackKind::kNone
+                                           ? 0.0
+                                           : 1.0);
+    cell.spec.repeat = repeat;
+    cell.spec.seed = engine::repeat_seed(7, repeat);
+    cell.spec.rounds = 1;
+    cell.spec.server_epochs = 1;
+    cell.stats = {.mean_m = mean_m, .best_m = best_m, .worst_m = worst_m,
+                  .count = 10};
+    return cell;
+  };
+  report.cells.push_back(
+      make_cell(attack::AttackKind::kNone, 0, 1.0, 0.5, 2.0));
+  report.cells.push_back(
+      make_cell(attack::AttackKind::kNone, 1, 3.0, 0.25, 5.0));
+  report.cells.push_back(
+      make_cell(attack::AttackKind::kLabelFlip, 0, 8.0, 2.0, 9.0));
+  report.cells.push_back(
+      make_cell(attack::AttackKind::kLabelFlip, 1, 10.0, 3.0, 12.0));
+
+  const auto summaries = report.repeat_summaries();
+  ASSERT_EQ(summaries.size(), 2u);
+  EXPECT_EQ(summaries[0].spec.resolved_attack_label(), "none");
+  EXPECT_EQ(summaries[0].repeats, 2u);
+  EXPECT_DOUBLE_EQ(summaries[0].mean_m, 2.0);
+  EXPECT_DOUBLE_EQ(summaries[0].std_m, std::sqrt(2.0));  // sample std of {1,3}
+  EXPECT_DOUBLE_EQ(summaries[0].best_m, 0.25);
+  EXPECT_DOUBLE_EQ(summaries[0].worst_m, 5.0);
+  // The summary's representative spec is the repeat-0 replica.
+  EXPECT_EQ(summaries[0].spec.seed, 7u);
+  EXPECT_EQ(summaries[1].repeats, 2u);
+  EXPECT_DOUBLE_EQ(summaries[1].mean_m, 9.0);
+
+  // An explicit seeds axis folds the same way: the representative spec is
+  // the group's first cell in grid order.
+  engine::RunReport seeded;
+  for (std::uint64_t seed : {11u, 22u, 33u}) {
+    engine::CellResult cell;
+    cell.spec.seed = seed;
+    cell.spec.rounds = 1;
+    cell.spec.server_epochs = 1;
+    cell.stats.mean_m = static_cast<double>(seed);
+    seeded.cells.push_back(cell);
+  }
+  const auto folded = seeded.repeat_summaries();
+  ASSERT_EQ(folded.size(), 1u);
+  EXPECT_EQ(folded[0].repeats, 3u);
+  EXPECT_EQ(folded[0].spec.seed, 11u);
+  EXPECT_DOUBLE_EQ(folded[0].mean_m, 22.0);
 }
 
 TEST(ScenarioSpec, PopulationExpansion) {
@@ -367,6 +480,40 @@ TEST(ScenarioEngine, TauOverrideDoesNotLeakAcrossCellsInAGroup) {
             paired.cells[1].fl.rounds[0].samples_flagged);
 }
 
+TEST(ScenarioEngine, CaptureFinalGmPopulatesCellsOnRequestOnly) {
+  engine::ScenarioSpec spec;
+  spec.framework = "FEDLOC";
+  spec.building = 2;
+  spec.rounds = 1;
+  spec.server_epochs = 1;
+  const engine::ScenarioEngine eng;
+  const engine::RunReport plain =
+      eng.run(std::vector<engine::ScenarioSpec>{spec}, 1);
+  EXPECT_TRUE(plain.cells[0].final_gm.empty());
+
+  const engine::RunReport captured =
+      eng.run(std::vector<engine::ScenarioSpec>{spec}, 1,
+              /*capture_final_gm=*/true);
+  ASSERT_FALSE(captured.cells[0].final_gm.empty());
+  // The captured model is the *post-rounds* GM — loadable into a fresh
+  // framework of the same architecture.
+  auto framework = engine::FrameworkRegistry::global().create("FEDLOC");
+  const eval::Experiment experiment(2);
+  experiment.pretrain(*framework, /*epochs=*/1);
+  framework->restore(captured.cells[0].final_gm);
+}
+
+TEST(ScenarioEngine, ThreadCountEnvRejectsNonNumericValues) {
+  ::setenv("SAFELOC_THREADS", "6", 1);
+  EXPECT_EQ(engine::default_thread_count(), 6);
+  ::setenv("SAFELOC_THREADS", "abc", 1);
+  EXPECT_THROW((void)engine::default_thread_count(), std::invalid_argument);
+  ::setenv("SAFELOC_THREADS", "4x", 1);
+  EXPECT_THROW((void)engine::default_thread_count(), std::invalid_argument);
+  ::unsetenv("SAFELOC_THREADS");
+  EXPECT_GE(engine::default_thread_count(), 1);
+}
+
 TEST(ScenarioEngine, UnknownFrameworkRejectedFromWorker) {
   engine::ScenarioSpec spec;
   spec.framework = "NOPE";
@@ -422,6 +569,49 @@ TEST(RunReport, JsonSchemaGolden) {
       "\"attack_active\":true,\"participants\":[0,1],\"excluded\":[1]}]}"
       "]}\n";
   EXPECT_EQ(report.to_json(), expected);
+}
+
+TEST(RunReport, CsvSchemaGolden) {
+  // Mirrors JsonSchemaGolden: same fixed cell, exact bytes out, so the CSV
+  // writer stays deterministic (column order, number formatting, NaN-τ as
+  // an empty field).
+  engine::CellResult cell;
+  cell.spec.framework = "SAFELOC";
+  cell.spec.building = 1;
+  cell.spec.seed = 7;
+  cell.spec.rounds = 2;
+  cell.spec.server_epochs = 3;
+  cell.spec.attack = attack_of(attack::AttackKind::kFgsm, 0.5);
+  cell.spec.attack_label = "FGSM";
+  cell.stats = {.mean_m = 1.5, .best_m = 0.5, .worst_m = 3.25, .count = 4};
+  cell.exclusion = {.true_positives = 1,
+                    .false_positives = 1,
+                    .false_negatives = 1};
+  engine::CellResult repeat_cell = cell;
+  repeat_cell.spec.repeat = 1;
+  repeat_cell.spec.seed = 99;
+  repeat_cell.spec.tau = 0.15;
+
+  engine::RunReport report;
+  report.cells.push_back(cell);
+  report.cells.push_back(repeat_cell);
+
+  const std::string path = ::testing::TempDir() + "/golden.csv";
+  report.write_csv(path);
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::stringstream contents;
+  contents << in.rdbuf();
+
+  const std::string expected =
+      "framework,building,seed,repeat,attack,epsilon,attack_start,"
+      "attack_duration,rounds,server_epochs,total_clients,poisoned_clients,"
+      "participation,dropout,tau,mean_m,best_m,worst_m,count,excl_precision,"
+      "excl_recall\n"
+      "SAFELOC,1,7,0,FGSM,0.5,0,-1,2,3,0,1,1,0,,1.5,0.5,3.25,4,0.5,0.5\n"
+      "SAFELOC,1,99,1,FGSM,0.5,0,-1,2,3,0,1,1,0,0.15,1.5,0.5,3.25,4,0.5,"
+      "0.5\n";
+  EXPECT_EQ(contents.str(), expected);
 }
 
 TEST(RunReport, WritersProduceFiles) {
