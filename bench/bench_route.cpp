@@ -1,0 +1,249 @@
+// Routing/sharding bench: LocalizationService throughput across
+// (shards x router policy x traffic mix), against device-realistic Poisson
+// traffic — the scaling story on top of bench_serve's single-engine numbers.
+//
+// Pipeline: train one SAFELOC model per building through the ScenarioEngine
+// (capture_final_gm so records carry serving calibration), publish them to
+// the service, then for every grid cell replay a pre-materialized traffic
+// stream closed-loop through submit() and measure queries/sec, p50/p99
+// latency, per-shard placement, and — for the adversarial mix — PoisonGate
+// flag counts. Each shard runs a single-worker QueryEngine, so the shards
+// axis maps 1:1 onto cores on real hardware.
+//
+// Traffic mixes:
+//   single        building 1 only
+//   mixed         uniform over buildings {1, 2}
+//   mixed_attack  mixed + a whole-stream evasion window (20% of queries at
+//                 eps = 0.3) with a PoisonGate on the admission chain
+//
+// Knobs:
+//   SAFELOC_SERVE_SMOKE=1 (or --smoke)  tiny grid for CI
+//   SAFELOC_ROUTE_QUERIES=<n>           queries per grid cell
+//   SAFELOC_EPOCHS                      training budget (model quality is
+//                                       irrelevant to routing throughput)
+//
+// Writes BENCH_route.json ("safeloc.route_bench/v1").
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/engine/engine.h"
+#include "src/serve/admission.h"
+#include "src/serve/model_store.h"
+#include "src/serve/router.h"
+#include "src/serve/service.h"
+#include "src/serve/traffic.h"
+#include "src/util/config.h"
+#include "src/util/stats.h"
+#include "src/util/table.h"
+
+namespace {
+
+using namespace safeloc;
+
+std::string num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+struct TrafficMix {
+  std::string name;
+  std::vector<int> buildings;
+  double attack_fraction = 0.0;
+  bool gate = false;
+};
+
+struct CellMeasurement {
+  int shards = 0;
+  std::string router;
+  std::string mix;
+  std::size_t queries = 0;
+  double wall_s = 0.0;
+  double qps = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  /// max routed share / mean routed share (1.0 = perfectly even).
+  double imbalance = 1.0;
+  std::uint64_t flagged = 0;
+  std::size_t poisoned = 0;
+};
+
+CellMeasurement run_cell(const serve::ModelStore& store,
+                         const std::vector<serve::TimedQuery>& stream,
+                         int shards, const std::string& router,
+                         const TrafficMix& mix) {
+  serve::ServiceConfig config;
+  config.shards = shards;
+  config.engine.workers = 1;  // the shards axis IS the parallelism axis
+  config.engine.max_batch = 64;
+  config.engine.batch_window = std::chrono::microseconds(100);
+  config.engine.queue_capacity = std::max<std::size_t>(
+      static_cast<std::size_t>(shards) * config.engine.max_batch * 2, 256);
+  serve::LocalizationService service(config);
+  service.set_router(serve::make_router(router));
+  if (mix.gate) service.add_admission(std::make_unique<serve::PoisonGate>());
+  service.publish_latest(store);
+
+  std::vector<double> latencies_us(stream.size(), 0.0);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    // Closed loop: the routed shard's bounded queue applies backpressure.
+    service.submit({stream[i].building, stream[i].x},
+                   [&latencies_us, i](serve::Response response) {
+                     latencies_us[i] = response.query.latency_us;
+                   });
+  }
+  service.drain();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  CellMeasurement cell;
+  cell.shards = shards;
+  cell.router = router;
+  cell.mix = mix.name;
+  cell.queries = stream.size();
+  cell.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  cell.qps = static_cast<double>(stream.size()) / cell.wall_s;
+  cell.p50_us = util::percentile(latencies_us, 50.0);
+  cell.p99_us = util::percentile(latencies_us, 99.0);
+  const serve::LocalizationService::Stats stats = service.stats();
+  std::uint64_t max_routed = 0, total_routed = 0;
+  for (const std::uint64_t r : stats.routed) {
+    max_routed = std::max(max_routed, r);
+    total_routed += r;
+  }
+  if (total_routed > 0) {
+    const double mean_share = static_cast<double>(total_routed) /
+                              static_cast<double>(stats.routed.size());
+    cell.imbalance = static_cast<double>(max_routed) / mean_share;
+  }
+  cell.flagged = stats.flagged;
+  for (const serve::TimedQuery& query : stream) {
+    cell.poisoned += query.poisoned ? 1 : 0;
+  }
+  return cell;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = util::env_int("SAFELOC_SERVE_SMOKE", 0) != 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  const std::vector<int> shard_axis =
+      smoke ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4, 8};
+  const std::vector<std::string> router_axis = {"hash", "round_robin",
+                                                "least_loaded"};
+  const std::vector<TrafficMix> mixes = {
+      {"single", {1}, 0.0, false},
+      {"mixed", {1, 2}, 0.0, false},
+      {"mixed_attack", {1, 2}, 0.2, true},
+  };
+  const std::size_t queries_per_cell = static_cast<std::size_t>(
+      util::env_int("SAFELOC_ROUTE_QUERIES", smoke ? 10'000 : 100'000));
+
+  // One benign SAFELOC deployment per building, calibration captured for
+  // the adversarial mix's PoisonGate.
+  engine::ScenarioGrid grid;
+  grid.base().framework = "SAFELOC";
+  grid.base().rounds = 0;
+  grid.base().server_epochs = util::env_int("SAFELOC_EPOCHS", smoke ? 2 : 8);
+  grid.buildings({1, 2});
+  std::printf("bench_route — training SAFELOC on buildings 1+2 (%d epochs)...\n",
+              grid.base().server_epochs);
+  const engine::RunReport trained = engine::ScenarioEngine{}.run(
+      grid, engine::default_thread_count(), /*capture_final_gm=*/true);
+  serve::ModelStore store;
+  store.publish_run(trained);
+
+  // Pre-materialize one stream per mix, shared by every (shards, router)
+  // cell of that mix so the comparison is apples-to-apples.
+  std::vector<std::vector<serve::TimedQuery>> streams;
+  for (const TrafficMix& mix : mixes) {
+    serve::TrafficConfig traffic_config;
+    traffic_config.buildings = mix.buildings;
+    traffic_config.mean_qps = 200'000.0;
+    traffic_config.attack_fraction = mix.attack_fraction;
+    traffic_config.attack_epsilon = 0.3;
+    streams.push_back(
+        serve::TrafficGenerator(traffic_config).generate(queries_per_cell));
+  }
+  std::printf("replaying %zu queries per cell over a %zu-cell grid on %u "
+              "core(s)%s\n",
+              queries_per_cell,
+              shard_axis.size() * router_axis.size() * mixes.size(),
+              std::thread::hardware_concurrency(), smoke ? " [smoke]" : "");
+
+  util::AsciiTable table({"mix", "router", "shards", "queries/s", "p50 (us)",
+                          "p99 (us)", "imbalance", "flagged"});
+  std::vector<CellMeasurement> cells;
+  for (std::size_t m = 0; m < mixes.size(); ++m) {
+    for (const std::string& router : router_axis) {
+      for (const int shards : shard_axis) {
+        const CellMeasurement cell =
+            run_cell(store, streams[m], shards, router, mixes[m]);
+        cells.push_back(cell);
+        table.add_row({cell.mix, cell.router, std::to_string(cell.shards),
+                       util::AsciiTable::num(cell.qps, 0),
+                       util::AsciiTable::num(cell.p50_us, 1),
+                       util::AsciiTable::num(cell.p99_us, 1),
+                       util::AsciiTable::num(cell.imbalance, 2),
+                       std::to_string(cell.flagged)});
+      }
+    }
+  }
+  std::printf("%s", table.render().c_str());
+
+  // Scaling summary: best speedup of the widest fleet over one shard.
+  const int max_shards = shard_axis.back();
+  double best_speedup = 0.0;
+  std::string best_label;
+  for (const CellMeasurement& wide : cells) {
+    if (wide.shards != max_shards) continue;
+    for (const CellMeasurement& one : cells) {
+      if (one.shards == 1 && one.router == wide.router && one.mix == wide.mix &&
+          one.qps > 0.0 && wide.qps / one.qps > best_speedup) {
+        best_speedup = wide.qps / one.qps;
+        best_label = wide.mix + "/" + wide.router;
+      }
+    }
+  }
+  std::printf("best %d-shard speedup over 1 shard: %.2fx (%s) — shard "
+              "scaling is core-bound; this host has %u core(s)\n",
+              max_shards, best_speedup, best_label.c_str(),
+              std::thread::hardware_concurrency());
+
+  std::string json = "{\"schema\":\"safeloc.route_bench/v1\",";
+  json += "\"queries_per_cell\":" + std::to_string(queries_per_cell) + ",";
+  json += "\"hardware_threads\":" +
+          std::to_string(std::thread::hardware_concurrency()) + ",";
+  json += "\"cells\":[";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const CellMeasurement& cell = cells[i];
+    if (i > 0) json += ',';
+    json += "{\"mix\":\"" + cell.mix + "\",";
+    json += "\"router\":\"" + cell.router + "\",";
+    json += "\"shards\":" + std::to_string(cell.shards) + ",";
+    json += "\"queries\":" + std::to_string(cell.queries) + ",";
+    json += "\"wall_s\":" + num(cell.wall_s) + ",";
+    json += "\"qps\":" + num(cell.qps) + ",";
+    json += "\"latency_us\":{\"p50\":" + num(cell.p50_us) +
+            ",\"p99\":" + num(cell.p99_us) + "},";
+    json += "\"imbalance\":" + num(cell.imbalance) + ",";
+    json += "\"poisoned\":" + std::to_string(cell.poisoned) + ",";
+    json += "\"flagged\":" + std::to_string(cell.flagged) + "}";
+  }
+  json += "]}\n";
+  std::ofstream out("BENCH_route.json", std::ios::binary);
+  out.write(json.data(), static_cast<std::streamsize>(json.size()));
+  std::printf("report written to BENCH_route.json\n");
+  return 0;
+}

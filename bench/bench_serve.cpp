@@ -1,14 +1,16 @@
-// Serving-layer load bench: throughput and latency of the QueryEngine
+// Serving-layer load bench: throughput and latency of one serving shard
 // across micro-batch caps and worker counts, against device-realistic
-// Poisson traffic.
+// Poisson traffic — plus a microbenchmark of the two ServingNet GEMM
+// kernels (naive vs blocked) on the hot-loop shapes.
 //
 // Pipeline: train a SAFELOC global model through the ScenarioEngine
-// (benign cell, capture_final_gm), publish it to a ModelStore, then for
-// every (workers x batch) grid cell deploy into a fresh QueryEngine and
-// replay a pre-materialized TrafficGenerator stream closed-loop (producers
-// submit as fast as the bounded queue admits). Reports queries/sec and
-// p50/p99/mean submit-to-completion latency per cell, written to
-// BENCH_serve.json ("safeloc.serve_bench/v1").
+// (benign cell, capture_final_gm), publish it into a single-shard
+// LocalizationService, and for every (workers x batch) grid cell replay a
+// pre-materialized TrafficGenerator stream closed-loop through submit()
+// (producers go as fast as the bounded queue admits). Reports queries/sec
+// and p50/p99/mean submit-to-completion latency per cell, written to
+// BENCH_serve.json ("safeloc.serve_bench/v2"). bench_route sweeps the
+// multi-shard axis on top of these single-shard numbers.
 //
 // Knobs:
 //   SAFELOC_SERVE_SMOKE=1 (or --smoke)  tiny 1-cell grid, ~1 s total (CI)
@@ -25,10 +27,12 @@
 #include <vector>
 
 #include "src/engine/engine.h"
+#include "src/nn/matrix.h"
 #include "src/serve/model_store.h"
-#include "src/serve/query_engine.h"
+#include "src/serve/service.h"
 #include "src/serve/traffic.h"
 #include "src/util/config.h"
+#include "src/util/rng.h"
 #include "src/util/stats.h"
 #include "src/util/table.h"
 
@@ -57,29 +61,30 @@ struct CellMeasurement {
 CellMeasurement run_cell(const serve::ModelRecord& record,
                          const std::vector<serve::TimedQuery>& stream,
                          int workers, std::size_t batch) {
-  serve::QueryEngineConfig config;
-  config.workers = workers;
-  config.max_batch = batch;
-  config.batch_window = std::chrono::microseconds(100);
+  serve::ServiceConfig config;
+  config.shards = 1;
+  config.engine.workers = workers;
+  config.engine.max_batch = batch;
+  config.engine.batch_window = std::chrono::microseconds(100);
   // Closed-loop with bounded outstanding work: enough backlog to keep every
   // worker's batches full, shallow enough that the latency columns measure
   // batching + service time instead of raw backlog depth.
-  config.queue_capacity =
+  config.engine.queue_capacity =
       std::max<std::size_t>(static_cast<std::size_t>(workers) * batch * 2, 256);
-  serve::QueryEngine engine(config);
-  engine.deploy(record);
+  serve::LocalizationService service(config);
+  service.publish(record);
 
   std::vector<double> latencies_us(stream.size(), 0.0);
   const auto t0 = std::chrono::steady_clock::now();
   for (std::size_t i = 0; i < stream.size(); ++i) {
     // Closed loop: the bounded queue applies backpressure, so submission
     // runs at whatever rate the workers sustain.
-    engine.submit(stream[i].building, stream[i].x,
-                  [&latencies_us, i](serve::QueryResult result) {
-                    latencies_us[i] = result.latency_us;
-                  });
+    service.submit({stream[i].building, stream[i].x},
+                   [&latencies_us, i](serve::Response response) {
+                     latencies_us[i] = response.query.latency_us;
+                   });
   }
-  engine.drain();
+  service.drain();
   const auto t1 = std::chrono::steady_clock::now();
 
   CellMeasurement cell;
@@ -91,8 +96,51 @@ CellMeasurement run_cell(const serve::ModelRecord& record,
   cell.p50_us = util::percentile(latencies_us, 50.0);
   cell.p99_us = util::percentile(latencies_us, 99.0);
   cell.mean_us = util::mean_of(latencies_us);
+  auto& engine = dynamic_cast<serve::QueryEngine&>(service.shard(0));
   cell.mean_batch_fill = engine.stats().mean_batch_fill();
   return cell;
+}
+
+struct KernelMeasurement {
+  std::size_t m = 0, k = 0, n = 0;
+  double naive_us = 0.0;
+  double blocked_us = 0.0;
+};
+
+/// Times both GEMM kernels on one serving shape (median-of-5 reps).
+KernelMeasurement time_kernels(std::size_t m, std::size_t k, std::size_t n,
+                               int reps) {
+  util::Rng rng(0xbe7c4);
+  nn::Matrix a(m, k), b(k, n), out;
+  for (float& v : a.flat()) v = rng.uniform_f(0.0f, 1.0f);
+  for (float& v : b.flat()) v = rng.uniform_f(-0.5f, 0.5f);
+
+  const auto time_one = [&](auto&& kernel) {
+    std::vector<double> runs;
+    for (int r = 0; r < 5; ++r) {
+      const auto t0 = std::chrono::steady_clock::now();
+      for (int i = 0; i < reps; ++i) kernel(a, b, out);
+      const auto t1 = std::chrono::steady_clock::now();
+      runs.push_back(std::chrono::duration<double, std::micro>(t1 - t0)
+                         .count() /
+                     reps);
+    }
+    return util::percentile(runs, 50.0);
+  };
+
+  KernelMeasurement kernel;
+  kernel.m = m;
+  kernel.k = k;
+  kernel.n = n;
+  kernel.naive_us = time_one(
+      [](const nn::Matrix& x, const nn::Matrix& y, nn::Matrix& o) {
+        nn::matmul_into(x, y, o);
+      });
+  kernel.blocked_us = time_one(
+      [](const nn::Matrix& x, const nn::Matrix& y, nn::Matrix& o) {
+        nn::matmul_into_blocked(x, y, o);
+      });
+  return kernel;
 }
 
 }  // namespace
@@ -157,7 +205,27 @@ int main(int argc, char** argv) {
   }
   std::printf("%s", table.render().c_str());
 
-  std::string json = "{\"schema\":\"safeloc.serve_bench/v1\",";
+  // ServingNet GEMM kernels on the hot-loop shapes: (batch x 128) x
+  // (128 x 89) is the widest layer of the paper architecture.
+  const int kernel_reps = smoke ? 200 : 2000;
+  std::vector<KernelMeasurement> kernels;
+  util::AsciiTable kernel_table(
+      {"m", "k", "n", "naive (us)", "blocked (us)", "speedup"});
+  for (const std::size_t batch : {std::size_t{1}, std::size_t{64},
+                                  std::size_t{256}, std::size_t{1024}}) {
+    const KernelMeasurement kernel = time_kernels(batch, 128, 89, kernel_reps);
+    kernels.push_back(kernel);
+    kernel_table.add_row({std::to_string(kernel.m), std::to_string(kernel.k),
+                          std::to_string(kernel.n),
+                          util::AsciiTable::num(kernel.naive_us, 2),
+                          util::AsciiTable::num(kernel.blocked_us, 2),
+                          util::AsciiTable::num(
+                              kernel.naive_us / kernel.blocked_us, 2)});
+  }
+  std::printf("GEMM kernels (ServingNet hot loop, bit-identical results):\n%s",
+              kernel_table.render().c_str());
+
+  std::string json = "{\"schema\":\"safeloc.serve_bench/v2\",";
   json += "\"model\":{\"name\":\"" + record.name + "\",";
   json += "\"framework\":\"" + record.provenance.framework + "\",";
   json += "\"building\":" + std::to_string(record.provenance.building) + ",";
@@ -178,6 +246,16 @@ int main(int argc, char** argv) {
             ",\"p99\":" + num(cell.p99_us) +
             ",\"mean\":" + num(cell.mean_us) + "},";
     json += "\"mean_batch_fill\":" + num(cell.mean_batch_fill) + "}";
+  }
+  json += "],\"kernels\":[";
+  for (std::size_t i = 0; i < kernels.size(); ++i) {
+    const KernelMeasurement& kernel = kernels[i];
+    if (i > 0) json += ',';
+    json += "{\"m\":" + std::to_string(kernel.m) + ",";
+    json += "\"k\":" + std::to_string(kernel.k) + ",";
+    json += "\"n\":" + std::to_string(kernel.n) + ",";
+    json += "\"naive_us\":" + num(kernel.naive_us) + ",";
+    json += "\"blocked_us\":" + num(kernel.blocked_us) + "}";
   }
   json += "]}\n";
   std::ofstream out("BENCH_serve.json", std::ios::binary);

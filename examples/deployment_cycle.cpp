@@ -1,69 +1,111 @@
-// Deployment cycle: persist a trained SAFELOC global model to disk and
-// bring a fresh server instance back up from the snapshot — the operational
-// path a real deployment uses between federated sessions.
+// Deployment cycle: the operational loop between federated sessions, on
+// the serve::LocalizationService API.
 //
-//   1. pretrain on building 2, run a short benign federation
-//   2. save the GM (versioned binary state-dict) to safeloc_gm.bin
-//   3. boot a brand-new SafeLocFramework, load the snapshot
-//   4. verify both instances predict identically, then resume federation
-//      on the restored instance under a PGD attack
+//   1. train a benign SAFELOC session on building 2 through the
+//      ScenarioEngine and publish the captured GM (v1) into a ModelStore
+//   2. bring up a LocalizationService (poison-gated) on v1 and answer a
+//      probe query
+//   3. run the *next* federated session — this one under a PGD attacker —
+//      and publish its GM as v2 of the same model name
+//   4. service.publish() hot-swaps every shard to v2 with serving never
+//      pausing; probe again and observe the version flip
+//   5. persist the store ("SFST" v2), cold-start a fresh framework from
+//      the persisted record, and verify it predicts identically — the
+//      snapshot on disk is the serving truth
 //
-// Usage: deployment_cycle [path=safeloc_gm.bin]
+// Usage: deployment_cycle [path=safeloc_store.bin]
 #include <cstdio>
-#include <fstream>
+#include <memory>
+#include <vector>
 
 #include "src/attack/attack.h"
+#include "src/engine/engine.h"
 #include "src/engine/registry.h"
 #include "src/eval/experiment.h"
+#include "src/serve/admission.h"
+#include "src/serve/model_store.h"
+#include "src/serve/service.h"
+#include "src/serve/traffic.h"
 #include "src/util/config.h"
 
 int main(int argc, char** argv) {
   using namespace safeloc;
-  const std::string path = argc > 1 ? argv[1] : "safeloc_gm.bin";
+  const std::string path = argc > 1 ? argv[1] : "safeloc_store.bin";
   const util::RunScale& scale = util::run_scale();
-  const eval::Experiment experiment(/*building_id=*/2);
 
-  // 1. Train and federate (framework construction via the registry).
-  const auto& registry = engine::FrameworkRegistry::global();
-  const auto server_ptr = registry.create("SAFELOC");
-  fl::FederatedFramework& server = *server_ptr;
-  experiment.pretrain(server, scale.server_epochs);
-  attack::AttackConfig benign;
-  const auto clean = experiment.run_attack(server, benign, scale.fl_rounds);
-  std::printf("trained GM: mean error %.2f m over 5 test devices\n",
-              clean.stats.mean_m);
-
-  // 2. Persist.
-  {
-    std::ofstream out(path, std::ios::binary);
-    server.snapshot().save(out);
-  }
-  std::printf("saved GM snapshot to %s\n", path.c_str());
-
-  // 3. Cold-start a new server from the snapshot. pretrain(…, 1 epoch)
-  // builds the architecture for this building; restore() then overwrites
-  // every tensor with the persisted weights.
-  const auto restored_ptr = registry.create("SAFELOC");
-  fl::FederatedFramework& restored = *restored_ptr;
-  experiment.pretrain(restored, /*epochs=*/1);
-  {
-    std::ifstream in(path, std::ios::binary);
-    restored.restore(nn::StateDict::load(in));
-  }
-
-  // 4. Verify equivalence, then resume federation under attack.
-  const nn::Matrix probe = experiment.training_set().x.slice_rows(0, 32);
-  const bool identical = server.predict(probe) == restored.predict(probe);
-  std::printf("restored server predicts identically: %s\n",
-              identical ? "yes" : "NO — snapshot mismatch");
-
+  // 1+3. Two federated sessions from one pretrained snapshot: benign, then
+  // PGD eps=0.5 — the engine runs both cells in grid order, so publish_run
+  // assigns the benign GM version 1 and the attacked GM version 2.
+  std::printf("deployment_cycle — SAFELOC on building 2 (%d epochs, "
+              "%d rounds/session)\n",
+              scale.server_epochs, scale.fl_rounds);
   attack::AttackConfig pgd;
   pgd.kind = attack::AttackKind::kPgd;
   pgd.epsilon = 0.5;
-  const auto attacked = experiment.run_attack(restored, pgd, scale.fl_rounds);
-  std::printf(
-      "resumed federation under PGD eps=0.5: mean error %.2f m "
-      "(benign was %.2f m)\n",
-      attacked.stats.mean_m, clean.stats.mean_m);
-  return identical ? 0 : 1;
+  engine::ScenarioGrid grid;
+  grid.base().framework = "SAFELOC";
+  grid.base().building = 2;
+  grid.attacks({{"benign", attack::AttackConfig{}}, {"PGD@0.5", pgd}});
+  const engine::RunReport sessions = engine::ScenarioEngine{}.run(
+      grid, engine::default_thread_count(), /*capture_final_gm=*/true);
+  std::printf("session 1 (benign): mean error %.2f m | session 2 (PGD): "
+              "mean error %.2f m\n",
+              sessions.cells[0].stats.mean_m, sessions.cells[1].stats.mean_m);
+
+  serve::ModelStore store;
+  const std::string name = serve::default_model_name(sessions.cells[0].spec);
+  store.publish(sessions.cells[0]);
+
+  // 2. Serve v1.
+  serve::ServiceConfig config;
+  config.shards = 2;
+  config.engine.workers = 1;
+  serve::LocalizationService service(config);
+  service.add_admission(std::make_unique<serve::PoisonGate>());
+  service.publish(store.latest(name));
+
+  serve::TrafficConfig traffic_config;
+  traffic_config.buildings = {2};
+  serve::TrafficGenerator traffic(traffic_config);
+  const serve::TimedQuery probe = traffic.next();
+  const serve::Response before =
+      service.submit({probe.building, probe.x}).get();
+  std::printf("serving v%u: probe -> rp %d\n", before.query.model_version,
+              before.query.rp);
+
+  // 4. Publish the post-attack session as v2; the service hot-swaps all
+  // shards — in-flight queries finish on v1, everything after publish()
+  // answers on v2.
+  store.publish(sessions.cells[1]);
+  service.publish(store.latest(name));
+  const serve::Response after = service.submit({probe.building, probe.x}).get();
+  std::printf("republished as v%u: probe -> rp %d (version observed on "
+              "every shard: %u)\n",
+              after.query.model_version, after.query.rp,
+              service.published_version(2));
+
+  // 5. Persist, cold-start a fresh framework from the persisted bytes, and
+  // verify prediction parity with the serving record.
+  store.save_file(path);
+  const serve::ModelStore reloaded = serve::ModelStore::load_file(path);
+  const serve::ModelRecord& record = reloaded.at(name, 2);
+  const eval::Experiment experiment(/*building_id=*/2);
+  const auto restored =
+      engine::FrameworkRegistry::global().create("SAFELOC");
+  experiment.pretrain(*restored, /*epochs=*/1);  // build the architecture
+  restored->restore(record.state);
+
+  const nn::Matrix probe_batch = experiment.training_set().x.slice_rows(0, 32);
+  auto live = engine::FrameworkRegistry::global().create("SAFELOC");
+  experiment.pretrain(*live, /*epochs=*/1);
+  live->restore(store.at(name, 2).state);
+  const bool identical =
+      restored->predict(probe_batch) == live->predict(probe_batch);
+  std::printf("saved store to %s; cold-started server predicts identically: "
+              "%s\n",
+              path.c_str(), identical ? "yes" : "NO — snapshot mismatch");
+  return identical && before.query.model_version == 1 &&
+                 after.query.model_version == 2
+             ? 0
+             : 1;
 }

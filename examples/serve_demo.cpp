@@ -1,30 +1,54 @@
-// Serving quickstart: the full deployment lifecycle on two buildings.
+// Serving quickstart: the full deployment lifecycle on two buildings,
+// through the serve::LocalizationService front door.
 //
 //   1. Train: a benign two-building SAFELOC grid through the
 //      ScenarioEngine, with capture_final_gm so each cell's post-rounds
-//      global model is kept.
+//      global model is kept — together with its serving calibration
+//      (clean feature envelope + clean RCE distribution).
 //   2. Publish: push both captured models into a versioned ModelStore and
-//      persist it to disk (deterministic binary format).
-//   3. Serve: deploy into a batched QueryEngine and answer a
-//      device-realistic mixed-building traffic stream; report accuracy and
-//      observed latency.
-//   4. Round-trip: reload the store from disk into a second engine and
-//      re-serve the identical stream — predictions must match exactly,
-//      proving the persisted snapshot is the serving truth.
+//      persist it to disk (deterministic "SFST" v2 binary).
+//   3. Serve: bring up a 2-shard LocalizationService (hash-routed, with a
+//      PoisonGate on the admission chain) and answer a device-realistic
+//      mixed-building stream that contains an adversarial attack window;
+//      report accuracy, latency, and how the gate scored the window.
+//   4. Round-trip: reload the store from disk into a second service and
+//      re-serve the identical stream — predictions and gate verdicts must
+//      match exactly, proving the persisted snapshot is the serving truth.
 //
 // Usage: serve_demo    (fast profile; SAFELOC_FAST=0 for paper scale)
 #include <cstdio>
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "src/engine/engine.h"
 #include "src/rss/building.h"
+#include "src/serve/admission.h"
 #include "src/serve/model_store.h"
-#include "src/serve/query_engine.h"
+#include "src/serve/router.h"
+#include "src/serve/service.h"
 #include "src/serve/traffic.h"
 #include "src/util/config.h"
 #include "src/util/stats.h"
 #include "src/util/table.h"
+
+namespace {
+
+std::unique_ptr<safeloc::serve::LocalizationService> make_service(
+    const safeloc::serve::ModelStore& store) {
+  using namespace safeloc;
+  serve::ServiceConfig config;
+  config.shards = 2;
+  config.engine.workers = 1;
+  config.engine.max_batch = 32;
+  auto service = std::make_unique<serve::LocalizationService>(config);
+  service->set_router(serve::make_router("hash"));
+  service->add_admission(std::make_unique<serve::PoisonGate>());
+  service->publish_latest(store);
+  return service;
+}
+
+}  // namespace
 
 int main() {
   using namespace safeloc;
@@ -42,95 +66,131 @@ int main() {
   const engine::RunReport report =
       eng.run(grid, engine::default_thread_count(), /*capture_final_gm=*/true);
 
-  // 2. Publish to a versioned store and persist it.
+  // 2. Publish to a versioned store and persist it (v2: calibration rides
+  // along with every record).
   serve::ModelStore store;
   const std::size_t published = store.publish_run(report);
   const std::string store_path = "safeloc_store.bin";
   store.save_file(store_path);
   util::AsciiTable models({"model", "version", "building", "classes",
-                          "trained under"});
+                          "trained under", "clean RCE p99"});
   for (const std::string& name : store.names()) {
     const serve::ModelRecord& record = store.latest(name);
     models.add_row({record.name, std::to_string(record.version),
                     std::to_string(record.provenance.building),
                     std::to_string(record.provenance.num_classes),
-                    record.provenance.attack_label});
+                    record.provenance.attack_label,
+                    util::AsciiTable::num(record.calibration.rce_p99, 4)});
   }
   std::printf("published %zu model(s) to %s:\n%s", published,
               store_path.c_str(), models.render().c_str());
 
-  // 3. Serve a mixed-building, heterogeneous-device stream.
-  serve::QueryEngineConfig serving;
-  serving.workers = 2;
-  serving.max_batch = 32;
-  serve::QueryEngine engine(serving);
-  for (const std::string& name : store.names()) {
-    engine.deploy(store.latest(name));
-  }
-
+  // 3. Serve a mixed-building stream with an adversarial window in the
+  // middle: every query between 20 ms and 40 ms of stream time carries an
+  // eps = 0.3 evasion perturbation.
   serve::TrafficConfig traffic_config;
   traffic_config.buildings = buildings;
   traffic_config.mean_qps = 10'000.0;
+  traffic_config.attack_fraction = 1.0;
+  traffic_config.attack_epsilon = 0.3;
+  traffic_config.attack_start_s = 0.02;
+  traffic_config.attack_duration_s = 0.02;
   serve::TrafficGenerator traffic(traffic_config);
-  const std::vector<serve::TimedQuery> stream = traffic.generate(400);
+  const std::vector<serve::TimedQuery> stream = traffic.generate(600);
 
-  std::vector<std::future<serve::QueryResult>> futures;
+  const auto service_ptr = make_service(store);
+  serve::LocalizationService& service = *service_ptr;
+  std::vector<std::future<serve::Response>> futures;
   futures.reserve(stream.size());
   for (const serve::TimedQuery& query : stream) {
-    futures.push_back(engine.submit(query.building, query.x));
+    futures.push_back(service.submit({query.building, query.x}));
   }
   std::map<int, rss::Building> floorplans;
   for (const int id : buildings) {
     floorplans.emplace(id, rss::Building(rss::paper_building(id)));
   }
-  util::RunningStats error_m, latency_us;
-  std::vector<serve::QueryResult> first_pass;
+  util::RunningStats clean_error_m, latency_us;
+  std::size_t poisoned = 0, poisoned_flagged = 0;
+  std::size_t clean = 0, clean_flagged = 0;
+  std::vector<serve::Response> first_pass;
   first_pass.reserve(stream.size());
   for (std::size_t i = 0; i < futures.size(); ++i) {
-    serve::QueryResult result = futures[i].get();
-    error_m.add(floorplans.at(stream[i].building)
-                    .rp_distance_m(static_cast<std::size_t>(result.rp),
-                                   static_cast<std::size_t>(stream[i].true_rp)));
-    latency_us.add(result.latency_us);
-    first_pass.push_back(std::move(result));
+    serve::Response response = futures[i].get();
+    latency_us.add(response.query.latency_us);
+    if (stream[i].poisoned) {
+      ++poisoned;
+      poisoned_flagged += response.flagged ? 1 : 0;
+    } else {
+      ++clean;
+      clean_flagged += response.flagged ? 1 : 0;
+      clean_error_m.add(floorplans.at(stream[i].building)
+                            .rp_distance_m(
+                                static_cast<std::size_t>(response.query.rp),
+                                static_cast<std::size_t>(stream[i].true_rp)));
+    }
+    first_pass.push_back(std::move(response));
   }
-  std::printf("served %zu queries: mean error %.2f m, mean latency %.0f us "
-              "(batch fill %.1f)\n",
-              stream.size(), error_m.mean(), latency_us.mean(),
-              engine.stats().mean_batch_fill());
+  const serve::LocalizationService::Stats stats = service.stats();
+  std::printf("served %zu queries on %zu shards (placement: %llu / %llu): "
+              "clean mean error %.2f m, mean latency %.0f us\n",
+              stream.size(), service.shard_count(),
+              static_cast<unsigned long long>(stats.routed[0]),
+              static_cast<unsigned long long>(stats.routed[1]),
+              clean_error_m.mean(), latency_us.mean());
+  const double recall = poisoned == 0
+                            ? 0.0
+                            : static_cast<double>(poisoned_flagged) /
+                                  static_cast<double>(poisoned);
+  const double benign_flag_rate =
+      clean == 0 ? 0.0
+                 : static_cast<double>(clean_flagged) /
+                       static_cast<double>(clean);
+  std::printf("poison gate: flagged %zu/%zu attack-window queries (%.1f%%), "
+              "%zu/%zu benign (%.1f%%)\n",
+              poisoned_flagged, poisoned, 100.0 * recall, clean_flagged,
+              clean, 100.0 * benign_flag_rate);
 
-  // 4. Reload the persisted store and prove serving equivalence.
+  // 4. Reload the persisted store and prove serving equivalence — same
+  // predictions AND same gate verdicts from the deserialized calibration.
   const serve::ModelStore reloaded = serve::ModelStore::load_file(store_path);
-  serve::QueryEngine engine2(serving);
-  for (const std::string& name : reloaded.names()) {
-    engine2.deploy(reloaded.latest(name));
-  }
-  std::vector<std::future<serve::QueryResult>> futures2;
+  const auto service2_ptr = make_service(reloaded);
+  serve::LocalizationService& service2 = *service2_ptr;
+  std::vector<std::future<serve::Response>> futures2;
   futures2.reserve(stream.size());
   for (const serve::TimedQuery& query : stream) {
-    futures2.push_back(engine2.submit(query.building, query.x));
+    futures2.push_back(service2.submit({query.building, query.x}));
   }
   std::size_t mismatches = 0;
   for (std::size_t i = 0; i < futures2.size(); ++i) {
-    const serve::QueryResult result = futures2[i].get();
-    bool same = result.rp == first_pass[i].rp &&
-                result.top_k.size() == first_pass[i].top_k.size();
+    const serve::Response response = futures2[i].get();
+    const serve::Response& first = first_pass[i];
+    bool same = response.query.rp == first.query.rp &&
+                response.flagged == first.flagged &&
+                response.query.top_k.size() == first.query.top_k.size();
     if (same) {
-      for (std::size_t k = 0; k < result.top_k.size(); ++k) {
-        same &= result.top_k[k].label == first_pass[i].top_k[k].label &&
-                result.top_k[k].confidence == first_pass[i].top_k[k].confidence;
+      for (std::size_t k = 0; k < response.query.top_k.size(); ++k) {
+        same &= response.query.top_k[k].label == first.query.top_k[k].label &&
+                response.query.top_k[k].confidence ==
+                    first.query.top_k[k].confidence;
       }
     }
     if (!same) ++mismatches;
   }
   if (mismatches != 0) {
-    std::printf("FAIL: %zu/%zu predictions changed across the store "
-                "save/load round-trip\n",
+    std::printf("FAIL: %zu/%zu responses changed across the store save/load "
+                "round-trip\n",
                 mismatches, stream.size());
     return 1;
   }
-  std::printf("store round-trip verified: %zu/%zu predictions identical "
-              "after save -> load -> redeploy\n",
+  std::printf("store round-trip verified: %zu/%zu responses identical after "
+              "save -> load -> republish\n",
               stream.size(), stream.size());
+
+  if (recall < 0.9 || benign_flag_rate > 0.1) {
+    std::printf("FAIL: poison gate off target (recall %.2f, benign flag "
+                "rate %.2f)\n",
+                recall, benign_flag_rate);
+    return 1;
+  }
   return 0;
 }

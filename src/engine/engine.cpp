@@ -109,6 +109,7 @@ RunReport ScenarioEngine::run(const std::vector<ScenarioSpec>& grid,
           cell.fl = std::move(outcome.fl_diagnostics);
           cell.exclusion = exclusion_stats(spec, cell.fl);
           cell.final_gm = std::move(outcome.final_gm);
+          cell.calibration = std::move(outcome.calibration);
           util::log_debug("engine: cell ", cell_index + 1, "/", grid.size(),
                           " done (", spec.framework, ", ",
                           spec.resolved_attack_label(), ")");

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "src/engine/scenario.h"
+#include "src/eval/calibration.h"
 #include "src/eval/metrics.h"
 #include "src/fl/federated.h"
 #include "src/nn/state_dict.h"
@@ -46,6 +47,10 @@ struct CellResult {
   /// capture_final_gm (in-memory only, not serialized) — the handoff point
   /// to serve::ModelStore::publish.
   nn::StateDict final_gm;
+  /// Clean-traffic statistics of final_gm (feature envelope + clean RCE
+  /// distribution), captured with it. Published into the model record so
+  /// the serving layer's PoisonGate can score queries per model.
+  eval::ModelCalibration calibration;
 };
 
 /// Mean/std aggregation of a multi-seed axis: one summary per group of

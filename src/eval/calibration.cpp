@@ -1,0 +1,32 @@
+#include "src/eval/calibration.h"
+
+#include <stdexcept>
+#include <vector>
+
+#include "src/util/stats.h"
+
+namespace safeloc::eval {
+
+ModelCalibration make_model_calibration(const nn::Matrix& clean_x,
+                                        std::span<const float> rce) {
+  if (!rce.empty() && rce.size() != clean_x.rows()) {
+    throw std::invalid_argument(
+        "make_model_calibration: rce count != calibration rows");
+  }
+  ModelCalibration calibration;
+  calibration.features = rss::feature_stats(clean_x);
+  calibration.samples = static_cast<std::uint32_t>(clean_x.rows());
+  if (rce.empty()) return calibration;
+
+  calibration.has_rce = true;
+  util::RunningStats stats;
+  for (const float e : rce) stats.add(e);
+  calibration.rce_mean = static_cast<float>(stats.mean());
+  calibration.rce_std = static_cast<float>(stats.stddev());
+  calibration.rce_max = static_cast<float>(stats.max());
+  calibration.rce_p99 = static_cast<float>(
+      util::percentile(std::vector<double>(rce.begin(), rce.end()), 99.0));
+  return calibration;
+}
+
+}  // namespace safeloc::eval

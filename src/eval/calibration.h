@@ -1,0 +1,51 @@
+// ModelCalibration — clean-traffic statistics captured alongside a trained
+// global model, the data a serve-time poison gate needs to score incoming
+// queries without ever seeing the training pipeline.
+//
+// Captured on the engine's capture_final_gm path (Experiment::run_scenario)
+// from a dedicated heterogeneous-device calibration collection (its own
+// salt — independent of both the training and the evaluation sets):
+//   * per-feature mean/stddev of clean fingerprints in [0, 1] space, and
+//   * the clean reconstruction-error (RCE) distribution through the
+//     captured model's de-noising decoder, when the model has one
+//     (SAFELOC's fused net; plain classifiers set has_rce = false).
+// Both travel with the model through serve::ModelStore ("SFST" v2), so a
+// serving fleet can admission-check queries against exactly the statistics
+// of the snapshot it deploys.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "src/rss/dataset.h"
+
+namespace safeloc::eval {
+
+struct ModelCalibration {
+  /// Clean per-feature envelope (kFeatureDim-wide when valid).
+  rss::FeatureStats features;
+  /// Clean RCE distribution through the model's decoder; meaningful only
+  /// when has_rce is set.
+  float rce_mean = 0.0f;
+  float rce_std = 0.0f;
+  float rce_p99 = 0.0f;
+  float rce_max = 0.0f;
+  bool has_rce = false;
+  /// Calibration fingerprints the statistics were computed from; 0 means
+  /// "not calibrated" (e.g. a record published without the engine path).
+  std::uint32_t samples = 0;
+
+  [[nodiscard]] bool valid() const noexcept { return samples > 0; }
+
+  friend bool operator==(const ModelCalibration&,
+                         const ModelCalibration&) = default;
+};
+
+/// Builds a calibration from a clean fingerprint batch and (optionally) the
+/// per-sample RCE values of the same batch through the captured model.
+/// `rce` may be empty (no decoder); otherwise it must have one entry per
+/// row of `clean_x`.
+[[nodiscard]] ModelCalibration make_model_calibration(
+    const nn::Matrix& clean_x, std::span<const float> rce);
+
+}  // namespace safeloc::eval

@@ -1,5 +1,7 @@
 #include "src/eval/experiment.h"
 
+#include "src/core/safeloc.h"
+#include "src/rss/device.h"
 #include "src/util/config.h"
 #include "src/util/logging.h"
 
@@ -44,9 +46,34 @@ AttackOutcome Experiment::run_scenario(fl::FederatedFramework& framework,
   outcome.fl_diagnostics = fl::run_federated(framework, generator_, scenario);
   outcome.errors_m = evaluate(framework);
   outcome.stats = error_stats(outcome.errors_m);
-  if (capture_final_gm) outcome.final_gm = framework.snapshot();
+  if (capture_final_gm) {
+    outcome.final_gm = framework.snapshot();
+    // Calibrate while the final GM is still loaded (restore() would put the
+    // pretrained weights back first).
+    outcome.calibration = calibrate(framework);
+  }
   framework.restore(pristine);
   return outcome;
+}
+
+ModelCalibration Experiment::calibrate(fl::FederatedFramework& framework) const {
+  // A dedicated clean collection: one fingerprint per RP on every
+  // non-reference device, under its own salt so the calibration data is
+  // independent of both training_set() (salt 0x7121a1) and the evaluation
+  // test_set()s (salt 0x7e57).
+  const auto& devices = rss::paper_devices();
+  rss::Dataset pooled;
+  for (std::size_t d = 0; d < devices.size(); ++d) {
+    if (d == rss::reference_device_index()) continue;
+    pooled = rss::Dataset::concat(
+        pooled, generator_.generate(devices[d], /*fps_per_rp=*/1,
+                                    /*salt=*/0xca11b0ULL + d));
+  }
+  std::vector<float> rce;
+  if (auto* safeloc = dynamic_cast<core::SafeLocFramework*>(&framework)) {
+    rce = safeloc->network().reconstruction_error(pooled.x);
+  }
+  return make_model_calibration(pooled.x, rce);
 }
 
 fl::LocalTrainOpts Experiment::default_local_opts() {

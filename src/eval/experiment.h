@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/attack/attack.h"
+#include "src/eval/calibration.h"
 #include "src/eval/metrics.h"
 #include "src/fl/federated.h"
 #include "src/fl/framework.h"
@@ -31,6 +32,11 @@ struct AttackOutcome {
   /// captured on request (run_scenario's capture_final_gm) — it is the
   /// artifact the serving layer publishes (serve::ModelStore).
   nn::StateDict final_gm;
+  /// Clean-traffic statistics of the captured model (feature envelope +
+  /// clean RCE distribution), computed on a dedicated heterogeneous-device
+  /// calibration set. Only populated alongside final_gm; feeds the serving
+  /// layer's PoisonGate.
+  ModelCalibration calibration;
 };
 
 class Experiment {
@@ -79,6 +85,14 @@ class Experiment {
   /// Evaluates the framework's current GM on all test devices without
   /// running any federated rounds.
   [[nodiscard]] std::vector<double> evaluate(
+      fl::FederatedFramework& framework) const;
+
+  /// Clean-traffic calibration of the framework's *current* GM: one
+  /// fingerprint per RP on every non-reference device from a dedicated
+  /// collection salt (independent of the training and evaluation sets),
+  /// with the clean RCE distribution when the framework exposes a decoder
+  /// (SAFELOC). This is what run_scenario captures for the serving layer.
+  [[nodiscard]] ModelCalibration calibrate(
       fl::FederatedFramework& framework) const;
 
  private:

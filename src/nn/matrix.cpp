@@ -70,6 +70,43 @@ void matmul_into(const Matrix& a, const Matrix& b, Matrix& out) {
   }
 }
 
+void matmul_into_blocked(const Matrix& a, const Matrix& b, Matrix& out) {
+  require(a.cols() == b.rows(), "matmul: inner dims mismatch");
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  if (out.rows() != m || out.cols() != n) {
+    out.reshape_discard(m, n);
+  } else {
+    out.zero();
+  }
+  // Panel sizes: a (kc x nc) float tile of B is 16 KB — resident in L1d
+  // while every row of A streams over it.
+  constexpr std::size_t kc = 64, nc = 64;
+  for (std::size_t j0 = 0; j0 < n; j0 += nc) {
+    const std::size_t j1 = std::min(j0 + nc, n);
+    for (std::size_t p0 = 0; p0 < k; p0 += kc) {
+      const std::size_t p1 = std::min(p0 + kc, k);
+      for (std::size_t i = 0; i < m; ++i) {
+        const float* arow = a.data() + i * k;
+        float* crow = out.data() + i * n;
+        for (std::size_t p = p0; p < p1; ++p) {
+          const float av = arow[p];
+          if (av == 0.0f) continue;
+          const float* brow = b.data() + p * n;
+          for (std::size_t j = j0; j < j1; ++j) crow[j] += av * brow[j];
+        }
+      }
+    }
+  }
+}
+
+void matmul_into_auto(const Matrix& a, const Matrix& b, Matrix& out) {
+  if (b.size() * sizeof(float) > kBlockedGemmBytes) {
+    matmul_into_blocked(a, b, out);
+  } else {
+    matmul_into(a, b, out);
+  }
+}
+
 Matrix matmul_at_b(const Matrix& a, const Matrix& b) {
   require(a.rows() == b.rows(), "matmul_at_b: outer dims mismatch");
   const std::size_t k = a.rows(), m = a.cols(), n = b.cols();

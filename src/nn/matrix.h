@@ -82,6 +82,24 @@ class Matrix {
 /// to matmul() (same kernel). `out` must not alias `a` or `b`.
 void matmul_into(const Matrix& a, const Matrix& b, Matrix& out);
 
+/// Blocked/tiled C = A * B with the same contract as matmul_into. Tiles B
+/// into (kc x nc) panels reused across all rows of A, bounding B traffic
+/// to one cache fill per panel — the regime that pays is B far larger than
+/// the cache it would otherwise stream from. At the paper's serving shapes
+/// B is cache-resident and the naive kernel's zero-skip (ReLU activations
+/// are ~50% zeros) wins instead; bench_serve's kernel table reports both.
+/// Bit-identical to matmul_into: tiles are visited in ascending-k order
+/// and the k loop is ascending within a tile, so every output element
+/// accumulates its products in exactly the order matmul_into uses.
+void matmul_into_blocked(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// The ServingNet hot-loop entry point: dispatches to matmul_into_blocked
+/// when B's footprint exceeds kBlockedGemmBytes (B would stream from
+/// memory every call), to matmul_into otherwise. Both kernels are
+/// bit-identical, so the dispatch never changes results.
+inline constexpr std::size_t kBlockedGemmBytes = 8u << 20;
+void matmul_into_auto(const Matrix& a, const Matrix& b, Matrix& out);
+
 /// C = A^T * B.  A: (k,m)  B: (k,n)  C: (m,n)   (no explicit transpose)
 [[nodiscard]] Matrix matmul_at_b(const Matrix& a, const Matrix& b);
 

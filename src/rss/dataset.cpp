@@ -1,6 +1,7 @@
 #include "src/rss/dataset.h"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 #include <stdexcept>
 
@@ -13,6 +14,34 @@ float standardize_dbm(double rss_dbm) noexcept {
 
 double destandardize(float value) noexcept {
   return static_cast<double>(value) * 100.0 - 100.0;
+}
+
+FeatureStats feature_stats(const nn::Matrix& x) {
+  if (x.rows() == 0) {
+    throw std::invalid_argument("feature_stats: empty batch");
+  }
+  const std::size_t n = x.rows(), d = x.cols();
+  FeatureStats stats;
+  stats.mean.assign(d, 0.0f);
+  stats.stddev.assign(d, 0.0f);
+  std::vector<double> sum(d, 0.0), sumsq(d, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* row = x.data() + i * d;
+    for (std::size_t j = 0; j < d; ++j) {
+      sum[j] += row[j];
+      sumsq[j] += static_cast<double>(row[j]) * row[j];
+    }
+  }
+  for (std::size_t j = 0; j < d; ++j) {
+    const double mean = sum[j] / static_cast<double>(n);
+    stats.mean[j] = static_cast<float>(mean);
+    if (n > 1) {
+      const double var = std::max(
+          0.0, (sumsq[j] - mean * sum[j]) / static_cast<double>(n - 1));
+      stats.stddev[j] = static_cast<float>(std::sqrt(var));
+    }
+  }
+  return stats;
 }
 
 Dataset Dataset::concat(const Dataset& a, const Dataset& b) {

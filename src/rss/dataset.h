@@ -31,6 +31,22 @@ inline constexpr std::size_t kFeatureDim = 128;
 /// Inverse of standardize_dbm.
 [[nodiscard]] double destandardize(float value) noexcept;
 
+/// Per-feature envelope of a fingerprint batch: column means and sample
+/// standard deviations in the standardized [0, 1] space. The serving
+/// layer's admission policies score incoming fingerprints against the
+/// envelope of the clean data a model was calibrated on.
+struct FeatureStats {
+  std::vector<float> mean;
+  std::vector<float> stddev;
+
+  [[nodiscard]] bool empty() const noexcept { return mean.empty(); }
+  friend bool operator==(const FeatureStats&, const FeatureStats&) = default;
+};
+
+/// Column-wise mean / sample stddev of a fingerprint batch (n >= 1 rows;
+/// stddev is 0 for n == 1).
+[[nodiscard]] FeatureStats feature_stats(const nn::Matrix& x);
+
 /// A labelled fingerprint batch: x is (n x kFeatureDim) in [0, 1], labels
 /// are RP indices.
 struct Dataset {

@@ -1,0 +1,136 @@
+#include "src/serve/admission.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <utility>
+
+namespace safeloc::serve {
+namespace {
+
+std::string format_score(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4f", value);
+  return buf;
+}
+
+}  // namespace
+
+PoisonGate::PoisonGate(PoisonGateConfig config)
+    : config_(config), table_(std::make_shared<DetectorTable>()) {}
+
+std::shared_ptr<const PoisonGate::DetectorTable> PoisonGate::table() const {
+  const std::lock_guard<std::mutex> lock(table_mutex_);
+  return table_;
+}
+
+void PoisonGate::on_publish(const ModelRecord& record) {
+  if (!record.calibration.valid()) {
+    // An uncalibrated record replaces whatever was serving: drop any
+    // detector calibrated for the previous model so the building passes
+    // through ungated instead of being judged by stale statistics.
+    const std::lock_guard<std::mutex> lock(table_mutex_);
+    if (table_->count(record.provenance.building) == 0) return;
+    auto next = std::make_shared<DetectorTable>(*table_);
+    next->erase(record.provenance.building);
+    table_ = std::move(next);
+    return;
+  }
+
+  auto detector = std::make_shared<Detector>();
+  detector->features = record.calibration.features;
+  if (record.calibration.has_rce && ServingNet::has_decoder(record.state)) {
+    detector->recon =
+        ServingNet::from_state(record.state, ServingNet::Head::kReconstruction);
+    detector->has_recon = true;
+    detector->threshold = static_cast<double>(record.calibration.rce_p99) +
+                          config_.rce_margin;
+  }
+
+  const std::lock_guard<std::mutex> lock(table_mutex_);
+  auto next = std::make_shared<DetectorTable>(*table_);
+  (*next)[record.provenance.building] = std::move(detector);
+  table_ = std::move(next);
+}
+
+double PoisonGate::rce_threshold(int building) const {
+  const auto detectors = table();
+  const auto it = detectors->find(building);
+  if (it == detectors->end() || !it->second->has_recon) {
+    return std::nan("");
+  }
+  return it->second->threshold;
+}
+
+AdmissionVerdict PoisonGate::suspicious(double score, std::string reason) {
+  flagged_.fetch_add(1, std::memory_order_relaxed);
+  AdmissionVerdict verdict;
+  verdict.action = config_.reject ? AdmissionVerdict::Action::kReject
+                                  : AdmissionVerdict::Action::kFlag;
+  verdict.score = score;
+  verdict.reason = std::move(reason);
+  return verdict;
+}
+
+AdmissionVerdict PoisonGate::inspect(int building,
+                                     std::span<const float> fingerprint) {
+  inspected_.fetch_add(1, std::memory_order_relaxed);
+
+  const auto detectors = table();
+  const auto it = detectors->find(building);
+  if (it == detectors->end()) return {};  // ungated building
+  const Detector& detector = *it->second;
+
+  // Envelope test (every calibrated model — see file comment).
+  const rss::FeatureStats& features = detector.features;
+  if (fingerprint.size() != features.mean.size()) return {};
+  std::size_t violated = 0;
+  for (std::size_t j = 0; j < fingerprint.size(); ++j) {
+    const double tolerance =
+        config_.z * static_cast<double>(features.stddev[j]) +
+        config_.feature_floor;
+    if (std::abs(static_cast<double>(fingerprint[j]) - features.mean[j]) >
+        tolerance) {
+      ++violated;
+    }
+  }
+  const double fraction = static_cast<double>(violated) /
+                          static_cast<double>(fingerprint.size());
+  if (fraction > config_.max_violation_fraction) {
+    return suspicious(fraction,
+                      "feature envelope: " + format_score(fraction) +
+                          " of features outside " + format_score(config_.z) +
+                          "-sigma");
+  }
+
+  // RCE test (models with a decoder).
+  if (detector.has_recon && fingerprint.size() == detector.recon.input_dim()) {
+    // Per-thread scratch: the gate sits on every producer's submit path.
+    thread_local InferenceWorkspace ws;
+    thread_local nn::Matrix x;
+    if (x.rows() != 1 || x.cols() != fingerprint.size()) {
+      x.reshape_discard(1, fingerprint.size());
+    }
+    std::copy(fingerprint.begin(), fingerprint.end(), x.data());
+    const double rce =
+        static_cast<double>(reconstruction_rms(detector.recon, x, ws).front());
+    if (rce > detector.threshold) {
+      return suspicious(rce, "rce " + format_score(rce) + " > threshold " +
+                                 format_score(detector.threshold));
+    }
+    AdmissionVerdict verdict;
+    verdict.score = rce;
+    return verdict;
+  }
+
+  AdmissionVerdict verdict;
+  verdict.score = fraction;
+  return verdict;
+}
+
+PoisonGate::Stats PoisonGate::stats() const {
+  return {inspected_.load(std::memory_order_relaxed),
+          flagged_.load(std::memory_order_relaxed)};
+}
+
+}  // namespace safeloc::serve

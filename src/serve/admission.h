@@ -1,0 +1,129 @@
+// Admission policies — the serve-time gate in front of the shards.
+//
+// LocalizationService runs every incoming request through an ordered chain
+// of AdmissionPolicy instances before routing. A policy can admit, flag
+// (answer the query but mark the response suspicious), or reject (complete
+// the response immediately without touching a shard). Policies see every
+// model the service publishes, so they can calibrate themselves per model.
+//
+// PoisonGate is SAFELOC's core contribution carried onto the serving path:
+// the training-time defense detects poisoned fingerprints by their
+// reconstruction error through the de-noising decoder; the gate applies
+// the same test to live queries. It scores each fingerprint against the
+// *published* model's calibration (serve::ModelRecord::calibration, the
+// clean-traffic statistics captured with the snapshot), and a query is
+// flagged when either of two tests trips:
+//
+//   * clean feature envelope (every calibrated model): too many features
+//     sit z·σ outside the calibration mean. Model-independent, so it keeps
+//     its power even when the served model's decoder has gone stale —
+//     which it does after federated rounds: clients fine-tune the
+//     classification path only (SafeLocConfig::client_recon_weight = 0),
+//     so aggregation shifts the encoder under a frozen decoder and the
+//     clean RCE floor rises from ~0.15 to >1.
+//   * reconstruction error (models with a decoder): per-query RCE through
+//     the record's reconstruction path, flagged above the calibrated
+//     clean-RCE p99 plus a τ-style margin. On a freshly pretrained model
+//     this catches subtler attacks that stay inside the envelope.
+//
+// Buildings whose record carries no calibration (v1 store files, manual
+// publishes) pass through unjudged.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+
+#include "src/serve/backend.h"
+
+namespace safeloc::serve {
+
+struct AdmissionVerdict {
+  enum class Action { kAdmit, kFlag, kReject };
+  Action action = Action::kAdmit;
+  /// Policy-specific suspicion score (PoisonGate: RCE, or the violated
+  /// feature fraction on the envelope fallback).
+  double score = 0.0;
+  /// Human-readable cause, set when the action is not kAdmit.
+  std::string reason;
+};
+
+class AdmissionPolicy {
+ public:
+  virtual ~AdmissionPolicy() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Judges one request before routing. Must be thread-safe — the service
+  /// calls it from every producer thread.
+  [[nodiscard]] virtual AdmissionVerdict inspect(
+      int building, std::span<const float> fingerprint) = 0;
+
+  /// Calibration hook: the service forwards every published record here
+  /// (same order as shard deployment).
+  virtual void on_publish(const ModelRecord& record) { (void)record; }
+};
+
+struct PoisonGateConfig {
+  /// RCE test: threshold = calibrated clean-RCE p99 + this margin (the
+  /// serving counterpart of SAFELOC's τ safety margin).
+  double rce_margin = 0.05;
+  /// Envelope test: feature j is violated when
+  /// |x_j − mean_j| > z · σ_j + feature_floor. The pooled cross-device σ
+  /// is ~0.1 per feature, so z = 1.5 tolerates device heterogeneity while
+  /// an ε = 0.3 evasion shift lands far outside.
+  double z = 1.5;
+  double feature_floor = 0.02;
+  /// Envelope test flags when the violated-feature fraction exceeds this
+  /// (clean heterogeneous traffic stays under ~0.24; ε = 0.3 attacks sit
+  /// above 0.8).
+  double max_violation_fraction = 0.3;
+  /// Reject suspicious queries outright instead of flagging them through.
+  bool reject = false;
+};
+
+class PoisonGate final : public AdmissionPolicy {
+ public:
+  explicit PoisonGate(PoisonGateConfig config = {});
+
+  [[nodiscard]] std::string name() const override { return "poison_gate"; }
+  [[nodiscard]] AdmissionVerdict inspect(
+      int building, std::span<const float> fingerprint) override;
+  void on_publish(const ModelRecord& record) override;
+
+  /// The active RCE threshold for `building`; NaN when the building is
+  /// ungated (no calibrated model or no decoder).
+  [[nodiscard]] double rce_threshold(int building) const;
+
+  struct Stats {
+    std::uint64_t inspected = 0;
+    std::uint64_t flagged = 0;  // includes rejections
+  };
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  struct Detector {
+    /// Reconstruction path of the published model; empty layers when the
+    /// model has no decoder (envelope fallback applies).
+    ServingNet recon;
+    bool has_recon = false;
+    double threshold = 0.0;
+    rss::FeatureStats features;
+  };
+  using DetectorTable = std::map<int, std::shared_ptr<const Detector>>;
+
+  [[nodiscard]] std::shared_ptr<const DetectorTable> table() const;
+  [[nodiscard]] AdmissionVerdict suspicious(double score, std::string reason);
+
+  PoisonGateConfig config_;
+  mutable std::mutex table_mutex_;
+  std::shared_ptr<const DetectorTable> table_;
+  std::atomic<std::uint64_t> inspected_{0};
+  std::atomic<std::uint64_t> flagged_{0};
+};
+
+}  // namespace safeloc::serve

@@ -1,0 +1,93 @@
+#include "src/serve/backend.h"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace safeloc::serve {
+
+DeployedModel make_deployed_model(const ModelRecord& record,
+                                  const char* context) {
+  DeployedModel deployed;
+  deployed.net = ServingNet::from_state(record.state);
+  deployed.version = record.version;
+
+  const rss::Building building(rss::paper_building(record.provenance.building));
+  if (deployed.net.num_classes() != building.num_rps()) {
+    throw std::invalid_argument(
+        std::string(context) + ": model \"" + record.name + "\" classifies " +
+        std::to_string(deployed.net.num_classes()) + " RPs but building " +
+        std::to_string(record.provenance.building) + " has " +
+        std::to_string(building.num_rps()));
+  }
+  deployed.rp_positions.reserve(building.num_rps());
+  for (std::size_t rp = 0; rp < building.num_rps(); ++rp) {
+    deployed.rp_positions.push_back(building.rp_position(rp));
+  }
+  return deployed;
+}
+
+SyncBackend::SyncBackend(std::size_t top_k)
+    : top_k_(top_k < 1 ? 1 : top_k) {}
+
+void SyncBackend::deploy(const ModelRecord& record) {
+  auto deployed = std::make_shared<DeployedModel>(
+      make_deployed_model(record, "SyncBackend::deploy"));
+  const std::lock_guard<std::mutex> lock(mutex_);
+  snapshots_[record.provenance.building] = std::move(deployed);
+}
+
+std::uint32_t SyncBackend::deployed_version(int building) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = snapshots_.find(building);
+  return it == snapshots_.end() ? 0 : it->second->version;
+}
+
+void SyncBackend::submit(int building, std::vector<float> fingerprint,
+                         Callback done) {
+  const auto enqueued = std::chrono::steady_clock::now();
+  std::shared_ptr<const DeployedModel> snapshot;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = snapshots_.find(building);
+    if (it == snapshots_.end()) {
+      throw std::invalid_argument(
+          "SyncBackend::submit: no model deployed for building " +
+          std::to_string(building));
+    }
+    snapshot = it->second;
+  }
+  if (fingerprint.size() != snapshot->net.input_dim()) {
+    throw std::invalid_argument(
+        "SyncBackend::submit: expected " +
+        std::to_string(snapshot->net.input_dim()) + "-dim fingerprint, got " +
+        std::to_string(fingerprint.size()));
+  }
+
+  QueryResult result;
+  result.building = building;
+  result.model_version = snapshot->version;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (x_.rows() != 1 || x_.cols() != fingerprint.size()) {
+      x_.reshape_discard(1, fingerprint.size());
+    }
+    std::copy(fingerprint.begin(), fingerprint.end(), x_.data());
+    nn::Matrix& probs = snapshot->net.logits(x_, ws_);
+    softmax_rows_inplace(probs);
+    result.top_k = top_k_classes(probs.row(0), top_k_);
+  }
+  result.rp = result.top_k.empty() ? -1 : result.top_k.front().label;
+  if (result.rp >= 0) {
+    result.position =
+        snapshot->rp_positions[static_cast<std::size_t>(result.rp)];
+  }
+  result.latency_us = std::chrono::duration<double, std::micro>(
+                          std::chrono::steady_clock::now() - enqueued)
+                          .count();
+  if (done) done(std::move(result));
+}
+
+}  // namespace safeloc::serve

@@ -1,0 +1,104 @@
+// QueryBackend — the narrow contract between the LocalizationService front
+// door and whatever executes localization queries.
+//
+// The production backend is QueryEngine (micro-batching worker pool); the
+// service shards requests across N of them. SyncBackend is the second
+// implementation: it answers every query inline on the calling thread —
+// deterministic, no queues — which makes service-level behaviour (routing,
+// admission, publish atomicity) testable without timing sensitivity.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/rss/building.h"
+#include "src/serve/model_store.h"
+#include "src/serve/serving_net.h"
+
+namespace safeloc::serve {
+
+struct QueryResult {
+  int building = 0;
+  /// Predicted reference point (argmax class).
+  int rp = -1;
+  /// Floorplan coordinates of the predicted RP, metres.
+  rss::Point position{};
+  /// Top-k RPs by softmax confidence, descending.
+  std::vector<RankedClass> top_k;
+  /// Version of the model snapshot that answered.
+  std::uint32_t model_version = 0;
+  /// Submit-to-completion latency.
+  double latency_us = 0.0;
+};
+
+/// An immutable deployed snapshot: the extracted classification net plus
+/// the building's floorplan positions, shared by every backend.
+struct DeployedModel {
+  ServingNet net;
+  std::vector<rss::Point> rp_positions;
+  std::uint32_t version = 0;
+};
+
+/// Extracts a record into a DeployedModel, validating the classifier width
+/// against the record's building RP count. `context` names the caller in
+/// the error ("QueryEngine::deploy", ...).
+[[nodiscard]] DeployedModel make_deployed_model(const ModelRecord& record,
+                                                const char* context);
+
+class QueryBackend {
+ public:
+  using Callback = std::function<void(QueryResult)>;
+
+  virtual ~QueryBackend() = default;
+
+  /// Deploys (or hot-replaces) the serving model for the record's building.
+  /// Throws std::invalid_argument when the record's classifier width does
+  /// not match the building's RP count.
+  virtual void deploy(const ModelRecord& record) = 0;
+
+  /// Version currently serving `building`; 0 when none deployed.
+  [[nodiscard]] virtual std::uint32_t deployed_version(int building) const = 0;
+
+  /// Enqueues one query; `done` runs after the forward pass (possibly on
+  /// the calling thread for synchronous backends). Throws
+  /// std::invalid_argument for an undeployed building or a wrong-width
+  /// fingerprint.
+  virtual void submit(int building, std::vector<float> fingerprint,
+                      Callback done) = 0;
+
+  /// Blocks until every submitted query has completed.
+  virtual void drain() = 0;
+
+  /// Queries accepted but not yet answered — the load signal
+  /// LeastLoadedRouter shards by. Synchronous backends report 0.
+  [[nodiscard]] virtual std::size_t queue_depth() const = 0;
+};
+
+/// Answers every query inline on the calling thread: one single-row forward
+/// through the deployed snapshot, callback completed before submit()
+/// returns. Serialized internally, so concurrent submitters are safe (they
+/// just don't overlap).
+class SyncBackend final : public QueryBackend {
+ public:
+  explicit SyncBackend(std::size_t top_k = 3);
+
+  void deploy(const ModelRecord& record) override;
+  [[nodiscard]] std::uint32_t deployed_version(int building) const override;
+  void submit(int building, std::vector<float> fingerprint,
+              Callback done) override;
+  void drain() override {}
+  [[nodiscard]] std::size_t queue_depth() const override { return 0; }
+
+ private:
+  std::size_t top_k_;
+  mutable std::mutex mutex_;
+  std::map<int, std::shared_ptr<const DeployedModel>> snapshots_;
+  InferenceWorkspace ws_;
+  nn::Matrix x_;
+};
+
+}  // namespace safeloc::serve

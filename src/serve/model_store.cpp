@@ -12,7 +12,9 @@ namespace safeloc::serve {
 namespace {
 
 constexpr std::uint32_t kMagic = 0x53465354;  // "SFST"
-constexpr std::uint32_t kFormatVersion = 1;
+/// v1: records without calibration. v2 (current): v1 + a per-record
+/// calibration block (samples, clean-RCE stats, feature envelope).
+constexpr std::uint32_t kFormatVersion = 2;
 constexpr const char* kContext = "ModelStore::load";
 
 using util::write_pod;
@@ -34,7 +36,8 @@ std::string default_model_name(const engine::ScenarioSpec& spec) {
 }
 
 std::uint32_t ModelStore::publish(std::string name, nn::StateDict state,
-                                  ModelProvenance provenance) {
+                                  ModelProvenance provenance,
+                                  eval::ModelCalibration calibration) {
   if (name.empty()) {
     throw std::invalid_argument("ModelStore::publish: empty model name");
   }
@@ -42,12 +45,20 @@ std::uint32_t ModelStore::publish(std::string name, nn::StateDict state,
     throw std::invalid_argument("ModelStore::publish: empty state dict (" +
                                 name + ")");
   }
+  if (calibration.features.mean.size() != calibration.features.stddev.size()) {
+    // save() writes one count for both arrays; a mismatch would corrupt
+    // the stream for every record after this one.
+    throw std::invalid_argument(
+        "ModelStore::publish: calibration mean/stddev length mismatch (" +
+        name + ")");
+  }
   std::vector<ModelRecord>& versions = models_[name];
   ModelRecord record;
   record.name = std::move(name);
   record.version = static_cast<std::uint32_t>(versions.size()) + 1;
   record.provenance = std::move(provenance);
   record.state = std::move(state);
+  record.calibration = std::move(calibration);
   versions.push_back(std::move(record));
   return versions.back().version;
 }
@@ -69,7 +80,8 @@ std::uint32_t ModelStore::publish(const engine::CellResult& cell,
   provenance.attack_label = cell.spec.resolved_attack_label();
   provenance.num_classes = rss::paper_building(cell.spec.building).num_rps;
   if (name.empty()) name = default_model_name(cell.spec);
-  return publish(std::move(name), cell.final_gm, std::move(provenance));
+  return publish(std::move(name), cell.final_gm, std::move(provenance),
+                 cell.calibration);
 }
 
 std::size_t ModelStore::publish_run(const engine::RunReport& report) {
@@ -138,6 +150,18 @@ void ModelStore::save(std::ostream& out) const {
       write_pod(out,
                 static_cast<std::uint64_t>(record.provenance.num_classes));
       record.state.save(out);
+      // v2 calibration block.
+      const eval::ModelCalibration& calibration = record.calibration;
+      write_pod(out, calibration.samples);
+      write_pod(out, static_cast<std::uint8_t>(calibration.has_rce ? 1 : 0));
+      write_pod(out, calibration.rce_mean);
+      write_pod(out, calibration.rce_std);
+      write_pod(out, calibration.rce_p99);
+      write_pod(out, calibration.rce_max);
+      write_pod(out,
+                static_cast<std::uint64_t>(calibration.features.mean.size()));
+      for (const float v : calibration.features.mean) write_pod(out, v);
+      for (const float v : calibration.features.stddev) write_pod(out, v);
     }
   }
   if (!out) throw std::runtime_error("ModelStore::save: write failure");
@@ -147,7 +171,8 @@ ModelStore ModelStore::load(std::istream& in) {
   if (read_pod<std::uint32_t>(in) != kMagic) {
     throw std::runtime_error("ModelStore::load: bad magic");
   }
-  if (read_pod<std::uint32_t>(in) != kFormatVersion) {
+  const auto format = read_pod<std::uint32_t>(in);
+  if (format < 1 || format > kFormatVersion) {
     throw std::runtime_error("ModelStore::load: unsupported format version");
   }
   const auto count = read_pod<std::uint64_t>(in);
@@ -166,6 +191,21 @@ ModelStore ModelStore::load(std::istream& in) {
     record.provenance.num_classes =
         static_cast<std::size_t>(read_pod<std::uint64_t>(in));
     record.state = nn::StateDict::load(in);
+    if (format >= 2) {
+      eval::ModelCalibration& calibration = record.calibration;
+      calibration.samples = read_pod<std::uint32_t>(in);
+      calibration.has_rce = read_pod<std::uint8_t>(in) != 0;
+      calibration.rce_mean = read_pod<float>(in);
+      calibration.rce_std = read_pod<float>(in);
+      calibration.rce_p99 = read_pod<float>(in);
+      calibration.rce_max = read_pod<float>(in);
+      const auto features =
+          static_cast<std::size_t>(read_pod<std::uint64_t>(in));
+      calibration.features.mean.resize(features);
+      for (float& v : calibration.features.mean) v = read_pod<float>(in);
+      calibration.features.stddev.resize(features);
+      for (float& v : calibration.features.stddev) v = read_pod<float>(in);
+    }
     std::vector<ModelRecord>& versions = store.models_[record.name];
     if (record.version != versions.size() + 1) {
       throw std::runtime_error("ModelStore::load: version gap in \"" +

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "src/engine/report.h"
+#include "src/eval/calibration.h"
 #include "src/nn/state_dict.h"
 
 namespace safeloc::serve {
@@ -51,6 +52,12 @@ struct ModelRecord {
   std::uint32_t version = 0;
   ModelProvenance provenance;
   nn::StateDict state;
+  /// Clean-traffic statistics of this snapshot (feature envelope + clean
+  /// RCE distribution), captured on the engine's capture_final_gm path.
+  /// Serialized with the record since format v2; a record published without
+  /// the engine path (or loaded from a v1 file) carries an invalid()
+  /// calibration and serve-time poison gating passes it through.
+  eval::ModelCalibration calibration;
 };
 
 class ModelStore {
@@ -61,7 +68,8 @@ class ModelStore {
   /// Returns the assigned version. Throws std::invalid_argument for an
   /// empty name or empty state.
   std::uint32_t publish(std::string name, nn::StateDict state,
-                        ModelProvenance provenance);
+                        ModelProvenance provenance,
+                        eval::ModelCalibration calibration = {});
 
   /// Publishes a grid cell's captured global model (engine run with
   /// capture_final_gm). Provenance is derived from the cell spec; `name`
@@ -87,6 +95,8 @@ class ModelStore {
   [[nodiscard]] bool empty() const noexcept { return size() == 0; }
 
   /// Deterministic binary serialization (magic "SFST", versioned header).
+  /// Writes format v2 (v1 + per-record calibration block); load() accepts
+  /// both v1 and v2 streams.
   void save(std::ostream& out) const;
   static ModelStore load(std::istream& in);
   /// File wrappers; throw std::runtime_error on I/O failure.

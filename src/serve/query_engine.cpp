@@ -20,33 +20,28 @@ QueryEngine::QueryEngine(QueryEngineConfig config)
   }
 }
 
-QueryEngine::~QueryEngine() {
+QueryEngine::~QueryEngine() { stop(); }
+
+void QueryEngine::stop() {
   {
     const std::lock_guard<std::mutex> lock(queue_mutex_);
     stop_ = true;
   }
+  // Workers wake, flush whatever is queued — a worker mid-fill breaks out
+  // of its batch-window wait and serves the partial batch — and exit once
+  // the queue is empty. join() therefore implies every accepted query's
+  // callback has run.
   queue_cv_.notify_all();
   space_cv_.notify_all();
-  for (std::thread& worker : workers_) worker.join();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
 }
 
 void QueryEngine::deploy(const ModelRecord& record) {
-  auto snapshot = std::make_shared<Snapshot>();
-  snapshot->net = ServingNet::from_state(record.state);
-  snapshot->version = record.version;
-
-  const rss::Building building(rss::paper_building(record.provenance.building));
-  if (snapshot->net.num_classes() != building.num_rps()) {
-    throw std::invalid_argument(
-        "QueryEngine::deploy: model \"" + record.name + "\" classifies " +
-        std::to_string(snapshot->net.num_classes()) + " RPs but building " +
-        std::to_string(record.provenance.building) + " has " +
-        std::to_string(building.num_rps()));
-  }
-  snapshot->rp_positions.reserve(building.num_rps());
-  for (std::size_t rp = 0; rp < building.num_rps(); ++rp) {
-    snapshot->rp_positions.push_back(building.rp_position(rp));
-  }
+  auto snapshot = std::make_shared<DeployedModel>(
+      make_deployed_model(record, "QueryEngine::deploy"));
 
   const std::lock_guard<std::mutex> lock(table_mutex_);
   auto next = std::make_shared<SnapshotTable>(*table_);
@@ -117,6 +112,11 @@ void QueryEngine::drain() {
 QueryEngine::Stats QueryEngine::stats() const {
   const std::lock_guard<std::mutex> lock(queue_mutex_);
   return {served_, batches_};
+}
+
+std::size_t QueryEngine::queue_depth() const {
+  const std::lock_guard<std::mutex> lock(queue_mutex_);
+  return queue_.size() + in_flight_;
 }
 
 void QueryEngine::worker_loop() {
@@ -200,7 +200,7 @@ void QueryEngine::process_batch(std::vector<Pending>& batch,
       }
       continue;
     }
-    const Snapshot& snapshot = *it->second;
+    const DeployedModel& snapshot = *it->second;
 
     // Re-check widths against the snapshot this tick actually serves:
     // submit() validated against the table of its time, and a hot swap in

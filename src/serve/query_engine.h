@@ -35,9 +35,7 @@
 #include <thread>
 #include <vector>
 
-#include "src/rss/building.h"
-#include "src/serve/model_store.h"
-#include "src/serve/serving_net.h"
+#include "src/serve/backend.h"
 
 namespace safeloc::serve {
 
@@ -55,26 +53,10 @@ struct QueryEngineConfig {
   std::size_t queue_capacity = 1 << 16;
 };
 
-struct QueryResult {
-  int building = 0;
-  /// Predicted reference point (argmax class).
-  int rp = -1;
-  /// Floorplan coordinates of the predicted RP, metres.
-  rss::Point position{};
-  /// Top-k RPs by softmax confidence, descending.
-  std::vector<RankedClass> top_k;
-  /// Version of the model snapshot that answered.
-  std::uint32_t model_version = 0;
-  /// Submit-to-completion latency.
-  double latency_us = 0.0;
-};
-
-class QueryEngine {
+class QueryEngine final : public QueryBackend {
  public:
-  using Callback = std::function<void(QueryResult)>;
-
   explicit QueryEngine(QueryEngineConfig config = {});
-  ~QueryEngine();
+  ~QueryEngine() override;
 
   QueryEngine(const QueryEngine&) = delete;
   QueryEngine& operator=(const QueryEngine&) = delete;
@@ -82,22 +64,34 @@ class QueryEngine {
   /// Deploys (or hot-replaces) the serving model for the record's building.
   /// Throws std::invalid_argument when the record's classifier width does
   /// not match the building's RP count.
-  void deploy(const ModelRecord& record);
+  void deploy(const ModelRecord& record) override;
 
   /// Version currently serving `building`; 0 when none deployed.
-  [[nodiscard]] std::uint32_t deployed_version(int building) const;
+  [[nodiscard]] std::uint32_t deployed_version(int building) const override;
 
   /// Enqueues one query; `done` runs on a worker thread after the batched
   /// forward pass. Throws std::invalid_argument for an undeployed building
-  /// or a wrong-width fingerprint; blocks briefly when the queue is full.
-  void submit(int building, std::vector<float> fingerprint, Callback done);
+  /// or a wrong-width fingerprint; blocks briefly when the queue is full,
+  /// throws std::runtime_error after stop().
+  void submit(int building, std::vector<float> fingerprint,
+              Callback done) override;
 
   /// Future-returning convenience wrapper.
   [[nodiscard]] std::future<QueryResult> submit(int building,
                                                 std::vector<float> fingerprint);
 
   /// Blocks until every submitted query has completed.
-  void drain();
+  void drain() override;
+
+  /// Queries accepted but not yet answered (queued + in a worker's hands).
+  [[nodiscard]] std::size_t queue_depth() const override;
+
+  /// Shuts the engine down: rejects new submissions, flushes every pending
+  /// query — including a partially filled micro-batch a worker is still
+  /// holding open for its batch window — and joins the workers. Every
+  /// callback submitted before stop() runs before it returns. Idempotent;
+  /// the destructor calls it.
+  void stop();
 
   struct Stats {
     std::uint64_t queries = 0;
@@ -111,14 +105,9 @@ class QueryEngine {
   [[nodiscard]] Stats stats() const;
 
  private:
-  struct Snapshot {
-    ServingNet net;
-    std::vector<rss::Point> rp_positions;
-    std::uint32_t version = 0;
-  };
   /// building id -> immutable snapshot. The table itself is immutable;
   /// deploy() swaps the pointer.
-  using SnapshotTable = std::map<int, std::shared_ptr<const Snapshot>>;
+  using SnapshotTable = std::map<int, std::shared_ptr<const DeployedModel>>;
 
   struct Pending {
     int building = 0;

@@ -1,0 +1,64 @@
+#include "src/serve/router.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace safeloc::serve {
+namespace {
+
+/// FNV-1a over raw bytes — deterministic across platforms for the float
+/// bit patterns the fingerprints carry.
+std::uint64_t fnv1a(const void* data, std::size_t bytes,
+                    std::uint64_t hash = 0xcbf29ce484222325ULL) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    hash ^= p[i];
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+}  // namespace
+
+std::size_t HashRouter::route(int building, std::span<const float> fingerprint,
+                              const ShardView& view) {
+  if (view.shard_count() <= 1) return 0;
+  std::uint64_t hash = fnv1a(&building, sizeof(building));
+  hash = fnv1a(fingerprint.data(), fingerprint.size_bytes(), hash);
+  return static_cast<std::size_t>(hash % view.shard_count());
+}
+
+std::size_t RoundRobinRouter::route(int /*building*/,
+                                    std::span<const float> /*fingerprint*/,
+                                    const ShardView& view) {
+  if (view.shard_count() <= 1) return 0;
+  return static_cast<std::size_t>(
+      next_.fetch_add(1, std::memory_order_relaxed) % view.shard_count());
+}
+
+std::size_t LeastLoadedRouter::route(int /*building*/,
+                                     std::span<const float> /*fingerprint*/,
+                                     const ShardView& view) {
+  const std::size_t n = view.shard_count();
+  if (n <= 1 || view.queue_depths.size() < n) return 0;
+  // Scan from a rotating offset: the first minimum found cycles across
+  // equally loaded shards instead of always landing on index 0.
+  const std::size_t offset = static_cast<std::size_t>(
+      tie_break_.fetch_add(1, std::memory_order_relaxed) % n);
+  std::size_t best = offset;
+  for (std::size_t i = 1; i < n; ++i) {
+    const std::size_t s = (offset + i) % n;
+    if (view.queue_depths[s] < view.queue_depths[best]) best = s;
+  }
+  return best;
+}
+
+std::unique_ptr<Router> make_router(const std::string& policy) {
+  if (policy == "hash") return std::make_unique<HashRouter>();
+  if (policy == "round_robin") return std::make_unique<RoundRobinRouter>();
+  if (policy == "least_loaded") return std::make_unique<LeastLoadedRouter>();
+  throw std::invalid_argument("make_router: unknown policy \"" + policy +
+                              "\" (hash | round_robin | least_loaded)");
+}
+
+}  // namespace safeloc::serve

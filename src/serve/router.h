@@ -1,0 +1,95 @@
+// Router — pluggable request-to-shard placement for LocalizationService.
+//
+// The service owns N QueryBackend shards; for every admitted request it
+// asks its Router which shard to submit to. Three built-in policies:
+//
+//   * HashRouter — deterministic fingerprint/building-affinity sharding:
+//     the shard is a hash of the building id and the fingerprint bytes, so
+//     identical queries always land on the same shard (warm per-shard
+//     caches, single-building batches under building-heavy mixes) and the
+//     placement needs no shared mutable state at all.
+//   * RoundRobinRouter — strict rotation; perfectly even placement for
+//     uniform request costs.
+//   * LeastLoadedRouter — picks the shard with the smallest outstanding
+//     queue depth (ties rotate round-robin so an idle fleet still spreads);
+//     adapts to skewed request costs and stragglers.
+//
+// route() must be thread-safe: the service calls it from every producer
+// thread concurrently.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+namespace safeloc::serve {
+
+/// What a Router sees of the shard fleet at routing time.
+struct ShardView {
+  std::size_t shards = 1;
+  /// Outstanding queries per shard (QueryBackend::queue_depth). Collected —
+  /// and sized `shards` — only for routers that declare needs_load();
+  /// empty otherwise, so stateless policies cost no shard locks.
+  std::span<const std::size_t> queue_depths;
+
+  [[nodiscard]] std::size_t shard_count() const noexcept { return shards; }
+};
+
+class Router {
+ public:
+  virtual ~Router() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Whether route() reads view.queue_depths (the service skips collecting
+  /// them otherwise).
+  [[nodiscard]] virtual bool needs_load() const { return false; }
+
+  /// Shard index in [0, view.shard_count()) for one admitted request.
+  /// Called concurrently from every producer thread.
+  [[nodiscard]] virtual std::size_t route(int building,
+                                          std::span<const float> fingerprint,
+                                          const ShardView& view) = 0;
+};
+
+class HashRouter final : public Router {
+ public:
+  [[nodiscard]] std::string name() const override { return "hash"; }
+  [[nodiscard]] std::size_t route(int building,
+                                  std::span<const float> fingerprint,
+                                  const ShardView& view) override;
+};
+
+class RoundRobinRouter final : public Router {
+ public:
+  [[nodiscard]] std::string name() const override { return "round_robin"; }
+  [[nodiscard]] std::size_t route(int building,
+                                  std::span<const float> fingerprint,
+                                  const ShardView& view) override;
+
+ private:
+  std::atomic<std::uint64_t> next_{0};
+};
+
+class LeastLoadedRouter final : public Router {
+ public:
+  [[nodiscard]] std::string name() const override { return "least_loaded"; }
+  [[nodiscard]] bool needs_load() const override { return true; }
+  [[nodiscard]] std::size_t route(int building,
+                                  std::span<const float> fingerprint,
+                                  const ShardView& view) override;
+
+ private:
+  /// Tie-break rotation: with equal depths (e.g. a drained fleet) the
+  /// minimum cycles instead of pinning shard 0.
+  std::atomic<std::uint64_t> tie_break_{0};
+};
+
+/// Router by policy name ("hash", "round_robin", "least_loaded") — how
+/// benches and configs select a policy. Throws std::invalid_argument for an
+/// unknown name.
+[[nodiscard]] std::unique_ptr<Router> make_router(const std::string& policy);
+
+}  // namespace safeloc::serve

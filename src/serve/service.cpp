@@ -1,0 +1,172 @@
+#include "src/serve/service.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace safeloc::serve {
+
+LocalizationService::LocalizationService(ServiceConfig config) {
+  const int shards = config.shards < 1 ? 1 : config.shards;
+  shards_.reserve(static_cast<std::size_t>(shards));
+  for (int s = 0; s < shards; ++s) {
+    shards_.push_back(std::make_unique<QueryEngine>(config.engine));
+  }
+  router_ = std::make_unique<HashRouter>();
+  routed_ = std::make_unique<std::atomic<std::uint64_t>[]>(shards_.size());
+}
+
+LocalizationService::LocalizationService(
+    std::vector<std::unique_ptr<QueryBackend>> shards)
+    : shards_(std::move(shards)) {
+  if (shards_.empty()) {
+    throw std::invalid_argument("LocalizationService: no shards");
+  }
+  for (const auto& shard : shards_) {
+    if (shard == nullptr) {
+      throw std::invalid_argument("LocalizationService: null shard");
+    }
+  }
+  router_ = std::make_unique<HashRouter>();
+  routed_ = std::make_unique<std::atomic<std::uint64_t>[]>(shards_.size());
+}
+
+LocalizationService::~LocalizationService() = default;
+
+void LocalizationService::set_router(std::unique_ptr<Router> router) {
+  if (router == nullptr) {
+    throw std::invalid_argument("LocalizationService: null router");
+  }
+  router_ = std::move(router);
+}
+
+void LocalizationService::add_admission(
+    std::unique_ptr<AdmissionPolicy> policy) {
+  if (policy == nullptr) {
+    throw std::invalid_argument("LocalizationService: null admission policy");
+  }
+  admission_.push_back(std::move(policy));
+}
+
+void LocalizationService::publish(const ModelRecord& record) {
+  // One publisher at a time: two concurrent publishes for the same
+  // building must not interleave their per-shard deploys, or the fleet
+  // could settle with shards on different versions.
+  const std::lock_guard<std::mutex> publish_lock(publish_mutex_);
+  // Validate the record before anything observes it: a record no shard
+  // would accept must not calibrate the admission chain either.
+  (void)make_deployed_model(record, "LocalizationService::publish");
+  // Admission calibrates BEFORE the shards swap. Queries racing the swap
+  // may briefly be judged by the new model's calibration while still
+  // answered by the old snapshot — the availability-safe direction: a
+  // looser new threshold (e.g. the post-rounds RCE drift) can only
+  // under-flag for an instant, never burst-reject benign traffic. The
+  // reverse order would score the new model against the old calibration.
+  for (const auto& policy : admission_) policy->on_publish(record);
+  // Every shard validates and swaps to the new snapshot before anyone is
+  // told about the version — a submission made after publish() returns can
+  // only land on a shard already serving `record.version`.
+  for (const auto& shard : shards_) shard->deploy(record);
+  const std::lock_guard<std::mutex> lock(published_mutex_);
+  published_versions_[record.provenance.building] = record.version;
+}
+
+std::size_t LocalizationService::publish_latest(const ModelStore& store) {
+  std::size_t published = 0;
+  for (const std::string& name : store.names()) {
+    publish(store.latest(name));
+    ++published;
+  }
+  return published;
+}
+
+std::uint32_t LocalizationService::published_version(int building) const {
+  const std::lock_guard<std::mutex> lock(published_mutex_);
+  const auto it = published_versions_.find(building);
+  return it == published_versions_.end() ? 0 : it->second;
+}
+
+void LocalizationService::submit(Request request,
+                                 std::function<void(Response)> done) {
+  Response response;
+  for (const auto& policy : admission_) {
+    AdmissionVerdict verdict =
+        policy->inspect(request.building, request.fingerprint);
+    if (verdict.action == AdmissionVerdict::Action::kAdmit) continue;
+    if (verdict.action == AdmissionVerdict::Action::kReject) {
+      submitted_.fetch_add(1, std::memory_order_relaxed);
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      response.status = Response::Status::kRejected;
+      response.flagged = true;
+      response.admission_score = verdict.score;
+      response.admission_policy = policy->name();
+      response.admission_reason = std::move(verdict.reason);
+      if (done) done(std::move(response));
+      return;
+    }
+    // kFlag: the first flagging policy wins the annotation; the request
+    // still runs the rest of the chain and is served.
+    if (!response.flagged) {
+      response.flagged = true;
+      response.admission_score = verdict.score;
+      response.admission_policy = policy->name();
+      response.admission_reason = std::move(verdict.reason);
+    }
+  }
+
+  ShardView view;
+  view.shards = shards_.size();
+  if (router_->needs_load()) {
+    // Per-thread reusable buffer: load-aware routing costs no allocation
+    // on the submit hot path after a thread's first call.
+    static thread_local std::vector<std::size_t> depths;
+    depths.clear();
+    for (const auto& shard : shards_) depths.push_back(shard->queue_depth());
+    view.queue_depths = depths;
+  }
+  std::size_t shard = router_->route(request.building, request.fingerprint, view);
+  if (shard >= shards_.size()) shard = shards_.size() - 1;
+  response.shard = static_cast<int>(shard);
+
+  const bool flagged = response.flagged;
+  const int building = request.building;
+  shards_[shard]->submit(
+      building, std::move(request.fingerprint),
+      [response = std::move(response),
+       done = std::move(done)](QueryResult result) mutable {
+        response.query = std::move(result);
+        if (done) done(std::move(response));
+      });
+  // Counted only after the shard accepted the query: a throwing submit
+  // (undeployed building, wrong width, stopped engine) must not skew
+  // stats with requests that never entered the fleet.
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  routed_[shard].fetch_add(1, std::memory_order_relaxed);
+  if (flagged) flagged_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::future<Response> LocalizationService::submit(Request request) {
+  auto promise = std::make_shared<std::promise<Response>>();
+  std::future<Response> future = promise->get_future();
+  submit(std::move(request), [promise](Response response) {
+    promise->set_value(std::move(response));
+  });
+  return future;
+}
+
+void LocalizationService::drain() {
+  for (const auto& shard : shards_) shard->drain();
+}
+
+LocalizationService::Stats LocalizationService::stats() const {
+  Stats stats;
+  stats.submitted = submitted_.load(std::memory_order_relaxed);
+  stats.rejected = rejected_.load(std::memory_order_relaxed);
+  stats.flagged = flagged_.load(std::memory_order_relaxed);
+  stats.routed.reserve(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    stats.routed.push_back(routed_[s].load(std::memory_order_relaxed));
+  }
+  return stats;
+}
+
+}  // namespace safeloc::serve

@@ -1,0 +1,155 @@
+// LocalizationService — the serving layer's front door.
+//
+// One object owns the whole serving fleet: N QueryBackend shards (QueryEngine
+// worker pools in production, SyncBackend in tests), a pluggable Router that
+// places every request on a shard, and an ordered AdmissionPolicy chain that
+// can flag or reject requests before they reach a shard (PoisonGate carries
+// SAFELOC's poison detection onto this path). Callers stop hand-wiring
+// ModelStore → ServingNet → QueryEngine and instead:
+//
+//   serve::LocalizationService service({.shards = 4});
+//   service.set_router(serve::make_router("hash"));
+//   service.add_admission(std::make_unique<serve::PoisonGate>());
+//   service.publish(store.latest("SAFELOC/b1"));
+//   serve::Response response =
+//       service.submit({.building = 1, .fingerprint = x}).get();
+//
+// publish() hot-swaps every shard to the new record and then calibrates the
+// admission chain; once it returns, all subsequent submissions are answered
+// by the new version on every shard (each shard's swap is itself atomic —
+// in-flight batches finish on the snapshot they started with).
+//
+// Configuration (set_router / add_admission) is meant for service bring-up,
+// before traffic flows; publish() and submit() are safe from any thread at
+// any time.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/serve/admission.h"
+#include "src/serve/backend.h"
+#include "src/serve/query_engine.h"
+#include "src/serve/router.h"
+
+namespace safeloc::serve {
+
+struct ServiceConfig {
+  /// QueryEngine shards to own (ignored by the bring-your-own-backends
+  /// constructor).
+  int shards = 1;
+  /// Per-shard engine configuration.
+  QueryEngineConfig engine{};
+};
+
+/// One localization request.
+struct Request {
+  int building = 0;
+  /// Standardized fingerprint (rss::kFeatureDim for paper models).
+  std::vector<float> fingerprint;
+};
+
+struct Response {
+  enum class Status {
+    kAnswered,  ///< Routed and answered; `query` is valid.
+    kRejected,  ///< Stopped by an admission policy; `query` is empty.
+  };
+  Status status = Status::kAnswered;
+  /// An admission policy found the request suspicious (set for rejections
+  /// and for flagged-but-answered requests).
+  bool flagged = false;
+  double admission_score = 0.0;
+  /// Policy that flagged/rejected; empty when the request passed clean.
+  std::string admission_policy;
+  std::string admission_reason;
+  /// Shard that answered; -1 for rejections.
+  int shard = -1;
+  QueryResult query;
+};
+
+class LocalizationService {
+ public:
+  /// Production constructor: owns `config.shards` QueryEngine shards.
+  explicit LocalizationService(ServiceConfig config = {});
+  /// Bring-your-own-backends constructor (tests, custom fleets). Throws
+  /// std::invalid_argument when `shards` is empty or holds a null.
+  explicit LocalizationService(
+      std::vector<std::unique_ptr<QueryBackend>> shards);
+  ~LocalizationService();
+
+  LocalizationService(const LocalizationService&) = delete;
+  LocalizationService& operator=(const LocalizationService&) = delete;
+
+  /// Replaces the routing policy (default: HashRouter). Non-null.
+  void set_router(std::unique_ptr<Router> router);
+  [[nodiscard]] const Router& router() const { return *router_; }
+
+  /// Appends a policy to the admission chain (inspected in append order).
+  void add_admission(std::unique_ptr<AdmissionPolicy> policy);
+
+  /// Deploys `record` to every shard, then calibrates the admission chain.
+  /// After it returns, every new submission for the record's building is
+  /// answered at `record.version` on whichever shard it routes to.
+  void publish(const ModelRecord& record);
+
+  /// Publishes the newest version of every model in the store. Returns how
+  /// many records were published.
+  std::size_t publish_latest(const ModelStore& store);
+
+  /// Version publish() last installed for `building`; 0 when none.
+  [[nodiscard]] std::uint32_t published_version(int building) const;
+
+  /// Admission chain → router → shard. `done` runs after the forward pass
+  /// (immediately, on the calling thread, for rejections and synchronous
+  /// backends). Throws what the shard's submit throws (undeployed
+  /// building, wrong-width fingerprint).
+  void submit(Request request, std::function<void(Response)> done);
+
+  /// Future-returning convenience wrapper.
+  [[nodiscard]] std::future<Response> submit(Request request);
+
+  /// Blocks until every routed query has completed.
+  void drain();
+
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shards_.size();
+  }
+  /// Direct shard access (diagnostics, tests).
+  [[nodiscard]] QueryBackend& shard(std::size_t index) {
+    return *shards_.at(index);
+  }
+
+  struct Stats {
+    std::uint64_t submitted = 0;
+    std::uint64_t rejected = 0;
+    /// Flagged but still answered.
+    std::uint64_t flagged = 0;
+    /// Queries routed to each shard.
+    std::vector<std::uint64_t> routed;
+  };
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  std::vector<std::unique_ptr<QueryBackend>> shards_;
+  std::unique_ptr<Router> router_;
+  std::vector<std::unique_ptr<AdmissionPolicy>> admission_;
+
+  /// Serializes whole publish() calls (deploys + calibration + version).
+  std::mutex publish_mutex_;
+  mutable std::mutex published_mutex_;
+  std::map<int, std::uint32_t> published_versions_;
+
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> flagged_{0};
+  std::unique_ptr<std::atomic<std::uint64_t>[]> routed_;
+};
+
+}  // namespace safeloc::serve

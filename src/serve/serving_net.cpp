@@ -21,14 +21,28 @@ bool is_decoder(const std::string& prefix) {
   return prefix.rfind("dec", 0) == 0;
 }
 
+bool is_classifier(const std::string& prefix) {
+  return prefix.rfind("cls", 0) == 0;
+}
+
 }  // namespace
 
-ServingNet ServingNet::from_state(const nn::StateDict& state) {
+bool ServingNet::has_decoder(const nn::StateDict& state) {
+  for (const nn::NamedTensor& tensor : state) {
+    if (is_decoder(prefix_of(tensor.name))) return true;
+  }
+  return false;
+}
+
+ServingNet ServingNet::from_state(const nn::StateDict& state, Head head) {
   ServingNet net;
   for (std::size_t i = 0; i < state.tensor_count(); ++i) {
     const nn::NamedTensor& tensor = state.tensor(i);
     const std::string prefix = prefix_of(tensor.name);
-    if (is_decoder(prefix)) continue;
+    if (head == Head::kClassifier ? is_decoder(prefix)
+                                  : is_classifier(prefix)) {
+      continue;
+    }
     if (tensor.name != prefix + ".w") {
       throw std::invalid_argument(
           "ServingNet: expected a weight tensor, found \"" + tensor.name +
@@ -58,7 +72,20 @@ ServingNet ServingNet::from_state(const nn::StateDict& state) {
     throw std::invalid_argument(
         "ServingNet: no Dense layers found in state dict");
   }
-  net.layers_.back().relu = false;  // logits head stays linear
+  net.layers_.back().relu = false;  // logits / recon output stays linear
+  if (head == Head::kReconstruction) {
+    if (!has_decoder(state)) {
+      throw std::invalid_argument(
+          "ServingNet: state dict has no decoder — reconstruction head "
+          "unavailable");
+    }
+    if (net.num_classes() != net.input_dim()) {
+      throw std::invalid_argument(
+          "ServingNet: reconstruction path does not land on the input "
+          "width (" + std::to_string(net.num_classes()) + " vs " +
+          std::to_string(net.input_dim()) + ")");
+    }
+  }
   return net;
 }
 
@@ -93,7 +120,9 @@ nn::Matrix& ServingNet::logits(const nn::Matrix& x,
   for (std::size_t i = 0; i < layers_.size(); ++i) {
     const DenseStep& layer = layers_[i];
     out = (i % 2 == 0) ? &ws.ping : &ws.pong;
-    nn::matmul_into(*current, layer.w, *out);
+    // Size-dispatched kernel (naive vs blocked, bit-identical either way —
+    // see bench_serve's kernel comparison).
+    nn::matmul_into_auto(*current, layer.w, *out);
     nn::add_row_broadcast(*out, layer.b);
     if (layer.relu) {
       for (float& v : out->flat()) v = v < 0.0f ? 0.0f : v;
@@ -121,6 +150,17 @@ void softmax_rows_inplace(nn::Matrix& logits) {
     const float inv = static_cast<float>(1.0 / sum);
     for (std::size_t j = 0; j < logits.cols(); ++j) row[j] *= inv;
   }
+}
+
+std::vector<float> reconstruction_rms(const ServingNet& recon,
+                                      const nn::Matrix& x,
+                                      InferenceWorkspace& ws) {
+  const nn::Matrix& rebuilt = recon.logits(x, ws);
+  // Same arithmetic as core::FusedNet::reconstruction_error:
+  // sqrt(row_mse(x, recon)).
+  std::vector<float> rms = nn::row_mse(x, rebuilt);
+  for (float& v : rms) v = std::sqrt(v);
+  return rms;
 }
 
 std::vector<RankedClass> top_k_classes(std::span<const float> probabilities,

@@ -33,15 +33,30 @@ struct InferenceWorkspace {
 
 class ServingNet {
  public:
+  /// Which head to extract from a fused state dict.
+  enum class Head {
+    /// Input -> logits: "dec*" (decoder) tensors are skipped.
+    kClassifier,
+    /// Input -> reconstruction: the autoencoder path ("cls*" skipped).
+    /// Requires the dict to carry decoder tensors; output width must equal
+    /// the input width. This is the serve-time poison-detection path.
+    kReconstruction,
+  };
+
   ServingNet() = default;
 
-  /// Builds the classification path from a state dict: consecutive
-  /// ("<p>.w", "<p>.b") Dense pairs chained input-to-logits, with ReLU
-  /// between all but the last. Tensors whose prefix starts with "dec"
-  /// (SAFELOC's reconstruction/de-noising decoder) are skipped — they are
-  /// not on the localization path. Throws std::invalid_argument when the
-  /// remaining tensors do not form a valid chain.
-  [[nodiscard]] static ServingNet from_state(const nn::StateDict& state);
+  /// Builds one head's path from a state dict: consecutive ("<p>.w",
+  /// "<p>.b") Dense pairs chained in dict order, with ReLU between all but
+  /// the last (the logits / reconstruction output stays linear, matching
+  /// core::FusedNet). Throws std::invalid_argument when the selected
+  /// tensors do not form a valid chain — in particular, kReconstruction on
+  /// a dict without decoder tensors.
+  [[nodiscard]] static ServingNet from_state(const nn::StateDict& state,
+                                             Head head = Head::kClassifier);
+
+  /// True when the dict carries a "dec*" decoder pair — i.e. whether
+  /// from_state(state, Head::kReconstruction) can succeed.
+  [[nodiscard]] static bool has_decoder(const nn::StateDict& state);
 
   [[nodiscard]] std::size_t input_dim() const;
   [[nodiscard]] std::size_t num_classes() const;
@@ -77,6 +92,14 @@ struct RankedClass {
 /// Numerically stable in-place row softmax (same math as nn::softmax,
 /// without the output allocation).
 void softmax_rows_inplace(nn::Matrix& logits);
+
+/// Per-row RMS reconstruction error of x through a Head::kReconstruction
+/// net, in [0, 1] feature units — the serve-time counterpart of
+/// core::FusedNet::reconstruction_error (same kernels and accumulation
+/// order, so the values are bit-identical for the same weights).
+[[nodiscard]] std::vector<float> reconstruction_rms(const ServingNet& recon,
+                                                    const nn::Matrix& x,
+                                                    InferenceWorkspace& ws);
 
 /// Top-k classes of one probability row, by descending confidence (ties
 /// break toward the lower label, deterministically).

@@ -1,5 +1,6 @@
 #include "src/serve/traffic.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -19,6 +20,10 @@ TrafficGenerator::TrafficGenerator(TrafficConfig config)
   if (config_.fingerprints_per_rp == 0) {
     throw std::invalid_argument(
         "TrafficGenerator: fingerprints_per_rp must be > 0");
+  }
+  if (config_.attack_fraction < 0.0 || config_.attack_fraction > 1.0) {
+    throw std::invalid_argument(
+        "TrafficGenerator: attack_fraction must be in [0, 1]");
   }
   const auto& devices = rss::paper_devices();
   pools_.reserve(config_.buildings.size());
@@ -66,6 +71,20 @@ TimedQuery TrafficGenerator::next() {
   query.true_rp = set.labels[row];
   const auto src = set.x.row(row);
   query.x.assign(src.begin(), src.end());
+
+  // Attack window: ±ε per feature (random sign, clamped to [0, 1]) on the
+  // configured fraction of in-window queries — see the file comment.
+  if (config_.attack_fraction > 0.0 &&
+      clock_s_ >= config_.attack_start_s &&
+      clock_s_ < config_.attack_start_s + config_.attack_duration_s &&
+      rng_.bernoulli(config_.attack_fraction)) {
+    query.poisoned = true;
+    const auto epsilon = static_cast<float>(config_.attack_epsilon);
+    for (float& v : query.x) {
+      v += rng_.bernoulli(0.5) ? epsilon : -epsilon;
+      v = std::clamp(v, 0.0f, 1.0f);
+    }
+  }
   return query;
 }
 

@@ -11,11 +11,21 @@
 // `mean_qps`), and each query draws a building from the configured mix and
 // a device/RP uniformly — the "many phones walking many buildings" shape.
 //
+// Adversarial mixes: an optional attack window marks a time span of the
+// stream during which a configured fraction of queries carries a
+// query-time evasion perturbation — every feature shifted by ±ε (random
+// sign, clamped to [0, 1]), the black-box statistical envelope of the
+// paper's FGSM backdoor (Eq. 2 moves each feature by ε·sign(∇); without
+// white-box access the sign is random, the magnitude identical). Poisoned
+// queries are labelled (TimedQuery::poisoned) so serve-time detection —
+// the PoisonGate admission policy — can be scored against ground truth.
+//
 // Fully deterministic per seed: the same config replays the same stream,
 // so serving benchmarks are reproducible.
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "src/rss/dataset.h"
@@ -31,6 +41,16 @@ struct TrafficConfig {
   /// Pool depth: fingerprints pre-synthesized per (building, device, RP).
   std::size_t fingerprints_per_rp = 2;
   std::uint64_t seed = 0x7aff1cULL;
+
+  // --- adversarial attack window (off by default) ------------------------
+  /// Fraction of in-window queries that are poisoned (0 disables).
+  double attack_fraction = 0.0;
+  /// Per-feature evasion magnitude in the standardized [0, 1] space (the
+  /// paper's ε axis).
+  double attack_epsilon = 0.1;
+  /// Window start / length in stream time, seconds.
+  double attack_start_s = 0.0;
+  double attack_duration_s = std::numeric_limits<double>::infinity();
 };
 
 /// One query of the stream.
@@ -42,6 +62,8 @@ struct TimedQuery {
   std::size_t device = 0;
   /// Ground-truth RP the fingerprint was scanned at.
   int true_rp = 0;
+  /// Carries the attack-window evasion perturbation.
+  bool poisoned = false;
   /// Standardized 128-dim fingerprint (rss::kFeatureDim).
   std::vector<float> x;
 };

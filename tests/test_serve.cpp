@@ -3,6 +3,7 @@
 // and TrafficGenerator determinism.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <sstream>
@@ -17,6 +18,7 @@
 #include "src/serve/query_engine.h"
 #include "src/serve/serving_net.h"
 #include "src/serve/traffic.h"
+#include "src/util/binary_io.h"
 
 namespace safeloc {
 namespace {
@@ -174,6 +176,48 @@ TEST(ModelStore, SaveLoadRoundTripAcrossBuildings) {
   EXPECT_EQ(again.str(), stream.str());
 }
 
+TEST(ModelStore, CalibrationRoundTripsAndV1StreamsStillLoad) {
+  eval::ModelCalibration calibration;
+  calibration.features.mean = {0.1f, 0.2f, 0.3f};
+  calibration.features.stddev = {0.01f, 0.02f, 0.03f};
+  calibration.rce_mean = 0.12f;
+  calibration.rce_std = 0.03f;
+  calibration.rce_p99 = 0.2f;
+  calibration.rce_max = 0.22f;
+  calibration.has_rce = true;
+  calibration.samples = 240;
+
+  serve::ModelStore store;
+  store.publish("m", tiny_state(1.0f), {}, calibration);
+  std::stringstream stream;
+  store.save(stream);
+  const serve::ModelStore loaded = serve::ModelStore::load(stream);
+  EXPECT_EQ(loaded.latest("m").calibration, calibration);
+
+  // A v1 stream (records without the calibration block) still loads; the
+  // record then carries an invalid calibration.
+  std::stringstream v1;
+  util::write_pod(v1, std::uint32_t{0x53465354});  // magic
+  util::write_pod(v1, std::uint32_t{1});           // format v1
+  util::write_pod(v1, std::uint64_t{1});           // record count
+  const serve::ModelRecord& record = store.latest("m");
+  util::write_string(v1, record.name);
+  util::write_pod(v1, record.version);
+  util::write_string(v1, record.provenance.framework);
+  util::write_pod(v1, std::int32_t{record.provenance.building});
+  util::write_pod(v1, record.provenance.seed);
+  util::write_pod(v1, std::int32_t{record.provenance.repeat});
+  util::write_pod(v1, std::int32_t{record.provenance.server_epochs});
+  util::write_pod(v1, std::int32_t{record.provenance.fl_rounds});
+  util::write_string(v1, record.provenance.attack_label);
+  util::write_pod(v1,
+                  static_cast<std::uint64_t>(record.provenance.num_classes));
+  record.state.save(v1);
+  const serve::ModelStore from_v1 = serve::ModelStore::load(v1);
+  EXPECT_FALSE(from_v1.latest("m").calibration.valid());
+  EXPECT_EQ(from_v1.latest("m").provenance, record.provenance);
+}
+
 TEST(ModelStore, RejectsBadLookupsAndEmptyPublishes) {
   serve::ModelStore store;
   EXPECT_FALSE(store.contains("nope"));
@@ -207,6 +251,14 @@ TEST(ModelStore, PublishesEngineCapturedCells) {
   EXPECT_EQ(record.provenance.attack_label, "none");
   EXPECT_EQ(record.provenance.num_classes, 48u);
   EXPECT_EQ(record.provenance.fl_rounds, 1);
+
+  // The capture path also calibrates the snapshot: clean feature envelope
+  // over 5 devices x 48 RPs; FEDLOC has no decoder, so no RCE stats.
+  EXPECT_TRUE(record.calibration.valid());
+  EXPECT_EQ(record.calibration.samples, 240u);
+  EXPECT_EQ(record.calibration.features.mean.size(), rss::kFeatureDim);
+  EXPECT_EQ(record.calibration.features.stddev.size(), rss::kFeatureDim);
+  EXPECT_FALSE(record.calibration.has_rce);
 
   // A cell without a captured model is rejected.
   engine::CellResult uncaptured;
@@ -299,6 +351,36 @@ TEST_F(ServeFixture, QueryEngineValidatesSubmissions) {
   EXPECT_EQ(engine.deployed_version(4), 0u);
 }
 
+TEST_F(ServeFixture, QueryEngineStopFlushesPartiallyFilledBatch) {
+  serve::QueryEngineConfig config;
+  config.workers = 1;
+  config.max_batch = 8;
+  // A batch window far longer than the test: without the stop() flush the
+  // worker would sit on the partial batch until the window expires.
+  config.batch_window = std::chrono::seconds(30);
+  serve::QueryEngine engine(config);
+  engine.deploy(make_record());
+
+  const auto row = experiment().training_set().x.row(0);
+  std::vector<std::future<serve::QueryResult>> futures;
+  for (std::size_t i = 0; i < config.max_batch - 1; ++i) {
+    futures.push_back(engine.submit(2, {row.begin(), row.end()}));
+  }
+  engine.stop();  // must flush the max_batch-1 pending queries and join
+  for (auto& future : futures) {
+    ASSERT_EQ(future.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    EXPECT_GE(future.get().rp, 0);
+  }
+  EXPECT_EQ(engine.queue_depth(), 0u);
+  EXPECT_EQ(engine.stats().queries, config.max_batch - 1);
+
+  // Idempotent, and the engine rejects submissions once stopped.
+  engine.stop();
+  EXPECT_THROW((void)engine.submit(2, {row.begin(), row.end()}),
+               std::runtime_error);
+}
+
 TEST_F(ServeFixture, QueryEngineDrainCompletesCallbacks) {
   serve::QueryEngineConfig config;
   config.workers = 2;
@@ -360,6 +442,70 @@ TEST(TrafficGenerator, DeterministicDeviceRealisticPoissonStream) {
   const auto long_stream = c.generate(2000);
   const double mean_gap = long_stream.back().arrival_s / 2000.0;
   EXPECT_NEAR(mean_gap, 1.0 / config.mean_qps, 0.15 / config.mean_qps);
+}
+
+TEST(TrafficGenerator, DifferentSeedsDiverge) {
+  serve::TrafficConfig config;
+  config.buildings = {1};
+  config.fingerprints_per_rp = 1;
+  config.seed = 1;
+  serve::TrafficGenerator a(config);
+  config.seed = 2;
+  serve::TrafficGenerator b(config);
+
+  const auto stream_a = a.generate(50);
+  const auto stream_b = b.generate(50);
+  bool arrivals_differ = false, fingerprints_differ = false;
+  for (std::size_t i = 0; i < stream_a.size(); ++i) {
+    arrivals_differ |= stream_a[i].arrival_s != stream_b[i].arrival_s;
+    fingerprints_differ |= stream_a[i].x != stream_b[i].x;
+  }
+  EXPECT_TRUE(arrivals_differ);
+  EXPECT_TRUE(fingerprints_differ);
+}
+
+TEST(TrafficGenerator, AttackWindowPoisonsOnlyInWindowQueries) {
+  serve::TrafficConfig config;
+  config.buildings = {2};
+  config.mean_qps = 1000.0;
+  config.fingerprints_per_rp = 1;
+  config.seed = 42;
+
+  // Whole-stream window at fraction 1: every query is poisoned by ±ε.
+  serve::TrafficConfig poisoned_config = config;
+  poisoned_config.attack_fraction = 1.0;
+  poisoned_config.attack_epsilon = 0.25;
+  serve::TrafficGenerator clean(config);
+  serve::TrafficGenerator poisoned(poisoned_config);
+  const serve::TimedQuery clean_q = clean.next();
+  const serve::TimedQuery poisoned_q = poisoned.next();
+  EXPECT_FALSE(clean_q.poisoned);
+  ASSERT_TRUE(poisoned_q.poisoned);
+  // Same draws up to the perturbation: identical identity, shifted features.
+  EXPECT_EQ(poisoned_q.building, clean_q.building);
+  EXPECT_EQ(poisoned_q.device, clean_q.device);
+  EXPECT_EQ(poisoned_q.true_rp, clean_q.true_rp);
+  for (std::size_t j = 0; j < clean_q.x.size(); ++j) {
+    const float clamped_lo = std::max(0.0f, clean_q.x[j] - 0.25f);
+    const float clamped_hi = std::min(1.0f, clean_q.x[j] + 0.25f);
+    EXPECT_TRUE(poisoned_q.x[j] == clamped_lo || poisoned_q.x[j] == clamped_hi)
+        << j;
+  }
+
+  // A mid-stream window: nothing before attack_start_s is poisoned, every
+  // in-window query is, and the stream goes clean again after it closes.
+  poisoned_config.attack_start_s = 0.05;
+  poisoned_config.attack_duration_s = 0.05;
+  serve::TrafficGenerator windowed(poisoned_config);
+  std::size_t before = 0, inside = 0, after = 0;
+  for (const serve::TimedQuery& query : windowed.generate(300)) {
+    const bool in_window = query.arrival_s >= 0.05 && query.arrival_s < 0.10;
+    EXPECT_EQ(query.poisoned, in_window);
+    (query.arrival_s < 0.05 ? before : in_window ? inside : after)++;
+  }
+  EXPECT_GT(before, 0u);
+  EXPECT_GT(inside, 0u);
+  EXPECT_GT(after, 0u);
 }
 
 }  // namespace

@@ -1,0 +1,348 @@
+// LocalizationService tests: router policies and shard distribution,
+// admission chain semantics, cross-shard publish atomicity, and the
+// serve-time PoisonGate scored against labelled adversarial traffic.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "src/engine/engine.h"
+#include "src/serve/admission.h"
+#include "src/serve/backend.h"
+#include "src/serve/model_store.h"
+#include "src/serve/router.h"
+#include "src/serve/service.h"
+#include "src/serve/traffic.h"
+
+namespace safeloc {
+namespace {
+
+/// One engine-trained, calibration-carrying SAFELOC record on building 2
+/// (48 RPs, the smallest), shared across the suite.
+class ServiceFixture : public ::testing::Test {
+ protected:
+  static const serve::ModelStore& store() {
+    static const serve::ModelStore instance = [] {
+      engine::ScenarioSpec spec;
+      spec.framework = "SAFELOC";
+      spec.building = 2;
+      spec.rounds = 0;
+      spec.server_epochs = 2;
+      const engine::RunReport report =
+          engine::ScenarioEngine{}.run(std::vector<engine::ScenarioSpec>{spec},
+                                       1, /*capture_final_gm=*/true);
+      serve::ModelStore built;
+      built.publish_run(report);
+      return built;
+    }();
+    return instance;
+  }
+
+  static const serve::ModelRecord& record() {
+    return store().latest("SAFELOC/b2");
+  }
+
+  static std::vector<std::unique_ptr<serve::QueryBackend>> sync_shards(
+      std::size_t n) {
+    std::vector<std::unique_ptr<serve::QueryBackend>> shards;
+    for (std::size_t s = 0; s < n; ++s) {
+      shards.push_back(std::make_unique<serve::SyncBackend>());
+    }
+    return shards;
+  }
+
+  static serve::TrafficGenerator traffic(double attack_fraction,
+                                         double epsilon = 0.3) {
+    serve::TrafficConfig config;
+    config.buildings = {2};
+    config.mean_qps = 1000.0;
+    config.fingerprints_per_rp = 1;
+    config.seed = 2024;
+    config.attack_fraction = attack_fraction;
+    config.attack_epsilon = epsilon;
+    return serve::TrafficGenerator(config);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Routers
+// ---------------------------------------------------------------------------
+
+TEST(Router, RoundRobinCyclesAllShards) {
+  serve::RoundRobinRouter router;
+  const serve::ShardView view{.shards = 4, .queue_depths = {}};
+  const std::vector<float> fingerprint(8, 0.5f);
+  for (std::size_t i = 0; i < 12; ++i) {
+    EXPECT_EQ(router.route(1, fingerprint, view), i % 4);
+  }
+}
+
+TEST(Router, LeastLoadedPicksShallowestQueueAndRotatesTies) {
+  serve::LeastLoadedRouter router;
+  const std::vector<float> fingerprint(8, 0.5f);
+  EXPECT_TRUE(router.needs_load());
+
+  // A strict minimum wins regardless of the rotation offset.
+  const std::vector<std::size_t> depths = {3, 0, 2, 4};
+  const serve::ShardView view{.shards = 4, .queue_depths = depths};
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(router.route(1, fingerprint, view), 1u);
+  }
+
+  // All-equal depths (a drained fleet) cycle instead of pinning shard 0.
+  const std::vector<std::size_t> even = {5, 5, 5};
+  const serve::ShardView even_view{.shards = 3, .queue_depths = even};
+  std::vector<std::size_t> hits(3, 0);
+  for (int i = 0; i < 9; ++i) ++hits[router.route(1, fingerprint, even_view)];
+  for (const std::size_t h : hits) EXPECT_EQ(h, 3u);
+}
+
+TEST(Router, HashIsDeterministicPerQuery) {
+  serve::HashRouter a, b;
+  const serve::ShardView view{.shards = 8, .queue_depths = {}};
+  serve::TrafficConfig config;
+  config.buildings = {1, 2};
+  config.fingerprints_per_rp = 1;
+  serve::TrafficGenerator generator(config);
+  for (const serve::TimedQuery& query : generator.generate(64)) {
+    const std::size_t shard = a.route(query.building, query.x, view);
+    EXPECT_LT(shard, 8u);
+    // Same query -> same shard, across calls and router instances.
+    EXPECT_EQ(a.route(query.building, query.x, view), shard);
+    EXPECT_EQ(b.route(query.building, query.x, view), shard);
+  }
+}
+
+TEST(Router, MakeRouterResolvesPolicyNames) {
+  EXPECT_EQ(serve::make_router("hash")->name(), "hash");
+  EXPECT_EQ(serve::make_router("round_robin")->name(), "round_robin");
+  EXPECT_EQ(serve::make_router("least_loaded")->name(), "least_loaded");
+  EXPECT_THROW((void)serve::make_router("nope"), std::invalid_argument);
+}
+
+/// All three policies must spread realistic traffic across every shard of
+/// a 4-shard fleet (hash: statistically; round-robin: exactly; least
+/// loaded: via the zero-depth tie cycling through drained sync shards).
+TEST_F(ServiceFixture, AllRoutersDistributeTrafficAcrossShards) {
+  for (const char* policy : {"hash", "round_robin", "least_loaded"}) {
+    serve::LocalizationService service(sync_shards(4));
+    service.set_router(serve::make_router(policy));
+    service.publish(record());
+
+    serve::TrafficGenerator generator = traffic(0.0);
+    for (const serve::TimedQuery& query : generator.generate(400)) {
+      service.submit({query.building, query.x}, nullptr);
+    }
+    const serve::LocalizationService::Stats stats = service.stats();
+    ASSERT_EQ(stats.routed.size(), 4u) << policy;
+    for (std::size_t s = 0; s < 4; ++s) {
+      // Every shard takes a real share: >= 10% of a uniform share's 100.
+      EXPECT_GE(stats.routed[s], 10u) << policy << " shard " << s;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// LocalizationService
+// ---------------------------------------------------------------------------
+
+TEST_F(ServiceFixture, SubmitAnswersThroughRoutedShard) {
+  serve::LocalizationService service(sync_shards(3));
+  service.set_router(serve::make_router("round_robin"));
+  EXPECT_EQ(service.shard_count(), 3u);
+  service.publish(record());
+  EXPECT_EQ(service.published_version(2), 1u);
+
+  serve::TrafficGenerator generator = traffic(0.0);
+  const auto stream = generator.generate(9);
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    serve::Response response =
+        service.submit({stream[i].building, stream[i].x}).get();
+    EXPECT_EQ(response.status, serve::Response::Status::kAnswered);
+    EXPECT_FALSE(response.flagged);
+    EXPECT_EQ(response.shard, static_cast<int>(i % 3));
+    EXPECT_EQ(response.query.model_version, 1u);
+    EXPECT_GE(response.query.rp, 0);
+    EXPECT_LT(response.query.rp, 48);
+    EXPECT_EQ(response.query.building, 2);
+  }
+  EXPECT_EQ(service.stats().submitted, 9u);
+  EXPECT_EQ(service.stats().rejected, 0u);
+
+  // Undeployed building propagates the backend's validation error.
+  EXPECT_THROW((void)service.submit({4, stream[0].x}), std::invalid_argument);
+}
+
+TEST_F(ServiceFixture, PublishSwapsEveryShardAtomicallyByVersion) {
+  serve::LocalizationService service(sync_shards(4));
+  service.set_router(serve::make_router("round_robin"));
+  service.publish(record());
+  for (std::size_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(service.shard(s).deployed_version(2), 1u);
+  }
+
+  serve::TrafficGenerator generator = traffic(0.0);
+  const auto stream = generator.generate(8);
+  for (const serve::TimedQuery& query : stream) {
+    EXPECT_EQ(service.submit({query.building, query.x}).get().query.model_version,
+              1u);
+  }
+
+  // Re-publish as version 2: once publish() returns, every shard answers
+  // at the new version — a full router rotation observes no stragglers.
+  serve::ModelRecord v2 = record();
+  v2.version = 2;
+  service.publish(v2);
+  EXPECT_EQ(service.published_version(2), 2u);
+  for (std::size_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(service.shard(s).deployed_version(2), 2u);
+  }
+  for (const serve::TimedQuery& query : stream) {
+    EXPECT_EQ(service.submit({query.building, query.x}).get().query.model_version,
+              2u);
+  }
+}
+
+TEST_F(ServiceFixture, PublishDuringLiveTrafficNeverMixesUnknownVersions) {
+  serve::ServiceConfig config;
+  config.shards = 2;
+  config.engine.workers = 1;
+  config.engine.max_batch = 8;
+  config.engine.batch_window = std::chrono::microseconds(0);
+  serve::LocalizationService service(config);
+  service.set_router(serve::make_router("round_robin"));
+  service.publish(record());
+
+  serve::TrafficGenerator generator = traffic(0.0);
+  const auto stream = generator.generate(200);
+  std::atomic<bool> bad_version{false};
+  std::thread producer([&] {
+    for (const serve::TimedQuery& query : stream) {
+      service.submit({query.building, query.x}, [&](serve::Response response) {
+        const std::uint32_t version = response.query.model_version;
+        if (version != 1 && version != 2) bad_version = true;
+      });
+    }
+  });
+  serve::ModelRecord v2 = record();
+  v2.version = 2;
+  service.publish(v2);  // races the producer by design
+  producer.join();
+  service.drain();
+  EXPECT_FALSE(bad_version.load());
+
+  // The fleet has settled on v2: fresh submissions all answer with it.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(service.submit({2, stream[0].x}).get().query.model_version, 2u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Admission / PoisonGate
+// ---------------------------------------------------------------------------
+
+TEST_F(ServiceFixture, PoisonGateFlagsAttackTrafficAndAdmitsBenign) {
+  ASSERT_TRUE(record().calibration.valid());
+  ASSERT_TRUE(record().calibration.has_rce);
+
+  serve::LocalizationService service(sync_shards(2));
+  auto gate = std::make_unique<serve::PoisonGate>();
+  const serve::PoisonGate& gate_view = *gate;
+  service.add_admission(std::move(gate));
+  service.publish(record());
+  EXPECT_TRUE(std::isfinite(
+      static_cast<double>(gate_view.rce_threshold(2))));
+
+  const auto flag_rate = [&](double attack_fraction) {
+    serve::TrafficGenerator generator = traffic(attack_fraction);
+    std::size_t flagged = 0;
+    const auto stream = generator.generate(300);
+    for (const serve::TimedQuery& query : stream) {
+      serve::Response response =
+          service.submit({query.building, query.x}).get();
+      EXPECT_EQ(response.status, serve::Response::Status::kAnswered);
+      if (response.flagged) {
+        ++flagged;
+        EXPECT_EQ(response.admission_policy, "poison_gate");
+        EXPECT_FALSE(response.admission_reason.empty());
+      }
+    }
+    return static_cast<double>(flagged) / static_cast<double>(stream.size());
+  };
+
+  // Acceptance bar: >= 90% of attack-window fingerprints flagged while
+  // benign traffic is admitted (calibrated p99 threshold -> ~1% clean FPR).
+  EXPECT_LE(flag_rate(0.0), 0.05);
+  EXPECT_GE(flag_rate(1.0), 0.90);
+  EXPECT_GT(gate_view.stats().inspected, 0u);
+}
+
+TEST_F(ServiceFixture, PoisonGateRejectModeShortCircuitsBeforeRouting) {
+  serve::PoisonGateConfig config;
+  config.reject = true;
+  serve::LocalizationService service(sync_shards(2));
+  service.add_admission(std::make_unique<serve::PoisonGate>(config));
+  service.publish(record());
+
+  serve::TrafficGenerator generator = traffic(1.0);
+  std::size_t rejected = 0;
+  for (const serve::TimedQuery& query : generator.generate(50)) {
+    serve::Response response = service.submit({query.building, query.x}).get();
+    if (response.status == serve::Response::Status::kRejected) {
+      ++rejected;
+      EXPECT_EQ(response.shard, -1);
+      EXPECT_TRUE(response.flagged);
+      EXPECT_EQ(response.query.rp, -1);  // never touched a shard
+    }
+  }
+  EXPECT_GE(rejected, 45u);  // the 90% bar again, in reject mode
+  EXPECT_EQ(service.stats().rejected, rejected);
+}
+
+TEST_F(ServiceFixture, UncalibratedModelsPassThroughTheGate) {
+  // A record published without the engine path has no calibration: the
+  // gate must not guess — everything is admitted.
+  serve::ModelRecord manual = record();
+  manual.calibration = {};
+
+  serve::LocalizationService service(sync_shards(1));
+  auto gate = std::make_unique<serve::PoisonGate>();
+  const serve::PoisonGate& gate_view = *gate;
+  service.add_admission(std::move(gate));
+  service.publish(manual);
+  EXPECT_TRUE(std::isnan(gate_view.rce_threshold(2)));
+
+  serve::TrafficGenerator generator = traffic(1.0);
+  for (const serve::TimedQuery& query : generator.generate(20)) {
+    EXPECT_FALSE(service.submit({query.building, query.x}).get().flagged);
+  }
+}
+
+TEST_F(ServiceFixture, UncalibratedRepublishDropsTheStaleDetector) {
+  // v1 is calibrated; v2 (manual publish, no calibration) replaces it.
+  // The gate must drop v1's detector rather than judge live traffic
+  // against statistics of a model that is no longer serving.
+  serve::LocalizationService service(sync_shards(1));
+  auto gate = std::make_unique<serve::PoisonGate>();
+  const serve::PoisonGate& gate_view = *gate;
+  service.add_admission(std::move(gate));
+  service.publish(record());
+  EXPECT_FALSE(std::isnan(gate_view.rce_threshold(2)));
+
+  serve::ModelRecord manual = record();
+  manual.version = 2;
+  manual.calibration = {};
+  service.publish(manual);
+  EXPECT_TRUE(std::isnan(gate_view.rce_threshold(2)));
+  serve::TrafficGenerator generator = traffic(1.0);
+  for (const serve::TimedQuery& query : generator.generate(20)) {
+    EXPECT_FALSE(service.submit({query.building, query.x}).get().flagged);
+  }
+}
+
+}  // namespace
+}  // namespace safeloc
