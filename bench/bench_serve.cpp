@@ -1,7 +1,9 @@
 // Serving-layer load bench: throughput and latency of one serving shard
 // across micro-batch caps and worker counts, against device-realistic
-// Poisson traffic — plus a microbenchmark of the two ServingNet GEMM
-// kernels (naive vs blocked) on the hot-loop shapes.
+// Poisson traffic — plus a microbenchmark of every supported ServingNet
+// GEMM dispatch variant (scalar/sse2/avx2) on the hot-loop shapes and a
+// cache-busting shape, with the runtime-selected variant recorded so the CI
+// bench gate (scripts/check_bench.py) can pin dispatch per machine.
 //
 // Pipeline: train a SAFELOC global model through the ScenarioEngine
 // (benign cell, capture_final_gm), publish it into a single-shard
@@ -21,6 +23,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
@@ -103,11 +106,21 @@ CellMeasurement run_cell(const serve::ModelRecord& record,
 
 struct KernelMeasurement {
   std::size_t m = 0, k = 0, n = 0;
-  double naive_us = 0.0;
-  double blocked_us = 0.0;
+  bool cache_busting = false;
+  /// Median-of-5 microseconds per call, indexed like supported_variants().
+  std::vector<std::pair<nn::simd::Variant, double>> variant_us;
+
+  [[nodiscard]] double us_for(nn::simd::Variant v) const {
+    for (const auto& [variant, us] : variant_us) {
+      if (variant == v) return us;
+    }
+    return 0.0;
+  }
 };
 
-/// Times both GEMM kernels on one serving shape (median-of-5 reps).
+/// Times every supported dispatch variant on one serving shape
+/// (median-of-5 reps). All variants are bit-identical (asserted here too),
+/// so this measures pure kernel speed.
 KernelMeasurement time_kernels(std::size_t m, std::size_t k, std::size_t n,
                                int reps) {
   util::Rng rng(0xbe7c4);
@@ -115,31 +128,33 @@ KernelMeasurement time_kernels(std::size_t m, std::size_t k, std::size_t n,
   for (float& v : a.flat()) v = rng.uniform_f(0.0f, 1.0f);
   for (float& v : b.flat()) v = rng.uniform_f(-0.5f, 0.5f);
 
-  const auto time_one = [&](auto&& kernel) {
-    std::vector<double> runs;
-    for (int r = 0; r < 5; ++r) {
-      const auto t0 = std::chrono::steady_clock::now();
-      for (int i = 0; i < reps; ++i) kernel(a, b, out);
-      const auto t1 = std::chrono::steady_clock::now();
-      runs.push_back(std::chrono::duration<double, std::micro>(t1 - t0)
-                         .count() /
-                     reps);
-    }
-    return util::percentile(runs, 50.0);
-  };
-
   KernelMeasurement kernel;
   kernel.m = m;
   kernel.k = k;
   kernel.n = n;
-  kernel.naive_us = time_one(
-      [](const nn::Matrix& x, const nn::Matrix& y, nn::Matrix& o) {
-        nn::matmul_into(x, y, o);
-      });
-  kernel.blocked_us = time_one(
-      [](const nn::Matrix& x, const nn::Matrix& y, nn::Matrix& o) {
-        nn::matmul_into_blocked(x, y, o);
-      });
+  kernel.cache_busting = k * n * sizeof(float) > nn::kBlockedGemmBytes;
+
+  nn::Matrix reference;
+  nn::matmul_into(a, b, reference);
+  for (const nn::simd::Variant variant : nn::simd::supported_variants()) {
+    std::vector<double> runs;
+    for (int r = 0; r < 5; ++r) {
+      const auto t0 = std::chrono::steady_clock::now();
+      for (int i = 0; i < reps; ++i) {
+        nn::matmul_into_variant(a, b, out, variant);
+      }
+      const auto t1 = std::chrono::steady_clock::now();
+      runs.push_back(
+          std::chrono::duration<double, std::micro>(t1 - t0).count() / reps);
+    }
+    if (!(out == reference)) {
+      std::fprintf(stderr,
+                   "FATAL: %s kernel diverged from scalar at %zux%zux%zu\n",
+                   nn::simd::variant_name(variant), m, k, n);
+      std::exit(1);
+    }
+    kernel.variant_us.emplace_back(variant, util::percentile(runs, 50.0));
+  }
   return kernel;
 }
 
@@ -205,27 +220,77 @@ int main(int argc, char** argv) {
   }
   std::printf("%s", table.render().c_str());
 
-  // ServingNet GEMM kernels on the hot-loop shapes: (batch x 128) x
-  // (128 x 89) is the widest layer of the paper architecture.
-  const int kernel_reps = smoke ? 200 : 2000;
-  std::vector<KernelMeasurement> kernels;
-  util::AsciiTable kernel_table(
-      {"m", "k", "n", "naive (us)", "blocked (us)", "speedup"});
-  for (const std::size_t batch : {std::size_t{1}, std::size_t{64},
-                                  std::size_t{256}, std::size_t{1024}}) {
-    const KernelMeasurement kernel = time_kernels(batch, 128, 89, kernel_reps);
-    kernels.push_back(kernel);
-    kernel_table.add_row({std::to_string(kernel.m), std::to_string(kernel.k),
-                          std::to_string(kernel.n),
-                          util::AsciiTable::num(kernel.naive_us, 2),
-                          util::AsciiTable::num(kernel.blocked_us, 2),
-                          util::AsciiTable::num(
-                              kernel.naive_us / kernel.blocked_us, 2)});
+  // ServingNet GEMM dispatch variants on the hot-loop shapes — (batch x
+  // 128) x (128 x 89) is the widest layer of the paper architecture — plus
+  // a cache-busting shape whose B footprint (~8.1 MB) exceeds
+  // kBlockedGemmBytes, the regime the CI gate holds the AVX2 speedup to.
+  const nn::simd::Variant selected = nn::simd::active_variant();
+  const auto variants = nn::simd::supported_variants();
+  // "auto"/empty mean the dispatcher picked freely — only a concrete
+  // variant name counts as forced (mirrors resolve_from_env).
+  const char* kernel_env = std::getenv("SAFELOC_KERNEL");
+  const bool forced = kernel_env != nullptr && *kernel_env != '\0' &&
+                      std::strcmp(kernel_env, "auto") != 0;
+  std::string variant_header;
+  for (const nn::simd::Variant v : variants) {
+    variant_header += std::string(variant_header.empty() ? "" : ",") +
+                      nn::simd::variant_name(v);
   }
-  std::printf("GEMM kernels (ServingNet hot loop, bit-identical results):\n%s",
+  std::printf("kernel dispatch: selected=%s supported=[%s]%s\n",
+              nn::simd::variant_name(selected), variant_header.c_str(),
+              forced ? " (forced via SAFELOC_KERNEL)" : "");
+
+  struct KernelShape {
+    std::size_t m, k, n;
+    int reps;
+  };
+  const std::vector<KernelShape> shapes = {
+      {1, 128, 89, smoke ? 200 : 2000},
+      {64, 128, 89, smoke ? 200 : 2000},
+      {256, 128, 89, smoke ? 100 : 1000},
+      {1024, 128, 89, smoke ? 50 : 500},
+      // Cache-busting: B = 520 x 4096 floats streams from memory.
+      {64, 520, 4096, smoke ? 2 : 10},
+  };
+
+  std::vector<std::string> columns = {"m", "k", "n"};
+  for (const nn::simd::Variant v : variants) {
+    columns.push_back(std::string(nn::simd::variant_name(v)) + " (us)");
+  }
+  columns.push_back("speedup");
+  util::AsciiTable kernel_table(columns);
+  std::vector<KernelMeasurement> kernels;
+  for (const KernelShape& shape : shapes) {
+    const KernelMeasurement kernel =
+        time_kernels(shape.m, shape.k, shape.n, shape.reps);
+    kernels.push_back(kernel);
+    std::vector<std::string> row = {std::to_string(kernel.m),
+                                    std::to_string(kernel.k),
+                                    std::to_string(kernel.n)};
+    double best_us = 0.0;
+    for (const auto& [variant, us] : kernel.variant_us) {
+      row.push_back(util::AsciiTable::num(us, 2));
+      if (best_us == 0.0 || us < best_us) best_us = us;
+    }
+    const double scalar_us = kernel.us_for(nn::simd::Variant::kScalar);
+    row.push_back(util::AsciiTable::num(
+        best_us > 0.0 ? scalar_us / best_us : 1.0, 2));
+    kernel_table.add_row(row);
+  }
+  std::printf("GEMM dispatch variants (bit-identical results):\n%s",
               kernel_table.render().c_str());
 
-  std::string json = "{\"schema\":\"safeloc.serve_bench/v2\",";
+  std::string json = "{\"schema\":\"safeloc.serve_bench/v3\",";
+  json += "\"kernel_dispatch\":{\"selected\":\"" +
+          std::string(nn::simd::variant_name(selected)) + "\",";
+  json += "\"forced\":";
+  json += forced ? "true" : "false";
+  json += ",\"supported\":[";
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    if (i > 0) json += ',';
+    json += "\"" + std::string(nn::simd::variant_name(variants[i])) + "\"";
+  }
+  json += "]},";
   json += "\"model\":{\"name\":\"" + record.name + "\",";
   json += "\"framework\":\"" + record.provenance.framework + "\",";
   json += "\"building\":" + std::to_string(record.provenance.building) + ",";
@@ -254,8 +319,16 @@ int main(int argc, char** argv) {
     json += "{\"m\":" + std::to_string(kernel.m) + ",";
     json += "\"k\":" + std::to_string(kernel.k) + ",";
     json += "\"n\":" + std::to_string(kernel.n) + ",";
-    json += "\"naive_us\":" + num(kernel.naive_us) + ",";
-    json += "\"blocked_us\":" + num(kernel.blocked_us) + "}";
+    json += "\"cache_busting\":";
+    json += kernel.cache_busting ? "true" : "false";
+    json += ",\"variants_us\":{";
+    for (std::size_t v = 0; v < kernel.variant_us.size(); ++v) {
+      if (v > 0) json += ',';
+      json += "\"" +
+              std::string(nn::simd::variant_name(kernel.variant_us[v].first)) +
+              "\":" + num(kernel.variant_us[v].second);
+    }
+    json += "}}";
   }
   json += "]}\n";
   std::ofstream out("BENCH_serve.json", std::ios::binary);

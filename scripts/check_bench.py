@@ -1,0 +1,189 @@
+#!/usr/bin/env python3
+"""CI bench-regression gate for the serving layer.
+
+Compares a smoke run's BENCH_serve.json / BENCH_route.json (written into the
+build directory by `bench_serve --smoke` / `bench_route --smoke`) against the
+committed baselines in bench/baselines/, and fails on:
+
+  * >30% qps regression in any grid cell present in both runs (threshold
+    configurable via --threshold),
+  * a kernel-dispatch mismatch — the runtime-selected GEMM variant differs
+    from the baseline's (a silently degraded dispatch is exactly the
+    regression this gate exists to catch),
+  * an AVX2-vs-scalar kernel speedup below --min-simd-speedup (default 1.5x)
+    on cache-busting shapes, when both runs support AVX2. This check is
+    machine-independent (both numbers come from the same run), so it holds
+    even when absolute qps between baseline and CI hardware differ.
+
+Baselines are refreshed with:  python3 scripts/check_bench.py --update
+(run from the repo root after a smoke run; commits the build-dir reports
+into bench/baselines/).
+
+stdlib only — no pip dependencies.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import shutil
+import sys
+
+SERVE = "BENCH_serve.json"
+ROUTE = "BENCH_route.json"
+
+
+def load(path: pathlib.Path) -> dict:
+    try:
+        with path.open() as fh:
+            return json.load(fh)
+    except FileNotFoundError:
+        sys.exit(f"check_bench: missing report {path}")
+    except json.JSONDecodeError as err:
+        sys.exit(f"check_bench: {path} is not valid JSON: {err}")
+
+
+def cell_key(cell: dict, fields: tuple[str, ...]) -> tuple:
+    return tuple(cell.get(f) for f in fields)
+
+
+def check_qps(
+    name: str,
+    baseline_cells: list[dict],
+    current_cells: list[dict],
+    fields: tuple[str, ...],
+    threshold: float,
+    failures: list[str],
+) -> None:
+    current_by_key = {cell_key(c, fields): c for c in current_cells}
+    for base in baseline_cells:
+        key = cell_key(base, fields)
+        cur = current_by_key.get(key)
+        label = f"{name} cell {dict(zip(fields, key))}"
+        if cur is None:
+            failures.append(f"{label}: present in baseline but missing from "
+                            "the current run (grid shrank?)")
+            continue
+        base_qps, cur_qps = base.get("qps", 0.0), cur.get("qps", 0.0)
+        if base_qps <= 0:
+            continue
+        floor = base_qps * (1.0 - threshold)
+        if cur_qps < floor:
+            failures.append(
+                f"{label}: qps regressed {base_qps:,.0f} -> {cur_qps:,.0f} "
+                f"({cur_qps / base_qps - 1.0:+.1%}, floor {floor:,.0f} at "
+                f"threshold {threshold:.0%})")
+
+
+def check_dispatch(baseline: dict, current: dict,
+                   failures: list[str]) -> None:
+    base_dispatch = baseline.get("kernel_dispatch", {})
+    cur_dispatch = current.get("kernel_dispatch", {})
+    base_sel = base_dispatch.get("selected")
+    cur_sel = cur_dispatch.get("selected")
+    if base_sel is None or cur_sel is None:
+        failures.append("serve: kernel_dispatch block missing "
+                        f"(baseline={base_sel}, current={cur_sel}) — "
+                        "schema too old? refresh baselines with --update")
+        return
+    if base_sel != cur_sel:
+        failures.append(
+            f"serve: kernel dispatch mismatch — baseline selected "
+            f"'{base_sel}', this run selected '{cur_sel}' (supported here: "
+            f"{cur_dispatch.get('supported')})")
+
+
+def check_simd_speedup(current: dict, min_speedup: float,
+                       failures: list[str]) -> None:
+    supported = current.get("kernel_dispatch", {}).get("supported", [])
+    if "avx2" not in supported:
+        print("check_bench: no AVX2 on this machine, skipping SIMD-speedup "
+              "floor")
+        return
+    checked = 0
+    for kernel in current.get("kernels", []):
+        if not kernel.get("cache_busting"):
+            continue
+        us = kernel.get("variants_us", {})
+        scalar, avx2 = us.get("scalar"), us.get("avx2")
+        if not scalar or not avx2:
+            continue
+        checked += 1
+        speedup = scalar / avx2
+        shape = f"{kernel['m']}x{kernel['k']}x{kernel['n']}"
+        if speedup < min_speedup:
+            failures.append(
+                f"serve: AVX2 kernel speedup {speedup:.2f}x < "
+                f"{min_speedup:.2f}x floor on cache-busting shape {shape}")
+        else:
+            print(f"check_bench: AVX2 {speedup:.2f}x scalar on "
+                  f"cache-busting {shape} (floor {min_speedup:.2f}x)")
+    if checked == 0:
+        failures.append("serve: no cache-busting kernel shapes in the "
+                        "current report — bench_serve shape sweep shrank?")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--current", default="build", type=pathlib.Path,
+                        help="directory with the smoke-run BENCH_*.json")
+    parser.add_argument("--baselines", default="bench/baselines",
+                        type=pathlib.Path,
+                        help="directory with committed baselines")
+    parser.add_argument("--threshold", default=0.30, type=float,
+                        help="allowed fractional qps regression (0.30 = 30%%)")
+    parser.add_argument("--min-simd-speedup", default=1.5, type=float,
+                        help="AVX2-vs-scalar floor on cache-busting shapes")
+    parser.add_argument("--update", action="store_true",
+                        help="refresh baselines from the current run instead "
+                             "of checking")
+    args = parser.parse_args()
+
+    if args.update:
+        args.baselines.mkdir(parents=True, exist_ok=True)
+        for name in (SERVE, ROUTE):
+            src = args.current / name
+            if not src.exists():
+                sys.exit(f"check_bench --update: {src} missing; run the "
+                         "smoke benches first")
+            shutil.copyfile(src, args.baselines / name)
+            print(f"check_bench: baseline refreshed from {src}")
+        return
+
+    failures: list[str] = []
+
+    serve_base = load(args.baselines / SERVE)
+    serve_cur = load(args.current / SERVE)
+    if serve_base.get("schema") != serve_cur.get("schema"):
+        failures.append(
+            f"serve: schema drift — baseline {serve_base.get('schema')} vs "
+            f"current {serve_cur.get('schema')}; refresh baselines")
+    else:
+        check_qps("serve", serve_base.get("cells", []),
+                  serve_cur.get("cells", []), ("workers", "batch"),
+                  args.threshold, failures)
+        check_dispatch(serve_base, serve_cur, failures)
+        check_simd_speedup(serve_cur, args.min_simd_speedup, failures)
+
+    route_base = load(args.baselines / ROUTE)
+    route_cur = load(args.current / ROUTE)
+    if route_base.get("schema") != route_cur.get("schema"):
+        failures.append(
+            f"route: schema drift — baseline {route_base.get('schema')} vs "
+            f"current {route_cur.get('schema')}; refresh baselines")
+    else:
+        check_qps("route", route_base.get("cells", []),
+                  route_cur.get("cells", []), ("mix", "router", "shards"),
+                  args.threshold, failures)
+
+    if failures:
+        print(f"\ncheck_bench: {len(failures)} failure(s):", file=sys.stderr)
+        for failure in failures:
+            print(f"  FAIL {failure}", file=sys.stderr)
+        sys.exit(1)
+    print("check_bench: all bench gates passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -61,6 +61,11 @@ RunReport ScenarioEngine::run(const std::vector<ScenarioSpec>& grid,
   report.cells.resize(grid.size());
   if (grid.empty()) return report;
 
+  // Resolve the kernel dispatch on the main thread before the pool spawns:
+  // an invalid SAFELOC_KERNEL fails here with a clean error instead of
+  // surfacing through a worker's exception capture.
+  (void)nn::simd::active_variant();
+
   const std::vector<PretrainGroup> groups = group_cells(grid);
 
   std::atomic<std::size_t> next_group{0};

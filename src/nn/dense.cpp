@@ -25,8 +25,11 @@ Matrix Dense::forward(const Matrix& x, bool train) {
                                 std::to_string(w_.rows()));
   }
   if (train) x_cache_ = x;
-  Matrix y = matmul(x, w_);
-  add_row_broadcast(y, b_);
+  // Dispatch-selected GEMM + fused bias epilogue (bit-identical to the
+  // scalar matmul + add_row_broadcast on every variant).
+  Matrix y;
+  matmul_into_auto(x, w_, y);
+  bias_act_rows(y, b_, /*relu=*/false);
   return y;
 }
 

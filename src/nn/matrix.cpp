@@ -11,6 +11,16 @@ void require(bool ok, const char* what) {
   if (!ok) throw std::invalid_argument(what);
 }
 
+/// Shared matmul_into* prologue: shape check + zeroed output.
+void prepare_gemm_out(const Matrix& a, const Matrix& b, Matrix& out) {
+  require(a.cols() == b.rows(), "matmul: inner dims mismatch");
+  if (out.rows() != a.rows() || out.cols() != b.cols()) {
+    out.reshape_discard(a.rows(), b.cols());
+  } else {
+    out.zero();
+  }
+}
+
 }  // namespace
 
 Matrix::Matrix(std::size_t rows, std::size_t cols)
@@ -51,60 +61,35 @@ Matrix matmul(const Matrix& a, const Matrix& b) {
 }
 
 void matmul_into(const Matrix& a, const Matrix& b, Matrix& out) {
-  require(a.cols() == b.rows(), "matmul: inner dims mismatch");
-  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
-  if (out.rows() != m || out.cols() != n) {
-    out.reshape_discard(m, n);
-  } else {
-    out.zero();
-  }
-  for (std::size_t i = 0; i < m; ++i) {
-    const float* arow = a.data() + i * k;
-    float* crow = out.data() + i * n;
-    for (std::size_t p = 0; p < k; ++p) {
-      const float av = arow[p];
-      if (av == 0.0f) continue;
-      const float* brow = b.data() + p * n;
-      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  prepare_gemm_out(a, b, out);
+  simd::gemm_naive_scalar(a.data(), b.data(), out.data(), a.rows(), a.cols(),
+                          b.cols());
 }
 
 void matmul_into_blocked(const Matrix& a, const Matrix& b, Matrix& out) {
-  require(a.cols() == b.rows(), "matmul: inner dims mismatch");
-  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
-  if (out.rows() != m || out.cols() != n) {
-    out.reshape_discard(m, n);
-  } else {
-    out.zero();
-  }
-  // Panel sizes: a (kc x nc) float tile of B is 16 KB — resident in L1d
-  // while every row of A streams over it.
-  constexpr std::size_t kc = 64, nc = 64;
-  for (std::size_t j0 = 0; j0 < n; j0 += nc) {
-    const std::size_t j1 = std::min(j0 + nc, n);
-    for (std::size_t p0 = 0; p0 < k; p0 += kc) {
-      const std::size_t p1 = std::min(p0 + kc, k);
-      for (std::size_t i = 0; i < m; ++i) {
-        const float* arow = a.data() + i * k;
-        float* crow = out.data() + i * n;
-        for (std::size_t p = p0; p < p1; ++p) {
-          const float av = arow[p];
-          if (av == 0.0f) continue;
-          const float* brow = b.data() + p * n;
-          for (std::size_t j = j0; j < j1; ++j) crow[j] += av * brow[j];
-        }
-      }
-    }
-  }
+  prepare_gemm_out(a, b, out);
+  simd::gemm_tiled_scalar(a.data(), b.data(), out.data(), a.rows(), a.cols(),
+                          b.cols());
 }
 
 void matmul_into_auto(const Matrix& a, const Matrix& b, Matrix& out) {
-  if (b.size() * sizeof(float) > kBlockedGemmBytes) {
-    matmul_into_blocked(a, b, out);
-  } else {
-    matmul_into(a, b, out);
-  }
+  prepare_gemm_out(a, b, out);
+  simd::active().gemm(a.data(), b.data(), out.data(), a.rows(), a.cols(),
+                      b.cols());
+}
+
+void matmul_into_variant(const Matrix& a, const Matrix& b, Matrix& out,
+                         simd::Variant variant) {
+  prepare_gemm_out(a, b, out);
+  simd::table_for(variant).gemm(a.data(), b.data(), out.data(), a.rows(),
+                                a.cols(), b.cols());
+}
+
+void bias_act_rows(Matrix& y, const Matrix& bias_row, bool relu) {
+  require(bias_row.rows() == 1 && bias_row.cols() == y.cols(),
+          "bias_act_rows: bias must be (1 x cols)");
+  simd::active().bias_act(y.data(), bias_row.data(), y.rows(), y.cols(),
+                          relu);
 }
 
 Matrix matmul_at_b(const Matrix& a, const Matrix& b) {

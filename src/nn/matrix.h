@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "src/nn/simd/dispatch.h"
+
 namespace safeloc::nn {
 
 class Matrix {
@@ -93,12 +95,29 @@ void matmul_into(const Matrix& a, const Matrix& b, Matrix& out);
 /// accumulates its products in exactly the order matmul_into uses.
 void matmul_into_blocked(const Matrix& a, const Matrix& b, Matrix& out);
 
-/// The ServingNet hot-loop entry point: dispatches to matmul_into_blocked
-/// when B's footprint exceeds kBlockedGemmBytes (B would stream from
-/// memory every call), to matmul_into otherwise. Both kernels are
-/// bit-identical, so the dispatch never changes results.
-inline constexpr std::size_t kBlockedGemmBytes = 8u << 20;
+/// The inference hot-loop entry point: runs the CPUID-selected SIMD kernel
+/// variant (simd::active_variant(); SAFELOC_KERNEL=scalar|sse2|avx2|auto
+/// overrides). Every variant accumulates in the scalar kernel's order and is
+/// exhaustively bitwise-tested against it, so dispatch never changes
+/// results. Each variant additionally switches to an L1-tiled loop when B's
+/// footprint exceeds kBlockedGemmBytes (B would stream from memory every
+/// call) — the scalar variant's behavior is exactly the historical
+/// matmul_into / matmul_into_blocked split.
+inline constexpr std::size_t kBlockedGemmBytes = simd::kGemmTileBytes;
 void matmul_into_auto(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// matmul_into_auto pinned to one dispatch variant (bench sweeps, bitwise
+/// tests). Throws std::runtime_error when the variant is unsupported on
+/// this CPU/build.
+void matmul_into_variant(const Matrix& a, const Matrix& b, Matrix& out,
+                         simd::Variant variant);
+
+/// Fused, dispatched epilogue: y = act(y + bias) in one pass over y, where
+/// act is ReLU (v > 0 ? v : 0, nn::ReLU's predicate) when `relu` is set and
+/// identity otherwise. Bit-identical to add_row_broadcast followed by
+/// nn::ReLU::forward; the serving hot path uses it to touch each output
+/// element once instead of three times.
+void bias_act_rows(Matrix& y, const Matrix& bias_row, bool relu);
 
 /// C = A^T * B.  A: (k,m)  B: (k,n)  C: (m,n)   (no explicit transpose)
 [[nodiscard]] Matrix matmul_at_b(const Matrix& a, const Matrix& b);

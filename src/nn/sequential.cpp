@@ -1,5 +1,10 @@
 #include "src/nn/sequential.h"
 
+#include <utility>
+
+#include "src/nn/activations.h"
+#include "src/nn/dense.h"
+
 namespace safeloc::nn {
 
 Sequential::Sequential(const Sequential& other) {
@@ -21,7 +26,25 @@ Sequential& Sequential::add(std::unique_ptr<Layer> layer) {
 
 Matrix Sequential::forward(const Matrix& x, bool train) {
   Matrix h = x;
-  for (const auto& l : layers_) h = l->forward(h, train);
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    // Inference-time Dense+ReLU fusion: one dispatched GEMM plus a single
+    // fused bias+ReLU pass over the output. Bit-identical to the unfused
+    // layer-by-layer path (same kernels, same per-element order), which the
+    // train path keeps because backward needs each layer's caches.
+    if (!train && i + 1 < layers_.size()) {
+      auto* dense = dynamic_cast<Dense*>(layers_[i].get());
+      if (dense != nullptr &&
+          dynamic_cast<ReLU*>(layers_[i + 1].get()) != nullptr) {
+        Matrix y;
+        matmul_into_auto(h, dense->weight(), y);
+        bias_act_rows(y, dense->bias(), /*relu=*/true);
+        h = std::move(y);
+        ++i;  // consumed the ReLU
+        continue;
+      }
+    }
+    h = layers_[i]->forward(h, train);
+  }
   return h;
 }
 

@@ -1,0 +1,125 @@
+#include "src/nn/simd/dispatch.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace safeloc::nn::simd {
+namespace {
+
+// __builtin_cpu_supports requires a literal argument, hence one probe per
+// feature instead of a parameterized helper.
+bool cpu_has_sse2() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("sse2");
+#else
+  return false;
+#endif
+}
+
+bool cpu_has_avx2() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+const KernelTable* table_ptr(Variant v) noexcept {
+  switch (v) {
+    case Variant::kScalar: return scalar_table();
+    case Variant::kSse2: return sse2_table();
+    case Variant::kAvx2: return avx2_table();
+  }
+  return nullptr;
+}
+
+Variant resolve_from_env() {
+  const char* raw = std::getenv("SAFELOC_KERNEL");
+  if (raw == nullptr || *raw == '\0' || std::string_view(raw) == "auto") {
+    return best_supported_variant();
+  }
+  const std::optional<Variant> forced = parse_variant(raw);
+  if (!forced) {
+    throw std::invalid_argument(
+        "SAFELOC_KERNEL: unknown kernel variant \"" + std::string(raw) +
+        "\" (expected scalar|sse2|avx2|auto)");
+  }
+  if (!variant_supported(*forced)) {
+    throw std::runtime_error(
+        "SAFELOC_KERNEL=" + std::string(raw) +
+        ": variant not supported by this CPU/build");
+  }
+  return *forced;
+}
+
+/// -1 = unresolved; otherwise static_cast<int>(Variant). Two threads racing
+/// the first resolution both compute the same value, so the store is benign.
+std::atomic<int> g_active{-1};
+
+}  // namespace
+
+const char* variant_name(Variant v) noexcept {
+  switch (v) {
+    case Variant::kScalar: return "scalar";
+    case Variant::kSse2: return "sse2";
+    case Variant::kAvx2: return "avx2";
+  }
+  return "unknown";
+}
+
+std::optional<Variant> parse_variant(std::string_view name) {
+  if (name == "scalar") return Variant::kScalar;
+  if (name == "sse2") return Variant::kSse2;
+  if (name == "avx2") return Variant::kAvx2;
+  return std::nullopt;
+}
+
+bool variant_supported(Variant v) noexcept {
+  if (table_ptr(v) == nullptr) return false;
+  switch (v) {
+    case Variant::kScalar: return true;
+    case Variant::kSse2: return cpu_has_sse2();
+    case Variant::kAvx2: return cpu_has_avx2();
+  }
+  return false;
+}
+
+Variant best_supported_variant() noexcept {
+  if (variant_supported(Variant::kAvx2)) return Variant::kAvx2;
+  if (variant_supported(Variant::kSse2)) return Variant::kSse2;
+  return Variant::kScalar;
+}
+
+const KernelTable& table_for(Variant v) {
+  if (!variant_supported(v)) {
+    throw std::runtime_error(std::string("simd::table_for: variant ") +
+                             variant_name(v) +
+                             " not supported by this CPU/build");
+  }
+  return *table_ptr(v);
+}
+
+Variant active_variant() {
+  const int cached = g_active.load(std::memory_order_acquire);
+  if (cached >= 0) return static_cast<Variant>(cached);
+  const Variant resolved = resolve_from_env();
+  g_active.store(static_cast<int>(resolved), std::memory_order_release);
+  return resolved;
+}
+
+const KernelTable& active() { return table_for(active_variant()); }
+
+void reload_kernel_env() { g_active.store(-1, std::memory_order_release); }
+
+std::vector<Variant> supported_variants() {
+  std::vector<Variant> out;
+  for (const Variant v :
+       {Variant::kScalar, Variant::kSse2, Variant::kAvx2}) {
+    if (variant_supported(v)) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace safeloc::nn::simd

@@ -1,0 +1,56 @@
+// Runtime kernel dispatch: probes the CPU once (GCC/Clang
+// __builtin_cpu_supports) and selects the widest supported kernel variant,
+// overridable with SAFELOC_KERNEL=scalar|sse2|avx2|auto. Every variant is
+// bit-identical (see kernels.h), so dispatch is a pure performance choice —
+// forcing a variant never changes results.
+//
+// nn::matmul_into_auto is the production entry point; benches and tests
+// reach specific variants through table_for() / nn::matmul_into_variant.
+#pragma once
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "src/nn/simd/kernels.h"
+
+namespace safeloc::nn::simd {
+
+enum class Variant { kScalar = 0, kSse2 = 1, kAvx2 = 2 };
+inline constexpr int kVariantCount = 3;
+
+/// "scalar" / "sse2" / "avx2".
+[[nodiscard]] const char* variant_name(Variant v) noexcept;
+
+/// Parses a SAFELOC_KERNEL value; nullopt for an unknown name ("auto" is
+/// handled by the resolver, not here).
+[[nodiscard]] std::optional<Variant> parse_variant(std::string_view name);
+
+/// True when the variant is both compiled into this binary and supported by
+/// the running CPU. kScalar is always supported.
+[[nodiscard]] bool variant_supported(Variant v) noexcept;
+
+/// The widest supported variant (avx2 > sse2 > scalar).
+[[nodiscard]] Variant best_supported_variant() noexcept;
+
+/// Kernel table for a specific variant; throws std::runtime_error when the
+/// variant is unsupported on this CPU/build.
+[[nodiscard]] const KernelTable& table_for(Variant v);
+
+/// The variant matmul_into_auto serves: SAFELOC_KERNEL when set (unknown
+/// names throw std::invalid_argument, unsupported variants throw
+/// std::runtime_error), otherwise best_supported_variant(). Resolved once
+/// and cached; thread-safe.
+[[nodiscard]] Variant active_variant();
+
+/// Table of the active variant — the serving hot-path lookup.
+[[nodiscard]] const KernelTable& active();
+
+/// Drops the cached resolution so the next active_variant() re-reads
+/// SAFELOC_KERNEL. Test hook (setenv + reload); not for the hot path.
+void reload_kernel_env();
+
+/// All variants supported on this CPU/build, widest last (bench sweep).
+[[nodiscard]] std::vector<Variant> supported_variants();
+
+}  // namespace safeloc::nn::simd

@@ -8,6 +8,10 @@ namespace safeloc::serve {
 
 QueryEngine::QueryEngine(QueryEngineConfig config)
     : config_(config), table_(std::make_shared<SnapshotTable>()) {
+  // Resolve the kernel dispatch eagerly: an invalid SAFELOC_KERNEL must
+  // fail construction, not throw out of a worker thread mid-batch (which
+  // would std::terminate the process).
+  (void)nn::simd::active_variant();
   if (config_.workers < 1) config_.workers = 1;
   if (config_.max_batch < 1) config_.max_batch = 1;
   if (config_.top_k < 1) config_.top_k = 1;
@@ -110,8 +114,10 @@ void QueryEngine::drain() {
 }
 
 QueryEngine::Stats QueryEngine::stats() const {
-  const std::lock_guard<std::mutex> lock(queue_mutex_);
-  return {served_, batches_};
+  Stats stats;
+  stats.queries = served_.load(std::memory_order_relaxed);
+  stats.batches = batches_.load(std::memory_order_relaxed);
+  return stats;
 }
 
 std::size_t QueryEngine::queue_depth() const {
@@ -156,11 +162,14 @@ void QueryEngine::worker_loop() {
     const auto snapshots = table();
     process_batch(batch, *snapshots, scratch);
 
+    // batches_ first / served_ second, mirrored by stats()' read order, so
+    // a concurrent snapshot can only under-count a batch's fill, never pair
+    // a batch's queries with a batches count that excludes it.
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    served_.fetch_add(batch.size(), std::memory_order_relaxed);
     {
       const std::lock_guard<std::mutex> lock(queue_mutex_);
       in_flight_ -= batch.size();
-      served_ += batch.size();
-      ++batches_;
       if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
     }
   }

@@ -22,6 +22,7 @@
 // serving never pauses.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -143,8 +144,12 @@ class QueryEngine final : public QueryBackend {
   std::deque<Pending> queue_;
   std::size_t in_flight_ = 0;
   bool stop_ = false;
-  std::uint64_t served_ = 0;
-  std::uint64_t batches_ = 0;
+  // Monotonic stats counters, bumped by every worker after its batch
+  // completes. Atomics (not queue_mutex_) so the increment stays off the
+  // producer-contended lock; relaxed ordering is enough for counters that
+  // only feed stats().
+  std::atomic<std::uint64_t> served_{0};
+  std::atomic<std::uint64_t> batches_{0};
 
   std::vector<std::thread> workers_;
 };

@@ -120,13 +120,11 @@ nn::Matrix& ServingNet::logits(const nn::Matrix& x,
   for (std::size_t i = 0; i < layers_.size(); ++i) {
     const DenseStep& layer = layers_[i];
     out = (i % 2 == 0) ? &ws.ping : &ws.pong;
-    // Size-dispatched kernel (naive vs blocked, bit-identical either way —
-    // see bench_serve's kernel comparison).
+    // Runtime-dispatched SIMD GEMM plus the fused bias(+ReLU) epilogue: one
+    // pass over the output instead of three, bit-identical on every variant
+    // (see src/nn/simd/kernels.h and bench_serve's kernel table).
     nn::matmul_into_auto(*current, layer.w, *out);
-    nn::add_row_broadcast(*out, layer.b);
-    if (layer.relu) {
-      for (float& v : out->flat()) v = v < 0.0f ? 0.0f : v;
-    }
+    nn::bias_act_rows(*out, layer.b, layer.relu);
     current = out;
   }
   return *out;
@@ -166,6 +164,13 @@ std::vector<float> reconstruction_rms(const ServingNet& recon,
 std::vector<RankedClass> top_k_classes(std::span<const float> probabilities,
                                        std::size_t k) {
   const std::size_t n = probabilities.size();
+  if (k == 1 && n > 0) {
+    // Dispatched argmax reduction; same first-max (lowest-label ties)
+    // answer as the insertion scan below.
+    const std::size_t best =
+        nn::simd::active().argmax(probabilities.data(), n);
+    return {{static_cast<int>(best), probabilities[best]}};
+  }
   std::vector<RankedClass> top;
   top.reserve(std::min(k, n));
   for (std::size_t c = 0; c < n; ++c) {

@@ -1,0 +1,302 @@
+// Bitwise-identity tests for the SIMD kernel family (src/nn/simd/): every
+// dispatch variant supported on the build machine must produce byte-exact
+// results against the scalar reference across odd/prime shapes, ReLU-sparse
+// inputs, and tie-heavy reductions — plus SAFELOC_KERNEL dispatcher
+// round-trip coverage.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "src/nn/dense.h"
+#include "src/nn/activations.h"
+#include "src/nn/matrix.h"
+#include "src/nn/sequential.h"
+#include "src/nn/simd/dispatch.h"
+#include "src/serve/serving_net.h"
+#include "src/util/rng.h"
+
+namespace {
+
+using namespace safeloc;
+namespace simd = nn::simd;
+
+/// Shapes deliberately misaligned with 4/8-lane widths: primes, one-offs
+/// around lane boundaries, and the paper GM layer widths (128->128->128->89
+/// classifier, 520-feature input on the largest building).
+const std::vector<std::size_t> kOddSizes = {1, 2, 3, 5, 7, 8, 9, 13, 17, 31, 33};
+const std::vector<std::size_t> kPaperSizes = {64, 89, 128};
+
+/// Fills with uniform values and zeroes out ~half the entries — the
+/// ReLU-activation sparsity the gemm zero-skip is tuned for.
+void fill_relu_like(nn::Matrix& m, util::Rng& rng) {
+  for (float& v : m.flat()) {
+    v = rng.bernoulli(0.5) ? 0.0f : rng.uniform_f(-1.0f, 1.0f);
+  }
+}
+
+void expect_bitwise_equal(const nn::Matrix& a, const nn::Matrix& b,
+                          const std::string& what) {
+  ASSERT_EQ(a.rows(), b.rows()) << what;
+  ASSERT_EQ(a.cols(), b.cols()) << what;
+  EXPECT_EQ(0, std::memcmp(a.data(), b.data(), a.size() * sizeof(float)))
+      << what;
+}
+
+std::string case_name(simd::Variant v, std::size_t m, std::size_t k,
+                      std::size_t n) {
+  return std::string(simd::variant_name(v)) + " @ " + std::to_string(m) +
+         "x" + std::to_string(k) + "x" + std::to_string(n);
+}
+
+class EnvGuard {
+ public:
+  explicit EnvGuard(const char* name) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) saved_ = old;
+    had_ = old != nullptr;
+  }
+  ~EnvGuard() {
+    if (had_) {
+      ::setenv(name_, saved_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+    simd::reload_kernel_env();
+  }
+
+ private:
+  const char* name_;
+  std::string saved_;
+  bool had_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// GEMM
+// ---------------------------------------------------------------------------
+
+TEST(SimdGemm, AllVariantsBitwiseEqualScalarAcrossOddShapes) {
+  util::Rng rng(0x51d1);
+  const auto variants = simd::supported_variants();
+  ASSERT_FALSE(variants.empty());
+  for (const std::size_t m : kOddSizes) {
+    for (const std::size_t k : kOddSizes) {
+      for (const std::size_t n : kOddSizes) {
+        nn::Matrix a(m, k), b(k, n);
+        fill_relu_like(a, rng);
+        for (float& v : b.flat()) v = rng.uniform_f(-0.5f, 0.5f);
+        nn::Matrix want;
+        nn::matmul_into(a, b, want);
+        for (const simd::Variant v : variants) {
+          nn::Matrix got;
+          nn::matmul_into_variant(a, b, got, v);
+          expect_bitwise_equal(want, got, case_name(v, m, k, n));
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdGemm, AllVariantsBitwiseEqualScalarAtPaperShapes) {
+  util::Rng rng(0x51d2);
+  for (const std::size_t m : {std::size_t{1}, std::size_t{64},
+                              std::size_t{256}, std::size_t{1024}}) {
+    for (const std::size_t k : kPaperSizes) {
+      for (const std::size_t n : kPaperSizes) {
+        nn::Matrix a(m, k), b(k, n);
+        fill_relu_like(a, rng);
+        for (float& v : b.flat()) v = rng.uniform_f(-0.5f, 0.5f);
+        nn::Matrix want;
+        nn::matmul_into(a, b, want);
+        for (const simd::Variant v : simd::supported_variants()) {
+          nn::Matrix got;
+          nn::matmul_into_variant(a, b, got, v);
+          expect_bitwise_equal(want, got, case_name(v, m, k, n));
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdGemm, TiledPathBitwiseEqualScalarAboveFootprintThreshold) {
+  // B = 520 x 4099 floats (~8.1 MB) crosses kBlockedGemmBytes, so every
+  // variant runs its L1-tiled loop; prime-ish dims exercise tile tails.
+  util::Rng rng(0x51d3);
+  nn::Matrix a(7, 520), b(520, 4099);
+  ASSERT_GT(b.size() * sizeof(float), nn::kBlockedGemmBytes);
+  fill_relu_like(a, rng);
+  for (float& v : b.flat()) v = rng.uniform_f(-0.5f, 0.5f);
+  nn::Matrix want;
+  nn::matmul_into(a, b, want);
+  nn::Matrix blocked;
+  nn::matmul_into_blocked(a, b, blocked);
+  expect_bitwise_equal(want, blocked, "scalar tiled");
+  for (const simd::Variant v : simd::supported_variants()) {
+    nn::Matrix got;
+    nn::matmul_into_variant(a, b, got, v);
+    expect_bitwise_equal(want, got, case_name(v, 7, 520, 4099));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fused bias + activation epilogue
+// ---------------------------------------------------------------------------
+
+TEST(SimdBiasAct, AllVariantsBitwiseEqualScalarWithAndWithoutRelu) {
+  util::Rng rng(0xb1a5);
+  for (const std::size_t rows : kOddSizes) {
+    for (const std::size_t cols : kOddSizes) {
+      nn::Matrix y(rows, cols), bias(1, cols);
+      for (float& v : y.flat()) v = rng.uniform_f(-1.0f, 1.0f);
+      for (float& v : bias.flat()) v = rng.uniform_f(-1.0f, 1.0f);
+      for (const bool relu : {false, true}) {
+        nn::Matrix want = y;
+        simd::bias_act_scalar(want.data(), bias.data(), rows, cols, relu);
+        for (const simd::Variant v : simd::supported_variants()) {
+          nn::Matrix got = y;
+          simd::table_for(v).bias_act(got.data(), bias.data(), rows, cols,
+                                      relu);
+          expect_bitwise_equal(want, got,
+                               std::string(simd::variant_name(v)) +
+                                   (relu ? " relu" : " linear"));
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdBiasAct, FusedEpilogueMatchesUnfusedBroadcastPlusRelu) {
+  util::Rng rng(0xb1a6);
+  nn::Matrix y(17, 89), bias(1, 89);
+  for (float& v : y.flat()) v = rng.uniform_f(-2.0f, 2.0f);
+  for (float& v : bias.flat()) v = rng.uniform_f(-1.0f, 1.0f);
+
+  nn::Matrix want = y;
+  nn::add_row_broadcast(want, bias);
+  for (float& v : want.flat()) v = v > 0.0f ? v : 0.0f;
+
+  nn::Matrix got = y;
+  nn::bias_act_rows(got, bias, /*relu=*/true);
+  expect_bitwise_equal(want, got, "fused vs unfused epilogue");
+}
+
+// ---------------------------------------------------------------------------
+// Argmax reduction
+// ---------------------------------------------------------------------------
+
+TEST(SimdArgmax, AllVariantsMatchScalarIncludingTies) {
+  util::Rng rng(0xa55a);
+  for (const std::size_t n :
+       {std::size_t{1}, std::size_t{3}, std::size_t{7}, std::size_t{8},
+        std::size_t{9}, std::size_t{15}, std::size_t{16}, std::size_t{17},
+        std::size_t{60}, std::size_t{89}, std::size_t{256}}) {
+    for (int trial = 0; trial < 20; ++trial) {
+      std::vector<float> x(n);
+      // Coarse quantization forces frequent exact ties, so the
+      // lowest-index tie-break is genuinely exercised.
+      for (float& v : x) {
+        v = static_cast<float>(rng.integer(0, 4)) * 0.25f;
+      }
+      const std::size_t want = simd::argmax_scalar(x.data(), n);
+      for (const simd::Variant v : simd::supported_variants()) {
+        EXPECT_EQ(want, simd::table_for(v).argmax(x.data(), n))
+            << simd::variant_name(v) << " n=" << n << " trial=" << trial;
+      }
+    }
+  }
+}
+
+TEST(SimdArgmax, TopKClassesUsesSameAnswerForKOne) {
+  util::Rng rng(0xa55b);
+  std::vector<float> probs(89);
+  for (float& v : probs) v = rng.uniform_f(0.0f, 1.0f);
+  const auto top1 = serve::top_k_classes(probs, 1);
+  ASSERT_EQ(top1.size(), 1u);
+  EXPECT_EQ(static_cast<std::size_t>(top1.front().label),
+            simd::argmax_scalar(probs.data(), probs.size()));
+  // And k>1 still ranks that same class first.
+  const auto top3 = serve::top_k_classes(probs, 3);
+  EXPECT_EQ(top3.front().label, top1.front().label);
+}
+
+// ---------------------------------------------------------------------------
+// Dispatcher / SAFELOC_KERNEL round-trip
+// ---------------------------------------------------------------------------
+
+TEST(KernelDispatch, ScalarIsAlwaysSupportedAndDefaultIsBest) {
+  EXPECT_TRUE(simd::variant_supported(simd::Variant::kScalar));
+  EnvGuard guard("SAFELOC_KERNEL");
+  ::unsetenv("SAFELOC_KERNEL");
+  simd::reload_kernel_env();
+  EXPECT_EQ(simd::active_variant(), simd::best_supported_variant());
+}
+
+TEST(KernelDispatch, EnvForcingRoundTripsThroughDispatcher) {
+  EnvGuard guard("SAFELOC_KERNEL");
+  for (const simd::Variant v : simd::supported_variants()) {
+    ::setenv("SAFELOC_KERNEL", simd::variant_name(v), 1);
+    simd::reload_kernel_env();
+    EXPECT_EQ(simd::active_variant(), v) << simd::variant_name(v);
+    // The forced dispatcher output is bit-identical to the scalar kernel.
+    util::Rng rng(0xd15b);
+    nn::Matrix a(5, 33), b(33, 17);
+    fill_relu_like(a, rng);
+    for (float& vv : b.flat()) vv = rng.uniform_f(-0.5f, 0.5f);
+    nn::Matrix want, got;
+    nn::matmul_into(a, b, want);
+    nn::matmul_into_auto(a, b, got);
+    expect_bitwise_equal(want, got, simd::variant_name(v));
+  }
+}
+
+TEST(KernelDispatch, AutoAndEmptyMeanBestSupported) {
+  EnvGuard guard("SAFELOC_KERNEL");
+  ::setenv("SAFELOC_KERNEL", "auto", 1);
+  simd::reload_kernel_env();
+  EXPECT_EQ(simd::active_variant(), simd::best_supported_variant());
+  ::setenv("SAFELOC_KERNEL", "", 1);
+  simd::reload_kernel_env();
+  EXPECT_EQ(simd::active_variant(), simd::best_supported_variant());
+}
+
+TEST(KernelDispatch, UnknownVariantNameThrows) {
+  EnvGuard guard("SAFELOC_KERNEL");
+  ::setenv("SAFELOC_KERNEL", "avx512-someday", 1);
+  simd::reload_kernel_env();
+  EXPECT_THROW((void)simd::active_variant(), std::invalid_argument);
+}
+
+TEST(KernelDispatch, VariantNamesParseBothWays) {
+  for (const simd::Variant v :
+       {simd::Variant::kScalar, simd::Variant::kSse2, simd::Variant::kAvx2}) {
+    const auto parsed = simd::parse_variant(simd::variant_name(v));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, v);
+  }
+  EXPECT_FALSE(simd::parse_variant("neon").has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Fusion through the layer stack
+// ---------------------------------------------------------------------------
+
+TEST(FusedForward, SequentialInferenceFusionBitwiseEqualsTrainPath) {
+  util::Rng rng(0xf0f0);
+  nn::Sequential net;
+  net.emplace<nn::Dense>(33, 17, rng);
+  net.emplace<nn::ReLU>();
+  net.emplace<nn::Dense>(17, 9, rng);
+  net.emplace<nn::ReLU>();
+  net.emplace<nn::Dense>(9, 5, rng);
+
+  nn::Matrix x(7, 33);
+  fill_relu_like(x, rng);
+  // train=true walks layer-by-layer (no fusion); train=false fuses each
+  // Dense+ReLU pair into GEMM + bias_act. Same kernels, same order.
+  const nn::Matrix unfused = net.forward(x, /*train=*/true);
+  const nn::Matrix fused = net.forward(x, /*train=*/false);
+  expect_bitwise_equal(unfused, fused, "sequential fusion");
+}
+
+}  // namespace
