@@ -23,7 +23,7 @@ namespace safeloc::bench {
 inline std::vector<int> bench_buildings() {
   const util::RunScale& scale = util::run_scale();
   const int wanted =
-      util::env_int("SAFELOC_BUILDINGS", scale.fast ? 1 : 5);
+      util::env_int_strict("SAFELOC_BUILDINGS", scale.fast ? 1 : 5);
   std::vector<int> ids;
   for (int b = 1; b <= 5 && static_cast<int>(ids.size()) < wanted; ++b) {
     ids.push_back(b);

@@ -133,7 +133,7 @@ CellMeasurement run_cell(const serve::ModelStore& store,
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool smoke = util::env_int("SAFELOC_SERVE_SMOKE", 0) != 0;
+  bool smoke = util::env_int_strict("SAFELOC_SERVE_SMOKE", 0) != 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
   }
@@ -148,14 +148,14 @@ int main(int argc, char** argv) {
       {"mixed_attack", {1, 2}, 0.2, true},
   };
   const std::size_t queries_per_cell = static_cast<std::size_t>(
-      util::env_int("SAFELOC_ROUTE_QUERIES", smoke ? 10'000 : 100'000));
+      util::env_int_strict("SAFELOC_ROUTE_QUERIES", smoke ? 10'000 : 100'000));
 
   // One benign SAFELOC deployment per building, calibration captured for
   // the adversarial mix's PoisonGate.
   engine::ScenarioGrid grid;
   grid.base().framework = "SAFELOC";
   grid.base().rounds = 0;
-  grid.base().server_epochs = util::env_int("SAFELOC_EPOCHS", smoke ? 2 : 8);
+  grid.base().server_epochs = util::env_int_strict("SAFELOC_EPOCHS", smoke ? 2 : 8);
   grid.buildings({1, 2});
   std::printf("bench_route — training SAFELOC on buildings 1+2 (%d epochs)...\n",
               grid.base().server_epochs);

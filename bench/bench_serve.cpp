@@ -161,7 +161,7 @@ KernelMeasurement time_kernels(std::size_t m, std::size_t k, std::size_t n,
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool smoke = util::env_int("SAFELOC_SERVE_SMOKE", 0) != 0;
+  bool smoke = util::env_int_strict("SAFELOC_SERVE_SMOKE", 0) != 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
   }
@@ -172,7 +172,7 @@ int main(int argc, char** argv) {
       smoke ? std::vector<std::size_t>{64}
             : std::vector<std::size_t>{1, 16, 64, 256};
   const std::size_t queries_per_cell = static_cast<std::size_t>(
-      util::env_int("SAFELOC_SERVE_QUERIES", smoke ? 20'000 : 200'000));
+      util::env_int_strict("SAFELOC_SERVE_QUERIES", smoke ? 20'000 : 200'000));
 
   // Train and publish the served model. Serving throughput does not depend
   // on model quality, so the training budget stays deliberately small.
@@ -180,7 +180,7 @@ int main(int argc, char** argv) {
   spec.framework = "SAFELOC";
   spec.building = 1;
   spec.rounds = 0;
-  spec.server_epochs = util::env_int("SAFELOC_EPOCHS", smoke ? 2 : 8);
+  spec.server_epochs = util::env_int_strict("SAFELOC_EPOCHS", smoke ? 2 : 8);
   std::printf("bench_serve — training %s on building %d (%d epochs)...\n",
               spec.framework.c_str(), spec.building, spec.server_epochs);
   const engine::ScenarioEngine trainer;

@@ -10,15 +10,26 @@
 //   3. Serve: bring up a 2-shard LocalizationService (hash-routed, with a
 //      PoisonGate on the admission chain) and answer a device-realistic
 //      mixed-building stream that contains an adversarial attack window;
-//      report accuracy, latency, and how the gate scored the window.
+//      report accuracy, latency, and how the gate scored the window —
+//      split by which test flagged (the RCE test through the published
+//      decoder vs the feature-envelope backstop).
 //   4. Round-trip: reload the store from disk into a second service and
 //      re-serve the identical stream — predictions and gate verdicts must
 //      match exactly, proving the persisted snapshot is the serving truth.
 //
+// Exit gate (also exported to BENCH_gate.json for scripts/check_bench.py):
+// the published models' clean-RCE p99 must stay at the pretrained floor
+// (decoder freshness — the client recon anchor + server-side decoder
+// refresh at work), and the RCE test ALONE must carry attack-window
+// detection at a near-zero benign flag rate.
+//
 // Usage: serve_demo    (fast profile; SAFELOC_FAST=0 for paper scale)
+#include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/engine/engine.h"
@@ -33,6 +44,15 @@
 #include "src/util/table.h"
 
 namespace {
+
+// Bounds enforced by the exit code below and, via BENCH_gate.json, by
+// scripts/check_bench.py in CI. The clean-RCE floor sits near 0.15 on a
+// freshly refreshed decoder (and drifted above 1 before the recon anchor /
+// decoder refresh existed), so 0.30 is a regression tripwire with margin
+// for small training budgets.
+constexpr double kMaxCleanRceP99 = 0.30;
+constexpr double kMinRceRecall = 0.95;
+constexpr double kMaxBenignFlagRate = 0.01;
 
 std::unique_ptr<safeloc::serve::LocalizationService> make_service(
     const safeloc::serve::ModelStore& store) {
@@ -110,7 +130,7 @@ int main() {
     floorplans.emplace(id, rss::Building(rss::paper_building(id)));
   }
   util::RunningStats clean_error_m, latency_us;
-  std::size_t poisoned = 0, poisoned_flagged = 0;
+  std::size_t poisoned = 0, poisoned_flagged = 0, poisoned_flagged_rce = 0;
   std::size_t clean = 0, clean_flagged = 0;
   std::vector<serve::Response> first_pass;
   first_pass.reserve(stream.size());
@@ -120,6 +140,10 @@ int main() {
     if (stream[i].poisoned) {
       ++poisoned;
       poisoned_flagged += response.flagged ? 1 : 0;
+      // The gate evaluates the RCE test first, so an "rce" verdict means
+      // the paper's headline defense caught this query on its own.
+      poisoned_flagged_rce +=
+          response.flagged && response.admission_test == "rce" ? 1 : 0;
     } else {
       ++clean;
       clean_flagged += response.flagged ? 1 : 0;
@@ -141,14 +165,45 @@ int main() {
                             ? 0.0
                             : static_cast<double>(poisoned_flagged) /
                                   static_cast<double>(poisoned);
+  const double rce_recall = poisoned == 0
+                                ? 0.0
+                                : static_cast<double>(poisoned_flagged_rce) /
+                                      static_cast<double>(poisoned);
   const double benign_flag_rate =
       clean == 0 ? 0.0
                  : static_cast<double>(clean_flagged) /
                        static_cast<double>(clean);
-  std::printf("poison gate: flagged %zu/%zu attack-window queries (%.1f%%), "
-              "%zu/%zu benign (%.1f%%)\n",
-              poisoned_flagged, poisoned, 100.0 * recall, clean_flagged,
-              clean, 100.0 * benign_flag_rate);
+  std::printf("poison gate: flagged %zu/%zu attack-window queries (%.1f%%; "
+              "%.1f%% via the RCE test), %zu/%zu benign (%.1f%%)\n",
+              poisoned_flagged, poisoned, 100.0 * recall,
+              100.0 * rce_recall, clean_flagged, clean,
+              100.0 * benign_flag_rate);
+  double clean_rce_p99 = 0.0;
+  for (const std::string& name : store.names()) {
+    clean_rce_p99 = std::max(
+        clean_rce_p99,
+        static_cast<double>(store.latest(name).calibration.rce_p99));
+  }
+
+  // Gate-quality report for the CI bench gate: decoder freshness (the
+  // post-rounds clean-RCE floor) and RCE-test recall, with the bounds the
+  // exit code below enforces.
+  {
+    char json[512];
+    std::snprintf(
+        json, sizeof(json),
+        "{\"schema\":\"safeloc.gate/v1\",\"clean_rce_p99\":%.6g,"
+        "\"rce_attack_recall\":%.6g,\"attack_recall\":%.6g,"
+        "\"benign_flag_rate\":%.6g,\"bounds\":{\"max_clean_rce_p99\":%.6g,"
+        "\"min_rce_attack_recall\":%.6g,\"max_benign_flag_rate\":%.6g}}\n",
+        clean_rce_p99, rce_recall, recall, benign_flag_rate, kMaxCleanRceP99,
+        kMinRceRecall, kMaxBenignFlagRate);
+    std::ofstream out("BENCH_gate.json", std::ios::binary);
+    out << json;
+    std::printf("gate metrics written to BENCH_gate.json (clean RCE p99 "
+                "%.4f, RCE recall %.2f)\n",
+                clean_rce_p99, rce_recall);
+  }
 
   // 4. Reload the persisted store and prove serving equivalence — same
   // predictions AND same gate verdicts from the deserialized calibration.
@@ -186,11 +241,24 @@ int main() {
               "save -> load -> republish\n",
               stream.size(), stream.size());
 
-  if (recall < 0.9 || benign_flag_rate > 0.1) {
-    std::printf("FAIL: poison gate off target (recall %.2f, benign flag "
-                "rate %.2f)\n",
-                recall, benign_flag_rate);
-    return 1;
+  bool failed = false;
+  if (clean_rce_p99 > kMaxCleanRceP99) {
+    std::printf("FAIL: post-rounds clean-RCE p99 %.4f exceeds %.2f — the "
+                "published decoder went stale (recon anchor / decoder "
+                "refresh regression)\n",
+                clean_rce_p99, kMaxCleanRceP99);
+    failed = true;
   }
-  return 0;
+  if (rce_recall < kMinRceRecall) {
+    std::printf("FAIL: RCE test flagged only %.1f%% of attack-window "
+                "queries (floor %.0f%%)\n",
+                100.0 * rce_recall, 100.0 * kMinRceRecall);
+    failed = true;
+  }
+  if (benign_flag_rate > kMaxBenignFlagRate) {
+    std::printf("FAIL: benign flag rate %.2f%% exceeds %.0f%%\n",
+                100.0 * benign_flag_rate, 100.0 * kMaxBenignFlagRate);
+    failed = true;
+  }
+  return failed ? 1 : 0;
 }

@@ -13,7 +13,14 @@ committed baselines in bench/baselines/, and fails on:
   * an AVX2-vs-scalar kernel speedup below --min-simd-speedup (default 1.5x)
     on cache-busting shapes, when both runs support AVX2. This check is
     machine-independent (both numbers come from the same run), so it holds
-    even when absolute qps between baseline and CI hardware differ.
+    even when absolute qps between baseline and CI hardware differ,
+  * a serve-time poison-gate quality regression, from serve_demo's
+    BENCH_gate.json: the post-rounds clean-RCE p99 of the published models
+    exceeding the checked-in bound (the decoder went stale — the client
+    recon anchor / server-side decoder refresh stopped working), the
+    RCE-test attack recall dropping below its floor, or the benign flag
+    rate rising above its ceiling. Bounds come from the *baseline* report,
+    so they are pinned in-repo.
 
 Baselines are refreshed with:  python3 scripts/check_bench.py --update
 (run from the repo root after a smoke run; commits the build-dir reports
@@ -32,6 +39,7 @@ import sys
 
 SERVE = "BENCH_serve.json"
 ROUTE = "BENCH_route.json"
+GATE = "BENCH_gate.json"
 
 
 def load(path: pathlib.Path) -> dict:
@@ -124,6 +132,39 @@ def check_simd_speedup(current: dict, min_speedup: float,
                         "current report — bench_serve shape sweep shrank?")
 
 
+def check_gate(baseline: dict, current: dict, failures: list[str]) -> None:
+    """Poison-gate quality floors. Bounds are read from the BASELINE report
+    (checked into bench/baselines/), values from the current run — so the
+    bar cannot drift without a reviewed baseline refresh."""
+    bounds = baseline.get("bounds", {})
+    if not bounds:
+        failures.append("gate: baseline BENCH_gate.json carries no bounds "
+                        "block — refresh baselines with --update")
+        return
+    checks = (
+        ("clean_rce_p99", "max_clean_rce_p99", "above",
+         "post-rounds clean-RCE floor (stale decoder?)"),
+        ("rce_attack_recall", "min_rce_attack_recall", "below",
+         "RCE-test attack recall"),
+        ("benign_flag_rate", "max_benign_flag_rate", "above",
+         "benign flag rate"),
+    )
+    for value_key, bound_key, direction, what in checks:
+        value, bound = current.get(value_key), bounds.get(bound_key)
+        if value is None or bound is None:
+            failures.append(f"gate: {value_key}/{bound_key} missing "
+                            f"(value={value}, bound={bound}) — schema too "
+                            "old? refresh baselines with --update")
+            continue
+        bad = value > bound if direction == "above" else value < bound
+        if bad:
+            failures.append(f"gate: {what} {value:.4f} is {direction} the "
+                            f"checked-in bound {bound:.4f}")
+        else:
+            print(f"check_bench: gate {value_key} {value:.4f} within bound "
+                  f"({bound_key} {bound:.4f})")
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--current", default="build", type=pathlib.Path,
@@ -142,7 +183,7 @@ def main() -> None:
 
     if args.update:
         args.baselines.mkdir(parents=True, exist_ok=True)
-        for name in (SERVE, ROUTE):
+        for name in (SERVE, ROUTE, GATE):
             src = args.current / name
             if not src.exists():
                 sys.exit(f"check_bench --update: {src} missing; run the "
@@ -176,6 +217,15 @@ def main() -> None:
         check_qps("route", route_base.get("cells", []),
                   route_cur.get("cells", []), ("mix", "router", "shards"),
                   args.threshold, failures)
+
+    gate_base = load(args.baselines / GATE)
+    gate_cur = load(args.current / GATE)
+    if gate_base.get("schema") != gate_cur.get("schema"):
+        failures.append(
+            f"gate: schema drift — baseline {gate_base.get('schema')} vs "
+            f"current {gate_cur.get('schema')}; refresh baselines")
+    else:
+        check_gate(gate_base, gate_cur, failures)
 
     if failures:
         print(f"\ncheck_bench: {len(failures)} failure(s):", file=sys.stderr)

@@ -141,10 +141,9 @@ FusedNet::ForwardResult FusedNet::forward(const nn::Matrix& x, bool train) {
   return out;
 }
 
-FusedNet::StepLosses FusedNet::backward(const nn::Matrix& x,
-                                        const ForwardResult& fwd,
-                                        std::span<const int> labels,
-                                        double recon_weight) {
+FusedNet::StepLosses FusedNet::backward(
+    const nn::Matrix& x, const ForwardResult& fwd, std::span<const int> labels,
+    double recon_weight, std::optional<bool> freeze_encoder_override) {
   StepLosses losses;
 
   // Classification head -> encoder.
@@ -153,7 +152,9 @@ FusedNet::StepLosses FusedNet::backward(const nn::Matrix& x,
   nn::Matrix g_latent = cls_.backward(ce.grad);
 
   // Reconstruction head. Gradient stops at the bottleneck when the encoder
-  // is frozen w.r.t. the reconstruction loss (default).
+  // is frozen w.r.t. the reconstruction loss (per-call override first).
+  const bool freeze =
+      freeze_encoder_override.value_or(config_.freeze_encoder_on_recon);
   auto recon = nn::mse_loss(fwd.recon, x);
   losses.reconstruction = recon.loss;
   if (recon_weight != 0.0) {
@@ -168,7 +169,7 @@ FusedNet::StepLosses FusedNet::backward(const nn::Matrix& x,
       g = relu_d1_.backward(g);
       g = untied_dec1_->backward(g);
     }
-    if (!config_.freeze_encoder_on_recon) {
+    if (!freeze) {
       axpy(1.0f, g, g_latent);  // let the recon loss shape the encoder too
     }
   }
@@ -178,6 +179,23 @@ FusedNet::StepLosses FusedNet::backward(const nn::Matrix& x,
   nn::Matrix g2 = enc2_.backward(relu2_.backward(g3));
   (void)enc1_.backward(relu1_.backward(g2));
   return losses;
+}
+
+double FusedNet::backward_decoder(const nn::Matrix& target,
+                                  const ForwardResult& fwd) {
+  auto recon = nn::mse_loss(fwd.recon, target);
+  nn::Matrix g = recon.grad;
+  if (config_.tied_decoder) {
+    g = tied_dec2_->backward(g);
+    g = relu_d1_.backward(g);
+    (void)tied_dec1_->backward(g);
+  } else {
+    g = untied_dec2_->backward(g);
+    g = relu_d1_.backward(g);
+    (void)untied_dec1_->backward(g);
+  }
+  // The bottleneck gradient is dropped: encoder and classifier see nothing.
+  return recon.loss;
 }
 
 nn::Matrix FusedNet::input_gradient(const nn::Matrix& x,
@@ -279,6 +297,21 @@ std::vector<nn::ParamRef> FusedNet::parameters() {
     append(untied_dec2_->parameters("dec2"));
   }
   append(cls_.parameters("cls"));
+  return params;
+}
+
+std::vector<nn::ParamRef> FusedNet::decoder_parameters() {
+  std::vector<nn::ParamRef> params;
+  auto append = [&params](std::vector<nn::ParamRef> more) {
+    params.insert(params.end(), more.begin(), more.end());
+  };
+  if (config_.tied_decoder) {
+    append(tied_dec1_->parameters("dec1"));
+    append(tied_dec2_->parameters("dec2"));
+  } else {
+    append(untied_dec1_->parameters("dec1"));
+    append(untied_dec2_->parameters("dec2"));
+  }
   return params;
 }
 

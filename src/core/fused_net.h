@@ -28,6 +28,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -85,8 +86,21 @@ class FusedNet final : public nn::Module {
 
   /// Accumulates gradients of CE(logits, labels) + recon_weight · MSE(recon, x)
   /// for a batch previously passed through forward(x, /*train=*/true).
+  /// `freeze_encoder_override`, when set, decides whether the reconstruction
+  /// gradient stops at the bottleneck for THIS call instead of
+  /// Config::freeze_encoder_on_recon — client-side fine-tuning uses it to
+  /// keep the decoder tracking the encoder without letting the local recon
+  /// objective distort the latent geometry the classifier depends on.
   StepLosses backward(const nn::Matrix& x, const ForwardResult& fwd,
-                      std::span<const int> labels, double recon_weight);
+                      std::span<const int> labels, double recon_weight,
+                      std::optional<bool> freeze_encoder_override = std::nullopt);
+
+  /// Accumulates gradients of MSE(recon, target) through the decoder ONLY:
+  /// the gradient is consumed at the bottleneck, so encoder and classifier
+  /// parameters receive nothing. Pair with decoder_parameters() to re-fit
+  /// the decoder against a drifted encoder (server-side decoder refresh).
+  /// Returns the reconstruction loss.
+  double backward_decoder(const nn::Matrix& target, const ForwardResult& fwd);
 
   /// ∇_x CE(logits(x), labels) — classification loss only (attacker oracle
   /// and saliency analyses).
@@ -114,6 +128,12 @@ class FusedNet final : public nn::Module {
                                                   double tau);
 
   [[nodiscard]] std::vector<nn::ParamRef> parameters() override;
+
+  /// The decoder's parameters only ("dec1" / "dec2") — the tensor set a
+  /// decoder-only optimizer steps. In tied mode these alias the encoder
+  /// weights (stepping them moves the encoder too); callers that need the
+  /// classification path untouched must check Config::tied_decoder.
+  [[nodiscard]] std::vector<nn::ParamRef> decoder_parameters();
 
  private:
   void rebuild_decoder_ties();

@@ -14,7 +14,8 @@ namespace safeloc::core {
 double train_fused_net(FusedNet& net, const nn::Matrix& x,
                        std::span<const int> labels, const fl::TrainOpts& opts,
                        double recon_weight, double denoise_noise_std,
-                       bool device_augment) {
+                       bool device_augment,
+                       std::optional<bool> freeze_encoder_override) {
   if (labels.size() != x.rows() || x.rows() == 0) {
     throw std::invalid_argument("train_fused_net: bad batch");
   }
@@ -75,9 +76,77 @@ double train_fused_net(FusedNet& net, const nn::Matrix& x,
 
       net.zero_grad();
       const auto fwd = net.forward(bx, /*train=*/true);
-      const auto losses = net.backward(bx_target, fwd, by, recon_weight);
+      const auto losses = net.backward(bx_target, fwd, by, recon_weight,
+                                       freeze_encoder_override);
       optimizer.step(params);
       epoch_loss += losses.classification;
+      ++batches;
+    }
+    last_epoch_loss = epoch_loss / static_cast<double>(batches);
+  }
+  return last_epoch_loss;
+}
+
+double refresh_decoder(FusedNet& net, const nn::Matrix& clean_x,
+                       const fl::TrainOpts& opts, double denoise_noise_std,
+                       bool device_augment) {
+  if (clean_x.rows() == 0) {
+    throw std::invalid_argument("refresh_decoder: empty calibration batch");
+  }
+  if (net.config().tied_decoder) {
+    throw std::logic_error(
+        "refresh_decoder: tied decoder aliases encoder storage — a "
+        "decoder-only step would move the classification path");
+  }
+  nn::Adam optimizer(opts.learning_rate);
+  const auto decoder_params = net.decoder_parameters();
+
+  util::Rng rng(opts.seed ^ 0xdecafULL);
+  std::vector<std::size_t> order(clean_x.rows());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  const std::size_t batch = std::max<std::size_t>(1, opts.batch_size);
+
+  double last_epoch_loss = 0.0;
+  for (int epoch = 0; epoch < opts.epochs; ++epoch) {
+    rng.shuffle(order);
+    double epoch_loss = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t start = 0; start < order.size(); start += batch) {
+      const std::size_t end = std::min(start + batch, order.size());
+      nn::Matrix bx_target(end - start, clean_x.cols());
+      for (std::size_t i = start; i < end; ++i) {
+        const auto src = clean_x.row(order[i]);
+        auto dst = bx_target.row(i - start);
+        for (std::size_t j = 0; j < src.size(); ++j) dst[j] = src[j];
+      }
+
+      // Same corruption scheme as pretraining (see train_fused_net): the
+      // refreshed decoder must stay a device-tolerant de-noiser, not
+      // become a plain autoencoder of the calibration batch.
+      if (device_augment) {
+        for (std::size_t r = 0; r < bx_target.rows(); ++r) {
+          const float gain = rng.uniform_f(0.90f, 1.10f);
+          const float offset = rng.uniform_f(-0.10f, 0.10f);
+          for (float& v : bx_target.row(r)) {
+            if (v > 0.0f) {
+              v = std::clamp(gain * v + offset, 0.0f, 1.0f);
+            }
+          }
+        }
+      }
+      nn::Matrix bx = bx_target;
+      if (denoise_noise_std > 0.0) {
+        for (float& v : bx.flat()) {
+          v = std::clamp(
+              v + static_cast<float>(rng.gaussian(0.0, denoise_noise_std)),
+              0.0f, 1.0f);
+        }
+      }
+
+      net.zero_grad();
+      const auto fwd = net.forward(bx, /*train=*/true);
+      epoch_loss += net.backward_decoder(bx_target, fwd);
+      optimizer.step(decoder_params);
       ++batches;
     }
     last_epoch_loss = epoch_loss / static_cast<double>(batches);
@@ -192,7 +261,15 @@ fl::ClientUpdate SafeLocFramework::local_update(const nn::Matrix& x,
   train.learning_rate = opts.learning_rate;
   train.batch_size = opts.batch_size;
   train.seed = opts.seed;
-  (void)train_fused_net(local, x, labels, train, config_.client_recon_weight);
+  // Client recon anchor: the local pass carries a small reconstruction term
+  // whose gradient (by default) stops at the bottleneck, so the decoder
+  // tracks the locally fine-tuned encoder while the classification path
+  // trains exactly as it would without the anchor. client_freeze_encoder
+  // decides the client-side behavior outright, overriding the server-side
+  // freeze_encoder_on_recon either way.
+  (void)train_fused_net(local, x, labels, train, config_.client_recon_weight,
+                        /*denoise_noise_std=*/0.0, /*device_augment=*/false,
+                        std::optional<bool>(config_.client_freeze_encoder));
 
   fl::ClientUpdate update;
   update.state = nn::StateDict::from_module(local);
@@ -217,6 +294,28 @@ nn::StateDict SafeLocFramework::snapshot() {
 
 void SafeLocFramework::restore(const nn::StateDict& state) {
   state.load_into(require_network());
+}
+
+void SafeLocFramework::server_recalibrate(const nn::Matrix& clean_x) {
+  (void)calibrate_tau(clean_x);
+}
+
+bool SafeLocFramework::server_refresh(const nn::Matrix& clean_x) {
+  bool refreshed = false;
+  if (config_.decoder_refresh_epochs > 0 && !config_.tied_decoder) {
+    fl::TrainOpts opts;
+    opts.epochs = config_.decoder_refresh_epochs;
+    opts.learning_rate = config_.server_lr;
+    opts.batch_size = config_.batch_size;
+    opts.seed = 0x5afed0cULL;
+    (void)refresh_decoder(require_network(), clean_x, opts,
+                          config_.denoise_train_noise, config_.device_augment);
+    refreshed = true;
+  }
+  // τ must match whatever decoder the model now carries (unless the
+  // detector is switched off — see wants_server_recalibration).
+  if (std::isfinite(config_.tau)) (void)calibrate_tau(clean_x);
+  return refreshed;
 }
 
 double SafeLocFramework::calibrate_tau(const nn::Matrix& clean_x,

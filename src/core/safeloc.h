@@ -4,10 +4,12 @@
 // can drive it alongside the baselines.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <optional>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/core/fused_net.h"
@@ -40,11 +42,30 @@ struct SafeLocConfig {
   bool freeze_encoder_on_recon = false;
   /// Weight of the reconstruction loss in the server-side joint objective.
   double recon_weight = 1.0;
-  /// Reconstruction weight during *client-side* fine-tuning. Default 0: the
-  /// 5-epoch local pass adapts the classifier only; the detector/decoder
-  /// stays at the globally-trained weights (a local device must not be able
-  /// to retune the poison detector around its own data).
-  double client_recon_weight = 0.0;
+  /// Reconstruction weight during *client-side* fine-tuning — the client
+  /// recon anchor. Default 0.1: a small reconstruction term keeps the
+  /// decoder tracking the encoder across federated rounds, so the clean-RCE
+  /// floor stays near its pretrained level instead of drifting above 1 as
+  /// rounds shift the encoder under a frozen decoder (which is what made
+  /// the serve-time RCE test toothless before this anchor existed). 0
+  /// restores the legacy classification-only client objective.
+  double client_recon_weight = 0.1;
+  /// Stop the client recon anchor's gradient at the bottleneck. Default on:
+  /// the anchor must only refresh the decoder — with the gradient stopped,
+  /// encoder and classifier receive exactly the gradients they would under
+  /// a recon-free local pass, so the anchor cannot distort the latent
+  /// geometry (and a local device still cannot retune the detector's
+  /// encoder around its own data; it can only keep the decoder honest).
+  bool client_freeze_encoder = true;
+  /// Server-side decoder refresh: epochs of decoder-only re-fitting
+  /// (encoder and classifier frozen) on the dedicated-salt clean
+  /// calibration set after the federated schedule, before the final GM is
+  /// captured for serving. Repairs whatever encoder drift the client
+  /// anchor did not absorb, so serve-time calibration (clean-RCE p99) is
+  /// taken against a decoder that matches the published encoder. 0
+  /// disables. Ignored in tied-decoder mode, where decoder weights alias
+  /// the encoder and a decoder-only step would move the classifier too.
+  int decoder_refresh_epochs = 30;
   /// Denoising-autoencoder training: stddev of the Gaussian corruption
   /// applied to the network input while the reconstruction target stays
   /// clean. Teaches the decoder to project perturbed fingerprints back to
@@ -67,10 +88,24 @@ struct SafeLocConfig {
 /// affine distortion (gain/offset, mimicking device heterogeneity) to the
 /// corrupted input, teaching both heads device invariance. Returns the
 /// final epoch's mean classification loss.
+/// `freeze_encoder_override` forwards to FusedNet::backward: when set it
+/// decides per-call whether the recon gradient stops at the bottleneck
+/// (client-side anchor training passes true).
 double train_fused_net(FusedNet& net, const nn::Matrix& x,
                        std::span<const int> labels, const fl::TrainOpts& opts,
                        double recon_weight, double denoise_noise_std = 0.0,
-                       bool device_augment = false);
+                       bool device_augment = false,
+                       std::optional<bool> freeze_encoder_override = std::nullopt);
+
+/// Server-side decoder refresh: re-fits the decoder ONLY (encoder and
+/// classifier untouched — gradients are consumed at the bottleneck and the
+/// optimizer steps just the decoder tensors) against `clean_x` with the
+/// same denoising-AE corruption scheme pretraining uses. Returns the final
+/// epoch's mean reconstruction loss. Precondition: untied decoder (tied
+/// decoders alias encoder storage; see FusedNet::decoder_parameters).
+double refresh_decoder(FusedNet& net, const nn::Matrix& clean_x,
+                       const fl::TrainOpts& opts, double denoise_noise_std,
+                       bool device_augment);
 
 class SafeLocFramework final : public fl::FederatedFramework {
  public:
@@ -100,6 +135,29 @@ class SafeLocFramework final : public fl::FederatedFramework {
 
   /// Saliency-map aggregation (Eqs. 6-9).
   void aggregate(std::span<const fl::ClientUpdate> updates) override;
+
+  /// Per-round server-side maintenance: recalibrates τ from the clean-RCE
+  /// distribution of `clean_x` through the current (post-aggregation)
+  /// decoder, so client_sanitize and RCE-gated inference keep their ~1%
+  /// clean false-positive rate as the clean-RCE floor moves across rounds.
+  /// A non-finite τ means "detector off" (bench_ablation's τ = ∞ variant)
+  /// — recalibration would silently switch the detector back on, so it is
+  /// declined entirely.
+  [[nodiscard]] bool wants_server_recalibration() const override {
+    return std::isfinite(config_.tau);
+  }
+  void server_recalibrate(const nn::Matrix& clean_x) override;
+
+  /// Post-schedule decoder refresh (decoder-only re-fit on `clean_x`, see
+  /// SafeLocConfig::decoder_refresh_epochs) followed by a τ recalibration
+  /// against the refreshed decoder (skipped when τ is non-finite, i.e. the
+  /// detector is off). Returns true when the decoder was re-fit (false
+  /// when disabled or in tied-decoder mode).
+  [[nodiscard]] bool wants_server_refresh() const override {
+    return (config_.decoder_refresh_epochs > 0 && !config_.tied_decoder) ||
+           std::isfinite(config_.tau);
+  }
+  bool server_refresh(const nn::Matrix& clean_x) override;
 
   [[nodiscard]] std::size_t parameter_count() override;
   [[nodiscard]] std::size_t num_classes() const override { return num_classes_; }

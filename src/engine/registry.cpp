@@ -20,7 +20,7 @@ void append_num(std::string& out, double v) {
 // silently merge behaviourally different configs into one shared pretrain
 // group. This assert trips when SafeLocConfig grows (or shrinks) so the
 // author is pointed at the field list below; update both, then the size.
-static_assert(sizeof(std::size_t) != 8 || sizeof(core::SafeLocConfig) == 120,
+static_assert(sizeof(std::size_t) != 8 || sizeof(core::SafeLocConfig) == 128,
               "SafeLocConfig changed — update FrameworkOptions::key() to "
               "cover the new field set, then refresh this size (checked on "
               "LP64 targets only)");
@@ -41,6 +41,8 @@ std::string FrameworkOptions::key() const {
   append_num(key, s.freeze_encoder_on_recon ? 1 : 0);
   append_num(key, s.recon_weight);
   append_num(key, s.client_recon_weight);
+  append_num(key, s.client_freeze_encoder ? 1 : 0);
+  append_num(key, static_cast<double>(s.decoder_refresh_epochs));
   append_num(key, s.denoise_train_noise);
   append_num(key, s.device_augment ? 1 : 0);
   append_num(key, s.server_lr);

@@ -39,6 +39,9 @@ fl::FlScenario ScenarioSpec::fl_scenario() const {
   scenario.attack_start = attack_start;
   scenario.attack_duration = attack_duration;
   scenario.dropout = dropout;
+  // An explicit τ pins the threshold for the whole schedule (sweep
+  // semantics); per-round recalibration would overwrite it after round 0.
+  scenario.server_recalibrate = server_recalibrate && std::isnan(tau);
 
   if (total_clients == 0) {
     if (!attack_mix.empty()) {
@@ -118,6 +121,11 @@ ScenarioGrid& ScenarioGrid::epsilons(std::vector<double> epsilons) {
   return *this;
 }
 
+ScenarioGrid& ScenarioGrid::client_recon_weights(std::vector<double> weights) {
+  client_recon_weights_ = std::move(weights);
+  return *this;
+}
+
 ScenarioGrid& ScenarioGrid::repeats(int n) {
   repeats_ = n > 0 ? n : util::run_scale().repeats;
   if (repeats_ < 1) repeats_ = 1;
@@ -136,7 +144,8 @@ std::size_t ScenarioGrid::size() const {
   return axis(frameworks_.size()) * axis(buildings_.size()) *
          axis(seeds_.size()) * axis(taus_.size()) *
          axis(populations_.size()) * axis(attacks_.size()) *
-         axis(epsilons_.size()) * static_cast<std::size_t>(repeats_);
+         axis(epsilons_.size()) * axis(client_recon_weights_.size()) *
+         static_cast<std::size_t>(repeats_);
 }
 
 std::vector<ScenarioSpec> ScenarioGrid::expand() const {
@@ -166,11 +175,18 @@ std::vector<ScenarioSpec> ScenarioGrid::expand() const {
                   spec.attack_label = attacks_[a].first;
                 }
                 if (!epsilons_.empty()) spec.attack.epsilon = epsilons_[e];
-                for (int r = 0; r < repeats_; ++r) {
-                  ScenarioSpec repeated = spec;
-                  repeated.repeat = r;
-                  repeated.seed = repeat_seed(spec.seed, r);
-                  cells.push_back(std::move(repeated));
+                for (std::size_t w = 0; w < once(client_recon_weights_.size());
+                     ++w) {
+                  if (!client_recon_weights_.empty()) {
+                    spec.options.safeloc.client_recon_weight =
+                        client_recon_weights_[w];
+                  }
+                  for (int r = 0; r < repeats_; ++r) {
+                    ScenarioSpec repeated = spec;
+                    repeated.repeat = r;
+                    repeated.seed = repeat_seed(spec.seed, r);
+                    cells.push_back(std::move(repeated));
+                  }
                 }
               }
             }

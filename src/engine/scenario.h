@@ -61,10 +61,17 @@ struct ScenarioSpec {
   int attack_start = 0;
   int attack_duration = -1;
   double dropout = 0.0;
+  /// Per-round server-side recalibration on a clean server-held batch
+  /// (SAFELOC re-derives τ after every aggregation). Forced off for cells
+  /// that pin an explicit τ — recalibration would overwrite the swept
+  /// value after the first round.
+  bool server_recalibrate = true;
 
   /// SAFELOC only: overrides the detection threshold τ after pretraining
   /// (τ does not affect pretraining, so a τ sweep reuses one snapshot).
-  /// NaN = keep the configured τ.
+  /// NaN = keep the configured τ and let per-round recalibration move it;
+  /// an explicit τ additionally disables per-round recalibration so the
+  /// swept value holds for the whole schedule.
   double tau = std::nan("");
 
   [[nodiscard]] int resolved_rounds() const;
@@ -84,7 +91,8 @@ struct ScenarioSpec {
 
 /// Cross-product builder. Every axis left unset contributes the base spec's
 /// value; expand() order is deterministic: frameworks ▸ buildings ▸ seeds ▸
-/// taus ▸ populations ▸ attacks ▸ epsilons ▸ repeats, last axis fastest.
+/// taus ▸ populations ▸ attacks ▸ epsilons ▸ client_recon_weights ▸
+/// repeats, last axis fastest.
 class ScenarioGrid {
  public:
   ScenarioGrid() = default;
@@ -104,6 +112,11 @@ class ScenarioGrid {
       std::vector<std::pair<std::string, attack::AttackConfig>> attacks);
   /// ε sweep crossed with the attack axis (overrides each attack's epsilon).
   ScenarioGrid& epsilons(std::vector<double> epsilons);
+  /// SAFELOC client-recon-anchor sweep: each value becomes a cell with
+  /// options.safeloc.client_recon_weight set to it (0 = the legacy
+  /// classification-only client objective). Weights change the
+  /// FrameworkOptions key, so every value is its own pretrain group.
+  ScenarioGrid& client_recon_weights(std::vector<double> weights);
   /// Multi-seed repeats: every cell is replicated n times, repeat r running
   /// at repeat_seed(cell seed, r) (r = 0 keeps the cell seed). n <= 0
   /// resolves to util::run_scale().repeats (1 in the fast profile, 3 at
@@ -128,6 +141,7 @@ class ScenarioGrid {
   std::vector<std::pair<std::size_t, std::size_t>> populations_;
   std::vector<std::pair<std::string, attack::AttackConfig>> attacks_;
   std::vector<double> epsilons_;
+  std::vector<double> client_recon_weights_;
   int repeats_ = 1;
 };
 

@@ -42,33 +42,47 @@ AttackOutcome Experiment::run_scenario(fl::FederatedFramework& framework,
                                        const fl::FlScenario& scenario,
                                        bool capture_final_gm) const {
   const nn::StateDict pristine = framework.snapshot();
+  // Per-round recalibration (and the capture-path refresh below) moves
+  // SAFELOC's τ; snapshot/restore covers weights only, so save it here to
+  // keep scenarios from one framework instance independent.
+  auto* safeloc = dynamic_cast<core::SafeLocFramework*>(&framework);
+  const double pristine_tau = safeloc != nullptr ? safeloc->tau() : 0.0;
+
   AttackOutcome outcome;
   outcome.fl_diagnostics = fl::run_federated(framework, generator_, scenario);
   outcome.errors_m = evaluate(framework);
   outcome.stats = error_stats(outcome.errors_m);
   if (capture_final_gm) {
+    // Server-side model maintenance before the snapshot is published: the
+    // framework re-fits whatever went stale over the rounds (SAFELOC: a
+    // decoder-only refresh against the drifted encoder) on its own clean
+    // collection, so the calibration below — and every serve-time gate fed
+    // from it — is captured against the refreshed model. The refresh set's
+    // salt differs from the calibration set's: the clean-RCE statistics
+    // stay held-out from the data the decoder was re-fit on. Frameworks
+    // that declare no refresh skip the collection synthesis entirely.
+    if (framework.wants_server_refresh() &&
+        framework.server_refresh(
+            rss::clean_collection(generator_, /*fps_per_rp=*/1,
+                                  /*salt_base=*/0xdecaf500ULL)
+                .x)) {
+      util::log_debug(framework.name(), ": server-side refresh before GM "
+                      "capture");
+    }
     outcome.final_gm = framework.snapshot();
     // Calibrate while the final GM is still loaded (restore() would put the
     // pretrained weights back first).
     outcome.calibration = calibrate(framework);
   }
   framework.restore(pristine);
+  if (safeloc != nullptr) safeloc->set_tau(pristine_tau);
   return outcome;
 }
 
 ModelCalibration Experiment::calibrate(fl::FederatedFramework& framework) const {
-  // A dedicated clean collection: one fingerprint per RP on every
-  // non-reference device, under its own salt so the calibration data is
-  // independent of both training_set() (salt 0x7121a1) and the evaluation
-  // test_set()s (salt 0x7e57).
-  const auto& devices = rss::paper_devices();
-  rss::Dataset pooled;
-  for (std::size_t d = 0; d < devices.size(); ++d) {
-    if (d == rss::reference_device_index()) continue;
-    pooled = rss::Dataset::concat(
-        pooled, generator_.generate(devices[d], /*fps_per_rp=*/1,
-                                    /*salt=*/0xca11b0ULL + d));
-  }
+  const rss::Dataset pooled =
+      rss::clean_collection(generator_, /*fps_per_rp=*/1,
+                            /*salt_base=*/0xca11b0ULL);
   std::vector<float> rce;
   if (auto* safeloc = dynamic_cast<core::SafeLocFramework*>(&framework)) {
     rce = safeloc->network().reconstruction_error(pooled.x);

@@ -63,10 +63,14 @@ class Experiment {
   void pretrain(fl::FederatedFramework& framework, int epochs) const;
 
   /// Runs one federated attack scenario from the framework's current GM,
-  /// evaluates on all test devices, then restores the GM so further
-  /// scenarios start from the same pretrained state. With capture_final_gm,
-  /// the post-rounds GM is snapshotted into AttackOutcome::final_gm before
-  /// the restore (one extra snapshot copy per cell).
+  /// evaluates on all test devices, then restores the GM (and SAFELOC's τ,
+  /// which per-round recalibration moves) so further scenarios start from
+  /// the same pretrained state. With capture_final_gm, the framework first
+  /// gets a FederatedFramework::server_refresh pass on a dedicated clean
+  /// collection (SAFELOC re-fits its de-noising decoder against the
+  /// post-rounds encoder), then the GM is snapshotted into
+  /// AttackOutcome::final_gm and calibrated before the restore (one extra
+  /// snapshot copy per cell).
   [[nodiscard]] AttackOutcome run_scenario(fl::FederatedFramework& framework,
                                            const fl::FlScenario& scenario,
                                            bool capture_final_gm = false) const;

@@ -60,6 +60,18 @@ FlRunResult run_federated(FederatedFramework& framework,
         /*salt=*/scenario.seed ^ (0xc11e27ULL + c * 0x9e37ULL)));
   }
 
+  // Server-held clean calibration batch for per-round recalibration, under
+  // its own collection salt — independent of every client's local data and
+  // of the evaluation sets. Synthesized only when a round will consume it.
+  nn::Matrix recalibration_x;
+  if (scenario.rounds > 0 && scenario.server_recalibrate &&
+      framework.wants_server_recalibration()) {
+    recalibration_x =
+        rss::clean_collection(generator, /*fps_per_rp=*/1,
+                              /*salt_base=*/0x7eca1b00ULL)
+            .x;
+  }
+
   const std::size_t num_classes = framework.num_classes();
   const attack::GradientOracle oracle =
       [&framework](const nn::Matrix& x, std::span<const int> y) {
@@ -143,6 +155,9 @@ FlRunResult run_federated(FederatedFramework& framework,
     if (!updates.empty()) {
       framework.aggregate(updates);
       diag.clients_excluded = framework.last_excluded_clients();
+      if (recalibration_x.rows() > 0) {
+        framework.server_recalibrate(recalibration_x);
+      }
     }
     result.rounds.push_back(std::move(diag));
     util::log_debug(framework.name(), ": round ", round, " done (",

@@ -41,6 +41,14 @@ struct FlScenario {
   /// Per-round probability that a sampled client drops out before
   /// uploading its LM (device churn).
   double dropout = 0.0;
+  /// After each aggregation, hand the framework a clean server-held
+  /// calibration batch (dedicated collection salt) via
+  /// FederatedFramework::server_recalibrate — SAFELOC re-derives its
+  /// detection threshold τ there so the client-side sanitize defense keeps
+  /// flagging poisoned rows as rounds move the model. Only frameworks
+  /// returning wants_server_recalibration() pay for the batch. Disable to
+  /// pin a framework's calibration for the whole schedule (τ sweeps do).
+  bool server_recalibrate = true;
 
   /// True when the attack window covers `round`.
   [[nodiscard]] bool attack_active(int round) const noexcept {

@@ -68,6 +68,38 @@ class FederatedFramework {
   /// Applies the framework's aggregation strategy to the GM.
   virtual void aggregate(std::span<const ClientUpdate> updates) = 0;
 
+  /// True when the framework wants server_recalibrate() after each
+  /// aggregation round. The federated loop only synthesizes the clean
+  /// server-side calibration set when some framework asks for it.
+  [[nodiscard]] virtual bool wants_server_recalibration() const {
+    return false;
+  }
+
+  /// Per-round server-side recalibration on a clean, server-held
+  /// calibration batch (dedicated collection salt — independent of every
+  /// client's data). Called by fl::run_federated after aggregate() when
+  /// wants_server_recalibration() and the scenario has it enabled. SAFELOC
+  /// re-derives its detection threshold τ here so the client-side sanitize
+  /// defense does not go stale as federated rounds move the model; default
+  /// is a no-op.
+  virtual void server_recalibrate(const nn::Matrix& clean_x) {
+    (void)clean_x;
+  }
+
+  /// True when server_refresh() would do anything — the capture path only
+  /// synthesizes the refresh collection when some framework will use it.
+  [[nodiscard]] virtual bool wants_server_refresh() const { return false; }
+
+  /// Post-schedule server-side model maintenance on a clean calibration
+  /// batch, run before the trained model is captured for serving
+  /// (eval::Experiment::run_scenario's capture_final_gm path). SAFELOC
+  /// re-fits its de-noising decoder against the drifted encoder here.
+  /// Returns whether the model was modified; default is a no-op.
+  virtual bool server_refresh(const nn::Matrix& clean_x) {
+    (void)clean_x;
+    return false;
+  }
+
   /// Client ids excluded by the most recent aggregate() call (defense
   /// diagnostics). Filtering frameworks (KRUM / FEDCC / FEDLS) report the
   /// clients their aggregator rejected; frameworks that re-weight rather

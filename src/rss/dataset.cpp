@@ -130,4 +130,16 @@ Dataset FingerprintGenerator::test_set(const DeviceProfile& device) const {
   return generate(device, /*fps_per_rp=*/1, /*salt=*/0x7e57ULL);
 }
 
+Dataset clean_collection(const FingerprintGenerator& generator,
+                         std::size_t fps_per_rp, std::uint64_t salt_base) {
+  const auto& devices = paper_devices();
+  Dataset pooled;
+  for (std::size_t d = 0; d < devices.size(); ++d) {
+    if (d == reference_device_index()) continue;
+    pooled = Dataset::concat(
+        pooled, generator.generate(devices[d], fps_per_rp, salt_base + d));
+  }
+  return pooled;
+}
+
 }  // namespace safeloc::rss

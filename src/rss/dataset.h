@@ -92,4 +92,14 @@ class FingerprintGenerator {
   std::vector<std::size_t> selected_aps_;
 };
 
+/// A pooled server-held clean collection: `fps_per_rp` fingerprints per RP
+/// on every non-reference device, device d salted with `salt_base + d`.
+/// Distinct salt_bases give independent collections — the calibration,
+/// per-round recalibration, and decoder-refresh sets all come from here
+/// with their own bases, so none of them leaks into another (or into the
+/// training / evaluation salts).
+[[nodiscard]] Dataset clean_collection(const FingerprintGenerator& generator,
+                                       std::size_t fps_per_rp,
+                                       std::uint64_t salt_base);
+
 }  // namespace safeloc::rss

@@ -62,12 +62,14 @@ double PoisonGate::rce_threshold(int building) const {
   return it->second->threshold;
 }
 
-AdmissionVerdict PoisonGate::suspicious(double score, std::string reason) {
+AdmissionVerdict PoisonGate::suspicious(double score, std::string test,
+                                        std::string reason) {
   flagged_.fetch_add(1, std::memory_order_relaxed);
   AdmissionVerdict verdict;
   verdict.action = config_.reject ? AdmissionVerdict::Action::kReject
                                   : AdmissionVerdict::Action::kFlag;
   verdict.score = score;
+  verdict.test = std::move(test);
   verdict.reason = std::move(reason);
   return verdict;
 }
@@ -80,10 +82,32 @@ AdmissionVerdict PoisonGate::inspect(int building,
   const auto it = detectors->find(building);
   if (it == detectors->end()) return {};  // ungated building
   const Detector& detector = *it->second;
-
-  // Envelope test (every calibrated model — see file comment).
   const rss::FeatureStats& features = detector.features;
   if (fingerprint.size() != features.mean.size()) return {};
+
+  // RCE test first (models with a decoder): the paper's headline defense
+  // judges every query, so a flag both tests would raise is attributed to
+  // it (Stats::flagged_rce) — see file comment.
+  double rce = 0.0;
+  if (detector.has_recon && fingerprint.size() == detector.recon.input_dim()) {
+    // Per-thread scratch: the gate sits on every producer's submit path.
+    thread_local InferenceWorkspace ws;
+    thread_local nn::Matrix x;
+    if (x.rows() != 1 || x.cols() != fingerprint.size()) {
+      x.reshape_discard(1, fingerprint.size());
+    }
+    std::copy(fingerprint.begin(), fingerprint.end(), x.data());
+    rce =
+        static_cast<double>(reconstruction_rms(detector.recon, x, ws).front());
+    if (rce > detector.threshold) {
+      flagged_rce_.fetch_add(1, std::memory_order_relaxed);
+      return suspicious(rce, "rce",
+                        "rce " + format_score(rce) + " > threshold " +
+                            format_score(detector.threshold));
+    }
+  }
+
+  // Envelope backstop (every calibrated model).
   std::size_t violated = 0;
   for (std::size_t j = 0; j < fingerprint.size(); ++j) {
     const double tolerance =
@@ -97,40 +121,23 @@ AdmissionVerdict PoisonGate::inspect(int building,
   const double fraction = static_cast<double>(violated) /
                           static_cast<double>(fingerprint.size());
   if (fraction > config_.max_violation_fraction) {
-    return suspicious(fraction,
+    flagged_envelope_.fetch_add(1, std::memory_order_relaxed);
+    return suspicious(fraction, "envelope",
                       "feature envelope: " + format_score(fraction) +
                           " of features outside " + format_score(config_.z) +
                           "-sigma");
   }
 
-  // RCE test (models with a decoder).
-  if (detector.has_recon && fingerprint.size() == detector.recon.input_dim()) {
-    // Per-thread scratch: the gate sits on every producer's submit path.
-    thread_local InferenceWorkspace ws;
-    thread_local nn::Matrix x;
-    if (x.rows() != 1 || x.cols() != fingerprint.size()) {
-      x.reshape_discard(1, fingerprint.size());
-    }
-    std::copy(fingerprint.begin(), fingerprint.end(), x.data());
-    const double rce =
-        static_cast<double>(reconstruction_rms(detector.recon, x, ws).front());
-    if (rce > detector.threshold) {
-      return suspicious(rce, "rce " + format_score(rce) + " > threshold " +
-                                 format_score(detector.threshold));
-    }
-    AdmissionVerdict verdict;
-    verdict.score = rce;
-    return verdict;
-  }
-
   AdmissionVerdict verdict;
-  verdict.score = fraction;
+  verdict.score = detector.has_recon ? rce : fraction;
   return verdict;
 }
 
 PoisonGate::Stats PoisonGate::stats() const {
   return {inspected_.load(std::memory_order_relaxed),
-          flagged_.load(std::memory_order_relaxed)};
+          flagged_.load(std::memory_order_relaxed),
+          flagged_rce_.load(std::memory_order_relaxed),
+          flagged_envelope_.load(std::memory_order_relaxed)};
 }
 
 }  // namespace safeloc::serve

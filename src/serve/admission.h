@@ -12,22 +12,32 @@
 // the same test to live queries. It scores each fingerprint against the
 // *published* model's calibration (serve::ModelRecord::calibration, the
 // clean-traffic statistics captured with the snapshot), and a query is
-// flagged when either of two tests trips:
+// flagged when either of two tests trips — the RCE test is evaluated
+// first, so a query both tests would catch is attributed to the paper's
+// headline defense:
 //
-//   * clean feature envelope (every calibrated model): too many features
-//     sit z·σ outside the calibration mean. Model-independent, so it keeps
-//     its power even when the served model's decoder has gone stale —
-//     which it does after federated rounds: clients fine-tune the
-//     classification path only (SafeLocConfig::client_recon_weight = 0),
-//     so aggregation shifts the encoder under a frozen decoder and the
-//     clean RCE floor rises from ~0.15 to >1.
 //   * reconstruction error (models with a decoder): per-query RCE through
 //     the record's reconstruction path, flagged above the calibrated
-//     clean-RCE p99 plus a τ-style margin. On a freshly pretrained model
-//     this catches subtler attacks that stay inside the envelope.
+//     clean-RCE p99 plus a τ-style margin. This test stays sharp on every
+//     model the engine publishes because the training pipeline keeps the
+//     decoder fresh across federated rounds: clients carry a small recon
+//     anchor (SafeLocConfig::client_recon_weight, gradient stopped at the
+//     bottleneck via client_freeze_encoder) so the decoder tracks the
+//     encoder round by round, and the capture path re-fits the decoder
+//     alone on a clean calibration collection before the snapshot is
+//     published (decoder_refresh_epochs) — so the record's clean-RCE p99
+//     sits near the pretrained floor (~0.15) instead of the >1 a stale
+//     decoder used to drift to, and it catches attacks the envelope test
+//     below cannot see.
+//   * clean feature envelope (every calibrated model, including ones
+//     without a decoder): too many features sit z·σ outside the
+//     calibration mean. Model-independent backstop for gross,
+//     out-of-distribution perturbations.
 //
-// Buildings whose record carries no calibration (v1 store files, manual
-// publishes) pass through unjudged.
+// Stats reports per-test flag counts, so operators can alarm on the RCE
+// test losing recall independently of the overall flag rate. Buildings
+// whose record carries no calibration (v1 store files, manual publishes)
+// pass through unjudged.
 #pragma once
 
 #include <atomic>
@@ -48,6 +58,11 @@ struct AdmissionVerdict {
   /// Policy-specific suspicion score (PoisonGate: RCE, or the violated
   /// feature fraction on the envelope fallback).
   double score = 0.0;
+  /// Stable id of the policy-internal test that flagged ("rce" /
+  /// "envelope" for PoisonGate); empty when admitted. Consumers that
+  /// attribute flags to a specific test key off this, never off the
+  /// human-readable reason text.
+  std::string test;
   /// Human-readable cause, set when the action is not kAdmit.
   std::string reason;
 };
@@ -102,6 +117,10 @@ class PoisonGate final : public AdmissionPolicy {
   struct Stats {
     std::uint64_t inspected = 0;
     std::uint64_t flagged = 0;  // includes rejections
+    /// Flags attributed to the RCE test (the paper's headline defense;
+    /// evaluated first) vs the feature-envelope backstop.
+    std::uint64_t flagged_rce = 0;
+    std::uint64_t flagged_envelope = 0;
   };
   [[nodiscard]] Stats stats() const;
 
@@ -117,13 +136,16 @@ class PoisonGate final : public AdmissionPolicy {
   using DetectorTable = std::map<int, std::shared_ptr<const Detector>>;
 
   [[nodiscard]] std::shared_ptr<const DetectorTable> table() const;
-  [[nodiscard]] AdmissionVerdict suspicious(double score, std::string reason);
+  [[nodiscard]] AdmissionVerdict suspicious(double score, std::string test,
+                                            std::string reason);
 
   PoisonGateConfig config_;
   mutable std::mutex table_mutex_;
   std::shared_ptr<const DetectorTable> table_;
   std::atomic<std::uint64_t> inspected_{0};
   std::atomic<std::uint64_t> flagged_{0};
+  std::atomic<std::uint64_t> flagged_rce_{0};
+  std::atomic<std::uint64_t> flagged_envelope_{0};
 };
 
 }  // namespace safeloc::serve

@@ -99,6 +99,7 @@ void LocalizationService::submit(Request request,
       response.flagged = true;
       response.admission_score = verdict.score;
       response.admission_policy = policy->name();
+      response.admission_test = std::move(verdict.test);
       response.admission_reason = std::move(verdict.reason);
       if (done) done(std::move(response));
       return;
@@ -109,6 +110,7 @@ void LocalizationService::submit(Request request,
       response.flagged = true;
       response.admission_score = verdict.score;
       response.admission_policy = policy->name();
+      response.admission_test = std::move(verdict.test);
       response.admission_reason = std::move(verdict.reason);
     }
   }

@@ -68,6 +68,9 @@ struct Response {
   double admission_score = 0.0;
   /// Policy that flagged/rejected; empty when the request passed clean.
   std::string admission_policy;
+  /// Stable id of the policy-internal test that flagged (PoisonGate:
+  /// "rce" / "envelope"); empty when the request passed clean.
+  std::string admission_test;
   std::string admission_reason;
   /// Shard that answered; -1 for rejections.
   int shard = -1;

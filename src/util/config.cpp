@@ -33,10 +33,25 @@ double env_double(const std::string& name, double fallback) {
   return std::atof(raw);
 }
 
+double env_double_strict(const std::string& name, double fallback) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(raw, &end);
+  if (end == raw || *end != '\0' || errno == ERANGE) {
+    throw std::invalid_argument(name + ": expected a number, got \"" + raw +
+                                "\"");
+  }
+  return value;
+}
+
 const RunScale& run_scale() {
+  // Strict parsing throughout: SAFELOC_EPOCHS=1O0 (typo'd letter O) must
+  // fail loudly, not atoi to 1 and silently run a hundredth of the budget.
   static const RunScale scale = [] {
     RunScale s;
-    const bool fast = env_int("SAFELOC_FAST", 1) != 0;
+    const bool fast = env_int_strict("SAFELOC_FAST", 1) != 0;
     if (!fast) {
       s.server_epochs = 700;  // paper-scale
       s.client_lr = 1e-4;     // paper-stated client learning rate...
@@ -44,11 +59,11 @@ const RunScale& run_scale() {
       s.repeats = 3;
       s.fast = false;
     }
-    s.server_epochs = env_int("SAFELOC_EPOCHS", s.server_epochs);
-    s.client_epochs = env_int("SAFELOC_CLIENT_EPOCHS", s.client_epochs);
-    s.client_lr = env_double("SAFELOC_CLIENT_LR", s.client_lr);
-    s.fl_rounds = env_int("SAFELOC_ROUNDS", s.fl_rounds);
-    s.repeats = env_int("SAFELOC_REPEATS", s.repeats);
+    s.server_epochs = env_int_strict("SAFELOC_EPOCHS", s.server_epochs);
+    s.client_epochs = env_int_strict("SAFELOC_CLIENT_EPOCHS", s.client_epochs);
+    s.client_lr = env_double_strict("SAFELOC_CLIENT_LR", s.client_lr);
+    s.fl_rounds = env_int_strict("SAFELOC_ROUNDS", s.fl_rounds);
+    s.repeats = env_int_strict("SAFELOC_REPEATS", s.repeats);
     return s;
   }();
   return scale;

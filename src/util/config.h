@@ -35,16 +35,25 @@ struct RunScale {
 /// SAFELOC_FAST=0 selects paper-scale budgets (700 epochs, 20 rounds, 3 seeds).
 [[nodiscard]] const RunScale& run_scale();
 
-/// Integer env knob with default (e.g. SAFELOC_ROUNDS).
+/// Integer env knob with default (e.g. SAFELOC_ROUNDS). Lenient: non-numeric
+/// text silently parses to 0. Prefer env_int_strict for new knobs — this
+/// survives only for callers that positively want atoi semantics.
 [[nodiscard]] int env_int(const std::string& name, int fallback);
 
 /// Like env_int, but a set-but-non-numeric value throws std::invalid_argument
 /// naming the variable and the offending text instead of silently parsing to
-/// 0. Use for knobs where a typo must not degrade into a surprising default
-/// (e.g. SAFELOC_THREADS).
+/// 0. Every run-scale knob (SAFELOC_FAST, SAFELOC_EPOCHS, SAFELOC_ROUNDS,
+/// SAFELOC_THREADS, ...) parses through here, so a typo'd value fails loudly
+/// instead of silently shrinking an experiment.
 [[nodiscard]] int env_int_strict(const std::string& name, int fallback);
 
-/// Float env knob with default.
+/// Float env knob with default. Lenient (atof); see env_double_strict.
 [[nodiscard]] double env_double(const std::string& name, double fallback);
+
+/// Like env_double, but a set-but-non-numeric value throws
+/// std::invalid_argument naming the variable and the offending text
+/// (e.g. SAFELOC_CLIENT_LR).
+[[nodiscard]] double env_double_strict(const std::string& name,
+                                       double fallback);
 
 }  // namespace safeloc::util

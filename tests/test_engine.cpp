@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -501,6 +502,80 @@ TEST(ScenarioEngine, CaptureFinalGmPopulatesCellsOnRequestOnly) {
   const eval::Experiment experiment(2);
   experiment.pretrain(*framework, /*epochs=*/1);
   framework->restore(captured.cells[0].final_gm);
+}
+
+TEST(ScenarioEngine, CapturedCalibrationStaysFreshAfterRounds) {
+  // Regression for the stale-decoder bug: classification-only client
+  // updates shift the encoder under a frozen decoder, so the clean-RCE
+  // floor of a captured post-rounds model used to drift far above its
+  // pretrained level (~0.15 → >1 at full budgets) and the serve-time RCE
+  // test lost its discriminative power. With the client recon anchor and
+  // the capture-path decoder refresh both on (defaults), the published
+  // calibration must stay at the floor; the legacy configuration on the
+  // same budget must visibly drift above it.
+  engine::ScenarioSpec fixed;
+  fixed.framework = "SAFELOC";
+  fixed.building = 2;
+  fixed.rounds = 2;
+  fixed.server_epochs = 4;
+
+  engine::ScenarioSpec legacy = fixed;  // the pre-fix pipeline
+  legacy.options.safeloc.client_recon_weight = 0.0;
+  legacy.options.safeloc.decoder_refresh_epochs = 0;
+  legacy.server_recalibrate = false;
+
+  const engine::ScenarioEngine eng;
+  const engine::RunReport report =
+      eng.run(std::vector<engine::ScenarioSpec>{fixed, legacy}, 2,
+              /*capture_final_gm=*/true);
+  const eval::ModelCalibration& fresh = report.cells[0].calibration;
+  const eval::ModelCalibration& stale = report.cells[1].calibration;
+  ASSERT_TRUE(fresh.has_rce);
+  ASSERT_TRUE(stale.has_rce);
+  // The acceptance bound serve_demo and check_bench.py enforce at full
+  // budgets, held even at this reduced test budget.
+  EXPECT_LE(fresh.rce_p99, 0.3f);
+  EXPECT_GT(stale.rce_p99, 2.0f * fresh.rce_p99);
+}
+
+TEST(ScenarioGrid, ClientReconWeightAxisExpandsIntoOptions) {
+  engine::ScenarioGrid grid;
+  grid.buildings({1, 2});
+  grid.client_recon_weights({0.0, 0.1});
+  EXPECT_EQ(grid.size(), 4u);
+  const auto cells = grid.expand();
+  ASSERT_EQ(cells.size(), 4u);
+  EXPECT_EQ(cells[0].options.safeloc.client_recon_weight, 0.0);
+  EXPECT_EQ(cells[1].options.safeloc.client_recon_weight, 0.1);
+  EXPECT_EQ(cells[2].building, 2);
+  // Distinct weights are distinct pretrain groups (options key differs),
+  // so a sweep never shares one framework instance across weights.
+  EXPECT_NE(cells[0].options.key(), cells[1].options.key());
+}
+
+TEST(ScenarioSpec, DetectorOffDeclinesRecalibrationAndKeepsRefresh) {
+  // τ = ∞ means "detector off" (bench_ablation's ablation variant):
+  // per-round recalibration must be declined outright, or the first
+  // aggregation would replace the infinite τ with p99 + margin and
+  // silently switch the detector back on.
+  core::SafeLocConfig config;
+  EXPECT_TRUE(core::SafeLocFramework(config).wants_server_recalibration());
+  config.tau = std::numeric_limits<double>::infinity();
+  const core::SafeLocFramework detector_off(config);
+  EXPECT_FALSE(detector_off.wants_server_recalibration());
+  // The decoder refresh is independent of τ — serving calibration still
+  // wants a fresh decoder.
+  EXPECT_TRUE(detector_off.wants_server_refresh());
+}
+
+TEST(ScenarioSpec, ExplicitTauDisablesPerRoundRecalibration) {
+  engine::ScenarioSpec spec;
+  EXPECT_TRUE(spec.fl_scenario().server_recalibrate);
+  spec.tau = 0.2;  // τ sweep semantics: the swept value must hold
+  EXPECT_FALSE(spec.fl_scenario().server_recalibrate);
+  spec.tau = std::nan("");
+  spec.server_recalibrate = false;  // explicit off stays off
+  EXPECT_FALSE(spec.fl_scenario().server_recalibrate);
 }
 
 TEST(ScenarioEngine, ThreadCountEnvRejectsNonNumericValues) {

@@ -2,10 +2,13 @@
 // clean and poisoned populations.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "src/baselines/frameworks.h"
 #include "src/core/safeloc.h"
 #include "src/eval/experiment.h"
 #include "src/fl/federated.h"
+#include "src/util/rng.h"
 
 namespace safeloc {
 namespace {
@@ -139,6 +142,47 @@ TEST(RunFederated, FedlocDegradesMoreThanSafelocUnderBackdoor) {
 
   EXPECT_LT(safeloc_attacked / safeloc_clean,
             fedloc_attacked / fedloc_clean);
+}
+
+TEST(RunFederated, TauRecalibrationKeepsSanitizeSharpPostRounds) {
+  // Regression for the stale-τ bug: τ was calibrated only at pretrain, so
+  // after federated rounds moved the model the fixed threshold either
+  // flagged everything (stale decoder, clean RCE floor above τ) or nothing.
+  // With per-round server recalibration τ tracks the clean-RCE floor:
+  // post-rounds, client_sanitize must still flag poisoned rows while
+  // passing most clean rows.
+  core::SafeLocFramework framework;
+  const auto& experiment = shared_experiment();
+  experiment.pretrain(framework, kEpochs);
+  const double pretrain_tau = framework.tau();
+
+  attack::AttackConfig none;
+  fl::FlScenario scenario = scenario_with(none, kRounds);
+  ASSERT_TRUE(scenario.server_recalibrate);  // default on
+  (void)fl::run_federated(framework, experiment.generator(), scenario);
+  // τ moved with the rounds (recalibrated against the current decoder).
+  EXPECT_NE(framework.tau(), pretrain_tau);
+
+  // Clean rows: mostly admitted under the recalibrated τ (p99 + margin).
+  const nn::Matrix& clean = experiment.training_set().x;
+  const auto clean_result = framework.client_sanitize(
+      clean, std::vector<int>(clean.rows(), 0));
+  EXPECT_LT(static_cast<double>(clean_result.flagged),
+            0.2 * static_cast<double>(clean.rows()));
+
+  // Poisoned rows (±0.3 per-feature evasion): still flagged post-rounds.
+  nn::Matrix poisoned = clean;
+  util::Rng rng(99);
+  for (float& v : poisoned.flat()) {
+    v = std::clamp(v + (rng.bernoulli(0.5) ? 0.3f : -0.3f), 0.0f, 1.0f);
+  }
+  std::size_t detected = 0;
+  for (const bool hit :
+       framework.network().detect_poisoned(poisoned, framework.tau())) {
+    detected += hit ? 1 : 0;
+  }
+  EXPECT_GT(static_cast<double>(detected),
+            0.9 * static_cast<double>(poisoned.rows()));
 }
 
 TEST(RunFederated, RunScenarioRestoresPretrainedState) {

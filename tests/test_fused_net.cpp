@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "src/core/fused_net.h"
+#include "src/core/safeloc.h"
 #include "src/nn/gradcheck.h"
 #include "src/nn/loss.h"
 #include "src/nn/optimizer.h"
@@ -162,6 +163,122 @@ TEST(FusedNet, UnfrozenEncoderReceivesReconGradient) {
         *p.grad, nn::Matrix(p.grad->rows(), p.grad->cols()));
   }
   EXPECT_NE(norm_without, norm_with);
+}
+
+TEST(FusedNet, BackwardFreezeOverrideBeatsConfig) {
+  // Config says "unfrozen", the per-call override says "frozen": encoder
+  // gradients must be the classification gradients only — exactly what the
+  // client recon anchor relies on to leave the classification path
+  // untouched while the decoder trains.
+  FusedNet::Config config = small_config();
+  config.freeze_encoder_on_recon = false;
+  FusedNet net(config, 6);
+  const nn::Matrix x = random_batch(4, 16, 5);
+  const std::vector<int> labels = {0, 1, 2, 3};
+
+  net.zero_grad();
+  auto fwd = net.forward(x, true);
+  (void)net.backward(x, fwd, labels, /*recon_weight=*/0.0);
+  std::vector<float> enc_grad_ce_only;
+  for (const auto& p : net.parameters()) {
+    if (p.name.rfind("enc", 0) == 0) {
+      const auto flat = p.grad->flat();
+      enc_grad_ce_only.insert(enc_grad_ce_only.end(), flat.begin(),
+                              flat.end());
+    }
+  }
+
+  net.zero_grad();
+  fwd = net.forward(x, true);
+  (void)net.backward(x, fwd, labels, /*recon_weight=*/5.0,
+                     /*freeze_encoder_override=*/true);
+  std::vector<float> enc_grad_frozen;
+  std::size_t dec_nonzero = 0;
+  for (const auto& p : net.parameters()) {
+    if (p.name.rfind("enc", 0) == 0) {
+      const auto flat = p.grad->flat();
+      enc_grad_frozen.insert(enc_grad_frozen.end(), flat.begin(), flat.end());
+    }
+    if (p.name.rfind("dec", 0) == 0) {
+      for (const float g : p.grad->flat()) dec_nonzero += g != 0.0f ? 1 : 0;
+    }
+  }
+
+  ASSERT_EQ(enc_grad_ce_only.size(), enc_grad_frozen.size());
+  for (std::size_t i = 0; i < enc_grad_frozen.size(); ++i) {
+    EXPECT_NEAR(enc_grad_ce_only[i], enc_grad_frozen[i], 1e-6f);
+  }
+  EXPECT_GT(dec_nonzero, 0u);  // the decoder did receive the recon gradient
+}
+
+TEST(FusedNet, DecoderOnlyBackwardLeavesEncoderAndClassifierGradFree) {
+  FusedNet net(small_config(), 6);
+  const nn::Matrix x = random_batch(8, 16, 9);
+
+  net.zero_grad();
+  const auto fwd = net.forward(x, /*train=*/true);
+  const double loss = net.backward_decoder(x, fwd);
+  EXPECT_GT(loss, 0.0);
+
+  std::size_t dec_nonzero = 0;
+  for (const auto& p : net.parameters()) {
+    if (p.name.rfind("dec", 0) == 0) {
+      for (const float g : p.grad->flat()) dec_nonzero += g != 0.0f ? 1 : 0;
+    } else {
+      // Encoder and classifier receive nothing from the decoder-only pass.
+      for (const float g : p.grad->flat()) EXPECT_EQ(g, 0.0f) << p.name;
+    }
+  }
+  EXPECT_GT(dec_nonzero, 0u);
+}
+
+TEST(FusedNet, RefreshDecoderTracksDriftedEncoderWithoutMovingIt) {
+  // Train a small net jointly, then shift the encoder (simulating rounds of
+  // classification-only client updates), then refresh: the decoder alone
+  // must recover a low RCE against the drifted encoder while the
+  // classification path stays bit-identical.
+  using safeloc::fl::TrainOpts;
+  FusedNet net(small_config(), 4);
+  const nn::Matrix x = random_batch(64, 16, 11);
+  std::vector<int> labels(64);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    labels[i] = static_cast<int>(i % 4);
+  }
+  TrainOpts opts;
+  opts.epochs = 60;
+  opts.seed = 3;
+  (void)train_fused_net(net, x, labels, opts, /*recon_weight=*/1.0);
+
+  // Drift: perturb encoder weights directly.
+  util::Rng rng(17);
+  for (const auto& p : net.parameters()) {
+    if (p.name.rfind("enc", 0) == 0) {
+      for (float& v : p.value->flat()) v += rng.uniform_f(-0.05f, 0.05f);
+    }
+  }
+  const auto rce_mean = [&](FusedNet& n) {
+    double sum = 0.0;
+    for (const float e : n.reconstruction_error(x)) sum += e;
+    return sum / static_cast<double>(x.rows());
+  };
+  const double stale_rce = rce_mean(net);
+
+  const nn::Matrix logits_before = net.forward(x).logits;
+  TrainOpts refresh_opts;
+  refresh_opts.epochs = 40;
+  refresh_opts.seed = 5;
+  (void)refresh_decoder(net, x, refresh_opts, /*denoise_noise_std=*/0.0,
+                        /*device_augment=*/false);
+  EXPECT_LT(rce_mean(net), stale_rce);  // decoder caught up
+  // Classification path untouched — identical logits.
+  EXPECT_EQ(net.forward(x).logits, logits_before);
+
+  // Tied decoders alias encoder storage: refresh must refuse.
+  FusedNet::Config tied_config = small_config();
+  tied_config.tied_decoder = true;
+  FusedNet tied(tied_config, 4);
+  EXPECT_THROW((void)refresh_decoder(tied, x, refresh_opts, 0.0, false),
+               std::logic_error);
 }
 
 TEST(FusedNet, InputGradientMatchesFiniteDifferences) {

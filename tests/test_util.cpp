@@ -2,9 +2,12 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <stdexcept>
 
+#include "src/util/config.h"
 #include "src/util/csv.h"
 #include "src/util/rng.h"
 #include "src/util/stats.h"
@@ -131,6 +134,29 @@ TEST(Percentile, InterpolatesLinearly) {
   EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 4.0);
   EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 2.5);
   EXPECT_THROW((void)percentile({}, 50.0), std::invalid_argument);
+}
+
+TEST(EnvKnobs, StrictIntRejectsTyposAndParsesCleanValues) {
+  ::setenv("SAFELOC_TEST_INT", "42", 1);
+  EXPECT_EQ(util::env_int_strict("SAFELOC_TEST_INT", 7), 42);
+  ::setenv("SAFELOC_TEST_INT", "1O0", 1);  // letter O typo — atoi says 1
+  EXPECT_THROW((void)util::env_int_strict("SAFELOC_TEST_INT", 7),
+               std::invalid_argument);
+  ::unsetenv("SAFELOC_TEST_INT");
+  EXPECT_EQ(util::env_int_strict("SAFELOC_TEST_INT", 7), 7);
+}
+
+TEST(EnvKnobs, StrictDoubleRejectsTyposAndParsesCleanValues) {
+  ::setenv("SAFELOC_TEST_LR", "1e-4", 1);
+  EXPECT_DOUBLE_EQ(util::env_double_strict("SAFELOC_TEST_LR", 0.5), 1e-4);
+  ::setenv("SAFELOC_TEST_LR", "1e-4x", 1);
+  EXPECT_THROW((void)util::env_double_strict("SAFELOC_TEST_LR", 0.5),
+               std::invalid_argument);
+  ::setenv("SAFELOC_TEST_LR", "lr", 1);  // atof would silently say 0.0
+  EXPECT_THROW((void)util::env_double_strict("SAFELOC_TEST_LR", 0.5),
+               std::invalid_argument);
+  ::unsetenv("SAFELOC_TEST_LR");
+  EXPECT_DOUBLE_EQ(util::env_double_strict("SAFELOC_TEST_LR", 0.5), 0.5);
 }
 
 TEST(AsciiTable, RendersAlignedColumns) {
