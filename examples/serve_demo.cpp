@@ -23,9 +23,21 @@
 // refresh at work), and the RCE test ALONE must carry attack-window
 // detection at a near-zero benign flag rate.
 //
+// Remote fleet mode: set SAFELOC_SERVE_REMOTE to a comma-separated list of
+// shard_server addresses (e.g. "unix:/tmp/s0.sock,unix:/tmp/s1.sock") and
+// the demo serves the SAME lifecycle through RemoteBackend shards in other
+// processes — publish becomes a cross-process two-phase commit, queries
+// cross the SFRP wire, and every exit bound above still applies unchanged
+// (remote inference is bit-identical to local). The CI multi-process smoke
+// runs this mode against two shard_server processes.
+//   SAFELOC_SERVE_CONNECT_TIMEOUT_MS  per-attempt connect deadline (2000)
+//   SAFELOC_SERVE_RETRIES             connect attempts per RPC (10 — the
+//                                     fleet may still be binding sockets)
+//
 // Usage: serve_demo    (fast profile; SAFELOC_FAST=0 for paper scale)
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <memory>
@@ -36,6 +48,7 @@
 #include "src/rss/building.h"
 #include "src/serve/admission.h"
 #include "src/serve/model_store.h"
+#include "src/serve/remote/remote_backend.h"
 #include "src/serve/router.h"
 #include "src/serve/service.h"
 #include "src/serve/traffic.h"
@@ -54,14 +67,49 @@ constexpr double kMaxCleanRceP99 = 0.30;
 constexpr double kMinRceRecall = 0.95;
 constexpr double kMaxBenignFlagRate = 0.01;
 
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t begin = 0;
+  while (begin <= csv.size()) {
+    const std::size_t comma = csv.find(',', begin);
+    const std::size_t end = comma == std::string::npos ? csv.size() : comma;
+    if (end > begin) out.push_back(csv.substr(begin, end - begin));
+    if (comma == std::string::npos) break;
+    begin = comma + 1;
+  }
+  return out;
+}
+
 std::unique_ptr<safeloc::serve::LocalizationService> make_service(
     const safeloc::serve::ModelStore& store) {
   using namespace safeloc;
-  serve::ServiceConfig config;
-  config.shards = 2;
-  config.engine.workers = 1;
-  config.engine.max_batch = 32;
-  auto service = std::make_unique<serve::LocalizationService>(config);
+  std::unique_ptr<serve::LocalizationService> service;
+  const char* remote_csv = std::getenv("SAFELOC_SERVE_REMOTE");
+  if (remote_csv != nullptr && *remote_csv != '\0') {
+    // Remote fleet: one RemoteBackend per shard_server address. Same front
+    // door, same router, same gate — the shards just live in other
+    // processes, and publish_latest below becomes a cross-process 2PC.
+    serve::remote::RemoteBackendConfig backend_config;
+    backend_config.connect_timeout =
+        std::chrono::milliseconds(util::env_int_strict(
+            "SAFELOC_SERVE_CONNECT_TIMEOUT_MS", 2000));
+    backend_config.connect_retries =
+        util::env_int_strict("SAFELOC_SERVE_RETRIES", 10);
+    std::vector<std::unique_ptr<serve::QueryBackend>> shards;
+    for (const std::string& address : split_csv(remote_csv)) {
+      backend_config.address = address;
+      shards.push_back(
+          std::make_unique<serve::remote::RemoteBackend>(backend_config));
+    }
+    service =
+        std::make_unique<serve::LocalizationService>(std::move(shards));
+  } else {
+    serve::ServiceConfig config;
+    config.shards = 2;
+    config.engine.workers = 1;
+    config.engine.max_batch = 32;
+    service = std::make_unique<serve::LocalizationService>(config);
+  }
   service->set_router(serve::make_router("hash"));
   service->add_admission(std::make_unique<serve::PoisonGate>());
   service->publish_latest(store);
@@ -155,11 +203,13 @@ int main() {
     first_pass.push_back(std::move(response));
   }
   const serve::LocalizationService::Stats stats = service.stats();
-  std::printf("served %zu queries on %zu shards (placement: %llu / %llu): "
+  std::string placement;
+  for (std::size_t s = 0; s < stats.routed.size(); ++s) {
+    placement += (s == 0 ? "" : " / ") + std::to_string(stats.routed[s]);
+  }
+  std::printf("served %zu queries on %zu shards (placement: %s): "
               "clean mean error %.2f m, mean latency %.0f us\n",
-              stream.size(), service.shard_count(),
-              static_cast<unsigned long long>(stats.routed[0]),
-              static_cast<unsigned long long>(stats.routed[1]),
+              stream.size(), service.shard_count(), placement.c_str(),
               clean_error_m.mean(), latency_us.mean());
   const double recall = poisoned == 0
                             ? 0.0

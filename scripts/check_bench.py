@@ -14,6 +14,11 @@ committed baselines in bench/baselines/, and fails on:
     on cache-busting shapes, when both runs support AVX2. This check is
     machine-independent (both numbers come from the same run), so it holds
     even when absolute qps between baseline and CI hardware differ,
+  * a broken fleet memory contract — the multi-process route cell
+    (transport "remote": real shard_server child processes behind the SFRP
+    wire protocol) must report every shard's resident-model count equal to
+    its partition slice (O(owned), not O(all)); a missing remote cell when
+    the baseline has one fails via the grid-shrank check,
   * a serve-time poison-gate quality regression, from serve_demo's
     BENCH_gate.json: the post-rounds clean-RCE p99 of the published models
     exceeding the checked-in bound (the decoder went stale — the client
@@ -132,6 +137,31 @@ def check_simd_speedup(current: dict, min_speedup: float,
                         "current report — bench_serve shape sweep shrank?")
 
 
+def check_route_partition(current: dict, failures: list[str]) -> None:
+    """Fleet memory contract: in the multi-process cell every shard_server
+    child must be resident exactly its partition slice. resident > owned
+    means the partition filter leaks (shards grow toward O(all));
+    resident < owned means warm-load dropped models the shard owns."""
+    for cell in current.get("cells", []):
+        if cell.get("transport") != "remote":
+            continue
+        resident = cell.get("resident_models")
+        owned = cell.get("owned_models")
+        label = (f"route remote cell {cell.get('mix')}/{cell.get('router')}/"
+                 f"{cell.get('shards')}")
+        if not resident or not owned:
+            failures.append(f"{label}: resident_models/owned_models missing "
+                            f"(resident={resident}, owned={owned})")
+            continue
+        if resident != owned:
+            failures.append(f"{label}: per-shard residency {resident} != "
+                            f"partition slices {owned} — fleet memory is "
+                            "no longer O(owned)")
+        else:
+            print(f"check_bench: {label} residency {resident} matches "
+                  f"partition slices (O(owned) holds)")
+
+
 def check_gate(baseline: dict, current: dict, failures: list[str]) -> None:
     """Poison-gate quality floors. Bounds are read from the BASELINE report
     (checked into bench/baselines/), values from the current run — so the
@@ -215,8 +245,10 @@ def main() -> None:
             f"current {route_cur.get('schema')}; refresh baselines")
     else:
         check_qps("route", route_base.get("cells", []),
-                  route_cur.get("cells", []), ("mix", "router", "shards"),
+                  route_cur.get("cells", []),
+                  ("mix", "router", "shards", "transport"),
                   args.threshold, failures)
+        check_route_partition(route_cur, failures)
 
     gate_base = load(args.baselines / GATE)
     gate_cur = load(args.current / GATE)

@@ -29,20 +29,47 @@ DeployedModel make_deployed_model(const ModelRecord& record,
   return deployed;
 }
 
+void QueryBackend::deploy(const ModelRecord& record) {
+  stage(record);
+  commit_staged(record.provenance.building);
+}
+
 SyncBackend::SyncBackend(std::size_t top_k)
     : top_k_(top_k < 1 ? 1 : top_k) {}
 
-void SyncBackend::deploy(const ModelRecord& record) {
-  auto deployed = std::make_shared<DeployedModel>(
-      make_deployed_model(record, "SyncBackend::deploy"));
+void SyncBackend::stage(const ModelRecord& record) {
+  auto deployed = std::make_shared<const DeployedModel>(
+      make_deployed_model(record, "SyncBackend::stage"));
   const std::lock_guard<std::mutex> lock(mutex_);
-  snapshots_[record.provenance.building] = std::move(deployed);
+  staged_[record.provenance.building] = std::move(deployed);
+}
+
+void SyncBackend::commit_staged(int building) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = staged_.find(building);
+  if (it == staged_.end()) {
+    throw std::logic_error(
+        "SyncBackend::commit_staged: nothing staged for building " +
+        std::to_string(building));
+  }
+  snapshots_[building] = std::move(it->second);
+  staged_.erase(it);
+}
+
+void SyncBackend::abort_staged(int building) noexcept {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  staged_.erase(building);
 }
 
 std::uint32_t SyncBackend::deployed_version(int building) const {
   const std::lock_guard<std::mutex> lock(mutex_);
   const auto it = snapshots_.find(building);
   return it == snapshots_.end() ? 0 : it->second->version;
+}
+
+std::size_t SyncBackend::deployed_model_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return snapshots_.size();
 }
 
 void SyncBackend::submit(int building, std::vector<float> fingerprint,

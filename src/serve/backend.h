@@ -49,19 +49,53 @@ struct DeployedModel {
 [[nodiscard]] DeployedModel make_deployed_model(const ModelRecord& record,
                                                 const char* context);
 
+/// Thrown by a backend whose executor is unreachable (remote shard process
+/// down, connection lost, engine shut down) — as opposed to
+/// std::invalid_argument for a request the backend examined and refused.
+/// LocalizationService converts this into a Response::Status::kFailed
+/// instead of letting one dead shard take the whole service down.
+class BackendUnavailable : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
 class QueryBackend {
  public:
   using Callback = std::function<void(QueryResult)>;
 
   virtual ~QueryBackend() = default;
 
-  /// Deploys (or hot-replaces) the serving model for the record's building.
+  // --- two-phase deploy ----------------------------------------------------
+  // stage() validates the record and prepares the snapshot aside (all the
+  // fallible work: extraction, width checks, remote transfer); commit_staged()
+  // atomically swaps the staged snapshot into serving; abort_staged() discards
+  // it. LocalizationService publishes all-or-nothing across a fleet by
+  // staging on every target shard before committing on any.
+
+  /// Validates `record` and prepares its snapshot without serving it.
   /// Throws std::invalid_argument when the record's classifier width does
-  /// not match the building's RP count.
-  virtual void deploy(const ModelRecord& record) = 0;
+  /// not match the building's RP count (BackendUnavailable when the backend
+  /// is unreachable). Re-staging a building replaces its staged snapshot.
+  virtual void stage(const ModelRecord& record) = 0;
+
+  /// Swaps `building`'s staged snapshot into serving. Throws
+  /// std::logic_error when nothing is staged for `building`; local backends
+  /// cannot otherwise fail (the fallible work happened in stage()).
+  virtual void commit_staged(int building) = 0;
+
+  /// Discards `building`'s staged snapshot, if any. Must not throw — it
+  /// runs on the unwind path of a failed fleet-wide publish.
+  virtual void abort_staged(int building) noexcept = 0;
+
+  /// Single-shard convenience: stage + commit.
+  void deploy(const ModelRecord& record);
 
   /// Version currently serving `building`; 0 when none deployed.
   [[nodiscard]] virtual std::uint32_t deployed_version(int building) const = 0;
+
+  /// Models resident in this backend — the per-shard memory footprint
+  /// signal (a partitioned shard holds O(owned buildings), not O(all)).
+  [[nodiscard]] virtual std::size_t deployed_model_count() const = 0;
 
   /// Enqueues one query; `done` runs after the forward pass (possibly on
   /// the calling thread for synchronous backends). Throws
@@ -86,8 +120,11 @@ class SyncBackend final : public QueryBackend {
  public:
   explicit SyncBackend(std::size_t top_k = 3);
 
-  void deploy(const ModelRecord& record) override;
+  void stage(const ModelRecord& record) override;
+  void commit_staged(int building) override;
+  void abort_staged(int building) noexcept override;
   [[nodiscard]] std::uint32_t deployed_version(int building) const override;
+  [[nodiscard]] std::size_t deployed_model_count() const override;
   void submit(int building, std::vector<float> fingerprint,
               Callback done) override;
   void drain() override {}
@@ -97,6 +134,7 @@ class SyncBackend final : public QueryBackend {
   std::size_t top_k_;
   mutable std::mutex mutex_;
   std::map<int, std::shared_ptr<const DeployedModel>> snapshots_;
+  std::map<int, std::shared_ptr<const DeployedModel>> staged_;
   InferenceWorkspace ws_;
   nn::Matrix x_;
 };

@@ -6,30 +6,87 @@
 #include <stdexcept>
 
 #include "src/rss/building.h"
+#include "src/rss/dataset.h"
 #include "src/util/binary_io.h"
 
 namespace safeloc::serve {
 namespace {
 
 constexpr std::uint32_t kMagic = 0x53465354;  // "SFST"
-/// v1: records without calibration. v2 (current): v1 + a per-record
-/// calibration block (samples, clean-RCE stats, feature envelope).
-constexpr std::uint32_t kFormatVersion = 2;
 constexpr const char* kContext = "ModelStore::load";
 
 using util::write_pod;
 using util::write_string;
 
-template <typename T>
-T read_pod(std::istream& in) {
-  return util::read_pod<T>(in, kContext);
-}
-
-std::string read_string(std::istream& in) {
-  return util::read_string(in, kContext);
-}
-
 }  // namespace
+
+void write_model_record(std::ostream& out, const ModelRecord& record) {
+  write_string(out, record.name);
+  write_pod(out, record.version);
+  write_string(out, record.provenance.framework);
+  write_pod(out, static_cast<std::int32_t>(record.provenance.building));
+  write_pod(out, record.provenance.seed);
+  write_pod(out, static_cast<std::int32_t>(record.provenance.repeat));
+  write_pod(out, static_cast<std::int32_t>(record.provenance.server_epochs));
+  write_pod(out, static_cast<std::int32_t>(record.provenance.fl_rounds));
+  write_string(out, record.provenance.attack_label);
+  write_pod(out, static_cast<std::uint64_t>(record.provenance.num_classes));
+  record.state.save(out);
+  // v2 calibration block.
+  const eval::ModelCalibration& calibration = record.calibration;
+  write_pod(out, calibration.samples);
+  write_pod(out, static_cast<std::uint8_t>(calibration.has_rce ? 1 : 0));
+  write_pod(out, calibration.rce_mean);
+  write_pod(out, calibration.rce_std);
+  write_pod(out, calibration.rce_p99);
+  write_pod(out, calibration.rce_max);
+  write_pod(out,
+            static_cast<std::uint64_t>(calibration.features.mean.size()));
+  for (const float v : calibration.features.mean) write_pod(out, v);
+  for (const float v : calibration.features.stddev) write_pod(out, v);
+}
+
+ModelRecord read_model_record(std::istream& in, std::uint32_t format,
+                              const char* context) {
+  ModelRecord record;
+  record.name = util::read_string(in, context);
+  record.version = util::read_pod<std::uint32_t>(in, context);
+  record.provenance.framework = util::read_string(in, context);
+  record.provenance.building = util::read_pod<std::int32_t>(in, context);
+  record.provenance.seed = util::read_pod<std::uint64_t>(in, context);
+  record.provenance.repeat = util::read_pod<std::int32_t>(in, context);
+  record.provenance.server_epochs = util::read_pod<std::int32_t>(in, context);
+  record.provenance.fl_rounds = util::read_pod<std::int32_t>(in, context);
+  record.provenance.attack_label = util::read_string(in, context);
+  record.provenance.num_classes =
+      static_cast<std::size_t>(util::read_pod<std::uint64_t>(in, context));
+  record.state = nn::StateDict::load(in);
+  if (format >= 2) {
+    eval::ModelCalibration& calibration = record.calibration;
+    calibration.samples = util::read_pod<std::uint32_t>(in, context);
+    calibration.has_rce = util::read_pod<std::uint8_t>(in, context) != 0;
+    calibration.rce_mean = util::read_pod<float>(in, context);
+    calibration.rce_std = util::read_pod<float>(in, context);
+    calibration.rce_p99 = util::read_pod<float>(in, context);
+    calibration.rce_max = util::read_pod<float>(in, context);
+    const auto features =
+        static_cast<std::size_t>(util::read_pod<std::uint64_t>(in, context));
+    if (features > rss::kFeatureDim * 64) {
+      throw std::runtime_error(std::string(context) +
+                               ": implausible calibration width " +
+                               std::to_string(features));
+    }
+    calibration.features.mean.resize(features);
+    for (float& v : calibration.features.mean) {
+      v = util::read_pod<float>(in, context);
+    }
+    calibration.features.stddev.resize(features);
+    for (float& v : calibration.features.stddev) {
+      v = util::read_pod<float>(in, context);
+    }
+  }
+  return record;
+}
 
 std::string default_model_name(const engine::ScenarioSpec& spec) {
   return spec.framework + "/b" + std::to_string(spec.building);
@@ -132,80 +189,29 @@ std::size_t ModelStore::size() const noexcept {
 
 void ModelStore::save(std::ostream& out) const {
   write_pod(out, kMagic);
-  write_pod(out, kFormatVersion);
+  write_pod(out, kStoreFormatVersion);
   write_pod(out, static_cast<std::uint64_t>(size()));
   // std::map iteration gives names ascending; versions are stored ascending.
   for (const auto& [name, versions] : models_) {
     for (const ModelRecord& record : versions) {
-      write_string(out, record.name);
-      write_pod(out, record.version);
-      write_string(out, record.provenance.framework);
-      write_pod(out, static_cast<std::int32_t>(record.provenance.building));
-      write_pod(out, record.provenance.seed);
-      write_pod(out, static_cast<std::int32_t>(record.provenance.repeat));
-      write_pod(out,
-                static_cast<std::int32_t>(record.provenance.server_epochs));
-      write_pod(out, static_cast<std::int32_t>(record.provenance.fl_rounds));
-      write_string(out, record.provenance.attack_label);
-      write_pod(out,
-                static_cast<std::uint64_t>(record.provenance.num_classes));
-      record.state.save(out);
-      // v2 calibration block.
-      const eval::ModelCalibration& calibration = record.calibration;
-      write_pod(out, calibration.samples);
-      write_pod(out, static_cast<std::uint8_t>(calibration.has_rce ? 1 : 0));
-      write_pod(out, calibration.rce_mean);
-      write_pod(out, calibration.rce_std);
-      write_pod(out, calibration.rce_p99);
-      write_pod(out, calibration.rce_max);
-      write_pod(out,
-                static_cast<std::uint64_t>(calibration.features.mean.size()));
-      for (const float v : calibration.features.mean) write_pod(out, v);
-      for (const float v : calibration.features.stddev) write_pod(out, v);
+      write_model_record(out, record);
     }
   }
   if (!out) throw std::runtime_error("ModelStore::save: write failure");
 }
 
 ModelStore ModelStore::load(std::istream& in) {
-  if (read_pod<std::uint32_t>(in) != kMagic) {
+  if (util::read_pod<std::uint32_t>(in, kContext) != kMagic) {
     throw std::runtime_error("ModelStore::load: bad magic");
   }
-  const auto format = read_pod<std::uint32_t>(in);
-  if (format < 1 || format > kFormatVersion) {
+  const auto format = util::read_pod<std::uint32_t>(in, kContext);
+  if (format < 1 || format > kStoreFormatVersion) {
     throw std::runtime_error("ModelStore::load: unsupported format version");
   }
-  const auto count = read_pod<std::uint64_t>(in);
+  const auto count = util::read_pod<std::uint64_t>(in, kContext);
   ModelStore store;
   for (std::uint64_t i = 0; i < count; ++i) {
-    ModelRecord record;
-    record.name = read_string(in);
-    record.version = read_pod<std::uint32_t>(in);
-    record.provenance.framework = read_string(in);
-    record.provenance.building = read_pod<std::int32_t>(in);
-    record.provenance.seed = read_pod<std::uint64_t>(in);
-    record.provenance.repeat = read_pod<std::int32_t>(in);
-    record.provenance.server_epochs = read_pod<std::int32_t>(in);
-    record.provenance.fl_rounds = read_pod<std::int32_t>(in);
-    record.provenance.attack_label = read_string(in);
-    record.provenance.num_classes =
-        static_cast<std::size_t>(read_pod<std::uint64_t>(in));
-    record.state = nn::StateDict::load(in);
-    if (format >= 2) {
-      eval::ModelCalibration& calibration = record.calibration;
-      calibration.samples = read_pod<std::uint32_t>(in);
-      calibration.has_rce = read_pod<std::uint8_t>(in) != 0;
-      calibration.rce_mean = read_pod<float>(in);
-      calibration.rce_std = read_pod<float>(in);
-      calibration.rce_p99 = read_pod<float>(in);
-      calibration.rce_max = read_pod<float>(in);
-      const auto features =
-          static_cast<std::size_t>(read_pod<std::uint64_t>(in));
-      calibration.features.mean.resize(features);
-      for (float& v : calibration.features.mean) v = read_pod<float>(in);
-      calibration.features.stddev.resize(features);
-      for (float& v : calibration.features.stddev) v = read_pod<float>(in);
-    }
+    ModelRecord record = read_model_record(in, format, kContext);
     std::vector<ModelRecord>& versions = store.models_[record.name];
     if (record.version != versions.size() + 1) {
       throw std::runtime_error("ModelStore::load: version gap in \"" +

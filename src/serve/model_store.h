@@ -111,4 +111,19 @@ class ModelStore {
 /// The default logical name publish() derives from a cell spec.
 [[nodiscard]] std::string default_model_name(const engine::ScenarioSpec& spec);
 
+/// Current SFST record-format version (v2 = v1 + calibration block).
+inline constexpr std::uint32_t kStoreFormatVersion = 2;
+
+/// Serializes one record in the SFST v2 record layout. Shared by
+/// ModelStore::save and the remote publish wire payload, so a record
+/// travels the wire byte-identical to how it rests on disk.
+void write_model_record(std::ostream& out, const ModelRecord& record);
+
+/// Reads one record; `format` selects the v1/v2 field set (v1 records come
+/// back with an invalid() calibration), `context` names the caller in
+/// truncation errors. Throws std::runtime_error on a truncated stream.
+[[nodiscard]] ModelRecord read_model_record(std::istream& in,
+                                            std::uint32_t format,
+                                            const char* context);
+
 }  // namespace safeloc::serve

@@ -1,0 +1,118 @@
+#include "src/serve/partition.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "src/util/binary_io.h"
+
+namespace safeloc::serve {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x5346504D;  // "SFPM"
+constexpr std::uint32_t kFormatVersion = 1;
+constexpr const char* kContext = "PartitionMap::load";
+
+}  // namespace
+
+std::uint32_t building_affinity(int building, std::uint32_t shards) {
+  if (shards == 0) {
+    throw std::invalid_argument("building_affinity: zero shards");
+  }
+  // Same FNV-1a over the id's raw bytes as HashRouter, minus the
+  // fingerprint term.
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  const auto* p = reinterpret_cast<const unsigned char*>(&building);
+  for (std::size_t i = 0; i < sizeof(building); ++i) {
+    hash ^= p[i];
+    hash *= 0x100000001b3ULL;
+  }
+  return static_cast<std::uint32_t>(hash % shards);
+}
+
+PartitionMap PartitionMap::affinity(std::span<const int> buildings,
+                                    std::uint32_t shards) {
+  if (shards == 0) {
+    throw std::invalid_argument("PartitionMap::affinity: zero shards");
+  }
+  PartitionMap map;
+  map.shards = shards;
+  for (const int building : buildings) {
+    map.owner[building] = building_affinity(building, shards);
+  }
+  return map;
+}
+
+std::uint32_t PartitionMap::owner_of(int building) const {
+  const auto it = owner.find(building);
+  if (it != owner.end()) return it->second;
+  return building_affinity(building, shards == 0 ? 1 : shards);
+}
+
+std::vector<int> PartitionMap::owned_by(std::uint32_t shard) const {
+  std::vector<int> owned;
+  for (const auto& [building, s] : owner) {
+    if (s == shard) owned.push_back(building);
+  }
+  return owned;
+}
+
+void PartitionMap::save(std::ostream& out) const {
+  util::write_pod(out, kMagic);
+  util::write_pod(out, kFormatVersion);
+  util::write_pod(out, shards);
+  util::write_pod(out, static_cast<std::uint64_t>(owner.size()));
+  // std::map iteration gives building ids ascending — deterministic bytes.
+  for (const auto& [building, shard] : owner) {
+    util::write_pod(out, static_cast<std::int32_t>(building));
+    util::write_pod(out, shard);
+  }
+  if (!out) throw std::runtime_error("PartitionMap::save: write failure");
+}
+
+PartitionMap PartitionMap::load(std::istream& in) {
+  if (util::read_pod<std::uint32_t>(in, kContext) != kMagic) {
+    throw std::runtime_error("PartitionMap::load: bad magic");
+  }
+  if (util::read_pod<std::uint32_t>(in, kContext) != kFormatVersion) {
+    throw std::runtime_error(
+        "PartitionMap::load: unsupported format version");
+  }
+  PartitionMap map;
+  map.shards = util::read_pod<std::uint32_t>(in, kContext);
+  if (map.shards == 0) {
+    throw std::runtime_error("PartitionMap::load: zero-shard map");
+  }
+  const auto count = util::read_pod<std::uint64_t>(in, kContext);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto building = util::read_pod<std::int32_t>(in, kContext);
+    const auto shard = util::read_pod<std::uint32_t>(in, kContext);
+    if (shard >= map.shards) {
+      throw std::runtime_error("PartitionMap::load: building " +
+                               std::to_string(building) + " owned by shard " +
+                               std::to_string(shard) + " of a " +
+                               std::to_string(map.shards) + "-shard map");
+    }
+    map.owner[building] = shard;
+  }
+  return map;
+}
+
+void PartitionMap::save_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw std::runtime_error("PartitionMap::save_file: cannot open " + path);
+  }
+  save(out);
+}
+
+PartitionMap PartitionMap::load_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("PartitionMap::load_file: cannot open " + path);
+  }
+  return load(in);
+}
+
+}  // namespace safeloc::serve

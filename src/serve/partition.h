@@ -1,0 +1,71 @@
+// PartitionMap — building → shard ownership for a partitioned serving
+// fleet.
+//
+// A replicated fleet deploys every model to every shard: per-shard memory
+// is O(all buildings) and any shard can answer any query. A *partitioned*
+// fleet assigns each building exactly one owning shard: publishes go only
+// to the owner, queries are routed by ownership (PartitionRouter), and each
+// shard's resident set shrinks to O(owned buildings) — which is what makes
+// a large building population deployable on fixed-memory shard hosts.
+//
+// The default assignment is FNV affinity over the building id
+// (building_affinity), the building-only restriction of HashRouter's
+// placement hash, so ownership is deterministic across processes with no
+// coordination. The map is explicit data, not a convention: operators can
+// rebalance by editing it, and it persists alongside the ModelStore file
+// ("SFPM" binary, save_file/load_file) so a shard_server restarted against
+// the same store + map reloads exactly the buildings it owns.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace safeloc::serve {
+
+/// FNV-1a of the building id modulo `shards` — the building-only affinity
+/// HashRouter's placement hash reduces to when every fingerprint is
+/// ignored. Deterministic across platforms and processes.
+[[nodiscard]] std::uint32_t building_affinity(int building,
+                                              std::uint32_t shards);
+
+struct PartitionMap {
+  /// Fleet width this map was built for.
+  std::uint32_t shards = 1;
+  /// building id -> owning shard in [0, shards).
+  std::map<int, std::uint32_t> owner;
+
+  /// FNV-affinity assignment of `buildings` over `shards` shards. Throws
+  /// std::invalid_argument for shards == 0.
+  [[nodiscard]] static PartitionMap affinity(std::span<const int> buildings,
+                                             std::uint32_t shards);
+
+  [[nodiscard]] bool empty() const noexcept { return owner.empty(); }
+
+  /// Owning shard of `building`. Unmapped buildings fall back to FNV
+  /// affinity, so a fleet keeps a deterministic placement for buildings
+  /// published after the map was written.
+  [[nodiscard]] std::uint32_t owner_of(int building) const;
+
+  [[nodiscard]] bool owns(std::uint32_t shard, int building) const {
+    return owner_of(building) == shard;
+  }
+
+  /// Buildings owned by `shard`, ascending.
+  [[nodiscard]] std::vector<int> owned_by(std::uint32_t shard) const;
+
+  /// Deterministic binary serialization (magic "SFPM", versioned header),
+  /// persisted alongside the ModelStore file. load() throws
+  /// std::runtime_error on bad magic / version / truncation.
+  void save(std::ostream& out) const;
+  [[nodiscard]] static PartitionMap load(std::istream& in);
+  void save_file(const std::string& path) const;
+  [[nodiscard]] static PartitionMap load_file(const std::string& path);
+
+  friend bool operator==(const PartitionMap&, const PartitionMap&) = default;
+};
+
+}  // namespace safeloc::serve

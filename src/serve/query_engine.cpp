@@ -43,20 +43,41 @@ void QueryEngine::stop() {
   workers_.clear();
 }
 
-void QueryEngine::deploy(const ModelRecord& record) {
-  auto snapshot = std::make_shared<DeployedModel>(
-      make_deployed_model(record, "QueryEngine::deploy"));
+void QueryEngine::stage(const ModelRecord& record) {
+  auto snapshot = std::make_shared<const DeployedModel>(
+      make_deployed_model(record, "QueryEngine::stage"));
 
   const std::lock_guard<std::mutex> lock(table_mutex_);
+  staged_[record.provenance.building] = std::move(snapshot);
+}
+
+void QueryEngine::commit_staged(int building) {
+  const std::lock_guard<std::mutex> lock(table_mutex_);
+  const auto it = staged_.find(building);
+  if (it == staged_.end()) {
+    throw std::logic_error(
+        "QueryEngine::commit_staged: nothing staged for building " +
+        std::to_string(building));
+  }
   auto next = std::make_shared<SnapshotTable>(*table_);
-  (*next)[record.provenance.building] = std::move(snapshot);
+  (*next)[building] = std::move(it->second);
+  staged_.erase(it);
   table_ = std::move(next);
+}
+
+void QueryEngine::abort_staged(int building) noexcept {
+  const std::lock_guard<std::mutex> lock(table_mutex_);
+  staged_.erase(building);
 }
 
 std::uint32_t QueryEngine::deployed_version(int building) const {
   const auto snapshots = table();
   const auto it = snapshots->find(building);
   return it == snapshots->end() ? 0 : it->second->version;
+}
+
+std::size_t QueryEngine::deployed_model_count() const {
+  return table()->size();
 }
 
 std::shared_ptr<const QueryEngine::SnapshotTable> QueryEngine::table() const {
@@ -92,7 +113,7 @@ void QueryEngine::submit(int building, std::vector<float> fingerprint,
       return stop_ || queue_.size() < config_.queue_capacity;
     });
     if (stop_) {
-      throw std::runtime_error("QueryEngine::submit: engine is shut down");
+      throw BackendUnavailable("QueryEngine::submit: engine is shut down");
     }
     queue_.push_back(std::move(pending));
   }

@@ -62,18 +62,24 @@ class QueryEngine final : public QueryBackend {
   QueryEngine(const QueryEngine&) = delete;
   QueryEngine& operator=(const QueryEngine&) = delete;
 
-  /// Deploys (or hot-replaces) the serving model for the record's building.
-  /// Throws std::invalid_argument when the record's classifier width does
-  /// not match the building's RP count.
-  void deploy(const ModelRecord& record) override;
+  /// Two-phase deploy: stage() validates and builds the snapshot aside;
+  /// commit_staged() swaps it into the copy-on-write table (in-flight
+  /// batches finish on the snapshot they started with). deploy() (base
+  /// class) chains both for single-shard callers.
+  void stage(const ModelRecord& record) override;
+  void commit_staged(int building) override;
+  void abort_staged(int building) noexcept override;
 
   /// Version currently serving `building`; 0 when none deployed.
   [[nodiscard]] std::uint32_t deployed_version(int building) const override;
 
+  /// Models resident in the snapshot table.
+  [[nodiscard]] std::size_t deployed_model_count() const override;
+
   /// Enqueues one query; `done` runs on a worker thread after the batched
   /// forward pass. Throws std::invalid_argument for an undeployed building
   /// or a wrong-width fingerprint; blocks briefly when the queue is full,
-  /// throws std::runtime_error after stop().
+  /// throws BackendUnavailable after stop().
   void submit(int building, std::vector<float> fingerprint,
               Callback done) override;
 
@@ -136,6 +142,8 @@ class QueryEngine final : public QueryBackend {
 
   mutable std::mutex table_mutex_;
   std::shared_ptr<const SnapshotTable> table_;
+  /// Snapshots validated by stage() awaiting commit_staged().
+  std::map<int, std::shared_ptr<const DeployedModel>> staged_;
 
   mutable std::mutex queue_mutex_;
   std::condition_variable queue_cv_;  // workers: work available / stop

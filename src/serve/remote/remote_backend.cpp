@@ -1,0 +1,174 @@
+#include "src/serve/remote/remote_backend.h"
+
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+namespace safeloc::serve::remote {
+namespace {
+
+[[noreturn]] void raise_error_reply(const ErrorReply& error) {
+  // Re-raise the server-side exception as the type the local backend
+  // would have thrown, so call sites cannot tell the shard is remote.
+  if (error.kind == "invalid_argument") {
+    throw std::invalid_argument(error.message);
+  }
+  if (error.kind == "logic_error") {
+    throw std::logic_error(error.message);
+  }
+  throw WireError("remote shard error: " + error.message);
+}
+
+}  // namespace
+
+RemoteBackend::RemoteBackend(RemoteBackendConfig config)
+    : config_(std::move(config)) {
+  if (config_.address.empty()) {
+    throw std::invalid_argument("RemoteBackend: empty shard address");
+  }
+  if (config_.connect_retries < 1) {
+    throw std::invalid_argument("RemoteBackend: connect_retries must be >= 1");
+  }
+}
+
+void RemoteBackend::ensure_connected() const {
+  if (socket_.valid()) return;
+  std::string last_error;
+  for (int attempt = 0; attempt < config_.connect_retries; ++attempt) {
+    if (attempt > 0) std::this_thread::sleep_for(config_.retry_backoff);
+    try {
+      Socket socket = Socket::connect(config_.address, config_.connect_timeout);
+      if (config_.io_timeout.count() > 0) {
+        socket.set_io_timeout(config_.io_timeout);
+      }
+      socket_ = std::move(socket);
+      return;
+    } catch (const SocketError& refused) {
+      last_error = refused.what();
+    }
+  }
+  throw BackendUnavailable("RemoteBackend: shard " + config_.address +
+                           " unreachable after " +
+                           std::to_string(config_.connect_retries) +
+                           " attempt(s): " + last_error);
+}
+
+Frame RemoteBackend::rpc(MessageType type, const std::string& payload) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ensure_connected();
+  Frame reply;
+  try {
+    send_frame(socket_, type, payload);
+    if (!recv_frame(socket_, reply)) {
+      throw SocketError("Socket: connection closed by peer (" +
+                        config_.address + ")");
+    }
+  } catch (const SocketError& transport) {
+    // The connection is in an unknown state (request possibly executed,
+    // reply lost) — drop it so the next RPC starts from a clean connect.
+    socket_.close();
+    throw BackendUnavailable("RemoteBackend: shard " + config_.address +
+                             " failed mid-RPC: " + transport.what());
+  } catch (const WireError&) {
+    // Framing skew: the stream cannot be re-synchronized; poison the
+    // connection before propagating.
+    socket_.close();
+    throw;
+  }
+  if (reply.type == MessageType::kError) {
+    // The server handled the request and refused it — the connection
+    // stays healthy; only this call fails.
+    raise_error_reply(decode_error(reply.payload));
+  }
+  return reply;
+}
+
+void RemoteBackend::stage(const ModelRecord& record) {
+  const Frame reply =
+      rpc(MessageType::kPublishStage, encode_publish_stage(record));
+  if (reply.type != MessageType::kPublishReply) {
+    throw WireError("RemoteBackend: unexpected reply to stage");
+  }
+}
+
+void RemoteBackend::commit_staged(int building) {
+  PublishCommit commit;
+  commit.building = building;
+  // Informational only: the server records the authoritative version from
+  // its own engine after the swap (it staged the record; the client may
+  // not even know the version).
+  commit.version = 0;
+  const Frame reply =
+      rpc(MessageType::kPublishCommit, encode_publish_commit(commit));
+  if (reply.type != MessageType::kPublishReply) {
+    throw WireError("RemoteBackend: unexpected reply to commit");
+  }
+}
+
+void RemoteBackend::abort_staged(int building) noexcept {
+  try {
+    (void)rpc(MessageType::kPublishAbort, encode_publish_abort(building));
+  } catch (...) {
+    // Unwind path: an unreachable shard's staged snapshot dies with its
+    // process; nothing useful to do here.
+  }
+}
+
+std::uint32_t RemoteBackend::deployed_version(int building) const {
+  const ShardStats stats = shard_stats();
+  for (const auto& [deployed_building, version] : stats.deployed) {
+    if (deployed_building == building) return version;
+  }
+  return 0;
+}
+
+std::size_t RemoteBackend::deployed_model_count() const {
+  return static_cast<std::size_t>(shard_stats().resident_models);
+}
+
+void RemoteBackend::submit(int building, std::vector<float> fingerprint,
+                           Callback done) {
+  QueryRequest query;
+  query.building = building;
+  query.fingerprint = std::move(fingerprint);
+  const Frame reply = rpc(MessageType::kQuery, encode_query(query));
+  if (reply.type != MessageType::kQueryReply) {
+    throw WireError("RemoteBackend: unexpected reply to query");
+  }
+  QueryResult result = decode_query_reply(reply.payload);
+  if (done) done(std::move(result));
+}
+
+ShardStats RemoteBackend::shard_stats() const {
+  const Frame reply = rpc(MessageType::kStatsRequest, "");
+  if (reply.type != MessageType::kStatsReply) {
+    throw WireError("RemoteBackend: unexpected reply to stats request");
+  }
+  return decode_stats_reply(reply.payload);
+}
+
+HealthInfo RemoteBackend::health() const {
+  const Frame reply = rpc(MessageType::kHealthRequest, "");
+  if (reply.type != MessageType::kHealthReply) {
+    throw WireError("RemoteBackend: unexpected reply to health request");
+  }
+  return decode_health_reply(reply.payload);
+}
+
+void request_shutdown(const std::string& address,
+                      std::chrono::milliseconds timeout) {
+  try {
+    Socket socket = Socket::connect(address, timeout);
+    socket.set_io_timeout(timeout);
+    send_frame(socket, MessageType::kShutdown, "");
+    Frame ack;
+    if (!recv_frame(socket, ack) || ack.type != MessageType::kShutdownAck) {
+      throw BackendUnavailable("request_shutdown: no ack from " + address);
+    }
+  } catch (const SocketError& refused) {
+    throw BackendUnavailable("request_shutdown: " + address +
+                             " unreachable: " + refused.what());
+  }
+}
+
+}  // namespace safeloc::serve::remote

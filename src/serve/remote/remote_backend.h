@@ -1,0 +1,105 @@
+// RemoteBackend — a QueryBackend whose executor lives in another process.
+//
+// Each instance holds one connection to a shard_server and speaks strict
+// request/reply SFRP (wire.h). Because it implements the same QueryBackend
+// contract as QueryEngine, a LocalizationService can mix local and remote
+// shards freely — routing, admission, two-phase publish, and stats all
+// work unchanged; this is the seam backend.h promised ("a shard can live
+// behind a wire without the front door noticing").
+//
+// Failure semantics, mapped onto the backend contract:
+//   * Transport failures (connect refused after the retry budget, I/O
+//     timeout, torn frame, peer gone) throw BackendUnavailable — the
+//     service converts these to Response::kFailed and the rest of the
+//     fleet keeps serving.
+//   * kError replies re-raise as the exception the local backend would
+//     have thrown: std::invalid_argument (refused request — undeployed
+//     building, wrong-width fingerprint, partition filter),
+//     std::logic_error (commit with nothing staged), WireError otherwise.
+//   * Retries cover CONNECT only. Once a request frame is on the wire a
+//     transport failure fails the RPC — the client cannot know whether the
+//     server executed it, and blind re-send could double-execute a
+//     publish step. (Queries are pure inference; callers who want re-send
+//     can resubmit at the service level.)
+//
+// Calls are serialized on an internal mutex (one in-flight RPC per
+// connection — the protocol is strict request/reply). submit() is
+// therefore synchronous: the callback runs on the calling thread before
+// submit returns, exactly like SyncBackend. queue_depth() is 0 and
+// drain() is a no-op for the same reason.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "src/serve/backend.h"
+#include "src/serve/remote/socket.h"
+#include "src/serve/remote/wire.h"
+
+namespace safeloc::serve::remote {
+
+struct RemoteBackendConfig {
+  /// shard_server address ("unix:<path>" | "tcp:host:port").
+  std::string address;
+  /// Per-attempt connect deadline.
+  std::chrono::milliseconds connect_timeout{2000};
+  /// Per-RPC read/write deadline on the established connection.
+  std::chrono::milliseconds io_timeout{10000};
+  /// Connect attempts before an RPC gives up (>= 1).
+  int connect_retries = 3;
+  /// Sleep between failed connect attempts.
+  std::chrono::milliseconds retry_backoff{100};
+};
+
+class RemoteBackend final : public QueryBackend {
+ public:
+  explicit RemoteBackend(RemoteBackendConfig config);
+
+  // --- QueryBackend ---------------------------------------------------------
+  void stage(const ModelRecord& record) override;
+  void commit_staged(int building) override;
+  /// Best-effort: a transport failure during abort is swallowed (the
+  /// publish unwind path must not throw; an unreachable shard's staged
+  /// snapshot dies with its process anyway).
+  void abort_staged(int building) noexcept override;
+  /// Live answer from the shard's stats (a warm-loaded server knows models
+  /// this client never published). Throws BackendUnavailable when the
+  /// shard is unreachable.
+  [[nodiscard]] std::uint32_t deployed_version(int building) const override;
+  /// Resident models on the REMOTE shard — the partitioned-memory
+  /// measurement. Throws BackendUnavailable when unreachable.
+  [[nodiscard]] std::size_t deployed_model_count() const override;
+  void submit(int building, std::vector<float> fingerprint,
+              Callback done) override;
+  void drain() override {}
+  [[nodiscard]] std::size_t queue_depth() const override { return 0; }
+
+  // --- operational RPCs -----------------------------------------------------
+  [[nodiscard]] ShardStats shard_stats() const;
+  [[nodiscard]] HealthInfo health() const;
+
+  [[nodiscard]] const RemoteBackendConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  /// One strict request/reply RPC; reconnects (with the retry budget) when
+  /// no connection is live. kError replies re-raise per the map above.
+  Frame rpc(MessageType type, const std::string& payload) const;
+  /// Connects if needed; throws BackendUnavailable after the retry budget.
+  void ensure_connected() const;
+
+  RemoteBackendConfig config_;
+  mutable std::mutex mutex_;
+  mutable Socket socket_;
+};
+
+/// Connects to `address` and asks the shard_server to exit (kShutdown,
+/// awaits the ack) — the clean fleet-teardown path for benches and CI.
+/// Throws BackendUnavailable when the shard cannot be reached.
+void request_shutdown(const std::string& address,
+                      std::chrono::milliseconds timeout);
+
+}  // namespace safeloc::serve::remote

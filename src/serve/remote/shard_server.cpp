@@ -1,0 +1,264 @@
+#include "src/serve/remote/shard_server.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace safeloc::serve::remote {
+
+ShardServer::ShardServer(ShardServerConfig config)
+    : config_(std::move(config)), engine_(config_.engine) {
+  if (config_.shard_count == 0) {
+    throw std::invalid_argument("ShardServer: shard_count must be >= 1");
+  }
+  if (config_.shard_index >= config_.shard_count) {
+    throw std::invalid_argument(
+        "ShardServer: shard_index " + std::to_string(config_.shard_index) +
+        " out of range for " + std::to_string(config_.shard_count) +
+        " shard(s)");
+  }
+  if (config_.partition && config_.partition->shards != config_.shard_count) {
+    throw std::invalid_argument(
+        "ShardServer: partition map built for " +
+        std::to_string(config_.partition->shards) +
+        " shard(s), server configured for " +
+        std::to_string(config_.shard_count));
+  }
+}
+
+ShardServer::~ShardServer() { stop(); }
+
+void ShardServer::start() {
+  listener_ = Socket::listen(config_.address);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+std::uint16_t ShardServer::local_port() const { return listener_.local_port(); }
+
+bool ShardServer::owns(int building) const {
+  if (config_.shard_count <= 1) return true;
+  if (config_.partition) return config_.partition->owns(config_.shard_index, building);
+  return building_affinity(building, config_.shard_count) ==
+         config_.shard_index;
+}
+
+std::size_t ShardServer::deploy_owned(const ModelStore& store) {
+  std::size_t deployed = 0;
+  for (const std::string& name : store.names()) {
+    const ModelRecord& record = store.latest(name);
+    if (!owns(record.provenance.building)) continue;
+    engine_.deploy(record);
+    {
+      const std::lock_guard<std::mutex> lock(deploy_mutex_);
+      deployed_[record.provenance.building] = record.version;
+    }
+    ++deployed;
+  }
+  return deployed;
+}
+
+void ShardServer::wait() {
+  std::unique_lock<std::mutex> lock(wait_mutex_);
+  wait_cv_.wait(lock, [this] {
+    return shutdown_.load(std::memory_order_acquire) ||
+           stopping_.load(std::memory_order_acquire);
+  });
+}
+
+void ShardServer::stop() {
+  if (stopping_.exchange(true, std::memory_order_acq_rel)) return;
+  shutdown_.store(true, std::memory_order_release);
+  wait_cv_.notify_all();
+  // shutdown() — not just close() — wakes a thread blocked in accept():
+  // on Linux, closing an fd does not interrupt syscalls already sleeping
+  // on it, but shutting the listener down makes accept return EINVAL.
+  // close() waits until the accept thread has joined so the descriptor
+  // can never be recycled while that thread still refers to it.
+  listener_.shutdown();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.close();
+  // With the accept loop gone no new connections can appear; wake every
+  // live connection's blocked read and join the handlers.
+  std::vector<std::thread> handlers;
+  {
+    const std::lock_guard<std::mutex> lock(threads_mutex_);
+    for (const auto& client : live_connections_) client->shutdown();
+    handlers = std::move(connection_threads_);
+    connection_threads_.clear();
+  }
+  for (std::thread& handler : handlers) {
+    if (handler.joinable()) handler.join();
+  }
+  engine_.stop();
+}
+
+ShardStats ShardServer::stats() const {
+  ShardStats stats;
+  stats.queries_served = queries_served_.load(std::memory_order_relaxed);
+  stats.resident_models =
+      static_cast<std::uint64_t>(engine_.deployed_model_count());
+  stats.queue_depth = static_cast<std::uint64_t>(engine_.queue_depth());
+  const std::lock_guard<std::mutex> lock(deploy_mutex_);
+  stats.staged_models = static_cast<std::uint64_t>(staged_.size());
+  stats.deployed.reserve(deployed_.size());
+  for (const auto& [building, version] : deployed_) {
+    stats.deployed.emplace_back(building, version);
+  }
+  return stats;
+}
+
+void ShardServer::accept_loop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    Socket client;
+    try {
+      client = listener_.accept();
+    } catch (const SocketError&) {
+      // stop() closed the listener (the expected wake-up), or accept hit a
+      // transient error; either way this loop cannot continue safely.
+      return;
+    }
+    if (config_.io_timeout.count() > 0) {
+      try {
+        client.set_io_timeout(config_.io_timeout);
+      } catch (const SocketError&) {
+        continue;  // connection already dead; next accept
+      }
+    }
+    auto shared = std::make_shared<Socket>(std::move(client));
+    const std::lock_guard<std::mutex> lock(threads_mutex_);
+    if (stopping_.load(std::memory_order_acquire)) return;
+    live_connections_.insert(shared);
+    connection_threads_.emplace_back(
+        [this, shared] { serve_connection(shared); });
+  }
+}
+
+void ShardServer::serve_connection(std::shared_ptr<Socket> client) {
+  Frame request;
+  for (;;) {
+    try {
+      if (!recv_frame(*client, request)) break;  // clean disconnect
+    } catch (const std::exception&) {
+      // Torn frame, bad magic, version skew, or stop() half-closing us:
+      // the stream cannot be trusted past this point — drop the
+      // connection. (Other connections and the engine are unaffected.)
+      break;
+    }
+    Frame reply = handle(request);
+    try {
+      send_frame(*client, reply.type, reply.payload);
+    } catch (const std::exception&) {
+      break;  // peer went away mid-reply
+    }
+    if (request.type == MessageType::kShutdown) {
+      // Ack sent; now bring the whole server down. stop() runs on the
+      // wait()er's thread — this handler only signals.
+      shutdown_.store(true, std::memory_order_release);
+      wait_cv_.notify_all();
+      break;
+    }
+  }
+  // Half-close only: stop() may be shutdown()ing this socket concurrently,
+  // and closing here could recycle the descriptor under it. The last
+  // shared_ptr owner (set erasure below + our local copy) closes it — and
+  // while stop() holds threads_mutex_ the set still owns a reference, so
+  // the destructor cannot run under stop()'s hands.
+  client->shutdown();
+  const std::lock_guard<std::mutex> lock(threads_mutex_);
+  live_connections_.erase(client);
+}
+
+Frame ShardServer::handle(const Frame& request) {
+  Frame reply;
+  try {
+    switch (request.type) {
+      case MessageType::kQuery: {
+        QueryRequest query = decode_query(request.payload);
+        QueryResult result =
+            engine_.submit(query.building, std::move(query.fingerprint))
+                .get();
+        queries_served_.fetch_add(1, std::memory_order_relaxed);
+        reply.type = MessageType::kQueryReply;
+        reply.payload = encode_query_reply(result);
+        return reply;
+      }
+      case MessageType::kPublishStage: {
+        const ModelRecord record = decode_publish_stage(request.payload);
+        const int building = record.provenance.building;
+        if (!owns(building)) {
+          // The partition memory contract is enforced HERE, at the shard
+          // boundary: an unowned stage is refused before any snapshot is
+          // built, so a partitioned shard can never grow past its slice.
+          throw std::invalid_argument(
+              "shard " + std::to_string(config_.shard_index) + "/" +
+              std::to_string(config_.shard_count) +
+              " does not own building " + std::to_string(building) +
+              " (partition filter)");
+        }
+        engine_.stage(record);
+        {
+          const std::lock_guard<std::mutex> lock(deploy_mutex_);
+          staged_.insert(building);
+        }
+        reply.type = MessageType::kPublishReply;
+        return reply;
+      }
+      case MessageType::kPublishCommit: {
+        const PublishCommit commit = decode_publish_commit(request.payload);
+        engine_.commit_staged(commit.building);
+        {
+          // Ledger takes the engine's post-swap truth, not the client's
+          // (informational) version field.
+          const std::lock_guard<std::mutex> lock(deploy_mutex_);
+          staged_.erase(commit.building);
+          deployed_[commit.building] =
+              engine_.deployed_version(commit.building);
+        }
+        reply.type = MessageType::kPublishReply;
+        return reply;
+      }
+      case MessageType::kPublishAbort: {
+        const int building = decode_publish_abort(request.payload);
+        engine_.abort_staged(building);
+        {
+          const std::lock_guard<std::mutex> lock(deploy_mutex_);
+          staged_.erase(building);
+        }
+        reply.type = MessageType::kPublishReply;
+        return reply;
+      }
+      case MessageType::kStatsRequest: {
+        reply.type = MessageType::kStatsReply;
+        reply.payload = encode_stats_reply(stats());
+        return reply;
+      }
+      case MessageType::kHealthRequest: {
+        HealthInfo health;
+        health.shard_index = config_.shard_index;
+        health.shard_count = config_.shard_count;
+        reply.type = MessageType::kHealthReply;
+        reply.payload = encode_health_reply(health);
+        return reply;
+      }
+      case MessageType::kShutdown: {
+        reply.type = MessageType::kShutdownAck;
+        return reply;
+      }
+      default: {
+        throw WireError("wire: unexpected message type " +
+                        std::to_string(static_cast<int>(request.type)));
+      }
+    }
+  } catch (const std::invalid_argument& refused) {
+    reply.type = MessageType::kError;
+    reply.payload = encode_error({"invalid_argument", refused.what()});
+  } catch (const std::logic_error& misuse) {
+    reply.type = MessageType::kError;
+    reply.payload = encode_error({"logic_error", misuse.what()});
+  } catch (const std::exception& failure) {
+    reply.type = MessageType::kError;
+    reply.payload = encode_error({"runtime_error", failure.what()});
+  }
+  return reply;
+}
+
+}  // namespace safeloc::serve::remote

@@ -1,0 +1,136 @@
+// ShardServer — one serving shard as a process: a QueryEngine behind the
+// SFRP wire protocol.
+//
+// The server binds a listen address, accepts connections on a dedicated
+// thread, and serves each connection on its own thread with strict
+// request/reply framing (wire.h). Clients are RemoteBackend instances
+// inside a LocalizationService front door — one connection per backend —
+// plus operational callers (republish_daemon, health probes).
+//
+// Partition awareness: a server constructed with shard_index/shard_count
+// (and optionally an explicit PartitionMap) REFUSES to stage models for
+// buildings it does not own. That is the memory contract of a partitioned
+// fleet — each process holds O(owned buildings) resident models, never
+// O(all buildings) — enforced at the shard boundary, not trusted to the
+// client. deploy_owned() warm-loads exactly the owned subset of a
+// ModelStore before traffic arrives.
+//
+// Lifecycle: construct → start() (binds; throws on a taken address) →
+// wait() blocks until either stop() is called locally or a peer sends
+// kShutdown (the clean fleet-teardown path used by benches and CI).
+// stop() closes the listener, half-closes every live connection so
+// blocked reads wake, joins all threads, and stops the engine.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/serve/model_store.h"
+#include "src/serve/partition.h"
+#include "src/serve/query_engine.h"
+#include "src/serve/remote/socket.h"
+#include "src/serve/remote/wire.h"
+
+namespace safeloc::serve::remote {
+
+struct ShardServerConfig {
+  /// Listen address ("unix:<path>" | "tcp:host:port"; tcp port 0 lets the
+  /// kernel pick — read it back via local_port()).
+  std::string address;
+  /// This shard's position in the fleet; drives the partition filter.
+  std::uint32_t shard_index = 0;
+  std::uint32_t shard_count = 1;
+  /// Explicit ownership map; when absent, buildings are owned by FNV
+  /// affinity (building_affinity(b, shard_count) == shard_index).
+  std::optional<PartitionMap> partition;
+  /// Embedded engine configuration.
+  QueryEngineConfig engine{};
+  /// Per-connection read/write deadline; 0 disables (a server mostly
+  /// blocks waiting for the next request, so no deadline is the default).
+  std::chrono::milliseconds io_timeout{0};
+};
+
+class ShardServer {
+ public:
+  explicit ShardServer(ShardServerConfig config);
+  ~ShardServer();
+
+  ShardServer(const ShardServer&) = delete;
+  ShardServer& operator=(const ShardServer&) = delete;
+
+  /// Binds the listen address and starts accepting. Throws SocketError
+  /// when the address is taken or malformed.
+  void start();
+
+  /// Kernel-assigned port after start() on "tcp:...:0".
+  [[nodiscard]] std::uint16_t local_port() const;
+
+  /// Warm-loads the newest version of every model in `store` this shard
+  /// owns (partition filter applied). Returns how many were deployed.
+  std::size_t deploy_owned(const ModelStore& store);
+
+  /// Blocks until stop() is called or a peer sends kShutdown.
+  void wait();
+
+  /// Idempotent shutdown: listener closed, live connections half-closed,
+  /// threads joined, engine stopped. The destructor calls it.
+  void stop();
+
+  /// True once a peer's kShutdown or a local stop() was seen.
+  [[nodiscard]] bool shutdown_requested() const noexcept {
+    return shutdown_.load(std::memory_order_acquire);
+  }
+
+  /// Does this shard own `building` under its partition filter?
+  [[nodiscard]] bool owns(int building) const;
+
+  /// Local snapshot of what a kStatsRequest would report.
+  [[nodiscard]] ShardStats stats() const;
+
+  [[nodiscard]] QueryEngine& engine() noexcept { return engine_; }
+  [[nodiscard]] const ShardServerConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  void accept_loop();
+  void serve_connection(std::shared_ptr<Socket> client);
+  /// Builds the reply frame for one request (never throws; failures become
+  /// kError replies).
+  Frame handle(const Frame& request);
+
+  ShardServerConfig config_;
+  QueryEngine engine_;
+
+  Socket listener_;
+  std::thread accept_thread_;
+  std::mutex threads_mutex_;
+  std::vector<std::thread> connection_threads_;
+  /// Live connection sockets, half-closed by stop() to wake blocked reads.
+  std::set<std::shared_ptr<Socket>> live_connections_;
+
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> shutdown_{false};
+  std::mutex wait_mutex_;
+  std::condition_variable wait_cv_;
+
+  std::atomic<std::uint64_t> queries_served_{0};
+  /// Deploy bookkeeping for stats(): building → serving version, plus the
+  /// buildings currently staged-but-uncommitted. The server mediates every
+  /// stage/commit/abort, so this mirrors the engine's tables exactly.
+  mutable std::mutex deploy_mutex_;
+  std::map<int, std::uint32_t> deployed_;
+  std::set<int> staged_;
+};
+
+}  // namespace safeloc::serve::remote

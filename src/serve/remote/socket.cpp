@@ -1,0 +1,298 @@
+#include "src/serve/remote/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+namespace safeloc::serve::remote {
+namespace {
+
+[[noreturn]] void fail(const std::string& what, const std::string& address,
+                       int err = errno) {
+  throw SocketError("Socket: " + what + " (" + address +
+                    "): " + std::strerror(err));
+}
+
+struct ParsedAddress {
+  bool is_unix = false;
+  std::string path;          // unix
+  std::string host;          // tcp
+  std::uint16_t port = 0;    // tcp
+};
+
+ParsedAddress parse_address(const std::string& address) {
+  ParsedAddress parsed;
+  if (address.rfind("unix:", 0) == 0) {
+    parsed.is_unix = true;
+    parsed.path = address.substr(5);
+    if (parsed.path.empty()) {
+      throw SocketError("Socket: empty unix path in \"" + address + "\"");
+    }
+    if (parsed.path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+      throw SocketError("Socket: unix path too long in \"" + address + "\"");
+    }
+    return parsed;
+  }
+  if (address.rfind("tcp:", 0) == 0) {
+    const std::string rest = address.substr(4);
+    const std::size_t colon = rest.rfind(':');
+    if (colon == std::string::npos) {
+      throw SocketError("Socket: tcp address needs host:port in \"" + address +
+                        "\"");
+    }
+    parsed.host = rest.substr(0, colon);
+    const std::string port_text = rest.substr(colon + 1);
+    errno = 0;
+    char* end = nullptr;
+    const long port = std::strtol(port_text.c_str(), &end, 10);
+    if (errno != 0 || end == port_text.c_str() || *end != '\0' || port < 0 ||
+        port > 65535) {
+      throw SocketError("Socket: bad tcp port in \"" + address + "\"");
+    }
+    parsed.port = static_cast<std::uint16_t>(port);
+    return parsed;
+  }
+  throw SocketError("Socket: address must start with unix: or tcp: (got \"" +
+                    address + "\")");
+}
+
+sockaddr_in tcp_sockaddr(const ParsedAddress& parsed, bool for_listen,
+                         const std::string& address) {
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(parsed.port);
+  if (parsed.host.empty() || parsed.host == "*") {
+    if (!for_listen) {
+      throw SocketError("Socket: connect needs a concrete host in \"" +
+                        address + "\"");
+    }
+    sa.sin_addr.s_addr = htonl(INADDR_ANY);
+  } else if (parsed.host == "localhost") {
+    sa.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  } else if (inet_pton(AF_INET, parsed.host.c_str(), &sa.sin_addr) != 1) {
+    throw SocketError("Socket: host must be numeric IPv4, localhost, or * "
+                      "in \"" + address + "\"");
+  }
+  return sa;
+}
+
+sockaddr_un unix_sockaddr(const ParsedAddress& parsed) {
+  sockaddr_un sa{};
+  sa.sun_family = AF_UNIX;
+  std::memcpy(sa.sun_path, parsed.path.c_str(), parsed.path.size() + 1);
+  return sa;
+}
+
+void set_nonblocking(int fd, bool nonblocking, const std::string& address) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0) fail("fcntl(F_GETFL)", address);
+  const int next = nonblocking ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (fcntl(fd, F_SETFL, next) < 0) fail("fcntl(F_SETFL)", address);
+}
+
+}  // namespace
+
+Socket::~Socket() { close(); }
+
+Socket::Socket(Socket&& other) noexcept
+    : fd_(other.fd_.exchange(-1)), address_(std::move(other.address_)) {}
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_.store(other.fd_.exchange(-1));
+    address_ = std::move(other.address_);
+  }
+  return *this;
+}
+
+Socket Socket::connect(const std::string& address,
+                       std::chrono::milliseconds timeout) {
+  const ParsedAddress parsed = parse_address(address);
+  const int fd =
+      ::socket(parsed.is_unix ? AF_UNIX : AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) fail("socket", address);
+  Socket socket(fd, address);
+
+  sockaddr_un su{};
+  sockaddr_in si{};
+  const sockaddr* sa = nullptr;
+  socklen_t sa_len = 0;
+  if (parsed.is_unix) {
+    su = unix_sockaddr(parsed);
+    sa = reinterpret_cast<const sockaddr*>(&su);
+    sa_len = sizeof(su);
+  } else {
+    si = tcp_sockaddr(parsed, /*for_listen=*/false, address);
+    sa = reinterpret_cast<const sockaddr*>(&si);
+    sa_len = sizeof(si);
+  }
+
+  // Non-blocking connect so the caller's timeout — not the kernel's
+  // multi-minute TCP default — bounds how long a dead endpoint can stall
+  // a RemoteBackend.
+  set_nonblocking(fd, true, address);
+  if (::connect(fd, sa, sa_len) < 0) {
+    if (errno != EINPROGRESS && errno != EAGAIN) fail("connect", address);
+    pollfd pfd{fd, POLLOUT, 0};
+    const int ready =
+        ::poll(&pfd, 1, static_cast<int>(timeout.count()));
+    if (ready < 0) fail("poll", address);
+    if (ready == 0) fail("connect", address, ETIMEDOUT);
+    int err = 0;
+    socklen_t err_len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len) < 0) {
+      fail("getsockopt(SO_ERROR)", address);
+    }
+    if (err != 0) fail("connect", address, err);
+  }
+  set_nonblocking(fd, false, address);
+  if (!parsed.is_unix) {
+    const int one = 1;
+    // Frames are small request/reply pairs; Nagle only adds latency.
+    (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+  return socket;
+}
+
+Socket Socket::listen(const std::string& address, int backlog) {
+  const ParsedAddress parsed = parse_address(address);
+  const int fd =
+      ::socket(parsed.is_unix ? AF_UNIX : AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) fail("socket", address);
+  Socket socket(fd, address);
+
+  if (parsed.is_unix) {
+    // A previous server killed without cleanup leaves the socket file
+    // behind; bind would fail with EADDRINUSE forever.
+    (void)::unlink(parsed.path.c_str());
+    const sockaddr_un su = unix_sockaddr(parsed);
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&su), sizeof(su)) < 0) {
+      fail("bind", address);
+    }
+  } else {
+    const int one = 1;
+    (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    const sockaddr_in si = tcp_sockaddr(parsed, /*for_listen=*/true, address);
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&si), sizeof(si)) < 0) {
+      fail("bind", address);
+    }
+  }
+  if (::listen(fd, backlog) < 0) fail("listen", address);
+  return socket;
+}
+
+Socket Socket::accept() {
+  if (fd_ < 0) {
+    throw SocketError("Socket: accept on closed listener (" + address_ + ")");
+  }
+  const int fd = ::accept(fd_, nullptr, nullptr);
+  if (fd < 0) fail("accept", address_);
+  return Socket(fd, address_);
+}
+
+void Socket::set_io_timeout(std::chrono::milliseconds timeout) {
+  if (fd_ < 0) {
+    throw SocketError("Socket: set_io_timeout on closed socket (" + address_ +
+                      ")");
+  }
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) < 0 ||
+      ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) < 0) {
+    fail("setsockopt(timeout)", address_);
+  }
+}
+
+void Socket::read_exact(void* data, std::size_t bytes) {
+  if (!read_exact_or_eof(data, bytes)) {
+    throw SocketError("Socket: connection closed by peer (" + address_ + ")");
+  }
+}
+
+bool Socket::read_exact_or_eof(void* data, std::size_t bytes) {
+  if (fd_ < 0) {
+    throw SocketError("Socket: read on closed socket (" + address_ + ")");
+  }
+  auto* p = static_cast<char*>(data);
+  std::size_t done = 0;
+  while (done < bytes) {
+    const ssize_t n = ::recv(fd_, p + done, bytes - done, 0);
+    if (n > 0) {
+      done += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n == 0) {
+      if (done == 0) return false;  // clean close between frames
+      throw SocketError("Socket: peer closed mid-read after " +
+                        std::to_string(done) + " of " +
+                        std::to_string(bytes) + " bytes (" + address_ +
+                        ") — torn frame");
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      fail("read timed out", address_, ETIMEDOUT);
+    }
+    fail("recv", address_);
+  }
+  return true;
+}
+
+void Socket::write_all(const void* data, std::size_t bytes) {
+  if (fd_ < 0) {
+    throw SocketError("Socket: write on closed socket (" + address_ + ")");
+  }
+  const auto* p = static_cast<const char*>(data);
+  std::size_t done = 0;
+  while (done < bytes) {
+    const ssize_t n = ::send(fd_, p + done, bytes - done, MSG_NOSIGNAL);
+    if (n > 0) {
+      done += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      fail("write timed out", address_, ETIMEDOUT);
+    }
+    fail("send", address_);
+  }
+}
+
+std::uint16_t Socket::local_port() const {
+  if (fd_ < 0) {
+    throw SocketError("Socket: local_port on closed socket (" + address_ +
+                      ")");
+  }
+  sockaddr_in si{};
+  socklen_t len = sizeof(si);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&si), &len) < 0 ||
+      si.sin_family != AF_INET) {
+    throw SocketError("Socket: local_port needs a tcp socket (" + address_ +
+                      ")");
+  }
+  return ntohs(si.sin_port);
+}
+
+void Socket::shutdown() noexcept {
+  const int fd = fd_.load();
+  if (fd >= 0) (void)::shutdown(fd, SHUT_RDWR);
+}
+
+void Socket::close() noexcept {
+  const int fd = fd_.exchange(-1);
+  if (fd >= 0) (void)::close(fd);
+}
+
+}  // namespace safeloc::serve::remote

@@ -1,0 +1,110 @@
+// Socket — a minimal RAII wrapper over POSIX stream sockets, the transport
+// under the fleet wire protocol (wire.h).
+//
+// Addresses are strings so every knob in the stack (env vars, CLI flags,
+// bench configs) can name an endpoint the same way:
+//
+//   "unix:/tmp/safeloc-shard0.sock"   Unix domain socket (default for
+//                                     single-host fleets: no ports to
+//                                     collide, filesystem permissions)
+//   "tcp:127.0.0.1:7401"              TCP (multi-host fleets); host may be
+//                                     a numeric IPv4 address, "localhost",
+//                                     or "*" / "" for INADDR_ANY listeners.
+//                                     Port 0 asks the kernel for a free
+//                                     port — read it back via local_port().
+//
+// The wrapper is deliberately synchronous: the wire protocol is strict
+// request/reply, so blocking reads with SO_RCVTIMEO deadlines (set_io_timeout)
+// are simpler and no slower than a reactor. Connect honours its own timeout
+// via a non-blocking connect + poll. All errors throw SocketError carrying
+// the peer address and errno text.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace safeloc::serve::remote {
+
+class SocketError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Socket {
+ public:
+  /// Invalid (moved-from / default) socket; every operation throws.
+  Socket() = default;
+  ~Socket();
+
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  /// Connects to `address` ("unix:<path>" | "tcp:host:port") within
+  /// `timeout`. Throws SocketError on refusal, timeout, or a malformed
+  /// address.
+  static Socket connect(const std::string& address,
+                        std::chrono::milliseconds timeout);
+
+  /// Binds and listens on `address`. A unix path is unlinked first (stale
+  /// socket files from a killed server must not block restart); tcp
+  /// listeners set SO_REUSEADDR. Throws SocketError on failure.
+  static Socket listen(const std::string& address, int backlog = 16);
+
+  /// Accepts one connection (blocking). Throws SocketError when the listen
+  /// socket fails — including when another thread close()s it to stop an
+  /// accept loop, the intended shutdown path.
+  [[nodiscard]] Socket accept();
+
+  /// Deadline for every subsequent read/write (SO_RCVTIMEO / SO_SNDTIMEO);
+  /// zero disables. An expired deadline surfaces as a SocketError from
+  /// read_exact / write_all.
+  void set_io_timeout(std::chrono::milliseconds timeout);
+
+  /// Reads exactly `bytes`. Throws SocketError on timeout, error, or EOF
+  /// (both the clean and mid-buffer kind — use read_exact_or_eof when a
+  /// clean close is an expected outcome).
+  void read_exact(void* data, std::size_t bytes);
+
+  /// Like read_exact, but a clean EOF *before the first byte* returns
+  /// false (peer hung up between frames — normal disconnect). EOF after a
+  /// partial read still throws: that is a torn frame, never normal.
+  [[nodiscard]] bool read_exact_or_eof(void* data, std::size_t bytes);
+
+  /// Writes exactly `bytes` (SIGPIPE suppressed; a closed peer surfaces as
+  /// SocketError instead). Throws SocketError on timeout or error.
+  void write_all(const void* data, std::size_t bytes);
+
+  /// Kernel-assigned port of a tcp listener (use after listen on port 0).
+  /// Throws SocketError for unix/invalid sockets.
+  [[nodiscard]] std::uint16_t local_port() const;
+
+  /// Half-close both directions; safe on an invalid socket. Wakes peers
+  /// blocked in read.
+  void shutdown() noexcept;
+  /// Releases the fd; safe to call repeatedly. Unblocks accept().
+  void close() noexcept;
+
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  /// The address this socket was connected / bound to (diagnostics).
+  [[nodiscard]] const std::string& address() const noexcept {
+    return address_;
+  }
+
+ private:
+  Socket(int fd, std::string address)
+      : fd_(fd), address_(std::move(address)) {}
+
+  // Atomic so one thread may shutdown()/close() a socket another thread is
+  // blocked on (the server-stop wake-up path) without a data race on the
+  // descriptor value itself.
+  std::atomic<int> fd_{-1};
+  std::string address_;
+};
+
+}  // namespace safeloc::serve::remote

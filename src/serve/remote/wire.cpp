@@ -1,0 +1,255 @@
+#include "src/serve/remote/wire.h"
+
+#include <cstring>
+#include <sstream>
+
+#include "src/rss/dataset.h"
+#include "src/util/binary_io.h"
+
+namespace safeloc::serve::remote {
+namespace {
+
+constexpr const char* kContext = "wire";
+
+/// Frame header, exactly 16 bytes with natural alignment — transmitted as
+/// raw little-endian memory, matching binary_io's fixed-width convention.
+struct FrameHeader {
+  std::uint32_t magic = kWireMagic;
+  std::uint16_t version = kWireVersion;
+  std::uint16_t type = 0;
+  std::uint64_t payload_bytes = 0;
+};
+static_assert(sizeof(FrameHeader) == 16, "wire header must be 16 bytes");
+
+using util::read_pod;
+using util::read_string;
+using util::write_pod;
+using util::write_string;
+
+/// Element-count sanity bounds: a count above these means a corrupt or
+/// hostile payload, and resize()ing to it would be an allocation bomb.
+constexpr std::uint64_t kMaxFingerprintDim = rss::kFeatureDim * 64;
+constexpr std::uint64_t kMaxTopK = 1 << 16;
+constexpr std::uint64_t kMaxDeployedEntries = 1 << 20;
+
+void check_count(std::uint64_t count, std::uint64_t bound, const char* what) {
+  if (count > bound) {
+    throw WireError(std::string("wire: implausible ") + what + " count " +
+                    std::to_string(count));
+  }
+}
+
+}  // namespace
+
+void send_frame(Socket& socket, MessageType type, const std::string& payload) {
+  if (payload.size() > kMaxFrameBytes) {
+    throw WireError("wire: frame payload of " +
+                    std::to_string(payload.size()) + " bytes exceeds cap");
+  }
+  FrameHeader header;
+  header.type = static_cast<std::uint16_t>(type);
+  header.payload_bytes = payload.size();
+  // One header+payload buffer per frame: a single write keeps small
+  // request/reply frames in one TCP segment.
+  std::string buffer(sizeof(header) + payload.size(), '\0');
+  std::memcpy(buffer.data(), &header, sizeof(header));
+  std::memcpy(buffer.data() + sizeof(header), payload.data(), payload.size());
+  socket.write_all(buffer.data(), buffer.size());
+}
+
+bool recv_frame(Socket& socket, Frame& frame) {
+  FrameHeader header;
+  if (!socket.read_exact_or_eof(&header, sizeof(header))) return false;
+  if (header.magic != kWireMagic) {
+    throw WireError("wire: bad frame magic (not an SFRP peer?)");
+  }
+  if (header.version != kWireVersion) {
+    throw WireError("wire: protocol version mismatch (peer v" +
+                    std::to_string(header.version) + ", this build v" +
+                    std::to_string(kWireVersion) + ")");
+  }
+  if (header.payload_bytes > kMaxFrameBytes) {
+    throw WireError("wire: frame payload of " +
+                    std::to_string(header.payload_bytes) +
+                    " bytes exceeds cap (corrupt header?)");
+  }
+  frame.type = static_cast<MessageType>(header.type);
+  frame.payload.resize(static_cast<std::size_t>(header.payload_bytes));
+  if (!frame.payload.empty()) {
+    // A clean EOF here is NOT ok — the header promised a payload.
+    socket.read_exact(frame.payload.data(), frame.payload.size());
+  }
+  return true;
+}
+
+std::string encode_query(const QueryRequest& query) {
+  std::ostringstream out(std::ios::binary);
+  write_pod(out, static_cast<std::int32_t>(query.building));
+  write_pod(out, static_cast<std::uint64_t>(query.fingerprint.size()));
+  for (const float v : query.fingerprint) write_pod(out, v);
+  return std::move(out).str();
+}
+
+QueryRequest decode_query(const std::string& payload) {
+  std::istringstream in(payload, std::ios::binary);
+  QueryRequest query;
+  query.building = read_pod<std::int32_t>(in, kContext);
+  const auto dim = read_pod<std::uint64_t>(in, kContext);
+  check_count(dim, kMaxFingerprintDim, "fingerprint");
+  query.fingerprint.resize(static_cast<std::size_t>(dim));
+  for (float& v : query.fingerprint) v = read_pod<float>(in, kContext);
+  util::expect_exhausted(in, kContext);
+  return query;
+}
+
+std::string encode_query_reply(const QueryResult& result) {
+  std::ostringstream out(std::ios::binary);
+  write_pod(out, static_cast<std::int32_t>(result.building));
+  write_pod(out, static_cast<std::int32_t>(result.rp));
+  write_pod(out, result.position.x);
+  write_pod(out, result.position.y);
+  write_pod(out, static_cast<std::uint64_t>(result.top_k.size()));
+  for (const RankedClass& ranked : result.top_k) {
+    write_pod(out, static_cast<std::int32_t>(ranked.label));
+    write_pod(out, ranked.confidence);
+  }
+  write_pod(out, result.model_version);
+  write_pod(out, result.latency_us);
+  return std::move(out).str();
+}
+
+QueryResult decode_query_reply(const std::string& payload) {
+  std::istringstream in(payload, std::ios::binary);
+  QueryResult result;
+  result.building = read_pod<std::int32_t>(in, kContext);
+  result.rp = read_pod<std::int32_t>(in, kContext);
+  result.position.x = read_pod<double>(in, kContext);
+  result.position.y = read_pod<double>(in, kContext);
+  const auto ranked = read_pod<std::uint64_t>(in, kContext);
+  check_count(ranked, kMaxTopK, "top_k");
+  result.top_k.resize(static_cast<std::size_t>(ranked));
+  for (RankedClass& entry : result.top_k) {
+    entry.label = read_pod<std::int32_t>(in, kContext);
+    entry.confidence = read_pod<float>(in, kContext);
+  }
+  result.model_version = read_pod<std::uint32_t>(in, kContext);
+  result.latency_us = read_pod<double>(in, kContext);
+  util::expect_exhausted(in, kContext);
+  return result;
+}
+
+std::string encode_publish_stage(const ModelRecord& record) {
+  std::ostringstream out(std::ios::binary);
+  // Tag with the SFST format so a future v3 record layout can coexist with
+  // v2 peers the same way ModelStore::load handles old files.
+  write_pod(out, kStoreFormatVersion);
+  write_model_record(out, record);
+  return std::move(out).str();
+}
+
+ModelRecord decode_publish_stage(const std::string& payload) {
+  std::istringstream in(payload, std::ios::binary);
+  const auto format = read_pod<std::uint32_t>(in, kContext);
+  if (format < 1 || format > kStoreFormatVersion) {
+    throw WireError("wire: unsupported record format v" +
+                    std::to_string(format) + " in publish stage");
+  }
+  ModelRecord record = read_model_record(in, format, kContext);
+  util::expect_exhausted(in, kContext);
+  return record;
+}
+
+std::string encode_publish_commit(const PublishCommit& commit) {
+  std::ostringstream out(std::ios::binary);
+  write_pod(out, static_cast<std::int32_t>(commit.building));
+  write_pod(out, commit.version);
+  return std::move(out).str();
+}
+
+PublishCommit decode_publish_commit(const std::string& payload) {
+  std::istringstream in(payload, std::ios::binary);
+  PublishCommit commit;
+  commit.building = read_pod<std::int32_t>(in, kContext);
+  commit.version = read_pod<std::uint32_t>(in, kContext);
+  util::expect_exhausted(in, kContext);
+  return commit;
+}
+
+std::string encode_publish_abort(int building) {
+  std::ostringstream out(std::ios::binary);
+  write_pod(out, static_cast<std::int32_t>(building));
+  return std::move(out).str();
+}
+
+int decode_publish_abort(const std::string& payload) {
+  std::istringstream in(payload, std::ios::binary);
+  const auto building = read_pod<std::int32_t>(in, kContext);
+  util::expect_exhausted(in, kContext);
+  return building;
+}
+
+std::string encode_stats_reply(const ShardStats& stats) {
+  std::ostringstream out(std::ios::binary);
+  write_pod(out, stats.queries_served);
+  write_pod(out, stats.resident_models);
+  write_pod(out, stats.staged_models);
+  write_pod(out, stats.queue_depth);
+  write_pod(out, static_cast<std::uint64_t>(stats.deployed.size()));
+  for (const auto& [building, version] : stats.deployed) {
+    write_pod(out, building);
+    write_pod(out, version);
+  }
+  return std::move(out).str();
+}
+
+ShardStats decode_stats_reply(const std::string& payload) {
+  std::istringstream in(payload, std::ios::binary);
+  ShardStats stats;
+  stats.queries_served = read_pod<std::uint64_t>(in, kContext);
+  stats.resident_models = read_pod<std::uint64_t>(in, kContext);
+  stats.staged_models = read_pod<std::uint64_t>(in, kContext);
+  stats.queue_depth = read_pod<std::uint64_t>(in, kContext);
+  const auto entries = read_pod<std::uint64_t>(in, kContext);
+  check_count(entries, kMaxDeployedEntries, "deployed-model");
+  stats.deployed.resize(static_cast<std::size_t>(entries));
+  for (auto& [building, version] : stats.deployed) {
+    building = read_pod<std::int32_t>(in, kContext);
+    version = read_pod<std::uint32_t>(in, kContext);
+  }
+  util::expect_exhausted(in, kContext);
+  return stats;
+}
+
+std::string encode_health_reply(const HealthInfo& health) {
+  std::ostringstream out(std::ios::binary);
+  write_pod(out, health.shard_index);
+  write_pod(out, health.shard_count);
+  return std::move(out).str();
+}
+
+HealthInfo decode_health_reply(const std::string& payload) {
+  std::istringstream in(payload, std::ios::binary);
+  HealthInfo health;
+  health.shard_index = read_pod<std::uint32_t>(in, kContext);
+  health.shard_count = read_pod<std::uint32_t>(in, kContext);
+  util::expect_exhausted(in, kContext);
+  return health;
+}
+
+std::string encode_error(const ErrorReply& error) {
+  std::ostringstream out(std::ios::binary);
+  write_string(out, error.kind);
+  write_string(out, error.message);
+  return std::move(out).str();
+}
+
+ErrorReply decode_error(const std::string& payload) {
+  std::istringstream in(payload, std::ios::binary);
+  ErrorReply error;
+  error.kind = read_string(in, kContext);
+  error.message = read_string(in, kContext);
+  util::expect_exhausted(in, kContext);
+  return error;
+}
+
+}  // namespace safeloc::serve::remote

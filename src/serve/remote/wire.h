@@ -1,0 +1,164 @@
+// Fleet wire protocol ("SFRP") — length-prefixed binary frames carrying the
+// QueryBackend contract between LocalizationService (RemoteBackend client)
+// and shard_server processes.
+//
+// Every frame is a fixed 16-byte header followed by `payload_bytes` of
+// payload:
+//
+//   offset  size  field
+//   0       4     magic          0x53465250 "SFRP"
+//   4       2     version        kWireVersion; mismatch rejects the frame
+//   6       2     type           MessageType
+//   8       8     payload_bytes  bounded by kMaxFrameBytes
+//
+// Payloads reuse util/binary_io.h primitives (fixed-width little-endian
+// PODs, u32-length-prefixed strings) — the same conventions as the SFST
+// model store on disk — and a published ModelRecord crosses the wire via
+// write_model_record/read_model_record, byte-identical to how it rests in
+// an SFST file.
+//
+// Message flow (strict request/reply per connection):
+//
+//   request          reply            payload (request / reply)
+//   kQuery           kQueryReply      building + fingerprint / QueryResult
+//   kPublishStage    kPublishReply    format tag + ModelRecord / empty
+//   kPublishCommit   kPublishReply    building + version / empty
+//   kPublishAbort    kPublishReply    building / empty
+//   kStatsRequest    kStatsReply      empty / ShardStats
+//   kHealthRequest   kHealthReply     empty / HealthInfo
+//   kShutdown        kShutdownAck     empty / empty (server exits after)
+//
+// Any request the server cannot honour is answered with kError carrying a
+// human-readable reason; the client maps it back to the exception the local
+// backend would have thrown (std::invalid_argument for refused requests,
+// WireError for protocol skew). Transport failures (refused connection,
+// timeout, torn frame) surface as SocketError and become
+// BackendUnavailable in RemoteBackend.
+//
+// Hardening: recv_frame validates magic, version, and payload bound before
+// reading the payload; decoders run expect_exhausted so trailing bytes
+// (format skew between peers) fail loudly instead of desynchronizing the
+// stream.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/serve/backend.h"
+#include "src/serve/model_store.h"
+#include "src/serve/remote/socket.h"
+
+namespace safeloc::serve::remote {
+
+inline constexpr std::uint32_t kWireMagic = 0x53465250;  // "SFRP"
+inline constexpr std::uint16_t kWireVersion = 1;
+/// Upper bound on one frame's payload. Generous for paper-scale model
+/// records (a few MiB); a length above it means a corrupt or hostile
+/// header, and reading it would be an allocation bomb.
+inline constexpr std::uint64_t kMaxFrameBytes = 256ull << 20;
+
+/// Malformed or version-skewed traffic (bad magic, oversized frame,
+/// trailing payload bytes, kError reply to a protocol step). Distinct from
+/// SocketError: the transport worked, the bytes were wrong.
+class WireError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+enum class MessageType : std::uint16_t {
+  kQuery = 1,
+  kQueryReply = 2,
+  kPublishStage = 3,
+  kPublishCommit = 4,
+  kPublishAbort = 5,
+  kPublishReply = 6,
+  kStatsRequest = 7,
+  kStatsReply = 8,
+  kHealthRequest = 9,
+  kHealthReply = 10,
+  kError = 11,
+  kShutdown = 12,
+  kShutdownAck = 13,
+};
+
+struct Frame {
+  MessageType type = MessageType::kError;
+  std::string payload;
+};
+
+/// Writes one frame (header + payload). Throws SocketError on transport
+/// failure, WireError when `payload` exceeds kMaxFrameBytes.
+void send_frame(Socket& socket, MessageType type, const std::string& payload);
+
+/// Reads one frame. Returns false on a clean peer close before the header
+/// (normal disconnect). Throws WireError on bad magic / version mismatch /
+/// oversized payload, SocketError on transport failure or a torn frame.
+[[nodiscard]] bool recv_frame(Socket& socket, Frame& frame);
+
+// --- payload codecs --------------------------------------------------------
+// Encoders return the payload string for send_frame; decoders parse a
+// received payload and throw WireError (via truncation/trailing-byte
+// checks) when the bytes do not decode cleanly.
+
+struct QueryRequest {
+  int building = 0;
+  std::vector<float> fingerprint;
+};
+
+[[nodiscard]] std::string encode_query(const QueryRequest& query);
+[[nodiscard]] QueryRequest decode_query(const std::string& payload);
+
+[[nodiscard]] std::string encode_query_reply(const QueryResult& result);
+[[nodiscard]] QueryResult decode_query_reply(const std::string& payload);
+
+/// Stage payload = SFST format tag + the record in SFST record layout.
+[[nodiscard]] std::string encode_publish_stage(const ModelRecord& record);
+[[nodiscard]] ModelRecord decode_publish_stage(const std::string& payload);
+
+struct PublishCommit {
+  int building = 0;
+  std::uint32_t version = 0;
+};
+
+[[nodiscard]] std::string encode_publish_commit(const PublishCommit& commit);
+[[nodiscard]] PublishCommit decode_publish_commit(const std::string& payload);
+
+[[nodiscard]] std::string encode_publish_abort(int building);
+[[nodiscard]] int decode_publish_abort(const std::string& payload);
+
+/// One shard's self-report — the per-shard memory-footprint evidence
+/// (resident_models is O(owned buildings) under a partition, O(all
+/// buildings) replicated).
+struct ShardStats {
+  std::uint64_t queries_served = 0;
+  std::uint64_t resident_models = 0;
+  std::uint64_t staged_models = 0;
+  std::uint64_t queue_depth = 0;
+  /// (building, serving version) per resident model, building ascending.
+  std::vector<std::pair<std::int32_t, std::uint32_t>> deployed;
+};
+
+[[nodiscard]] std::string encode_stats_reply(const ShardStats& stats);
+[[nodiscard]] ShardStats decode_stats_reply(const std::string& payload);
+
+struct HealthInfo {
+  std::uint32_t shard_index = 0;
+  std::uint32_t shard_count = 1;
+};
+
+[[nodiscard]] std::string encode_health_reply(const HealthInfo& health);
+[[nodiscard]] HealthInfo decode_health_reply(const std::string& payload);
+
+/// kError payload: `kind` selects the client-side exception
+/// ("invalid_argument" | "logic_error" | anything else → WireError),
+/// `message` is the server-side what().
+struct ErrorReply {
+  std::string kind;
+  std::string message;
+};
+
+[[nodiscard]] std::string encode_error(const ErrorReply& error);
+[[nodiscard]] ErrorReply decode_error(const std::string& payload);
+
+}  // namespace safeloc::serve::remote

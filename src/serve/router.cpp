@@ -53,6 +53,13 @@ std::size_t LeastLoadedRouter::route(int /*building*/,
   return best;
 }
 
+std::size_t PartitionRouter::route(int building,
+                                   std::span<const float> /*fingerprint*/,
+                                   const ShardView& view) {
+  if (view.shard_count() <= 1) return 0;
+  return static_cast<std::size_t>(partition_.owner_of(building));
+}
+
 std::unique_ptr<Router> make_router(const std::string& policy) {
   if (policy == "hash") return std::make_unique<HashRouter>();
   if (policy == "round_robin") return std::make_unique<RoundRobinRouter>();

@@ -13,6 +13,10 @@
 //   * LeastLoadedRouter — picks the shard with the smallest outstanding
 //     queue depth (ties rotate round-robin so an idle fleet still spreads);
 //     adapts to skewed request costs and stragglers.
+//   * PartitionRouter — routes by building ownership (PartitionMap): the
+//     only correct policy for a *partitioned* fleet, where each shard holds
+//     just the models it owns and a query sent anywhere else would find no
+//     deployment.
 //
 // route() must be thread-safe: the service calls it from every producer
 // thread concurrently.
@@ -23,6 +27,8 @@
 #include <memory>
 #include <span>
 #include <string>
+
+#include "src/serve/partition.h"
 
 namespace safeloc::serve {
 
@@ -87,9 +93,30 @@ class LeastLoadedRouter final : public Router {
   std::atomic<std::uint64_t> tie_break_{0};
 };
 
+class PartitionRouter final : public Router {
+ public:
+  explicit PartitionRouter(PartitionMap partition)
+      : partition_(std::move(partition)) {}
+
+  [[nodiscard]] std::string name() const override { return "partition"; }
+  /// The owning shard (clamped by the service if the map is wider than the
+  /// fleet). Stateless per request — placement is the map.
+  [[nodiscard]] std::size_t route(int building,
+                                  std::span<const float> fingerprint,
+                                  const ShardView& view) override;
+
+  [[nodiscard]] const PartitionMap& partition() const noexcept {
+    return partition_;
+  }
+
+ private:
+  PartitionMap partition_;
+};
+
 /// Router by policy name ("hash", "round_robin", "least_loaded") — how
 /// benches and configs select a policy. Throws std::invalid_argument for an
-/// unknown name.
+/// unknown name. PartitionRouter is not nameable here: it needs a
+/// PartitionMap, so construct it directly.
 [[nodiscard]] std::unique_ptr<Router> make_router(const std::string& policy);
 
 }  // namespace safeloc::serve

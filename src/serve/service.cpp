@@ -1,5 +1,6 @@
 #include "src/serve/service.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -13,6 +14,8 @@ LocalizationService::LocalizationService(ServiceConfig config) {
   }
   router_ = std::make_unique<HashRouter>();
   routed_ = std::make_unique<std::atomic<std::uint64_t>[]>(shards_.size());
+  shard_errors_ =
+      std::make_unique<std::atomic<std::uint64_t>[]>(shards_.size());
 }
 
 LocalizationService::LocalizationService(
@@ -28,6 +31,8 @@ LocalizationService::LocalizationService(
   }
   router_ = std::make_unique<HashRouter>();
   routed_ = std::make_unique<std::atomic<std::uint64_t>[]>(shards_.size());
+  shard_errors_ =
+      std::make_unique<std::atomic<std::uint64_t>[]>(shards_.size());
 }
 
 LocalizationService::~LocalizationService() = default;
@@ -47,27 +52,69 @@ void LocalizationService::add_admission(
   admission_.push_back(std::move(policy));
 }
 
+void LocalizationService::set_partition(PartitionMap partition) {
+  if (partition.shards != shards_.size()) {
+    throw std::invalid_argument(
+        "LocalizationService::set_partition: map built for " +
+        std::to_string(partition.shards) + " shard(s), fleet has " +
+        std::to_string(shards_.size()));
+  }
+  const std::lock_guard<std::mutex> publish_lock(publish_mutex_);
+  partition_ = std::move(partition);
+}
+
 void LocalizationService::publish(const ModelRecord& record) {
   // One publisher at a time: two concurrent publishes for the same
-  // building must not interleave their per-shard deploys, or the fleet
+  // building must not interleave their per-shard phases, or the fleet
   // could settle with shards on different versions.
   const std::lock_guard<std::mutex> publish_lock(publish_mutex_);
+  const int building = record.provenance.building;
   // Validate the record before anything observes it: a record no shard
   // would accept must not calibrate the admission chain either.
   (void)make_deployed_model(record, "LocalizationService::publish");
-  // Admission calibrates BEFORE the shards swap. Queries racing the swap
-  // may briefly be judged by the new model's calibration while still
-  // answered by the old snapshot — the availability-safe direction: a
-  // looser new threshold (e.g. the post-rounds RCE drift) can only
-  // under-flag for an instant, never burst-reject benign traffic. The
-  // reverse order would score the new model against the old calibration.
-  for (const auto& policy : admission_) policy->on_publish(record);
-  // Every shard validates and swaps to the new snapshot before anyone is
-  // told about the version — a submission made after publish() returns can
-  // only land on a shard already serving `record.version`.
-  for (const auto& shard : shards_) shard->deploy(record);
+
+  // Partitioned fleets deploy each building only to its owning shard;
+  // replicated fleets (no partition) deploy everywhere.
+  std::vector<QueryBackend*> targets;
+  if (partition_) {
+    targets.push_back(
+        shards_[std::min<std::size_t>(partition_->owner_of(building),
+                                      shards_.size() - 1)]
+            .get());
+  } else {
+    targets.reserve(shards_.size());
+    for (const auto& shard : shards_) targets.push_back(shard.get());
+  }
+
+  // Phase 1 — stage on every target. All the fallible work (snapshot
+  // extraction, width validation, remote transfer) happens here, before
+  // ANY shard serves the new version; one refusal aborts the staged
+  // snapshots everywhere and the fleet keeps its previous versions intact.
+  std::size_t staged = 0;
+  try {
+    for (; staged < targets.size(); ++staged) targets[staged]->stage(record);
+    // Admission calibrates BEFORE the shards swap. Queries racing the swap
+    // may briefly be judged by the new model's calibration while still
+    // answered by the old snapshot — the availability-safe direction: a
+    // looser new threshold (e.g. the post-rounds RCE drift) can only
+    // under-flag for an instant, never burst-reject benign traffic. The
+    // reverse order would score the new model against the old calibration.
+    for (const auto& policy : admission_) policy->on_publish(record);
+  } catch (...) {
+    for (std::size_t s = 0; s < staged; ++s) {
+      targets[s]->abort_staged(building);
+    }
+    throw;
+  }
+
+  // Phase 2 — commit everywhere. Local backends cannot fail here (the swap
+  // is a pointer exchange); a remote commit that dies mid-phase leaves the
+  // already-committed shards serving the new version and surfaces the
+  // error — the same exposure any non-consensus 2PC has, and why stage()
+  // carries all the validation.
+  for (QueryBackend* target : targets) target->commit_staged(building);
   const std::lock_guard<std::mutex> lock(published_mutex_);
-  published_versions_[record.provenance.building] = record.version;
+  published_versions_[building] = record.version;
 }
 
 std::size_t LocalizationService::publish_latest(const ModelStore& store) {
@@ -131,16 +178,37 @@ void LocalizationService::submit(Request request,
 
   const bool flagged = response.flagged;
   const int building = request.building;
-  shards_[shard]->submit(
-      building, std::move(request.fingerprint),
-      [response = std::move(response),
-       done = std::move(done)](QueryResult result) mutable {
-        response.query = std::move(result);
-        if (done) done(std::move(response));
-      });
+  try {
+    // `done` is captured by copy: a backend that throws consumes the
+    // callback it was handed (it died inside a moved-from Pending / a torn
+    // RPC), so the failure path below needs its own handle to complete the
+    // request.
+    shards_[shard]->submit(
+        building, std::move(request.fingerprint),
+        [response = std::move(response), done](QueryResult result) mutable {
+          response.query = std::move(result);
+          if (done) done(std::move(response));
+        });
+  } catch (const BackendUnavailable& unavailable) {
+    // A dead shard must degrade the service, not take it down: the request
+    // completes kFailed, the error is attributed to the shard in Stats,
+    // and traffic routed elsewhere keeps flowing. (Validation errors —
+    // undeployed building, wrong-width fingerprint — still throw: those
+    // are caller bugs, not fleet health.)
+    submitted_.fetch_add(1, std::memory_order_relaxed);
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    shard_errors_[shard].fetch_add(1, std::memory_order_relaxed);
+    Response failure;
+    failure.status = Response::Status::kFailed;
+    failure.flagged = flagged;
+    failure.shard = static_cast<int>(shard);
+    failure.error = unavailable.what();
+    if (done) done(std::move(failure));
+    return;
+  }
   // Counted only after the shard accepted the query: a throwing submit
-  // (undeployed building, wrong width, stopped engine) must not skew
-  // stats with requests that never entered the fleet.
+  // (undeployed building, wrong width) must not skew stats with requests
+  // that never entered the fleet.
   submitted_.fetch_add(1, std::memory_order_relaxed);
   routed_[shard].fetch_add(1, std::memory_order_relaxed);
   if (flagged) flagged_.fetch_add(1, std::memory_order_relaxed);
@@ -164,9 +232,13 @@ LocalizationService::Stats LocalizationService::stats() const {
   stats.submitted = submitted_.load(std::memory_order_relaxed);
   stats.rejected = rejected_.load(std::memory_order_relaxed);
   stats.flagged = flagged_.load(std::memory_order_relaxed);
+  stats.failed = failed_.load(std::memory_order_relaxed);
   stats.routed.reserve(shards_.size());
+  stats.shard_errors.reserve(shards_.size());
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     stats.routed.push_back(routed_[s].load(std::memory_order_relaxed));
+    stats.shard_errors.push_back(
+        shard_errors_[s].load(std::memory_order_relaxed));
   }
   return stats;
 }

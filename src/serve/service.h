@@ -14,14 +14,24 @@
 //   serve::Response response =
 //       service.submit({.building = 1, .fingerprint = x}).get();
 //
-// publish() hot-swaps every shard to the new record and then calibrates the
-// admission chain; once it returns, all subsequent submissions are answered
-// by the new version on every shard (each shard's swap is itself atomic —
-// in-flight batches finish on the snapshot they started with).
+// publish() is all-or-nothing across the fleet: every target shard stages
+// the record (validation, snapshot extraction, remote transfer) before any
+// shard commits, and a single stage failure aborts the staged snapshots
+// everywhere — the fleet never settles with shards on different versions.
+// Once publish() returns, all subsequent submissions are answered by the
+// new version on whichever target shard they route to (each shard's commit
+// is itself atomic — in-flight batches finish on the snapshot they started
+// with).
 //
-// Configuration (set_router / add_admission) is meant for service bring-up,
-// before traffic flows; publish() and submit() are safe from any thread at
-// any time.
+// Fleets can run *replicated* (default: every shard holds every model, any
+// router applies) or *partitioned* (set_partition: each building lives only
+// on its owning shard — per-shard memory O(owned buildings) — publish()
+// targets the owner alone and routing must follow the map, i.e.
+// PartitionRouter).
+//
+// Configuration (set_router / add_admission / set_partition) is meant for
+// service bring-up, before traffic flows; publish() and submit() are safe
+// from any thread at any time.
 #pragma once
 
 #include <atomic>
@@ -31,11 +41,13 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "src/serve/admission.h"
 #include "src/serve/backend.h"
+#include "src/serve/partition.h"
 #include "src/serve/query_engine.h"
 #include "src/serve/router.h"
 
@@ -60,8 +72,12 @@ struct Response {
   enum class Status {
     kAnswered,  ///< Routed and answered; `query` is valid.
     kRejected,  ///< Stopped by an admission policy; `query` is empty.
+    kFailed,    ///< Routed shard unreachable (BackendUnavailable); `query`
+                ///< is empty, `error` says why. Other shards keep serving.
   };
   Status status = Status::kAnswered;
+  /// Backend failure detail; set only for kFailed.
+  std::string error;
   /// An admission policy found the request suspicious (set for rejections
   /// and for flagged-but-answered requests).
   bool flagged = false;
@@ -97,9 +113,22 @@ class LocalizationService {
   /// Appends a policy to the admission chain (inspected in append order).
   void add_admission(std::unique_ptr<AdmissionPolicy> policy);
 
-  /// Deploys `record` to every shard, then calibrates the admission chain.
-  /// After it returns, every new submission for the record's building is
-  /// answered at `record.version` on whichever shard it routes to.
+  /// Switches the fleet to partitioned deployment: publish() targets only
+  /// the owning shard of each building. Pair with a PartitionRouter built
+  /// from the same map. Throws std::invalid_argument when the map's shard
+  /// count does not match the fleet width.
+  void set_partition(PartitionMap partition);
+  [[nodiscard]] const PartitionMap* partition() const noexcept {
+    return partition_ ? &*partition_ : nullptr;
+  }
+
+  /// Two-phase deploy of `record` to every target shard (the owner under a
+  /// partition, the whole fleet otherwise), then calibrates the admission
+  /// chain. All-or-nothing: if any shard refuses the record, every staged
+  /// snapshot is aborted, the fleet keeps serving its previous versions,
+  /// and the failure is rethrown. After it returns, every new submission
+  /// for the record's building is answered at `record.version` on
+  /// whichever target shard it routes to.
   void publish(const ModelRecord& record);
 
   /// Publishes the newest version of every model in the store. Returns how
@@ -134,8 +163,14 @@ class LocalizationService {
     std::uint64_t rejected = 0;
     /// Flagged but still answered.
     std::uint64_t flagged = 0;
+    /// Submissions completed kFailed (shard unreachable).
+    std::uint64_t failed = 0;
     /// Queries routed to each shard.
     std::vector<std::uint64_t> routed;
+    /// Backend failures per shard — the degradation signal a fleet
+    /// operator alarms on (one dead remote shard shows up here while the
+    /// rest of the fleet keeps serving).
+    std::vector<std::uint64_t> shard_errors;
   };
   [[nodiscard]] Stats stats() const;
 
@@ -143,6 +178,7 @@ class LocalizationService {
   std::vector<std::unique_ptr<QueryBackend>> shards_;
   std::unique_ptr<Router> router_;
   std::vector<std::unique_ptr<AdmissionPolicy>> admission_;
+  std::optional<PartitionMap> partition_;
 
   /// Serializes whole publish() calls (deploys + calibration + version).
   std::mutex publish_mutex_;
@@ -152,7 +188,9 @@ class LocalizationService {
   std::atomic<std::uint64_t> submitted_{0};
   std::atomic<std::uint64_t> rejected_{0};
   std::atomic<std::uint64_t> flagged_{0};
+  std::atomic<std::uint64_t> failed_{0};
   std::unique_ptr<std::atomic<std::uint64_t>[]> routed_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> shard_errors_;
 };
 
 }  // namespace safeloc::serve

@@ -1,6 +1,12 @@
 // Little-endian POD / length-prefixed-string stream helpers shared by the
-// binary serializers (nn::StateDict, serve::ModelStore). `context` names
-// the caller in truncation errors ("StateDict::load", ...).
+// binary serializers (nn::StateDict, serve::ModelStore) and the remote
+// serving wire protocol (serve::remote). `context` names the caller in
+// truncation errors ("StateDict::load", ...).
+//
+// Error handling is explicit by design: a truncated stream (file cut short,
+// peer hung up mid-frame) and an implausible length prefix (corrupt or
+// adversarial bytes) both throw std::runtime_error naming the caller,
+// instead of returning garbage or attempting a multi-gigabyte allocation.
 #pragma once
 
 #include <cstdint>
@@ -8,38 +14,83 @@
 #include <ostream>
 #include <stdexcept>
 #include <string>
+#include <type_traits>
 
 namespace safeloc::util {
 
+/// Ceiling for a single length-prefixed string / byte blob (64 MiB). Real
+/// payloads (tensor names, model names, error messages) are tiny; a length
+/// prefix above this is corruption or a framing bug, and rejecting it keeps
+/// a corrupt 4-byte prefix from driving a ~4 GiB allocation.
+inline constexpr std::uint32_t kMaxStringBytes = 64u << 20;
+
 template <typename T>
 void write_pod(std::ostream& out, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "write_pod requires a trivially copyable type");
   out.write(reinterpret_cast<const char*>(&value), sizeof(T));
 }
 
 template <typename T>
 T read_pod(std::istream& in, const char* context) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "read_pod requires a trivially copyable type");
   T value{};
   in.read(reinterpret_cast<char*>(&value), sizeof(T));
   if (!in) {
-    throw std::runtime_error(std::string(context) + ": truncated stream");
+    // gcount() distinguishes a clean end-of-stream (a file cut exactly at a
+    // record boundary, a peer that closed between frames) from a short read
+    // tearing a value in half — the latter strongly suggests corruption.
+    throw std::runtime_error(
+        std::string(context) +
+        (in.gcount() == 0 ? ": unexpected end of stream"
+                          : ": short read (" + std::to_string(in.gcount()) +
+                                " of " + std::to_string(sizeof(T)) +
+                                " bytes) — truncated stream"));
   }
   return value;
 }
 
-/// u32 length prefix + raw bytes.
+/// u32 length prefix + raw bytes. Throws std::length_error for strings the
+/// u32 prefix cannot represent (which would otherwise truncate silently and
+/// desynchronize every reader downstream).
 inline void write_string(std::ostream& out, const std::string& s) {
+  if (s.size() > kMaxStringBytes) {
+    throw std::length_error("write_string: " + std::to_string(s.size()) +
+                            "-byte string exceeds the " +
+                            std::to_string(kMaxStringBytes) + "-byte format cap");
+  }
   write_pod(out, static_cast<std::uint32_t>(s.size()));
   out.write(s.data(), static_cast<std::streamsize>(s.size()));
 }
 
 inline std::string read_string(std::istream& in, const char* context) {
   const auto length = read_pod<std::uint32_t>(in, context);
+  if (length > kMaxStringBytes) {
+    throw std::runtime_error(std::string(context) + ": implausible " +
+                             std::to_string(length) +
+                             "-byte string length (corrupt stream?)");
+  }
   std::string s(length, '\0');
   in.read(s.data(), length);
   if (!in) {
-    throw std::runtime_error(std::string(context) + ": truncated string");
+    throw std::runtime_error(
+        std::string(context) + ": truncated string (" +
+        std::to_string(in.gcount()) + " of " + std::to_string(length) +
+        " bytes)");
   }
   return s;
+}
+
+/// Asserts a payload stream was fully consumed — trailing bytes after a
+/// complete parse mean the writer and reader disagree about the format
+/// (version skew, corruption), which must fail loudly rather than be
+/// silently ignored.
+inline void expect_exhausted(std::istream& in, const char* context) {
+  if (in.peek() != std::char_traits<char>::eof()) {
+    throw std::runtime_error(std::string(context) +
+                             ": trailing bytes after payload (format skew?)");
+  }
 }
 
 }  // namespace safeloc::util

@@ -1,0 +1,536 @@
+// Remote shard fleet: SFRP wire protocol framing and codecs, partition-map
+// persistence, shard_server + RemoteBackend end-to-end serving (bit-identical
+// to local), cross-shard publish atomicity over the wire, partition memory
+// enforcement, and kill-a-shard-mid-traffic degradation.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/engine/engine.h"
+#include "src/serve/backend.h"
+#include "src/serve/model_store.h"
+#include "src/serve/partition.h"
+#include "src/serve/remote/remote_backend.h"
+#include "src/serve/remote/shard_server.h"
+#include "src/serve/remote/socket.h"
+#include "src/serve/remote/wire.h"
+#include "src/serve/router.h"
+#include "src/serve/service.h"
+#include "src/serve/traffic.h"
+
+namespace safeloc {
+namespace {
+
+using namespace std::chrono_literals;
+namespace remote = serve::remote;
+
+/// Unique unix-socket path per test (paths must stay under the ~107-byte
+/// sockaddr_un limit, so these live in /tmp directly, keyed by pid).
+std::string unique_address(const std::string& tag) {
+  static int counter = 0;
+  return "unix:/tmp/safeloc-test-" + std::to_string(::getpid()) + "-" + tag +
+         "-" + std::to_string(counter++) + ".sock";
+}
+
+/// Client config tuned for tests: fail fast instead of burning the full
+/// production retry budget against servers we killed on purpose.
+remote::RemoteBackendConfig fast_client(const std::string& address) {
+  remote::RemoteBackendConfig config;
+  config.address = address;
+  config.connect_timeout = 500ms;
+  config.io_timeout = 5000ms;
+  config.connect_retries = 2;
+  config.retry_backoff = 20ms;
+  return config;
+}
+
+/// In-process listener/client pair over a unix socket — the transport
+/// fixture for frame-level tests.
+struct LocalPair {
+  remote::Socket listener;
+  remote::Socket client;
+  remote::Socket server;
+
+  LocalPair() {
+    const std::string address = unique_address("pair");
+    listener = remote::Socket::listen(address);
+    client = remote::Socket::connect(address, 1000ms);
+    server = listener.accept();
+    client.set_io_timeout(5000ms);
+    server.set_io_timeout(5000ms);
+  }
+};
+
+/// One engine-trained record on building 2 (same regime as the service
+/// suite), shared across the remote tests.
+class RemoteFixture : public ::testing::Test {
+ protected:
+  static const serve::ModelStore& store() {
+    static const serve::ModelStore instance = [] {
+      engine::ScenarioSpec spec;
+      spec.framework = "SAFELOC";
+      spec.building = 2;
+      spec.rounds = 2;
+      spec.server_epochs = 6;
+      const engine::RunReport report =
+          engine::ScenarioEngine{}.run(std::vector<engine::ScenarioSpec>{spec},
+                                       1, /*capture_final_gm=*/true);
+      serve::ModelStore built;
+      built.publish_run(report);
+      return built;
+    }();
+    return instance;
+  }
+
+  static const serve::ModelRecord& record() {
+    return store().latest("SAFELOC/b2");
+  }
+
+  static serve::TrafficGenerator traffic() {
+    serve::TrafficConfig config;
+    config.buildings = {2};
+    config.fingerprints_per_rp = 1;
+    config.seed = 4096;
+    return serve::TrafficGenerator(config);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+TEST(Wire, FrameHeaderGoldenBytes) {
+  // Pin the on-wire layout: 16-byte header, little-endian, magic "SFRP"
+  // (reads as "PRFS" in byte order), version 1. A layout change breaks
+  // cross-version fleets and MUST show up as this golden failing.
+  LocalPair pair;
+  remote::send_frame(pair.client, remote::MessageType::kHealthRequest, "ab");
+  unsigned char raw[18];
+  pair.server.read_exact(raw, sizeof(raw));
+  const unsigned char expected[18] = {
+      0x50, 0x52, 0x46, 0x53,  // magic 0x53465250 LE
+      0x01, 0x00,              // version 1
+      0x09, 0x00,              // type kHealthRequest = 9
+      0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  // payload_bytes = 2
+      'a',  'b'};
+  EXPECT_EQ(std::memcmp(raw, expected, sizeof(expected)), 0);
+}
+
+TEST(Wire, FrameRoundTripAndCleanEof) {
+  LocalPair pair;
+  remote::send_frame(pair.client, remote::MessageType::kQuery, "payload");
+  remote::Frame frame;
+  ASSERT_TRUE(remote::recv_frame(pair.server, frame));
+  EXPECT_EQ(frame.type, remote::MessageType::kQuery);
+  EXPECT_EQ(frame.payload, "payload");
+
+  // Peer closing between frames is a clean disconnect, not an error.
+  pair.client.close();
+  EXPECT_FALSE(remote::recv_frame(pair.server, frame));
+}
+
+TEST(Wire, RejectsBadMagicAndVersionMismatch) {
+  {
+    LocalPair pair;
+    const unsigned char not_sfrp[16] = {0xDE, 0xAD, 0xBE, 0xEF};
+    pair.client.write_all(not_sfrp, sizeof(not_sfrp));
+    remote::Frame frame;
+    EXPECT_THROW((void)remote::recv_frame(pair.server, frame),
+                 remote::WireError);
+  }
+  {
+    // Valid magic, future version: must be rejected loudly (a v2 peer
+    // cannot be half-understood), and the error must name both versions.
+    LocalPair pair;
+    unsigned char header[16] = {0x50, 0x52, 0x46, 0x53, 0x63, 0x00};  // v99
+    pair.client.write_all(header, sizeof(header));
+    remote::Frame frame;
+    try {
+      (void)remote::recv_frame(pair.server, frame);
+      FAIL() << "expected WireError";
+    } catch (const remote::WireError& error) {
+      EXPECT_NE(std::string(error.what()).find("v99"), std::string::npos);
+      EXPECT_NE(std::string(error.what()).find("mismatch"), std::string::npos);
+    }
+  }
+}
+
+TEST(Wire, RejectsOversizedPayloadHeader) {
+  LocalPair pair;
+  unsigned char header[16] = {0x50, 0x52, 0x46, 0x53, 0x01, 0x00, 0x01, 0x00};
+  const std::uint64_t huge = remote::kMaxFrameBytes + 1;
+  std::memcpy(header + 8, &huge, sizeof(huge));
+  pair.client.write_all(header, sizeof(header));
+  remote::Frame frame;
+  EXPECT_THROW((void)remote::recv_frame(pair.server, frame),
+               remote::WireError);
+}
+
+TEST(Wire, TornFrameIsATransportErrorNotSilence) {
+  // Header promises 100 payload bytes; the peer dies after 10. The reader
+  // must throw (SocketError: torn frame), never hang or return a partial
+  // frame as complete.
+  LocalPair pair;
+  unsigned char header[16] = {0x50, 0x52, 0x46, 0x53, 0x01, 0x00, 0x01, 0x00};
+  const std::uint64_t promised = 100;
+  std::memcpy(header + 8, &promised, sizeof(promised));
+  pair.client.write_all(header, sizeof(header));
+  pair.client.write_all("tenletters", 10);
+  pair.client.close();
+  remote::Frame frame;
+  EXPECT_THROW((void)remote::recv_frame(pair.server, frame),
+               remote::SocketError);
+}
+
+// ---------------------------------------------------------------------------
+// Payload codecs
+// ---------------------------------------------------------------------------
+
+TEST(Wire, QueryAndReplyCodecsRoundTrip) {
+  remote::QueryRequest query;
+  query.building = 2;
+  query.fingerprint = {0.25f, -1.0f, 0.0f, 3.5f};
+  const remote::QueryRequest decoded_query =
+      remote::decode_query(remote::encode_query(query));
+  EXPECT_EQ(decoded_query.building, 2);
+  EXPECT_EQ(decoded_query.fingerprint, query.fingerprint);
+
+  serve::QueryResult result;
+  result.building = 2;
+  result.rp = 17;
+  result.position = {3.25, -8.5};
+  result.top_k = {{17, 0.9f}, {4, 0.05f}};
+  result.model_version = 3;
+  result.latency_us = 123.5;
+  const serve::QueryResult decoded =
+      remote::decode_query_reply(remote::encode_query_reply(result));
+  EXPECT_EQ(decoded.rp, 17);
+  EXPECT_DOUBLE_EQ(decoded.position.x, 3.25);
+  EXPECT_DOUBLE_EQ(decoded.position.y, -8.5);
+  ASSERT_EQ(decoded.top_k.size(), 2u);
+  EXPECT_EQ(decoded.top_k[0].label, 17);
+  EXPECT_EQ(decoded.top_k[0].confidence, 0.9f);
+  EXPECT_EQ(decoded.model_version, 3u);
+  EXPECT_DOUBLE_EQ(decoded.latency_us, 123.5);
+}
+
+TEST(Wire, ControlCodecsRoundTripAndRejectTrailingBytes) {
+  const remote::PublishCommit commit = remote::decode_publish_commit(
+      remote::encode_publish_commit({7, 42}));
+  EXPECT_EQ(commit.building, 7);
+  EXPECT_EQ(commit.version, 42u);
+  EXPECT_EQ(remote::decode_publish_abort(remote::encode_publish_abort(-3)),
+            -3);
+
+  remote::ShardStats stats;
+  stats.queries_served = 1000;
+  stats.resident_models = 2;
+  stats.staged_models = 1;
+  stats.queue_depth = 5;
+  stats.deployed = {{1, 3}, {2, 1}};
+  const remote::ShardStats decoded_stats =
+      remote::decode_stats_reply(remote::encode_stats_reply(stats));
+  EXPECT_EQ(decoded_stats.queries_served, 1000u);
+  EXPECT_EQ(decoded_stats.deployed, stats.deployed);
+
+  const remote::HealthInfo health =
+      remote::decode_health_reply(remote::encode_health_reply({1, 4}));
+  EXPECT_EQ(health.shard_index, 1u);
+  EXPECT_EQ(health.shard_count, 4u);
+
+  const remote::ErrorReply error = remote::decode_error(
+      remote::encode_error({"invalid_argument", "nope"}));
+  EXPECT_EQ(error.kind, "invalid_argument");
+  EXPECT_EQ(error.message, "nope");
+
+  // Format-skew hardening: a payload with bytes past a complete parse is
+  // rejected (expect_exhausted), not silently half-read.
+  EXPECT_THROW((void)remote::decode_publish_abort(
+                   remote::encode_publish_commit({7, 42})),
+               std::runtime_error);
+}
+
+TEST_F(RemoteFixture, ModelRecordTravelsWireByteIdenticalToDisk) {
+  // A staged record's wire payload is the SFST record layout: decoding and
+  // re-encoding reproduces the exact bytes, and the decoded record
+  // serializes identically to the original through write_model_record.
+  const std::string payload = remote::encode_publish_stage(record());
+  const serve::ModelRecord decoded = remote::decode_publish_stage(payload);
+  EXPECT_EQ(remote::encode_publish_stage(decoded), payload);
+
+  std::ostringstream disk_original(std::ios::binary);
+  std::ostringstream disk_decoded(std::ios::binary);
+  serve::write_model_record(disk_original, record());
+  serve::write_model_record(disk_decoded, decoded);
+  EXPECT_EQ(disk_original.str(), disk_decoded.str());
+  EXPECT_EQ(decoded.calibration, record().calibration);
+}
+
+// ---------------------------------------------------------------------------
+// PartitionMap
+// ---------------------------------------------------------------------------
+
+TEST(Partition, AffinityIsDeterministicAndPersists) {
+  const std::vector<int> buildings = {1, 2, 3};
+  const serve::PartitionMap map = serve::PartitionMap::affinity(buildings, 2);
+  EXPECT_EQ(map.shards, 2u);
+  for (const int b : buildings) {
+    EXPECT_LT(map.owner_of(b), 2u);
+    EXPECT_EQ(map.owner_of(b), serve::building_affinity(b, 2));
+    EXPECT_TRUE(map.owns(map.owner_of(b), b));
+  }
+  // Unmapped buildings still place deterministically (affinity fallback).
+  EXPECT_EQ(map.owner_of(99), serve::building_affinity(99, 2));
+  // Every building is owned by exactly one shard.
+  EXPECT_EQ(map.owned_by(0).size() + map.owned_by(1).size(),
+            buildings.size());
+
+  std::stringstream stream(std::ios::binary | std::ios::in | std::ios::out);
+  map.save(stream);
+  EXPECT_EQ(serve::PartitionMap::load(stream), map);
+
+  EXPECT_THROW((void)serve::PartitionMap::affinity(buildings, 0),
+               std::invalid_argument);
+  EXPECT_THROW((void)serve::building_affinity(1, 0), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// ShardServer + RemoteBackend end-to-end
+// ---------------------------------------------------------------------------
+
+TEST_F(RemoteFixture, RemoteServingIsBitIdenticalToLocal) {
+  remote::ShardServerConfig server_config;
+  server_config.address = unique_address("bitident");
+  remote::ShardServer server(server_config);
+  server.start();
+
+  remote::RemoteBackend backend(fast_client(server_config.address));
+  serve::SyncBackend local;
+  backend.deploy(record());  // two-phase over the wire
+  local.deploy(record());
+  EXPECT_EQ(backend.deployed_version(2), 1u);
+  EXPECT_EQ(backend.deployed_model_count(), 1u);
+
+  const remote::HealthInfo health = backend.health();
+  EXPECT_EQ(health.shard_index, 0u);
+  EXPECT_EQ(health.shard_count, 1u);
+
+  serve::TrafficGenerator generator = traffic();
+  for (const serve::TimedQuery& query : generator.generate(32)) {
+    serve::QueryResult remote_result, local_result;
+    backend.submit(query.building, query.x,
+                   [&](serve::QueryResult r) { remote_result = std::move(r); });
+    local.submit(query.building, query.x,
+                 [&](serve::QueryResult r) { local_result = std::move(r); });
+    // ServingNet inference is deterministic and the wire carries exact
+    // float bits: the remote answer IS the local answer.
+    EXPECT_EQ(remote_result.rp, local_result.rp);
+    EXPECT_EQ(remote_result.position.x, local_result.position.x);
+    EXPECT_EQ(remote_result.position.y, local_result.position.y);
+    ASSERT_EQ(remote_result.top_k.size(), local_result.top_k.size());
+    for (std::size_t k = 0; k < remote_result.top_k.size(); ++k) {
+      EXPECT_EQ(remote_result.top_k[k].label, local_result.top_k[k].label);
+      EXPECT_EQ(remote_result.top_k[k].confidence,
+                local_result.top_k[k].confidence);
+    }
+    EXPECT_EQ(remote_result.model_version, 1u);
+  }
+
+  // Refused requests come back as the exception the local backend throws.
+  EXPECT_THROW(backend.submit(99, generator.generate(1)[0].x, nullptr),
+               std::invalid_argument);
+  EXPECT_THROW(backend.commit_staged(2), std::logic_error);
+
+  server.stop();
+}
+
+TEST_F(RemoteFixture, PartitionFilterRefusesUnownedStageAtTheShard) {
+  // A 2-shard fleet: pick the shard that does NOT own building 2 and try
+  // to stage there — the server itself must refuse (the memory contract is
+  // enforced at the shard boundary, not trusted to clients).
+  const std::uint32_t owner = serve::building_affinity(2, 2);
+  const std::uint32_t not_owner = 1 - owner;
+
+  remote::ShardServerConfig server_config;
+  server_config.address = unique_address("partfilter");
+  server_config.shard_index = not_owner;
+  server_config.shard_count = 2;
+  remote::ShardServer server(server_config);
+  EXPECT_FALSE(server.owns(2));
+  server.start();
+
+  remote::RemoteBackend backend(fast_client(server_config.address));
+  try {
+    backend.stage(record());
+    FAIL() << "expected the partition filter to refuse";
+  } catch (const std::invalid_argument& refused) {
+    EXPECT_NE(std::string(refused.what()).find("partition filter"),
+              std::string::npos);
+  }
+  EXPECT_EQ(backend.deployed_model_count(), 0u);
+  EXPECT_EQ(backend.shard_stats().staged_models, 0u);
+  server.stop();
+}
+
+TEST_F(RemoteFixture, WarmLoadDeploysOnlyOwnedModels) {
+  const std::uint32_t owner = serve::building_affinity(2, 2);
+  for (std::uint32_t shard = 0; shard < 2; ++shard) {
+    remote::ShardServerConfig config;
+    config.address = unique_address("warm" + std::to_string(shard));
+    config.shard_index = shard;
+    config.shard_count = 2;
+    remote::ShardServer server(config);
+    const std::size_t resident = server.deploy_owned(store());
+    // O(owned buildings): the owner loads the one model, the other shard
+    // loads nothing.
+    EXPECT_EQ(resident, shard == owner ? 1u : 0u);
+    EXPECT_EQ(server.engine().deployed_model_count(),
+              shard == owner ? 1u : 0u);
+  }
+}
+
+TEST_F(RemoteFixture, CrossShardPublishAbortsWhenOneShardRefuses) {
+  // Shard A replicates everything; shard B is partition-restricted so it
+  // refuses building 2. A fleet publish through the service must leave A
+  // exactly as it was — staged snapshot aborted over the wire, nothing
+  // committed anywhere.
+  const std::uint32_t owner = serve::building_affinity(2, 2);
+  remote::ShardServerConfig config_a;
+  config_a.address = unique_address("atomicA");
+  remote::ShardServer server_a(config_a);
+  server_a.start();
+  remote::ShardServerConfig config_b;
+  config_b.address = unique_address("atomicB");
+  config_b.shard_index = 1 - owner;  // does NOT own building 2
+  config_b.shard_count = 2;
+  remote::ShardServer server_b(config_b);
+  server_b.start();
+
+  std::vector<std::unique_ptr<serve::QueryBackend>> shards;
+  shards.push_back(
+      std::make_unique<remote::RemoteBackend>(fast_client(config_a.address)));
+  shards.push_back(
+      std::make_unique<remote::RemoteBackend>(fast_client(config_b.address)));
+  serve::LocalizationService service(std::move(shards));
+
+  EXPECT_THROW(service.publish(record()), std::invalid_argument);
+  EXPECT_EQ(service.published_version(2), 0u);
+  for (std::size_t s = 0; s < 2; ++s) {
+    EXPECT_EQ(service.shard(s).deployed_model_count(), 0u) << "shard " << s;
+    EXPECT_THROW(service.shard(s).commit_staged(2), std::logic_error)
+        << "shard " << s;
+  }
+  const auto& backend_a =
+      dynamic_cast<const remote::RemoteBackend&>(service.shard(0));
+  EXPECT_EQ(backend_a.shard_stats().staged_models, 0u);
+
+  server_a.stop();
+  server_b.stop();
+}
+
+TEST_F(RemoteFixture, KillingAShardMidTrafficDegradesButKeepsServing) {
+  remote::ShardServerConfig config_a;
+  config_a.address = unique_address("killA");
+  remote::ShardServer server_a(config_a);
+  server_a.start();
+  remote::ShardServerConfig config_b;
+  config_b.address = unique_address("killB");
+  auto server_b = std::make_unique<remote::ShardServer>(config_b);
+  server_b->start();
+
+  std::vector<std::unique_ptr<serve::QueryBackend>> shards;
+  shards.push_back(
+      std::make_unique<remote::RemoteBackend>(fast_client(config_a.address)));
+  shards.push_back(
+      std::make_unique<remote::RemoteBackend>(fast_client(config_b.address)));
+  serve::LocalizationService service(std::move(shards));
+  service.set_router(serve::make_router("round_robin"));
+  service.publish(record());  // replicated 2PC publish over the wire
+
+  serve::TrafficGenerator generator = traffic();
+  const auto stream = generator.generate(24);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(service.submit({2, stream[i].x}).get().status,
+              serve::Response::Status::kAnswered);
+  }
+
+  // Kill shard B's process mid-traffic (server object destroyed: listener
+  // and live connections gone — the hard-kill shape, minus the SIGKILL).
+  server_b.reset();
+
+  std::size_t answered = 0, failed = 0;
+  for (std::size_t i = 8; i < 24; ++i) {
+    const serve::Response response = service.submit({2, stream[i].x}).get();
+    if (response.status == serve::Response::Status::kFailed) {
+      ++failed;
+      EXPECT_EQ(response.shard, 1);
+      EXPECT_FALSE(response.error.empty());
+    } else {
+      ++answered;
+      EXPECT_EQ(response.status, serve::Response::Status::kAnswered);
+      EXPECT_EQ(response.shard, 0);
+    }
+  }
+  // Round-robin: half of the post-kill queries routed to the dead shard
+  // and completed kFailed; shard A answered its half. No hang, no outage.
+  EXPECT_EQ(failed, 8u);
+  EXPECT_EQ(answered, 8u);
+  const serve::LocalizationService::Stats stats = service.stats();
+  EXPECT_EQ(stats.failed, 8u);
+  ASSERT_EQ(stats.shard_errors.size(), 2u);
+  EXPECT_EQ(stats.shard_errors[0], 0u);
+  EXPECT_EQ(stats.shard_errors[1], 8u);
+
+  server_a.stop();
+}
+
+TEST_F(RemoteFixture, RequestShutdownStopsTheServerCleanly) {
+  remote::ShardServerConfig config;
+  config.address = unique_address("shutdown");
+  remote::ShardServer server(config);
+  server.start();
+  EXPECT_FALSE(server.shutdown_requested());
+
+  remote::request_shutdown(config.address, 2000ms);
+  server.wait();  // returns because the peer asked us to exit
+  EXPECT_TRUE(server.shutdown_requested());
+  server.stop();
+
+  // The fleet address is gone: a fresh client fails fast with
+  // BackendUnavailable instead of hanging.
+  remote::RemoteBackend backend(fast_client(config.address));
+  EXPECT_THROW((void)backend.health(), serve::BackendUnavailable);
+}
+
+TEST_F(RemoteFixture, TcpTransportServesOnKernelAssignedPort) {
+  remote::ShardServerConfig config;
+  config.address = "tcp:127.0.0.1:0";  // kernel picks a free port
+  remote::ShardServer server(config);
+  server.start();
+  const std::uint16_t port = server.local_port();
+  ASSERT_GT(port, 0);
+
+  remote::RemoteBackend backend(
+      fast_client("tcp:127.0.0.1:" + std::to_string(port)));
+  backend.deploy(record());
+  serve::TrafficGenerator generator = traffic();
+  const auto stream = generator.generate(4);
+  for (const serve::TimedQuery& query : stream) {
+    serve::QueryResult result;
+    backend.submit(query.building, query.x,
+                   [&](serve::QueryResult r) { result = std::move(r); });
+    EXPECT_EQ(result.building, 2);
+    EXPECT_GE(result.rp, 0);
+  }
+  server.stop();
+}
+
+}  // namespace
+}  // namespace safeloc

@@ -248,6 +248,143 @@ TEST_F(ServiceFixture, PublishDuringLiveTrafficNeverMixesUnknownVersions) {
   }
 }
 
+/// Delegating backend with two failure knobs: stage() refusal (the shard
+/// that breaks a fleet publish) and submit() unavailability (a dead remote
+/// shard). Everything else forwards to a real SyncBackend.
+class FlakyBackend final : public serve::QueryBackend {
+ public:
+  bool fail_stage = false;
+  bool unavailable = false;
+
+  void stage(const serve::ModelRecord& record) override {
+    if (fail_stage) throw std::runtime_error("FlakyBackend: stage refused");
+    inner_.stage(record);
+  }
+  void commit_staged(int building) override { inner_.commit_staged(building); }
+  void abort_staged(int building) noexcept override {
+    inner_.abort_staged(building);
+  }
+  [[nodiscard]] std::uint32_t deployed_version(int building) const override {
+    return inner_.deployed_version(building);
+  }
+  [[nodiscard]] std::size_t deployed_model_count() const override {
+    return inner_.deployed_model_count();
+  }
+  void submit(int building, std::vector<float> fingerprint,
+              Callback done) override {
+    if (unavailable) {
+      throw serve::BackendUnavailable("FlakyBackend: shard down");
+    }
+    inner_.submit(building, std::move(fingerprint), std::move(done));
+  }
+  void drain() override {}
+  [[nodiscard]] std::size_t queue_depth() const override { return 0; }
+
+ private:
+  serve::SyncBackend inner_;
+};
+
+TEST_F(ServiceFixture, PublishIsAllOrNothingWhenOneShardRefuses) {
+  // Three shards; the last one refuses to stage. The fleet must keep
+  // serving NOTHING for the building — the two shards that staged fine
+  // roll back instead of committing a version the third never got.
+  auto shards = sync_shards(2);
+  auto flaky = std::make_unique<FlakyBackend>();
+  FlakyBackend* flaky_view = flaky.get();
+  shards.push_back(std::move(flaky));
+  flaky_view->fail_stage = true;
+  serve::LocalizationService service(std::move(shards));
+
+  EXPECT_THROW(service.publish(record()), std::runtime_error);
+  EXPECT_EQ(service.published_version(2), 0u);
+  for (std::size_t s = 0; s < 3; ++s) {
+    EXPECT_EQ(service.shard(s).deployed_version(2), 0u) << "shard " << s;
+    EXPECT_EQ(service.shard(s).deployed_model_count(), 0u) << "shard " << s;
+    // The staged snapshots were aborted, not left dangling: a direct
+    // commit has nothing to swap in.
+    EXPECT_THROW(service.shard(s).commit_staged(2), std::logic_error);
+  }
+
+  // The fleet recovers: same record publishes cleanly once the shard does.
+  flaky_view->fail_stage = false;
+  service.publish(record());
+  EXPECT_EQ(service.published_version(2), 1u);
+  for (std::size_t s = 0; s < 3; ++s) {
+    EXPECT_EQ(service.shard(s).deployed_version(2), 1u) << "shard " << s;
+  }
+}
+
+TEST_F(ServiceFixture, DeadShardDegradesToFailedResponsesNotOutage) {
+  auto shards = sync_shards(1);
+  auto flaky = std::make_unique<FlakyBackend>();
+  FlakyBackend* flaky_view = flaky.get();
+  shards.push_back(std::move(flaky));
+  serve::LocalizationService service(std::move(shards));
+  service.set_router(serve::make_router("round_robin"));
+  service.publish(record());
+
+  flaky_view->unavailable = true;  // shard 1 "dies" after deploy
+  serve::TrafficGenerator generator = traffic(0.0);
+  std::size_t answered = 0, failed = 0;
+  for (const serve::TimedQuery& query : generator.generate(8)) {
+    const serve::Response response =
+        service.submit({query.building, query.x}).get();
+    if (response.status == serve::Response::Status::kFailed) {
+      ++failed;
+      EXPECT_EQ(response.shard, 1);
+      EXPECT_NE(response.error.find("shard down"), std::string::npos);
+    } else {
+      ++answered;
+      EXPECT_EQ(response.status, serve::Response::Status::kAnswered);
+      EXPECT_EQ(response.shard, 0);
+      EXPECT_EQ(response.query.model_version, 1u);
+    }
+  }
+  // Round-robin over 2 shards: half the traffic hit the dead shard and
+  // completed kFailed; the other half was answered normally — degradation,
+  // not an outage, and every future resolved (no hang).
+  EXPECT_EQ(failed, 4u);
+  EXPECT_EQ(answered, 4u);
+  const serve::LocalizationService::Stats stats = service.stats();
+  EXPECT_EQ(stats.submitted, 8u);
+  EXPECT_EQ(stats.failed, 4u);
+  ASSERT_EQ(stats.shard_errors.size(), 2u);
+  EXPECT_EQ(stats.shard_errors[0], 0u);
+  EXPECT_EQ(stats.shard_errors[1], 4u);
+}
+
+TEST_F(ServiceFixture, PartitionedPublishDeploysOnlyToOwnerShard) {
+  serve::PartitionMap partition =
+      serve::PartitionMap::affinity(std::vector<int>{2}, 2);
+  const std::uint32_t owner = partition.owner_of(2);
+
+  serve::LocalizationService service(sync_shards(2));
+  service.set_router(std::make_unique<serve::PartitionRouter>(partition));
+  service.set_partition(partition);
+  ASSERT_NE(service.partition(), nullptr);
+  service.publish(record());
+
+  // The memory contract: the owner holds the model, the other shard holds
+  // nothing — O(owned buildings), not O(all).
+  for (std::uint32_t s = 0; s < 2; ++s) {
+    EXPECT_EQ(service.shard(s).deployed_model_count(), s == owner ? 1u : 0u);
+  }
+  // And the partition router sends every query to the shard that has it.
+  serve::TrafficGenerator generator = traffic(0.0);
+  for (const serve::TimedQuery& query : generator.generate(16)) {
+    const serve::Response response =
+        service.submit({query.building, query.x}).get();
+    EXPECT_EQ(response.status, serve::Response::Status::kAnswered);
+    EXPECT_EQ(response.shard, static_cast<int>(owner));
+  }
+
+  // A mismatched map is refused up front.
+  EXPECT_THROW(
+      service.set_partition(serve::PartitionMap::affinity(
+          std::vector<int>{2}, 5)),
+      std::invalid_argument);
+}
+
 // ---------------------------------------------------------------------------
 // Admission / PoisonGate
 // ---------------------------------------------------------------------------

@@ -1,12 +1,14 @@
-// Utility substrate: deterministic RNG, statistics, tables, CSV.
+// Utility substrate: deterministic RNG, statistics, tables, CSV, binary I/O.
 #include <gtest/gtest.h>
 
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <stdexcept>
 
+#include "src/util/binary_io.h"
 #include "src/util/config.h"
 #include "src/util/csv.h"
 #include "src/util/rng.h"
@@ -157,6 +159,74 @@ TEST(EnvKnobs, StrictDoubleRejectsTyposAndParsesCleanValues) {
                std::invalid_argument);
   ::unsetenv("SAFELOC_TEST_LR");
   EXPECT_DOUBLE_EQ(util::env_double_strict("SAFELOC_TEST_LR", 0.5), 0.5);
+}
+
+// ---------------------------------------------------------------------------
+// binary_io: the substrate under StateDict / ModelStore / the remote wire.
+// ---------------------------------------------------------------------------
+
+TEST(BinaryIo, PodAndStringRoundTrip) {
+  std::stringstream stream(std::ios::binary | std::ios::in | std::ios::out);
+  write_pod(stream, std::uint32_t{0xDEADBEEF});
+  write_pod(stream, -1.5);
+  write_string(stream, "hello");
+  write_string(stream, "");  // empty strings are legal
+  EXPECT_EQ(read_pod<std::uint32_t>(stream, "t"), 0xDEADBEEFu);
+  EXPECT_DOUBLE_EQ(read_pod<double>(stream, "t"), -1.5);
+  EXPECT_EQ(read_string(stream, "t"), "hello");
+  EXPECT_EQ(read_string(stream, "t"), "");
+  EXPECT_NO_THROW(expect_exhausted(stream, "t"));
+}
+
+TEST(BinaryIo, CleanEofAndShortReadAreDistinguished) {
+  // Clean end-of-stream: nothing left at a value boundary.
+  std::istringstream empty(std::string(), std::ios::binary);
+  try {
+    (void)read_pod<std::uint64_t>(empty, "caller");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("caller"), std::string::npos);
+    EXPECT_NE(std::string(error.what()).find("unexpected end of stream"),
+              std::string::npos);
+  }
+
+  // Torn value: 3 of 8 bytes present — the message must say so.
+  std::istringstream torn(std::string(3, 'x'), std::ios::binary);
+  try {
+    (void)read_pod<std::uint64_t>(torn, "caller");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("3 of 8"), std::string::npos);
+    EXPECT_NE(std::string(error.what()).find("truncated"), std::string::npos);
+  }
+}
+
+TEST(BinaryIo, ImplausibleStringLengthRejectedBeforeAllocation) {
+  // A corrupt 4-byte prefix claiming ~4 GiB must throw, not allocate.
+  std::stringstream stream(std::ios::binary | std::ios::in | std::ios::out);
+  write_pod(stream, std::uint32_t{0xFFFFFFFF});
+  EXPECT_THROW((void)read_string(stream, "t"), std::runtime_error);
+
+  // Truncated payload after a plausible prefix throws too.
+  std::stringstream cut(std::ios::binary | std::ios::in | std::ios::out);
+  write_pod(cut, std::uint32_t{100});
+  cut << "only-a-few-bytes";
+  EXPECT_THROW((void)read_string(cut, "t"), std::runtime_error);
+}
+
+TEST(BinaryIo, WriteStringEnforcesFormatCap) {
+  std::ostringstream out(std::ios::binary);
+  EXPECT_THROW(
+      write_string(out, std::string(std::size_t{kMaxStringBytes} + 1, 'x')),
+      std::length_error);
+}
+
+TEST(BinaryIo, ExpectExhaustedFlagsTrailingBytes) {
+  std::stringstream stream(std::ios::binary | std::ios::in | std::ios::out);
+  write_pod(stream, std::uint32_t{1});
+  write_pod(stream, std::uint32_t{2});
+  (void)read_pod<std::uint32_t>(stream, "t");
+  EXPECT_THROW(expect_exhausted(stream, "t"), std::runtime_error);
 }
 
 TEST(AsciiTable, RendersAlignedColumns) {

@@ -1,0 +1,148 @@
+// republish_daemon — keeps a running shard fleet current with a ModelStore.
+//
+// Polls an SFST store file; whenever the file changes and a model's newest
+// version is ahead of what the daemon last pushed, it republishes through a
+// LocalizationService front door built over RemoteBackend shards — i.e. the
+// SAME two-phase all-or-nothing publish path the in-process service uses, so
+// a mid-push shard failure aborts the staged snapshots and the fleet keeps
+// serving the previous version until the next poll retries.
+//
+// Knobs (strict parsing):
+//   SAFELOC_DAEMON_STORE         SFST store file to watch       (required)
+//   SAFELOC_DAEMON_SHARDS        comma-separated shard addresses (required)
+//   SAFELOC_DAEMON_PARTITION     SFPM partition-map file; when set, each
+//                                model goes only to its owner shard
+//   SAFELOC_DAEMON_POLL_MS       poll interval                  (default 1000)
+//   SAFELOC_DAEMON_ITERATIONS    polls before exiting; 0 = run forever
+//                                (CI smoke uses a small bound)
+//   SAFELOC_DAEMON_CONNECT_TIMEOUT_MS  per-attempt connect deadline (2000)
+//   SAFELOC_DAEMON_RETRIES       connect attempts per RPC       (default 3)
+#include <sys/stat.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/serve/model_store.h"
+#include "src/serve/partition.h"
+#include "src/serve/remote/remote_backend.h"
+#include "src/serve/router.h"
+#include "src/serve/service.h"
+#include "src/util/config.h"
+
+namespace {
+
+std::string env_string(const char* name, std::string fallback = "") {
+  const char* value = std::getenv(name);
+  return value == nullptr ? std::move(fallback) : std::string(value);
+}
+
+std::vector<std::string> split_addresses(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t begin = 0;
+  while (begin <= csv.size()) {
+    const std::size_t comma = csv.find(',', begin);
+    const std::size_t end = comma == std::string::npos ? csv.size() : comma;
+    if (end > begin) out.push_back(csv.substr(begin, end - begin));
+    if (comma == std::string::npos) break;
+    begin = comma + 1;
+  }
+  return out;
+}
+
+/// (mtime, size) fingerprint; changes when the store is rewritten.
+std::pair<long, long> file_stamp(const std::string& path) {
+  struct stat st{};
+  if (::stat(path.c_str(), &st) != 0) return {-1, -1};
+  return {static_cast<long>(st.st_mtime), static_cast<long>(st.st_size)};
+}
+
+}  // namespace
+
+int main() {
+  using namespace safeloc;
+  try {
+    const std::string store_path = env_string("SAFELOC_DAEMON_STORE");
+    const std::vector<std::string> addresses =
+        split_addresses(env_string("SAFELOC_DAEMON_SHARDS"));
+    if (store_path.empty() || addresses.empty()) {
+      std::fprintf(stderr,
+                   "republish_daemon: set SAFELOC_DAEMON_STORE and "
+                   "SAFELOC_DAEMON_SHARDS\n");
+      return 2;
+    }
+    const auto poll = std::chrono::milliseconds(
+        util::env_int_strict("SAFELOC_DAEMON_POLL_MS", 1000));
+    const int iterations =
+        util::env_int_strict("SAFELOC_DAEMON_ITERATIONS", 0);
+    serve::remote::RemoteBackendConfig backend_config;
+    backend_config.connect_timeout = std::chrono::milliseconds(
+        util::env_int_strict("SAFELOC_DAEMON_CONNECT_TIMEOUT_MS", 2000));
+    backend_config.connect_retries =
+        util::env_int_strict("SAFELOC_DAEMON_RETRIES", 3);
+
+    // The daemon's "service" carries no traffic — it exists to reuse the
+    // front door's two-phase publish across the remote fleet.
+    std::vector<std::unique_ptr<serve::QueryBackend>> shards;
+    shards.reserve(addresses.size());
+    for (const std::string& address : addresses) {
+      backend_config.address = address;
+      shards.push_back(
+          std::make_unique<serve::remote::RemoteBackend>(backend_config));
+    }
+    serve::LocalizationService fleet(std::move(shards));
+    const std::string partition_path = env_string("SAFELOC_DAEMON_PARTITION");
+    if (!partition_path.empty()) {
+      serve::PartitionMap partition =
+          serve::PartitionMap::load_file(partition_path);
+      fleet.set_router(
+          std::make_unique<serve::PartitionRouter>(partition));
+      fleet.set_partition(std::move(partition));
+    }
+
+    std::printf("republish_daemon: watching %s for %zu shard(s)\n",
+                store_path.c_str(), addresses.size());
+    std::fflush(stdout);
+
+    std::map<std::string, std::uint32_t> pushed;
+    std::pair<long, long> last_stamp{-2, -2};
+    for (int iteration = 0; iterations == 0 || iteration < iterations;
+         ++iteration) {
+      if (iteration > 0) std::this_thread::sleep_for(poll);
+      const std::pair<long, long> stamp = file_stamp(store_path);
+      if (stamp == last_stamp || stamp.first < 0) continue;
+      try {
+        const serve::ModelStore store =
+            serve::ModelStore::load_file(store_path);
+        for (const std::string& name : store.names()) {
+          const serve::ModelRecord& record = store.latest(name);
+          if (record.version <= pushed[name]) continue;
+          fleet.publish(record);
+          pushed[name] = record.version;
+          std::printf("republish_daemon: pushed %s v%u (building %d)\n",
+                      name.c_str(), record.version,
+                      record.provenance.building);
+          std::fflush(stdout);
+        }
+        // Only remember the stamp once every fresh record pushed — a fleet
+        // that was unreachable mid-file gets retried next poll.
+        last_stamp = stamp;
+      } catch (const std::exception& failure) {
+        // Store mid-rewrite (torn read) or fleet unreachable: the two-phase
+        // publish already aborted any staged snapshots; retry next poll.
+        std::fprintf(stderr, "republish_daemon: push failed, will retry: %s\n",
+                     failure.what());
+      }
+    }
+    return 0;
+  } catch (const std::exception& failure) {
+    std::fprintf(stderr, "republish_daemon: %s\n", failure.what());
+    return 1;
+  }
+}

@@ -1,0 +1,93 @@
+// shard_server — one serving shard as a process.
+//
+// Wraps a QueryEngine behind the SFRP wire protocol (src/serve/remote/) so a
+// LocalizationService in another process can drive it through RemoteBackend.
+// Runs until a peer sends kShutdown or the process receives SIGINT/SIGTERM.
+//
+// Knobs (strict parsing — a typo'd value fails loudly):
+//   SAFELOC_SHARD_ADDRESS        listen address ("unix:<path>" |
+//                                "tcp:host:port"); argv[1] overrides
+//   SAFELOC_SHARD_INDEX          this shard's index            (default 0)
+//   SAFELOC_SHARD_COUNT          fleet width                   (default 1)
+//   SAFELOC_SHARD_STORE          SFST store file to warm-load owned models
+//   SAFELOC_SHARD_PARTITION      SFPM partition-map file; absent = FNV
+//                                affinity over SHARD_COUNT
+//   SAFELOC_SHARD_WORKERS        engine worker threads         (default 2)
+//   SAFELOC_SHARD_IO_TIMEOUT_MS  per-connection I/O deadline   (default 0)
+//
+// Prints one "shard_server: ready ..." line to stdout once listening —
+// parents (CI smoke, bench_route) wait for it before sending traffic.
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <optional>
+#include <string>
+
+#include "src/serve/model_store.h"
+#include "src/serve/partition.h"
+#include "src/serve/remote/shard_server.h"
+#include "src/util/config.h"
+
+namespace {
+
+std::string env_string(const char* name, std::string fallback = "") {
+  const char* value = std::getenv(name);
+  return value == nullptr ? std::move(fallback) : std::string(value);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace safeloc;
+  try {
+    serve::remote::ShardServerConfig config;
+    config.address = argc > 1 ? argv[1] : env_string("SAFELOC_SHARD_ADDRESS");
+    if (config.address.empty()) {
+      std::fprintf(stderr,
+                   "shard_server: no listen address (set "
+                   "SAFELOC_SHARD_ADDRESS or pass it as argv[1])\n");
+      return 2;
+    }
+    config.shard_index = static_cast<std::uint32_t>(
+        util::env_int_strict("SAFELOC_SHARD_INDEX", 0));
+    config.shard_count = static_cast<std::uint32_t>(
+        util::env_int_strict("SAFELOC_SHARD_COUNT", 1));
+    config.engine.workers = util::env_int_strict("SAFELOC_SHARD_WORKERS", 2);
+    config.io_timeout = std::chrono::milliseconds(
+        util::env_int_strict("SAFELOC_SHARD_IO_TIMEOUT_MS", 0));
+    const std::string partition_path = env_string("SAFELOC_SHARD_PARTITION");
+    if (!partition_path.empty()) {
+      config.partition = serve::PartitionMap::load_file(partition_path);
+    }
+
+    serve::remote::ShardServer server(std::move(config));
+    server.start();
+
+    std::size_t resident = 0;
+    const std::string store_path = env_string("SAFELOC_SHARD_STORE");
+    if (!store_path.empty()) {
+      resident = server.deploy_owned(serve::ModelStore::load_file(store_path));
+    }
+
+    std::printf("shard_server: ready on %s (shard %u/%u, %zu owned model%s "
+                "resident)\n",
+                server.config().address.c_str(), server.config().shard_index,
+                server.config().shard_count, resident,
+                resident == 1 ? "" : "s");
+    std::fflush(stdout);
+
+    server.wait();
+    const serve::remote::ShardStats stats = server.stats();
+    server.stop();
+    std::printf("shard_server: exiting (served %llu quer%s, %llu model%s "
+                "resident)\n",
+                static_cast<unsigned long long>(stats.queries_served),
+                stats.queries_served == 1 ? "y" : "ies",
+                static_cast<unsigned long long>(stats.resident_models),
+                stats.resident_models == 1 ? "" : "s");
+    return 0;
+  } catch (const std::exception& failure) {
+    std::fprintf(stderr, "shard_server: %s\n", failure.what());
+    return 1;
+  }
+}
