@@ -31,7 +31,10 @@
 //   SAFELOC_EPOCHS                      training budget (model quality is
 //                                       irrelevant to routing throughput)
 //
-// Writes BENCH_route.json ("safeloc.route_bench/v1").
+// Writes BENCH_route.json ("safeloc.route_bench/v2"). Each cell carries
+// the service's per-stage telemetry percentiles; the remote cell's stage
+// set additionally shows the wire legs (serialize/RPC/deserialize) and the
+// child engines' queue-wait — the same histograms, merged over SFRP.
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -97,6 +100,9 @@ struct CellMeasurement {
   /// holds O(owned) models, not O(all).
   std::vector<std::uint64_t> resident_models;
   std::vector<std::uint64_t> owned_models;
+  /// Fleet-merged telemetry after the replay (local engines or remote
+  /// shards over the wire) — source of the per-stage JSON block.
+  serve::telemetry::RegistrySnapshot metrics;
 };
 
 /// Closed-loop replay of `stream` through an already-configured service,
@@ -134,6 +140,7 @@ void replay_stream(serve::LocalizationService& service,
     cell.imbalance = static_cast<double>(max_routed) / mean_share;
   }
   cell.flagged = stats.flagged;
+  cell.metrics = stats.metrics;
   for (const serve::TimedQuery& query : stream) {
     cell.poisoned += query.poisoned ? 1 : 0;
   }
@@ -409,7 +416,7 @@ int main(int argc, char** argv) {
               max_shards, best_speedup, best_label.c_str(),
               std::thread::hardware_concurrency());
 
-  std::string json = "{\"schema\":\"safeloc.route_bench/v1\",";
+  std::string json = "{\"schema\":\"safeloc.route_bench/v2\",";
   json += "\"queries_per_cell\":" + std::to_string(queries_per_cell) + ",";
   json += "\"hardware_threads\":" +
           std::to_string(std::thread::hardware_concurrency()) + ",";
@@ -438,6 +445,8 @@ int main(int argc, char** argv) {
     json += "\"qps\":" + num(cell.qps) + ",";
     json += "\"latency_us\":{\"p50\":" + num(cell.p50_us) +
             ",\"p99\":" + num(cell.p99_us) + "},";
+    json += "\"stages\":" + serve::telemetry::stages_to_json(cell.metrics) +
+            ",";
     json += "\"imbalance\":" + num(cell.imbalance) + ",";
     json += "\"poisoned\":" + std::to_string(cell.poisoned) + ",";
     json += "\"flagged\":" + std::to_string(cell.flagged) + "}";

@@ -9,9 +9,11 @@
 // (benign cell, capture_final_gm), publish it into a single-shard
 // LocalizationService, and for every (workers x batch) grid cell replay a
 // pre-materialized TrafficGenerator stream closed-loop through submit()
-// (producers go as fast as the bounded queue admits). Reports queries/sec
-// and p50/p99/mean submit-to-completion latency per cell, written to
-// BENCH_serve.json ("safeloc.serve_bench/v2"). bench_route sweeps the
+// (producers go as fast as the bounded queue admits). Reports queries/sec,
+// p50/p99/mean submit-to-completion latency, and the service's per-stage
+// telemetry breakdown (admission/routing/queue-wait/batch-form/inference
+// p50/p95/p99 from the fleet registry) per cell, written to
+// BENCH_serve.json ("safeloc.serve_bench/v4"). bench_route sweeps the
 // multi-shard axis on top of these single-shard numbers.
 //
 // Knobs:
@@ -59,6 +61,9 @@ struct CellMeasurement {
   double p99_us = 0.0;
   double mean_us = 0.0;
   double mean_batch_fill = 0.0;
+  /// The service's merged telemetry after the replay — source of the
+  /// per-stage percentile block in the JSON report.
+  serve::telemetry::RegistrySnapshot metrics;
 };
 
 CellMeasurement run_cell(const serve::ModelRecord& record,
@@ -101,6 +106,7 @@ CellMeasurement run_cell(const serve::ModelRecord& record,
   cell.mean_us = util::mean_of(latencies_us);
   auto& engine = dynamic_cast<serve::QueryEngine&>(service.shard(0));
   cell.mean_batch_fill = engine.stats().mean_batch_fill();
+  cell.metrics = service.stats().metrics;
   return cell;
 }
 
@@ -280,7 +286,7 @@ int main(int argc, char** argv) {
   std::printf("GEMM dispatch variants (bit-identical results):\n%s",
               kernel_table.render().c_str());
 
-  std::string json = "{\"schema\":\"safeloc.serve_bench/v3\",";
+  std::string json = "{\"schema\":\"safeloc.serve_bench/v4\",";
   json += "\"kernel_dispatch\":{\"selected\":\"" +
           std::string(nn::simd::variant_name(selected)) + "\",";
   json += "\"forced\":";
@@ -310,6 +316,8 @@ int main(int argc, char** argv) {
     json += "\"latency_us\":{\"p50\":" + num(cell.p50_us) +
             ",\"p99\":" + num(cell.p99_us) +
             ",\"mean\":" + num(cell.mean_us) + "},";
+    json += "\"stages\":" + serve::telemetry::stages_to_json(cell.metrics) +
+            ",";
     json += "\"mean_batch_fill\":" + num(cell.mean_batch_fill) + "}";
   }
   json += "],\"kernels\":[";

@@ -34,6 +34,12 @@
 //   SAFELOC_SERVE_RETRIES             connect attempts per RPC (10 — the
 //                                     fleet may still be binding sockets)
 //
+// Telemetry: after serving, the fleet-merged metrics registry is printed
+// (per-stage latency histograms, gate attribution counters) and, when
+// SAFELOC_TRACE_SAMPLE is set, sampled per-request trace spans are written
+// as safeloc.trace/v1 JSON to SAFELOC_TRACE_DUMP (CI uploads this
+// artifact from the smoke run).
+//
 // Usage: serve_demo    (fast profile; SAFELOC_FAST=0 for paper scale)
 #include <algorithm>
 #include <cstdio>
@@ -203,6 +209,23 @@ int main() {
     first_pass.push_back(std::move(response));
   }
   const serve::LocalizationService::Stats stats = service.stats();
+  // Fleet telemetry: merged per-stage histograms (local engines or remote
+  // shards over SFRP) plus the gate's per-test attribution counters.
+  std::printf("--- telemetry (fleet view) ---\n%s"
+              "gate attribution: %llu flagged by rce, %llu by envelope\n",
+              stats.metrics.to_text().c_str(),
+              static_cast<unsigned long long>(stats.flagged_rce),
+              static_cast<unsigned long long>(stats.flagged_envelope));
+  {
+    const char* dump_path = std::getenv("SAFELOC_TRACE_DUMP");
+    if (dump_path != nullptr && *dump_path != '\0') {
+      service.trace().write_json(dump_path);
+      std::printf("trace spans written to %s (sample_every=%llu)\n",
+                  dump_path,
+                  static_cast<unsigned long long>(
+                      service.trace().config().sample_every));
+    }
+  }
   std::string placement;
   for (std::size_t s = 0; s < stats.routed.size(); ++s) {
     placement += (s == 0 ? "" : " / ") + std::to_string(stats.routed[s]);
@@ -239,15 +262,19 @@ int main() {
   // post-rounds clean-RCE floor) and RCE-test recall, with the bounds the
   // exit code below enforces.
   {
-    char json[512];
+    char json[640];
     std::snprintf(
         json, sizeof(json),
-        "{\"schema\":\"safeloc.gate/v1\",\"clean_rce_p99\":%.6g,"
+        "{\"schema\":\"safeloc.gate/v2\",\"clean_rce_p99\":%.6g,"
         "\"rce_attack_recall\":%.6g,\"attack_recall\":%.6g,"
-        "\"benign_flag_rate\":%.6g,\"bounds\":{\"max_clean_rce_p99\":%.6g,"
+        "\"benign_flag_rate\":%.6g,\"flagged_rce\":%llu,"
+        "\"flagged_envelope\":%llu,"
+        "\"bounds\":{\"max_clean_rce_p99\":%.6g,"
         "\"min_rce_attack_recall\":%.6g,\"max_benign_flag_rate\":%.6g}}\n",
-        clean_rce_p99, rce_recall, recall, benign_flag_rate, kMaxCleanRceP99,
-        kMinRceRecall, kMaxBenignFlagRate);
+        clean_rce_p99, rce_recall, recall, benign_flag_rate,
+        static_cast<unsigned long long>(stats.flagged_rce),
+        static_cast<unsigned long long>(stats.flagged_envelope),
+        kMaxCleanRceP99, kMinRceRecall, kMaxBenignFlagRate);
     std::ofstream out("BENCH_gate.json", std::ios::binary);
     out << json;
     std::printf("gate metrics written to BENCH_gate.json (clean RCE p99 "

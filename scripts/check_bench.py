@@ -7,6 +7,16 @@ committed baselines in bench/baselines/, and fails on:
 
   * >30% qps regression in any grid cell present in both runs (threshold
     configurable via --threshold),
+  * a tail-latency regression — any cell's end-to-end p99 exceeding the
+    baseline's by more than --tail-threshold (default 75%; the tail is
+    noisier than the mean, so the ceiling is generous and exists to catch
+    step-function regressions like a lost batch window or a stage that
+    started blocking),
+  * a missing or empty per-stage telemetry block — every serve cell must
+    carry admission/routing/queue-wait/batch-form/inference/e2e stage
+    histograms with nonzero counts, and the remote route cell must also
+    show the wire legs (serialize/RPC/deserialize); a stage that stops
+    being recorded would silently blind the tail gate,
   * a kernel-dispatch mismatch — the runtime-selected GEMM variant differs
     from the baseline's (a silently degraded dispatch is exactly the
     regression this gate exists to catch),
@@ -87,6 +97,63 @@ def check_qps(
                 f"{label}: qps regressed {base_qps:,.0f} -> {cur_qps:,.0f} "
                 f"({cur_qps / base_qps - 1.0:+.1%}, floor {floor:,.0f} at "
                 f"threshold {threshold:.0%})")
+
+
+def check_tail(
+    name: str,
+    baseline_cells: list[dict],
+    current_cells: list[dict],
+    fields: tuple[str, ...],
+    tail_threshold: float,
+    failures: list[str],
+) -> None:
+    """End-to-end p99 per cell vs baseline. Missing cells are already
+    reported by check_qps, so only matched pairs are compared here."""
+    current_by_key = {cell_key(c, fields): c for c in current_cells}
+    for base in baseline_cells:
+        key = cell_key(base, fields)
+        cur = current_by_key.get(key)
+        if cur is None:
+            continue
+        base_p99 = base.get("latency_us", {}).get("p99", 0.0)
+        cur_p99 = cur.get("latency_us", {}).get("p99", 0.0)
+        if base_p99 <= 0:
+            continue
+        ceiling = base_p99 * (1.0 + tail_threshold)
+        if cur_p99 > ceiling:
+            failures.append(
+                f"{name} cell {dict(zip(fields, key))}: p99 latency "
+                f"regressed {base_p99:,.1f}us -> {cur_p99:,.1f}us "
+                f"({cur_p99 / base_p99 - 1.0:+.1%}, ceiling {ceiling:,.1f}us "
+                f"at tail threshold {tail_threshold:.0%})")
+
+
+# Stage histograms every serve cell must record (the engine triple plus the
+# service envelope); remote route cells must additionally show the wire legs.
+ENGINE_STAGES = ("stage.admission_us", "stage.routing_us", "stage.e2e_us",
+                 "stage.queue_wait_us", "stage.batch_form_us",
+                 "stage.inference_us")
+WIRE_STAGES = ("stage.wire_serialize_us", "stage.wire_rpc_us",
+               "stage.wire_deserialize_us", "stage.queue_wait_us")
+
+
+def check_stages(name: str, cells: list[dict], fields: tuple[str, ...],
+                 failures: list[str]) -> None:
+    for cell in cells:
+        label = f"{name} cell {dict(zip(fields, cell_key(cell, fields)))}"
+        stages = cell.get("stages")
+        if not isinstance(stages, dict):
+            failures.append(f"{label}: no per-stage telemetry block — "
+                            "schema too old? refresh baselines with --update")
+            continue
+        required = list(ENGINE_STAGES)
+        if cell.get("transport") == "remote":
+            required += [s for s in WIRE_STAGES if s not in required]
+        missing = [s for s in required
+                   if stages.get(s, {}).get("count", 0) <= 0]
+        if missing:
+            failures.append(f"{label}: stage histogram(s) missing or empty: "
+                            f"{', '.join(missing)}")
 
 
 def check_dispatch(baseline: dict, current: dict,
@@ -194,6 +261,21 @@ def check_gate(baseline: dict, current: dict, failures: list[str]) -> None:
             print(f"check_bench: gate {value_key} {value:.4f} within bound "
                   f"({bound_key} {bound:.4f})")
 
+    # Per-test attribution (v2): the counters must be present, and when the
+    # gate caught anything at all the attribution must not have been lost.
+    rce = current.get("flagged_rce")
+    envelope = current.get("flagged_envelope")
+    if rce is None or envelope is None:
+        failures.append("gate: flagged_rce/flagged_envelope missing — "
+                        "schema too old? refresh baselines with --update")
+    elif current.get("attack_recall", 0.0) > 0.0 and rce + envelope == 0:
+        failures.append("gate: attack recall is nonzero but both "
+                        "attribution counters are 0 — per-test attribution "
+                        "broke")
+    else:
+        print(f"check_bench: gate attribution flagged_rce={rce} "
+              f"flagged_envelope={envelope}")
+
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
@@ -206,6 +288,9 @@ def main() -> None:
                         help="allowed fractional qps regression (0.30 = 30%%)")
     parser.add_argument("--min-simd-speedup", default=1.5, type=float,
                         help="AVX2-vs-scalar floor on cache-busting shapes")
+    parser.add_argument("--tail-threshold", default=0.75, type=float,
+                        help="allowed fractional p99 latency growth per cell "
+                             "(0.75 = +75%%)")
     parser.add_argument("--update", action="store_true",
                         help="refresh baselines from the current run instead "
                              "of checking")
@@ -234,6 +319,11 @@ def main() -> None:
         check_qps("serve", serve_base.get("cells", []),
                   serve_cur.get("cells", []), ("workers", "batch"),
                   args.threshold, failures)
+        check_tail("serve", serve_base.get("cells", []),
+                   serve_cur.get("cells", []), ("workers", "batch"),
+                   args.tail_threshold, failures)
+        check_stages("serve", serve_cur.get("cells", []),
+                     ("workers", "batch"), failures)
         check_dispatch(serve_base, serve_cur, failures)
         check_simd_speedup(serve_cur, args.min_simd_speedup, failures)
 
@@ -248,6 +338,12 @@ def main() -> None:
                   route_cur.get("cells", []),
                   ("mix", "router", "shards", "transport"),
                   args.threshold, failures)
+        check_tail("route", route_base.get("cells", []),
+                   route_cur.get("cells", []),
+                   ("mix", "router", "shards", "transport"),
+                   args.tail_threshold, failures)
+        check_stages("route", route_cur.get("cells", []),
+                     ("mix", "router", "shards", "transport"), failures)
         check_route_partition(route_cur, failures)
 
     gate_base = load(args.baselines / GATE)

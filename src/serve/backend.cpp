@@ -35,7 +35,13 @@ void QueryBackend::deploy(const ModelRecord& record) {
 }
 
 SyncBackend::SyncBackend(std::size_t top_k)
-    : top_k_(top_k < 1 ? 1 : top_k) {}
+    : top_k_(top_k < 1 ? 1 : top_k),
+      queue_wait_hist_(&metrics_.histogram("stage.queue_wait_us")),
+      infer_hist_(&metrics_.histogram("stage.inference_us")) {}
+
+telemetry::RegistrySnapshot SyncBackend::telemetry_snapshot() const {
+  return metrics_.snapshot();
+}
 
 void SyncBackend::stage(const ModelRecord& record) {
   auto deployed = std::make_shared<const DeployedModel>(
@@ -97,7 +103,14 @@ void SyncBackend::submit(int building, std::vector<float> fingerprint,
   result.building = building;
   result.model_version = snapshot->version;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    // The wait for this lock is the backend's queue: concurrent submitters
+    // serialize here, and under saturation that wait dominates latency —
+    // exactly what stage.queue_wait_us must show.
+    std::unique_lock<std::mutex> lock(mutex_);
+    const auto acquired = std::chrono::steady_clock::now();
+    result.stages.queue_wait_us =
+        std::chrono::duration<double, std::micro>(acquired - enqueued)
+            .count();
     if (x_.rows() != 1 || x_.cols() != fingerprint.size()) {
       x_.reshape_discard(1, fingerprint.size());
     }
@@ -105,7 +118,12 @@ void SyncBackend::submit(int building, std::vector<float> fingerprint,
     nn::Matrix& probs = snapshot->net.logits(x_, ws_);
     softmax_rows_inplace(probs);
     result.top_k = top_k_classes(probs.row(0), top_k_);
+    result.stages.infer_us = std::chrono::duration<double, std::micro>(
+                                 std::chrono::steady_clock::now() - acquired)
+                                 .count();
   }
+  queue_wait_hist_->record(result.stages.queue_wait_us);
+  infer_hist_->record(result.stages.infer_us);
   result.rp = result.top_k.empty() ? -1 : result.top_k.front().label;
   if (result.rp >= 0) {
     result.position =

@@ -18,8 +18,24 @@
 #include "src/rss/building.h"
 #include "src/serve/model_store.h"
 #include "src/serve/serving_net.h"
+#include "src/serve/telemetry/registry.h"
 
 namespace safeloc::serve {
+
+/// Per-query span breakdown of latency_us, filled by whichever backend
+/// answered: QueryEngine reports queue_wait/batch_form/infer, SyncBackend
+/// queue_wait (lock acquisition) + infer, RemoteBackend adds the wire legs
+/// around the remote engine's stages. Unused stages stay 0. These feed the
+/// sampled trace dump (telemetry/trace.h); the aggregate per-stage
+/// histograms are recorded where the work happens, not from this struct.
+struct StageTimings {
+  double queue_wait_us = 0.0;
+  double batch_form_us = 0.0;
+  double infer_us = 0.0;
+  double wire_serialize_us = 0.0;
+  double wire_rpc_us = 0.0;
+  double wire_deserialize_us = 0.0;
+};
 
 struct QueryResult {
   int building = 0;
@@ -33,6 +49,8 @@ struct QueryResult {
   std::uint32_t model_version = 0;
   /// Submit-to-completion latency.
   double latency_us = 0.0;
+  /// Where latency_us went, stage by stage.
+  StageTimings stages;
 };
 
 /// An immutable deployed snapshot: the extracted classification net plus
@@ -110,12 +128,25 @@ class QueryBackend {
   /// Queries accepted but not yet answered — the load signal
   /// LeastLoadedRouter shards by. Synchronous backends report 0.
   [[nodiscard]] virtual std::size_t queue_depth() const = 0;
+
+  /// This backend's metrics (per-stage histograms, counters). For a remote
+  /// backend this includes the remote engine's registry fetched over the
+  /// wire, merged with the local wire-leg histograms; an unreachable shard
+  /// degrades to the local half instead of throwing. Default: empty (a
+  /// backend with no instrumentation).
+  [[nodiscard]] virtual telemetry::RegistrySnapshot telemetry_snapshot()
+      const {
+    return {};
+  }
 };
 
 /// Answers every query inline on the calling thread: one single-row forward
 /// through the deployed snapshot, callback completed before submit()
 /// returns. Serialized internally, so concurrent submitters are safe (they
-/// just don't overlap).
+/// just don't overlap). The time a submitter spends blocked on that
+/// serialization IS this backend's queue — it is measured as the
+/// stage.queue_wait_us histogram, which is what makes service-level
+/// saturation observable even with a synchronous test backend.
 class SyncBackend final : public QueryBackend {
  public:
   explicit SyncBackend(std::size_t top_k = 3);
@@ -129,6 +160,8 @@ class SyncBackend final : public QueryBackend {
               Callback done) override;
   void drain() override {}
   [[nodiscard]] std::size_t queue_depth() const override { return 0; }
+  [[nodiscard]] telemetry::RegistrySnapshot telemetry_snapshot()
+      const override;
 
  private:
   std::size_t top_k_;
@@ -137,6 +170,9 @@ class SyncBackend final : public QueryBackend {
   std::map<int, std::shared_ptr<const DeployedModel>> staged_;
   InferenceWorkspace ws_;
   nn::Matrix x_;
+  telemetry::MetricsRegistry metrics_;
+  telemetry::LatencyHistogram* queue_wait_hist_;
+  telemetry::LatencyHistogram* infer_hist_;
 };
 
 }  // namespace safeloc::serve

@@ -7,7 +7,13 @@
 namespace safeloc::serve {
 
 QueryEngine::QueryEngine(QueryEngineConfig config)
-    : config_(config), table_(std::make_shared<SnapshotTable>()) {
+    : config_(config),
+      queue_wait_hist_(&metrics_.histogram("stage.queue_wait_us")),
+      batch_form_hist_(&metrics_.histogram("stage.batch_form_us")),
+      infer_hist_(&metrics_.histogram("stage.inference_us")),
+      queue_depth_hist_(&metrics_.histogram("engine.queue_depth")),
+      batch_fill_hist_(&metrics_.histogram("engine.batch_fill")),
+      table_(std::make_shared<SnapshotTable>()) {
   // Resolve the kernel dispatch eagerly: an invalid SAFELOC_KERNEL must
   // fail construction, not throw out of a worker thread mid-batch (which
   // would std::terminate the process).
@@ -107,6 +113,7 @@ void QueryEngine::submit(int building, std::vector<float> fingerprint,
   pending.x = std::move(fingerprint);
   pending.done = std::move(done);
   pending.enqueued = std::chrono::steady_clock::now();
+  std::size_t depth = 0;
   {
     std::unique_lock<std::mutex> lock(queue_mutex_);
     space_cv_.wait(lock, [this] {
@@ -116,8 +123,12 @@ void QueryEngine::submit(int building, std::vector<float> fingerprint,
       throw BackendUnavailable("QueryEngine::submit: engine is shut down");
     }
     queue_.push_back(std::move(pending));
+    depth = queue_.size() + in_flight_;
   }
   queue_cv_.notify_one();
+  // Depth as this query saw it — the buildup signal the histogram's tail
+  // exposes (a saturated engine records deep queues at every arrival).
+  queue_depth_hist_->record(static_cast<double>(depth));
 }
 
 std::future<QueryResult> QueryEngine::submit(int building,
@@ -141,6 +152,10 @@ QueryEngine::Stats QueryEngine::stats() const {
   return stats;
 }
 
+telemetry::RegistrySnapshot QueryEngine::telemetry_snapshot() const {
+  return metrics_.snapshot();
+}
+
 std::size_t QueryEngine::queue_depth() const {
   const std::lock_guard<std::mutex> lock(queue_mutex_);
   return queue_.size() + in_flight_;
@@ -151,19 +166,20 @@ void QueryEngine::worker_loop() {
   std::vector<Pending> batch;
   for (;;) {
     batch.clear();
+    std::chrono::steady_clock::time_point opened;
     {
       std::unique_lock<std::mutex> lock(queue_mutex_);
       queue_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stop_ set and nothing left to serve
       // Popped queries count as in-flight immediately: the fill wait below
       // releases the lock, and drain() must not see them in neither place.
+      opened = std::chrono::steady_clock::now();
       batch.push_back(std::move(queue_.front()));
       queue_.pop_front();
       ++in_flight_;
       // Fill the micro-batch: take what is queued; wait out the batch
       // window for stragglers only while the batch is short.
-      const auto deadline =
-          std::chrono::steady_clock::now() + config_.batch_window;
+      const auto deadline = opened + config_.batch_window;
       while (batch.size() < config_.max_batch) {
         if (!queue_.empty()) {
           batch.push_back(std::move(queue_.front()));
@@ -178,10 +194,12 @@ void QueryEngine::worker_loop() {
       }
     }
     space_cv_.notify_all();
+    const auto closed = std::chrono::steady_clock::now();
+    batch_fill_hist_->record(static_cast<double>(batch.size()));
 
     // One immutable snapshot table per tick; deploys land on later ticks.
     const auto snapshots = table();
-    process_batch(batch, *snapshots, scratch);
+    process_batch(batch, *snapshots, scratch, opened, closed);
 
     // batches_ first / served_ second, mirrored by stats()' read order, so
     // a concurrent snapshot can only under-count a batch's fill, never pair
@@ -196,9 +214,13 @@ void QueryEngine::worker_loop() {
   }
 }
 
-void QueryEngine::process_batch(std::vector<Pending>& batch,
-                                const SnapshotTable& snapshots,
-                                TickScratch& scratch) const {
+void QueryEngine::process_batch(
+    std::vector<Pending>& batch, const SnapshotTable& snapshots,
+    TickScratch& scratch, std::chrono::steady_clock::time_point opened,
+    std::chrono::steady_clock::time_point closed) const {
+  const auto us = [](std::chrono::steady_clock::duration d) {
+    return std::chrono::duration<double, std::micro>(d).count();
+  };
   // Partition by building (batches are usually single-building; the scan is
   // over at most max_batch entries).
   std::vector<int>& buildings = scratch.buildings;
@@ -271,10 +293,18 @@ void QueryEngine::process_batch(std::vector<Pending>& batch,
             snapshot.rp_positions[static_cast<std::size_t>(result.rp)];
       }
       result.model_version = snapshot.version;
-      result.latency_us =
-          std::chrono::duration<double, std::micro>(completed -
-                                                    pending.enqueued)
-              .count();
+      result.latency_us = us(completed - pending.enqueued);
+      // Stage split: time queued before this batch opened, time held while
+      // the batch filled, time in the forward pass. A query that arrived
+      // mid-fill has zero queue wait and a shorter batch_form.
+      result.stages.queue_wait_us =
+          pending.enqueued < opened ? us(opened - pending.enqueued) : 0.0;
+      result.stages.batch_form_us =
+          us(closed - std::max(opened, pending.enqueued));
+      result.stages.infer_us = us(completed - closed);
+      queue_wait_hist_->record(result.stages.queue_wait_us);
+      batch_form_hist_->record(result.stages.batch_form_us);
+      infer_hist_->record(result.stages.infer_us);
       if (pending.done) pending.done(std::move(result));
     }
   }

@@ -111,6 +111,12 @@ class QueryEngine final : public QueryBackend {
   };
   [[nodiscard]] Stats stats() const;
 
+  /// Per-stage histograms (stage.queue_wait_us / batch_form_us /
+  /// inference_us) plus engine.queue_depth (recorded at every submit) and
+  /// engine.batch_fill (recorded per tick).
+  [[nodiscard]] telemetry::RegistrySnapshot telemetry_snapshot()
+      const override;
+
  private:
   /// building id -> immutable snapshot. The table itself is immutable;
   /// deploy() swaps the pointer.
@@ -133,12 +139,23 @@ class QueryEngine final : public QueryBackend {
   };
 
   void worker_loop();
+  /// `opened`/`closed` bracket the micro-batch: first query popped /
+  /// fill loop ended — they split each query's wait into queue_wait
+  /// (before the batch opened) and batch_form (held while filling).
   void process_batch(std::vector<Pending>& batch,
-                     const SnapshotTable& snapshots,
-                     TickScratch& scratch) const;
+                     const SnapshotTable& snapshots, TickScratch& scratch,
+                     std::chrono::steady_clock::time_point opened,
+                     std::chrono::steady_clock::time_point closed) const;
   [[nodiscard]] std::shared_ptr<const SnapshotTable> table() const;
 
   QueryEngineConfig config_;
+
+  telemetry::MetricsRegistry metrics_;
+  telemetry::LatencyHistogram* queue_wait_hist_;
+  telemetry::LatencyHistogram* batch_form_hist_;
+  telemetry::LatencyHistogram* infer_hist_;
+  telemetry::LatencyHistogram* queue_depth_hist_;
+  telemetry::LatencyHistogram* batch_fill_hist_;
 
   mutable std::mutex table_mutex_;
   std::shared_ptr<const SnapshotTable> table_;

@@ -22,7 +22,14 @@ namespace {
 }  // namespace
 
 RemoteBackend::RemoteBackend(RemoteBackendConfig config)
-    : config_(std::move(config)) {
+    : config_(std::move(config)),
+      wire_serialize_hist_(&metrics_.histogram("stage.wire_serialize_us")),
+      wire_rpc_hist_(&metrics_.histogram("stage.wire_rpc_us")),
+      wire_deserialize_hist_(&metrics_.histogram("stage.wire_deserialize_us")),
+      connects_(&metrics_.counter("net.connects")),
+      connect_retries_(&metrics_.counter("net.connect_retries")),
+      connect_failures_(&metrics_.counter("net.connect_failures")),
+      rpc_failures_(&metrics_.counter("net.rpc_failures")) {
   if (config_.address.empty()) {
     throw std::invalid_argument("RemoteBackend: empty shard address");
   }
@@ -35,18 +42,23 @@ void RemoteBackend::ensure_connected() const {
   if (socket_.valid()) return;
   std::string last_error;
   for (int attempt = 0; attempt < config_.connect_retries; ++attempt) {
-    if (attempt > 0) std::this_thread::sleep_for(config_.retry_backoff);
+    if (attempt > 0) {
+      connect_retries_->add();
+      std::this_thread::sleep_for(config_.retry_backoff);
+    }
     try {
       Socket socket = Socket::connect(config_.address, config_.connect_timeout);
       if (config_.io_timeout.count() > 0) {
         socket.set_io_timeout(config_.io_timeout);
       }
       socket_ = std::move(socket);
+      connects_->add();
       return;
     } catch (const SocketError& refused) {
       last_error = refused.what();
     }
   }
+  connect_failures_->add();
   throw BackendUnavailable("RemoteBackend: shard " + config_.address +
                            " unreachable after " +
                            std::to_string(config_.connect_retries) +
@@ -67,12 +79,14 @@ Frame RemoteBackend::rpc(MessageType type, const std::string& payload) const {
     // The connection is in an unknown state (request possibly executed,
     // reply lost) — drop it so the next RPC starts from a clean connect.
     socket_.close();
+    rpc_failures_->add();
     throw BackendUnavailable("RemoteBackend: shard " + config_.address +
                              " failed mid-RPC: " + transport.what());
   } catch (const WireError&) {
     // Framing skew: the stream cannot be re-synchronized; poison the
     // connection before propagating.
     socket_.close();
+    rpc_failures_->add();
     throw;
   }
   if (reply.type == MessageType::kError) {
@@ -128,15 +142,50 @@ std::size_t RemoteBackend::deployed_model_count() const {
 
 void RemoteBackend::submit(int building, std::vector<float> fingerprint,
                            Callback done) {
+  const auto us_since = [](std::chrono::steady_clock::time_point since) {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - since)
+        .count();
+  };
   QueryRequest query;
   query.building = building;
   query.fingerprint = std::move(fingerprint);
-  const Frame reply = rpc(MessageType::kQuery, encode_query(query));
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::string payload = encode_query(query);
+  const double serialize_us = us_since(t0);
+
+  const auto t1 = std::chrono::steady_clock::now();
+  const Frame reply = rpc(MessageType::kQuery, payload);
+  const double rpc_us = us_since(t1);
   if (reply.type != MessageType::kQueryReply) {
     throw WireError("RemoteBackend: unexpected reply to query");
   }
+
+  const auto t2 = std::chrono::steady_clock::now();
   QueryResult result = decode_query_reply(reply.payload);
+  const double deserialize_us = us_since(t2);
+
+  // The wire legs layer on top of whatever the remote engine reported in
+  // its own stage fields (queue_wait/batch_form/infer crossed the wire
+  // inside the reply).
+  result.stages.wire_serialize_us = serialize_us;
+  result.stages.wire_rpc_us = rpc_us;
+  result.stages.wire_deserialize_us = deserialize_us;
+  result.latency_us = us_since(t0);
+  wire_serialize_hist_->record(serialize_us);
+  wire_rpc_hist_->record(rpc_us);
+  wire_deserialize_hist_->record(deserialize_us);
   if (done) done(std::move(result));
+}
+
+telemetry::RegistrySnapshot RemoteBackend::telemetry_snapshot() const {
+  telemetry::RegistrySnapshot local = metrics_.snapshot();
+  try {
+    local.merge(shard_stats().telemetry);
+  } catch (const BackendUnavailable&) {
+    // Unreachable shard: the local wire-side view is still worth having.
+  }
+  return local;
 }
 
 ShardStats RemoteBackend::shard_stats() const {

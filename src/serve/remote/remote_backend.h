@@ -75,6 +75,13 @@ class RemoteBackend final : public QueryBackend {
               Callback done) override;
   void drain() override {}
   [[nodiscard]] std::size_t queue_depth() const override { return 0; }
+  /// Local wire-leg histograms (stage.wire_serialize/rpc/deserialize_us)
+  /// and net.* reliability counters, merged with the remote engine's
+  /// registry fetched via a stats RPC. When the shard is unreachable the
+  /// local half is returned alone — telemetry must not throw where serving
+  /// degrades.
+  [[nodiscard]] telemetry::RegistrySnapshot telemetry_snapshot()
+      const override;
 
   // --- operational RPCs -----------------------------------------------------
   [[nodiscard]] ShardStats shard_stats() const;
@@ -94,6 +101,18 @@ class RemoteBackend final : public QueryBackend {
   RemoteBackendConfig config_;
   mutable std::mutex mutex_;
   mutable Socket socket_;
+
+  /// Wire-leg histograms are recorded for kQuery submits only (publish and
+  /// stats RPCs would pollute the serving-stage view); the net.* counters
+  /// cover every RPC — they are the degradation-attribution signal.
+  mutable telemetry::MetricsRegistry metrics_;
+  telemetry::LatencyHistogram* wire_serialize_hist_;
+  telemetry::LatencyHistogram* wire_rpc_hist_;
+  telemetry::LatencyHistogram* wire_deserialize_hist_;
+  telemetry::Counter* connects_;
+  telemetry::Counter* connect_retries_;
+  telemetry::Counter* connect_failures_;
+  telemetry::Counter* rpc_failures_;
 };
 
 /// Connects to `address` and asks the shard_server to exit (kShutdown,

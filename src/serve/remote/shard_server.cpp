@@ -97,6 +97,10 @@ ShardStats ShardServer::stats() const {
   stats.resident_models =
       static_cast<std::uint64_t>(engine_.deployed_model_count());
   stats.queue_depth = static_cast<std::uint64_t>(engine_.queue_depth());
+  // The engine's per-stage histograms ride the stats reply: this is how a
+  // remote shard's queue-wait/batch/inference tail reaches the client-side
+  // fleet merge in LocalizationService::stats().
+  stats.telemetry = engine_.telemetry_snapshot();
   const std::lock_guard<std::mutex> lock(deploy_mutex_);
   stats.staged_models = static_cast<std::uint64_t>(staged_.size());
   stats.deployed.reserve(deployed_.size());

@@ -31,12 +31,86 @@ using util::write_string;
 constexpr std::uint64_t kMaxFingerprintDim = rss::kFeatureDim * 64;
 constexpr std::uint64_t kMaxTopK = 1 << 16;
 constexpr std::uint64_t kMaxDeployedEntries = 1 << 20;
+constexpr std::uint64_t kMaxMetricEntries = 1 << 12;
+constexpr std::uint64_t kMaxHistogramBuckets = 1 << 16;
+constexpr std::uint64_t kMaxMetricNameBytes = 256;
 
 void check_count(std::uint64_t count, std::uint64_t bound, const char* what) {
   if (count > bound) {
     throw WireError(std::string("wire: implausible ") + what + " count " +
                     std::to_string(count));
   }
+}
+
+std::string read_metric_name(std::istream& in) {
+  std::string name = read_string(in, kContext);
+  check_count(name.size(), kMaxMetricNameBytes, "metric-name byte");
+  return name;
+}
+
+/// RegistrySnapshot wire layout (stats replies): counters, gauges, then
+/// histograms — every histogram as its grid (min/max doubles) + integer
+/// count/sum/max + bucket counts, so the client-side merge reproduces the
+/// shard's histogram bit-for-bit.
+void write_registry(std::ostream& out,
+                    const telemetry::RegistrySnapshot& registry) {
+  write_pod(out, static_cast<std::uint64_t>(registry.counters.size()));
+  for (const auto& [name, value] : registry.counters) {
+    write_string(out, name);
+    write_pod(out, value);
+  }
+  write_pod(out, static_cast<std::uint64_t>(registry.gauges.size()));
+  for (const auto& [name, value] : registry.gauges) {
+    write_string(out, name);
+    write_pod(out, value);
+  }
+  write_pod(out, static_cast<std::uint64_t>(registry.histograms.size()));
+  for (const auto& [name, hist] : registry.histograms) {
+    write_string(out, name);
+    write_pod(out, hist.config.min_value);
+    write_pod(out, hist.config.max_value);
+    write_pod(out, hist.count);
+    write_pod(out, hist.sum_milli);
+    write_pod(out, hist.max_milli);
+    write_pod(out, static_cast<std::uint64_t>(hist.buckets.size()));
+    for (const std::uint64_t bucket : hist.buckets) write_pod(out, bucket);
+  }
+}
+
+telemetry::RegistrySnapshot read_registry(std::istream& in) {
+  telemetry::RegistrySnapshot registry;
+  const auto counters = read_pod<std::uint64_t>(in, kContext);
+  check_count(counters, kMaxMetricEntries, "counter");
+  for (std::uint64_t i = 0; i < counters; ++i) {
+    std::string name = read_metric_name(in);
+    registry.counters[std::move(name)] = read_pod<std::uint64_t>(in, kContext);
+  }
+  const auto gauges = read_pod<std::uint64_t>(in, kContext);
+  check_count(gauges, kMaxMetricEntries, "gauge");
+  for (std::uint64_t i = 0; i < gauges; ++i) {
+    std::string name = read_metric_name(in);
+    registry.gauges[std::move(name)] = read_pod<std::int64_t>(in, kContext);
+  }
+  const auto histograms = read_pod<std::uint64_t>(in, kContext);
+  check_count(histograms, kMaxMetricEntries, "histogram");
+  for (std::uint64_t i = 0; i < histograms; ++i) {
+    std::string name = read_metric_name(in);
+    telemetry::HistogramSnapshot hist;
+    hist.config.min_value = read_pod<double>(in, kContext);
+    hist.config.max_value = read_pod<double>(in, kContext);
+    hist.count = read_pod<std::uint64_t>(in, kContext);
+    hist.sum_milli = read_pod<std::uint64_t>(in, kContext);
+    hist.max_milli = read_pod<std::uint64_t>(in, kContext);
+    const auto buckets = read_pod<std::uint64_t>(in, kContext);
+    check_count(buckets, kMaxHistogramBuckets, "histogram-bucket");
+    hist.buckets.resize(static_cast<std::size_t>(buckets));
+    for (std::uint64_t b = 0; b < buckets; ++b) {
+      hist.buckets[static_cast<std::size_t>(b)] =
+          read_pod<std::uint64_t>(in, kContext);
+    }
+    registry.histograms[std::move(name)] = std::move(hist);
+  }
+  return registry;
 }
 
 }  // namespace
@@ -115,6 +189,12 @@ std::string encode_query_reply(const QueryResult& result) {
   }
   write_pod(out, result.model_version);
   write_pod(out, result.latency_us);
+  write_pod(out, result.stages.queue_wait_us);
+  write_pod(out, result.stages.batch_form_us);
+  write_pod(out, result.stages.infer_us);
+  write_pod(out, result.stages.wire_serialize_us);
+  write_pod(out, result.stages.wire_rpc_us);
+  write_pod(out, result.stages.wire_deserialize_us);
   return std::move(out).str();
 }
 
@@ -134,6 +214,12 @@ QueryResult decode_query_reply(const std::string& payload) {
   }
   result.model_version = read_pod<std::uint32_t>(in, kContext);
   result.latency_us = read_pod<double>(in, kContext);
+  result.stages.queue_wait_us = read_pod<double>(in, kContext);
+  result.stages.batch_form_us = read_pod<double>(in, kContext);
+  result.stages.infer_us = read_pod<double>(in, kContext);
+  result.stages.wire_serialize_us = read_pod<double>(in, kContext);
+  result.stages.wire_rpc_us = read_pod<double>(in, kContext);
+  result.stages.wire_deserialize_us = read_pod<double>(in, kContext);
   util::expect_exhausted(in, kContext);
   return result;
 }
@@ -199,6 +285,7 @@ std::string encode_stats_reply(const ShardStats& stats) {
     write_pod(out, building);
     write_pod(out, version);
   }
+  write_registry(out, stats.telemetry);
   return std::move(out).str();
 }
 
@@ -216,6 +303,7 @@ ShardStats decode_stats_reply(const std::string& payload) {
     building = read_pod<std::int32_t>(in, kContext);
     version = read_pod<std::uint32_t>(in, kContext);
   }
+  stats.telemetry = read_registry(in);
   util::expect_exhausted(in, kContext);
   return stats;
 }

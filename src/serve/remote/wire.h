@@ -48,11 +48,15 @@
 #include "src/serve/backend.h"
 #include "src/serve/model_store.h"
 #include "src/serve/remote/socket.h"
+#include "src/serve/telemetry/registry.h"
 
 namespace safeloc::serve::remote {
 
 inline constexpr std::uint32_t kWireMagic = 0x53465250;  // "SFRP"
-inline constexpr std::uint16_t kWireVersion = 1;
+/// v2: query replies carry StageTimings; stats replies carry the shard's
+/// telemetry RegistrySnapshot. Strict equality check — SFRP has no
+/// negotiation, a fleet upgrades atomically.
+inline constexpr std::uint16_t kWireVersion = 2;
 /// Upper bound on one frame's payload. Generous for paper-scale model
 /// records (a few MiB); a length above it means a corrupt or hostile
 /// header, and reading it would be an allocation bomb.
@@ -137,6 +141,9 @@ struct ShardStats {
   std::uint64_t queue_depth = 0;
   /// (building, serving version) per resident model, building ascending.
   std::vector<std::pair<std::int32_t, std::uint32_t>> deployed;
+  /// The shard engine's metrics registry — per-stage histograms shipped as
+  /// integer bucket counts, so the client-side fleet merge is bit-exact.
+  telemetry::RegistrySnapshot telemetry;
 };
 
 [[nodiscard]] std::string encode_stats_reply(const ShardStats& stats);

@@ -1,6 +1,7 @@
 #include "src/serve/service.h"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 #include <utility>
 
@@ -16,6 +17,7 @@ LocalizationService::LocalizationService(ServiceConfig config) {
   routed_ = std::make_unique<std::atomic<std::uint64_t>[]>(shards_.size());
   shard_errors_ =
       std::make_unique<std::atomic<std::uint64_t>[]>(shards_.size());
+  init_metrics();
 }
 
 LocalizationService::LocalizationService(
@@ -33,6 +35,13 @@ LocalizationService::LocalizationService(
   routed_ = std::make_unique<std::atomic<std::uint64_t>[]>(shards_.size());
   shard_errors_ =
       std::make_unique<std::atomic<std::uint64_t>[]>(shards_.size());
+  init_metrics();
+}
+
+void LocalizationService::init_metrics() {
+  admission_hist_ = &metrics_.histogram("stage.admission_us");
+  routing_hist_ = &metrics_.histogram("stage.routing_us");
+  e2e_hist_ = &metrics_.histogram("stage.e2e_us");
 }
 
 LocalizationService::~LocalizationService() = default;
@@ -132,8 +141,49 @@ std::uint32_t LocalizationService::published_version(int building) const {
   return it == published_versions_.end() ? 0 : it->second;
 }
 
+namespace {
+
+double elapsed_us(std::chrono::steady_clock::time_point since,
+                  std::chrono::steady_clock::time_point until) {
+  return std::chrono::duration<double, std::micro>(until - since).count();
+}
+
+/// Builds the span list for one sampled request: admission and routing
+/// from the service's own clocks, then the backend's StageTimings laid out
+/// back-to-back after routing (the measurement gaps between stages are
+/// real — spans are not forced to tile the e2e window).
+std::vector<telemetry::SpanRecord> build_spans(double admission_us,
+                                               double routing_us,
+                                               const StageTimings& stages,
+                                               double e2e_us) {
+  std::vector<telemetry::SpanRecord> spans;
+  spans.push_back({telemetry::Stage::kE2E, 0.0, e2e_us});
+  spans.push_back({telemetry::Stage::kAdmission, 0.0, admission_us});
+  double cursor = admission_us;
+  const auto push = [&spans, &cursor](telemetry::Stage stage, double us) {
+    if (us <= 0.0) return;
+    spans.push_back({stage, cursor, us});
+    cursor += us;
+  };
+  push(telemetry::Stage::kRouting, routing_us);
+  push(telemetry::Stage::kWireSerialize, stages.wire_serialize_us);
+  push(telemetry::Stage::kQueueWait, stages.queue_wait_us);
+  push(telemetry::Stage::kBatchForm, stages.batch_form_us);
+  push(telemetry::Stage::kInference, stages.infer_us);
+  push(telemetry::Stage::kWireRpc, stages.wire_rpc_us);
+  push(telemetry::Stage::kWireDeserialize, stages.wire_deserialize_us);
+  return spans;
+}
+
+}  // namespace
+
 void LocalizationService::submit(Request request,
                                  std::function<void(Response)> done) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::uint64_t seq =
+      request_seq_.fetch_add(1, std::memory_order_relaxed);
+  const bool sampled = trace_.should_sample();
+
   Response response;
   for (const auto& policy : admission_) {
     AdmissionVerdict verdict =
@@ -148,6 +198,24 @@ void LocalizationService::submit(Request request,
       response.admission_policy = policy->name();
       response.admission_test = std::move(verdict.test);
       response.admission_reason = std::move(verdict.reason);
+      if (response.admission_test == "rce") {
+        flagged_rce_.fetch_add(1, std::memory_order_relaxed);
+      } else if (response.admission_test == "envelope") {
+        flagged_envelope_.fetch_add(1, std::memory_order_relaxed);
+      }
+      const double admission_us =
+          elapsed_us(t0, std::chrono::steady_clock::now());
+      admission_hist_->record(admission_us);
+      if (sampled) {
+        telemetry::TraceRecord trace;
+        trace.request_seq = seq;
+        trace.building = request.building;
+        trace.shard = -1;
+        trace.admission = "reject:" + response.admission_test;
+        trace.spans =
+            build_spans(admission_us, 0.0, StageTimings{}, admission_us);
+        trace_.record(std::move(trace));
+      }
       if (done) done(std::move(response));
       return;
     }
@@ -161,6 +229,9 @@ void LocalizationService::submit(Request request,
       response.admission_reason = std::move(verdict.reason);
     }
   }
+  const auto admitted = std::chrono::steady_clock::now();
+  const double admission_us = elapsed_us(t0, admitted);
+  admission_hist_->record(admission_us);
 
   ShardView view;
   view.shards = shards_.size();
@@ -175,9 +246,14 @@ void LocalizationService::submit(Request request,
   std::size_t shard = router_->route(request.building, request.fingerprint, view);
   if (shard >= shards_.size()) shard = shards_.size() - 1;
   response.shard = static_cast<int>(shard);
+  const double routing_us =
+      elapsed_us(admitted, std::chrono::steady_clock::now());
+  routing_hist_->record(routing_us);
 
   const bool flagged = response.flagged;
   const int building = request.building;
+  const std::string admission_note =
+      flagged ? "flag:" + response.admission_test : "ok";
   try {
     // `done` is captured by copy: a backend that throws consumes the
     // callback it was handed (it died inside a moved-from Pending / a torn
@@ -185,7 +261,22 @@ void LocalizationService::submit(Request request,
     // request.
     shards_[shard]->submit(
         building, std::move(request.fingerprint),
-        [response = std::move(response), done](QueryResult result) mutable {
+        [this, response = std::move(response), done, t0, seq, sampled,
+         admission_us, routing_us, building, shard,
+         admission_note](QueryResult result) mutable {
+          const double e2e_us =
+              elapsed_us(t0, std::chrono::steady_clock::now());
+          e2e_hist_->record(e2e_us);
+          if (sampled) {
+            telemetry::TraceRecord trace;
+            trace.request_seq = seq;
+            trace.building = building;
+            trace.shard = static_cast<int>(shard);
+            trace.admission = admission_note;
+            trace.spans =
+                build_spans(admission_us, routing_us, result.stages, e2e_us);
+            trace_.record(std::move(trace));
+          }
           response.query = std::move(result);
           if (done) done(std::move(response));
         });
@@ -198,6 +289,17 @@ void LocalizationService::submit(Request request,
     submitted_.fetch_add(1, std::memory_order_relaxed);
     failed_.fetch_add(1, std::memory_order_relaxed);
     shard_errors_[shard].fetch_add(1, std::memory_order_relaxed);
+    const double e2e_us = elapsed_us(t0, std::chrono::steady_clock::now());
+    e2e_hist_->record(e2e_us);
+    if (sampled) {
+      telemetry::TraceRecord trace;
+      trace.request_seq = seq;
+      trace.building = building;
+      trace.shard = static_cast<int>(shard);
+      trace.admission = admission_note;
+      trace.spans = build_spans(admission_us, routing_us, StageTimings{}, e2e_us);
+      trace_.record(std::move(trace));
+    }
     Response failure;
     failure.status = Response::Status::kFailed;
     failure.flagged = flagged;
@@ -211,7 +313,14 @@ void LocalizationService::submit(Request request,
   // that never entered the fleet.
   submitted_.fetch_add(1, std::memory_order_relaxed);
   routed_[shard].fetch_add(1, std::memory_order_relaxed);
-  if (flagged) flagged_.fetch_add(1, std::memory_order_relaxed);
+  if (flagged) {
+    flagged_.fetch_add(1, std::memory_order_relaxed);
+    if (admission_note == "flag:rce") {
+      flagged_rce_.fetch_add(1, std::memory_order_relaxed);
+    } else if (admission_note == "flag:envelope") {
+      flagged_envelope_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
 }
 
 std::future<Response> LocalizationService::submit(Request request) {
@@ -232,6 +341,8 @@ LocalizationService::Stats LocalizationService::stats() const {
   stats.submitted = submitted_.load(std::memory_order_relaxed);
   stats.rejected = rejected_.load(std::memory_order_relaxed);
   stats.flagged = flagged_.load(std::memory_order_relaxed);
+  stats.flagged_rce = flagged_rce_.load(std::memory_order_relaxed);
+  stats.flagged_envelope = flagged_envelope_.load(std::memory_order_relaxed);
   stats.failed = failed_.load(std::memory_order_relaxed);
   stats.routed.reserve(shards_.size());
   stats.shard_errors.reserve(shards_.size());
@@ -239,6 +350,14 @@ LocalizationService::Stats LocalizationService::stats() const {
     stats.routed.push_back(routed_[s].load(std::memory_order_relaxed));
     stats.shard_errors.push_back(
         shard_errors_[s].load(std::memory_order_relaxed));
+  }
+  // Fleet metrics view: the front door's own stage histograms merged with
+  // every shard's. Histogram merges are pure integer accumulation, so the
+  // result is bit-consistent regardless of shard order — and a remote
+  // shard's snapshot (shipped over SFRP) merges exactly like a local one.
+  stats.metrics = metrics_.snapshot();
+  for (const auto& shard : shards_) {
+    stats.metrics.merge(shard->telemetry_snapshot());
   }
   return stats;
 }

@@ -50,6 +50,8 @@
 #include "src/serve/partition.h"
 #include "src/serve/query_engine.h"
 #include "src/serve/router.h"
+#include "src/serve/telemetry/registry.h"
+#include "src/serve/telemetry/trace.h"
 
 namespace safeloc::serve {
 
@@ -163,6 +165,11 @@ class LocalizationService {
     std::uint64_t rejected = 0;
     /// Flagged but still answered.
     std::uint64_t flagged = 0;
+    /// Flag/reject attribution by PoisonGate test id ("rce" / "envelope"):
+    /// which detector fired, not just that one did. Covers both rejected
+    /// and flagged-but-answered requests.
+    std::uint64_t flagged_rce = 0;
+    std::uint64_t flagged_envelope = 0;
     /// Submissions completed kFailed (shard unreachable).
     std::uint64_t failed = 0;
     /// Queries routed to each shard.
@@ -171,10 +178,32 @@ class LocalizationService {
     /// operator alarms on (one dead remote shard shows up here while the
     /// rest of the fleet keeps serving).
     std::vector<std::uint64_t> shard_errors;
+    /// The fleet metrics view: this service's own per-stage histograms
+    /// (stage.admission_us / routing_us / e2e_us) merged with every
+    /// shard's telemetry_snapshot() — for remote shards that includes the
+    /// histograms the shard_server shipped over the wire, so a local and a
+    /// remote fleet expose the same stage set here.
+    telemetry::RegistrySnapshot metrics;
   };
   [[nodiscard]] Stats stats() const;
 
+  /// Sampled trace spans (enable with SAFELOC_TRACE_SAMPLE=N); dump via
+  /// trace().write_json(path).
+  [[nodiscard]] telemetry::TraceCollector& trace() noexcept { return trace_; }
+
  private:
+  void init_metrics();
+
+  // Declared before shards_ on purpose: QueryEngine callbacks record into
+  // these histograms / the trace ring until the engines join their workers
+  // during shards_'s destruction, so the telemetry must be destroyed AFTER
+  // the shards (i.e. declared before them).
+  telemetry::MetricsRegistry metrics_;
+  telemetry::LatencyHistogram* admission_hist_ = nullptr;
+  telemetry::LatencyHistogram* routing_hist_ = nullptr;
+  telemetry::LatencyHistogram* e2e_hist_ = nullptr;
+  telemetry::TraceCollector trace_;
+
   std::vector<std::unique_ptr<QueryBackend>> shards_;
   std::unique_ptr<Router> router_;
   std::vector<std::unique_ptr<AdmissionPolicy>> admission_;
@@ -188,9 +217,13 @@ class LocalizationService {
   std::atomic<std::uint64_t> submitted_{0};
   std::atomic<std::uint64_t> rejected_{0};
   std::atomic<std::uint64_t> flagged_{0};
+  std::atomic<std::uint64_t> flagged_rce_{0};
+  std::atomic<std::uint64_t> flagged_envelope_{0};
   std::atomic<std::uint64_t> failed_{0};
   std::unique_ptr<std::atomic<std::uint64_t>[]> routed_;
   std::unique_ptr<std::atomic<std::uint64_t>[]> shard_errors_;
+  /// Monotonic request id for trace records.
+  std::atomic<std::uint64_t> request_seq_{0};
 };
 
 }  // namespace safeloc::serve

@@ -1,0 +1,148 @@
+#include "src/serve/telemetry/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/util/config.h"
+
+namespace safeloc::serve::telemetry {
+namespace {
+
+/// Round-half-up to fixed-point thousandths, saturating at uint64 max so a
+/// pathological record cannot overflow into a tiny sum.
+std::uint64_t to_milli(double value) noexcept {
+  if (!(value > 0.0)) return 0;  // also catches NaN
+  const double scaled = value * 1000.0 + 0.5;
+  if (scaled >= 1.8e19) return UINT64_MAX;
+  return static_cast<std::uint64_t>(scaled);
+}
+
+}  // namespace
+
+HistogramConfig HistogramConfig::from_env() {
+  HistogramConfig config;
+  config.min_value = util::env_double_strict("SAFELOC_HIST_MIN_US", config.min_value);
+  config.max_value = util::env_double_strict("SAFELOC_HIST_MAX_US", config.max_value);
+  if (!(config.min_value > 0.0) || !(config.max_value > config.min_value)) {
+    throw std::invalid_argument(
+        "HistogramConfig: need 0 < SAFELOC_HIST_MIN_US < SAFELOC_HIST_MAX_US, got min=" +
+        std::to_string(config.min_value) +
+        " max=" + std::to_string(config.max_value));
+  }
+  return config;
+}
+
+std::size_t HistogramConfig::octaves() const {
+  return static_cast<std::size_t>(
+      std::ceil(std::log2(max_value / min_value)));
+}
+
+std::size_t HistogramConfig::bucket_count() const {
+  return 2 + octaves() * kSubBucketsPerOctave;
+}
+
+double HistogramSnapshot::percentile(double p) const {
+  if (count == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  // Rank of the percentile sample, 1-based: the smallest k such that at
+  // least p% of recorded values are <= value[k].
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(p / 100.0 * static_cast<double>(count))));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    seen += buckets[i];
+    if (seen >= rank) {
+      return std::min(LatencyHistogram::bucket_upper(i, config), max());
+    }
+  }
+  return max();
+}
+
+void HistogramSnapshot::merge(const HistogramSnapshot& other) {
+  if (config != other.config || buckets.size() != other.buckets.size()) {
+    throw std::invalid_argument(
+        "HistogramSnapshot::merge: bucket grids differ (min=" +
+        std::to_string(config.min_value) + "/" +
+        std::to_string(other.config.min_value) + " max=" +
+        std::to_string(config.max_value) + "/" +
+        std::to_string(other.config.max_value) + ")");
+  }
+  count += other.count;
+  sum_milli += other.sum_milli;
+  max_milli = std::max(max_milli, other.max_milli);
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    buckets[i] += other.buckets[i];
+  }
+}
+
+LatencyHistogram::LatencyHistogram(HistogramConfig config)
+    : config_(config),
+      buckets_(std::make_unique<std::atomic<std::uint64_t>[]>(
+          config.bucket_count())) {
+  if (!(config_.min_value > 0.0) || !(config_.max_value > config_.min_value)) {
+    throw std::invalid_argument(
+        "LatencyHistogram: need 0 < min_value < max_value");
+  }
+  for (std::size_t i = 0; i < config_.bucket_count(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+std::size_t LatencyHistogram::bucket_index(
+    double value, const HistogramConfig& config) noexcept {
+  if (!(value >= config.min_value)) return 0;  // underflow; catches NaN
+  if (value >= config.max_value) return config.bucket_count() - 1;
+  const double ratio = value / config.min_value;
+  // ilogb is exact for the power-of-two octave split, unlike log2 whose
+  // rounding could flip values sitting exactly on an octave edge.
+  const int octave = std::ilogb(ratio);
+  const double base = std::ldexp(1.0, octave);
+  auto sub = static_cast<std::size_t>((ratio / base - 1.0) *
+                                      static_cast<double>(kSubBucketsPerOctave));
+  sub = std::min(sub, kSubBucketsPerOctave - 1);
+  return 1 + static_cast<std::size_t>(octave) * kSubBucketsPerOctave + sub;
+}
+
+double LatencyHistogram::bucket_upper(std::size_t index,
+                                      const HistogramConfig& config) {
+  if (index == 0) return config.min_value;
+  if (index >= config.bucket_count() - 1) return config.max_value;
+  const std::size_t k = index - 1;
+  const std::size_t octave = k / kSubBucketsPerOctave;
+  const std::size_t sub = k % kSubBucketsPerOctave;
+  const double upper =
+      config.min_value * std::ldexp(1.0, static_cast<int>(octave)) *
+      (1.0 + static_cast<double>(sub + 1) /
+                 static_cast<double>(kSubBucketsPerOctave));
+  return std::min(upper, config.max_value);
+}
+
+void LatencyHistogram::record(double value) noexcept {
+  if (!(value > 0.0)) value = 0.0;  // negatives and NaN clamp to underflow
+  buckets_[bucket_index(value, config_)].fetch_add(1,
+                                                   std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t milli = to_milli(value);
+  sum_milli_.fetch_add(milli, std::memory_order_relaxed);
+  std::uint64_t seen = max_milli_.load(std::memory_order_relaxed);
+  while (milli > seen && !max_milli_.compare_exchange_weak(
+                             seen, milli, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot LatencyHistogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.config = config_;
+  snap.buckets.resize(config_.bucket_count());
+  for (std::size_t i = 0; i < snap.buckets.size(); ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum_milli = sum_milli_.load(std::memory_order_relaxed);
+  snap.max_milli = max_milli_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+}  // namespace safeloc::serve::telemetry

@@ -1,0 +1,131 @@
+// LatencyHistogram — the fixed-size, log-bucketed (HDR-style) histogram
+// behind every per-stage latency metric in the serving path.
+//
+// Design constraints, in order:
+//   * record() must be safe and cheap from every producer/worker thread at
+//     serving rates (~150k ops/s): one bucket-index computation plus three
+//     relaxed atomic adds and one CAS-max — no locks, no allocation.
+//   * Snapshots must merge *bit-consistently*: a snapshot is integer bucket
+//     counts plus fixed-point (nanosecond) sum/max, so merging shard A into
+//     B and B into A — or local and remote halves in any order — yields the
+//     exact same bytes. This is what lets LocalizationService::stats() fuse
+//     per-shard histograms (including ones that crossed the SFRP wire) into
+//     one fleet view with no floating-point drift.
+//   * Percentile extraction (p50/p95/p99/p999 + max) must be deterministic:
+//     a percentile resolves to its bucket's upper bound, clamped to the
+//     exact observed max.
+//
+// Bucket scheme (golden-tested in tests/test_telemetry.cpp): values are
+// unit-agnostic doubles ("us" for latency stages, raw counts for queue
+// depth / batch fill). The range [min_value, max_value) is split into
+// octaves (powers of two above min_value), each octave into
+// kSubBucketsPerOctave = 8 linear sub-buckets, bounding the relative
+// quantization error by 1/8 = 12.5%. Bucket 0 catches values below
+// min_value; the last bucket catches values at or above max_value. The
+// default grid (0.1 .. 1e8, i.e. 100ns .. 100s when the unit is us) costs
+// 242 buckets = ~2KB of atomics per histogram.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace safeloc::serve::telemetry {
+
+inline constexpr std::size_t kSubBucketsPerOctave = 8;
+
+/// Bucket-grid parameters. Histograms (and their snapshots) can only merge
+/// when their grids match — a mismatch throws instead of silently mixing
+/// incomparable buckets.
+struct HistogramConfig {
+  /// Lower edge of the first octave; values below land in bucket 0.
+  double min_value = 0.1;
+  /// Values at or above this land in the overflow bucket.
+  double max_value = 1.0e8;
+
+  /// Grid overridden by SAFELOC_HIST_MIN_US / SAFELOC_HIST_MAX_US (strict
+  /// parsing — a typo'd value throws instead of silently rescaling every
+  /// histogram). Throws std::invalid_argument when the bounds are not
+  /// 0 < min < max.
+  [[nodiscard]] static HistogramConfig from_env();
+
+  /// Octaves needed to span [min_value, max_value).
+  [[nodiscard]] std::size_t octaves() const;
+  /// Total buckets: underflow + octaves * kSubBucketsPerOctave + overflow.
+  [[nodiscard]] std::size_t bucket_count() const;
+
+  bool operator==(const HistogramConfig&) const = default;
+};
+
+/// An immutable, mergeable copy of a histogram's state. All fields are
+/// integers (counts, fixed-point thousandths for sum/max), so merge() is
+/// exact and order-independent.
+struct HistogramSnapshot {
+  HistogramConfig config;
+  std::uint64_t count = 0;
+  /// Sum and max of recorded values in fixed-point thousandths (value *
+  /// 1000, rounded) — nanoseconds when the unit is microseconds.
+  std::uint64_t sum_milli = 0;
+  std::uint64_t max_milli = 0;
+  /// Per-bucket counts, config.bucket_count() entries.
+  std::vector<std::uint64_t> buckets;
+
+  [[nodiscard]] double sum() const noexcept { return static_cast<double>(sum_milli) / 1000.0; }
+  [[nodiscard]] double max() const noexcept { return static_cast<double>(max_milli) / 1000.0; }
+  [[nodiscard]] double mean() const noexcept {
+    return count == 0 ? 0.0 : sum() / static_cast<double>(count);
+  }
+
+  /// Deterministic percentile, p in [0, 100]: the upper bound of the bucket
+  /// holding the ceil(p% * count)-th recorded value, clamped to the exact
+  /// observed max. 0 when empty.
+  [[nodiscard]] double percentile(double p) const;
+  [[nodiscard]] double p50() const { return percentile(50.0); }
+  [[nodiscard]] double p95() const { return percentile(95.0); }
+  [[nodiscard]] double p99() const { return percentile(99.0); }
+  [[nodiscard]] double p999() const { return percentile(99.9); }
+
+  /// Element-wise accumulate. Throws std::invalid_argument when the bucket
+  /// grids differ.
+  void merge(const HistogramSnapshot& other);
+
+  bool operator==(const HistogramSnapshot&) const = default;
+};
+
+class LatencyHistogram {
+ public:
+  explicit LatencyHistogram(HistogramConfig config = HistogramConfig::from_env());
+
+  LatencyHistogram(const LatencyHistogram&) = delete;
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+  /// Lock-free; negative and NaN values clamp to 0 (bucket 0).
+  void record(double value) noexcept;
+
+  [[nodiscard]] HistogramSnapshot snapshot() const;
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const HistogramConfig& config() const noexcept { return config_; }
+
+  /// Bucket index for `value` under `config` — exposed for the boundary
+  /// goldens; the index is pure IEEE-754 arithmetic, identical on every
+  /// host.
+  [[nodiscard]] static std::size_t bucket_index(
+      double value, const HistogramConfig& config) noexcept;
+  /// Upper bound of bucket `index` (inclusive upper edge used as the
+  /// percentile representative). The overflow bucket reports max_value.
+  [[nodiscard]] static double bucket_upper(std::size_t index,
+                                           const HistogramConfig& config);
+
+ private:
+  HistogramConfig config_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_milli_{0};
+  std::atomic<std::uint64_t> max_milli_{0};
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+};
+
+}  // namespace safeloc::serve::telemetry

@@ -1,0 +1,167 @@
+#include "src/serve/telemetry/registry.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace safeloc::serve::telemetry {
+namespace {
+
+std::string json_num(double v) {
+  if (!(v == v) || v > 1.7e308 || v < -1.7e308) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+std::string json_str(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", v);
+  return buf;
+}
+
+}  // namespace
+
+void RegistrySnapshot::merge(const RegistrySnapshot& other) {
+  for (const auto& [name, value] : other.counters) counters[name] += value;
+  for (const auto& [name, value] : other.gauges) gauges[name] += value;
+  for (const auto& [name, hist] : other.histograms) {
+    const auto it = histograms.find(name);
+    if (it == histograms.end()) {
+      histograms.emplace(name, hist);
+    } else {
+      it->second.merge(hist);
+    }
+  }
+}
+
+std::string RegistrySnapshot::to_text() const {
+  std::string out;
+  for (const auto& [name, value] : counters) {
+    out += name + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : gauges) {
+    out += name + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, hist] : histograms) {
+    out += name + " count=" + std::to_string(hist.count) +
+           " mean=" + fmt(hist.mean()) + " p50=" + fmt(hist.p50()) +
+           " p95=" + fmt(hist.p95()) + " p99=" + fmt(hist.p99()) +
+           " p999=" + fmt(hist.p999()) + " max=" + fmt(hist.max()) + "\n";
+  }
+  return out;
+}
+
+std::string RegistrySnapshot::to_json() const {
+  std::string out = "{\"schema\":\"safeloc.metrics/v1\",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) out += ',';
+    first = false;
+    out += json_str(name) + ":" + std::to_string(value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    if (!first) out += ',';
+    first = false;
+    out += json_str(name) + ":" + std::to_string(value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, hist] : histograms) {
+    if (!first) out += ',';
+    first = false;
+    out += json_str(name) + ":{";
+    out += "\"count\":" + std::to_string(hist.count) + ',';
+    out += "\"mean\":" + json_num(hist.mean()) + ',';
+    out += "\"p50\":" + json_num(hist.p50()) + ',';
+    out += "\"p95\":" + json_num(hist.p95()) + ',';
+    out += "\"p99\":" + json_num(hist.p99()) + ',';
+    out += "\"p999\":" + json_num(hist.p999()) + ',';
+    out += "\"max\":" + json_num(hist.max());
+    out += '}';
+  }
+  out += "}}";
+  return out;
+}
+
+std::string stages_to_json(const RegistrySnapshot& snapshot) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, hist] : snapshot.histograms) {
+    if (name.rfind("stage.", 0) != 0) continue;
+    if (!first) out += ',';
+    first = false;
+    out += json_str(name) + ":{";
+    out += "\"count\":" + std::to_string(hist.count) + ',';
+    out += "\"p50\":" + json_num(hist.p50()) + ',';
+    out += "\"p95\":" + json_num(hist.p95()) + ',';
+    out += "\"p99\":" + json_num(hist.p99()) + ',';
+    out += "\"max\":" + json_num(hist.max());
+    out += '}';
+  }
+  out += '}';
+  return out;
+}
+
+MetricsRegistry::MetricsRegistry(HistogramConfig histogram_config)
+    : histogram_config_(histogram_config) {}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+LatencyHistogram& MetricsRegistry::histogram(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<LatencyHistogram>(histogram_config_);
+  return *slot;
+}
+
+RegistrySnapshot MetricsRegistry::snapshot() const {
+  RegistrySnapshot snap;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, counter] : counters_) {
+    snap.counters[name] = counter->value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges[name] = gauge->value();
+  }
+  for (const auto& [name, hist] : histograms_) {
+    snap.histograms[name] = hist->snapshot();
+  }
+  return snap;
+}
+
+}  // namespace safeloc::serve::telemetry

@@ -1,0 +1,121 @@
+// MetricsRegistry — the named home for every counter, gauge, and latency
+// histogram in the serving path.
+//
+// Ownership model: each serving component (QueryEngine, SyncBackend,
+// RemoteBackend, LocalizationService) owns one registry and resolves its
+// metric handles ONCE at construction; the hot path then touches only the
+// cached Counter*/LatencyHistogram* — no map lookups, no locks. The
+// registry mutex guards only creation and snapshotting.
+//
+// Snapshots (`RegistrySnapshot`) are plain structs of integers: mergeable
+// across threads, shards, and the SFRP wire with bit-consistent results
+// (see histogram.h), and dumpable as aligned text or JSON for
+// shard_server / serve_demo operators.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "src/serve/telemetry/histogram.h"
+
+namespace safeloc::serve::telemetry {
+
+/// Monotonic event count. Lock-free add; merge is addition.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Point-in-time level (queue depth, resident models). Merge is addition —
+/// a fleet gauge is the sum of per-shard levels.
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t n) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// A mergeable copy of one registry's state at one instant.
+struct RegistrySnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  [[nodiscard]] bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+
+  /// Accumulates `other` into this snapshot: counters and gauges add,
+  /// histograms merge bucket-wise (same-name histograms must share a grid —
+  /// mismatches throw, see HistogramSnapshot::merge). Names present in only
+  /// one side are kept, so a remote shard's stage set unions with local.
+  void merge(const RegistrySnapshot& other);
+
+  /// Human-readable dump: one line per counter/gauge, one block per
+  /// histogram with count/mean/p50/p95/p99/p999/max.
+  [[nodiscard]] std::string to_text() const;
+
+  /// `safeloc.metrics/v1` JSON object (stable key order — maps are sorted).
+  [[nodiscard]] std::string to_json() const;
+
+  bool operator==(const RegistrySnapshot&) const = default;
+};
+
+/// JSON object of per-stage percentiles for every `stage.*` histogram in
+/// `snapshot`: {"stage.queue_wait_us":{"count":..,"p50":..,"p95":..,
+/// "p99":..,"max":..},...}. The shared emitter for bench_serve /
+/// bench_route / serve_demo cells, so scripts/check_bench.py sees one
+/// shape everywhere.
+[[nodiscard]] std::string stages_to_json(const RegistrySnapshot& snapshot);
+
+class MetricsRegistry {
+ public:
+  explicit MetricsRegistry(HistogramConfig histogram_config =
+                               HistogramConfig::from_env());
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Resolve-or-create by name. Returned references are stable for the
+  /// registry's lifetime (node-based map + unique_ptr), so components cache
+  /// them at construction and never touch the registry lock again.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  LatencyHistogram& histogram(const std::string& name);
+
+  [[nodiscard]] RegistrySnapshot snapshot() const;
+
+  [[nodiscard]] const HistogramConfig& histogram_config() const noexcept {
+    return histogram_config_;
+  }
+
+ private:
+  HistogramConfig histogram_config_;
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+};
+
+}  // namespace safeloc::serve::telemetry

@@ -1,0 +1,133 @@
+#include "src/serve/telemetry/trace.h"
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+#include "src/util/config.h"
+
+namespace safeloc::serve::telemetry {
+namespace {
+
+std::string json_num(double v) {
+  if (!(v == v) || v > 1.7e308 || v < -1.7e308) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+}  // namespace
+
+const char* stage_name(Stage stage) noexcept {
+  switch (stage) {
+    case Stage::kAdmission: return "admission";
+    case Stage::kRouting: return "routing";
+    case Stage::kQueueWait: return "queue_wait";
+    case Stage::kBatchForm: return "batch_form";
+    case Stage::kInference: return "inference";
+    case Stage::kWireSerialize: return "wire_serialize";
+    case Stage::kWireRpc: return "wire_rpc";
+    case Stage::kWireDeserialize: return "wire_deserialize";
+    case Stage::kE2E: return "e2e";
+  }
+  return "unknown";
+}
+
+TraceConfig TraceConfig::from_env() {
+  TraceConfig config;
+  const int sample = util::env_int_strict("SAFELOC_TRACE_SAMPLE", 0);
+  config.sample_every =
+      sample <= 0 ? 0 : static_cast<std::uint64_t>(sample);
+  const int capacity = util::env_int_strict("SAFELOC_TRACE_CAPACITY", 4096);
+  if (capacity < 1) {
+    throw std::invalid_argument(
+        "TraceConfig: SAFELOC_TRACE_CAPACITY must be >= 1, got " +
+        std::to_string(capacity));
+  }
+  config.capacity = static_cast<std::size_t>(capacity);
+  return config;
+}
+
+TraceCollector::TraceCollector(TraceConfig config) : config_(config) {
+  if (enabled()) ring_.reserve(config_.capacity);
+}
+
+bool TraceCollector::should_sample() noexcept {
+  if (!enabled()) return false;
+  return seen_.fetch_add(1, std::memory_order_relaxed) %
+             config_.sample_every ==
+         0;
+}
+
+void TraceCollector::record(TraceRecord trace) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_.size() < config_.capacity) {
+    ring_.push_back(std::move(trace));
+    return;
+  }
+  ring_[next_] = std::move(trace);
+  next_ = (next_ + 1) % config_.capacity;
+  ++dropped_;
+}
+
+std::vector<TraceRecord> TraceCollector::ordered_locked() const {
+  // Ring order: once full, next_ points at the oldest record.
+  std::vector<TraceRecord> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::vector<TraceRecord> TraceCollector::drain() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TraceRecord> out = ordered_locked();
+  ring_.clear();
+  next_ = 0;
+  return out;
+}
+
+std::string TraceCollector::to_json() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::vector<TraceRecord> traces = ordered_locked();
+  std::string out = "{\"schema\":\"safeloc.trace/v1\",";
+  out += "\"sample_every\":" + std::to_string(config_.sample_every) + ',';
+  out += "\"dropped\":" + std::to_string(dropped_) + ',';
+  out += "\"traces\":[";
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    const TraceRecord& t = traces[i];
+    if (i > 0) out += ',';
+    out += "{\"seq\":" + std::to_string(t.request_seq) + ',';
+    out += "\"building\":" + std::to_string(t.building) + ',';
+    out += "\"shard\":" + std::to_string(t.shard) + ',';
+    out += "\"admission\":\"" + t.admission + "\",";
+    out += "\"spans\":[";
+    for (std::size_t s = 0; s < t.spans.size(); ++s) {
+      const SpanRecord& span = t.spans[s];
+      if (s > 0) out += ',';
+      out += std::string("{\"stage\":\"") + stage_name(span.stage) + "\",";
+      out += "\"start_us\":" + json_num(span.start_us) + ',';
+      out += "\"duration_us\":" + json_num(span.duration_us) + '}';
+    }
+    out += "]}";
+  }
+  out += "]}\n";
+  return out;
+}
+
+void TraceCollector::write_json(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw std::runtime_error("TraceCollector: cannot open " + path);
+  }
+  const std::string json = to_json();
+  out.write(json.data(), static_cast<std::streamsize>(json.size()));
+  if (!out) {
+    throw std::runtime_error("TraceCollector: short write to " + path);
+  }
+}
+
+}  // namespace safeloc::serve::telemetry

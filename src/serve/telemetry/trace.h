@@ -1,0 +1,105 @@
+// Trace spans — the per-request view the histograms aggregate away.
+//
+// Every Request that flows through LocalizationService covers a fixed set
+// of stages (admission -> routing -> backend). The backend contributes its
+// own interior stages: queue wait / batch formation / inference for
+// QueryEngine, lock wait / inference for SyncBackend, and wire
+// serialize / RPC / deserialize for RemoteBackend. All stage durations are
+// recorded into per-stage histograms unconditionally; TraceCollector
+// additionally keeps every Nth request's full span breakdown
+// (SAFELOC_TRACE_SAMPLE) in a bounded ring and dumps it as
+// `safeloc.trace/v1` JSON — the artifact CI uploads from the serve_demo
+// smoke so a tail regression can be read span-by-span, not just as a p99
+// delta.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace safeloc::serve::telemetry {
+
+/// The canonical stage set; names double as histogram keys ("stage.<name>_us").
+enum class Stage : std::uint8_t {
+  kAdmission = 0,
+  kRouting,
+  kQueueWait,
+  kBatchForm,
+  kInference,
+  kWireSerialize,
+  kWireRpc,
+  kWireDeserialize,
+  kE2E,
+};
+
+[[nodiscard]] const char* stage_name(Stage stage) noexcept;
+
+struct SpanRecord {
+  Stage stage = Stage::kE2E;
+  /// Offset from the request's submit instant, microseconds.
+  double start_us = 0.0;
+  double duration_us = 0.0;
+};
+
+/// One sampled request: identity + its span breakdown.
+struct TraceRecord {
+  std::uint64_t request_seq = 0;
+  int building = 0;
+  /// Which shard the router picked; -1 when rejected before routing.
+  int shard = -1;
+  std::string admission;  ///< "ok", "flag:<test>", or "reject"
+  std::vector<SpanRecord> spans;
+};
+
+struct TraceConfig {
+  /// Keep every Nth request's spans; 0 disables sampling entirely.
+  std::uint64_t sample_every = 0;
+  /// Ring capacity — oldest sampled traces are overwritten.
+  std::size_t capacity = 4096;
+
+  /// SAFELOC_TRACE_SAMPLE / SAFELOC_TRACE_CAPACITY, strict-parsed.
+  [[nodiscard]] static TraceConfig from_env();
+};
+
+/// Bounded ring of sampled traces. record() is called once per sampled
+/// request from submit paths — a single short mutex hold (no allocation
+/// beyond the moved-in record); should_sample() is a lock-free counter
+/// check so unsampled requests pay one relaxed fetch_add.
+class TraceCollector {
+ public:
+  explicit TraceCollector(TraceConfig config = TraceConfig::from_env());
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return config_.sample_every > 0;
+  }
+
+  /// True for every Nth call (N = sample_every); false when disabled.
+  [[nodiscard]] bool should_sample() noexcept;
+
+  void record(TraceRecord trace);
+
+  /// Sampled traces, oldest first (ring order reconstructed).
+  [[nodiscard]] std::vector<TraceRecord> drain();
+
+  /// `safeloc.trace/v1` JSON for all currently held traces.
+  [[nodiscard]] std::string to_json() const;
+
+  /// Writes to_json() to `path`. Throws std::runtime_error on I/O failure.
+  void write_json(const std::string& path) const;
+
+  [[nodiscard]] const TraceConfig& config() const noexcept { return config_; }
+
+ private:
+  [[nodiscard]] std::vector<TraceRecord> ordered_locked() const;
+
+  TraceConfig config_;
+  std::atomic<std::uint64_t> seen_{0};
+  mutable std::mutex mutex_;
+  std::vector<TraceRecord> ring_;
+  std::size_t next_ = 0;      ///< Ring write cursor.
+  std::uint64_t dropped_ = 0; ///< Sampled traces overwritten by the ring.
+};
+
+}  // namespace safeloc::serve::telemetry

@@ -108,15 +108,16 @@ class RemoteFixture : public ::testing::Test {
 
 TEST(Wire, FrameHeaderGoldenBytes) {
   // Pin the on-wire layout: 16-byte header, little-endian, magic "SFRP"
-  // (reads as "PRFS" in byte order), version 1. A layout change breaks
-  // cross-version fleets and MUST show up as this golden failing.
+  // (reads as "PRFS" in byte order), version 2 (stage timings + telemetry
+  // payloads). A layout change breaks cross-version fleets and MUST show
+  // up as this golden failing.
   LocalPair pair;
   remote::send_frame(pair.client, remote::MessageType::kHealthRequest, "ab");
   unsigned char raw[18];
   pair.server.read_exact(raw, sizeof(raw));
   const unsigned char expected[18] = {
       0x50, 0x52, 0x46, 0x53,  // magic 0x53465250 LE
-      0x01, 0x00,              // version 1
+      0x02, 0x00,              // version 2
       0x09, 0x00,              // type kHealthRequest = 9
       0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  // payload_bytes = 2
       'a',  'b'};
@@ -164,7 +165,7 @@ TEST(Wire, RejectsBadMagicAndVersionMismatch) {
 
 TEST(Wire, RejectsOversizedPayloadHeader) {
   LocalPair pair;
-  unsigned char header[16] = {0x50, 0x52, 0x46, 0x53, 0x01, 0x00, 0x01, 0x00};
+  unsigned char header[16] = {0x50, 0x52, 0x46, 0x53, 0x02, 0x00, 0x01, 0x00};
   const std::uint64_t huge = remote::kMaxFrameBytes + 1;
   std::memcpy(header + 8, &huge, sizeof(huge));
   pair.client.write_all(header, sizeof(header));
@@ -178,7 +179,7 @@ TEST(Wire, TornFrameIsATransportErrorNotSilence) {
   // must throw (SocketError: torn frame), never hang or return a partial
   // frame as complete.
   LocalPair pair;
-  unsigned char header[16] = {0x50, 0x52, 0x46, 0x53, 0x01, 0x00, 0x01, 0x00};
+  unsigned char header[16] = {0x50, 0x52, 0x46, 0x53, 0x02, 0x00, 0x01, 0x00};
   const std::uint64_t promised = 100;
   std::memcpy(header + 8, &promised, sizeof(promised));
   pair.client.write_all(header, sizeof(header));
@@ -209,6 +210,12 @@ TEST(Wire, QueryAndReplyCodecsRoundTrip) {
   result.top_k = {{17, 0.9f}, {4, 0.05f}};
   result.model_version = 3;
   result.latency_us = 123.5;
+  result.stages.queue_wait_us = 10.25;
+  result.stages.batch_form_us = 20.5;
+  result.stages.infer_us = 30.75;
+  result.stages.wire_serialize_us = 1.5;
+  result.stages.wire_rpc_us = 90.0;
+  result.stages.wire_deserialize_us = 2.25;
   const serve::QueryResult decoded =
       remote::decode_query_reply(remote::encode_query_reply(result));
   EXPECT_EQ(decoded.rp, 17);
@@ -219,6 +226,13 @@ TEST(Wire, QueryAndReplyCodecsRoundTrip) {
   EXPECT_EQ(decoded.top_k[0].confidence, 0.9f);
   EXPECT_EQ(decoded.model_version, 3u);
   EXPECT_DOUBLE_EQ(decoded.latency_us, 123.5);
+  // v2: the per-stage breakdown crosses the wire losslessly.
+  EXPECT_DOUBLE_EQ(decoded.stages.queue_wait_us, 10.25);
+  EXPECT_DOUBLE_EQ(decoded.stages.batch_form_us, 20.5);
+  EXPECT_DOUBLE_EQ(decoded.stages.infer_us, 30.75);
+  EXPECT_DOUBLE_EQ(decoded.stages.wire_serialize_us, 1.5);
+  EXPECT_DOUBLE_EQ(decoded.stages.wire_rpc_us, 90.0);
+  EXPECT_DOUBLE_EQ(decoded.stages.wire_deserialize_us, 2.25);
 }
 
 TEST(Wire, ControlCodecsRoundTripAndRejectTrailingBytes) {
@@ -235,10 +249,22 @@ TEST(Wire, ControlCodecsRoundTripAndRejectTrailingBytes) {
   stats.staged_models = 1;
   stats.queue_depth = 5;
   stats.deployed = {{1, 3}, {2, 1}};
+  // v2: the shard's telemetry registry rides the stats reply. The snapshot
+  // is pure integers (fixed-point sums, bucket counts) so equality after a
+  // round trip is exact, not approximate.
+  serve::telemetry::MetricsRegistry registry;
+  registry.counter("net.connects").add(3);
+  registry.gauge("engine.resident").set(-2);
+  auto& hist = registry.histogram("stage.inference_us");
+  hist.record(12.5);
+  hist.record(900.0);
+  hist.record(45000.25);
+  stats.telemetry = registry.snapshot();
   const remote::ShardStats decoded_stats =
       remote::decode_stats_reply(remote::encode_stats_reply(stats));
   EXPECT_EQ(decoded_stats.queries_served, 1000u);
   EXPECT_EQ(decoded_stats.deployed, stats.deployed);
+  EXPECT_EQ(decoded_stats.telemetry, stats.telemetry);
 
   const remote::HealthInfo health =
       remote::decode_health_reply(remote::encode_health_reply({1, 4}));

@@ -1,0 +1,518 @@
+// Telemetry tests: histogram bucket-boundary goldens, bit-exact merges,
+// concurrent-record exactness (this suite runs under TSan in CI), registry
+// snapshots and the shared stage-JSON emitter, trace sampling/ring
+// semantics, service-level span nesting with SAFELOC_TRACE_SAMPLE=1,
+// queue-wait visibility under a saturated SyncBackend, and remote-fleet
+// telemetry merging over the SFRP wire.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/engine/engine.h"
+#include "src/serve/backend.h"
+#include "src/serve/model_store.h"
+#include "src/serve/remote/remote_backend.h"
+#include "src/serve/remote/shard_server.h"
+#include "src/serve/service.h"
+#include "src/serve/telemetry/histogram.h"
+#include "src/serve/telemetry/registry.h"
+#include "src/serve/telemetry/trace.h"
+#include "src/serve/traffic.h"
+
+namespace safeloc {
+namespace {
+
+namespace telemetry = serve::telemetry;
+
+/// Scoped setenv — restores the variable to unset on destruction so env
+/// mutation cannot leak across tests.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    ::setenv(name, value, 1);
+  }
+  ~ScopedEnv() { ::unsetenv(name_); }
+
+ private:
+  const char* name_;
+};
+
+/// One engine-trained, calibration-carrying record (building 2, the
+/// smallest) shared across the service-level tests; trained once.
+class TelemetryServiceFixture : public ::testing::Test {
+ protected:
+  static const serve::ModelRecord& record() {
+    static const serve::ModelStore store = [] {
+      engine::ScenarioSpec spec;
+      spec.framework = "SAFELOC";
+      spec.building = 2;
+      spec.rounds = 2;
+      spec.server_epochs = 6;
+      const engine::RunReport report =
+          engine::ScenarioEngine{}.run(std::vector<engine::ScenarioSpec>{spec},
+                                       1, /*capture_final_gm=*/true);
+      serve::ModelStore built;
+      built.publish_run(report);
+      return built;
+    }();
+    return store.latest("SAFELOC/b2");
+  }
+
+  static std::vector<std::unique_ptr<serve::QueryBackend>> sync_shards(
+      std::size_t n) {
+    std::vector<std::unique_ptr<serve::QueryBackend>> shards;
+    for (std::size_t s = 0; s < n; ++s) {
+      shards.push_back(std::make_unique<serve::SyncBackend>());
+    }
+    return shards;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Histogram bucket goldens
+// ---------------------------------------------------------------------------
+
+TEST(Histogram, BucketBoundaryGoldens) {
+  const telemetry::HistogramConfig config;  // 0.1 .. 1e8
+  // ceil(log2(1e9)) = 30 octaves; underflow + 30*8 + overflow = 242.
+  EXPECT_EQ(config.octaves(), 30u);
+  EXPECT_EQ(config.bucket_count(), 242u);
+
+  using H = telemetry::LatencyHistogram;
+  // Below min -> underflow bucket; zero and negatives included.
+  EXPECT_EQ(H::bucket_index(0.0, config), 0u);
+  EXPECT_EQ(H::bucket_index(0.0999, config), 0u);
+  // First octave [0.1, 0.2): 8 linear sub-buckets of width 0.0125.
+  EXPECT_EQ(H::bucket_index(0.1, config), 1u);
+  EXPECT_EQ(H::bucket_index(0.1124, config), 1u);
+  EXPECT_EQ(H::bucket_index(0.1125, config), 2u);
+  // Second octave starts at exactly 2x min.
+  EXPECT_EQ(H::bucket_index(0.2, config), 9u);
+  // At/above max -> overflow bucket, which reports max_value as its bound.
+  EXPECT_EQ(H::bucket_index(1.0e8, config), config.bucket_count() - 1);
+  EXPECT_EQ(H::bucket_index(5.0e9, config), config.bucket_count() - 1);
+  EXPECT_DOUBLE_EQ(H::bucket_upper(config.bucket_count() - 1, config), 1.0e8);
+  // Upper bound of the first real bucket: min * (1 + 1/8).
+  EXPECT_DOUBLE_EQ(H::bucket_upper(1, config), 0.1125);
+
+  // On a power-of-two grid every ratio is exact, so the linear sub-bucket
+  // split has no floating-point ambiguity: [1,2) in 8 steps of 0.125.
+  telemetry::HistogramConfig pow2;
+  pow2.min_value = 1.0;
+  pow2.max_value = 1024.0;
+  EXPECT_EQ(pow2.octaves(), 10u);
+  EXPECT_EQ(H::bucket_index(1.0, pow2), 1u);
+  EXPECT_EQ(H::bucket_index(1.5, pow2), 5u);
+  EXPECT_EQ(H::bucket_index(1.875, pow2), 8u);
+  EXPECT_EQ(H::bucket_index(2.0, pow2), 9u);
+  EXPECT_EQ(H::bucket_index(3.0, pow2), 13u);
+  EXPECT_EQ(H::bucket_index(512.0, pow2), 1u + 9u * 8u);
+  EXPECT_DOUBLE_EQ(H::bucket_upper(5, pow2), 1.625);
+
+  // Bucket upper bounds are non-decreasing and strictly increasing until
+  // they clamp at max_value — the grid tiles the range with no gaps.
+  double previous = 0.0;
+  for (std::size_t i = 0; i < config.bucket_count(); ++i) {
+    const double upper = H::bucket_upper(i, config);
+    EXPECT_GE(upper, previous) << "bucket " << i;
+    if (previous < config.max_value) {
+      EXPECT_GT(upper, previous) << "bucket " << i;
+    }
+    previous = upper;
+  }
+  EXPECT_DOUBLE_EQ(previous, config.max_value);
+}
+
+TEST(Histogram, PercentilesResolveToBucketBoundsClampedToMax) {
+  telemetry::LatencyHistogram hist;
+  EXPECT_DOUBLE_EQ(hist.snapshot().percentile(99.0), 0.0);  // empty
+  for (int i = 1; i <= 100; ++i) hist.record(static_cast<double>(i));
+  const telemetry::HistogramSnapshot snap = hist.snapshot();
+  EXPECT_EQ(snap.count, 100u);
+  EXPECT_DOUBLE_EQ(snap.max(), 100.0);
+  EXPECT_DOUBLE_EQ(snap.mean(), 50.5);
+  // Each percentile lands at a bucket upper bound >= the true rank value,
+  // within the 12.5% relative quantization of the grid.
+  EXPECT_GE(snap.p50(), 50.0);
+  EXPECT_LE(snap.p50(), 50.0 * 1.125);
+  EXPECT_GE(snap.p99(), 99.0);
+  // The top rank clamps to the exact observed max, not the bucket edge.
+  EXPECT_DOUBLE_EQ(snap.percentile(100.0), 100.0);
+
+  telemetry::LatencyHistogram clamped;
+  clamped.record(42.0);
+  EXPECT_DOUBLE_EQ(clamped.snapshot().p999(), 42.0);
+}
+
+TEST(Histogram, RecordClampsNegativeAndNanToUnderflow) {
+  telemetry::LatencyHistogram hist;
+  hist.record(-5.0);
+  hist.record(std::numeric_limits<double>::quiet_NaN());
+  const telemetry::HistogramSnapshot snap = hist.snapshot();
+  EXPECT_EQ(snap.count, 2u);
+  EXPECT_EQ(snap.buckets[0], 2u);
+  EXPECT_EQ(snap.sum_milli, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Merges
+// ---------------------------------------------------------------------------
+
+TEST(Histogram, MergeIsBitExactAndOrderInvariant) {
+  telemetry::LatencyHistogram a, b, combined;
+  for (int i = 0; i < 500; ++i) {
+    const double low = 0.37 * (i + 1);
+    const double high = 911.0 + 13.25 * i;
+    a.record(low);
+    b.record(high);
+    combined.record(low);
+    combined.record(high);
+  }
+  telemetry::HistogramSnapshot ab = a.snapshot();
+  ab.merge(b.snapshot());
+  telemetry::HistogramSnapshot ba = b.snapshot();
+  ba.merge(a.snapshot());
+  // Integer counts + fixed-point sums: merge order cannot change a bit,
+  // and merging equals having recorded everything in one histogram.
+  EXPECT_EQ(ab, ba);
+  EXPECT_EQ(ab, combined.snapshot());
+}
+
+TEST(Histogram, MergeRejectsGridMismatch) {
+  telemetry::HistogramConfig coarse;
+  coarse.min_value = 1.0;
+  coarse.max_value = 1000.0;
+  telemetry::LatencyHistogram a, b(coarse);
+  a.record(5.0);
+  b.record(5.0);
+  telemetry::HistogramSnapshot snap = a.snapshot();
+  EXPECT_THROW(snap.merge(b.snapshot()), std::invalid_argument);
+}
+
+TEST(Histogram, ConcurrentRecordsAreExact) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20'000;
+  telemetry::LatencyHistogram hist;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hist, t] {
+      const double value = 1.5 + static_cast<double>(t);
+      for (int i = 0; i < kPerThread; ++i) hist.record(value);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const telemetry::HistogramSnapshot snap = hist.snapshot();
+  EXPECT_EQ(snap.count, static_cast<std::uint64_t>(kThreads) * kPerThread);
+  // Fixed-point arithmetic: the concurrent sum is exact, not approximate.
+  std::uint64_t expected_sum = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    expected_sum += static_cast<std::uint64_t>((1.5 + t) * 1000.0 + 0.5) *
+                    kPerThread;
+  }
+  EXPECT_EQ(snap.sum_milli, expected_sum);
+  EXPECT_DOUBLE_EQ(snap.max(), 8.5);
+  std::uint64_t bucketed = 0;
+  for (const std::uint64_t b : snap.buckets) bucketed += b;
+  EXPECT_EQ(bucketed, snap.count);
+}
+
+TEST(Histogram, EnvConfigIsStrict) {
+  {
+    const ScopedEnv bad("SAFELOC_HIST_MIN_US", "fast");
+    EXPECT_THROW((void)telemetry::HistogramConfig::from_env(),
+                 std::invalid_argument);
+  }
+  {
+    const ScopedEnv min("SAFELOC_HIST_MIN_US", "2.0");
+    const ScopedEnv max("SAFELOC_HIST_MAX_US", "1.0");  // min >= max
+    EXPECT_THROW((void)telemetry::HistogramConfig::from_env(),
+                 std::invalid_argument);
+  }
+  {
+    const ScopedEnv min("SAFELOC_HIST_MIN_US", "0.5");
+    const ScopedEnv max("SAFELOC_HIST_MAX_US", "1e6");
+    const telemetry::HistogramConfig config =
+        telemetry::HistogramConfig::from_env();
+    EXPECT_DOUBLE_EQ(config.min_value, 0.5);
+    EXPECT_DOUBLE_EQ(config.max_value, 1e6);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+TEST(Registry, SnapshotMergesAndSerializes) {
+  telemetry::MetricsRegistry registry;
+  registry.counter("net.connects").add(2);
+  registry.gauge("engine.queue").set(7);
+  registry.histogram("stage.inference_us").record(33.0);
+  telemetry::RegistrySnapshot merged = registry.snapshot();
+
+  telemetry::MetricsRegistry other;
+  other.counter("net.connects").add(3);
+  other.counter("net.rpc_failures").add(1);
+  other.histogram("stage.inference_us").record(66.0);
+  other.histogram("stage.wire_rpc_us").record(120.0);
+  merged.merge(other.snapshot());
+
+  EXPECT_EQ(merged.counters.at("net.connects"), 5u);
+  EXPECT_EQ(merged.counters.at("net.rpc_failures"), 1u);
+  EXPECT_EQ(merged.gauges.at("engine.queue"), 7);
+  EXPECT_EQ(merged.histograms.at("stage.inference_us").count, 2u);
+  EXPECT_EQ(merged.histograms.at("stage.wire_rpc_us").count, 1u);
+
+  const std::string json = merged.to_json();
+  EXPECT_NE(json.find("\"schema\":\"safeloc.metrics/v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"net.connects\":5"), std::string::npos);
+  const std::string text = merged.to_text();
+  EXPECT_NE(text.find("stage.inference_us count=2"), std::string::npos);
+
+  // The bench emitter keeps only stage.* histograms.
+  const std::string stages = telemetry::stages_to_json(merged);
+  EXPECT_NE(stages.find("\"stage.wire_rpc_us\""), std::string::npos);
+  EXPECT_EQ(stages.find("net.connects"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Trace collector
+// ---------------------------------------------------------------------------
+
+TEST(Trace, SamplesEveryNthAndRingOverwritesOldest) {
+  telemetry::TraceConfig config;
+  config.sample_every = 2;
+  config.capacity = 2;
+  telemetry::TraceCollector collector(config);
+  EXPECT_TRUE(collector.enabled());
+  EXPECT_TRUE(collector.should_sample());
+  EXPECT_FALSE(collector.should_sample());
+  EXPECT_TRUE(collector.should_sample());
+
+  for (std::uint64_t seq = 1; seq <= 3; ++seq) {
+    telemetry::TraceRecord trace;
+    trace.request_seq = seq;
+    trace.spans.push_back({telemetry::Stage::kE2E, 0.0, 10.0 * seq});
+    collector.record(std::move(trace));
+  }
+  // Capacity 2: seq 1 was overwritten; drain is oldest-first.
+  const std::string json = collector.to_json();
+  EXPECT_NE(json.find("\"schema\":\"safeloc.trace/v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"dropped\":1"), std::string::npos);
+  const std::vector<telemetry::TraceRecord> drained = collector.drain();
+  ASSERT_EQ(drained.size(), 2u);
+  EXPECT_EQ(drained[0].request_seq, 2u);
+  EXPECT_EQ(drained[1].request_seq, 3u);
+  EXPECT_TRUE(collector.drain().empty());
+}
+
+TEST(Trace, DisabledCollectorNeverSamples) {
+  telemetry::TraceCollector collector(telemetry::TraceConfig{});
+  EXPECT_FALSE(collector.enabled());
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(collector.should_sample());
+}
+
+TEST(Trace, EnvConfigIsStrict) {
+  {
+    const ScopedEnv bad("SAFELOC_TRACE_SAMPLE", "always");
+    EXPECT_THROW((void)telemetry::TraceConfig::from_env(),
+                 std::invalid_argument);
+  }
+  {
+    const ScopedEnv bad("SAFELOC_TRACE_CAPACITY", "0");
+    EXPECT_THROW((void)telemetry::TraceConfig::from_env(),
+                 std::invalid_argument);
+  }
+  {
+    const ScopedEnv sample("SAFELOC_TRACE_SAMPLE", "16");
+    const telemetry::TraceConfig config = telemetry::TraceConfig::from_env();
+    EXPECT_EQ(config.sample_every, 16u);
+    EXPECT_EQ(config.capacity, 4096u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Service-level spans and stage histograms
+// ---------------------------------------------------------------------------
+
+TEST_F(TelemetryServiceFixture, ServiceTracesEverySampledRequestWithNesting) {
+  const ScopedEnv sample("SAFELOC_TRACE_SAMPLE", "1");
+  serve::LocalizationService service(sync_shards(1));
+  service.publish(record());
+  constexpr std::size_t kQueries = 16;
+  const std::vector<serve::TimedQuery> stream =
+      serve::TrafficGenerator([] {
+        serve::TrafficConfig config;
+        config.buildings = {2};
+        config.fingerprints_per_rp = 1;
+        return config;
+      }()).generate(kQueries);
+  for (const serve::TimedQuery& query : stream) {
+    (void)service.submit({query.building, query.x}).get();
+  }
+
+  const std::vector<telemetry::TraceRecord> traces = service.trace().drain();
+  ASSERT_EQ(traces.size(), kQueries);
+  std::set<std::uint64_t> seqs;
+  for (const telemetry::TraceRecord& trace : traces) {
+    seqs.insert(trace.request_seq);
+    EXPECT_EQ(trace.building, 2);
+    EXPECT_EQ(trace.shard, 0);
+    EXPECT_EQ(trace.admission, "ok");
+    const telemetry::SpanRecord* e2e = nullptr;
+    bool saw_inference = false;
+    for (const telemetry::SpanRecord& span : trace.spans) {
+      if (span.stage == telemetry::Stage::kE2E) e2e = &span;
+      saw_inference |= span.stage == telemetry::Stage::kInference;
+    }
+    ASSERT_NE(e2e, nullptr);
+    EXPECT_TRUE(saw_inference);
+    // Nesting: interior spans are disjoint sub-intervals of the e2e
+    // window, so each one (and their sum) fits inside it.
+    double interior_sum = 0.0;
+    for (const telemetry::SpanRecord& span : trace.spans) {
+      if (span.stage == telemetry::Stage::kE2E) continue;
+      EXPECT_GE(span.start_us, 0.0);
+      EXPECT_GT(span.duration_us, 0.0);  // zero-length spans are elided
+      EXPECT_LE(span.start_us + span.duration_us, e2e->duration_us + 0.5);
+      interior_sum += span.duration_us;
+    }
+    EXPECT_LE(interior_sum, e2e->duration_us + 0.5);
+  }
+  EXPECT_EQ(seqs.size(), kQueries) << "request_seq must be unique";
+
+  // The same requests populated the service-level stage histograms.
+  const telemetry::RegistrySnapshot metrics = service.stats().metrics;
+  EXPECT_EQ(metrics.histograms.at("stage.e2e_us").count, kQueries);
+  EXPECT_EQ(metrics.histograms.at("stage.admission_us").count, kQueries);
+  EXPECT_EQ(metrics.histograms.at("stage.inference_us").count, kQueries);
+}
+
+TEST_F(TelemetryServiceFixture, SaturatedSyncBackendShowsQueueWaitTail) {
+  serve::LocalizationService service(sync_shards(1));
+  service.publish(record());
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50;
+  const std::vector<serve::TimedQuery> stream =
+      serve::TrafficGenerator([] {
+        serve::TrafficConfig config;
+        config.buildings = {2};
+        config.fingerprints_per_rp = 1;
+        return config;
+      }()).generate(kPerThread);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&service, &stream] {
+      for (const serve::TimedQuery& query : stream) {
+        (void)service.submit({query.building, query.x}).get();
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  const telemetry::RegistrySnapshot metrics = service.stats().metrics;
+  const telemetry::HistogramSnapshot& queue_wait =
+      metrics.histograms.at("stage.queue_wait_us");
+  EXPECT_EQ(queue_wait.count,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  // 8 threads contending for one serialized backend: the queue-wait tail
+  // must be visible (above the underflow bucket), even though individual
+  // uncontended waits may round to 0.
+  EXPECT_GT(queue_wait.p99(), 0.0);
+  EXPECT_GT(queue_wait.max(), 0.0);
+  EXPECT_EQ(metrics.histograms.at("stage.e2e_us").count, queue_wait.count);
+}
+
+TEST_F(TelemetryServiceFixture, GateAttributionCountersSplitByTest) {
+  serve::LocalizationService service(sync_shards(2));
+  service.add_admission(std::make_unique<serve::PoisonGate>());
+  service.publish(record());
+  serve::TrafficConfig config;
+  config.buildings = {2};
+  config.fingerprints_per_rp = 1;
+  config.seed = 2024;
+  config.attack_fraction = 0.5;
+  config.attack_epsilon = 0.3;
+  const std::vector<serve::TimedQuery> stream =
+      serve::TrafficGenerator(config).generate(200);
+  for (const serve::TimedQuery& query : stream) {
+    (void)service.submit({query.building, query.x}).get();
+  }
+  const serve::LocalizationService::Stats stats = service.stats();
+  EXPECT_GT(stats.flagged, 0u);
+  // Every flag is attributed to exactly one admission test.
+  EXPECT_EQ(stats.flagged_rce + stats.flagged_envelope, stats.flagged);
+  // The RCE test runs first and carries detection on a fresh decoder.
+  EXPECT_GT(stats.flagged_rce, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Remote fleet merge
+// ---------------------------------------------------------------------------
+
+TEST_F(TelemetryServiceFixture, RemoteFleetTelemetryMergesIntoServiceStats) {
+  const std::string address =
+      "unix:/tmp/safeloc-telemetry-" + std::to_string(::getpid()) + ".sock";
+  serve::remote::ShardServerConfig server_config;
+  server_config.address = address;
+  server_config.engine.workers = 1;
+  serve::remote::ShardServer server(server_config);
+  server.start();
+
+  serve::remote::RemoteBackendConfig backend_config;
+  backend_config.address = address;
+  backend_config.connect_retries = 50;
+  std::vector<std::unique_ptr<serve::QueryBackend>> shards;
+  shards.push_back(
+      std::make_unique<serve::remote::RemoteBackend>(backend_config));
+  serve::LocalizationService service(std::move(shards));
+  service.publish(record());
+
+  constexpr std::size_t kQueries = 24;
+  const std::vector<serve::TimedQuery> stream =
+      serve::TrafficGenerator([] {
+        serve::TrafficConfig config;
+        config.buildings = {2};
+        config.fingerprints_per_rp = 1;
+        return config;
+      }()).generate(kQueries);
+  for (const serve::TimedQuery& query : stream) {
+    (void)service.submit({query.building, query.x}).get();
+  }
+
+  const telemetry::RegistrySnapshot metrics = service.stats().metrics;
+  // The fleet view unions the local stage set (admission/routing/e2e +
+  // wire legs from RemoteBackend) with the remote engine's stages that
+  // crossed the SFRP wire inside the stats reply.
+  for (const char* stage :
+       {"stage.admission_us", "stage.routing_us", "stage.e2e_us",
+        "stage.wire_serialize_us", "stage.wire_rpc_us",
+        "stage.wire_deserialize_us", "stage.queue_wait_us",
+        "stage.inference_us"}) {
+    ASSERT_TRUE(metrics.histograms.count(stage) == 1) << stage;
+    EXPECT_EQ(metrics.histograms.at(stage).count, kQueries) << stage;
+  }
+  EXPECT_EQ(metrics.counters.at("net.connects"), 1u);
+  EXPECT_EQ(metrics.counters.at("net.rpc_failures"), 0u);
+
+  // Bit-consistency: with traffic quiesced, two independent fetch+merge
+  // passes over the wire produce identical snapshots — histogram state is
+  // pure integers, so there is nothing to drift.
+  const serve::QueryBackend& backend = service.shard(0);
+  const telemetry::RegistrySnapshot first = backend.telemetry_snapshot();
+  const telemetry::RegistrySnapshot second = backend.telemetry_snapshot();
+  EXPECT_EQ(first.histograms, second.histograms);
+
+  server.stop();
+}
+
+}  // namespace
+}  // namespace safeloc

@@ -34,6 +34,7 @@
 #include "src/serve/remote/remote_backend.h"
 #include "src/serve/router.h"
 #include "src/serve/service.h"
+#include "src/serve/telemetry/histogram.h"
 #include "src/util/config.h"
 
 namespace {
@@ -112,11 +113,17 @@ int main() {
 
     std::map<std::string, std::uint32_t> pushed;
     std::pair<long, long> last_stamp{-2, -2};
+    // Sweep = one store-changed pass over the file: load + republish every
+    // stale model. The histogram makes publish-tail growth (a slow shard,
+    // a bloating store) visible in the exit summary, not just per-line.
+    serve::telemetry::LatencyHistogram sweep_hist;
     for (int iteration = 0; iterations == 0 || iteration < iterations;
          ++iteration) {
       if (iteration > 0) std::this_thread::sleep_for(poll);
       const std::pair<long, long> stamp = file_stamp(store_path);
       if (stamp == last_stamp || stamp.first < 0) continue;
+      const auto sweep_start = std::chrono::steady_clock::now();
+      std::size_t sweep_pushed = 0;
       try {
         const serve::ModelStore store =
             serve::ModelStore::load_file(store_path);
@@ -125,6 +132,7 @@ int main() {
           if (record.version <= pushed[name]) continue;
           fleet.publish(record);
           pushed[name] = record.version;
+          ++sweep_pushed;
           std::printf("republish_daemon: pushed %s v%u (building %d)\n",
                       name.c_str(), record.version,
                       record.provenance.building);
@@ -133,12 +141,29 @@ int main() {
         // Only remember the stamp once every fresh record pushed — a fleet
         // that was unreachable mid-file gets retried next poll.
         last_stamp = stamp;
+        const double sweep_us =
+            std::chrono::duration<double, std::micro>(
+                std::chrono::steady_clock::now() - sweep_start)
+                .count();
+        sweep_hist.record(sweep_us);
+        std::printf(
+            "republish_daemon: sweep complete (%zu pushed, %.1f ms)\n",
+            sweep_pushed, sweep_us / 1000.0);
+        std::fflush(stdout);
       } catch (const std::exception& failure) {
         // Store mid-rewrite (torn read) or fleet unreachable: the two-phase
         // publish already aborted any staged snapshots; retry next poll.
         std::fprintf(stderr, "republish_daemon: push failed, will retry: %s\n",
                      failure.what());
       }
+    }
+    const serve::telemetry::HistogramSnapshot sweeps = sweep_hist.snapshot();
+    if (sweeps.count > 0) {
+      std::printf(
+          "republish_daemon: %llu sweep(s), p50=%.1f ms p99=%.1f ms "
+          "max=%.1f ms\n",
+          static_cast<unsigned long long>(sweeps.count),
+          sweeps.p50() / 1000.0, sweeps.p99() / 1000.0, sweeps.max() / 1000.0);
     }
     return 0;
   } catch (const std::exception& failure) {

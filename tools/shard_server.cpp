@@ -14,12 +14,16 @@
 //                                affinity over SHARD_COUNT
 //   SAFELOC_SHARD_WORKERS        engine worker threads         (default 2)
 //   SAFELOC_SHARD_IO_TIMEOUT_MS  per-connection I/O deadline   (default 0)
+//   SAFELOC_SHARD_METRICS_DUMP   path for a safeloc.metrics/v1 JSON dump of
+//                                the shard's registry written at exit; the
+//                                same snapshot is printed as text to stdout
 //
 // Prints one "shard_server: ready ..." line to stdout once listening —
 // parents (CI smoke, bench_route) wait for it before sending traffic.
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
+#include <fstream>
 #include <optional>
 #include <string>
 
@@ -85,6 +89,24 @@ int main(int argc, char** argv) {
                 stats.queries_served == 1 ? "y" : "ies",
                 static_cast<unsigned long long>(stats.resident_models),
                 stats.resident_models == 1 ? "" : "s");
+    // Exit-time observability: the same registry that rides kStats replies,
+    // as text for the operator and optionally as JSON for tooling.
+    if (!stats.telemetry.empty()) {
+      std::fputs(stats.telemetry.to_text().c_str(), stdout);
+      std::fflush(stdout);
+    }
+    const std::string dump_path = env_string("SAFELOC_SHARD_METRICS_DUMP");
+    if (!dump_path.empty()) {
+      std::ofstream out(dump_path, std::ios::trunc);
+      out << stats.telemetry.to_json();
+      if (!out) {
+        std::fprintf(stderr, "shard_server: cannot write metrics dump %s\n",
+                     dump_path.c_str());
+        return 1;
+      }
+      std::printf("shard_server: metrics dump written to %s\n",
+                  dump_path.c_str());
+    }
     return 0;
   } catch (const std::exception& failure) {
     std::fprintf(stderr, "shard_server: %s\n", failure.what());
