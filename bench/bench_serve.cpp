@@ -234,9 +234,8 @@ int main(int argc, char** argv) {
   const auto variants = nn::simd::supported_variants();
   // "auto"/empty mean the dispatcher picked freely — only a concrete
   // variant name counts as forced (mirrors resolve_from_env).
-  const char* kernel_env = std::getenv("SAFELOC_KERNEL");
-  const bool forced = kernel_env != nullptr && *kernel_env != '\0' &&
-                      std::strcmp(kernel_env, "auto") != 0;
+  const std::string kernel_env = util::env_string("SAFELOC_KERNEL");
+  const bool forced = !kernel_env.empty() && kernel_env != "auto";
   std::string variant_header;
   for (const nn::simd::Variant v : variants) {
     variant_header += std::string(variant_header.empty() ? "" : ",") +

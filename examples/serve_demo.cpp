@@ -90,8 +90,8 @@ std::unique_ptr<safeloc::serve::LocalizationService> make_service(
     const safeloc::serve::ModelStore& store) {
   using namespace safeloc;
   std::unique_ptr<serve::LocalizationService> service;
-  const char* remote_csv = std::getenv("SAFELOC_SERVE_REMOTE");
-  if (remote_csv != nullptr && *remote_csv != '\0') {
+  const std::string remote_csv = util::env_string("SAFELOC_SERVE_REMOTE");
+  if (!remote_csv.empty()) {
     // Remote fleet: one RemoteBackend per shard_server address. Same front
     // door, same router, same gate — the shards just live in other
     // processes, and publish_latest below becomes a cross-process 2PC.
@@ -217,11 +217,11 @@ int main() {
               static_cast<unsigned long long>(stats.flagged_rce),
               static_cast<unsigned long long>(stats.flagged_envelope));
   {
-    const char* dump_path = std::getenv("SAFELOC_TRACE_DUMP");
-    if (dump_path != nullptr && *dump_path != '\0') {
+    const std::string dump_path = util::env_string("SAFELOC_TRACE_DUMP");
+    if (!dump_path.empty()) {
       service.trace().write_json(dump_path);
       std::printf("trace spans written to %s (sample_every=%llu)\n",
-                  dump_path,
+                  dump_path.c_str(),
                   static_cast<unsigned long long>(
                       service.trace().config().sample_every));
     }

@@ -51,30 +51,32 @@ import json
 import pathlib
 import shutil
 import sys
+from typing import Any
 
 SERVE = "BENCH_serve.json"
 ROUTE = "BENCH_route.json"
 GATE = "BENCH_gate.json"
 
 
-def load(path: pathlib.Path) -> dict:
+def load(path: pathlib.Path) -> dict[str, Any]:
     try:
         with path.open() as fh:
-            return json.load(fh)
+            report: dict[str, Any] = json.load(fh)
+            return report
     except FileNotFoundError:
         sys.exit(f"check_bench: missing report {path}")
     except json.JSONDecodeError as err:
         sys.exit(f"check_bench: {path} is not valid JSON: {err}")
 
 
-def cell_key(cell: dict, fields: tuple[str, ...]) -> tuple:
+def cell_key(cell: dict[str, Any], fields: tuple[str, ...]) -> tuple[Any, ...]:
     return tuple(cell.get(f) for f in fields)
 
 
 def check_qps(
     name: str,
-    baseline_cells: list[dict],
-    current_cells: list[dict],
+    baseline_cells: list[dict[str, Any]],
+    current_cells: list[dict[str, Any]],
     fields: tuple[str, ...],
     threshold: float,
     failures: list[str],
@@ -101,8 +103,8 @@ def check_qps(
 
 def check_tail(
     name: str,
-    baseline_cells: list[dict],
-    current_cells: list[dict],
+    baseline_cells: list[dict[str, Any]],
+    current_cells: list[dict[str, Any]],
     fields: tuple[str, ...],
     tail_threshold: float,
     failures: list[str],
@@ -137,7 +139,8 @@ WIRE_STAGES = ("stage.wire_serialize_us", "stage.wire_rpc_us",
                "stage.wire_deserialize_us", "stage.queue_wait_us")
 
 
-def check_stages(name: str, cells: list[dict], fields: tuple[str, ...],
+def check_stages(name: str, cells: list[dict[str, Any]],
+                 fields: tuple[str, ...],
                  failures: list[str]) -> None:
     for cell in cells:
         label = f"{name} cell {dict(zip(fields, cell_key(cell, fields)))}"
@@ -156,7 +159,7 @@ def check_stages(name: str, cells: list[dict], fields: tuple[str, ...],
                             f"{', '.join(missing)}")
 
 
-def check_dispatch(baseline: dict, current: dict,
+def check_dispatch(baseline: dict[str, Any], current: dict[str, Any],
                    failures: list[str]) -> None:
     base_dispatch = baseline.get("kernel_dispatch", {})
     cur_dispatch = current.get("kernel_dispatch", {})
@@ -174,7 +177,7 @@ def check_dispatch(baseline: dict, current: dict,
             f"{cur_dispatch.get('supported')})")
 
 
-def check_simd_speedup(current: dict, min_speedup: float,
+def check_simd_speedup(current: dict[str, Any], min_speedup: float,
                        failures: list[str]) -> None:
     supported = current.get("kernel_dispatch", {}).get("supported", [])
     if "avx2" not in supported:
@@ -204,7 +207,8 @@ def check_simd_speedup(current: dict, min_speedup: float,
                         "current report — bench_serve shape sweep shrank?")
 
 
-def check_route_partition(current: dict, failures: list[str]) -> None:
+def check_route_partition(current: dict[str, Any],
+                          failures: list[str]) -> None:
     """Fleet memory contract: in the multi-process cell every shard_server
     child must be resident exactly its partition slice. resident > owned
     means the partition filter leaks (shards grow toward O(all));
@@ -229,7 +233,8 @@ def check_route_partition(current: dict, failures: list[str]) -> None:
                   f"partition slices (O(owned) holds)")
 
 
-def check_gate(baseline: dict, current: dict, failures: list[str]) -> None:
+def check_gate(baseline: dict[str, Any], current: dict[str, Any],
+               failures: list[str]) -> None:
     """Poison-gate quality floors. Bounds are read from the BASELINE report
     (checked into bench/baselines/), values from the current run — so the
     bar cannot drift without a reviewed baseline refresh."""

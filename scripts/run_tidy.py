@@ -1,0 +1,284 @@
+#!/usr/bin/env python3
+"""clang-tidy ratchet for the safeloc tree, mirroring check_bench.py.
+
+Runs clang-tidy (profile: .clang-tidy) over every translation unit in the
+build's compile_commands.json and compares per-(file, check) finding counts
+against the checked-in baseline in scripts/tidy_baseline.json:
+
+  * a count ABOVE the baseline is a NEW finding -> exit 1 (CI fails),
+  * a count below the baseline passes, with a reminder to tighten the
+    ratchet via --update so the improvement cannot regress,
+  * absolute counts never gate -- only growth does, so the tree can carry
+    legacy findings without letting new code add more.
+
+Usage:
+  python3 scripts/run_tidy.py                 # gate against the baseline
+  python3 scripts/run_tidy.py --update        # refresh the baseline
+  python3 scripts/run_tidy.py --self-test     # exercise the ratchet logic
+                                              # (no clang-tidy needed; run
+                                              # in ctest as
+                                              # tidy_ratchet_selftest)
+
+Requires CMAKE_EXPORT_COMPILE_COMMANDS=ON (the repo's CMakeLists sets it)
+and a clang-tidy binary (override with --clang-tidy or CLANG_TIDY).
+
+stdlib only -- no pip dependencies.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import re
+import shutil
+import subprocess
+import sys
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any
+
+SCHEMA = "safeloc.tidy_baseline/v1"
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+SCAN_DIRS = ("src", "tools", "bench", "examples", "tests")
+EXCLUDED_PARTS = ("lint_fixtures",)
+
+# "path:line:col: warning: message [check-a,check-b]"
+FINDING_RE = re.compile(
+    r"^(?P<path>[^:\n]+):(?P<line>\d+):(?P<col>\d+): "
+    r"warning: (?P<message>.*) \[(?P<check>[^\]\s]+)\]$",
+    re.MULTILINE,
+)
+
+
+def relevant_sources(build_dir: pathlib.Path) -> list[pathlib.Path]:
+    """Repo TUs listed in compile_commands.json, minus the fixture corpus."""
+    commands_path = build_dir / "compile_commands.json"
+    try:
+        with commands_path.open() as fh:
+            commands: list[dict[str, Any]] = json.load(fh)
+    except FileNotFoundError:
+        sys.exit(
+            f"run_tidy: {commands_path} missing -- configure with "
+            "`cmake -B build -S .` (CMAKE_EXPORT_COMPILE_COMMANDS is on by "
+            "default in this repo)"
+        )
+    except json.JSONDecodeError as err:
+        sys.exit(f"run_tidy: {commands_path} is not valid JSON: {err}")
+
+    sources: list[pathlib.Path] = []
+    for entry in commands:
+        path = pathlib.Path(str(entry.get("file", ""))).resolve()
+        try:
+            rel = path.relative_to(REPO_ROOT)
+        except ValueError:
+            continue  # generated / external TU
+        if rel.parts and rel.parts[0] not in SCAN_DIRS:
+            continue
+        if any(part in EXCLUDED_PARTS for part in rel.parts):
+            continue
+        sources.append(path)
+    return sorted(set(sources))
+
+
+def run_one(
+    binary: str, build_dir: pathlib.Path, source: pathlib.Path
+) -> str:
+    """clang-tidy output for one TU (never raises -- diagnostics are data)."""
+    proc = subprocess.run(
+        [binary, "-p", str(build_dir), "--quiet", str(source)],
+        capture_output=True,
+        text=True,
+        check=False,
+        cwd=REPO_ROOT,
+    )
+    return proc.stdout
+
+
+def collect_findings(
+    binary: str, build_dir: pathlib.Path, jobs: int
+) -> dict[str, int]:
+    """Per-'relpath::check' finding counts across every relevant TU."""
+    sources = relevant_sources(build_dir)
+    if not sources:
+        sys.exit("run_tidy: no repo sources found in compile_commands.json")
+    print(f"run_tidy: analyzing {len(sources)} TU(s) with {binary}")
+    counts: dict[str, int] = {}
+    with ThreadPoolExecutor(max_workers=jobs) as pool:
+        outputs = pool.map(
+            lambda src: run_one(binary, build_dir, src), sources
+        )
+        for output in outputs:
+            for match in FINDING_RE.finditer(output):
+                path = pathlib.Path(match.group("path"))
+                if not path.is_absolute():
+                    path = (REPO_ROOT / path).resolve()
+                try:
+                    rel = path.resolve().relative_to(REPO_ROOT)
+                except ValueError:
+                    continue  # system header noise
+                if any(part in EXCLUDED_PARTS for part in rel.parts):
+                    continue
+                key = f"{rel.as_posix()}::{match.group('check')}"
+                counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def load_baseline(path: pathlib.Path) -> dict[str, int]:
+    try:
+        with path.open() as fh:
+            data: dict[str, Any] = json.load(fh)
+    except FileNotFoundError:
+        sys.exit(
+            f"run_tidy: baseline {path} missing -- create it with --update"
+        )
+    except json.JSONDecodeError as err:
+        sys.exit(f"run_tidy: baseline {path} is not valid JSON: {err}")
+    if data.get("schema") != SCHEMA:
+        sys.exit(
+            f"run_tidy: baseline schema {data.get('schema')!r} != {SCHEMA!r}"
+            " -- refresh with --update"
+        )
+    findings = data.get("findings", {})
+    if not isinstance(findings, dict):
+        sys.exit("run_tidy: baseline 'findings' must be an object")
+    return {str(key): int(value) for key, value in findings.items()}
+
+
+def write_baseline(path: pathlib.Path, counts: dict[str, int]) -> None:
+    payload: dict[str, Any] = {
+        "schema": SCHEMA,
+        "comment": (
+            "clang-tidy ratchet baseline -- per-(file, check) finding "
+            "counts. CI fails only when a count grows; refresh with "
+            "`python3 scripts/run_tidy.py --update` after paying findings "
+            "down."
+        ),
+        "findings": dict(sorted(counts.items())),
+    }
+    with path.open("w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"run_tidy: baseline written to {path} ({len(counts)} key(s))")
+
+
+def diff_against_baseline(
+    current: dict[str, int], baseline: dict[str, int]
+) -> tuple[list[str], list[str]]:
+    """(new-finding failures, improvement notes). The ratchet core."""
+    failures: list[str] = []
+    improved: list[str] = []
+    for key in sorted(set(current) | set(baseline)):
+        have = current.get(key, 0)
+        allowed = baseline.get(key, 0)
+        if have > allowed:
+            failures.append(
+                f"{key}: {have} finding(s), baseline allows {allowed} "
+                f"(+{have - allowed} NEW)"
+            )
+        elif have < allowed:
+            improved.append(
+                f"{key}: {have} finding(s), baseline still budgets "
+                f"{allowed} -- tighten with --update"
+            )
+    return failures, improved
+
+
+def self_test() -> int:
+    """Ratchet-logic regression test; runs in ctest without clang-tidy."""
+    baseline = {"src/a.cpp::bugprone-use-after-move": 2}
+
+    # Unchanged tree: no failures, no improvements.
+    failures, improved = diff_against_baseline(dict(baseline), baseline)
+    assert not failures and not improved, (failures, improved)
+
+    # A newly introduced finding in a known-dirty file fails.
+    failures, _ = diff_against_baseline(
+        {"src/a.cpp::bugprone-use-after-move": 3}, baseline
+    )
+    assert len(failures) == 1 and "+1 NEW" in failures[0], failures
+
+    # A finding in a previously clean file fails.
+    failures, _ = diff_against_baseline(
+        {
+            "src/a.cpp::bugprone-use-after-move": 2,
+            "src/b.cpp::concurrency-mt-unsafe": 1,
+        },
+        baseline,
+    )
+    assert len(failures) == 1 and "src/b.cpp" in failures[0], failures
+
+    # Paying a finding down passes and nudges toward --update.
+    failures, improved = diff_against_baseline(
+        {"src/a.cpp::bugprone-use-after-move": 1}, baseline
+    )
+    assert not failures and len(improved) == 1, (failures, improved)
+
+    # Round-trip: a written baseline reloads to the same counts.
+    scratch = REPO_ROOT / "build" / "tidy_baseline_selftest.json"
+    scratch.parent.mkdir(parents=True, exist_ok=True)
+    write_baseline(scratch, baseline)
+    assert load_baseline(scratch) == baseline
+    scratch.unlink()
+
+    print("run_tidy: self-test passed (ratchet diff + baseline round-trip)")
+    return 0
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default=REPO_ROOT / "build",
+                        type=pathlib.Path,
+                        help="build dir containing compile_commands.json")
+    parser.add_argument("--baseline",
+                        default=REPO_ROOT / "scripts" / "tidy_baseline.json",
+                        type=pathlib.Path,
+                        help="checked-in ratchet baseline")
+    parser.add_argument("--clang-tidy",
+                        default=os.environ.get("CLANG_TIDY", "clang-tidy"),
+                        help="clang-tidy binary (or $CLANG_TIDY)")
+    parser.add_argument("--jobs", default=os.cpu_count() or 2, type=int,
+                        help="parallel clang-tidy processes")
+    parser.add_argument("--update", action="store_true",
+                        help="refresh the baseline from this run")
+    parser.add_argument("--self-test", action="store_true",
+                        help="test the ratchet logic itself (no clang-tidy)")
+    args = parser.parse_args()
+
+    if args.self_test:
+        sys.exit(self_test())
+
+    binary = str(args.clang_tidy)
+    if shutil.which(binary) is None:
+        sys.exit(
+            f"run_tidy: clang-tidy binary {binary!r} not found -- install "
+            "clang-tidy or point --clang-tidy/$CLANG_TIDY at one"
+        )
+
+    current = collect_findings(binary, args.build_dir, max(1, args.jobs))
+    total = sum(current.values())
+    print(f"run_tidy: {total} finding(s) across {len(current)} "
+          "(file, check) key(s)")
+
+    if args.update:
+        write_baseline(args.baseline, current)
+        return
+
+    baseline = load_baseline(args.baseline)
+    failures, improved = diff_against_baseline(current, baseline)
+    for note in improved:
+        print(f"run_tidy: improved: {note}")
+    if failures:
+        print(f"\nrun_tidy: {len(failures)} NEW finding key(s) vs baseline:",
+              file=sys.stderr)
+        for failure in failures:
+            print(f"  FAIL {failure}", file=sys.stderr)
+        print("run_tidy: fix the new findings (or, for a reviewed "
+              "exception, refresh the baseline with --update)",
+              file=sys.stderr)
+        sys.exit(1)
+    print("run_tidy: no new clang-tidy findings (ratchet holds)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,9 +1,10 @@
 #include "src/nn/simd/dispatch.h"
 
 #include <atomic>
-#include <cstdlib>
 #include <stdexcept>
 #include <string>
+
+#include "src/util/config.h"
 
 namespace safeloc::nn::simd {
 namespace {
@@ -36,20 +37,19 @@ const KernelTable* table_ptr(Variant v) noexcept {
 }
 
 Variant resolve_from_env() {
-  const char* raw = std::getenv("SAFELOC_KERNEL");
-  if (raw == nullptr || *raw == '\0' || std::string_view(raw) == "auto") {
+  const std::string raw = util::env_string("SAFELOC_KERNEL");
+  if (raw.empty() || raw == "auto") {
     return best_supported_variant();
   }
   const std::optional<Variant> forced = parse_variant(raw);
   if (!forced) {
     throw std::invalid_argument(
-        "SAFELOC_KERNEL: unknown kernel variant \"" + std::string(raw) +
+        "SAFELOC_KERNEL: unknown kernel variant \"" + raw +
         "\" (expected scalar|sse2|avx2|auto)");
   }
   if (!variant_supported(*forced)) {
-    throw std::runtime_error(
-        "SAFELOC_KERNEL=" + std::string(raw) +
-        ": variant not supported by this CPU/build");
+    throw std::runtime_error("SAFELOC_KERNEL=" + raw +
+                             ": variant not supported by this CPU/build");
   }
   return *forced;
 }

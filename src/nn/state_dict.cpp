@@ -165,7 +165,12 @@ void StateDict::save_file(const std::string& path) const {
 StateDict StateDict::load_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("StateDict::load_file: cannot open " + path);
-  return load(in);
+  StateDict dict = load(in);
+  // load(istream&) is deliberately embeddable (ModelStore records carry a
+  // StateDict mid-stream), so only the file entry point can assert the
+  // stream was fully consumed.
+  util::expect_exhausted(in, "StateDict::load_file");
+  return dict;
 }
 
 double cosine_similarity(std::span<const float> a, std::span<const float> b) {

@@ -219,6 +219,10 @@ ModelStore ModelStore::load(std::istream& in) {
     }
     versions.push_back(std::move(record));
   }
+  // SFST is a whole-stream format: bytes past the last record mean the
+  // writer and reader disagree about the layout (version skew, torn
+  // rewrite) — fail loudly instead of serving from a half-understood file.
+  util::expect_exhausted(in, kContext);
   return store;
 }
 

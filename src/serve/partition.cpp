@@ -96,6 +96,8 @@ PartitionMap PartitionMap::load(std::istream& in) {
     }
     map.owner[building] = shard;
   }
+  // SFPM is a whole-stream format — trailing bytes are format skew.
+  util::expect_exhausted(in, kContext);
   return map;
 }
 

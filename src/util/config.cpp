@@ -46,6 +46,17 @@ double env_double_strict(const std::string& name, double fallback) {
   return value;
 }
 
+std::optional<std::string> env_optional(const std::string& name) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr) return std::nullopt;
+  return std::string(raw);
+}
+
+std::string env_string(const std::string& name, std::string fallback) {
+  const char* raw = std::getenv(name.c_str());
+  return raw == nullptr ? std::move(fallback) : std::string(raw);
+}
+
 const RunScale& run_scale() {
   // Strict parsing throughout: SAFELOC_EPOCHS=1O0 (typo'd letter O) must
   // fail loudly, not atoi to 1 and silently run a hundredth of the budget.

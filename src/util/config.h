@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
 namespace safeloc::util {
@@ -55,5 +56,18 @@ struct RunScale {
 /// (e.g. SAFELOC_CLIENT_LR).
 [[nodiscard]] double env_double_strict(const std::string& name,
                                        double fallback);
+
+/// Raw presence-preserving lookup: nullopt when the variable is unset,
+/// its value (possibly empty) otherwise. For save/restore guards and
+/// callers that must distinguish unset from set-but-empty. Together with
+/// env_string, this is the only sanctioned gateway to ::getenv outside
+/// src/util/config.cpp — safeloc-lint rule R1 enforces that.
+[[nodiscard]] std::optional<std::string> env_optional(const std::string& name);
+
+/// String env knob with default: unset returns the fallback, set returns
+/// the value verbatim (a set-but-empty variable returns the empty string,
+/// which every current caller treats as "not configured").
+[[nodiscard]] std::string env_string(const std::string& name,
+                                     std::string fallback = "");
 
 }  // namespace safeloc::util

@@ -2,14 +2,14 @@
 
 #include <chrono>
 #include <cstdio>
-#include <cstdlib>
 #include <mutex>
+
+#include "src/util/config.h"
 
 namespace safeloc::util {
 namespace {
 
-LogLevel parse_level(const char* text) {
-  const std::string_view s = text == nullptr ? "" : text;
+LogLevel parse_level(std::string_view s) {
   if (s == "debug") return LogLevel::kDebug;
   if (s == "info") return LogLevel::kInfo;
   if (s == "warn") return LogLevel::kWarn;
@@ -19,7 +19,7 @@ LogLevel parse_level(const char* text) {
 }
 
 LogLevel& threshold_storage() {
-  static LogLevel level = parse_level(std::getenv("SAFELOC_LOG"));
+  static LogLevel level = parse_level(env_string("SAFELOC_LOG"));
   return level;
 }
 

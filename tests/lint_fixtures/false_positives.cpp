@@ -1,0 +1,47 @@
+// lint-as: src/nn/clean.cpp
+// False-positive fixture: every line here LOOKS like a violation to a grep
+// but is clean to a token-level pass. Expected finding count: zero.
+#include <memory>
+#include <string>
+
+// Comment mentions std::getenv("X"), rand(), .lock() and time(nullptr) —
+// comments are not tokens.
+
+/* Block comment with std::random_device and system_clock too. */
+
+std::string string_literals() {
+  // Banned names inside string literals are data, not calls.
+  std::string doc = "call std::getenv(name) then srand(time(nullptr))";
+  doc += R"(raw string with mutex.lock() and std::fma(a, b, c))";
+  return doc;
+}
+
+// Identifiers that merely CONTAIN banned substrings.
+int strand_count = 0;
+int mytime(int t);
+int timer_fire(int t);
+int brand(int x);
+
+int uses_lookalikes(int x) {
+  // my_getenv is a distinct identifier token, not getenv.
+  auto my_getenv = [](const char*) { return 0; };
+  return my_getenv("X") + mytime(x) + timer_fire(x) + brand(x) +
+         strand_count;
+}
+
+// A time_point member named lock_duration and a struct member access chain
+// that ends in a non-lock name.
+struct Telemetry {
+  int lock_duration = 0;
+  int unlock_count = 0;
+};
+
+int member_names(const Telemetry& t) { return t.lock_duration + t.unlock_count; }
+
+// rand/time as MEMBER calls on someone's own API are out of R2 scope.
+struct OwnApi {
+  int rand() const { return 4; }
+  int time() const { return 0; }
+};
+
+int member_calls(const OwnApi& api) { return api.rand() + api.time(); }

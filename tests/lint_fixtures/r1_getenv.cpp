@@ -1,0 +1,15 @@
+// lint-as: src/serve/fake_traffic.cpp
+// R1 fixture: raw getenv outside src/util/config.cpp, both qualified and
+// unqualified spellings.
+#include <cstdlib>
+#include <string>
+
+std::string bad_qualified() {
+  const char* raw = std::getenv("SAFELOC_KNOB");  // expect(R1)
+  return raw == nullptr ? "" : raw;
+}
+
+std::string bad_unqualified() {
+  const char* raw = getenv("SAFELOC_OTHER_KNOB");  // expect(R1)
+  return raw == nullptr ? "" : raw;
+}

@@ -1,0 +1,23 @@
+// lint-as: src/fl/bad_seed.cpp
+// R2 fixture: wall-clock / platform-RNG seeds and FMA inside the
+// bit-identical layers.
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+unsigned bad_seed_sources() {
+  std::random_device entropy;  // expect(R2)
+  unsigned seed = entropy();
+  seed ^= static_cast<unsigned>(time(nullptr));  // expect(R2)
+  seed ^= static_cast<unsigned>(
+      std::chrono::system_clock::now().time_since_epoch().count());  // expect(R2)
+  std::srand(seed);           // expect(R2)
+  return seed + std::rand();  // expect(R2)
+}
+
+float bad_contraction(float a, float b, float c) {
+  // Fused multiply-add breaks bitwise identity with the scalar reference.
+  return std::fma(a, b, c);  // expect(R2)
+}

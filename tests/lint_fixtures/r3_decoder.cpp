@@ -1,0 +1,30 @@
+// lint-as: src/serve/remote/wire_extra.cpp
+// R3 fixture: wire decoders must drain their payload. decode_bad returns
+// without expect_exhausted; decode_good calls it; decode_fwd is only a
+// declaration and a call site, neither of which is a definition.
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace util {
+std::uint32_t read_u32(std::istream& in);
+void expect_exhausted(std::istream& in, const char* context);
+}  // namespace util
+
+std::uint32_t decode_bad(const std::string& payload) {  // expect(R3)
+  std::istringstream in(payload, std::ios::binary);
+  return util::read_u32(in);
+}
+
+std::uint32_t decode_good(const std::string& payload) {
+  std::istringstream in(payload, std::ios::binary);
+  const std::uint32_t value = util::read_u32(in);
+  util::expect_exhausted(in, "wire");
+  return value;
+}
+
+std::uint32_t decode_fwd(const std::string& payload);
+
+std::uint32_t call_site_not_a_definition(const std::string& payload) {
+  return decode_fwd(payload) + decode_good(payload);
+}

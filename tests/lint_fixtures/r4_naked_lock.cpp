@@ -1,0 +1,31 @@
+// lint-as: src/serve/bad_locking.cpp
+// R4 fixture: manual lock()/unlock() pairs versus RAII guards, plus the
+// sanctioned weak_ptr::lock() escape via allow().
+#include <memory>
+#include <mutex>
+
+std::mutex g_mutex;
+int g_value = 0;
+
+void bad_manual_pair() {
+  g_mutex.lock();  // expect(R4)
+  ++g_value;       // an exception here leaks the lock
+  g_mutex.unlock();  // expect(R4)
+}
+
+void bad_through_pointer(std::mutex* m) {
+  m->lock();  // expect(R4)
+  ++g_value;
+  m->unlock();  // expect(R4)
+}
+
+void good_raii() {
+  const std::scoped_lock lock(g_mutex);
+  ++g_value;
+}
+
+int good_weak_ptr(const std::weak_ptr<int>& weak) {
+  // safeloc-lint: allow(R4 weak_ptr promotion, not a mutex)
+  const std::shared_ptr<int> strong = weak.lock();  // expect-suppressed(R4)
+  return strong == nullptr ? 0 : *strong;
+}

@@ -1,0 +1,46 @@
+// lint-as: src/serve/bad_report.cpp
+// R5 fixture: unordered-container iteration feeding serialized output. The
+// std::map loop and the non-serializing unordered loop must stay clean.
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+
+namespace util {
+void write_pod(std::ostream& out, std::uint64_t value);
+void write_string(std::ostream& out, const std::string& value);
+}  // namespace util
+
+void bad_wire_bytes(std::ostream& out,
+                    const std::unordered_map<std::string, std::uint64_t>&
+                        counters) {
+  for (const auto& [name, value] : counters) {  // expect(R5)
+    util::write_string(out, name);
+    util::write_pod(out, value);
+  }
+}
+
+void bad_json(std::ostream& out) {
+  std::unordered_map<std::string, int> gauges;
+  for (const auto& [name, value] : gauges) {  // expect(R5)
+    out << "\"" << name << "\": " << value << ",\n";
+  }
+}
+
+void good_ordered(std::ostream& out,
+                  const std::map<std::string, std::uint64_t>& ordered) {
+  for (const auto& [name, value] : ordered) {
+    util::write_string(out, name);
+    util::write_pod(out, value);
+  }
+}
+
+std::uint64_t good_unordered_aggregation(
+    const std::unordered_map<std::string, std::uint64_t>& counters) {
+  std::uint64_t total = 0;
+  // Order-insensitive reduction: iterating unordered is fine when no
+  // serialized bytes depend on visit order.
+  for (const auto& [name, value] : counters) total += value;
+  return total;
+}

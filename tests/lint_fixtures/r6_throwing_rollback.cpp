@@ -1,0 +1,29 @@
+// lint-as: src/serve/bad_rollback.cpp
+// R6 fixture: rollback-family methods without noexcept, in declaration and
+// out-of-line definition form; noexcept versions and call sites stay clean.
+#include <map>
+
+class StagedState {
+ public:
+  void abort_staged(int building);  // expect(R6)
+  void rollback_all();              // expect(R6)
+  void abort_clean(int building) noexcept;
+  virtual void abort_pure(int building) noexcept = 0;
+  virtual ~StagedState() = default;
+
+ private:
+  std::map<int, int> staged_;
+};
+
+void StagedState::abort_staged(int building) {  // expect(R6)
+  staged_.erase(building);
+}
+
+void StagedState::abort_clean(int building) noexcept {
+  staged_.erase(building);
+}
+
+void drive(StagedState& state, StagedState* ptr) {
+  state.abort_staged(1);
+  ptr->rollback_all();
+}

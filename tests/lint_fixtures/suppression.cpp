@@ -1,0 +1,25 @@
+// lint-as: src/serve/suppressed.cpp
+// Suppression fixture: same-line and line-above allow() forms silence a
+// finding; an allow() for a DIFFERENT rule does not.
+#include <cstdlib>
+#include <mutex>
+#include <string>
+
+std::mutex g_mutex;
+
+std::string same_line_allow() {
+  const char* raw = std::getenv("LEGACY_KNOB");  // safeloc-lint: allow(R1 legacy third-party contract)  expect-suppressed(R1)
+  return raw == nullptr ? "" : raw;
+}
+
+std::string line_above_allow() {
+  // safeloc-lint: allow(R1 migration tracked in the R1 satellite)
+  const char* raw = std::getenv("OTHER_LEGACY_KNOB");  // expect-suppressed(R1)
+  return raw == nullptr ? "" : raw;
+}
+
+void wrong_rule_does_not_suppress() {
+  // safeloc-lint: allow(R1 wrong rule id on purpose)
+  g_mutex.lock();  // expect(R4)
+  g_mutex.unlock();  // expect(R4)
+}

@@ -327,6 +327,18 @@ TEST(Partition, AffinityIsDeterministicAndPersists) {
   EXPECT_THROW((void)serve::building_affinity(1, 0), std::invalid_argument);
 }
 
+TEST(Partition, LoadRejectsTrailingBytes) {
+  // SFPM is a whole-stream format; an overlong payload (torn write, two
+  // maps concatenated) must throw instead of loading the first map and
+  // leaving the rest to desynchronize a later reader.
+  const serve::PartitionMap map =
+      serve::PartitionMap::affinity(std::vector<int>{1, 2, 3}, 2);
+  std::stringstream stream(std::ios::binary | std::ios::in | std::ios::out);
+  map.save(stream);
+  stream << '\0';
+  EXPECT_THROW((void)serve::PartitionMap::load(stream), std::runtime_error);
+}
+
 // ---------------------------------------------------------------------------
 // ShardServer + RemoteBackend end-to-end
 // ---------------------------------------------------------------------------

@@ -218,6 +218,23 @@ TEST(ModelStore, CalibrationRoundTripsAndV1StreamsStillLoad) {
   EXPECT_EQ(from_v1.latest("m").provenance, record.provenance);
 }
 
+TEST(ModelStore, LoadRejectsTrailingBytes) {
+  // SFST is a whole-stream format: bytes after the last record mean a torn
+  // republish or concatenated stores, and load() must refuse them
+  // (expect_exhausted) rather than silently dropping the tail.
+  serve::ModelStore store;
+  store.publish("m", tiny_state(1.0f), {});
+  std::stringstream stream;
+  store.save(stream);
+  stream << '\0';
+  EXPECT_THROW((void)serve::ModelStore::load(stream), std::runtime_error);
+
+  std::stringstream doubled;
+  store.save(doubled);
+  store.save(doubled);
+  EXPECT_THROW((void)serve::ModelStore::load(doubled), std::runtime_error);
+}
+
 TEST(ModelStore, RejectsBadLookupsAndEmptyPublishes) {
   serve::ModelStore store;
   EXPECT_FALSE(store.contains("nope"));

@@ -7,6 +7,8 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "src/nn/dense.h"
@@ -15,6 +17,7 @@
 #include "src/nn/sequential.h"
 #include "src/nn/simd/dispatch.h"
 #include "src/serve/serving_net.h"
+#include "src/util/config.h"
 #include "src/util/rng.h"
 
 namespace {
@@ -52,14 +55,11 @@ std::string case_name(simd::Variant v, std::size_t m, std::size_t k,
 
 class EnvGuard {
  public:
-  explicit EnvGuard(const char* name) : name_(name) {
-    const char* old = std::getenv(name);
-    if (old != nullptr) saved_ = old;
-    had_ = old != nullptr;
-  }
+  explicit EnvGuard(const char* name)
+      : name_(name), saved_(util::env_optional(name)) {}
   ~EnvGuard() {
-    if (had_) {
-      ::setenv(name_, saved_.c_str(), 1);
+    if (saved_.has_value()) {
+      ::setenv(name_, saved_->c_str(), 1);
     } else {
       ::unsetenv(name_);
     }
@@ -68,8 +68,7 @@ class EnvGuard {
 
  private:
   const char* name_;
-  std::string saved_;
-  bool had_ = false;
+  std::optional<std::string> saved_;
 };
 
 // ---------------------------------------------------------------------------

@@ -1,6 +1,8 @@
 // StateDict: snapshot/restore, arithmetic, flatten, serialization.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 
 #include "src/nn/activations.h"
@@ -113,6 +115,24 @@ TEST(StateDict, LoadRejectsTruncatedStream) {
   bytes.resize(bytes.size() / 2);
   std::stringstream truncated(bytes);
   EXPECT_THROW((void)StateDict::load(truncated), std::runtime_error);
+}
+
+TEST(StateDict, LoadFileRejectsTrailingBytes) {
+  // load_file() owns the whole file, unlike load(istream&) which must stay
+  // embeddable inside ModelStore records — so only the file path checks
+  // expect_exhausted. A trailing byte means a torn or doubled write.
+  namespace fs = std::filesystem;
+  const fs::path path =
+      fs::temp_directory_path() / "safeloc_state_dict_trailing.bin";
+  Sequential a = make_net(7);
+  StateDict::from_module(a).save_file(path.string());
+  {
+    std::ofstream append(path, std::ios::binary | std::ios::app);
+    append << '\0';
+  }
+  EXPECT_THROW((void)StateDict::load_file(path.string()),
+               std::runtime_error);
+  fs::remove(path);
 }
 
 TEST(CosineSimilarity, BasicProperties) {

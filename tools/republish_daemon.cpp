@@ -21,7 +21,6 @@
 
 #include <chrono>
 #include <cstdio>
-#include <cstdlib>
 #include <exception>
 #include <map>
 #include <memory>
@@ -38,11 +37,6 @@
 #include "src/util/config.h"
 
 namespace {
-
-std::string env_string(const char* name, std::string fallback = "") {
-  const char* value = std::getenv(name);
-  return value == nullptr ? std::move(fallback) : std::string(value);
-}
 
 std::vector<std::string> split_addresses(const std::string& csv) {
   std::vector<std::string> out;
@@ -68,6 +62,7 @@ std::pair<long, long> file_stamp(const std::string& path) {
 
 int main() {
   using namespace safeloc;
+  using util::env_string;
   try {
     const std::string store_path = env_string("SAFELOC_DAEMON_STORE");
     const std::vector<std::string> addresses =

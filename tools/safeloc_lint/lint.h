@@ -1,0 +1,82 @@
+// safeloc-lint — a token-level static-analysis pass for the repo's named
+// invariants (the contracts no compiler checks): strict env parsing,
+// bit-identical kernel hygiene, exhaustive wire/store decoding, RAII
+// locking, deterministic serialization, and noexcept rollback paths.
+//
+// Deliberately NOT a real C++ front end: a lightweight lexer (comments,
+// string/char/raw-string literals, preprocessor lines stripped; `::` and
+// `->` kept as single tokens) feeds a catalog of token-pattern rules. That
+// keeps the tool dependency-free (no libclang), fast enough to run on every
+// CI push, and — because rules see tokens, not text — immune to the classic
+// grep failure modes (matches inside strings, comments, or identifiers that
+// merely contain a banned substring).
+//
+// Suppression: a finding on line N is silenced by a comment on line N or
+// N-1 of the form
+//     // safeloc-lint: allow(R4 promoting a weak_ptr, not locking a mutex)
+// The rule id is mandatory, the reason is free text; suppressions are
+// counted and reported so they stay visible in review.
+//
+// Rule catalog (mirrored in ARCHITECTURE.md "Static analysis & invariants"):
+//   R1  raw ::getenv outside src/util/config.cpp
+//   R2  nondeterminism sources in core/ fl/ nn/ (rand, random_device,
+//       time(), system_clock, std::fma)
+//   R3  wire/SFST/SFPM decoders returning without expect_exhausted
+//   R4  naked mutex .lock()/.unlock() instead of RAII guards
+//   R5  unordered-container iteration feeding serialized output
+//   R6  abort_*/rollback* methods not declared noexcept
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace safeloc::lint {
+
+/// One catalog entry; `fixit` is the remediation hint appended to findings.
+struct RuleInfo {
+  const char* id;
+  const char* name;
+  const char* invariant;
+  const char* fixit;
+};
+
+/// The full rule catalog, ordered by id.
+const std::vector<RuleInfo>& rule_catalog();
+
+struct Finding {
+  std::string file;  ///< display path (repo-relative when tree-walking)
+  int line = 0;
+  std::string rule;     ///< "R1".."R6"
+  std::string message;  ///< invariant + fix-it hint
+  std::string suppress_reason;  ///< set iff an allow() matched
+};
+
+struct FileReport {
+  std::vector<Finding> findings;    ///< active violations
+  std::vector<Finding> suppressed;  ///< silenced by allow(), still counted
+};
+
+struct TreeReport {
+  std::vector<Finding> findings;
+  std::vector<Finding> suppressed;
+  std::vector<std::string> errors;  ///< unreadable files, bad root, ...
+  std::size_t files_scanned = 0;
+};
+
+/// Lints one in-memory translation unit. `display_path` (forward slashes,
+/// repo-relative) both labels findings and gates path-scoped rules; a
+/// leading `// lint-as: <path>` comment overrides it, which is how the
+/// fixture corpus under tests/lint_fixtures/ pretends to live in rule-scoped
+/// directories.
+FileReport lint_file(std::string_view display_path, std::string_view content);
+
+/// Walks root/{src,tools,bench,examples,tests} for .h/.cpp files (skipping
+/// the deliberately-violating tests/lint_fixtures corpus) and lints each.
+/// Deterministic: files are visited in sorted path order.
+TreeReport lint_tree(const std::string& root);
+
+/// "file:line: Rn: message" (+ reason for suppressed findings).
+std::string format_finding(const Finding& finding, bool suppressed = false);
+
+}  // namespace safeloc::lint

@@ -1,0 +1,102 @@
+// safeloc_lint CLI — run the invariant catalog over the tree (default) or
+// explicit files, print findings as `file:line: Rn: message`, and exit
+// non-zero when any active finding remains. Suppressions are printed too so
+// allow() escapes stay visible in review.
+//
+// Usage:
+//   safeloc_lint [--root DIR] [--list-rules] [--quiet] [file...]
+//
+// Exit codes: 0 clean (suppressions allowed), 1 findings, 2 usage/IO error.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/safeloc_lint/lint.h"
+
+namespace {
+
+int list_rules() {
+  std::printf("%-4s %-24s %s\n", "id", "name", "invariant");
+  for (const safeloc::lint::RuleInfo& r : safeloc::lint::rule_catalog()) {
+    std::printf("%-4s %-24s %s\n     %24s fix: %s\n", r.id, r.name,
+                r.invariant, "", r.fixit);
+  }
+  std::printf(
+      "\nsuppress with: // safeloc-lint: allow(Rn reason) on the finding's "
+      "line or the line above\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace safeloc::lint;
+  std::string root = ".";
+  bool quiet = false;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") return list_rules();
+    if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--root") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "safeloc_lint: --root needs a directory\n");
+        return 2;
+      }
+      root = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: safeloc_lint [--root DIR] [--list-rules] "
+                  "[--quiet] [file...]\n");
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "safeloc_lint: unknown option %s\n", arg.c_str());
+      return 2;
+    } else {
+      files.push_back(arg);
+    }
+  }
+
+  TreeReport report;
+  if (files.empty()) {
+    report = lint_tree(root);
+  } else {
+    for (const std::string& path : files) {
+      std::ifstream in(path, std::ios::binary);
+      if (!in) {
+        report.errors.push_back("cannot read " + path);
+        continue;
+      }
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      FileReport file_report = lint_file(path, buffer.str());
+      ++report.files_scanned;
+      for (auto& f : file_report.findings) {
+        report.findings.push_back(std::move(f));
+      }
+      for (auto& f : file_report.suppressed) {
+        report.suppressed.push_back(std::move(f));
+      }
+    }
+  }
+
+  for (const std::string& error : report.errors) {
+    std::fprintf(stderr, "safeloc_lint: error: %s\n", error.c_str());
+  }
+  for (const Finding& f : report.findings) {
+    std::printf("%s\n", format_finding(f).c_str());
+  }
+  if (!quiet) {
+    for (const Finding& f : report.suppressed) {
+      std::printf("%s\n", format_finding(f, /*suppressed=*/true).c_str());
+    }
+  }
+  std::printf(
+      "safeloc_lint: %zu file(s) scanned, %zu finding(s), %zu "
+      "suppression(s)\n",
+      report.files_scanned, report.findings.size(), report.suppressed.size());
+  if (!report.errors.empty()) return 2;
+  return report.findings.empty() ? 0 : 1;
+}

@@ -21,7 +21,6 @@
 // Prints one "shard_server: ready ..." line to stdout once listening —
 // parents (CI smoke, bench_route) wait for it before sending traffic.
 #include <cstdio>
-#include <cstdlib>
 #include <exception>
 #include <fstream>
 #include <optional>
@@ -32,17 +31,9 @@
 #include "src/serve/remote/shard_server.h"
 #include "src/util/config.h"
 
-namespace {
-
-std::string env_string(const char* name, std::string fallback = "") {
-  const char* value = std::getenv(name);
-  return value == nullptr ? std::move(fallback) : std::string(value);
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   using namespace safeloc;
+  using util::env_string;
   try {
     serve::remote::ShardServerConfig config;
     config.address = argc > 1 ? argv[1] : env_string("SAFELOC_SHARD_ADDRESS");
