@@ -100,6 +100,11 @@ struct CellMeasurement {
   /// holds O(owned) models, not O(all).
   std::vector<std::uint64_t> resident_models;
   std::vector<std::uint64_t> owned_models;
+  /// Remote cells only: the client pipelining configuration the cell ran
+  /// at (pool connections x in-flight window x coalesced batch).
+  int pipeline_pool = 0;
+  int pipeline_window = 0;
+  int pipeline_batch = 0;
   /// Fleet-merged telemetry after the replay (local engines or remote
   /// shards over the wire) — source of the per-stage JSON block.
   serve::telemetry::RegistrySnapshot metrics;
@@ -248,11 +253,24 @@ CellMeasurement run_remote_cell(const serve::ModelStore& store,
   try {
     std::vector<std::unique_ptr<serve::QueryBackend>> backends;
     std::vector<serve::remote::RemoteBackend*> raw;
+    // Pipelined client by default: the remote cell's job is to measure
+    // the wire tax at the transport's best configuration, not at the
+    // serial one-RPC-at-a-time floor. Env knobs let CI and check_bench
+    // shrink the window when hunting a regression.
+    const int pool = util::env_int_strict("SAFELOC_ROUTE_REMOTE_POOL", 2);
+    const int window = util::env_int_strict("SAFELOC_ROUTE_REMOTE_WINDOW", 32);
+    const int batch = util::env_int_strict("SAFELOC_ROUTE_REMOTE_BATCH", 16);
+    cell.pipeline_pool = pool;
+    cell.pipeline_window = window;
+    cell.pipeline_batch = batch;
     for (const std::string& address : addresses) {
       serve::remote::RemoteBackendConfig config;
       config.address = address;
       config.connect_retries = 50;  // children may still be warm-loading
       config.retry_backoff = std::chrono::milliseconds(100);
+      config.pool_size = pool;
+      config.max_in_flight = window;
+      config.max_batch = static_cast<std::size_t>(batch);
       auto backend = std::make_unique<serve::remote::RemoteBackend>(config);
       raw.push_back(backend.get());
       backends.push_back(std::move(backend));
@@ -439,6 +457,9 @@ int main(int argc, char** argv) {
       };
       json += "\"resident_models\":" + list(cell.resident_models) + ",";
       json += "\"owned_models\":" + list(cell.owned_models) + ",";
+      json += "\"pipeline\":{\"pool\":" + std::to_string(cell.pipeline_pool) +
+              ",\"window\":" + std::to_string(cell.pipeline_window) +
+              ",\"batch\":" + std::to_string(cell.pipeline_batch) + "},";
     }
     json += "\"queries\":" + std::to_string(cell.queries) + ",";
     json += "\"wall_s\":" + num(cell.wall_s) + ",";

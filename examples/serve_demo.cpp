@@ -33,6 +33,12 @@
 //   SAFELOC_SERVE_CONNECT_TIMEOUT_MS  per-attempt connect deadline (2000)
 //   SAFELOC_SERVE_RETRIES             connect attempts per RPC (10 — the
 //                                     fleet may still be binding sockets)
+//   SAFELOC_SERVE_POOL                connections per shard (1)
+//   SAFELOC_SERVE_WINDOW              query frames in flight per connection
+//                                     before submit blocks (1 = serial)
+//   SAFELOC_SERVE_BATCH               queued queries coalesced per frame (1)
+// Any of pool/window/batch > 1 switches the RemoteBackends to pipelined
+// mode; results stay bit-identical, only the wire scheduling changes.
 //
 // Telemetry: after serving, the fleet-merged metrics registry is printed
 // (per-stage latency histograms, gate attribution counters) and, when
@@ -101,6 +107,11 @@ std::unique_ptr<safeloc::serve::LocalizationService> make_service(
             "SAFELOC_SERVE_CONNECT_TIMEOUT_MS", 2000));
     backend_config.connect_retries =
         util::env_int_strict("SAFELOC_SERVE_RETRIES", 10);
+    backend_config.pool_size = util::env_int_strict("SAFELOC_SERVE_POOL", 1);
+    backend_config.max_in_flight =
+        util::env_int_strict("SAFELOC_SERVE_WINDOW", 1);
+    backend_config.max_batch = static_cast<std::size_t>(
+        util::env_int_strict("SAFELOC_SERVE_BATCH", 1));
     std::vector<std::unique_ptr<serve::QueryBackend>> shards;
     for (const std::string& address : split_csv(remote_csv)) {
       backend_config.address = address;
@@ -216,6 +227,19 @@ int main() {
               stats.metrics.to_text().c_str(),
               static_cast<unsigned long long>(stats.flagged_rce),
               static_cast<unsigned long long>(stats.flagged_envelope));
+  {
+    // Fleet metrics snapshot for CI artifacts: the same merged registry
+    // printed above, as JSON — includes the remote wire-leg stage
+    // histograms (stage.wire_*) and net.* reliability counters when the
+    // demo runs against a shard_server fleet.
+    const std::string metrics_path =
+        util::env_string("SAFELOC_SERVE_METRICS_DUMP");
+    if (!metrics_path.empty()) {
+      std::ofstream out(metrics_path, std::ios::binary);
+      out << stats.metrics.to_json() << "\n";
+      std::printf("fleet metrics written to %s\n", metrics_path.c_str());
+    }
+  }
   {
     const std::string dump_path = util::env_string("SAFELOC_TRACE_DUMP");
     if (!dump_path.empty()) {

@@ -29,6 +29,10 @@ committed baselines in bench/baselines/, and fails on:
     wire protocol) must report every shard's resident-model count equal to
     its partition slice (O(owned), not O(all)); a missing remote cell when
     the baseline has one fails via the grid-shrank check,
+  * a remote-throughput-ratio regression — the multi-process remote cell's
+    qps falling below --min-remote-ratio of the matching local hash-routed
+    cell in the SAME run (machine-independent; catches the pipelined SFRP
+    client silently reverting to one blocking RPC at a time),
   * a serve-time poison-gate quality regression, from serve_demo's
     BENCH_gate.json: the post-rounds clean-RCE p99 of the published models
     exceeding the checked-in bound (the decoder went stale — the client
@@ -233,6 +237,49 @@ def check_route_partition(current: dict[str, Any],
                   f"partition slices (O(owned) holds)")
 
 
+def check_remote_ratio(current: dict[str, Any], min_ratio: float,
+                       failures: list[str]) -> None:
+    """Remote-throughput floor: the pipelined SFRP client must keep the
+    multi-process cell within a fixed fraction of the equivalent in-process
+    cell. Both numbers come from the same run on the same hardware, so the
+    ratio is machine-independent — this is the gate that catches a
+    pipelining regression (a client quietly falling back to one blocking
+    RPC at a time tanks the ratio ~10x below the floor)."""
+    cells = current.get("cells", [])
+    remote_cells = [c for c in cells if c.get("transport") == "remote"]
+    if not remote_cells:
+        failures.append("route: no remote cell in the current run — the "
+                        "fleet cell stopped running?")
+        return
+    for remote in remote_cells:
+        label = (f"route remote cell {remote.get('mix')}/"
+                 f"{remote.get('router')}/{remote.get('shards')}")
+        local = next(
+            (c for c in cells
+             if c.get("transport") == "local"
+             and c.get("mix") == remote.get("mix")
+             and c.get("shards") == remote.get("shards")
+             and c.get("router") == "hash"), None)
+        if local is None:
+            failures.append(f"{label}: no matching local hash-routed cell "
+                            "to compare against (grid shrank?)")
+            continue
+        remote_qps, local_qps = remote.get("qps", 0.0), local.get("qps", 0.0)
+        if local_qps <= 0:
+            continue
+        ratio = remote_qps / local_qps
+        pipeline = remote.get("pipeline", {})
+        if ratio < min_ratio:
+            failures.append(
+                f"{label}: remote/local throughput ratio {ratio:.3f} below "
+                f"the {min_ratio:.2f} floor ({remote_qps:,.0f} vs "
+                f"{local_qps:,.0f} qps at pipeline {pipeline}) — wire "
+                "pipelining regressed")
+        else:
+            print(f"check_bench: {label} remote/local ratio {ratio:.3f} "
+                  f"(floor {min_ratio:.2f}, pipeline {pipeline})")
+
+
 def check_gate(baseline: dict[str, Any], current: dict[str, Any],
                failures: list[str]) -> None:
     """Poison-gate quality floors. Bounds are read from the BASELINE report
@@ -296,6 +343,9 @@ def main() -> None:
     parser.add_argument("--tail-threshold", default=0.75, type=float,
                         help="allowed fractional p99 latency growth per cell "
                              "(0.75 = +75%%)")
+    parser.add_argument("--min-remote-ratio", default=0.15, type=float,
+                        help="floor on remote-cell qps as a fraction of the "
+                             "matching local hash-routed cell's qps")
     parser.add_argument("--update", action="store_true",
                         help="refresh baselines from the current run instead "
                              "of checking")
@@ -350,6 +400,7 @@ def main() -> None:
         check_stages("route", route_cur.get("cells", []),
                      ("mix", "router", "shards", "transport"), failures)
         check_route_partition(route_cur, failures)
+        check_remote_ratio(route_cur, args.min_remote_ratio, failures)
 
     gate_base = load(args.baselines / GATE)
     gate_cur = load(args.current / GATE)

@@ -37,6 +37,23 @@ struct StageTimings {
   double wire_deserialize_us = 0.0;
 };
 
+/// How a query's completion ended. Synchronous backends throw instead and
+/// always complete kOk; a pipelined RemoteBackend has already returned
+/// from submit() when a reply (or the connection) fails, so the failure
+/// rides the callback here. Client-side only — never serialized by the
+/// single-query wire codec (batch replies carry a per-entry ok/error pair
+/// on the wire instead).
+enum class QueryOutcome : std::uint8_t {
+  kOk = 0,
+  /// The shard examined the query and refused it (undeployed building,
+  /// wrong-width fingerprint) — the remote analogue of the
+  /// std::invalid_argument a local backend throws.
+  kRefused = 1,
+  /// The shard became unreachable with this query in flight — the remote
+  /// analogue of BackendUnavailable.
+  kUnavailable = 2,
+};
+
 struct QueryResult {
   int building = 0;
   /// Predicted reference point (argmax class).
@@ -51,6 +68,11 @@ struct QueryResult {
   double latency_us = 0.0;
   /// Where latency_us went, stage by stage.
   StageTimings stages;
+  /// kOk unless an asynchronous backend failed this query after submit()
+  /// returned; LocalizationService maps non-kOk to Response::kFailed.
+  QueryOutcome outcome = QueryOutcome::kOk;
+  /// Failure detail when outcome != kOk.
+  std::string error;
 };
 
 /// An immutable deployed snapshot: the extracted classification net plus

@@ -1,38 +1,63 @@
 // RemoteBackend — a QueryBackend whose executor lives in another process.
 //
-// Each instance holds one connection to a shard_server and speaks strict
-// request/reply SFRP (wire.h). Because it implements the same QueryBackend
-// contract as QueryEngine, a LocalizationService can mix local and remote
-// shards freely — routing, admission, two-phase publish, and stats all
-// work unchanged; this is the seam backend.h promised ("a shard can live
-// behind a wire without the front door noticing").
+// Each instance holds a small pool of connections to one shard_server and
+// speaks pipelined SFRP (wire.h): every request frame carries a correlation
+// id, a dedicated reader thread per connection demultiplexes replies (which
+// may arrive out of order) back to their pending completions, and a bounded
+// in-flight window applies backpressure to submitters. Because it
+// implements the same QueryBackend contract as QueryEngine, a
+// LocalizationService can mix local and remote shards freely — routing,
+// admission, two-phase publish, and stats all work unchanged; this is the
+// seam backend.h promised ("a shard can live behind a wire without the
+// front door noticing").
+//
+// Two serving modes, selected by config:
+//
+//   * Serial (the default: pool_size = 1, max_in_flight = 1, max_batch =
+//     1). submit() blocks for its own reply and completes the callback on
+//     the calling thread, exactly like SyncBackend; refusals re-raise as
+//     the local exception. Bit-identical to the pre-pipelining client.
+//   * Pipelined (any knob > 1). submit() enqueues the query, sends it as
+//     soon as a window slot is free (coalescing up to max_batch queued
+//     queries into one kQueryBatch frame), and returns; the reader thread
+//     completes the callback when the reply lands. Failures cannot throw
+//     into a caller that already returned, so they complete the callback
+//     with QueryResult::outcome = kRefused / kUnavailable instead — the
+//     service maps both to Response::kFailed.
+//
+// Control RPCs (stage/commit/abort/stats/health) always block for their
+// own reply regardless of mode; the 2PC publish path keeps its strict
+// ordering because each step completes before the next is issued.
 //
 // Failure semantics, mapped onto the backend contract:
-//   * Transport failures (connect refused after the retry budget, I/O
-//     timeout, torn frame, peer gone) throw BackendUnavailable — the
-//     service converts these to Response::kFailed and the rest of the
-//     fleet keeps serving.
-//   * kError replies re-raise as the exception the local backend would
-//     have thrown: std::invalid_argument (refused request — undeployed
-//     building, wrong-width fingerprint, partition filter),
-//     std::logic_error (commit with nothing staged), WireError otherwise.
-//   * Retries cover CONNECT only. Once a request frame is on the wire a
-//     transport failure fails the RPC — the client cannot know whether the
-//     server executed it, and blind re-send could double-execute a
-//     publish step. (Queries are pure inference; callers who want re-send
-//     can resubmit at the service level.)
-//
-// Calls are serialized on an internal mutex (one in-flight RPC per
-// connection — the protocol is strict request/reply). submit() is
-// therefore synchronous: the callback runs on the calling thread before
-// submit returns, exactly like SyncBackend. queue_depth() is 0 and
-// drain() is a no-op for the same reason.
+//   * Transport failures fail the whole connection: every pending
+//     completion on it resolves kUnavailable (or throws BackendUnavailable
+//     for blocked callers) — never silently dropped — and the next submit
+//     reconnects from scratch. A frame that was sent is NEVER re-sent: the
+//     client cannot know whether the server executed it, and blind re-send
+//     could double-execute a publish step. (Queries still queued
+//     client-side were never on the wire, so they may be flushed to a
+//     fresh connection safely.)
+//   * Connect failures after the retry budget throw BackendUnavailable
+//     from submit() — the service converts these to Response::kFailed and
+//     the rest of the fleet keeps serving.
+//   * kError replies to blocked callers re-raise as the exception the
+//     local backend would have thrown: std::invalid_argument (refused
+//     request), std::logic_error (commit with nothing staged), WireError
+//     otherwise.
 #pragma once
 
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "src/serve/backend.h"
 #include "src/serve/remote/socket.h"
@@ -45,17 +70,27 @@ struct RemoteBackendConfig {
   std::string address;
   /// Per-attempt connect deadline.
   std::chrono::milliseconds connect_timeout{2000};
-  /// Per-RPC read/write deadline on the established connection.
+  /// Reply deadline: a reader thread with completions pending that sees no
+  /// bytes for this long fails the connection. 0 disables.
   std::chrono::milliseconds io_timeout{10000};
   /// Connect attempts before an RPC gives up (>= 1).
   int connect_retries = 3;
   /// Sleep between failed connect attempts.
   std::chrono::milliseconds retry_backoff{100};
+  /// Connections kept to the shard; queries round-robin across them.
+  int pool_size = 1;
+  /// Query frames allowed in flight per connection before submit blocks.
+  /// 1 = serial mode (see header comment).
+  int max_in_flight = 1;
+  /// Queued queries coalesced into one kQueryBatch frame when a window
+  /// slot frees up. 1 sends plain kQuery frames only.
+  std::size_t max_batch = 1;
 };
 
 class RemoteBackend final : public QueryBackend {
  public:
   explicit RemoteBackend(RemoteBackendConfig config);
+  ~RemoteBackend() override;
 
   // --- QueryBackend ---------------------------------------------------------
   void stage(const ModelRecord& record) override;
@@ -73,11 +108,13 @@ class RemoteBackend final : public QueryBackend {
   [[nodiscard]] std::size_t deployed_model_count() const override;
   void submit(int building, std::vector<float> fingerprint,
               Callback done) override;
-  void drain() override {}
-  [[nodiscard]] std::size_t queue_depth() const override { return 0; }
+  /// Blocks until every accepted query has completed (answered or failed).
+  void drain() override;
+  /// Queries accepted but not yet completed (queued + in flight).
+  [[nodiscard]] std::size_t queue_depth() const override;
   /// Local wire-leg histograms (stage.wire_serialize/rpc/deserialize_us)
   /// and net.* reliability counters, merged with the remote engine's
-  /// registry fetched via a stats RPC. When the shard is unreachable the
+  /// registry fetched over a stats RPC. When the shard is unreachable the
   /// local half is returned alone — telemetry must not throw where serving
   /// degrades.
   [[nodiscard]] telemetry::RegistrySnapshot telemetry_snapshot()
@@ -92,15 +129,111 @@ class RemoteBackend final : public QueryBackend {
   }
 
  private:
-  /// One strict request/reply RPC; reconnects (with the retry budget) when
-  /// no connection is live. kError replies re-raise per the map above.
+  /// One completion slot in a connection's demux map, keyed by correlation
+  /// id. Exactly one member is active, per `kind`.
+  struct Pending {
+    enum class Kind { kRpc, kQuery, kBatch };
+    Kind kind = Kind::kRpc;
+    /// kRpc: a blocked caller waits on this future for the raw reply.
+    std::shared_ptr<std::promise<Frame>> reply;
+    /// kQuery / kBatch: completion callbacks in request order, each with
+    /// its submit timestamp (for latency_us).
+    struct Completion {
+      Callback done;
+      std::chrono::steady_clock::time_point submitted;
+    };
+    std::vector<Completion> completions;
+    /// When the frame hit the wire (stage.wire_rpc_us) and how long its
+    /// encode took (stage.wire_serialize_us, shared by batch entries).
+    std::chrono::steady_clock::time_point sent;
+    double serialize_us = 0.0;
+  };
+
+  struct Conn {
+    Socket socket;
+    std::thread reader;
+    std::uint64_t next_cid = 1;
+    /// Outstanding query frames (window accounting; control RPCs are not
+    /// windowed).
+    std::size_t in_flight = 0;
+    bool dead = false;
+    std::map<std::uint64_t, Pending> pending;
+  };
+
+  /// A submitted query waiting for a window slot.
+  struct Queued {
+    int building = 0;
+    std::vector<float> fingerprint;
+    Callback done;
+    std::uint64_t seq = 0;
+    std::chrono::steady_clock::time_point submitted;
+  };
+
+  [[nodiscard]] bool pipelined() const noexcept {
+    return config_.pool_size > 1 || config_.max_in_flight > 1 ||
+           config_.max_batch > 1;
+  }
+  [[nodiscard]] std::size_t queue_cap() const noexcept;
+
+  /// Reconnects every dead/missing pool slot (reaping the old reader
+  /// threads first). Throws BackendUnavailable — after failing every
+  /// still-queued query — when zero connections can be established within
+  /// the retry budget. The lock is released during connect attempts.
+  void ensure_pool(std::unique_lock<std::mutex>& lock) const;
+  /// Sends as many queued queries as window slots allow, coalescing up to
+  /// max_batch per frame. Failed connections are drained into
+  /// `failed_pending` for completion once the caller drops the lock.
+  void flush_locked(std::vector<Pending>* failed_pending) const;
+  /// Marks `conn` dead, wakes waiters, and moves its pending map out for
+  /// the caller to complete (kUnavailable / BackendUnavailable) off-lock.
+  std::vector<Pending> fail_conn_locked(Conn& conn) const;
+  /// Completes failed pendings and queued queries with kUnavailable.
+  /// Called without the lock held; the caller must have incremented
+  /// completing_ under the lock (decremented here when done) so drain()
+  /// cannot return while these callbacks are still running.
+  void complete_unavailable(std::vector<Pending> pending,
+                            std::vector<Queued> queued,
+                            const std::string& reason) const;
+  /// Completes a kQuery/kBatch Pending from its reply frame: decode,
+  /// wire-leg histograms, callbacks. Called without the lock held; same
+  /// completing_ contract as complete_unavailable.
+  void complete_query(Pending pending, Frame frame) const;
+  [[nodiscard]] bool any_live_locked() const noexcept;
+  [[nodiscard]] std::size_t live_count_locked() const noexcept;
+  /// Round-robin pick among live connections; nullptr when none.
+  [[nodiscard]] Conn* pick_live_locked(bool windowed) const noexcept;
+  /// Blocking control RPC through the demux machinery; reconnects when no
+  /// connection is live. kError replies re-raise per the map above.
   Frame rpc(MessageType type, const std::string& payload) const;
-  /// Connects if needed; throws BackendUnavailable after the retry budget.
-  void ensure_connected() const;
+  /// Serial-mode query: one windowed RPC, callback completed on the
+  /// calling thread before submit returns, refusals rethrown.
+  void submit_serial(int building, std::vector<float> fingerprint,
+                     Callback done);
+  /// Reader-thread body: demultiplex replies on `conn` until EOF/failure.
+  void reader_loop(std::shared_ptr<Conn> conn) const;
+  /// Dispatches one reply frame to its Pending. Returns false when the
+  /// frame does not match any pending id (protocol skew — caller fails the
+  /// connection).
+  bool dispatch_reply(std::shared_ptr<Conn> conn, Frame frame) const;
 
   RemoteBackendConfig config_;
   mutable std::mutex mutex_;
-  mutable Socket socket_;
+  mutable std::condition_variable cv_;
+  /// Fixed pool_size slots; a slot is empty until first use and may hold a
+  /// dead connection awaiting reap.
+  mutable std::vector<std::shared_ptr<Conn>> pool_;
+  mutable std::size_t next_conn_ = 0;
+  mutable bool connecting_ = false;
+  mutable bool stopping_ = false;
+  /// Mutable for the same reason as pool_: reader threads (spawned from
+  /// const RPC paths) flush the queue when window slots free up.
+  mutable std::deque<Queued> queue_;
+  mutable std::uint64_t next_seq_ = 1;
+  /// Callback deliveries in progress off-lock (one unit per pending
+  /// complete_query / complete_unavailable call). drain() waits for zero:
+  /// a window slot frees BEFORE its callback runs, so queue+in_flight
+  /// alone would let drain() return mid-callback.
+  mutable std::size_t completing_ = 0;
 
   /// Wire-leg histograms are recorded for kQuery submits only (publish and
   /// stats RPCs would pollute the serving-stage view); the net.* counters
@@ -109,10 +242,15 @@ class RemoteBackend final : public QueryBackend {
   telemetry::LatencyHistogram* wire_serialize_hist_;
   telemetry::LatencyHistogram* wire_rpc_hist_;
   telemetry::LatencyHistogram* wire_deserialize_hist_;
+  telemetry::LatencyHistogram* in_flight_hist_;
+  telemetry::Gauge* pool_gauge_;
   telemetry::Counter* connects_;
   telemetry::Counter* connect_retries_;
   telemetry::Counter* connect_failures_;
   telemetry::Counter* rpc_failures_;
+  telemetry::Counter* pipelined_rpcs_;
+  telemetry::Counter* batch_frames_;
+  telemetry::Counter* batched_queries_;
 };
 
 /// Connects to `address` and asks the shard_server to exit (kShutdown,

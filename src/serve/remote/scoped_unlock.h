@@ -1,0 +1,31 @@
+// ScopedUnlock — RAII inverse of std::unique_lock: releases an owned lock
+// for one scope (blocking I/O, callback delivery, thread joins) and
+// reacquires it on exit, exception paths included. This is the sanctioned
+// replacement for manual unlock()/lock() pairs, which rule R4
+// (tools/safeloc_lint) bans because an exception between them leaves the
+// lock state inconsistent with the unique_lock's bookkeeping.
+#pragma once
+
+#include <mutex>
+
+namespace safeloc::serve::remote {
+
+class ScopedUnlock {
+ public:
+  explicit ScopedUnlock(std::unique_lock<std::mutex>& lock) : lock_(lock) {
+    // safeloc-lint: allow(R4 this IS the RAII guard the rule asks for)
+    lock_.unlock();
+  }
+  ~ScopedUnlock() {
+    // safeloc-lint: allow(R4 reacquire on scope exit — the RAII half)
+    lock_.lock();
+  }
+
+  ScopedUnlock(const ScopedUnlock&) = delete;
+  ScopedUnlock& operator=(const ScopedUnlock&) = delete;
+
+ private:
+  std::unique_lock<std::mutex>& lock_;
+};
+
+}  // namespace safeloc::serve::remote

@@ -1,7 +1,10 @@
 #include "src/serve/remote/shard_server.h"
 
+#include <atomic>
 #include <stdexcept>
 #include <utility>
+
+#include "src/serve/remote/scoped_unlock.h"
 
 namespace safeloc::serve::remote {
 
@@ -77,7 +80,9 @@ void ShardServer::stop() {
   if (accept_thread_.joinable()) accept_thread_.join();
   listener_.close();
   // With the accept loop gone no new connections can appear; wake every
-  // live connection's blocked read and join the handlers.
+  // live connection's blocked read and join the handlers. Each handler
+  // waits for its outstanding engine callbacks and joins its writer, so
+  // the engine must stop AFTER this join, never before.
   std::vector<std::thread> handlers;
   {
     const std::lock_guard<std::mutex> lock(threads_mutex_);
@@ -136,31 +141,250 @@ void ShardServer::accept_loop() {
   }
 }
 
+void ShardServer::enqueue_reply(const std::shared_ptr<Connection>& conn,
+                                Frame reply) {
+  const std::lock_guard<std::mutex> lock(conn->mutex);
+  if (!conn->write_failed) conn->write_queue.push_back(std::move(reply));
+  conn->cv.notify_all();
+}
+
+void ShardServer::writer_loop(const std::shared_ptr<Connection>& conn) {
+  std::unique_lock<std::mutex> lock(conn->mutex);
+  for (;;) {
+    conn->cv.wait(lock, [&conn] {
+      return !conn->write_queue.empty() || conn->closing;
+    });
+    if (conn->write_queue.empty()) return;  // closing and drained
+    if (conn->write_failed) {
+      conn->write_queue.clear();
+      conn->cv.notify_all();
+      continue;
+    }
+    Frame reply = std::move(conn->write_queue.front());
+    conn->write_queue.pop_front();
+    conn->sending = true;
+    bool ok = true;
+    {
+      const ScopedUnlock unlocked(lock);
+      try {
+        send_frame(*conn->socket, reply.type, reply.payload,
+                   reply.correlation_id);
+      } catch (const std::exception&) {
+        ok = false;
+      }
+    }
+    conn->sending = false;
+    if (!ok) {
+      // The peer went away mid-reply. Drop everything still queued (it
+      // has nowhere to go) and wake the read loop out of its blocked
+      // recv so the handler can wind the connection down.
+      conn->write_failed = true;
+      conn->write_queue.clear();
+      conn->socket->shutdown();
+    }
+    conn->cv.notify_all();  // flush waiters (kShutdown) and queue watchers
+  }
+}
+
+void ShardServer::serve_query(const std::shared_ptr<Connection>& conn,
+                              const Frame& request) {
+  const std::uint64_t cid = request.correlation_id;
+  QueryRequest query;
+  try {
+    query = decode_query(request.payload);
+  } catch (const std::exception& skew) {
+    Frame reply;
+    reply.type = MessageType::kError;
+    reply.correlation_id = cid;
+    reply.payload = encode_error({"runtime_error", skew.what()});
+    enqueue_reply(conn, std::move(reply));
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(conn->mutex);
+    conn->outstanding += 1;
+  }
+  try {
+    engine_.submit(
+        query.building, std::move(query.fingerprint),
+        [this, conn, cid](QueryResult result) {
+          queries_served_.fetch_add(1, std::memory_order_relaxed);
+          Frame reply;
+          reply.type = MessageType::kQueryReply;
+          reply.correlation_id = cid;
+          reply.payload = encode_query_reply(result);
+          {
+            const std::lock_guard<std::mutex> lock(conn->mutex);
+            if (!conn->write_failed) {
+              conn->write_queue.push_back(std::move(reply));
+            }
+            conn->outstanding -= 1;
+            conn->cv.notify_all();
+          }
+        });
+  } catch (const std::exception& refused) {
+    // The engine refused synchronously (undeployed building, wrong width,
+    // stopped engine) — no callback will run.
+    Frame reply;
+    reply.type = MessageType::kError;
+    reply.correlation_id = cid;
+    const char* kind =
+        dynamic_cast<const std::invalid_argument*>(&refused) != nullptr
+            ? "invalid_argument"
+            : "runtime_error";
+    reply.payload = encode_error({kind, refused.what()});
+    {
+      const std::lock_guard<std::mutex> lock(conn->mutex);
+      if (!conn->write_failed) conn->write_queue.push_back(std::move(reply));
+      conn->outstanding -= 1;
+      conn->cv.notify_all();
+    }
+  }
+}
+
+void ShardServer::serve_query_batch(const std::shared_ptr<Connection>& conn,
+                                    const Frame& request) {
+  const std::uint64_t cid = request.correlation_id;
+  std::vector<QueryRequest> batch;
+  try {
+    batch = decode_query_batch(request.payload);
+  } catch (const std::exception& skew) {
+    Frame reply;
+    reply.type = MessageType::kError;
+    reply.correlation_id = cid;
+    reply.payload = encode_error({"runtime_error", skew.what()});
+    enqueue_reply(conn, std::move(reply));
+    return;
+  }
+  if (batch.empty()) {
+    Frame reply;
+    reply.type = MessageType::kQueryBatchReply;
+    reply.correlation_id = cid;
+    reply.payload = encode_query_batch_reply({});
+    enqueue_reply(conn, std::move(reply));
+    return;
+  }
+
+  // Queries inside a batch fan out to the engine independently and may
+  // complete on different worker threads; the LAST completion (remaining
+  // hits zero) owns the entries vector, encodes the reply in request
+  // order, and enqueues it. One batch counts as one `outstanding` unit.
+  struct BatchState {
+    std::vector<BatchReplyEntry> entries;
+    std::atomic<std::size_t> remaining;
+    std::uint64_t cid = 0;
+  };
+  auto state = std::make_shared<BatchState>();
+  state->entries.resize(batch.size());
+  state->remaining.store(batch.size(), std::memory_order_relaxed);
+  state->cid = cid;
+  {
+    const std::lock_guard<std::mutex> lock(conn->mutex);
+    conn->outstanding += 1;
+  }
+
+  const auto finish_one = [this, conn, state] {
+    if (state->remaining.fetch_sub(1, std::memory_order_acq_rel) != 1) {
+      return;
+    }
+    Frame reply;
+    reply.type = MessageType::kQueryBatchReply;
+    reply.correlation_id = state->cid;
+    reply.payload = encode_query_batch_reply(state->entries);
+    {
+      const std::lock_guard<std::mutex> lock(conn->mutex);
+      if (!conn->write_failed) conn->write_queue.push_back(std::move(reply));
+      conn->outstanding -= 1;
+      conn->cv.notify_all();
+    }
+  };
+
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    BatchReplyEntry* entry = &state->entries[i];
+    try {
+      engine_.submit(batch[i].building, std::move(batch[i].fingerprint),
+                     [this, entry, finish_one](QueryResult result) {
+                       queries_served_.fetch_add(1,
+                                                 std::memory_order_relaxed);
+                       entry->ok = true;
+                       entry->result = std::move(result);
+                       finish_one();
+                     });
+    } catch (const std::exception& refused) {
+      entry->ok = false;
+      entry->error.kind =
+          dynamic_cast<const std::invalid_argument*>(&refused) != nullptr
+              ? "invalid_argument"
+              : "runtime_error";
+      entry->error.message = refused.what();
+      finish_one();
+    }
+  }
+}
+
 void ShardServer::serve_connection(std::shared_ptr<Socket> client) {
+  auto conn = std::make_shared<Connection>();
+  conn->socket = client;
+  conn->writer = std::thread([this, conn] { writer_loop(conn); });
+
+  FrameReader reader(*client);
   Frame request;
   for (;;) {
+    FrameReader::Next got;
     try {
-      if (!recv_frame(*client, request)) break;  // clean disconnect
+      got = reader.next(request);
     } catch (const std::exception&) {
       // Torn frame, bad magic, version skew, or stop() half-closing us:
       // the stream cannot be trusted past this point — drop the
       // connection. (Other connections and the engine are unaffected.)
       break;
     }
-    Frame reply = handle(request);
-    try {
-      send_frame(*client, reply.type, reply.payload);
-    } catch (const std::exception&) {
-      break;  // peer went away mid-reply
+    if (got == FrameReader::Next::kEof) break;  // clean disconnect
+    if (got == FrameReader::Next::kTimeout) break;  // idle past io_timeout
+    if (request.type == MessageType::kQuery) {
+      serve_query(conn, request);
+      continue;
     }
+    if (request.type == MessageType::kQueryBatch) {
+      serve_query_batch(conn, request);
+      continue;
+    }
+    Frame reply = handle_control(request);
+    reply.correlation_id = request.correlation_id;
     if (request.type == MessageType::kShutdown) {
-      // Ack sent; now bring the whole server down. stop() runs on the
+      // Drain before the ack: every outstanding query reply is enqueued,
+      // then the ack, then wait for the writer to flush the lot — the
+      // peer must hold the acked contract "no reply is lost".
+      {
+        std::unique_lock<std::mutex> lock(conn->mutex);
+        conn->cv.wait(lock, [&conn] { return conn->outstanding == 0; });
+        if (!conn->write_failed) {
+          conn->write_queue.push_back(std::move(reply));
+        }
+        conn->cv.notify_all();
+        conn->cv.wait(lock, [&conn] {
+          return (conn->write_queue.empty() && !conn->sending) ||
+                 conn->write_failed;
+        });
+      }
+      // Ack flushed; now bring the whole server down. stop() runs on the
       // wait()er's thread — this handler only signals.
       shutdown_.store(true, std::memory_order_release);
       wait_cv_.notify_all();
       break;
     }
+    enqueue_reply(conn, std::move(reply));
   }
+
+  // Engine callbacks capture `conn` and may still be in flight: wait for
+  // them so no reply is enqueued after the writer drains out.
+  {
+    std::unique_lock<std::mutex> lock(conn->mutex);
+    conn->cv.wait(lock, [&conn] { return conn->outstanding == 0; });
+    conn->closing = true;
+    conn->cv.notify_all();
+  }
+  conn->writer.join();
   // Half-close only: stop() may be shutdown()ing this socket concurrently,
   // and closing here could recycle the descriptor under it. The last
   // shared_ptr owner (set erasure below + our local copy) closes it — and
@@ -171,20 +395,10 @@ void ShardServer::serve_connection(std::shared_ptr<Socket> client) {
   live_connections_.erase(client);
 }
 
-Frame ShardServer::handle(const Frame& request) {
+Frame ShardServer::handle_control(const Frame& request) {
   Frame reply;
   try {
     switch (request.type) {
-      case MessageType::kQuery: {
-        QueryRequest query = decode_query(request.payload);
-        QueryResult result =
-            engine_.submit(query.building, std::move(query.fingerprint))
-                .get();
-        queries_served_.fetch_add(1, std::memory_order_relaxed);
-        reply.type = MessageType::kQueryReply;
-        reply.payload = encode_query_reply(result);
-        return reply;
-      }
       case MessageType::kPublishStage: {
         const ModelRecord record = decode_publish_stage(request.payload);
         const int building = record.provenance.building;

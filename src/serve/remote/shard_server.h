@@ -2,10 +2,19 @@
 // SFRP wire protocol.
 //
 // The server binds a listen address, accepts connections on a dedicated
-// thread, and serves each connection on its own thread with strict
-// request/reply framing (wire.h). Clients are RemoteBackend instances
-// inside a LocalizationService front door — one connection per backend —
-// plus operational callers (republish_daemon, health probes).
+// thread, and serves each connection with a read thread plus a writer
+// thread speaking pipelined framing (wire.h): the read loop decodes
+// requests and hands queries to the engine WITHOUT blocking on their
+// results; each completion callback encodes a reply tagged with the
+// request's correlation id and enqueues it to the connection's writer,
+// which serializes replies onto the socket in COMPLETION order. A slow
+// query therefore never convoys the queries behind it — replies simply
+// overtake it on the wire and the client demultiplexes by correlation id.
+// Control requests (publish/stats/health/shutdown) are handled inline on
+// the read thread — cheap, and it preserves the strict ordering two-phase
+// publish depends on (a client blocks for each control reply anyway).
+// Clients are RemoteBackend instances inside a LocalizationService front
+// door, plus operational callers (republish_daemon, health probes).
 //
 // Partition awareness: a server constructed with shard_index/shard_count
 // (and optionally an explicit PartitionMap) REFUSES to stage models for
@@ -19,13 +28,16 @@
 // wait() blocks until either stop() is called locally or a peer sends
 // kShutdown (the clean fleet-teardown path used by benches and CI).
 // stop() closes the listener, half-closes every live connection so
-// blocked reads wake, joins all threads, and stops the engine.
+// blocked reads wake, joins all threads, and stops the engine LAST — a
+// handler waits for its outstanding engine callbacks before exiting, so
+// the engine must still be live while handlers drain.
 #pragma once
 
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -55,8 +67,9 @@ struct ShardServerConfig {
   std::optional<PartitionMap> partition;
   /// Embedded engine configuration.
   QueryEngineConfig engine{};
-  /// Per-connection read/write deadline; 0 disables (a server mostly
-  /// blocks waiting for the next request, so no deadline is the default).
+  /// Idle-connection deadline: a connection with no request for this long
+  /// is dropped. 0 disables (a server mostly blocks waiting for the next
+  /// request, so no deadline is the default).
   std::chrono::milliseconds io_timeout{0};
 };
 
@@ -103,11 +116,45 @@ class ShardServer {
   }
 
  private:
+  /// Per-connection shared state: the read loop produces replies (via
+  /// engine callbacks or inline control handling), the writer thread
+  /// consumes them. Engine callbacks hold a shared_ptr, so the state
+  /// outlives the handler if a callback straggles.
+  struct Connection {
+    std::shared_ptr<Socket> socket;
+    std::mutex mutex;
+    std::condition_variable cv;
+    /// Completed replies awaiting the wire, in completion order.
+    std::deque<Frame> write_queue;
+    /// Query frames handed to the engine whose reply is not yet enqueued.
+    std::size_t outstanding = 0;
+    /// Read loop done; the writer drains the queue and exits.
+    bool closing = false;
+    /// Writer is mid-send (queue empty does not mean flushed).
+    bool sending = false;
+    /// A send failed: the stream is dead, further replies are dropped.
+    bool write_failed = false;
+    std::thread writer;
+  };
+
   void accept_loop();
   void serve_connection(std::shared_ptr<Socket> client);
-  /// Builds the reply frame for one request (never throws; failures become
-  /// kError replies).
-  Frame handle(const Frame& request);
+  void writer_loop(const std::shared_ptr<Connection>& conn);
+  /// Queues one reply frame for the writer (dropped after write failure).
+  static void enqueue_reply(const std::shared_ptr<Connection>& conn,
+                            Frame reply);
+  /// Hands one kQuery to the engine; the completion callback enqueues the
+  /// tagged reply. Never throws — refusals become kError replies.
+  void serve_query(const std::shared_ptr<Connection>& conn,
+                   const Frame& request);
+  /// Fans one kQueryBatch out to the engine; the LAST completion encodes
+  /// the kQueryBatchReply (entries in request order) and enqueues it.
+  void serve_query_batch(const std::shared_ptr<Connection>& conn,
+                         const Frame& request);
+  /// Builds the reply for one control request (publish/stats/health/
+  /// shutdown; never kQuery/kQueryBatch). Never throws; failures become
+  /// kError replies.
+  Frame handle_control(const Frame& request);
 
   ShardServerConfig config_;
   QueryEngine engine_;

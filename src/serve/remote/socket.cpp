@@ -250,6 +250,19 @@ bool Socket::read_exact_or_eof(void* data, std::size_t bytes) {
   return true;
 }
 
+std::ptrdiff_t Socket::read_some(void* data, std::size_t max_bytes) {
+  if (fd_ < 0) {
+    throw SocketError("Socket: read on closed socket (" + address_ + ")");
+  }
+  for (;;) {
+    const ssize_t n = ::recv(fd_, data, max_bytes, 0);
+    if (n >= 0) return static_cast<std::ptrdiff_t>(n);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return -1;
+    fail("recv", address_);
+  }
+}
+
 void Socket::write_all(const void* data, std::size_t bytes) {
   if (fd_ < 0) {
     throw SocketError("Socket: write on closed socket (" + address_ + ")");

@@ -13,11 +13,14 @@
 //                                     Port 0 asks the kernel for a free
 //                                     port — read it back via local_port().
 //
-// The wrapper is deliberately synchronous: the wire protocol is strict
-// request/reply, so blocking reads with SO_RCVTIMEO deadlines (set_io_timeout)
-// are simpler and no slower than a reactor. Connect honours its own timeout
-// via a non-blocking connect + poll. All errors throw SocketError carrying
-// the peer address and errno text.
+// The wrapper is deliberately synchronous: SFRP pipelines by giving each
+// connection a dedicated reader thread, so blocking reads with SO_RCVTIMEO
+// deadlines (set_io_timeout) are simpler and no slower than a reactor —
+// read_some is the one concession, letting a buffered reader (wire.h
+// FrameReader) drain many small frames per syscall and tell an idle stream
+// from a dead one. Connect honours its own timeout via a non-blocking
+// connect + poll. All errors throw SocketError carrying the peer address
+// and errno text.
 #pragma once
 
 #include <atomic>
@@ -75,6 +78,13 @@ class Socket {
   /// false (peer hung up between frames — normal disconnect). EOF after a
   /// partial read still throws: that is a torn frame, never normal.
   [[nodiscard]] bool read_exact_or_eof(void* data, std::size_t bytes);
+
+  /// One recv() of up to `max_bytes`: returns the bytes read (> 0), 0 on a
+  /// clean peer close, or -1 when the receive deadline (set_io_timeout)
+  /// expired before any byte arrived — the buffered-reader primitive
+  /// (wire.h FrameReader), where a persistent reader thread must tell an
+  /// idle stream from a dead one. Throws SocketError on hard errors.
+  [[nodiscard]] std::ptrdiff_t read_some(void* data, std::size_t max_bytes);
 
   /// Writes exactly `bytes` (SIGPIPE suppressed; a closed peer surfaces as
   /// SocketError instead). Throws SocketError on timeout or error.

@@ -11,15 +11,33 @@ namespace {
 
 constexpr const char* kContext = "wire";
 
-/// Frame header, exactly 16 bytes with natural alignment — transmitted as
+/// Frame header, exactly 24 bytes with natural alignment — transmitted as
 /// raw little-endian memory, matching binary_io's fixed-width convention.
 struct FrameHeader {
   std::uint32_t magic = kWireMagic;
   std::uint16_t version = kWireVersion;
   std::uint16_t type = 0;
+  std::uint64_t correlation_id = 0;
   std::uint64_t payload_bytes = 0;
 };
-static_assert(sizeof(FrameHeader) == 16, "wire header must be 16 bytes");
+static_assert(sizeof(FrameHeader) == 24, "wire header must be 24 bytes");
+
+/// Shared header validation for recv_frame and FrameReader.
+void check_header(const FrameHeader& header) {
+  if (header.magic != kWireMagic) {
+    throw WireError("wire: bad frame magic (not an SFRP peer?)");
+  }
+  if (header.version != kWireVersion) {
+    throw WireError("wire: protocol version mismatch (peer v" +
+                    std::to_string(header.version) + ", this build v" +
+                    std::to_string(kWireVersion) + ")");
+  }
+  if (header.payload_bytes > kMaxFrameBytes) {
+    throw WireError("wire: frame payload of " +
+                    std::to_string(header.payload_bytes) +
+                    " bytes exceeds cap (corrupt header?)");
+  }
+}
 
 using util::read_pod;
 using util::read_string;
@@ -115,13 +133,15 @@ telemetry::RegistrySnapshot read_registry(std::istream& in) {
 
 }  // namespace
 
-void send_frame(Socket& socket, MessageType type, const std::string& payload) {
+void send_frame(Socket& socket, MessageType type, const std::string& payload,
+                std::uint64_t correlation_id) {
   if (payload.size() > kMaxFrameBytes) {
     throw WireError("wire: frame payload of " +
                     std::to_string(payload.size()) + " bytes exceeds cap");
   }
   FrameHeader header;
   header.type = static_cast<std::uint16_t>(type);
+  header.correlation_id = correlation_id;
   header.payload_bytes = payload.size();
   // One header+payload buffer per frame: a single write keeps small
   // request/reply frames in one TCP segment.
@@ -134,20 +154,9 @@ void send_frame(Socket& socket, MessageType type, const std::string& payload) {
 bool recv_frame(Socket& socket, Frame& frame) {
   FrameHeader header;
   if (!socket.read_exact_or_eof(&header, sizeof(header))) return false;
-  if (header.magic != kWireMagic) {
-    throw WireError("wire: bad frame magic (not an SFRP peer?)");
-  }
-  if (header.version != kWireVersion) {
-    throw WireError("wire: protocol version mismatch (peer v" +
-                    std::to_string(header.version) + ", this build v" +
-                    std::to_string(kWireVersion) + ")");
-  }
-  if (header.payload_bytes > kMaxFrameBytes) {
-    throw WireError("wire: frame payload of " +
-                    std::to_string(header.payload_bytes) +
-                    " bytes exceeds cap (corrupt header?)");
-  }
+  check_header(header);
   frame.type = static_cast<MessageType>(header.type);
+  frame.correlation_id = header.correlation_id;
   frame.payload.resize(static_cast<std::size_t>(header.payload_bytes));
   if (!frame.payload.empty()) {
     // A clean EOF here is NOT ok — the header promised a payload.
@@ -156,28 +165,87 @@ bool recv_frame(Socket& socket, Frame& frame) {
   return true;
 }
 
-std::string encode_query(const QueryRequest& query) {
-  std::ostringstream out(std::ios::binary);
+FrameReader::FrameReader(Socket& socket, std::size_t buffer_bytes)
+    : socket_(&socket), buffer_(buffer_bytes < sizeof(FrameHeader)
+                                    ? sizeof(FrameHeader)
+                                    : buffer_bytes) {}
+
+FrameReader::Next FrameReader::fill(std::size_t bytes) {
+  while (end_ - begin_ < bytes) {
+    // Compact before the tail runs out of room; `bytes` always fits the
+    // buffer (callers cap it at the buffer size).
+    if (begin_ + bytes > buffer_.size()) {
+      std::memmove(buffer_.data(), buffer_.data() + begin_, end_ - begin_);
+      end_ -= begin_;
+      begin_ = 0;
+    }
+    const std::ptrdiff_t n =
+        socket_->read_some(buffer_.data() + end_, buffer_.size() - end_);
+    if (n > 0) {
+      end_ += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (end_ - begin_ == 0) return n == 0 ? Next::kEof : Next::kTimeout;
+    if (n == 0) {
+      throw SocketError("Socket: peer closed mid-frame after " +
+                        std::to_string(end_ - begin_) + " of " +
+                        std::to_string(bytes) + " bytes (" +
+                        socket_->address() + ") — torn frame");
+    }
+    throw SocketError("Socket: read timed out mid-frame (" +
+                      socket_->address() + ")");
+  }
+  return Next::kFrame;
+}
+
+FrameReader::Next FrameReader::next(Frame& frame) {
+  const Next got = fill(sizeof(FrameHeader));
+  if (got != Next::kFrame) return got;
+  FrameHeader header;
+  std::memcpy(&header, buffer_.data() + begin_, sizeof(header));
+  check_header(header);
+  begin_ += sizeof(header);
+  frame.type = static_cast<MessageType>(header.type);
+  frame.correlation_id = header.correlation_id;
+  frame.payload.resize(static_cast<std::size_t>(header.payload_bytes));
+  std::size_t copied = end_ - begin_;
+  if (copied > frame.payload.size()) copied = frame.payload.size();
+  std::memcpy(frame.payload.data(), buffer_.data() + begin_, copied);
+  begin_ += copied;
+  if (copied < frame.payload.size()) {
+    // Oversized payload (a staged ModelRecord): read the remainder
+    // directly, bypassing the buffer. The header promised these bytes, so
+    // a clean EOF here is a torn frame — read_exact throws for us.
+    socket_->read_exact(frame.payload.data() + copied,
+                        frame.payload.size() - copied);
+  }
+  if (begin_ == end_) begin_ = end_ = 0;
+  return Next::kFrame;
+}
+
+namespace {
+
+// Stream-level query/result layouts, shared verbatim between the
+// single-query codecs and the batch codecs so a query crossing the wire
+// inside a kQueryBatch is byte-identical to one in its own kQuery frame.
+
+void write_query(std::ostream& out, const QueryRequest& query) {
   write_pod(out, static_cast<std::int32_t>(query.building));
   write_pod(out, static_cast<std::uint64_t>(query.fingerprint.size()));
   for (const float v : query.fingerprint) write_pod(out, v);
-  return std::move(out).str();
 }
 
-QueryRequest decode_query(const std::string& payload) {
-  std::istringstream in(payload, std::ios::binary);
+QueryRequest read_query(std::istream& in) {
   QueryRequest query;
   query.building = read_pod<std::int32_t>(in, kContext);
   const auto dim = read_pod<std::uint64_t>(in, kContext);
   check_count(dim, kMaxFingerprintDim, "fingerprint");
   query.fingerprint.resize(static_cast<std::size_t>(dim));
   for (float& v : query.fingerprint) v = read_pod<float>(in, kContext);
-  util::expect_exhausted(in, kContext);
   return query;
 }
 
-std::string encode_query_reply(const QueryResult& result) {
-  std::ostringstream out(std::ios::binary);
+void write_query_result(std::ostream& out, const QueryResult& result) {
   write_pod(out, static_cast<std::int32_t>(result.building));
   write_pod(out, static_cast<std::int32_t>(result.rp));
   write_pod(out, result.position.x);
@@ -195,11 +263,9 @@ std::string encode_query_reply(const QueryResult& result) {
   write_pod(out, result.stages.wire_serialize_us);
   write_pod(out, result.stages.wire_rpc_us);
   write_pod(out, result.stages.wire_deserialize_us);
-  return std::move(out).str();
 }
 
-QueryResult decode_query_reply(const std::string& payload) {
-  std::istringstream in(payload, std::ios::binary);
+QueryResult read_query_result(std::istream& in) {
   QueryResult result;
   result.building = read_pod<std::int32_t>(in, kContext);
   result.rp = read_pod<std::int32_t>(in, kContext);
@@ -220,8 +286,108 @@ QueryResult decode_query_reply(const std::string& payload) {
   result.stages.wire_serialize_us = read_pod<double>(in, kContext);
   result.stages.wire_rpc_us = read_pod<double>(in, kContext);
   result.stages.wire_deserialize_us = read_pod<double>(in, kContext);
+  return result;
+}
+
+void write_error(std::ostream& out, const ErrorReply& error) {
+  write_string(out, error.kind);
+  write_string(out, error.message);
+}
+
+ErrorReply read_error(std::istream& in) {
+  ErrorReply error;
+  error.kind = read_string(in, kContext);
+  error.message = read_string(in, kContext);
+  return error;
+}
+
+}  // namespace
+
+std::string encode_query(const QueryRequest& query) {
+  std::ostringstream out(std::ios::binary);
+  write_query(out, query);
+  return std::move(out).str();
+}
+
+QueryRequest decode_query(const std::string& payload) {
+  std::istringstream in(payload, std::ios::binary);
+  QueryRequest query = read_query(in);
+  util::expect_exhausted(in, kContext);
+  return query;
+}
+
+std::string encode_query_reply(const QueryResult& result) {
+  std::ostringstream out(std::ios::binary);
+  write_query_result(out, result);
+  return std::move(out).str();
+}
+
+QueryResult decode_query_reply(const std::string& payload) {
+  std::istringstream in(payload, std::ios::binary);
+  QueryResult result = read_query_result(in);
   util::expect_exhausted(in, kContext);
   return result;
+}
+
+std::string encode_query_batch(const std::vector<QueryRequest>& batch) {
+  if (batch.size() > kMaxBatchQueries) {
+    throw WireError("wire: query batch of " + std::to_string(batch.size()) +
+                    " exceeds cap");
+  }
+  std::ostringstream out(std::ios::binary);
+  write_pod(out, static_cast<std::uint64_t>(batch.size()));
+  for (const QueryRequest& query : batch) write_query(out, query);
+  return std::move(out).str();
+}
+
+std::vector<QueryRequest> decode_query_batch(const std::string& payload) {
+  std::istringstream in(payload, std::ios::binary);
+  const auto count = read_pod<std::uint64_t>(in, kContext);
+  check_count(count, kMaxBatchQueries, "batch-query");
+  std::vector<QueryRequest> batch;
+  batch.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) batch.push_back(read_query(in));
+  util::expect_exhausted(in, kContext);
+  return batch;
+}
+
+std::string encode_query_batch_reply(
+    const std::vector<BatchReplyEntry>& entries) {
+  if (entries.size() > kMaxBatchQueries) {
+    throw WireError("wire: batch reply of " + std::to_string(entries.size()) +
+                    " exceeds cap");
+  }
+  std::ostringstream out(std::ios::binary);
+  write_pod(out, static_cast<std::uint64_t>(entries.size()));
+  for (const BatchReplyEntry& entry : entries) {
+    write_pod(out, static_cast<std::uint8_t>(entry.ok ? 1 : 0));
+    if (entry.ok) {
+      write_query_result(out, entry.result);
+    } else {
+      write_error(out, entry.error);
+    }
+  }
+  return std::move(out).str();
+}
+
+std::vector<BatchReplyEntry> decode_query_batch_reply(
+    const std::string& payload) {
+  std::istringstream in(payload, std::ios::binary);
+  const auto count = read_pod<std::uint64_t>(in, kContext);
+  check_count(count, kMaxBatchQueries, "batch-reply");
+  std::vector<BatchReplyEntry> entries(static_cast<std::size_t>(count));
+  for (BatchReplyEntry& entry : entries) {
+    const auto ok = read_pod<std::uint8_t>(in, kContext);
+    if (ok > 1) throw WireError("wire: batch reply ok-flag out of range");
+    entry.ok = ok == 1;
+    if (entry.ok) {
+      entry.result = read_query_result(in);
+    } else {
+      entry.error = read_error(in);
+    }
+  }
+  util::expect_exhausted(in, kContext);
+  return entries;
 }
 
 std::string encode_publish_stage(const ModelRecord& record) {
@@ -326,16 +492,13 @@ HealthInfo decode_health_reply(const std::string& payload) {
 
 std::string encode_error(const ErrorReply& error) {
   std::ostringstream out(std::ios::binary);
-  write_string(out, error.kind);
-  write_string(out, error.message);
+  write_error(out, error);
   return std::move(out).str();
 }
 
 ErrorReply decode_error(const std::string& payload) {
   std::istringstream in(payload, std::ios::binary);
-  ErrorReply error;
-  error.kind = read_string(in, kContext);
-  error.message = read_string(in, kContext);
+  ErrorReply error = read_error(in);
   util::expect_exhausted(in, kContext);
   return error;
 }

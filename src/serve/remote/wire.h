@@ -2,14 +2,15 @@
 // QueryBackend contract between LocalizationService (RemoteBackend client)
 // and shard_server processes.
 //
-// Every frame is a fixed 16-byte header followed by `payload_bytes` of
+// Every frame is a fixed 24-byte header followed by `payload_bytes` of
 // payload:
 //
 //   offset  size  field
-//   0       4     magic          0x53465250 "SFRP"
-//   4       2     version        kWireVersion; mismatch rejects the frame
-//   6       2     type           MessageType
-//   8       8     payload_bytes  bounded by kMaxFrameBytes
+//   0       4     magic           0x53465250 "SFRP"
+//   4       2     version         kWireVersion; mismatch rejects the frame
+//   6       2     type            MessageType
+//   8       8     correlation_id  echoed verbatim in the reply frame
+//   16      8     payload_bytes   bounded by kMaxFrameBytes
 //
 // Payloads reuse util/binary_io.h primitives (fixed-width little-endian
 // PODs, u32-length-prefixed strings) — the same conventions as the SFST
@@ -17,16 +18,22 @@
 // write_model_record/read_model_record, byte-identical to how it rests in
 // an SFST file.
 //
-// Message flow (strict request/reply per connection):
+// Message flow (pipelined request/reply per connection): a client may have
+// any number of request frames outstanding; the server echoes each
+// request's correlation_id in its reply frame and MAY reply out of order
+// (replies are written in completion order). Clients demultiplex replies
+// by correlation id — never by arrival order.
 //
-//   request          reply            payload (request / reply)
-//   kQuery           kQueryReply      building + fingerprint / QueryResult
-//   kPublishStage    kPublishReply    format tag + ModelRecord / empty
-//   kPublishCommit   kPublishReply    building + version / empty
-//   kPublishAbort    kPublishReply    building / empty
-//   kStatsRequest    kStatsReply      empty / ShardStats
-//   kHealthRequest   kHealthReply     empty / HealthInfo
-//   kShutdown        kShutdownAck     empty / empty (server exits after)
+//   request          reply             payload (request / reply)
+//   kQuery           kQueryReply       building + fingerprint / QueryResult
+//   kQueryBatch      kQueryBatchReply  N coalesced queries / N ok-or-error
+//                                      entries, request order preserved
+//   kPublishStage    kPublishReply     format tag + ModelRecord / empty
+//   kPublishCommit   kPublishReply     building + version / empty
+//   kPublishAbort    kPublishReply     building / empty
+//   kStatsRequest    kStatsReply       empty / ShardStats
+//   kHealthRequest   kHealthReply      empty / HealthInfo
+//   kShutdown        kShutdownAck      empty / empty (server exits after)
 //
 // Any request the server cannot honour is answered with kError carrying a
 // human-readable reason; the client maps it back to the exception the local
@@ -53,10 +60,12 @@
 namespace safeloc::serve::remote {
 
 inline constexpr std::uint32_t kWireMagic = 0x53465250;  // "SFRP"
-/// v2: query replies carry StageTimings; stats replies carry the shard's
-/// telemetry RegistrySnapshot. Strict equality check — SFRP has no
+/// v3: the header grew a correlation id (replies may arrive out of order)
+/// and kQueryBatch/kQueryBatchReply coalesce pipelined queries into one
+/// frame. v2 added StageTimings on query replies and the telemetry
+/// RegistrySnapshot on stats replies. Strict equality check — SFRP has no
 /// negotiation, a fleet upgrades atomically.
-inline constexpr std::uint16_t kWireVersion = 2;
+inline constexpr std::uint16_t kWireVersion = 3;
 /// Upper bound on one frame's payload. Generous for paper-scale model
 /// records (a few MiB); a length above it means a corrupt or hostile
 /// header, and reading it would be an allocation bomb.
@@ -84,21 +93,61 @@ enum class MessageType : std::uint16_t {
   kError = 11,
   kShutdown = 12,
   kShutdownAck = 13,
+  kQueryBatch = 14,
+  kQueryBatchReply = 15,
 };
 
 struct Frame {
   MessageType type = MessageType::kError;
+  /// Request frames choose any id; the reply echoes it verbatim. A peer
+  /// that pipelines must keep ids unique among its in-flight requests on
+  /// one connection (strict request/reply callers may leave it 0).
+  std::uint64_t correlation_id = 0;
   std::string payload;
 };
 
 /// Writes one frame (header + payload). Throws SocketError on transport
 /// failure, WireError when `payload` exceeds kMaxFrameBytes.
-void send_frame(Socket& socket, MessageType type, const std::string& payload);
+void send_frame(Socket& socket, MessageType type, const std::string& payload,
+                std::uint64_t correlation_id = 0);
 
 /// Reads one frame. Returns false on a clean peer close before the header
 /// (normal disconnect). Throws WireError on bad magic / version mismatch /
 /// oversized payload, SocketError on transport failure or a torn frame.
 [[nodiscard]] bool recv_frame(Socket& socket, Frame& frame);
+
+/// Buffered frame reader for hot read loops (the client's reply-demux
+/// reader thread, the server's per-connection request loop): one recv()
+/// typically delivers many small pipelined frames, instead of the two
+/// syscalls per frame recv_frame costs. Frame semantics and hardening are
+/// identical to recv_frame; the only new outcome is kTimeout, returned when
+/// the socket's receive deadline (Socket::set_io_timeout) expires while the
+/// stream is idle *between* frames — the caller decides whether idleness is
+/// an error (replies overdue) or normal (nothing in flight). A deadline
+/// expiring mid-frame still throws SocketError: the peer stalled inside a
+/// frame it promised.
+///
+/// Not thread-safe; exactly one reader per socket (bytes buffered here are
+/// gone from the socket).
+class FrameReader {
+ public:
+  enum class Next { kFrame, kEof, kTimeout };
+
+  explicit FrameReader(Socket& socket, std::size_t buffer_bytes = 1 << 16);
+
+  [[nodiscard]] Next next(Frame& frame);
+
+ private:
+  /// Buffers at least `bytes` (reading opportunistically up to the buffer
+  /// capacity). Returns kFrame when satisfied; kEof/kTimeout only at a
+  /// frame boundary (nothing buffered), else throws SocketError.
+  Next fill(std::size_t bytes);
+
+  Socket* socket_;
+  std::vector<char> buffer_;
+  std::size_t begin_ = 0;
+  std::size_t end_ = 0;
+};
 
 // --- payload codecs --------------------------------------------------------
 // Encoders return the payload string for send_frame; decoders parse a
@@ -115,6 +164,39 @@ struct QueryRequest {
 
 [[nodiscard]] std::string encode_query_reply(const QueryResult& result);
 [[nodiscard]] QueryResult decode_query_reply(const std::string& payload);
+
+/// kError payload: `kind` selects the client-side exception
+/// ("invalid_argument" | "logic_error" | anything else → WireError),
+/// `message` is the server-side what().
+struct ErrorReply {
+  std::string kind;
+  std::string message;
+};
+
+/// Upper bound on queries coalesced into one kQueryBatch frame.
+inline constexpr std::uint64_t kMaxBatchQueries = 4096;
+
+/// kQueryBatch payload: u64 count, then each query in QueryRequest layout.
+/// Order is significant — the reply answers entry i with entry i.
+[[nodiscard]] std::string encode_query_batch(
+    const std::vector<QueryRequest>& batch);
+[[nodiscard]] std::vector<QueryRequest> decode_query_batch(
+    const std::string& payload);
+
+/// One entry of a kQueryBatchReply: queries inside a batch fail
+/// independently (undeployed building, wrong width), so each entry carries
+/// either a result or the kError payload that query would have gotten
+/// standalone.
+struct BatchReplyEntry {
+  bool ok = false;
+  QueryResult result;  // valid when ok
+  ErrorReply error;    // valid when !ok
+};
+
+[[nodiscard]] std::string encode_query_batch_reply(
+    const std::vector<BatchReplyEntry>& entries);
+[[nodiscard]] std::vector<BatchReplyEntry> decode_query_batch_reply(
+    const std::string& payload);
 
 /// Stage payload = SFST format tag + the record in SFST record layout.
 [[nodiscard]] std::string encode_publish_stage(const ModelRecord& record);
@@ -156,14 +238,6 @@ struct HealthInfo {
 
 [[nodiscard]] std::string encode_health_reply(const HealthInfo& health);
 [[nodiscard]] HealthInfo decode_health_reply(const std::string& payload);
-
-/// kError payload: `kind` selects the client-side exception
-/// ("invalid_argument" | "logic_error" | anything else → WireError),
-/// `message` is the server-side what().
-struct ErrorReply {
-  std::string kind;
-  std::string message;
-};
 
 [[nodiscard]] std::string encode_error(const ErrorReply& error);
 [[nodiscard]] ErrorReply decode_error(const std::string& payload);

@@ -277,6 +277,26 @@ void LocalizationService::submit(Request request,
                 build_spans(admission_us, routing_us, result.stages, e2e_us);
             trace_.record(std::move(trace));
           }
+          if (result.outcome != QueryOutcome::kOk) {
+            // A pipelined backend had already accepted this query when the
+            // shard failed it (connection lost mid-window, or a remote
+            // refusal that a local backend would have thrown) — same
+            // degradation contract as the synchronous BackendUnavailable
+            // path below, reached through the callback instead.
+            failed_.fetch_add(1, std::memory_order_relaxed);
+            shard_errors_[shard].fetch_add(1, std::memory_order_relaxed);
+            Response failure;
+            failure.status = Response::Status::kFailed;
+            failure.flagged = response.flagged;
+            failure.admission_score = response.admission_score;
+            failure.admission_policy = std::move(response.admission_policy);
+            failure.admission_test = std::move(response.admission_test);
+            failure.admission_reason = std::move(response.admission_reason);
+            failure.shard = static_cast<int>(shard);
+            failure.error = std::move(result.error);
+            if (done) done(std::move(failure));
+            return;
+          }
           response.query = std::move(result);
           if (done) done(std::move(response));
         });

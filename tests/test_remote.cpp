@@ -4,13 +4,16 @@
 // enforcement, and kill-a-shard-mid-traffic degradation.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstring>
 #include <filesystem>
+#include <future>
 #include <memory>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/engine/engine.h"
@@ -107,21 +110,41 @@ class RemoteFixture : public ::testing::Test {
 // ---------------------------------------------------------------------------
 
 TEST(Wire, FrameHeaderGoldenBytes) {
-  // Pin the on-wire layout: 16-byte header, little-endian, magic "SFRP"
-  // (reads as "PRFS" in byte order), version 2 (stage timings + telemetry
-  // payloads). A layout change breaks cross-version fleets and MUST show
-  // up as this golden failing.
+  // Pin the on-wire layout: 24-byte header, little-endian, magic "SFRP"
+  // (reads as "PRFS" in byte order), version 3 (correlation id at offset
+  // 8, payload length at offset 16). A layout change breaks cross-version
+  // fleets and MUST show up as this golden failing.
   LocalPair pair;
-  remote::send_frame(pair.client, remote::MessageType::kHealthRequest, "ab");
-  unsigned char raw[18];
+  remote::send_frame(pair.client, remote::MessageType::kHealthRequest, "ab",
+                     0x1122334455667788ull);
+  unsigned char raw[26];
   pair.server.read_exact(raw, sizeof(raw));
-  const unsigned char expected[18] = {
+  const unsigned char expected[26] = {
       0x50, 0x52, 0x46, 0x53,  // magic 0x53465250 LE
-      0x02, 0x00,              // version 2
+      0x03, 0x00,              // version 3
       0x09, 0x00,              // type kHealthRequest = 9
+      0x88, 0x77, 0x66, 0x55, 0x44, 0x33, 0x22, 0x11,  // correlation id LE
       0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  // payload_bytes = 2
       'a',  'b'};
   EXPECT_EQ(std::memcmp(raw, expected, sizeof(expected)), 0);
+}
+
+TEST(Wire, CorrelationIdEchoesThroughRecvAndFrameReader) {
+  LocalPair pair;
+  remote::send_frame(pair.client, remote::MessageType::kQuery, "x", 42);
+  remote::send_frame(pair.client, remote::MessageType::kQuery, "y", 7);
+  remote::Frame frame;
+  ASSERT_TRUE(remote::recv_frame(pair.server, frame));
+  EXPECT_EQ(frame.correlation_id, 42u);
+  EXPECT_EQ(frame.payload, "x");
+  remote::FrameReader reader(pair.server);
+  ASSERT_EQ(reader.next(frame), remote::FrameReader::Next::kFrame);
+  EXPECT_EQ(frame.correlation_id, 7u);
+  EXPECT_EQ(frame.payload, "y");
+  // A strict request/reply caller that never sets the id sends 0.
+  remote::send_frame(pair.client, remote::MessageType::kQuery, "z");
+  ASSERT_TRUE(remote::recv_frame(pair.server, frame));
+  EXPECT_EQ(frame.correlation_id, 0u);
 }
 
 TEST(Wire, FrameRoundTripAndCleanEof) {
@@ -140,17 +163,17 @@ TEST(Wire, FrameRoundTripAndCleanEof) {
 TEST(Wire, RejectsBadMagicAndVersionMismatch) {
   {
     LocalPair pair;
-    const unsigned char not_sfrp[16] = {0xDE, 0xAD, 0xBE, 0xEF};
+    const unsigned char not_sfrp[24] = {0xDE, 0xAD, 0xBE, 0xEF};
     pair.client.write_all(not_sfrp, sizeof(not_sfrp));
     remote::Frame frame;
     EXPECT_THROW((void)remote::recv_frame(pair.server, frame),
                  remote::WireError);
   }
   {
-    // Valid magic, future version: must be rejected loudly (a v2 peer
+    // Valid magic, future version: must be rejected loudly (a v3 peer
     // cannot be half-understood), and the error must name both versions.
     LocalPair pair;
-    unsigned char header[16] = {0x50, 0x52, 0x46, 0x53, 0x63, 0x00};  // v99
+    unsigned char header[24] = {0x50, 0x52, 0x46, 0x53, 0x63, 0x00};  // v99
     pair.client.write_all(header, sizeof(header));
     remote::Frame frame;
     try {
@@ -165,9 +188,9 @@ TEST(Wire, RejectsBadMagicAndVersionMismatch) {
 
 TEST(Wire, RejectsOversizedPayloadHeader) {
   LocalPair pair;
-  unsigned char header[16] = {0x50, 0x52, 0x46, 0x53, 0x02, 0x00, 0x01, 0x00};
+  unsigned char header[24] = {0x50, 0x52, 0x46, 0x53, 0x03, 0x00, 0x01, 0x00};
   const std::uint64_t huge = remote::kMaxFrameBytes + 1;
-  std::memcpy(header + 8, &huge, sizeof(huge));
+  std::memcpy(header + 16, &huge, sizeof(huge));
   pair.client.write_all(header, sizeof(header));
   remote::Frame frame;
   EXPECT_THROW((void)remote::recv_frame(pair.server, frame),
@@ -179,15 +202,71 @@ TEST(Wire, TornFrameIsATransportErrorNotSilence) {
   // must throw (SocketError: torn frame), never hang or return a partial
   // frame as complete.
   LocalPair pair;
-  unsigned char header[16] = {0x50, 0x52, 0x46, 0x53, 0x02, 0x00, 0x01, 0x00};
+  unsigned char header[24] = {0x50, 0x52, 0x46, 0x53, 0x03, 0x00, 0x01, 0x00};
   const std::uint64_t promised = 100;
-  std::memcpy(header + 8, &promised, sizeof(promised));
+  std::memcpy(header + 16, &promised, sizeof(promised));
   pair.client.write_all(header, sizeof(header));
   pair.client.write_all("tenletters", 10);
   pair.client.close();
   remote::Frame frame;
   EXPECT_THROW((void)remote::recv_frame(pair.server, frame),
                remote::SocketError);
+}
+
+TEST(Wire, FrameReaderCoalescesFramesAndTellsIdleFromEof) {
+  LocalPair pair;
+  // Five frames land in the kernel buffer before the reader starts: the
+  // buffered reader must hand them back one by one from a single fill.
+  for (int i = 0; i < 5; ++i) {
+    remote::send_frame(pair.client, remote::MessageType::kQuery,
+                       "payload" + std::to_string(i),
+                       static_cast<std::uint64_t>(100 + i));
+  }
+  remote::FrameReader reader(pair.server);
+  remote::Frame frame;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_EQ(reader.next(frame), remote::FrameReader::Next::kFrame);
+    EXPECT_EQ(frame.correlation_id, static_cast<std::uint64_t>(100 + i));
+    EXPECT_EQ(frame.payload, "payload" + std::to_string(i));
+  }
+  // Idle stream at a frame boundary: deadline expiry is kTimeout (the
+  // caller decides whether idleness is an error), not an exception.
+  pair.server.set_io_timeout(100ms);
+  EXPECT_EQ(reader.next(frame), remote::FrameReader::Next::kTimeout);
+  // Clean close between frames is kEof, the normal-disconnect signal.
+  pair.client.close();
+  EXPECT_EQ(reader.next(frame), remote::FrameReader::Next::kEof);
+}
+
+TEST(Wire, FrameReaderThrowsOnTornOrStalledFrame) {
+  {
+    // EOF mid-frame: the peer promised 100 bytes and died after 10.
+    LocalPair pair;
+    unsigned char header[24] = {0x50, 0x52, 0x46, 0x53, 0x03, 0x00,
+                                0x01, 0x00};
+    const std::uint64_t promised = 100;
+    std::memcpy(header + 16, &promised, sizeof(promised));
+    pair.client.write_all(header, sizeof(header));
+    pair.client.write_all("tenletters", 10);
+    pair.client.close();
+    remote::FrameReader reader(pair.server);
+    remote::Frame frame;
+    EXPECT_THROW((void)reader.next(frame), remote::SocketError);
+  }
+  {
+    // Deadline expiry mid-frame: a stall inside a promised frame is a
+    // transport error, never kTimeout (that would silently desync).
+    LocalPair pair;
+    unsigned char header[24] = {0x50, 0x52, 0x46, 0x53, 0x03, 0x00,
+                                0x01, 0x00};
+    const std::uint64_t promised = 100;
+    std::memcpy(header + 16, &promised, sizeof(promised));
+    pair.client.write_all(header, sizeof(header));
+    pair.server.set_io_timeout(100ms);
+    remote::FrameReader reader(pair.server);
+    remote::Frame frame;
+    EXPECT_THROW((void)reader.next(frame), remote::SocketError);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -233,6 +312,64 @@ TEST(Wire, QueryAndReplyCodecsRoundTrip) {
   EXPECT_DOUBLE_EQ(decoded.stages.wire_serialize_us, 1.5);
   EXPECT_DOUBLE_EQ(decoded.stages.wire_rpc_us, 90.0);
   EXPECT_DOUBLE_EQ(decoded.stages.wire_deserialize_us, 2.25);
+}
+
+TEST(Wire, BatchCodecsRoundTripAndEnforceBounds) {
+  // Request batch: order is the contract (reply entry i answers query i).
+  std::vector<remote::QueryRequest> batch(3);
+  for (int i = 0; i < 3; ++i) {
+    batch[static_cast<std::size_t>(i)].building = i + 1;
+    batch[static_cast<std::size_t>(i)].fingerprint = {
+        static_cast<float>(i) * 0.5f, -1.0f};
+  }
+  const std::string payload = remote::encode_query_batch(batch);
+  const std::vector<remote::QueryRequest> decoded =
+      remote::decode_query_batch(payload);
+  ASSERT_EQ(decoded.size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(decoded[static_cast<std::size_t>(i)].building, i + 1);
+    EXPECT_EQ(decoded[static_cast<std::size_t>(i)].fingerprint,
+              batch[static_cast<std::size_t>(i)].fingerprint);
+  }
+
+  // Reply batch mixes per-entry success and failure.
+  std::vector<remote::BatchReplyEntry> entries(2);
+  entries[0].ok = true;
+  entries[0].result.building = 2;
+  entries[0].result.rp = 9;
+  entries[0].result.top_k = {{9, 0.75f}};
+  entries[0].result.stages.infer_us = 12.5;
+  entries[1].ok = false;
+  entries[1].error = {"invalid_argument", "no model for building 77"};
+  const std::vector<remote::BatchReplyEntry> round =
+      remote::decode_query_batch_reply(
+          remote::encode_query_batch_reply(entries));
+  ASSERT_EQ(round.size(), 2u);
+  EXPECT_TRUE(round[0].ok);
+  EXPECT_EQ(round[0].result.rp, 9);
+  ASSERT_EQ(round[0].result.top_k.size(), 1u);
+  EXPECT_EQ(round[0].result.top_k[0].confidence, 0.75f);
+  EXPECT_DOUBLE_EQ(round[0].result.stages.infer_us, 12.5);
+  EXPECT_FALSE(round[1].ok);
+  EXPECT_EQ(round[1].error.kind, "invalid_argument");
+  EXPECT_EQ(round[1].error.message, "no model for building 77");
+
+  // Bounds: a count over the cap is refused at encode AND decode (a
+  // hostile count in the header would otherwise be an allocation bomb),
+  // and trailing bytes are rejected like every other codec.
+  EXPECT_THROW((void)remote::encode_query_batch(std::vector<remote::QueryRequest>(
+                   remote::kMaxBatchQueries + 1)),
+               remote::WireError);
+  std::string hostile = payload;
+  const std::uint64_t over = remote::kMaxBatchQueries + 1;
+  std::memcpy(hostile.data(), &over, sizeof(over));
+  EXPECT_THROW((void)remote::decode_query_batch(hostile), remote::WireError);
+  EXPECT_THROW((void)remote::decode_query_batch(payload + '\0'),
+               std::runtime_error);
+  EXPECT_THROW(
+      (void)remote::decode_query_batch_reply(
+          remote::encode_query_batch_reply(entries) + '\0'),
+      std::runtime_error);
 }
 
 TEST(Wire, ControlCodecsRoundTripAndRejectTrailingBytes) {
@@ -568,6 +705,280 @@ TEST_F(RemoteFixture, TcpTransportServesOnKernelAssignedPort) {
     EXPECT_GE(result.rp, 0);
   }
   server.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Pipelining: demux, window backpressure, failure semantics
+// ---------------------------------------------------------------------------
+
+/// Decodes a kQuery frame and replies with rp = fingerprint[0] — a shard
+/// impersonator's way of proving which reply answered which request.
+void reply_with_fingerprint_rp(remote::Socket& conn,
+                               const remote::Frame& request) {
+  serve::QueryResult result;
+  result.building = 2;
+  result.rp = static_cast<int>(
+      remote::decode_query(request.payload).fingerprint.at(0));
+  remote::send_frame(conn, remote::MessageType::kQueryReply,
+                     remote::encode_query_reply(result),
+                     request.correlation_id);
+}
+
+TEST(Pipelining, OutOfOrderRepliesDemuxByCorrelationId) {
+  // A hand-rolled shard answers the SECOND request first. The client must
+  // route each reply to its own callback by correlation id — arrival order
+  // means nothing on a pipelined stream.
+  const std::string address = unique_address("ooo");
+  remote::Socket listener = remote::Socket::listen(address);
+  std::thread shard([&listener] {
+    remote::Socket conn = listener.accept();
+    conn.set_io_timeout(5000ms);
+    remote::Frame first, second;
+    if (!remote::recv_frame(conn, first)) return;
+    if (!remote::recv_frame(conn, second)) return;
+    EXPECT_NE(first.correlation_id, second.correlation_id);
+    reply_with_fingerprint_rp(conn, second);
+    reply_with_fingerprint_rp(conn, first);
+  });
+
+  remote::RemoteBackendConfig config = fast_client(address);
+  config.max_in_flight = 4;
+  remote::RemoteBackend backend(config);
+  serve::QueryResult r1, r2;
+  backend.submit(2, {10.0f}, [&r1](serve::QueryResult r) { r1 = std::move(r); });
+  backend.submit(2, {20.0f}, [&r2](serve::QueryResult r) { r2 = std::move(r); });
+  backend.drain();
+  shard.join();
+  EXPECT_EQ(r1.outcome, serve::QueryOutcome::kOk);
+  EXPECT_EQ(r2.outcome, serve::QueryOutcome::kOk);
+  EXPECT_EQ(r1.rp, 10);  // NOT 20: the reply that arrived first was q2's
+  EXPECT_EQ(r2.rp, 20);
+}
+
+TEST(Pipelining, WindowFullBlocksSubmitAndDrainsInCompletionOrder) {
+  const std::string address = unique_address("window");
+  remote::Socket listener = remote::Socket::listen(address);
+  std::promise<void> two_received_promise, release_promise;
+  std::future<void> two_received = two_received_promise.get_future();
+  std::future<void> release = release_promise.get_future();
+  std::thread shard([&] {
+    remote::Socket conn = listener.accept();
+    conn.set_io_timeout(5000ms);
+    remote::Frame q1, q2, q3;
+    if (!remote::recv_frame(conn, q1) || !remote::recv_frame(conn, q2)) return;
+    two_received_promise.set_value();
+    release.wait();  // hold both window slots while the test probes
+    reply_with_fingerprint_rp(conn, q1);  // frees one slot → q3 flushes
+    if (!remote::recv_frame(conn, q3)) return;
+    reply_with_fingerprint_rp(conn, q2);
+    reply_with_fingerprint_rp(conn, q3);
+  });
+
+  remote::RemoteBackendConfig config = fast_client(address);
+  config.max_in_flight = 2;  // window of two frames, no batching
+  remote::RemoteBackend backend(config);
+  std::vector<int> completion_order;
+  std::mutex order_mutex;
+  const auto record_completion = [&](serve::QueryResult r) {
+    const std::lock_guard<std::mutex> lock(order_mutex);
+    EXPECT_EQ(r.outcome, serve::QueryOutcome::kOk);
+    completion_order.push_back(r.rp);
+  };
+  backend.submit(2, {1.0f}, record_completion);
+  backend.submit(2, {2.0f}, record_completion);
+  two_received.wait();
+
+  // Window full: the third submit must block until a reply frees a slot.
+  std::atomic<bool> third_sent{false};
+  std::thread submitter([&] {
+    backend.submit(2, {3.0f}, record_completion);
+    third_sent.store(true, std::memory_order_release);
+  });
+  std::this_thread::sleep_for(100ms);
+  EXPECT_FALSE(third_sent.load(std::memory_order_acquire));
+  release_promise.set_value();  // shard replies to q1 → slot frees
+  submitter.join();
+  EXPECT_TRUE(third_sent.load(std::memory_order_acquire));
+  backend.drain();
+  shard.join();
+  // Callbacks ran in completion (reply) order: q1, then q2, then q3.
+  EXPECT_EQ(completion_order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Pipelining, ConnectionLossFailsEveryInFlightQueryAndNeverResends) {
+  // Regression: killing the shard with N > 1 queries in flight must fail
+  // every pending future loudly (kUnavailable), and a reconnect must NOT
+  // blindly re-send frames that were already on the wire — the client
+  // cannot know whether the dead server executed them.
+  const std::string address = unique_address("connloss");
+  remote::Socket listener = remote::Socket::listen(address);
+  std::vector<int> second_connection_rps;
+  std::thread shard([&] {
+    {
+      remote::Socket doomed = listener.accept();
+      doomed.set_io_timeout(5000ms);
+      remote::Frame frame;
+      for (int i = 0; i < 3; ++i) {
+        if (!remote::recv_frame(doomed, frame)) return;
+      }
+      // Three queries in flight, zero replies: drop the connection.
+    }
+    remote::Socket conn = listener.accept();
+    conn.set_io_timeout(5000ms);
+    remote::Frame frame;
+    while (remote::recv_frame(conn, frame)) {
+      second_connection_rps.push_back(static_cast<int>(
+          remote::decode_query(frame.payload).fingerprint.at(0)));
+      reply_with_fingerprint_rp(conn, frame);
+    }
+  });
+
+  remote::RemoteBackendConfig config = fast_client(address);
+  config.max_in_flight = 4;
+  config.io_timeout = 2000ms;
+  {
+    remote::RemoteBackend backend(config);
+    std::vector<std::promise<serve::QueryResult>> outcomes(3);
+    for (int i = 0; i < 3; ++i) {
+      backend.submit(2, {static_cast<float>(10 * (i + 1))},
+                     [&outcomes, i](serve::QueryResult r) {
+                       outcomes[static_cast<std::size_t>(i)].set_value(
+                           std::move(r));
+                     });
+    }
+    for (auto& outcome : outcomes) {
+      const serve::QueryResult result = outcome.get_future().get();
+      EXPECT_EQ(result.outcome, serve::QueryOutcome::kUnavailable);
+      EXPECT_FALSE(result.error.empty());
+    }
+    // The next submit reconnects and serves normally — and carries ONLY
+    // the new query, never a replay of the three that were lost.
+    std::promise<serve::QueryResult> fresh;
+    backend.submit(2, {40.0f}, [&fresh](serve::QueryResult r) {
+      fresh.set_value(std::move(r));
+    });
+    const serve::QueryResult result = fresh.get_future().get();
+    EXPECT_EQ(result.outcome, serve::QueryOutcome::kOk);
+    EXPECT_EQ(result.rp, 40);
+  }  // backend destroyed → second connection sees EOF → shard thread exits
+  shard.join();
+  EXPECT_EQ(second_connection_rps, std::vector<int>{40});
+}
+
+TEST_F(RemoteFixture, PipelinedServingIsBitIdenticalToSerialAndLocal) {
+  remote::ShardServerConfig server_config;
+  server_config.address = unique_address("pipeident");
+  remote::ShardServer server(server_config);
+  server.start();
+
+  remote::RemoteBackend serial(fast_client(server_config.address));
+  remote::RemoteBackendConfig pipelined_config =
+      fast_client(server_config.address);
+  pipelined_config.pool_size = 2;
+  pipelined_config.max_in_flight = 2;
+  pipelined_config.max_batch = 4;
+  remote::RemoteBackend pipelined(pipelined_config);
+  serve::SyncBackend local;
+  serial.deploy(record());  // one server: the pipelined client shares it
+  local.deploy(record());
+
+  serve::TrafficGenerator generator = traffic();
+  const auto stream = generator.generate(32);
+  std::vector<serve::QueryResult> piped(stream.size());
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    pipelined.submit(stream[i].building, stream[i].x,
+                     [&piped, i](serve::QueryResult r) {
+                       piped[i] = std::move(r);
+                     });
+  }
+  pipelined.drain();
+
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    serve::QueryResult serial_result, local_result;
+    serial.submit(stream[i].building, stream[i].x,
+                  [&](serve::QueryResult r) { serial_result = std::move(r); });
+    local.submit(stream[i].building, stream[i].x,
+                 [&](serve::QueryResult r) { local_result = std::move(r); });
+    EXPECT_EQ(piped[i].outcome, serve::QueryOutcome::kOk);
+    // Pipelined, serial, and local all produce the same bits: batching and
+    // out-of-order completion change scheduling, never answers.
+    EXPECT_EQ(piped[i].rp, local_result.rp);
+    EXPECT_EQ(piped[i].rp, serial_result.rp);
+    EXPECT_EQ(piped[i].position.x, local_result.position.x);
+    EXPECT_EQ(piped[i].position.y, local_result.position.y);
+    ASSERT_EQ(piped[i].top_k.size(), local_result.top_k.size());
+    for (std::size_t k = 0; k < piped[i].top_k.size(); ++k) {
+      EXPECT_EQ(piped[i].top_k[k].label, local_result.top_k[k].label);
+      EXPECT_EQ(piped[i].top_k[k].confidence, local_result.top_k[k].confidence);
+    }
+    EXPECT_EQ(piped[i].model_version, 1u);
+  }
+
+  // The pipelined path actually pipelined: frames overlapped in flight and
+  // at least one kQueryBatch coalesced queued queries.
+  const serve::telemetry::RegistrySnapshot snapshot =
+      pipelined.telemetry_snapshot();
+  EXPECT_GT(snapshot.counters.at("net.pipelined_rpcs"), 0u);
+  EXPECT_GT(snapshot.counters.at("net.batched_queries"), 0u);
+  EXPECT_EQ(snapshot.gauges.at("net.pool_size"), 2);
+  server.stop();
+}
+
+TEST_F(RemoteFixture, PipelinedClientDegradesWhenShardDiesMidTraffic) {
+  // The pipelined flavour of KillingAShardMidTraffic: failures arrive via
+  // QueryOutcome on the callback (submit already returned) and the service
+  // must map them to Response::kFailed with per-shard attribution.
+  remote::ShardServerConfig config_a;
+  config_a.address = unique_address("pkillA");
+  remote::ShardServer server_a(config_a);
+  server_a.start();
+  remote::ShardServerConfig config_b;
+  config_b.address = unique_address("pkillB");
+  auto server_b = std::make_unique<remote::ShardServer>(config_b);
+  server_b->start();
+
+  const auto pipelined = [this](const std::string& address) {
+    remote::RemoteBackendConfig config = fast_client(address);
+    config.max_in_flight = 8;
+    config.max_batch = 4;
+    return std::make_unique<remote::RemoteBackend>(config);
+  };
+  std::vector<std::unique_ptr<serve::QueryBackend>> shards;
+  shards.push_back(pipelined(config_a.address));
+  shards.push_back(pipelined(config_b.address));
+  serve::LocalizationService service(std::move(shards));
+  service.set_router(serve::make_router("round_robin"));
+  service.publish(record());
+
+  serve::TrafficGenerator generator = traffic();
+  const auto stream = generator.generate(24);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(service.submit({2, stream[i].x}).get().status,
+              serve::Response::Status::kAnswered);
+  }
+  server_b.reset();  // hard-kill shard B with the window open
+
+  std::size_t answered = 0, failed = 0;
+  for (std::size_t i = 8; i < 24; ++i) {
+    const serve::Response response = service.submit({2, stream[i].x}).get();
+    if (response.status == serve::Response::Status::kFailed) {
+      ++failed;
+      EXPECT_EQ(response.shard, 1);
+      EXPECT_FALSE(response.error.empty());
+    } else {
+      ++answered;
+      EXPECT_EQ(response.status, serve::Response::Status::kAnswered);
+      EXPECT_EQ(response.shard, 0);
+    }
+  }
+  EXPECT_EQ(failed, 8u);
+  EXPECT_EQ(answered, 8u);
+  const serve::LocalizationService::Stats stats = service.stats();
+  EXPECT_EQ(stats.failed, 8u);
+  ASSERT_EQ(stats.shard_errors.size(), 2u);
+  EXPECT_EQ(stats.shard_errors[0], 0u);
+  EXPECT_EQ(stats.shard_errors[1], 8u);
+  server_a.stop();
 }
 
 }  // namespace
