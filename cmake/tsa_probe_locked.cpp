@@ -1,0 +1,22 @@
+// Configure-time POSITIVE probe for clang's thread-safety analysis (see
+// CMakeLists.txt): a correctly-locked GUARDED_BY access must compile under
+// -Wthread-safety -Werror=thread-safety-analysis. Pairs with
+// tsa_probe_unlocked.cpp, which must NOT compile — together they prove the
+// analysis is live, not silently inert (flag typo, macro mismatch).
+#include "src/util/sync.h"
+
+namespace {
+
+struct Counter {
+  safeloc::sync::Mutex mutex;
+  int value SAFELOC_GUARDED_BY(mutex) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  const safeloc::sync::MutexLock lock(c.mutex);
+  c.value = 1;
+  return c.value;
+}

@@ -1,0 +1,21 @@
+// Configure-time NEGATIVE probe for clang's thread-safety analysis (see
+// CMakeLists.txt): this unlocked GUARDED_BY access MUST fail to compile
+// under -Wthread-safety -Werror=thread-safety-analysis. If it compiles,
+// the analysis is inert and configuration aborts — the whole annotation
+// layer would otherwise be decoration.
+#include "src/util/sync.h"
+
+namespace {
+
+struct Counter {
+  safeloc::sync::Mutex mutex;
+  int value SAFELOC_GUARDED_BY(mutex) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.value = 1;  // no lock held: -Werror=thread-safety-analysis rejects this
+  return c.value;
+}

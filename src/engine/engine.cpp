@@ -4,7 +4,6 @@
 #include <cmath>
 #include <exception>
 #include <map>
-#include <mutex>
 #include <string>
 #include <thread>
 
@@ -12,6 +11,7 @@
 #include "src/eval/experiment.h"
 #include "src/util/config.h"
 #include "src/util/logging.h"
+#include "src/util/sync.h"
 
 namespace safeloc::engine {
 namespace {
@@ -69,7 +69,10 @@ RunReport ScenarioEngine::run(const std::vector<ScenarioSpec>& grid,
   const std::vector<PretrainGroup> groups = group_cells(grid);
 
   std::atomic<std::size_t> next_group{0};
-  std::mutex error_mutex;
+  // Local to this call: guards first_error across the worker pool. TSA
+  // cannot annotate a stack local's guarded data, so the guard is by
+  // convention — every first_error touch below is under error_mutex.
+  sync::Mutex error_mutex;
   std::exception_ptr first_error;
 
   auto worker = [&] {
@@ -77,7 +80,7 @@ RunReport ScenarioEngine::run(const std::vector<ScenarioSpec>& grid,
       const std::size_t g = next_group.fetch_add(1);
       if (g >= groups.size()) return;
       {
-        const std::lock_guard<std::mutex> lock(error_mutex);
+        const sync::MutexLock lock(error_mutex);
         if (first_error) return;  // fail fast; remaining groups abandoned
       }
       const PretrainGroup& group = groups[g];
@@ -120,7 +123,7 @@ RunReport ScenarioEngine::run(const std::vector<ScenarioSpec>& grid,
                           spec.resolved_attack_label(), ")");
         }
       } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mutex);
+        const sync::MutexLock lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
         return;
       }

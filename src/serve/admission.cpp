@@ -20,7 +20,7 @@ PoisonGate::PoisonGate(PoisonGateConfig config)
     : config_(config), table_(std::make_shared<DetectorTable>()) {}
 
 std::shared_ptr<const PoisonGate::DetectorTable> PoisonGate::table() const {
-  const std::lock_guard<std::mutex> lock(table_mutex_);
+  const sync::MutexLock lock(table_mutex_);
   return table_;
 }
 
@@ -29,7 +29,7 @@ void PoisonGate::on_publish(const ModelRecord& record) {
     // An uncalibrated record replaces whatever was serving: drop any
     // detector calibrated for the previous model so the building passes
     // through ungated instead of being judged by stale statistics.
-    const std::lock_guard<std::mutex> lock(table_mutex_);
+    const sync::MutexLock lock(table_mutex_);
     if (table_->count(record.provenance.building) == 0) return;
     auto next = std::make_shared<DetectorTable>(*table_);
     next->erase(record.provenance.building);
@@ -47,7 +47,7 @@ void PoisonGate::on_publish(const ModelRecord& record) {
                           config_.rce_margin;
   }
 
-  const std::lock_guard<std::mutex> lock(table_mutex_);
+  const sync::MutexLock lock(table_mutex_);
   auto next = std::make_shared<DetectorTable>(*table_);
   (*next)[record.provenance.building] = std::move(detector);
   table_ = std::move(next);

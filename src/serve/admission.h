@@ -44,11 +44,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 
 #include "src/serve/backend.h"
+#include "src/util/sync.h"
 
 namespace safeloc::serve {
 
@@ -140,8 +140,11 @@ class PoisonGate final : public AdmissionPolicy {
                                             std::string reason);
 
   PoisonGateConfig config_;
-  mutable std::mutex table_mutex_;
-  std::shared_ptr<const DetectorTable> table_;
+  /// Guards only the COW table pointer swap; readers clone the shared_ptr
+  /// under the lock and score queries against the immutable table off-lock.
+  mutable sync::Mutex table_mutex_;
+  std::shared_ptr<const DetectorTable> table_
+      SAFELOC_GUARDED_BY(table_mutex_);
   std::atomic<std::uint64_t> inspected_{0};
   std::atomic<std::uint64_t> flagged_{0};
   std::atomic<std::uint64_t> flagged_rce_{0};

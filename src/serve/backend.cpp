@@ -46,12 +46,12 @@ telemetry::RegistrySnapshot SyncBackend::telemetry_snapshot() const {
 void SyncBackend::stage(const ModelRecord& record) {
   auto deployed = std::make_shared<const DeployedModel>(
       make_deployed_model(record, "SyncBackend::stage"));
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const sync::MutexLock lock(mutex_);
   staged_[record.provenance.building] = std::move(deployed);
 }
 
 void SyncBackend::commit_staged(int building) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const sync::MutexLock lock(mutex_);
   const auto it = staged_.find(building);
   if (it == staged_.end()) {
     throw std::logic_error(
@@ -63,18 +63,18 @@ void SyncBackend::commit_staged(int building) {
 }
 
 void SyncBackend::abort_staged(int building) noexcept {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const sync::MutexLock lock(mutex_);
   staged_.erase(building);
 }
 
 std::uint32_t SyncBackend::deployed_version(int building) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const sync::MutexLock lock(mutex_);
   const auto it = snapshots_.find(building);
   return it == snapshots_.end() ? 0 : it->second->version;
 }
 
 std::size_t SyncBackend::deployed_model_count() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const sync::MutexLock lock(mutex_);
   return snapshots_.size();
 }
 
@@ -83,7 +83,7 @@ void SyncBackend::submit(int building, std::vector<float> fingerprint,
   const auto enqueued = std::chrono::steady_clock::now();
   std::shared_ptr<const DeployedModel> snapshot;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const sync::MutexLock lock(mutex_);
     const auto it = snapshots_.find(building);
     if (it == snapshots_.end()) {
       throw std::invalid_argument(
@@ -106,7 +106,7 @@ void SyncBackend::submit(int building, std::vector<float> fingerprint,
     // The wait for this lock is the backend's queue: concurrent submitters
     // serialize here, and under saturation that wait dominates latency —
     // exactly what stage.queue_wait_us must show.
-    std::unique_lock<std::mutex> lock(mutex_);
+    const sync::MutexLock lock(mutex_);
     const auto acquired = std::chrono::steady_clock::now();
     result.stages.queue_wait_us =
         std::chrono::duration<double, std::micro>(acquired - enqueued)

@@ -12,13 +12,13 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "src/rss/building.h"
 #include "src/serve/model_store.h"
 #include "src/serve/serving_net.h"
 #include "src/serve/telemetry/registry.h"
+#include "src/util/sync.h"
 
 namespace safeloc::serve {
 
@@ -187,11 +187,16 @@ class SyncBackend final : public QueryBackend {
 
  private:
   std::size_t top_k_;
-  mutable std::mutex mutex_;
-  std::map<int, std::shared_ptr<const DeployedModel>> snapshots_;
-  std::map<int, std::shared_ptr<const DeployedModel>> staged_;
-  InferenceWorkspace ws_;
-  nn::Matrix x_;
+  /// Serializes both deploy bookkeeping AND inference itself — ws_/x_ are
+  /// the single shared scratch this backend reuses per query, so the lock
+  /// hold IS the backend's queue (measured as stage.queue_wait_us).
+  mutable sync::Mutex mutex_;
+  std::map<int, std::shared_ptr<const DeployedModel>> snapshots_
+      SAFELOC_GUARDED_BY(mutex_);
+  std::map<int, std::shared_ptr<const DeployedModel>> staged_
+      SAFELOC_GUARDED_BY(mutex_);
+  InferenceWorkspace ws_ SAFELOC_GUARDED_BY(mutex_);
+  nn::Matrix x_ SAFELOC_GUARDED_BY(mutex_);
   telemetry::MetricsRegistry metrics_;
   telemetry::LatencyHistogram* queue_wait_hist_;
   telemetry::LatencyHistogram* infer_hist_;

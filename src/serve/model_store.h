@@ -104,6 +104,11 @@ class ModelStore {
   static ModelStore load_file(const std::string& path);
 
  private:
+  // Externally synchronized: ModelStore has no mutex BY DESIGN. It is a
+  // value-type catalog mutated during bring-up / republish on one thread
+  // and read-only while a fleet serves from it; concurrent owners
+  // (LocalizationService::publish, republish_daemon) serialize access
+  // under their own locks. Adding a mutex here would hide that contract.
   /// Versions ascending per name; map keeps names sorted for serialization.
   std::map<std::string, std::vector<ModelRecord>> models_;
 };

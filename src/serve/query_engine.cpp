@@ -34,7 +34,7 @@ QueryEngine::~QueryEngine() { stop(); }
 
 void QueryEngine::stop() {
   {
-    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    const sync::MutexLock lock(queue_mutex_);
     stop_ = true;
   }
   // Workers wake, flush whatever is queued — a worker mid-fill breaks out
@@ -53,12 +53,12 @@ void QueryEngine::stage(const ModelRecord& record) {
   auto snapshot = std::make_shared<const DeployedModel>(
       make_deployed_model(record, "QueryEngine::stage"));
 
-  const std::lock_guard<std::mutex> lock(table_mutex_);
+  const sync::MutexLock lock(table_mutex_);
   staged_[record.provenance.building] = std::move(snapshot);
 }
 
 void QueryEngine::commit_staged(int building) {
-  const std::lock_guard<std::mutex> lock(table_mutex_);
+  const sync::MutexLock lock(table_mutex_);
   const auto it = staged_.find(building);
   if (it == staged_.end()) {
     throw std::logic_error(
@@ -72,7 +72,7 @@ void QueryEngine::commit_staged(int building) {
 }
 
 void QueryEngine::abort_staged(int building) noexcept {
-  const std::lock_guard<std::mutex> lock(table_mutex_);
+  const sync::MutexLock lock(table_mutex_);
   staged_.erase(building);
 }
 
@@ -87,7 +87,7 @@ std::size_t QueryEngine::deployed_model_count() const {
 }
 
 std::shared_ptr<const QueryEngine::SnapshotTable> QueryEngine::table() const {
-  const std::lock_guard<std::mutex> lock(table_mutex_);
+  const sync::MutexLock lock(table_mutex_);
   return table_;
 }
 
@@ -115,8 +115,9 @@ void QueryEngine::submit(int building, std::vector<float> fingerprint,
   pending.enqueued = std::chrono::steady_clock::now();
   std::size_t depth = 0;
   {
-    std::unique_lock<std::mutex> lock(queue_mutex_);
-    space_cv_.wait(lock, [this] {
+    const sync::MutexLock lock(queue_mutex_);
+    space_cv_.wait(queue_mutex_, [this] {
+      queue_mutex_.assert_held();  // lambda body: capability not propagated
       return stop_ || queue_.size() < config_.queue_capacity;
     });
     if (stop_) {
@@ -141,8 +142,11 @@ std::future<QueryResult> QueryEngine::submit(int building,
 }
 
 void QueryEngine::drain() {
-  std::unique_lock<std::mutex> lock(queue_mutex_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  const sync::MutexLock lock(queue_mutex_);
+  idle_cv_.wait(queue_mutex_, [this] {
+    queue_mutex_.assert_held();  // lambda body: capability not propagated
+    return queue_.empty() && in_flight_ == 0;
+  });
 }
 
 QueryEngine::Stats QueryEngine::stats() const {
@@ -157,7 +161,7 @@ telemetry::RegistrySnapshot QueryEngine::telemetry_snapshot() const {
 }
 
 std::size_t QueryEngine::queue_depth() const {
-  const std::lock_guard<std::mutex> lock(queue_mutex_);
+  const sync::MutexLock lock(queue_mutex_);
   return queue_.size() + in_flight_;
 }
 
@@ -168,8 +172,11 @@ void QueryEngine::worker_loop() {
     batch.clear();
     std::chrono::steady_clock::time_point opened;
     {
-      std::unique_lock<std::mutex> lock(queue_mutex_);
-      queue_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      const sync::MutexLock lock(queue_mutex_);
+      queue_cv_.wait(queue_mutex_, [this] {
+        queue_mutex_.assert_held();  // lambda body: capability not propagated
+        return stop_ || !queue_.empty();
+      });
       if (queue_.empty()) return;  // stop_ set and nothing left to serve
       // Popped queries count as in-flight immediately: the fill wait below
       // releases the lock, and drain() must not see them in neither place.
@@ -188,7 +195,13 @@ void QueryEngine::worker_loop() {
           continue;
         }
         if (stop_ || config_.batch_window.count() == 0) break;
-        if (queue_cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+        // Predicate wait (rule R8): wake on new work or stop; a false
+        // return means the batch window elapsed with the queue still
+        // empty, so the tick serves the partial batch it holds.
+        if (!queue_cv_.wait_until(queue_mutex_, deadline, [this] {
+              queue_mutex_.assert_held();  // lambda: capability not propagated
+              return stop_ || !queue_.empty();
+            })) {
           break;
         }
       }
@@ -207,7 +220,7 @@ void QueryEngine::worker_loop() {
     batches_.fetch_add(1, std::memory_order_relaxed);
     served_.fetch_add(batch.size(), std::memory_order_relaxed);
     {
-      const std::lock_guard<std::mutex> lock(queue_mutex_);
+      const sync::MutexLock lock(queue_mutex_);
       in_flight_ -= batch.size();
       if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
     }

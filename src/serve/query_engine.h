@@ -24,19 +24,18 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "src/serve/backend.h"
+#include "src/util/sync.h"
 
 namespace safeloc::serve {
 
@@ -157,18 +156,22 @@ class QueryEngine final : public QueryBackend {
   telemetry::LatencyHistogram* queue_depth_hist_;
   telemetry::LatencyHistogram* batch_fill_hist_;
 
-  mutable std::mutex table_mutex_;
-  std::shared_ptr<const SnapshotTable> table_;
+  /// Guards the COW table pointer and the staged set; ticks clone the
+  /// shared_ptr and run the batch against the immutable table off-lock.
+  mutable sync::Mutex table_mutex_;
+  std::shared_ptr<const SnapshotTable> table_
+      SAFELOC_GUARDED_BY(table_mutex_);
   /// Snapshots validated by stage() awaiting commit_staged().
-  std::map<int, std::shared_ptr<const DeployedModel>> staged_;
+  std::map<int, std::shared_ptr<const DeployedModel>> staged_
+      SAFELOC_GUARDED_BY(table_mutex_);
 
-  mutable std::mutex queue_mutex_;
-  std::condition_variable queue_cv_;  // workers: work available / stop
-  std::condition_variable space_cv_;  // producers: capacity available
-  std::condition_variable idle_cv_;   // drain(): all work completed
-  std::deque<Pending> queue_;
-  std::size_t in_flight_ = 0;
-  bool stop_ = false;
+  mutable sync::Mutex queue_mutex_;
+  sync::CondVar queue_cv_;  // workers: work available / stop
+  sync::CondVar space_cv_;  // producers: capacity available
+  sync::CondVar idle_cv_;   // drain(): all work completed
+  std::deque<Pending> queue_ SAFELOC_GUARDED_BY(queue_mutex_);
+  std::size_t in_flight_ SAFELOC_GUARDED_BY(queue_mutex_) = 0;
+  bool stop_ SAFELOC_GUARDED_BY(queue_mutex_) = false;
   // Monotonic stats counters, bumped by every worker after its batch
   // completes. Atomics (not queue_mutex_) so the increment stays off the
   // producer-contended lock; relaxed ordering is enough for counters that

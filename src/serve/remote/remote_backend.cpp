@@ -5,8 +5,6 @@
 #include <stdexcept>
 #include <utility>
 
-#include "src/serve/remote/scoped_unlock.h"
-
 namespace safeloc::serve::remote {
 namespace {
 
@@ -75,7 +73,7 @@ RemoteBackend::RemoteBackend(RemoteBackendConfig config)
 RemoteBackend::~RemoteBackend() {
   std::vector<std::thread> readers;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const sync::MutexLock lock(mutex_);
     stopping_ = true;
     for (auto& slot : pool_) {
       if (!slot) continue;
@@ -91,7 +89,7 @@ RemoteBackend::~RemoteBackend() {
   std::vector<Pending> leftover;
   std::vector<Queued> orphans;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const sync::MutexLock lock(mutex_);
     for (auto& slot : pool_) {
       if (!slot) continue;
       std::vector<Pending> failed = fail_conn_locked(*slot);
@@ -185,12 +183,12 @@ void RemoteBackend::complete_unavailable(std::vector<Pending> pending,
     result.latency_us = us_since(entry.submitted);
     if (entry.done) entry.done(std::move(result));
   }
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const sync::MutexLock lock(mutex_);
   completing_ -= 1;
   cv_.notify_all();
 }
 
-void RemoteBackend::ensure_pool(std::unique_lock<std::mutex>& lock) const {
+void RemoteBackend::ensure_pool() const {
   for (;;) {
     if (stopping_) throw BackendUnavailable("RemoteBackend: stopped");
     // Reap a dead connection's reader off-lock — it may be inside its own
@@ -205,7 +203,7 @@ void RemoteBackend::ensure_pool(std::unique_lock<std::mutex>& lock) const {
     if (reap) {
       std::thread dead_reader = std::move(reap->reader);
       {
-        const ScopedUnlock unlocked(lock);
+        const sync::ReleasableLock unlocked(mutex_);
         dead_reader.join();
       }
       continue;  // re-scan: state may have moved while unlocked
@@ -219,7 +217,10 @@ void RemoteBackend::ensure_pool(std::unique_lock<std::mutex>& lock) const {
     }
     if (!missing) return;
     if (!connecting_) break;  // this thread connects
-    cv_.wait(lock, [this] { return !connecting_ || stopping_; });
+    cv_.wait(mutex_, [this] {
+      mutex_.assert_held();  // lambda body: capability not propagated
+      return !connecting_ || stopping_;
+    });
   }
 
   connecting_ = true;
@@ -232,7 +233,7 @@ void RemoteBackend::ensure_pool(std::unique_lock<std::mutex>& lock) const {
   std::vector<std::pair<std::size_t, std::shared_ptr<Conn>>> fresh;
   std::string last_error;
   {
-    const ScopedUnlock unlocked(lock);
+    const sync::ReleasableLock unlocked(mutex_);
     for (const std::size_t slot : want) {
       std::shared_ptr<Conn> conn;
       for (int attempt = 0; attempt < config_.connect_retries; ++attempt) {
@@ -284,7 +285,7 @@ void RemoteBackend::ensure_pool(std::unique_lock<std::mutex>& lock) const {
     queue_.clear();
     completing_ += 1;
     {
-      const ScopedUnlock unlocked(lock);
+      const sync::ReleasableLock unlocked(mutex_);
       complete_unavailable({}, std::move(orphans), reason);
     }
     throw BackendUnavailable(reason);
@@ -387,7 +388,7 @@ void RemoteBackend::reader_loop(std::shared_ptr<Conn> conn) const {
     if (got == FrameReader::Next::kTimeout) {
       bool idle = false;
       {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const sync::MutexLock lock(mutex_);
         idle = conn->pending.empty();
       }
       if (idle) continue;  // idle connection, nothing owed
@@ -404,7 +405,7 @@ void RemoteBackend::reader_loop(std::shared_ptr<Conn> conn) const {
   std::vector<Queued> orphans;
   bool deliver = false;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const sync::MutexLock lock(mutex_);
     failed = fail_conn_locked(*conn);
     if (!failed.empty()) rpc_failures_->add(failed.size());
     // With no live connection left, queued (never-sent) queries have
@@ -431,7 +432,7 @@ bool RemoteBackend::dispatch_reply(std::shared_ptr<Conn> conn,
   Pending pending;
   std::vector<Pending> failed;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const sync::MutexLock lock(mutex_);
     const auto it = conn->pending.find(frame.correlation_id);
     if (it == conn->pending.end()) return false;
     pending = std::move(it->second);
@@ -538,7 +539,7 @@ void RemoteBackend::complete_query(Pending pending, Frame frame) const {
       fail_all(QueryOutcome::kUnavailable, skew.what());
     }
   }();
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const sync::MutexLock lock(mutex_);
   completing_ -= 1;
   cv_.notify_all();
 }
@@ -548,9 +549,9 @@ Frame RemoteBackend::rpc(MessageType type, const std::string& payload) const {
   std::vector<Pending> failed;
   std::string fail_reason;
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    const sync::MutexLock lock(mutex_);
     if (stopping_) throw BackendUnavailable("RemoteBackend: stopped");
-    ensure_pool(lock);
+    ensure_pool();
     Conn* conn = pick_live_locked(/*windowed=*/false);
     if (!conn) throw BackendUnavailable("RemoteBackend: no live connection");
     Pending pending;
@@ -674,13 +675,15 @@ void RemoteBackend::submit(int building, std::vector<float> fingerprint,
   std::vector<Pending> failed;
   bool deliver = false;
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    const sync::MutexLock lock(mutex_);
     if (stopping_) throw BackendUnavailable("RemoteBackend: stopped");
     // Throws synchronously when the shard is unreachable — this query is
     // not queued yet, so the service's BackendUnavailable catch handles it.
-    ensure_pool(lock);
-    cv_.wait(lock,
-             [this] { return stopping_ || queue_.size() < queue_cap(); });
+    ensure_pool();
+    cv_.wait(mutex_, [this] {
+      mutex_.assert_held();  // lambda body: capability not propagated
+      return stopping_ || queue_.size() < queue_cap();
+    });
     if (stopping_) throw BackendUnavailable("RemoteBackend: stopped");
     const std::uint64_t seq = next_seq_++;
     Queued entry;
@@ -701,14 +704,22 @@ void RemoteBackend::submit(int building, std::vector<float> fingerprint,
         if (queue_.empty() || queue_.front().seq > seq) break;
         if (!any_live_locked()) {
           try {
-            ensure_pool(lock);
+            ensure_pool();
           } catch (const BackendUnavailable&) {
             break;  // ensure_pool failed our queued entry via its callback
           }
           flush_locked(&failed);
           continue;
         }
-        cv_.wait(lock);
+        // Predicate wait (rule R8): wake when our entry has left the queue
+        // (flushed to the wire or failed), the pool has died (the reconnect
+        // branch above takes over), or the backend is stopping. These are
+        // exactly the loop's own recheck conditions.
+        cv_.wait(mutex_, [this, seq] {
+          mutex_.assert_held();  // lambda body: capability not propagated
+          return stopping_ || queue_.empty() || queue_.front().seq > seq ||
+                 !any_live_locked();
+        });
       }
     }
     deliver = !failed.empty();
@@ -721,40 +732,58 @@ void RemoteBackend::submit(int building, std::vector<float> fingerprint,
   }
 }
 
+RemoteBackend::DrainState RemoteBackend::drain_state_locked() const {
+  DrainState state;
+  state.queued = queue_.size();
+  for (const auto& slot : pool_) {
+    if (slot) state.in_flight += slot->in_flight;
+  }
+  state.completing = completing_;
+  state.live = live_count_locked();
+  state.stopping = stopping_;
+  return state;
+}
+
 void RemoteBackend::drain() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  const sync::MutexLock lock(mutex_);
   for (;;) {
     std::vector<Pending> failed;
     flush_locked(&failed);
     if (!failed.empty()) {
       completing_ += 1;
       {
-        const ScopedUnlock unlocked(lock);
+        const sync::ReleasableLock unlocked(mutex_);
         complete_unavailable(std::move(failed), {},
                              "RemoteBackend: shard " + config_.address +
                                  " connection lost mid-flush");
       }
       continue;
     }
-    std::size_t in_flight = 0;
-    for (const auto& slot : pool_) {
-      if (slot) in_flight += slot->in_flight;
+    const DrainState seen = drain_state_locked();
+    if (seen.queued == 0 && seen.in_flight == 0 && seen.completing == 0) {
+      return;
     }
-    if (queue_.empty() && in_flight == 0 && completing_ == 0) return;
-    if (!queue_.empty() && !any_live_locked()) {
+    if (seen.queued > 0 && !any_live_locked()) {
       try {
-        ensure_pool(lock);
+        ensure_pool();
       } catch (const BackendUnavailable&) {
         continue;  // queued entries were failed; loop re-checks emptiness
       }
       continue;
     }
-    cv_.wait(lock);
+    // Predicate wait (rule R8): sleep until the drain-relevant state moves
+    // at all — every transition that could let the loop progress (a window
+    // slot freeing, a callback finishing, a connection dying or arriving,
+    // new work queued) changes one DrainState component and notifies cv_.
+    cv_.wait(mutex_, [this, seen] {
+      mutex_.assert_held();  // lambda body: capability not propagated
+      return !(drain_state_locked() == seen);
+    });
   }
 }
 
 std::size_t RemoteBackend::queue_depth() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const sync::MutexLock lock(mutex_);
   std::size_t depth = queue_.size();
   for (const auto& slot : pool_) {
     if (slot) depth += slot->in_flight;

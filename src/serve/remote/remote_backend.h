@@ -48,13 +48,11 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -62,6 +60,7 @@
 #include "src/serve/backend.h"
 #include "src/serve/remote/socket.h"
 #include "src/serve/remote/wire.h"
+#include "src/util/sync.h"
 
 namespace safeloc::serve::remote {
 
@@ -149,6 +148,13 @@ class RemoteBackend final : public QueryBackend {
     double serialize_us = 0.0;
   };
 
+  /// Every field below `socket` is guarded by the owning backend's
+  /// `mutex_` — the analysis cannot express a guard that lives in the
+  /// enclosing class, so the discipline here is structural: Conn objects
+  /// are only ever reached through `pool_` (itself GUARDED_BY(mutex_)) or
+  /// the reader thread's shared_ptr, and every reader-side access takes
+  /// `mutex_` first. `socket` is internally synchronized (atomic fd) so
+  /// send/recv/shutdown run off-lock by design.
   struct Conn {
     Socket socket;
     std::thread reader;
@@ -178,33 +184,55 @@ class RemoteBackend final : public QueryBackend {
   /// Reconnects every dead/missing pool slot (reaping the old reader
   /// threads first). Throws BackendUnavailable — after failing every
   /// still-queued query — when zero connections can be established within
-  /// the retry budget. The lock is released during connect attempts.
-  void ensure_pool(std::unique_lock<std::mutex>& lock) const;
+  /// the retry budget. mutex_ must be held on entry and is held on return;
+  /// it is released (sync::ReleasableLock) during connect attempts.
+  void ensure_pool() const SAFELOC_REQUIRES(mutex_);
   /// Sends as many queued queries as window slots allow, coalescing up to
   /// max_batch per frame. Failed connections are drained into
   /// `failed_pending` for completion once the caller drops the lock.
-  void flush_locked(std::vector<Pending>* failed_pending) const;
+  void flush_locked(std::vector<Pending>* failed_pending) const
+      SAFELOC_REQUIRES(mutex_);
   /// Marks `conn` dead, wakes waiters, and moves its pending map out for
   /// the caller to complete (kUnavailable / BackendUnavailable) off-lock.
-  std::vector<Pending> fail_conn_locked(Conn& conn) const;
+  std::vector<Pending> fail_conn_locked(Conn& conn) const
+      SAFELOC_REQUIRES(mutex_);
   /// Completes failed pendings and queued queries with kUnavailable.
   /// Called without the lock held; the caller must have incremented
   /// completing_ under the lock (decremented here when done) so drain()
   /// cannot return while these callbacks are still running.
   void complete_unavailable(std::vector<Pending> pending,
                             std::vector<Queued> queued,
-                            const std::string& reason) const;
+                            const std::string& reason) const
+      SAFELOC_EXCLUDES(mutex_);
   /// Completes a kQuery/kBatch Pending from its reply frame: decode,
   /// wire-leg histograms, callbacks. Called without the lock held; same
   /// completing_ contract as complete_unavailable.
-  void complete_query(Pending pending, Frame frame) const;
-  [[nodiscard]] bool any_live_locked() const noexcept;
-  [[nodiscard]] std::size_t live_count_locked() const noexcept;
+  void complete_query(Pending pending, Frame frame) const
+      SAFELOC_EXCLUDES(mutex_);
+  [[nodiscard]] bool any_live_locked() const noexcept
+      SAFELOC_REQUIRES(mutex_);
+  [[nodiscard]] std::size_t live_count_locked() const noexcept
+      SAFELOC_REQUIRES(mutex_);
   /// Round-robin pick among live connections; nullptr when none.
-  [[nodiscard]] Conn* pick_live_locked(bool windowed) const noexcept;
+  [[nodiscard]] Conn* pick_live_locked(bool windowed) const noexcept
+      SAFELOC_REQUIRES(mutex_);
+  /// drain()'s wait key: the loop sleeps until any component moves (every
+  /// state transition that could let drain progress changes one of them
+  /// and notifies cv_).
+  struct DrainState {
+    std::size_t queued = 0;
+    std::size_t in_flight = 0;
+    std::size_t completing = 0;
+    std::size_t live = 0;
+    bool stopping = false;
+    bool operator==(const DrainState&) const = default;
+  };
+  [[nodiscard]] DrainState drain_state_locked() const
+      SAFELOC_REQUIRES(mutex_);
   /// Blocking control RPC through the demux machinery; reconnects when no
   /// connection is live. kError replies re-raise per the map above.
-  Frame rpc(MessageType type, const std::string& payload) const;
+  Frame rpc(MessageType type, const std::string& payload) const
+      SAFELOC_EXCLUDES(mutex_);
   /// Serial-mode query: one windowed RPC, callback completed on the
   /// calling thread before submit returns, refusals rethrown.
   void submit_serial(int building, std::vector<float> fingerprint,
@@ -217,23 +245,23 @@ class RemoteBackend final : public QueryBackend {
   bool dispatch_reply(std::shared_ptr<Conn> conn, Frame frame) const;
 
   RemoteBackendConfig config_;
-  mutable std::mutex mutex_;
-  mutable std::condition_variable cv_;
+  mutable sync::Mutex mutex_;
+  mutable sync::CondVar cv_;
   /// Fixed pool_size slots; a slot is empty until first use and may hold a
   /// dead connection awaiting reap.
-  mutable std::vector<std::shared_ptr<Conn>> pool_;
-  mutable std::size_t next_conn_ = 0;
-  mutable bool connecting_ = false;
-  mutable bool stopping_ = false;
+  mutable std::vector<std::shared_ptr<Conn>> pool_ SAFELOC_GUARDED_BY(mutex_);
+  mutable std::size_t next_conn_ SAFELOC_GUARDED_BY(mutex_) = 0;
+  mutable bool connecting_ SAFELOC_GUARDED_BY(mutex_) = false;
+  mutable bool stopping_ SAFELOC_GUARDED_BY(mutex_) = false;
   /// Mutable for the same reason as pool_: reader threads (spawned from
   /// const RPC paths) flush the queue when window slots free up.
-  mutable std::deque<Queued> queue_;
-  mutable std::uint64_t next_seq_ = 1;
+  mutable std::deque<Queued> queue_ SAFELOC_GUARDED_BY(mutex_);
+  mutable std::uint64_t next_seq_ SAFELOC_GUARDED_BY(mutex_) = 1;
   /// Callback deliveries in progress off-lock (one unit per pending
   /// complete_query / complete_unavailable call). drain() waits for zero:
   /// a window slot frees BEFORE its callback runs, so queue+in_flight
   /// alone would let drain() return mid-callback.
-  mutable std::size_t completing_ = 0;
+  mutable std::size_t completing_ SAFELOC_GUARDED_BY(mutex_) = 0;
 
   /// Wire-leg histograms are recorded for kQuery submits only (publish and
   /// stats RPCs would pollute the serving-stage view); the net.* counters

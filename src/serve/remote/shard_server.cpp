@@ -4,7 +4,6 @@
 #include <stdexcept>
 #include <utility>
 
-#include "src/serve/remote/scoped_unlock.h"
 
 namespace safeloc::serve::remote {
 
@@ -51,7 +50,7 @@ std::size_t ShardServer::deploy_owned(const ModelStore& store) {
     if (!owns(record.provenance.building)) continue;
     engine_.deploy(record);
     {
-      const std::lock_guard<std::mutex> lock(deploy_mutex_);
+      const sync::MutexLock lock(deploy_mutex_);
       deployed_[record.provenance.building] = record.version;
     }
     ++deployed;
@@ -60,8 +59,8 @@ std::size_t ShardServer::deploy_owned(const ModelStore& store) {
 }
 
 void ShardServer::wait() {
-  std::unique_lock<std::mutex> lock(wait_mutex_);
-  wait_cv_.wait(lock, [this] {
+  const sync::MutexLock lock(wait_mutex_);
+  wait_cv_.wait(wait_mutex_, [this] {
     return shutdown_.load(std::memory_order_acquire) ||
            stopping_.load(std::memory_order_acquire);
   });
@@ -85,7 +84,7 @@ void ShardServer::stop() {
   // the engine must stop AFTER this join, never before.
   std::vector<std::thread> handlers;
   {
-    const std::lock_guard<std::mutex> lock(threads_mutex_);
+    const sync::MutexLock lock(threads_mutex_);
     for (const auto& client : live_connections_) client->shutdown();
     handlers = std::move(connection_threads_);
     connection_threads_.clear();
@@ -106,7 +105,7 @@ ShardStats ShardServer::stats() const {
   // remote shard's queue-wait/batch/inference tail reaches the client-side
   // fleet merge in LocalizationService::stats().
   stats.telemetry = engine_.telemetry_snapshot();
-  const std::lock_guard<std::mutex> lock(deploy_mutex_);
+  const sync::MutexLock lock(deploy_mutex_);
   stats.staged_models = static_cast<std::uint64_t>(staged_.size());
   stats.deployed.reserve(deployed_.size());
   for (const auto& [building, version] : deployed_) {
@@ -133,7 +132,7 @@ void ShardServer::accept_loop() {
       }
     }
     auto shared = std::make_shared<Socket>(std::move(client));
-    const std::lock_guard<std::mutex> lock(threads_mutex_);
+    const sync::MutexLock lock(threads_mutex_);
     if (stopping_.load(std::memory_order_acquire)) return;
     live_connections_.insert(shared);
     connection_threads_.emplace_back(
@@ -143,15 +142,16 @@ void ShardServer::accept_loop() {
 
 void ShardServer::enqueue_reply(const std::shared_ptr<Connection>& conn,
                                 Frame reply) {
-  const std::lock_guard<std::mutex> lock(conn->mutex);
+  const sync::MutexLock lock(conn->mutex);
   if (!conn->write_failed) conn->write_queue.push_back(std::move(reply));
   conn->cv.notify_all();
 }
 
 void ShardServer::writer_loop(const std::shared_ptr<Connection>& conn) {
-  std::unique_lock<std::mutex> lock(conn->mutex);
+  const sync::MutexLock lock(conn->mutex);
   for (;;) {
-    conn->cv.wait(lock, [&conn] {
+    conn->cv.wait(conn->mutex, [&conn] {
+      conn->mutex.assert_held();  // lambda body: capability not propagated
       return !conn->write_queue.empty() || conn->closing;
     });
     if (conn->write_queue.empty()) return;  // closing and drained
@@ -165,7 +165,7 @@ void ShardServer::writer_loop(const std::shared_ptr<Connection>& conn) {
     conn->sending = true;
     bool ok = true;
     {
-      const ScopedUnlock unlocked(lock);
+      const sync::ReleasableLock unlocked(conn->mutex);
       try {
         send_frame(*conn->socket, reply.type, reply.payload,
                    reply.correlation_id);
@@ -201,7 +201,7 @@ void ShardServer::serve_query(const std::shared_ptr<Connection>& conn,
     return;
   }
   {
-    const std::lock_guard<std::mutex> lock(conn->mutex);
+    const sync::MutexLock lock(conn->mutex);
     conn->outstanding += 1;
   }
   try {
@@ -214,7 +214,7 @@ void ShardServer::serve_query(const std::shared_ptr<Connection>& conn,
           reply.correlation_id = cid;
           reply.payload = encode_query_reply(result);
           {
-            const std::lock_guard<std::mutex> lock(conn->mutex);
+            const sync::MutexLock lock(conn->mutex);
             if (!conn->write_failed) {
               conn->write_queue.push_back(std::move(reply));
             }
@@ -234,7 +234,7 @@ void ShardServer::serve_query(const std::shared_ptr<Connection>& conn,
             : "runtime_error";
     reply.payload = encode_error({kind, refused.what()});
     {
-      const std::lock_guard<std::mutex> lock(conn->mutex);
+      const sync::MutexLock lock(conn->mutex);
       if (!conn->write_failed) conn->write_queue.push_back(std::move(reply));
       conn->outstanding -= 1;
       conn->cv.notify_all();
@@ -279,7 +279,7 @@ void ShardServer::serve_query_batch(const std::shared_ptr<Connection>& conn,
   state->remaining.store(batch.size(), std::memory_order_relaxed);
   state->cid = cid;
   {
-    const std::lock_guard<std::mutex> lock(conn->mutex);
+    const sync::MutexLock lock(conn->mutex);
     conn->outstanding += 1;
   }
 
@@ -292,7 +292,7 @@ void ShardServer::serve_query_batch(const std::shared_ptr<Connection>& conn,
     reply.correlation_id = state->cid;
     reply.payload = encode_query_batch_reply(state->entries);
     {
-      const std::lock_guard<std::mutex> lock(conn->mutex);
+      const sync::MutexLock lock(conn->mutex);
       if (!conn->write_failed) conn->write_queue.push_back(std::move(reply));
       conn->outstanding -= 1;
       conn->cv.notify_all();
@@ -356,13 +356,17 @@ void ShardServer::serve_connection(std::shared_ptr<Socket> client) {
       // then the ack, then wait for the writer to flush the lot — the
       // peer must hold the acked contract "no reply is lost".
       {
-        std::unique_lock<std::mutex> lock(conn->mutex);
-        conn->cv.wait(lock, [&conn] { return conn->outstanding == 0; });
+        const sync::MutexLock lock(conn->mutex);
+        conn->cv.wait(conn->mutex, [&conn] {
+          conn->mutex.assert_held();  // lambda: capability not propagated
+          return conn->outstanding == 0;
+        });
         if (!conn->write_failed) {
           conn->write_queue.push_back(std::move(reply));
         }
         conn->cv.notify_all();
-        conn->cv.wait(lock, [&conn] {
+        conn->cv.wait(conn->mutex, [&conn] {
+          conn->mutex.assert_held();  // lambda: capability not propagated
           return (conn->write_queue.empty() && !conn->sending) ||
                  conn->write_failed;
         });
@@ -379,8 +383,11 @@ void ShardServer::serve_connection(std::shared_ptr<Socket> client) {
   // Engine callbacks capture `conn` and may still be in flight: wait for
   // them so no reply is enqueued after the writer drains out.
   {
-    std::unique_lock<std::mutex> lock(conn->mutex);
-    conn->cv.wait(lock, [&conn] { return conn->outstanding == 0; });
+    const sync::MutexLock lock(conn->mutex);
+    conn->cv.wait(conn->mutex, [&conn] {
+      conn->mutex.assert_held();  // lambda: capability not propagated
+      return conn->outstanding == 0;
+    });
     conn->closing = true;
     conn->cv.notify_all();
   }
@@ -391,7 +398,7 @@ void ShardServer::serve_connection(std::shared_ptr<Socket> client) {
   // while stop() holds threads_mutex_ the set still owns a reference, so
   // the destructor cannot run under stop()'s hands.
   client->shutdown();
-  const std::lock_guard<std::mutex> lock(threads_mutex_);
+  const sync::MutexLock lock(threads_mutex_);
   live_connections_.erase(client);
 }
 
@@ -414,7 +421,7 @@ Frame ShardServer::handle_control(const Frame& request) {
         }
         engine_.stage(record);
         {
-          const std::lock_guard<std::mutex> lock(deploy_mutex_);
+          const sync::MutexLock lock(deploy_mutex_);
           staged_.insert(building);
         }
         reply.type = MessageType::kPublishReply;
@@ -426,7 +433,7 @@ Frame ShardServer::handle_control(const Frame& request) {
         {
           // Ledger takes the engine's post-swap truth, not the client's
           // (informational) version field.
-          const std::lock_guard<std::mutex> lock(deploy_mutex_);
+          const sync::MutexLock lock(deploy_mutex_);
           staged_.erase(commit.building);
           deployed_[commit.building] =
               engine_.deployed_version(commit.building);
@@ -438,7 +445,7 @@ Frame ShardServer::handle_control(const Frame& request) {
         const int building = decode_publish_abort(request.payload);
         engine_.abort_staged(building);
         {
-          const std::lock_guard<std::mutex> lock(deploy_mutex_);
+          const sync::MutexLock lock(deploy_mutex_);
           staged_.erase(building);
         }
         reply.type = MessageType::kPublishReply;

@@ -35,12 +35,10 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
@@ -52,6 +50,7 @@
 #include "src/serve/query_engine.h"
 #include "src/serve/remote/socket.h"
 #include "src/serve/remote/wire.h"
+#include "src/util/sync.h"
 
 namespace safeloc::serve::remote {
 
@@ -122,18 +121,18 @@ class ShardServer {
   /// outlives the handler if a callback straggles.
   struct Connection {
     std::shared_ptr<Socket> socket;
-    std::mutex mutex;
-    std::condition_variable cv;
+    mutable sync::Mutex mutex;
+    sync::CondVar cv;
     /// Completed replies awaiting the wire, in completion order.
-    std::deque<Frame> write_queue;
+    std::deque<Frame> write_queue SAFELOC_GUARDED_BY(mutex);
     /// Query frames handed to the engine whose reply is not yet enqueued.
-    std::size_t outstanding = 0;
+    std::size_t outstanding SAFELOC_GUARDED_BY(mutex) = 0;
     /// Read loop done; the writer drains the queue and exits.
-    bool closing = false;
+    bool closing SAFELOC_GUARDED_BY(mutex) = false;
     /// Writer is mid-send (queue empty does not mean flushed).
-    bool sending = false;
+    bool sending SAFELOC_GUARDED_BY(mutex) = false;
     /// A send failed: the stream is dead, further replies are dropped.
-    bool write_failed = false;
+    bool write_failed SAFELOC_GUARDED_BY(mutex) = false;
     std::thread writer;
   };
 
@@ -161,23 +160,27 @@ class ShardServer {
 
   Socket listener_;
   std::thread accept_thread_;
-  std::mutex threads_mutex_;
-  std::vector<std::thread> connection_threads_;
+  sync::Mutex threads_mutex_;
+  std::vector<std::thread> connection_threads_
+      SAFELOC_GUARDED_BY(threads_mutex_);
   /// Live connection sockets, half-closed by stop() to wake blocked reads.
-  std::set<std::shared_ptr<Socket>> live_connections_;
+  std::set<std::shared_ptr<Socket>> live_connections_
+      SAFELOC_GUARDED_BY(threads_mutex_);
 
   std::atomic<bool> stopping_{false};
   std::atomic<bool> shutdown_{false};
-  std::mutex wait_mutex_;
-  std::condition_variable wait_cv_;
+  /// Pairs with wait_cv_ only — wait() sleeps on the shutdown_ atomic's
+  /// transition, so the mutex guards no data of its own.
+  sync::Mutex wait_mutex_;
+  sync::CondVar wait_cv_;
 
   std::atomic<std::uint64_t> queries_served_{0};
   /// Deploy bookkeeping for stats(): building → serving version, plus the
   /// buildings currently staged-but-uncommitted. The server mediates every
   /// stage/commit/abort, so this mirrors the engine's tables exactly.
-  mutable std::mutex deploy_mutex_;
-  std::map<int, std::uint32_t> deployed_;
-  std::set<int> staged_;
+  mutable sync::Mutex deploy_mutex_;
+  std::map<int, std::uint32_t> deployed_ SAFELOC_GUARDED_BY(deploy_mutex_);
+  std::set<int> staged_ SAFELOC_GUARDED_BY(deploy_mutex_);
 };
 
 }  // namespace safeloc::serve::remote

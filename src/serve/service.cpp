@@ -68,7 +68,7 @@ void LocalizationService::set_partition(PartitionMap partition) {
         std::to_string(partition.shards) + " shard(s), fleet has " +
         std::to_string(shards_.size()));
   }
-  const std::lock_guard<std::mutex> publish_lock(publish_mutex_);
+  const sync::MutexLock publish_lock(publish_mutex_);
   partition_ = std::move(partition);
 }
 
@@ -76,7 +76,7 @@ void LocalizationService::publish(const ModelRecord& record) {
   // One publisher at a time: two concurrent publishes for the same
   // building must not interleave their per-shard phases, or the fleet
   // could settle with shards on different versions.
-  const std::lock_guard<std::mutex> publish_lock(publish_mutex_);
+  const sync::MutexLock publish_lock(publish_mutex_);
   const int building = record.provenance.building;
   // Validate the record before anything observes it: a record no shard
   // would accept must not calibrate the admission chain either.
@@ -122,7 +122,7 @@ void LocalizationService::publish(const ModelRecord& record) {
   // error — the same exposure any non-consensus 2PC has, and why stage()
   // carries all the validation.
   for (QueryBackend* target : targets) target->commit_staged(building);
-  const std::lock_guard<std::mutex> lock(published_mutex_);
+  const sync::MutexLock lock(published_mutex_);
   published_versions_[building] = record.version;
 }
 
@@ -136,7 +136,7 @@ std::size_t LocalizationService::publish_latest(const ModelStore& store) {
 }
 
 std::uint32_t LocalizationService::published_version(int building) const {
-  const std::lock_guard<std::mutex> lock(published_mutex_);
+  const sync::MutexLock lock(published_mutex_);
   const auto it = published_versions_.find(building);
   return it == published_versions_.end() ? 0 : it->second;
 }

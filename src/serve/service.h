@@ -40,7 +40,6 @@
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -52,6 +51,7 @@
 #include "src/serve/router.h"
 #include "src/serve/telemetry/registry.h"
 #include "src/serve/telemetry/trace.h"
+#include "src/util/sync.h"
 
 namespace safeloc::serve {
 
@@ -120,7 +120,11 @@ class LocalizationService {
   /// from the same map. Throws std::invalid_argument when the map's shard
   /// count does not match the fleet width.
   void set_partition(PartitionMap partition);
-  [[nodiscard]] const PartitionMap* partition() const noexcept {
+  /// The active partition map; nullptr for replicated fleets. The pointer
+  /// stays valid until the next set_partition() — callers hold it only
+  /// across code that cannot race a partition swap (bring-up, stats).
+  [[nodiscard]] const PartitionMap* partition() const {
+    const sync::MutexLock lock(publish_mutex_);
     return partition_ ? &*partition_ : nullptr;
   }
 
@@ -207,12 +211,14 @@ class LocalizationService {
   std::vector<std::unique_ptr<QueryBackend>> shards_;
   std::unique_ptr<Router> router_;
   std::vector<std::unique_ptr<AdmissionPolicy>> admission_;
-  std::optional<PartitionMap> partition_;
 
-  /// Serializes whole publish() calls (deploys + calibration + version).
-  std::mutex publish_mutex_;
-  mutable std::mutex published_mutex_;
-  std::map<int, std::uint32_t> published_versions_;
+  /// Serializes whole publish() calls (deploys + calibration + version)
+  /// and guards the partition map they target.
+  mutable sync::Mutex publish_mutex_;
+  std::optional<PartitionMap> partition_ SAFELOC_GUARDED_BY(publish_mutex_);
+  mutable sync::Mutex published_mutex_;
+  std::map<int, std::uint32_t> published_versions_
+      SAFELOC_GUARDED_BY(published_mutex_);
 
   std::atomic<std::uint64_t> submitted_{0};
   std::atomic<std::uint64_t> rejected_{0};

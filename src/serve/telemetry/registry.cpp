@@ -129,21 +129,21 @@ MetricsRegistry::MetricsRegistry(HistogramConfig histogram_config)
     : histogram_config_(histogram_config) {}
 
 Counter& MetricsRegistry::counter(const std::string& name) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const sync::MutexLock lock(mutex_);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
   return *slot;
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const sync::MutexLock lock(mutex_);
   auto& slot = gauges_[name];
   if (!slot) slot = std::make_unique<Gauge>();
   return *slot;
 }
 
 LatencyHistogram& MetricsRegistry::histogram(const std::string& name) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const sync::MutexLock lock(mutex_);
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<LatencyHistogram>(histogram_config_);
   return *slot;
@@ -151,7 +151,7 @@ LatencyHistogram& MetricsRegistry::histogram(const std::string& name) {
 
 RegistrySnapshot MetricsRegistry::snapshot() const {
   RegistrySnapshot snap;
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const sync::MutexLock lock(mutex_);
   for (const auto& [name, counter] : counters_) {
     snap.counters[name] = counter->value();
   }

@@ -17,10 +17,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "src/serve/telemetry/histogram.h"
+#include "src/util/sync.h"
 
 namespace safeloc::serve::telemetry {
 
@@ -112,10 +112,15 @@ class MetricsRegistry {
 
  private:
   HistogramConfig histogram_config_;
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+  /// Guards only map shape (resolve-or-create, snapshot iteration). The
+  /// pointed-to metrics are lock-free atomics updated off-lock by design.
+  mutable sync::Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      SAFELOC_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_
+      SAFELOC_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_
+      SAFELOC_GUARDED_BY(mutex_);
 };
 
 }  // namespace safeloc::serve::telemetry

@@ -62,7 +62,7 @@ bool TraceCollector::should_sample() noexcept {
 }
 
 void TraceCollector::record(TraceRecord trace) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const sync::MutexLock lock(mutex_);
   if (ring_.size() < config_.capacity) {
     ring_.push_back(std::move(trace));
     return;
@@ -83,7 +83,7 @@ std::vector<TraceRecord> TraceCollector::ordered_locked() const {
 }
 
 std::vector<TraceRecord> TraceCollector::drain() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const sync::MutexLock lock(mutex_);
   std::vector<TraceRecord> out = ordered_locked();
   ring_.clear();
   next_ = 0;
@@ -91,7 +91,7 @@ std::vector<TraceRecord> TraceCollector::drain() {
 }
 
 std::string TraceCollector::to_json() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const sync::MutexLock lock(mutex_);
   const std::vector<TraceRecord> traces = ordered_locked();
   std::string out = "{\"schema\":\"safeloc.trace/v1\",";
   out += "\"sample_every\":" + std::to_string(config_.sample_every) + ',';

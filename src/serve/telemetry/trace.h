@@ -15,9 +15,10 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "src/util/sync.h"
 
 namespace safeloc::serve::telemetry {
 
@@ -92,14 +93,17 @@ class TraceCollector {
   [[nodiscard]] const TraceConfig& config() const noexcept { return config_; }
 
  private:
-  [[nodiscard]] std::vector<TraceRecord> ordered_locked() const;
+  [[nodiscard]] std::vector<TraceRecord> ordered_locked() const
+      SAFELOC_REQUIRES(mutex_);
 
   TraceConfig config_;
   std::atomic<std::uint64_t> seen_{0};
-  mutable std::mutex mutex_;
-  std::vector<TraceRecord> ring_;
-  std::size_t next_ = 0;      ///< Ring write cursor.
-  std::uint64_t dropped_ = 0; ///< Sampled traces overwritten by the ring.
+  mutable sync::Mutex mutex_;
+  std::vector<TraceRecord> ring_ SAFELOC_GUARDED_BY(mutex_);
+  /// Ring write cursor.
+  std::size_t next_ SAFELOC_GUARDED_BY(mutex_) = 0;
+  /// Sampled traces overwritten by the ring.
+  std::uint64_t dropped_ SAFELOC_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace safeloc::serve::telemetry

@@ -2,9 +2,9 @@
 
 #include <chrono>
 #include <cstdio>
-#include <mutex>
 
 #include "src/util/config.h"
+#include "src/util/sync.h"
 
 namespace safeloc::util {
 namespace {
@@ -34,8 +34,11 @@ const char* level_tag(LogLevel level) {
   return "?????";
 }
 
-std::mutex& log_mutex() {
-  static std::mutex m;
+// Serializes whole lines to stderr so concurrent loggers interleave at
+// line, not character, granularity. Function-local static: loggable from
+// static initializers without an ordering hazard.
+sync::Mutex& log_mutex() {
+  static sync::Mutex m;
   return m;
 }
 
@@ -47,7 +50,7 @@ void set_log_threshold(LogLevel level) { threshold_storage() = level; }
 
 void log_message(LogLevel level, std::string_view message) {
   if (static_cast<int>(level) < static_cast<int>(log_threshold())) return;
-  const std::scoped_lock lock(log_mutex());
+  const sync::MutexLock lock(log_mutex());
   std::fprintf(stderr, "[%s] %.*s\n", level_tag(level),
                static_cast<int>(message.size()), message.data());
 }

@@ -1,0 +1,187 @@
+// Annotated synchronization layer — the ONLY place in the tree allowed to
+// touch std::mutex / std::condition_variable / std::unique_lock directly
+// (rule R9, tools/safeloc_lint). Everything concurrent builds on these
+// wrappers so Clang's thread-safety analysis (-Wthread-safety, promoted to
+// an error in CI) can prove every GUARDED_BY field is accessed under its
+// mutex at compile time. Under GCC the attributes expand to nothing and the
+// wrappers cost exactly one inlined forwarding call — the bench gate
+// (scripts/check_bench.py) holds the qps floors across the migration.
+//
+// Capability model (see ARCHITECTURE.md "Static analysis & invariants"):
+//   sync::Mutex          CAPABILITY("mutex"); lock()/unlock()/try_lock()
+//                        carry ACQUIRE/RELEASE/TRY_ACQUIRE so the analysis
+//                        tracks the lock set across calls.
+//   sync::MutexLock      SCOPED_CAPABILITY RAII guard — acquire in the
+//                        constructor, release in the destructor, no manual
+//                        unlock surface (rule R4 bans naked pairs anyway).
+//   sync::CondVar        predicate-ONLY waits (rule R8 bans predicate-less
+//                        wait) that REQUIRE the mutex they sleep on.
+//   sync::ReleasableLock SCOPED_CAPABILITY inverse guard: releases a held
+//                        Mutex for one scope (blocking I/O, callback
+//                        delivery, thread joins) and reacquires on exit.
+//   NO_THREAD_SAFETY_ANALYSIS is the documented escape hatch: every use
+//                        must state the invariant it relies on in a comment
+//                        directly above it (enforced by review, audited in
+//                        ARCHITECTURE.md).
+//
+// The analysis does not propagate held capabilities into lambda bodies, so
+// a predicate lambda that reads GUARDED_BY fields must open with
+// `mutex.assert_held();` — a no-op at runtime that tells the analysis the
+// capability is held (ASSERT_CAPABILITY).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <utility>
+
+// Thread-safety attributes are a Clang extension; GCC (and clang-cl /SWIG
+// passes) must see empty expansions so the tree stays warning-free there.
+#if defined(__clang__) && !defined(SWIG)
+#define SAFELOC_TS_ATTR(x) __attribute__((x))
+#else
+#define SAFELOC_TS_ATTR(x)  // no-op outside clang
+#endif
+
+#define SAFELOC_CAPABILITY(x) SAFELOC_TS_ATTR(capability(x))
+#define SAFELOC_SCOPED_CAPABILITY SAFELOC_TS_ATTR(scoped_lockable)
+#define SAFELOC_GUARDED_BY(x) SAFELOC_TS_ATTR(guarded_by(x))
+#define SAFELOC_PT_GUARDED_BY(x) SAFELOC_TS_ATTR(pt_guarded_by(x))
+#define SAFELOC_REQUIRES(...) \
+  SAFELOC_TS_ATTR(requires_capability(__VA_ARGS__))
+#define SAFELOC_ACQUIRE(...) SAFELOC_TS_ATTR(acquire_capability(__VA_ARGS__))
+#define SAFELOC_RELEASE(...) SAFELOC_TS_ATTR(release_capability(__VA_ARGS__))
+#define SAFELOC_TRY_ACQUIRE(...) \
+  SAFELOC_TS_ATTR(try_acquire_capability(__VA_ARGS__))
+#define SAFELOC_EXCLUDES(...) SAFELOC_TS_ATTR(locks_excluded(__VA_ARGS__))
+#define SAFELOC_ASSERT_CAPABILITY(x) SAFELOC_TS_ATTR(assert_capability(x))
+#define SAFELOC_RETURN_CAPABILITY(x) SAFELOC_TS_ATTR(lock_returned(x))
+#define SAFELOC_NO_THREAD_SAFETY_ANALYSIS \
+  SAFELOC_TS_ATTR(no_thread_safety_analysis)
+
+namespace safeloc::sync {
+
+/// std::mutex as a named capability. `mutable sync::Mutex mu_;` plus
+/// `T field_ SAFELOC_GUARDED_BY(mu_);` is the repo's standard guarded-field
+/// declaration (rule R7 flags a mutex member whose siblings carry no
+/// GUARDED_BY at all).
+class SAFELOC_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  // safeloc-lint: allow(R4 capability wrapper — MutexLock is the RAII face)
+  void lock() SAFELOC_ACQUIRE() { mu_.lock(); }
+  // safeloc-lint: allow(R4 capability wrapper — MutexLock is the RAII face)
+  void unlock() SAFELOC_RELEASE() { mu_.unlock(); }
+  [[nodiscard]] bool try_lock() SAFELOC_TRY_ACQUIRE(true) {
+    return mu_.try_lock();
+  }
+
+  /// Runtime no-op that injects "this capability is held" into the
+  /// analysis. The sanctioned bridge into contexts the analysis cannot
+  /// follow — lambda bodies, callbacks invoked under a caller's lock.
+  void assert_held() const SAFELOC_ASSERT_CAPABILITY(this) {}
+
+  /// The wrapped primitive, for CondVar's adopt-lock bridge below. Not for
+  /// general use: going through native() drops capability tracking.
+  [[nodiscard]] std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock guard over sync::Mutex. Deliberately has no unlock()/release()
+/// surface — a scope that must drop the lock mid-way uses ReleasableLock,
+/// which keeps both transitions visible to the analysis.
+class SAFELOC_SCOPED_CAPABILITY MutexLock {
+ public:
+  // safeloc-lint: allow(R4 the RAII guard itself — ctor/dtor pair IS the scope)
+  explicit MutexLock(Mutex& mu) SAFELOC_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  // safeloc-lint: allow(R4 the RAII guard itself — ctor/dtor pair IS the scope)
+  ~MutexLock() SAFELOC_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable bound to sync::Mutex. Every wait takes a predicate
+/// (rule R8 bans the predicate-less forms: spurious wakeups make them bugs
+/// waiting to happen). Internally bridges to std::condition_variable via
+/// adopt_lock/release so waits stay on the native futex fast path instead
+/// of condition_variable_any.
+///
+/// Predicates run with the mutex held but inside a lambda the analysis
+/// treats as a fresh function; open the predicate with `mu.assert_held();`
+/// before touching GUARDED_BY state.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  /// Blocks until `pred()` is true. `mu` must be held on entry and is held
+  /// on return (released only inside the wait, by the primitive itself).
+  template <typename Predicate>
+  void wait(Mutex& mu, Predicate pred) SAFELOC_REQUIRES(mu) {
+    std::unique_lock<std::mutex> bridge(mu.native(), std::adopt_lock);
+    cv_.wait(bridge, std::move(pred));
+    bridge.release();  // ownership stays with the caller's guard
+  }
+
+  /// Returns pred() at exit: false means the deadline elapsed first.
+  template <typename Clock, typename Duration, typename Predicate>
+  bool wait_until(Mutex& mu,
+                  const std::chrono::time_point<Clock, Duration>& deadline,
+                  Predicate pred) SAFELOC_REQUIRES(mu) {
+    std::unique_lock<std::mutex> bridge(mu.native(), std::adopt_lock);
+    const bool satisfied = cv_.wait_until(bridge, deadline, std::move(pred));
+    bridge.release();
+    return satisfied;
+  }
+
+  /// Returns pred() at exit: false means the duration elapsed first.
+  template <typename Rep, typename Period, typename Predicate>
+  bool wait_for(Mutex& mu, const std::chrono::duration<Rep, Period>& rel,
+                Predicate pred) SAFELOC_REQUIRES(mu) {
+    std::unique_lock<std::mutex> bridge(mu.native(), std::adopt_lock);
+    const bool satisfied = cv_.wait_for(bridge, rel, std::move(pred));
+    bridge.release();
+    return satisfied;
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+/// Inverse RAII guard: releases a HELD Mutex for one scope and reacquires
+/// it on exit, exception paths included (the scoped_unlock replacement —
+/// clang's documented MutexUnlocker pattern, so both transitions stay
+/// inside the analysis instead of behind an escape hatch). Used for
+/// off-lock work: blocking socket writes, user-callback delivery, joins.
+class SAFELOC_SCOPED_CAPABILITY ReleasableLock {
+ public:
+  explicit ReleasableLock(Mutex& mu) SAFELOC_RELEASE(mu) : mu_(mu) {
+    // safeloc-lint: allow(R4 this IS the RAII guard the rule asks for)
+    mu_.unlock();
+  }
+  ~ReleasableLock() SAFELOC_ACQUIRE() {
+    // safeloc-lint: allow(R4 reacquire on scope exit — the RAII half)
+    mu_.lock();
+  }
+
+  ReleasableLock(const ReleasableLock&) = delete;
+  ReleasableLock& operator=(const ReleasableLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+}  // namespace safeloc::sync

@@ -1,10 +1,12 @@
 // lint-as: src/serve/bad_locking.cpp
 // R4 fixture: manual lock()/unlock() pairs versus RAII guards, plus the
-// sanctioned weak_ptr::lock() escape via allow().
+// sanctioned weak_ptr::lock() escape via allow(). The raw std primitives
+// this fixture is built from are themselves R9 findings (the annotated
+// sync layer is mandatory in src/), so those lines carry both markers.
 #include <memory>
 #include <mutex>
 
-std::mutex g_mutex;
+std::mutex g_mutex;  // expect(R9)
 int g_value = 0;
 
 void bad_manual_pair() {
@@ -13,14 +15,15 @@ void bad_manual_pair() {
   g_mutex.unlock();  // expect(R4)
 }
 
-void bad_through_pointer(std::mutex* m) {
+void bad_through_pointer(std::mutex* m) {  // expect(R9)
   m->lock();  // expect(R4)
   ++g_value;
   m->unlock();  // expect(R4)
 }
 
 void good_raii() {
-  const std::scoped_lock lock(g_mutex);
+  // RAII satisfies R4; the raw std guard type still trips R9.
+  const std::scoped_lock lock(g_mutex);  // expect(R9)
   ++g_value;
 }
 

@@ -1,0 +1,62 @@
+// lint-as: src/serve/widget.h
+// R7 fixture: mutex data members whose class body carries no
+// SAFELOC_GUARDED_BY — the thread-safety analyzer has nothing to check, so
+// the mutex is decoration. One annotated sibling anywhere in the body
+// clears the whole class (R7 is deliberately class-level, not per-field).
+#include "src/util/sync.h"
+
+namespace fixture {
+
+using safeloc::sync::CondVar;
+
+// Sibling data, zero annotations: the guard protects nothing the analyzer
+// can see.
+class Unguarded {
+  safeloc::sync::Mutex mutex_;  // expect(R7)
+  int value_ = 0;
+  bool ready_ = false;
+};
+
+// Raw std::mutex members are equally invisible to the analyzer (and are an
+// R9 finding in their own right — the annotated layer is mandatory).
+class RawUnguarded {
+  std::mutex mutex_;  // expect(R7) expect(R9)
+  int value_ = 0;
+};
+
+// One SAFELOC_GUARDED_BY sibling proves the author engaged the analyzer;
+// the class-level check passes even though ready_ is unannotated.
+class Guarded {
+  safeloc::sync::Mutex mutex_;
+  int value_ SAFELOC_GUARDED_BY(mutex_) = 0;
+  bool ready_ = false;
+};
+
+// A mutex with no sibling data has nothing to guard by construction.
+class MutexOnly {
+  safeloc::sync::Mutex mutex_;
+};
+
+// Methods and brace-initialized members are not mistaken for guarded data,
+// so this class still fires.
+class WithMethods {
+  safeloc::sync::Mutex mutex_;  // expect(R7)
+
+ public:
+  void poke() {}
+  int peek() const { return generation_; }
+
+ private:
+  int generation_{0};
+};
+
+// A genuinely data-free guard (condvar pairing) is suppressible with the
+// invariant written down.
+class Waiter {
+  // safeloc-lint: allow(R7 pairs with cv_ only; sleepers watch atomics)
+  safeloc::sync::Mutex wait_mutex_;  // expect-suppressed(R7)
+  CondVar cv_;
+  int generation_ = 0;
+};
+
+}  // namespace fixture

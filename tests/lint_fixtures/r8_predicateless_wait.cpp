@@ -1,0 +1,43 @@
+// lint-as: src/serve/waiter.cpp
+// R8 fixture: condition-variable waits that skip the predicate. A
+// one-argument wait(lock) resumes on spurious or stolen wakeups with the
+// condition unchecked; two-argument timed waits share the bug. The
+// predicate overloads re-check under the lock and are clean, as is the
+// zero-argument wait() of futures and latches (a different API).
+#include <future>
+
+#include "src/util/sync.h"
+
+namespace fixture {
+
+struct State {
+  safeloc::sync::Mutex mutex;
+  safeloc::sync::CondVar cv;
+  bool ready SAFELOC_GUARDED_BY(mutex) = false;
+};
+
+void bad_waits(State& s, std::chrono::milliseconds timeout,
+               std::chrono::steady_clock::time_point deadline) {
+  const safeloc::sync::MutexLock lock(s.mutex);
+  s.cv.wait(s.mutex);                      // expect(R8)
+  s.cv.wait_for(s.mutex, timeout);         // expect(R8)
+  s.cv.wait_until(s.mutex, deadline);      // expect(R8)
+}
+
+void good_waits(State& s, std::chrono::milliseconds timeout,
+                std::chrono::steady_clock::time_point deadline,
+                std::future<int>& pending) {
+  const safeloc::sync::MutexLock lock(s.mutex);
+  s.cv.wait(s.mutex, [&s] { return s.ready; });
+  s.cv.wait_for(s.mutex, timeout, [&s] { return s.ready; });
+  s.cv.wait_until(s.mutex, deadline, [&s] { return s.ready; });
+  pending.wait();  // zero-argument wait: a future, not a condvar
+}
+
+void suppressed_wait(State& s) {
+  const safeloc::sync::MutexLock lock(s.mutex);
+  // safeloc-lint: allow(R8 caller loops on a generation counter)
+  s.cv.wait(s.mutex);  // expect-suppressed(R8)
+}
+
+}  // namespace fixture

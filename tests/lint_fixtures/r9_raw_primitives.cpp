@@ -1,0 +1,46 @@
+// lint-as: src/serve/raw_sync.cpp
+// R9 fixture: raw standard-library synchronization outside src/util/sync.h.
+// An unannotated std::mutex is invisible to clang -Wthread-safety, so the
+// annotated layer is mandatory; std::thread itself is fine (workers are
+// joined), but detach() orphans a thread past every shutdown joint.
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "src/util/sync.h"
+
+namespace fixture {
+
+std::mutex g_mutex;              // expect(R9)
+std::condition_variable g_cv;    // expect(R9)
+
+void do_work();
+
+void raw_guards() {
+  const std::lock_guard<std::mutex> lock(g_mutex);  // expect(R9)
+}
+
+void raw_unique() {
+  std::unique_lock<std::mutex> lock(g_mutex);  // expect(R9)
+}
+
+void raw_scoped() {
+  const std::scoped_lock lock(g_mutex);  // expect(R9)
+}
+
+void detached_worker() {
+  std::thread worker(&do_work);
+  worker.detach();  // expect(R9)
+}
+
+void annotated_layer_is_clean() {
+  safeloc::sync::Mutex mutex;
+  const safeloc::sync::MutexLock lock(mutex);
+  std::thread worker(&do_work);
+  worker.join();
+}
+
+// safeloc-lint: allow(R9 interop shim for a C callback ABI)
+std::mutex g_shim_mutex;  // expect-suppressed(R9)
+
+}  // namespace fixture

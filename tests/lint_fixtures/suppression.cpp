@@ -5,7 +5,7 @@
 #include <mutex>
 #include <string>
 
-std::mutex g_mutex;
+std::mutex g_mutex;  // expect(R9)
 
 std::string same_line_allow() {
   const char* raw = std::getenv("LEGACY_KNOB");  // safeloc-lint: allow(R1 legacy third-party contract)  expect-suppressed(R1)

@@ -27,6 +27,7 @@
 #include "src/serve/router.h"
 #include "src/serve/service.h"
 #include "src/serve/traffic.h"
+#include "src/util/sync.h"
 
 namespace safeloc {
 namespace {
@@ -778,9 +779,9 @@ TEST(Pipelining, WindowFullBlocksSubmitAndDrainsInCompletionOrder) {
   config.max_in_flight = 2;  // window of two frames, no batching
   remote::RemoteBackend backend(config);
   std::vector<int> completion_order;
-  std::mutex order_mutex;
+  sync::Mutex order_mutex;
   const auto record_completion = [&](serve::QueryResult r) {
-    const std::lock_guard<std::mutex> lock(order_mutex);
+    const sync::MutexLock lock(order_mutex);
     EXPECT_EQ(r.outcome, serve::QueryOutcome::kOk);
     completion_order.push_back(r.rp);
   };

@@ -271,6 +271,26 @@ const std::vector<RuleInfo> kCatalog = {
      "destructors or catch blocks); if they can throw, an abort can "
      "terminate the process mid-recovery",
      "declare the method noexcept and keep its body exception-free"},
+    {"R7", "unguarded-mutex",
+     "a mutex data member in a class whose body carries no "
+     "SAFELOC_GUARDED_BY protects nothing the thread-safety analyzer can "
+     "see — lock discipline silently erodes as fields are added",
+     "annotate every field the mutex protects with SAFELOC_GUARDED_BY(mu); "
+     "a mutex that guards no data by design needs an allow(R7) stating the "
+     "invariant"},
+    {"R8", "predicate-less-wait",
+     "a condition-variable wait without a predicate does not recheck its "
+     "condition after spurious or stolen wakeups, so the caller can resume "
+     "on state that no longer holds",
+     "fold the condition into the wait: cv.wait(mu, [&] { return ready; }); "
+     "wait_for/wait_until take the predicate as a third argument and "
+     "return its value on timeout"},
+    {"R9", "raw-sync-primitive",
+     "raw std mutexes, RAII guards, condition variables and detached "
+     "threads bypass src/util/sync.h, so clang -Wthread-safety cannot see "
+     "the locking at all; detach() also orphans threads past shutdown",
+     "use sync::Mutex / sync::MutexLock / sync::CondVar / "
+     "sync::ReleasableLock (src/util/sync.h) and join every thread"},
 };
 
 const RuleInfo& rule(std::string_view id) {
@@ -552,6 +572,183 @@ void rule_r6(const RuleContext& ctx) {
   }
 }
 
+/// R7: a sync::Mutex / std::mutex data member inside a class/struct whose
+/// body carries no SAFELOC_GUARDED_BY at all. Class-level by design: one
+/// annotated sibling proves the author engaged the analyzer; zero means the
+/// mutex is decoration. Fires only when the class holds at least one other
+/// data member (a mutex alone has nothing to guard), and only under src/ —
+/// tests and tools build ad-hoc mutexes whose guarded set is the local
+/// scope. src/util/sync.h defines the primitives and is exempt.
+void rule_r7(const RuleContext& ctx) {
+  if (!path_starts_with(ctx.path, "src/") ||
+      ctx.path == "src/util/sync.h") {
+    return;
+  }
+  const auto& toks = ctx.toks;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (!is_ident(toks[i], "class") && !is_ident(toks[i], "struct")) {
+      continue;
+    }
+    // `enum class` and `template <class T>` introduce no class body.
+    if (i > 0 && (is_ident(toks[i - 1], "enum") ||
+                  is_punct(toks[i - 1], "<") || is_punct(toks[i - 1], ","))) {
+      continue;
+    }
+    // Find the body `{` before any `;` (skips forward declarations).
+    std::size_t open = i + 1;
+    while (open < toks.size() && !is_punct(toks[open], "{") &&
+           !is_punct(toks[open], ";")) {
+      ++open;
+    }
+    if (open >= toks.size() || !is_punct(toks[open], "{")) continue;
+    const std::size_t body_end = match_forward(toks, open, "{", "}");
+    if (body_end == std::string_view::npos) continue;
+
+    bool has_guarded = false;
+    for (std::size_t k = open; k < body_end; ++k) {
+      if (is_ident(toks[k], "SAFELOC_GUARDED_BY") ||
+          is_ident(toks[k], "SAFELOC_PT_GUARDED_BY")) {
+        has_guarded = true;
+        break;
+      }
+    }
+    if (has_guarded) continue;
+
+    // Walk depth-1 statements: mutex members to flag, any other data
+    // member as evidence the class holds state worth annotating.
+    std::vector<int> mutex_lines;
+    std::size_t data_members = 0;
+    const auto classify = [&](std::size_t stmt, std::size_t end) {
+      // Skip an access-specifier prefix fused into the statement.
+      if (stmt + 1 < end && is_punct(toks[stmt + 1], ":") &&
+          (is_ident(toks[stmt], "public") ||
+           is_ident(toks[stmt], "private") ||
+           is_ident(toks[stmt], "protected"))) {
+        stmt += 2;
+      }
+      if (stmt >= end || end - stmt < 2) return;
+      if (is_ident(toks[stmt], "using") || is_ident(toks[stmt], "typedef") ||
+          is_ident(toks[stmt], "friend") || is_ident(toks[stmt], "static") ||
+          is_ident(toks[stmt], "class") || is_ident(toks[stmt], "struct") ||
+          is_ident(toks[stmt], "enum") || is_ident(toks[stmt], "union")) {
+        return;
+      }
+      int mutex_line = 0;
+      bool has_paren = false;
+      for (std::size_t t = stmt; t < end; ++t) {
+        if (is_punct(toks[t], "(")) has_paren = true;
+        if (t + 2 < end && is_punct(toks[t + 1], "::") &&
+            ((is_ident(toks[t], "sync") && is_ident(toks[t + 2], "Mutex")) ||
+             (is_ident(toks[t], "std") && is_ident(toks[t + 2], "mutex")))) {
+          mutex_line = toks[t + 2].line;
+        }
+      }
+      if (has_paren) return;  // function declarator, not a data member
+      if (mutex_line != 0) {
+        mutex_lines.push_back(mutex_line);
+      } else {
+        ++data_members;
+      }
+    };
+    std::size_t stmt = open + 1;
+    for (std::size_t k = open + 1; k < body_end; ++k) {
+      if (is_punct(toks[k], "{")) {
+        // Method body, nested type, or a brace-initialized member. Skip
+        // the braced region; classify `T name{init};` by its header.
+        const std::size_t close = match_forward(toks, k, "{", "}");
+        if (close == std::string_view::npos ||
+            close >= body_end) {
+          break;
+        }
+        if (close + 1 < body_end && is_punct(toks[close + 1], ";")) {
+          classify(stmt, k);
+        }
+        k = close;
+        stmt = k + 1;
+        continue;
+      }
+      if (!is_punct(toks[k], ";")) continue;
+      classify(stmt, k);
+      stmt = k + 1;
+    }
+    if (data_members > 0) {
+      for (const int line : mutex_lines) ctx.add("R7", line);
+    }
+  }
+}
+
+/// R8: condition-variable waits without a predicate. A one-argument
+/// `.wait(lock)` re-blocks only by luck — spurious and stolen wakeups
+/// resume the caller with the condition false; two-argument timed waits
+/// share the bug. Zero-argument wait() (futures, latches, barriers) is a
+/// different API and is left alone.
+void rule_r8(const RuleContext& ctx) {
+  const auto& toks = ctx.toks;
+  for (std::size_t i = 2; i + 1 < toks.size(); ++i) {
+    const Token& name = toks[i];
+    if (name.kind != TokKind::kIdentifier) continue;
+    const bool plain = name.text == "wait";
+    const bool timed = name.text == "wait_for" || name.text == "wait_until";
+    if (!plain && !timed) continue;
+    if (!is_punct(toks[i - 1], ".") && !is_punct(toks[i - 1], "->")) {
+      continue;
+    }
+    if (!is_punct(toks[i + 1], "(")) continue;
+    const std::size_t close = match_forward(toks, i + 1, "(", ")");
+    if (close == std::string_view::npos) continue;
+    // Count top-level arguments: commas at paren depth 1 outside nested
+    // braces/brackets (lambda captures and bodies, init lists).
+    int paren = 0;
+    int brace = 0;
+    int bracket = 0;
+    std::size_t args = close > i + 2 ? 1 : 0;
+    for (std::size_t k = i + 1; k < close; ++k) {
+      if (is_punct(toks[k], "(")) ++paren;
+      else if (is_punct(toks[k], ")")) --paren;
+      else if (is_punct(toks[k], "{")) ++brace;
+      else if (is_punct(toks[k], "}")) --brace;
+      else if (is_punct(toks[k], "[")) ++bracket;
+      else if (is_punct(toks[k], "]")) --bracket;
+      else if (paren == 1 && brace == 0 && bracket == 0 &&
+               is_punct(toks[k], ",")) {
+        ++args;
+      }
+    }
+    if ((plain && args == 1) || (timed && args == 2)) {
+      ctx.add("R8", name.line);
+    }
+  }
+}
+
+/// R9: raw standard-library synchronization outside src/util/sync.h. The
+/// annotated layer is mandatory — an unannotated std::mutex is invisible
+/// to -Wthread-safety, and std::thread::detach orphans a thread past every
+/// shutdown joint the servers rely on.
+void rule_r9(const RuleContext& ctx) {
+  if (ctx.path == "src/util/sync.h") return;
+  static const std::set<std::string_view> kRawTypes = {
+      "mutex",           "recursive_mutex",
+      "timed_mutex",     "recursive_timed_mutex",
+      "shared_mutex",    "condition_variable",
+      "condition_variable_any",
+      "lock_guard",      "unique_lock",
+      "scoped_lock",     "shared_lock"};
+  const auto& toks = ctx.toks;
+  for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (is_ident(toks[i], "std") && is_punct(toks[i + 1], "::") &&
+        toks[i + 2].kind == TokKind::kIdentifier &&
+        kRawTypes.count(toks[i + 2].text) != 0) {
+      ctx.add("R9", toks[i + 2].line);
+    }
+  }
+  for (std::size_t i = 2; i < toks.size(); ++i) {
+    if (is_punct(toks[i], "(") && is_ident(toks[i - 1], "detach") &&
+        (is_punct(toks[i - 2], ".") || is_punct(toks[i - 2], "->"))) {
+      ctx.add("R9", toks[i - 1].line);
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Driver
 // ---------------------------------------------------------------------------
@@ -589,6 +786,9 @@ FileReport lint_file(std::string_view display_path,
   rule_r4(ctx);
   rule_r5(ctx);
   rule_r6(ctx);
+  rule_r7(ctx);
+  rule_r8(ctx);
+  rule_r9(ctx);
 
   FileReport report;
   for (Finding& f : raw) {

@@ -25,6 +25,11 @@
 //   R4  naked mutex .lock()/.unlock() instead of RAII guards
 //   R5  unordered-container iteration feeding serialized output
 //   R6  abort_*/rollback* methods not declared noexcept
+//   R7  mutex data member in a src/ class with no SAFELOC_GUARDED_BY
+//       siblings (the analyzer sees nothing to check)
+//   R8  condition-variable wait/wait_for/wait_until without a predicate
+//   R9  raw std::mutex / lock RAII / condition_variable / thread::detach
+//       outside src/util/sync.h (the annotated layer is mandatory)
 #pragma once
 
 #include <string>
@@ -47,7 +52,7 @@ const std::vector<RuleInfo>& rule_catalog();
 struct Finding {
   std::string file;  ///< display path (repo-relative when tree-walking)
   int line = 0;
-  std::string rule;     ///< "R1".."R6"
+  std::string rule;     ///< "R1".."R9"
   std::string message;  ///< invariant + fix-it hint
   std::string suppress_reason;  ///< set iff an allow() matched
 };
